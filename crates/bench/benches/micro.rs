@@ -1,0 +1,151 @@
+//! Micro-benchmarks of the per-packet and per-tick primitives.
+//!
+//! These are the §6.10 "switch overhead" analogues: the work a Drift-Bottle
+//! switch does per forwarded packet (header codec + ⊕ + warning check) and
+//! per sampling tick (classification + local inference generation).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use db_dtree::{DecisionTree, FlowClassifier, TableClassifier, TrainConfig};
+use db_flowmon::{FlowStatus, NUM_FEATURES};
+use db_inference::{
+    aggregate_step, check_warning, local_inference, HeaderCodec, Inference, WarningConfig,
+    WeightScheme,
+};
+use db_topology::LinkId;
+use db_util::Pcg64;
+use std::hint::black_box;
+
+fn sample_inference(rng: &mut Pcg64, entries: usize) -> Inference {
+    Inference::from_pairs((0..entries).map(|_| {
+        (
+            LinkId(rng.below(150) as u16),
+            rng.range_f64(-10.0, 30.0).round(),
+        )
+    }))
+}
+
+fn bench_header_codec(c: &mut Criterion) {
+    let mut rng = Pcg64::new(1);
+    let codec = HeaderCodec::paper();
+    let inf = sample_inference(&mut rng, 4);
+    let bytes = codec.encode(&inf, 5);
+    c.bench_function("header_encode_k4", |b| {
+        b.iter(|| black_box(codec.encode(black_box(&inf), 5)))
+    });
+    c.bench_function("header_decode_k4", |b| {
+        b.iter(|| black_box(codec.decode(black_box(&bytes))))
+    });
+}
+
+fn bench_aggregation(c: &mut Criterion) {
+    let mut rng = Pcg64::new(2);
+    let local = sample_inference(&mut rng, 4);
+    let drifted = sample_inference(&mut rng, 4);
+    c.bench_function("aggregate_step_k4", |b| {
+        b.iter(|| black_box(aggregate_step(black_box(&local), black_box(&drifted), 3, 4)))
+    });
+    let warn = WarningConfig::default();
+    let (agg, hops) = aggregate_step(&local, &drifted, 3, 4);
+    c.bench_function("warning_check", |b| {
+        b.iter(|| black_box(check_warning(black_box(&agg), hops as u32, &warn)))
+    });
+    // The full per-packet pipeline: decode, aggregate, check, encode.
+    let codec = HeaderCodec::paper();
+    let bytes = codec.encode(&drifted, 3);
+    c.bench_function("per_packet_pipeline_k4", |b| {
+        b.iter(|| {
+            let (inf, h) = codec.decode(black_box(&bytes)).expect("valid");
+            let (agg, h) = aggregate_step(&local, &inf, h, 4);
+            let _ = black_box(check_warning(&agg, h as u32, &warn));
+            black_box(codec.encode(&agg, h))
+        })
+    });
+}
+
+fn random_vector(rng: &mut Pcg64) -> [f64; NUM_FEATURES] {
+    let mut x = [0.0; NUM_FEATURES];
+    for v in &mut x {
+        *v = rng.range_f64(0.0, 10.0);
+    }
+    x
+}
+
+fn bench_classifier(c: &mut Criterion) {
+    let mut rng = Pcg64::new(3);
+    let data: Vec<([f64; NUM_FEATURES], FlowStatus)> = (0..20_000)
+        .map(|_| {
+            let x = random_vector(&mut rng);
+            let label = if x[9] < 1.0 && x[3] > 4.0 {
+                FlowStatus::Abnormal
+            } else {
+                FlowStatus::Normal
+            };
+            (x, label)
+        })
+        .collect();
+    let tree = DecisionTree::train(&data, &TrainConfig::default());
+    let table = TableClassifier::compile(&tree);
+    let x = random_vector(&mut rng);
+    c.bench_function("tree_classify", |b| {
+        b.iter(|| black_box(tree.classify(black_box(&x))))
+    });
+    c.bench_function("table_classify", |b| {
+        b.iter(|| black_box(table.classify(black_box(&x))))
+    });
+    c.bench_function("tree_train_20k", |b| {
+        b.iter_batched(
+            || data.clone(),
+            |d| black_box(DecisionTree::train(&d, &TrainConfig::default())),
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+fn bench_local_inference(c: &mut Criterion) {
+    let mut rng = Pcg64::new(4);
+    // 200 monitored flows with 1-6 upstream links each — a realistic
+    // per-switch tick workload.
+    let upstreams: Vec<Vec<LinkId>> = (0..200)
+        .map(|_| {
+            (0..1 + rng.index(6))
+                .map(|_| LinkId(rng.below(150) as u16))
+                .collect()
+        })
+        .collect();
+    let statuses: Vec<(FlowStatus, &[LinkId])> = upstreams
+        .iter()
+        .enumerate()
+        .map(|(i, u)| {
+            let s = if i % 13 == 0 {
+                FlowStatus::Abnormal
+            } else {
+                FlowStatus::Normal
+            };
+            (s, u.as_slice())
+        })
+        .collect();
+    c.bench_function("local_inference_200_flows", |b| {
+        b.iter(|| {
+            black_box(local_inference(
+                statuses.iter().map(|(s, u)| (*s, *u)),
+                WeightScheme::DriftBottle,
+                4,
+            ))
+        })
+    });
+}
+
+fn bench_rng(c: &mut Criterion) {
+    let mut rng = Pcg64::new(5);
+    c.bench_function("pcg64_next_u64", |b| b.iter(|| black_box(rng.next_u64())));
+}
+
+criterion_group!(
+    benches,
+    bench_header_codec,
+    bench_aggregation,
+    bench_classifier,
+    bench_local_inference,
+    bench_rng
+);
+criterion_main!(benches);

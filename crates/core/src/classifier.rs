@@ -1,0 +1,256 @@
+//! Offline classifier training (§4.1, §6.1, §6.3).
+//!
+//! The paper generates failure datasets by simulation, extracts and labels
+//! per-window feature records, splits 3:1, and trains one decision tree per
+//! topology. [`prepare`] reproduces that pipeline and returns everything an
+//! experiment needs: routes, monitoring windows, the trained tree compiled
+//! to a match-action table, and the held-out confusion matrix (Fig. 6).
+
+use crate::par::par_map;
+use db_dtree::{ConfusionMatrix, DecisionTree, TableClassifier, TrainConfig};
+use db_flowmon::{Dataset, NetworkMonitor, WindowConfig};
+use db_flowmon::dataset::Labeler;
+use db_netsim::{
+    FailureScenario, SimConfig, SimTime, Simulator, TrafficConfig, TrafficGen,
+};
+use db_topology::{LinkId, NodeId, RouteTable, Topology};
+use db_util::Pcg64;
+
+/// Training pipeline configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrepareConfig {
+    /// Sampling interval (§6.3: 4 ms).
+    pub interval: SimTime,
+    /// Flow density of the training workloads.
+    pub train_density: f64,
+    /// Number of single-link-failure training scenarios (sampled links).
+    pub n_link_scenarios: usize,
+    /// Number of single-node-failure training scenarios.
+    pub n_node_scenarios: usize,
+    /// Number of failure-free training scenarios.
+    pub n_healthy: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// CART hyperparameters.
+    pub tree: TrainConfig,
+    /// Majority-class cap for the training split (normal ≤ ratio × abnormal).
+    pub balance_ratio: f64,
+}
+
+impl Default for PrepareConfig {
+    fn default() -> Self {
+        PrepareConfig {
+            interval: SimTime::from_ms(4),
+            train_density: 0.5,
+            n_link_scenarios: 8,
+            n_node_scenarios: 2,
+            n_healthy: 2,
+            seed: 0xD81F7,
+            // The training split is already rebalanced to 4:1; letting the
+            // tree auto-weight on top of that would double-count the
+            // imbalance correction and crush normal recall.
+            tree: TrainConfig {
+                abnormal_weight: Some(2.0),
+                max_depth: 10,
+                min_samples_leaf: 60,
+                min_gain: 1e-5,
+                ..TrainConfig::default()
+            },
+            balance_ratio: 4.0,
+        }
+    }
+}
+
+/// A topology prepared for experiments: routes, windows, trained classifier.
+#[derive(Debug, Clone)]
+pub struct Prepared {
+    /// The topology.
+    pub topo: Topology,
+    /// All-pairs routes.
+    pub routes: RouteTable,
+    /// Network-wide monitoring window configuration.
+    pub wcfg: WindowConfig,
+    /// The trained tree (inspection, Fig. 6 ablations).
+    pub tree: DecisionTree,
+    /// The tree compiled to match-action rules — what switches deploy.
+    pub table: TableClassifier,
+    /// Held-out test confusion matrix (Fig. 6: per-class recall).
+    pub confusion: ConfusionMatrix,
+    /// Training/test sample counts (after/without balancing, respectively).
+    pub train_samples: usize,
+    /// Held-out sample count.
+    pub test_samples: usize,
+    /// Sampling interval in use.
+    pub interval: SimTime,
+}
+
+/// Experiment timeline derived from the monitoring window: failure injection
+/// time, the warning-collection window `(from, to]`, and the simulation end.
+pub fn timeline(wcfg: &WindowConfig, start_spread: SimTime) -> (SimTime, (SimTime, SimTime), SimTime) {
+    let window_len = wcfg.window_len();
+    let t_fail = start_spread + window_len + wcfg.interval + wcfg.interval;
+    let collect_to = t_fail + window_len + wcfg.interval;
+    let end = collect_to + wcfg.interval + wcfg.interval;
+    (t_fail, (t_fail, collect_to), end)
+}
+
+/// One training scenario: simulate, monitor, label.
+fn scenario_dataset(
+    topo: &Topology,
+    routes: &RouteTable,
+    wcfg: WindowConfig,
+    scenario: &FailureScenario,
+    density: f64,
+    seed: u64,
+) -> Dataset {
+    let traffic = TrafficConfig::with_density(density);
+    let start_spread = traffic.start_spread;
+    let flows = TrafficGen::generate(topo, routes, &traffic, seed);
+    let (t_fail, _, _) = timeline(&wcfg, start_spread);
+    // Train past the failure long enough to see every flow's decaying
+    // post-failure windows (bounded by monitor aging at one window length).
+    let end = t_fail + wcfg.window_len() + wcfg.interval + wcfg.interval;
+    let cfg = SimConfig {
+        end,
+        tick_interval: wcfg.interval,
+        ..Default::default()
+    };
+    let monitor = NetworkMonitor::deploy(topo, &flows, wcfg);
+    let mut sim = Simulator::new(topo, flows.clone(), cfg, scenario, seed, monitor);
+    sim.run();
+    let (monitor, stats) = sim.finish();
+    let labeler = Labeler::new(topo, scenario, &flows, &stats, wcfg.interval);
+    Dataset::from_rows(&monitor.rows, &monitor, &labeler)
+}
+
+/// Run the full §6.1 training pipeline for a topology.
+pub fn prepare(topo: Topology, cfg: &PrepareConfig) -> Prepared {
+    let routes = RouteTable::build(&topo);
+    let wcfg = WindowConfig::for_network(&routes, cfg.interval);
+    let mut rng = Pcg64::new_stream(cfg.seed, 0x7EA1);
+    let start_spread = TrafficConfig::default().start_spread;
+    let (t_fail, _, _) = timeline(&wcfg, start_spread);
+
+    // Assemble the scenario list: sampled link failures, sampled node
+    // failures, and healthy runs.
+    let mut scenarios: Vec<(FailureScenario, u64)> = Vec::new();
+    let link_picks = rng.sample_indices(
+        topo.link_count(),
+        cfg.n_link_scenarios.min(topo.link_count()),
+    );
+    for (i, l) in link_picks.into_iter().enumerate() {
+        scenarios.push((
+            FailureScenario::single_link(LinkId(l as u16), t_fail),
+            cfg.seed ^ (i as u64 + 1),
+        ));
+    }
+    let node_picks = rng.sample_indices(
+        topo.node_count(),
+        cfg.n_node_scenarios.min(topo.node_count()),
+    );
+    for (i, n) in node_picks.into_iter().enumerate() {
+        scenarios.push((
+            FailureScenario::node(NodeId(n as u16), t_fail),
+            cfg.seed ^ (0x100 + i as u64),
+        ));
+    }
+    for i in 0..cfg.n_healthy {
+        scenarios.push((FailureScenario::none(), cfg.seed ^ (0x200 + i as u64)));
+    }
+
+    // Simulate in parallel; merge datasets.
+    let datasets = par_map(scenarios, |(scenario, seed)| {
+        scenario_dataset(&topo, &routes, wcfg, scenario, cfg.train_density, *seed)
+    });
+    let mut full = Dataset::default();
+    for d in datasets {
+        full.extend(d);
+    }
+    assert!(!full.is_empty(), "training produced no samples");
+
+    // 3:1 split, balance the training side, train, compile.
+    let mut split_rng = Pcg64::new_stream(cfg.seed, 0x5711);
+    let (train_raw, test) = full.split(0.75, &mut split_rng);
+    let train = train_raw.balanced(cfg.balance_ratio, &mut split_rng);
+    let examples: Vec<_> = train
+        .samples
+        .iter()
+        .map(|s| (s.features, s.label))
+        .collect();
+    let tree = DecisionTree::train(&examples, &cfg.tree);
+    let table = TableClassifier::compile(&tree);
+    let confusion = ConfusionMatrix::evaluate(
+        test.samples.iter().map(|s| (&s.features, s.label)),
+        |x| table.classify(x),
+    );
+    Prepared {
+        topo,
+        routes,
+        wcfg,
+        tree,
+        table,
+        confusion,
+        train_samples: train.len(),
+        test_samples: test.len(),
+        interval: cfg.interval,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use db_topology::zoo;
+
+    fn quick_cfg() -> PrepareConfig {
+        PrepareConfig {
+            n_link_scenarios: 3,
+            n_node_scenarios: 1,
+            n_healthy: 1,
+            train_density: 1.0,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn prepare_on_a_small_mesh_learns_both_classes() {
+        // A 3x3 grid with 1 ms links: small enough for a unit test, rich
+        // enough for the failure signature to be learnable.
+        let prep = prepare(zoo::grid(3, 3), &quick_cfg());
+        assert!(prep.train_samples > 100, "train = {}", prep.train_samples);
+        assert!(prep.test_samples > 100);
+        let cm = prep.confusion;
+        assert!(cm.tp + cm.fn_ > 0, "test split must contain abnormal samples");
+        assert!(
+            cm.recall_normal() > 0.85,
+            "normal recall too low: {:.3}",
+            cm.recall_normal()
+        );
+        assert!(
+            cm.recall_abnormal() > 0.5,
+            "abnormal recall too low: {:.3}",
+            cm.recall_abnormal()
+        );
+        assert!(prep.tree.depth() >= 1, "tree must have learned a split");
+    }
+
+    #[test]
+    fn prepare_is_deterministic() {
+        let a = prepare(zoo::line(4), &quick_cfg());
+        let b = prepare(zoo::line(4), &quick_cfg());
+        assert_eq!(a.tree, b.tree);
+        assert_eq!(a.confusion, b.confusion);
+    }
+
+    #[test]
+    fn timeline_ordering() {
+        let topo = zoo::line(4);
+        let routes = RouteTable::build(&topo);
+        let wcfg = WindowConfig::for_network(&routes, SimTime::from_ms(4));
+        let spread = SimTime::from_ms(20);
+        let (t_fail, (from, to), end) = timeline(&wcfg, spread);
+        assert!(t_fail > spread + wcfg.window_len());
+        assert_eq!(from, t_fail);
+        assert!(to > from + wcfg.window_len());
+        assert!(end > to);
+    }
+}

@@ -1,0 +1,501 @@
+//! Scenario runners and sweeps — the §6 evaluation harness.
+//!
+//! A scenario fixes a topology (via [`Prepared`]), a workload density, a
+//! seed, a failure [`ScenarioKind`], and the variant list to compare.
+//! [`run_scenario`] simulates it once (all variants observe identical
+//! traffic) and scores every variant against the ground truth per the §6.2
+//! protocol: links reported within one sliding window after failure
+//! injection.
+
+use crate::classifier::{timeline, Prepared};
+use crate::config::{SystemConfig, VariantSpec};
+use crate::eval::{LocalizationMetrics, MetricsAccum};
+use crate::par::par_map;
+use crate::system::{DriftBottleSystem, RatioSample};
+use db_netsim::{FailureScenario, SimConfig, SimStats, SimTime, Simulator, TrafficConfig, TrafficGen};
+use db_topology::{LinkId, NodeId, Topology};
+use db_util::Pcg64;
+
+/// What fails in a scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioKind {
+    /// Healthy network (false-positive measurement).
+    None,
+    /// One link goes down (§6.5).
+    SingleLink(LinkId),
+    /// One link corrupts at the given loss rate.
+    Corruption(LinkId, f64),
+    /// One node fails — all incident links down (§6.6).
+    Node(NodeId),
+    /// `count` random concurrent link failures (§6.6), drawn from `seed`.
+    RandomLinks {
+        /// Number of concurrently failed links.
+        count: usize,
+        /// Epoch seed for the random draw.
+        seed: u64,
+    },
+}
+
+impl ScenarioKind {
+    /// Materialize the failure schedule at injection time `t_fail`.
+    ///
+    /// `RandomLinks` draws from the **covered** links (those carrying routed
+    /// traffic): a failure on a dark backup link is unobservable by any
+    /// passive system and the paper's emulated networks carried flows on
+    /// every evaluated link.
+    pub fn build(&self, prep: &Prepared, t_fail: SimTime) -> FailureScenario {
+        match *self {
+            ScenarioKind::None => FailureScenario::none(),
+            ScenarioKind::SingleLink(l) => FailureScenario::single_link(l, t_fail),
+            ScenarioKind::Corruption(l, rate) => FailureScenario::corruption(l, rate, t_fail),
+            ScenarioKind::Node(n) => FailureScenario::node(n, t_fail),
+            ScenarioKind::RandomLinks { count, seed } => {
+                let covered = covered_links(prep);
+                assert!(
+                    count <= covered.len(),
+                    "cannot fail {count} covered links of {}",
+                    covered.len()
+                );
+                let mut rng = Pcg64::new_stream(seed, 0xFA11);
+                let picks = rng.sample_indices(covered.len(), count);
+                let mut scenario = FailureScenario::none();
+                for i in picks {
+                    scenario = scenario
+                        .merged(FailureScenario::single_link(covered[i], t_fail));
+                }
+                scenario
+            }
+        }
+    }
+}
+
+/// Everything fixed across the scenarios of one sweep.
+#[derive(Debug, Clone)]
+pub struct ScenarioSetup<'a> {
+    /// The prepared topology (routes, windows, trained classifier).
+    pub prep: &'a Prepared,
+    /// Flow density (§6.1).
+    pub density: f64,
+    /// Workload seed.
+    pub seed: u64,
+    /// System parameters (k, warning thresholds, ratio sampling).
+    pub sys: SystemConfig,
+    /// The variants to compare.
+    pub variants: Vec<VariantSpec>,
+    /// Ambient i.i.d. per-hop packet loss ("network jitter", §4.3) — noise
+    /// the warning thresholds must tolerate. Usually 0.
+    pub background_loss: f64,
+}
+
+impl<'a> ScenarioSetup<'a> {
+    /// A setup with the default system config and only the flagship variant.
+    pub fn flagship(prep: &'a Prepared, density: f64, seed: u64) -> Self {
+        ScenarioSetup {
+            prep,
+            density,
+            seed,
+            sys: SystemConfig {
+                interval: prep.interval,
+                ..Default::default()
+            },
+            variants: vec![VariantSpec::drift_bottle()],
+            background_loss: 0.0,
+        }
+    }
+}
+
+/// Per-variant outcome of one scenario.
+#[derive(Debug, Clone)]
+pub struct VariantResult {
+    /// Variant display name.
+    pub name: String,
+    /// Links reported within the collection window.
+    pub reported: Vec<LinkId>,
+    /// Localization quality vs. ground truth.
+    pub metrics: LocalizationMetrics,
+    /// (switch, link) warning pairs within the window (Fig. 12).
+    pub reported_pairs: Vec<(NodeId, LinkId)>,
+    /// Raise counts per (switch, link) pair over the whole run — warning
+    /// *frequency*, the Fig. 12 quantity.
+    pub pair_counts: Vec<((NodeId, LinkId), u64)>,
+    /// Total warning raises over the whole run.
+    pub raises: u64,
+    /// Sampled drifted inferences (Fig. 11; empty unless sampling enabled).
+    pub ratios: Vec<RatioSample>,
+}
+
+/// Outcome of one scenario.
+#[derive(Debug, Clone)]
+pub struct ScenarioOutcome {
+    /// Ground-truth failed links.
+    pub ground_truth: Vec<LinkId>,
+    /// Failure injection time.
+    pub t_fail: SimTime,
+    /// Warning collection window `(from, to]`.
+    pub window: (SimTime, SimTime),
+    /// One result per requested variant, in request order.
+    pub variants: Vec<VariantResult>,
+    /// Raw simulation statistics.
+    pub stats: SimStats,
+}
+
+impl ScenarioOutcome {
+    /// The result of the variant named `name`.
+    pub fn variant(&self, name: &str) -> Option<&VariantResult> {
+        self.variants.iter().find(|v| v.name == name)
+    }
+}
+
+/// Simulate one scenario and score every variant.
+pub fn run_scenario(setup: &ScenarioSetup, kind: &ScenarioKind) -> ScenarioOutcome {
+    let prep = setup.prep;
+    let traffic = TrafficConfig::with_density(setup.density);
+    let start_spread = traffic.start_spread;
+    let flows = TrafficGen::generate(&prep.topo, &prep.routes, &traffic, setup.seed);
+    let (t_fail, window, end) = timeline(&prep.wcfg, start_spread);
+    let scenario = kind.build(prep, t_fail);
+    let ground_truth = scenario.failed_links_at(&prep.topo, t_fail);
+    let system = DriftBottleSystem::deploy(
+        &prep.topo,
+        &flows,
+        prep.wcfg,
+        prep.table.clone(),
+        setup.variants.clone(),
+        setup.sys.clone(),
+        window,
+    );
+    let cfg = SimConfig {
+        end,
+        tick_interval: prep.wcfg.interval,
+        background_loss: setup.background_loss,
+        ..Default::default()
+    };
+    let mut sim = Simulator::new(&prep.topo, flows, cfg, &scenario, setup.seed, system);
+    sim.run();
+    let (system, stats) = sim.finish();
+    let total_links = prep.topo.link_count();
+    let variants = system
+        .results()
+        .map(|(spec, log, ratios)| {
+            let reported: Vec<LinkId> = log.reported_links.iter().copied().collect();
+            let metrics = LocalizationMetrics::compute(
+                reported.iter().copied(),
+                ground_truth.iter().copied(),
+                total_links,
+            );
+            let mut pair_counts: Vec<((NodeId, LinkId), u64)> = log
+                .by_pair
+                .iter()
+                .map(|(k, v)| (*k, v.count))
+                .collect();
+            pair_counts.sort_unstable_by_key(|&(k, _)| k);
+            VariantResult {
+                name: spec.name.clone(),
+                reported,
+                metrics,
+                reported_pairs: log.reported_pairs.iter().copied().collect(),
+                pair_counts,
+                raises: log.raises,
+                ratios: ratios.to_vec(),
+            }
+        })
+        .collect();
+    ScenarioOutcome {
+        ground_truth,
+        t_fail,
+        window,
+        variants,
+        stats,
+    }
+}
+
+/// Run many scenarios of one setup in parallel.
+pub fn sweep(setup: &ScenarioSetup, kinds: Vec<ScenarioKind>) -> Vec<ScenarioOutcome> {
+    par_map(kinds, |kind| run_scenario(setup, kind))
+}
+
+/// Deterministically sample `n` distinct links of a topology (sub-sampling
+/// knob for the figure binaries; the full sweeps traverse every link).
+pub fn sample_links(topo: &Topology, n: usize, seed: u64) -> Vec<LinkId> {
+    let n = n.min(topo.link_count());
+    let mut rng = Pcg64::new_stream(seed, 0x5A11);
+    let mut picks = rng.sample_indices(topo.link_count(), n);
+    picks.sort_unstable();
+    picks.into_iter().map(|i| LinkId(i as u16)).collect()
+}
+
+/// Links traversed by at least one routed path — the links whose failure is
+/// observable from traffic at all. Shortest-path routing on the synthetic
+/// stand-in topologies leaves a few links dark (no flow ever crosses them);
+/// no passive monitoring system can localize a failure there, so sweeps
+/// report them separately.
+pub fn covered_links(prep: &Prepared) -> Vec<LinkId> {
+    let mut used = vec![false; prep.topo.link_count()];
+    for (s, d) in prep.routes.pairs() {
+        for &l in &prep.routes.path(s, d).links {
+            used[l.idx()] = true;
+        }
+    }
+    (0..prep.topo.link_count() as u16)
+        .map(LinkId)
+        .filter(|l| used[l.idx()])
+        .collect()
+}
+
+/// Sample `n` covered links, deterministically.
+pub fn sample_covered_links(prep: &Prepared, n: usize, seed: u64) -> Vec<LinkId> {
+    let covered = covered_links(prep);
+    let n = n.min(covered.len());
+    let mut rng = Pcg64::new_stream(seed, 0x5A12);
+    let mut picks = rng.sample_indices(covered.len(), n);
+    picks.sort_unstable();
+    picks.into_iter().map(|i| covered[i]).collect()
+}
+
+/// Deterministically sample `n` distinct nodes.
+pub fn sample_nodes(topo: &Topology, n: usize, seed: u64) -> Vec<NodeId> {
+    let n = n.min(topo.node_count());
+    let mut rng = Pcg64::new_stream(seed, 0x40DE);
+    let mut picks = rng.sample_indices(topo.node_count(), n);
+    picks.sort_unstable();
+    picks.into_iter().map(|i| NodeId(i as u16)).collect()
+}
+
+/// Macro-average the metrics of each variant across scenario outcomes.
+/// Returns `(variant name, averaged metrics)` in variant order.
+pub fn average_by_variant(outcomes: &[ScenarioOutcome]) -> Vec<(String, LocalizationMetrics)> {
+    assert!(!outcomes.is_empty(), "no outcomes to average");
+    let names: Vec<String> = outcomes[0].variants.iter().map(|v| v.name.clone()).collect();
+    names
+        .into_iter()
+        .map(|name| {
+            let mut acc = MetricsAccum::new();
+            for o in outcomes {
+                let v = o.variant(&name).expect("same variants in every outcome");
+                acc.add(&v.metrics);
+            }
+            (name, acc.mean())
+        })
+        .collect()
+}
+
+/// Ratio cap for the Fig.-11 CDFs: inferences whose runner-up weight is not
+/// positive have effectively infinite dominance; they contribute the cap.
+pub const RATIO_CAP: f64 = 64.0;
+
+/// Partition sampled drifted-inference ratios into the two Fig.-11 CDF
+/// groups across outcomes (the variant named `variant` must have ratio
+/// sampling enabled).
+///
+/// For an inference containing a ground-truth failed link with positive
+/// weight: ratio of the failed link's weight to the strongest positive
+/// innocent weight. Otherwise: `w0 / w1`. Inferences whose runner-up weight
+/// is not positive are skipped — the β condition of equation (1) is vacuous
+/// for them (a sole accused link always dominates), so they carry no
+/// information about choosing β.
+pub fn beta_ratio_groups(outcomes: &[ScenarioOutcome], variant: &str) -> (Vec<f64>, Vec<f64>) {
+    let mut with_failed = Vec::new();
+    let mut clean = Vec::new();
+    for o in outcomes {
+        let truth: std::collections::HashSet<LinkId> =
+            o.ground_truth.iter().copied().collect();
+        let Some(v) = o.variant(variant) else { continue };
+        for s in &v.ratios {
+            let failed_w = s
+                .entries
+                .iter()
+                .filter(|(l, w)| truth.contains(l) && *w > 0.0)
+                .map(|(_, w)| *w)
+                .fold(f64::NEG_INFINITY, f64::max);
+            if failed_w > 0.0 {
+                let innocent_w = s
+                    .entries
+                    .iter()
+                    .filter(|(l, _)| !truth.contains(l))
+                    .map(|(_, w)| *w)
+                    .fold(f64::NEG_INFINITY, f64::max);
+                if innocent_w > 0.0 {
+                    with_failed.push((failed_w / innocent_w).min(RATIO_CAP));
+                }
+            } else {
+                let w0 = s.entries.first().map(|(_, w)| *w).unwrap_or(0.0);
+                let w1 = s.entries.get(1).map(|(_, w)| *w).unwrap_or(0.0);
+                if w0 > 0.0 && w1 > 0.0 {
+                    clean.push((w0 / w1).min(RATIO_CAP));
+                }
+            }
+        }
+    }
+    (with_failed, clean)
+}
+
+/// Warning-locality histogram (Fig. 12): warning **frequency** of true
+/// warnings (accusing an actually failed link), bucketed by the hop distance
+/// from the raising switch to that link. Returns total raise counts indexed
+/// by distance.
+pub fn locality_histogram(
+    outcomes: &[ScenarioOutcome],
+    topo: &Topology,
+    variant: &str,
+) -> Vec<u64> {
+    let mut hist: Vec<u64> = Vec::new();
+    for o in outcomes {
+        let truth: std::collections::HashSet<LinkId> =
+            o.ground_truth.iter().copied().collect();
+        let Some(v) = o.variant(variant) else { continue };
+        for &((switch, link), count) in &v.pair_counts {
+            if !truth.contains(&link) || switch == crate::system::DCA_NODE {
+                continue;
+            }
+            let d = topo.distance_to_link(switch, link) as usize;
+            if hist.len() <= d {
+                hist.resize(d + 1, 0);
+            }
+            hist[d] += count;
+        }
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classifier::{prepare, PrepareConfig};
+    use db_topology::zoo;
+    use std::sync::OnceLock;
+
+    /// One shared prepared grid topology — training is the slow part of
+    /// these tests, do it once.
+    fn grid_prep() -> &'static Prepared {
+        static PREP: OnceLock<Prepared> = OnceLock::new();
+        PREP.get_or_init(|| {
+            prepare(
+                zoo::grid(3, 3),
+                &PrepareConfig {
+                    n_link_scenarios: 4,
+                    n_node_scenarios: 1,
+                    n_healthy: 1,
+                    train_density: 1.0,
+                    ..Default::default()
+                },
+            )
+        })
+    }
+
+    #[test]
+    fn single_link_failure_is_localized_on_grid() {
+        let prep = grid_prep();
+        let setup = ScenarioSetup::flagship(prep, 1.0, 42);
+        // A central link of the 3x3 grid.
+        let link = prep
+            .topo
+            .link_between(NodeId(4), NodeId(5))
+            .expect("grid center link");
+        let outcome = run_scenario(&setup, &ScenarioKind::SingleLink(link));
+        assert_eq!(outcome.ground_truth, vec![link]);
+        let v = outcome.variant("Drift-Bottle").unwrap();
+        assert!(
+            v.reported.contains(&link),
+            "culprit not reported: reported = {:?}, raises = {}",
+            v.reported,
+            v.raises
+        );
+        assert!(v.metrics.recall > 0.99);
+        assert!(
+            v.metrics.precision >= 0.5,
+            "precision too low: {:?}",
+            v.reported
+        );
+    }
+
+    #[test]
+    fn healthy_scenario_has_low_fpr() {
+        let prep = grid_prep();
+        let setup = ScenarioSetup::flagship(prep, 1.0, 7);
+        let outcome = run_scenario(&setup, &ScenarioKind::None);
+        let v = outcome.variant("Drift-Bottle").unwrap();
+        assert!(outcome.ground_truth.is_empty());
+        assert!(
+            v.metrics.fpr < 0.2,
+            "healthy FPR too high: {} ({:?})",
+            v.metrics.fpr,
+            v.reported
+        );
+    }
+
+    #[test]
+    fn node_failure_reports_incident_links() {
+        let prep = grid_prep();
+        let mut setup = ScenarioSetup::flagship(prep, 1.0, 9);
+        // Thresholds are network-scale parameters (§4.3); a 9-switch grid
+        // cannot satisfy the 40-node defaults after losing its center.
+        setup.sys.warning = db_inference::WarningConfig {
+            hop_min: 3,
+            alpha: 1.0,
+            beta: 2.0,
+        };
+        let outcome = run_scenario(&setup, &ScenarioKind::Node(NodeId(4)));
+        assert_eq!(outcome.ground_truth.len(), 4, "grid center has degree 4");
+        let v = outcome.variant("Drift-Bottle").unwrap();
+        assert!(
+            v.metrics.recall > 0.0,
+            "at least some incident links must be found: {:?}",
+            v.reported
+        );
+        assert!(v.metrics.precision > 0.4, "{:?}", v.reported);
+    }
+
+    #[test]
+    fn sweep_runs_in_parallel_and_averages() {
+        let prep = grid_prep();
+        let setup = ScenarioSetup::flagship(prep, 1.0, 11);
+        let links = sample_links(&prep.topo, 3, 1);
+        let kinds: Vec<ScenarioKind> =
+            links.into_iter().map(ScenarioKind::SingleLink).collect();
+        let outcomes = sweep(&setup, kinds);
+        assert_eq!(outcomes.len(), 3);
+        let avg = average_by_variant(&outcomes);
+        assert_eq!(avg.len(), 1);
+        assert_eq!(avg[0].0, "Drift-Bottle");
+        assert!(avg[0].1.recall > 0.5, "avg recall {:?}", avg[0].1);
+    }
+
+    #[test]
+    fn scenario_kinds_build_correct_ground_truth() {
+        let prep = grid_prep();
+        let t = SimTime::from_ms(50);
+        let topo = &prep.topo;
+        assert!(ScenarioKind::None.build(prep, t).events.is_empty());
+        let s = ScenarioKind::RandomLinks { count: 3, seed: 5 }.build(prep, t);
+        let failed = s.failed_links_at(topo, t);
+        assert_eq!(failed.len(), 3);
+        // Random failures only hit covered links.
+        let covered = covered_links(prep);
+        assert!(failed.iter().all(|l| covered.contains(l)));
+        let c = ScenarioKind::Corruption(LinkId(0), 0.3).build(prep, t);
+        assert_eq!(c.failed_links_at(topo, t), vec![LinkId(0)]);
+    }
+
+    #[test]
+    fn sampling_helpers_are_deterministic_and_sorted() {
+        let prep = grid_prep();
+        let a = sample_links(&prep.topo, 5, 3);
+        let b = sample_links(&prep.topo, 5, 3);
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0] < w[1]));
+        let n = sample_nodes(&prep.topo, 4, 3);
+        assert_eq!(n.len(), 4);
+    }
+
+    #[test]
+    fn run_is_deterministic() {
+        let prep = grid_prep();
+        let setup = ScenarioSetup::flagship(prep, 1.0, 13);
+        let link = LinkId(2);
+        let a = run_scenario(&setup, &ScenarioKind::SingleLink(link));
+        let b = run_scenario(&setup, &ScenarioKind::SingleLink(link));
+        assert_eq!(a.variants[0].reported, b.variants[0].reported);
+        assert_eq!(a.variants[0].raises, b.variants[0].raises);
+        assert_eq!(a.stats, b.stats);
+    }
+}

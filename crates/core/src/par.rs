@@ -1,0 +1,98 @@
+//! A small order-preserving parallel map for scenario sweeps.
+//!
+//! Sweeps run hundreds of independent simulations; `std::thread::scope` is
+//! all the machinery this needs (see DESIGN.md §4 — no external executor).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Apply `f` to every item on a pool of worker threads, returning results in
+/// input order. Uses `std::thread::available_parallelism` workers (capped by
+/// the item count).
+pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send + Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(n);
+    if workers <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(&items[i]);
+                *results[i].lock().expect("poisoned result slot") = Some(r);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("poisoned result slot")
+                .expect("worker filled every slot")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<u64> = (0..1_000).collect();
+        let out = par_map(items, |&x| x * 2);
+        assert_eq!(out, (0..1_000).map(|x| x * 2).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<u32> = par_map(Vec::<u32>::new(), |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_item() {
+        assert_eq!(par_map(vec![41], |&x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn heavy_closure_runs_in_parallel() {
+        // Not a strict timing test — just exercise the multi-worker path
+        // with enough items to hit every worker.
+        let items: Vec<u32> = (0..64).collect();
+        let out = par_map(items, |&x| {
+            let mut acc = x as u64;
+            for i in 0..10_000u64 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+            }
+            acc
+        });
+        assert_eq!(out.len(), 64);
+        // Deterministic regardless of scheduling.
+        let again = par_map((0..64).collect::<Vec<u32>>(), |&x| {
+            let mut acc = x as u64;
+            for i in 0..10_000u64 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+            }
+            acc
+        });
+        assert_eq!(out, again);
+    }
+}

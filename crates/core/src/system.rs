@@ -1,0 +1,586 @@
+//! The live Drift-Bottle deployment: one observer running every module of
+//! §4 inside the packet simulation.
+//!
+//! Per packet (at every switch on its path):
+//!
+//! 1. the Flow Monitoring module updates the measure registers;
+//! 2. for each distributed variant, the Inference Aggregation module reads
+//!    the drifted inference (from the real wire header for the flagship
+//!    variant, or the exact side table for baselines), aggregates it with
+//!    the switch's local inference, checks equation (1), and writes the
+//!    updated inference back (the last switch strips the header, §4.3).
+//!
+//! Per sampling tick (the control-plane timer of §4.1):
+//!
+//! 1. each switch drains its registers, assembles Table-2 features, and runs
+//!    the classifier;
+//! 2. the Inference Generation module rebuilds each variant's local
+//!    inference (Algorithm 1);
+//! 3. centralized variants periodically aggregate all locals at the DCA and
+//!    report culprits via the 007 procedure.
+
+use crate::config::{Mechanism, SystemConfig, VariantSpec};
+use db_dtree::FlowClassifier;
+use db_flowmon::{FlowStatus, SwitchMonitor, WindowConfig};
+use db_inference::{
+    aggregate_step, centralized_report, check_warning, local_inference, HeaderCodec, Inference,
+};
+use db_netsim::{Annotation, FlowSpec, HopInfo, Observer, SimTime};
+use db_topology::{LinkId, NodeId, Topology};
+use std::collections::{BTreeSet, HashMap};
+
+/// Per-(switch, link) warning statistics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PairStats {
+    /// Number of raises.
+    pub count: u64,
+    /// First raise time.
+    pub first_at: SimTime,
+    /// Last raise time.
+    pub last_at: SimTime,
+}
+
+/// All warnings one variant raised during a run.
+#[derive(Debug, Clone, Default)]
+pub struct WarningLog {
+    /// Total raises (including duplicates and raises outside the collection
+    /// window).
+    pub raises: u64,
+    /// Per-(switch, link) statistics. Centralized variants use the DCA
+    /// pseudo-switch `NodeId(u16::MAX)`.
+    pub by_pair: HashMap<(NodeId, LinkId), PairStats>,
+    /// Links accused inside the collection window (§6.2: "we collect links
+    /// reported within a sliding window after the occurrence of failures").
+    pub reported_links: BTreeSet<LinkId>,
+    /// (switch, link) pairs accused inside the window — Fig. 12 locality.
+    pub reported_pairs: BTreeSet<(NodeId, LinkId)>,
+}
+
+/// The pseudo-switch id used for warnings raised by a centralized DCA.
+pub const DCA_NODE: NodeId = NodeId(u16::MAX);
+
+impl WarningLog {
+    fn record(&mut self, now: SimTime, switch: NodeId, link: LinkId, window: (SimTime, SimTime)) {
+        self.raises += 1;
+        let e = self.by_pair.entry((switch, link)).or_insert(PairStats {
+            count: 0,
+            first_at: now,
+            last_at: now,
+        });
+        e.count += 1;
+        e.last_at = now;
+        if now > window.0 && now <= window.1 {
+            self.reported_links.insert(link);
+            self.reported_pairs.insert((switch, link));
+        }
+    }
+}
+
+/// One sampled drifted inference, for the Fig.-11 CDFs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RatioSample {
+    /// Snapshot of the inference entries (canonical order).
+    pub entries: Vec<(LinkId, f64)>,
+    /// Aggregation count at sampling time.
+    pub hop_now: u8,
+    /// When the sample was taken.
+    pub at: SimTime,
+}
+
+/// Per-variant mutable state.
+#[derive(Debug)]
+struct VariantState {
+    spec: VariantSpec,
+    /// Local inference per switch (truncated to k for distributed variants,
+    /// untruncated for centralized ones).
+    locals: Vec<Inference>,
+    /// Exact-weight carrier: per in-flight packet `(flow, seq)` → state.
+    vtable: HashMap<(u32, u64), (Inference, u8)>,
+    /// Warnings raised.
+    log: WarningLog,
+    /// Sampled drifted inferences (Fig. 11).
+    ratios: Vec<RatioSample>,
+    ticks_seen: u32,
+}
+
+/// The deployed system: implements [`Observer`] so it runs live inside the
+/// event loop. Generic over the classifier so the data-plane model (tree,
+/// rule table, or threshold baseline) is chosen at compile time.
+pub struct DriftBottleSystem<C: FlowClassifier> {
+    monitors: Vec<SwitchMonitor>,
+    classifier: C,
+    cfg: SystemConfig,
+    codec: HeaderCodec,
+    variants: Vec<VariantState>,
+    /// Warning collection window `(from, to]`.
+    window: (SimTime, SimTime),
+    agg_counter: u64,
+}
+
+impl<C: FlowClassifier> DriftBottleSystem<C> {
+    /// Deploy the system on a topology.
+    ///
+    /// `window` is the warning-collection interval `(from, to]` used for the
+    /// §6.2 evaluation protocol. At most one variant may use
+    /// [`Mechanism::DistributedWire`].
+    pub fn deploy(
+        topo: &Topology,
+        flows: &[FlowSpec],
+        wcfg: WindowConfig,
+        classifier: C,
+        variants: Vec<VariantSpec>,
+        cfg: SystemConfig,
+        window: (SimTime, SimTime),
+    ) -> Self {
+        let wire_count = variants
+            .iter()
+            .filter(|v| v.mechanism == Mechanism::DistributedWire)
+            .count();
+        assert!(
+            wire_count <= 1,
+            "packets carry one header: at most one DistributedWire variant"
+        );
+        let mut monitors: Vec<SwitchMonitor> = topo
+            .nodes()
+            .map(|n| SwitchMonitor::new(n, wcfg))
+            .collect();
+        for f in flows {
+            for (pos, &node) in f.path.nodes.iter().enumerate() {
+                let upstream: Vec<LinkId> = f.path.links[..pos].to_vec();
+                let meta =
+                    db_flowmon::FlowMeta::new(f.rtt_ms, f.path.len(), upstream, &wcfg);
+                monitors[node.idx()].register_flow(f.id, meta);
+            }
+        }
+        let n = topo.node_count();
+        let variants = variants
+            .into_iter()
+            .map(|spec| VariantState {
+                spec,
+                locals: vec![Inference::empty(); n],
+                vtable: HashMap::new(),
+                log: WarningLog::default(),
+                ratios: Vec::new(),
+                ticks_seen: 0,
+            })
+            .collect();
+        let codec = HeaderCodec::for_network(cfg.k, topo.link_count());
+        DriftBottleSystem {
+            monitors,
+            classifier,
+            cfg,
+            codec,
+            variants,
+            window,
+            agg_counter: 0,
+        }
+    }
+
+    /// The warning log of the variant named `name`.
+    pub fn log(&self, name: &str) -> Option<&WarningLog> {
+        self.variants
+            .iter()
+            .find(|v| v.spec.name == name)
+            .map(|v| &v.log)
+    }
+
+    /// Iterate `(spec, log, ratio samples)` over all variants.
+    pub fn results(&self) -> impl Iterator<Item = (&VariantSpec, &WarningLog, &[RatioSample])> {
+        self.variants
+            .iter()
+            .map(|v| (&v.spec, &v.log, v.ratios.as_slice()))
+    }
+
+    /// The current local inference of `switch` for variant `name`
+    /// (inspection/testing).
+    pub fn local_of(&self, name: &str, switch: NodeId) -> Option<&Inference> {
+        self.variants
+            .iter()
+            .find(|v| v.spec.name == name)
+            .map(|v| &v.locals[switch.idx()])
+    }
+
+    /// The wire codec in use.
+    pub fn codec(&self) -> HeaderCodec {
+        self.codec
+    }
+
+    fn handle_distributed(
+        variant: &mut VariantState,
+        now: SimTime,
+        info: &HopInfo,
+        ann: &mut Annotation,
+        codec: HeaderCodec,
+        cfg: &SystemConfig,
+        window: (SimTime, SimTime),
+        agg_counter: u64,
+    ) {
+        let node = info.node;
+        let local = &variant.locals[node.idx()];
+        let wire = variant.spec.mechanism == Mechanism::DistributedWire;
+        let incoming: Option<(Inference, u8)> = if info.is_ingress {
+            None
+        } else if wire {
+            codec.decode(ann.as_slice())
+        } else {
+            variant.vtable.remove(&(info.flow.0, info.seq))
+        };
+        let (agg, hops) = match incoming {
+            None => (local.top_k(cfg.k), 1u8),
+            Some((drifted, h)) => aggregate_step(local, &drifted, h, cfg.k),
+        };
+        if variant.spec.mechanism == Mechanism::DistributedAbsorbing {
+            // The forbidden feedback loop (§4.3): the local inference is
+            // replaced by the aggregate, biasing later packets.
+            variant.locals[node.idx()] = agg.top_k(cfg.k);
+        }
+        if let Some(link) = check_warning(&agg, hops as u32, &cfg.warning) {
+            variant.log.record(now, node, link, window);
+        }
+        if cfg.ratio_sampling > 0
+            && hops as u32 >= cfg.warning.hop_min
+            && agg_counter % cfg.ratio_sampling as u64 == 0
+            && now > window.0
+            && now <= window.1
+        {
+            variant.ratios.push(RatioSample {
+                entries: agg.entries().to_vec(),
+                hop_now: hops,
+                at: now,
+            });
+        }
+        if info.is_last_switch {
+            if wire {
+                // §4.3: the last switch deletes the inference header before
+                // delivering to the host.
+                ann.clear();
+            }
+        } else if wire {
+            ann.set(&codec.encode(&agg, hops));
+        } else {
+            variant.vtable.insert((info.flow.0, info.seq), (agg, hops));
+        }
+    }
+
+    fn tick_variant(
+        variant: &mut VariantState,
+        node: NodeId,
+        statuses: &[(FlowStatus, &[LinkId])],
+        k: usize,
+    ) {
+        let keep = match variant.spec.mechanism {
+            Mechanism::Centralized { .. } => usize::MAX,
+            _ => k,
+        };
+        variant.locals[node.idx()] =
+            local_inference(statuses.iter().map(|(s, u)| (*s, *u)), variant.spec.scheme, keep);
+    }
+}
+
+impl<C: FlowClassifier> Observer for DriftBottleSystem<C> {
+    fn on_packet(&mut self, now: SimTime, info: &HopInfo, ann: &mut Annotation) {
+        // Flow Monitoring module: update measure registers.
+        self.monitors[info.node.idx()].on_packet(now, info.flow, info.size);
+        // Inference Aggregation module, per distributed variant.
+        self.agg_counter += 1;
+        for variant in &mut self.variants {
+            match variant.spec.mechanism {
+                Mechanism::Centralized { .. } => {}
+                _ => Self::handle_distributed(
+                    variant,
+                    now,
+                    info,
+                    ann,
+                    self.codec,
+                    &self.cfg,
+                    self.window,
+                    self.agg_counter,
+                ),
+            }
+        }
+    }
+
+    fn on_tick(&mut self, now: SimTime) {
+        // Close the sampling interval on every switch, classify, regenerate
+        // local inferences.
+        for idx in 0..self.monitors.len() {
+            let rows = self.monitors[idx].end_interval(now);
+            if rows.is_empty() {
+                // Still reset locals derived from an empty view: no flows
+                // means no evidence.
+                for v in &mut self.variants {
+                    v.locals[idx] = Inference::empty();
+                }
+                continue;
+            }
+            let judged: Vec<(db_netsim::FlowId, FlowStatus)> = rows
+                .iter()
+                .map(|(flow, features)| (*flow, self.classifier.classify(features)))
+                .collect();
+            let monitor = &self.monitors[idx];
+            let mut statuses: Vec<(FlowStatus, &[LinkId])> = Vec::with_capacity(judged.len());
+            for (flow, status) in &judged {
+                let meta = monitor.flow_meta(*flow).expect("row from registered flow");
+                statuses.push((*status, meta.upstream.as_slice()));
+            }
+            let node = monitor.node();
+            for v in &mut self.variants {
+                Self::tick_variant(v, node, &statuses, self.cfg.k);
+            }
+        }
+        // Centralized variants: periodic DCA reporting.
+        for v in &mut self.variants {
+            v.ticks_seen += 1;
+            if let Mechanism::Centralized {
+                portion,
+                period_ticks,
+            } = v.spec.mechanism
+            {
+                if v.ticks_seen % period_ticks.max(1) == 0 {
+                    for link in centralized_report(&v.locals, portion) {
+                        v.log.record(now, DCA_NODE, link, self.window);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use db_dtree::ThresholdClassifier;
+    use db_inference::WarningConfig;
+    use db_netsim::{
+        FailureScenario, SimConfig, Simulator, TrafficConfig, TrafficGen,
+    };
+    use db_topology::{zoo, RouteTable};
+
+    /// Run the full system on a line topology with a mid-path failure, using
+    /// the threshold classifier (no training needed at unit-test level).
+    fn run_line(
+        variants: Vec<VariantSpec>,
+        seed: u64,
+    ) -> (DriftBottleSystem<ThresholdClassifier>, Vec<LinkId>) {
+        // 3 ms links so flow RTTs span several sampling intervals, as in the
+        // evaluation topologies.
+        let topo = zoo::line_with_latency(5, 3.0);
+        let routes = RouteTable::build(&topo);
+        let flows = TrafficGen::generate(&topo, &routes, &TrafficConfig::default(), seed);
+        let interval = SimTime::from_ms(4);
+        let wcfg = WindowConfig::for_network(&routes, interval);
+        let t_fail = SimTime::from_ms(80);
+        let window_len = wcfg.window_len();
+        let window = (t_fail, t_fail + window_len + SimTime::from_ms(20));
+        // A line is the paper's hardest case (Fig. 1: end-to-end paths make
+        // neighbor links nearly indistinguishable), so the dominance
+        // threshold β is relaxed below the mesh default here.
+        let cfg = SystemConfig {
+            ratio_sampling: 8,
+            warning: WarningConfig {
+                hop_min: 2,
+                alpha: 1.0,
+                beta: 1.6,
+            },
+            ..Default::default()
+        };
+        let system = DriftBottleSystem::deploy(
+            &topo,
+            &flows,
+            wcfg,
+            ThresholdClassifier::default(),
+            variants,
+            cfg,
+            window,
+        );
+        let failed = LinkId(2); // middle link s2-s3
+        let scenario = FailureScenario::single_link(failed, t_fail);
+        let sim_cfg = SimConfig {
+            end: window.1 + SimTime::from_ms(8),
+            tick_interval: interval,
+            ..Default::default()
+        };
+        let mut sim = Simulator::new(&topo, flows, sim_cfg, &scenario, seed, system);
+        sim.run();
+        let (system, stats) = sim.finish();
+        assert!(stats.delivered > 0);
+        (system, vec![failed])
+    }
+
+    #[test]
+    fn drift_bottle_localizes_a_line_failure() {
+        let (system, failed) = run_line(vec![VariantSpec::drift_bottle()], 1);
+        let log = system.log("Drift-Bottle").unwrap();
+        assert!(
+            log.reported_links.contains(&failed[0]),
+            "failed link must be reported; reported = {:?}",
+            log.reported_links
+        );
+        // A line is the paper's Fig.-1 worst case: once the failure
+        // partitions the chain, innocence evidence cannot cross the cut, so
+        // the immediate neighbor links may stay suspicious. Every accusation
+        // must still be adjacent to the failure.
+        let topo = zoo::line_with_latency(5, 3.0);
+        let fa = topo.link(failed[0]).a;
+        let fb = topo.link(failed[0]).b;
+        for &l in &log.reported_links {
+            assert!(
+                topo.link(l).touches(fa) || topo.link(l).touches(fb),
+                "accusation {l} is not adjacent to the failure: {:?}",
+                log.reported_links
+            );
+        }
+    }
+
+    #[test]
+    fn warnings_rise_near_the_failure() {
+        let (system, failed) = run_line(vec![VariantSpec::drift_bottle()], 2);
+        let log = system.log("Drift-Bottle").unwrap();
+        let topo = zoo::line_with_latency(5, 3.0);
+        for &(switch, link) in log.reported_pairs.iter() {
+            if link == failed[0] {
+                let d = topo.distance_to_link(switch, link);
+                assert!(d <= 2, "true warning raised {d} hops away at {switch}");
+            }
+        }
+    }
+
+    #[test]
+    fn virtual_and_wire_drift_bottle_agree_on_the_culprit() {
+        let (system, failed) = run_line(
+            vec![
+                VariantSpec::drift_bottle(),
+                VariantSpec {
+                    name: "DB-Virtual".into(),
+                    scheme: db_inference::WeightScheme::DriftBottle,
+                    mechanism: Mechanism::DistributedVirtual,
+                },
+            ],
+            3,
+        );
+        let wire = system.log("Drift-Bottle").unwrap();
+        let virt = system.log("DB-Virtual").unwrap();
+        assert!(wire.reported_links.contains(&failed[0]));
+        assert!(virt.reported_links.contains(&failed[0]));
+    }
+
+    #[test]
+    fn centralized_variant_reports_via_dca() {
+        let (system, failed) = run_line(
+            vec![VariantSpec::centralized(
+                db_inference::WeightScheme::DriftBottle,
+                0.4,
+            )],
+            4,
+        );
+        let log = system.log("DB-Centralized").unwrap();
+        assert!(
+            log.reported_links.contains(&failed[0]),
+            "DCA must localize the line failure; got {:?}",
+            log.reported_links
+        );
+        // All centralized warnings come from the pseudo-switch.
+        for &(switch, _) in log.by_pair.keys() {
+            assert_eq!(switch, DCA_NODE);
+        }
+    }
+
+    #[test]
+    fn no_failure_no_sustained_warnings() {
+        let topo = zoo::line_with_latency(5, 3.0);
+        let routes = RouteTable::build(&topo);
+        let flows = TrafficGen::generate(&topo, &routes, &TrafficConfig::default(), 5);
+        let interval = SimTime::from_ms(4);
+        let wcfg = WindowConfig::for_network(&routes, interval);
+        let window = (SimTime::from_ms(80), SimTime::from_ms(140));
+        let system = DriftBottleSystem::deploy(
+            &topo,
+            &flows,
+            wcfg,
+            ThresholdClassifier::default(),
+            vec![VariantSpec::drift_bottle()],
+            SystemConfig::default(),
+            window,
+        );
+        let sim_cfg = SimConfig {
+            end: SimTime::from_ms(150),
+            tick_interval: interval,
+            ..Default::default()
+        };
+        let mut sim = Simulator::new(&topo, flows, sim_cfg, &FailureScenario::none(), 5, system);
+        sim.run();
+        let (system, _) = sim.finish();
+        let log = system.log("Drift-Bottle").unwrap();
+        // The threshold classifier misfires on ending flows, but the warning
+        // thresholds must keep accusations rare on a healthy network.
+        assert!(
+            log.reported_links.len() <= 1,
+            "healthy network accused {:?}",
+            log.reported_links
+        );
+    }
+
+    #[test]
+    fn ratio_samples_are_collected_in_window() {
+        let (system, _) = run_line(vec![VariantSpec::drift_bottle()], 6);
+        let (_, _, ratios) = system.results().next().unwrap();
+        assert!(!ratios.is_empty(), "ratio sampling was enabled");
+        for r in ratios {
+            assert!(r.hop_now >= 2);
+            assert!(!r.entries.is_empty());
+        }
+    }
+
+    #[test]
+    fn absorbing_variant_breaks_localization() {
+        // The §4.3 ablation: absorbing aggregated inferences into locals
+        // compounds weights with every packet — the bias either floods the
+        // network with spurious raises (Geant, see the ablation binary) or,
+        // as on this line, buries the failure under compounded innocence
+        // weights. Either way the correct protocol localizes and the
+        // absorbing one does not behave the same.
+        let (system, failed) = run_line(
+            vec![
+                VariantSpec::drift_bottle(),
+                VariantSpec {
+                    name: "DB-Absorbing".into(),
+                    scheme: db_inference::WeightScheme::DriftBottle,
+                    mechanism: Mechanism::DistributedAbsorbing,
+                },
+            ],
+            8,
+        );
+        let correct = system.log("Drift-Bottle").unwrap();
+        let absorbing = system.log("DB-Absorbing").unwrap();
+        assert!(
+            correct.reported_links.contains(&failed[0]),
+            "the correct protocol must localize: {:?}",
+            correct.reported_links
+        );
+        let diverged = !absorbing.reported_links.contains(&failed[0])
+            || absorbing.raises > 2 * correct.raises.max(1);
+        assert!(
+            diverged,
+            "absorbing should misbehave: raises {} vs {}, reported {:?}",
+            absorbing.raises, correct.raises, absorbing.reported_links
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at most one DistributedWire")]
+    fn two_wire_variants_rejected() {
+        let topo = zoo::line(3);
+        let routes = RouteTable::build(&topo);
+        let flows = TrafficGen::generate(&topo, &routes, &TrafficConfig::default(), 1);
+        let wcfg = WindowConfig::for_network(&routes, SimTime::from_ms(4));
+        let _ = DriftBottleSystem::deploy(
+            &topo,
+            &flows,
+            wcfg,
+            ThresholdClassifier::default(),
+            vec![VariantSpec::drift_bottle(), VariantSpec::drift_bottle()],
+            SystemConfig::default(),
+            (SimTime::ZERO, SimTime::from_ms(100)),
+        );
+    }
+}

@@ -1,0 +1,231 @@
+//! Compilation of a decision tree into match-action rules.
+//!
+//! §5: "Drift-Bottle's anomaly detection is implemented by match-action
+//! tables in P4. ... The entries of the tables are transformed from the
+//! rules of decision-tree-based classifiers" (the SwitchTree technique \[20\]).
+//!
+//! Each root-to-leaf path becomes one rule: a conjunction of half-open
+//! interval constraints over the features, with the leaf's label as the
+//! action. The rules of one tree are mutually exclusive and exhaustive, so a
+//! rule table classifies *identically* to its source tree — a property the
+//! test suite checks exhaustively on random inputs.
+
+use crate::tree::{DecisionTree, Node};
+use db_flowmon::{FeatureVector, FlowStatus, NUM_FEATURES};
+
+/// One match-action entry: feature ranges → label.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rule {
+    /// Per-feature admissible interval `(lo, hi]`; `lo = -inf`, `hi = +inf`
+    /// mean unconstrained. A vector `x` matches iff
+    /// `lo < x[f] <= hi` for every feature `f`.
+    pub ranges: [(f64, f64); NUM_FEATURES],
+    /// The classification this rule emits.
+    pub label: FlowStatus,
+    /// Entry priority (insertion order; informational — rules are disjoint).
+    pub priority: u32,
+}
+
+impl Rule {
+    fn unconstrained(label: FlowStatus, priority: u32) -> Self {
+        Rule {
+            ranges: [(f64::NEG_INFINITY, f64::INFINITY); NUM_FEATURES],
+            label,
+            priority,
+        }
+    }
+
+    /// Whether `x` satisfies every range constraint.
+    pub fn matches(&self, x: &FeatureVector) -> bool {
+        self.ranges
+            .iter()
+            .zip(x.iter())
+            .all(|((lo, hi), v)| *lo < *v && *v <= *hi)
+    }
+
+    /// Number of constrained features (ternary-match width proxy).
+    pub fn constrained_features(&self) -> usize {
+        self.ranges
+            .iter()
+            .filter(|(lo, hi)| lo.is_finite() || hi.is_finite())
+            .count()
+    }
+}
+
+/// A match-action rule table compiled from a tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableClassifier {
+    rules: Vec<Rule>,
+    /// Fallback when no rule matches (cannot happen for tables compiled from
+    /// a tree, but the hardware table needs a default action).
+    default_label: FlowStatus,
+}
+
+impl TableClassifier {
+    /// Compile a trained tree into a rule table.
+    pub fn compile(tree: &DecisionTree) -> Self {
+        let mut rules = Vec::new();
+        let mut ranges = [(f64::NEG_INFINITY, f64::INFINITY); NUM_FEATURES];
+        walk(tree.root(), &mut ranges, &mut rules);
+        TableClassifier {
+            rules,
+            default_label: FlowStatus::Normal,
+        }
+    }
+
+    /// The compiled rules.
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    /// Number of table entries.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Whether the table is empty (never true after `compile`).
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Classify by first matching rule.
+    pub fn classify(&self, x: &FeatureVector) -> FlowStatus {
+        self.rules
+            .iter()
+            .find(|r| r.matches(x))
+            .map(|r| r.label)
+            .unwrap_or(self.default_label)
+    }
+}
+
+fn walk(node: &Node, ranges: &mut [(f64, f64); NUM_FEATURES], out: &mut Vec<Rule>) {
+    match node {
+        Node::Leaf { label, .. } => {
+            let mut rule = Rule::unconstrained(*label, out.len() as u32);
+            rule.ranges = *ranges;
+            out.push(rule);
+        }
+        Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        } => {
+            let saved = ranges[*feature];
+            // Left: x[f] <= threshold — tighten the upper bound.
+            ranges[*feature].1 = saved.1.min(*threshold);
+            walk(left, ranges, out);
+            ranges[*feature] = saved;
+            // Right: x[f] > threshold — tighten the lower bound.
+            ranges[*feature].0 = saved.0.max(*threshold);
+            walk(right, ranges, out);
+            ranges[*feature] = saved;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::TrainConfig;
+    use db_util::Pcg64;
+
+    fn random_dataset(n: usize, seed: u64) -> Vec<(FeatureVector, FlowStatus)> {
+        let mut rng = Pcg64::new(seed);
+        (0..n)
+            .map(|_| {
+                let mut x = [0.0; NUM_FEATURES];
+                for v in &mut x {
+                    *v = rng.range_f64(0.0, 10.0);
+                }
+                // A nontrivial ground-truth function of several features.
+                let label = if x[9] < 1.0 && x[3] > 4.0 || x[4] > 8.5 && x[13] < 2.0 {
+                    FlowStatus::Abnormal
+                } else {
+                    FlowStatus::Normal
+                };
+                (x, label)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn table_equals_tree_on_training_data() {
+        let data = random_dataset(3_000, 1);
+        let tree = DecisionTree::train(&data, &TrainConfig::default());
+        let table = TableClassifier::compile(&tree);
+        assert_eq!(table.len(), tree.leaf_count());
+        for (x, _) in &data {
+            assert_eq!(table.classify(x), tree.predict(x));
+        }
+    }
+
+    #[test]
+    fn table_equals_tree_on_random_inputs() {
+        let data = random_dataset(2_000, 2);
+        let tree = DecisionTree::train(&data, &TrainConfig::default());
+        let table = TableClassifier::compile(&tree);
+        let mut rng = Pcg64::new(99);
+        for _ in 0..5_000 {
+            let mut x = [0.0; NUM_FEATURES];
+            for v in &mut x {
+                *v = rng.range_f64(-5.0, 15.0);
+            }
+            assert_eq!(table.classify(&x), tree.predict(&x));
+        }
+    }
+
+    #[test]
+    fn rules_are_mutually_exclusive() {
+        let data = random_dataset(1_000, 3);
+        let tree = DecisionTree::train(&data, &TrainConfig::default());
+        let table = TableClassifier::compile(&tree);
+        let mut rng = Pcg64::new(7);
+        for _ in 0..2_000 {
+            let mut x = [0.0; NUM_FEATURES];
+            for v in &mut x {
+                *v = rng.range_f64(0.0, 10.0);
+            }
+            let matches = table.rules().iter().filter(|r| r.matches(&x)).count();
+            assert_eq!(matches, 1, "tree rules must partition the space");
+        }
+    }
+
+    #[test]
+    fn single_leaf_tree_compiles_to_catch_all() {
+        let data: Vec<_> = (0..20)
+            .map(|_| ([1.0; NUM_FEATURES], FlowStatus::Normal))
+            .collect();
+        let tree = DecisionTree::train(&data, &TrainConfig::default());
+        let table = TableClassifier::compile(&tree);
+        assert_eq!(table.len(), 1);
+        assert_eq!(table.rules()[0].constrained_features(), 0);
+        assert!(!table.is_empty());
+        assert_eq!(table.classify(&[123.0; NUM_FEATURES]), FlowStatus::Normal);
+    }
+
+    #[test]
+    fn boundary_goes_left() {
+        // x[f] <= threshold routes left in the tree; the table must agree on
+        // exact-threshold inputs.
+        let mut data = Vec::new();
+        for i in 0..100 {
+            let mut x = [0.0; NUM_FEATURES];
+            x[9] = i as f64 / 10.0;
+            let label = if x[9] <= 5.0 {
+                FlowStatus::Abnormal
+            } else {
+                FlowStatus::Normal
+            };
+            data.push((x, label));
+        }
+        let tree = DecisionTree::train(&data, &TrainConfig::default());
+        let table = TableClassifier::compile(&tree);
+        // Probe a dense sweep including values near the learned threshold.
+        for i in 0..1_000 {
+            let mut x = [0.0; NUM_FEATURES];
+            x[9] = i as f64 / 100.0;
+            assert_eq!(table.classify(&x), tree.predict(&x), "at x9 = {}", x[9]);
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Feature quantization — the fixed-width integer representation of §5.
+//!
+//! The data plane matches on integers, not floats. A [`Quantizer`] learns
+//! per-feature bin edges from training data (equi-quantile) and maps each
+//! feature to a bin index in `0..bins`. Trees can be trained directly on
+//! quantized features; the resulting rule table then matches on integer
+//! ranges exactly as TCAM entries would.
+
+use db_flowmon::{FeatureVector, NUM_FEATURES};
+
+/// Per-feature equi-quantile binning.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Quantizer {
+    /// `edges[f]` are ascending inner bin edges for feature `f`; a value `v`
+    /// maps to the number of edges `<= v`.
+    edges: Vec<Vec<f64>>,
+    bins: usize,
+}
+
+impl Quantizer {
+    /// Fit a quantizer with `bins` levels per feature from sample vectors.
+    /// Panics if `bins < 2` or `samples` is empty.
+    pub fn fit(samples: &[FeatureVector], bins: usize) -> Self {
+        assert!(bins >= 2, "need at least two bins");
+        assert!(!samples.is_empty(), "cannot fit a quantizer on no data");
+        let mut edges = Vec::with_capacity(NUM_FEATURES);
+        let mut column: Vec<f64> = Vec::with_capacity(samples.len());
+        for f in 0..NUM_FEATURES {
+            column.clear();
+            column.extend(samples.iter().map(|x| x[f]));
+            column.sort_by(|a, b| a.partial_cmp(b).expect("finite features"));
+            let mut e = Vec::with_capacity(bins - 1);
+            for k in 1..bins {
+                let pos = k * (column.len() - 1) / bins;
+                let v = column[pos];
+                if e.last().is_none_or(|&last| v > last) {
+                    e.push(v);
+                }
+            }
+            edges.push(e);
+        }
+        Quantizer { edges, bins }
+    }
+
+    /// Number of quantization levels.
+    pub fn bins(&self) -> usize {
+        self.bins
+    }
+
+    /// Quantize one value of feature `f` to its bin index.
+    pub fn quantize_one(&self, f: usize, v: f64) -> u16 {
+        let e = &self.edges[f];
+        // Number of edges <= v (partition point).
+        e.partition_point(|&edge| edge <= v) as u16
+    }
+
+    /// Quantize a whole vector, returning bin indices as f64 so quantized
+    /// vectors remain valid [`FeatureVector`]s for training and rule tables.
+    pub fn quantize(&self, x: &FeatureVector) -> FeatureVector {
+        let mut out = [0.0; NUM_FEATURES];
+        for f in 0..NUM_FEATURES {
+            out[f] = self.quantize_one(f, x[f]) as f64;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use db_util::Pcg64;
+
+    fn samples(n: usize, seed: u64) -> Vec<FeatureVector> {
+        let mut rng = Pcg64::new(seed);
+        (0..n)
+            .map(|_| {
+                let mut x = [0.0; NUM_FEATURES];
+                for v in &mut x {
+                    *v = rng.range_f64(0.0, 100.0);
+                }
+                x
+            })
+            .collect()
+    }
+
+    #[test]
+    fn quantization_is_monotone() {
+        let q = Quantizer::fit(&samples(2_000, 1), 16);
+        for f in 0..NUM_FEATURES {
+            let mut prev = 0u16;
+            for step in 0..200 {
+                let v = step as f64;
+                let b = q.quantize_one(f, v);
+                assert!(b >= prev, "bins must be monotone in the value");
+                assert!((b as usize) < 16, "bin out of range");
+                prev = b;
+            }
+        }
+    }
+
+    #[test]
+    fn extremes_map_to_outer_bins() {
+        let q = Quantizer::fit(&samples(2_000, 2), 8);
+        assert_eq!(q.quantize_one(0, -1e12), 0);
+        assert!(q.quantize_one(0, 1e12) as usize >= 7);
+        assert_eq!(q.bins(), 8);
+    }
+
+    #[test]
+    fn uniform_data_fills_bins_evenly() {
+        let data = samples(10_000, 3);
+        let q = Quantizer::fit(&data, 10);
+        let mut counts = vec![0usize; 10];
+        for x in &data {
+            counts[q.quantize_one(5, x[5]) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!(
+                (700..1_300).contains(&c),
+                "equi-quantile bins should be near-equal, got {c}"
+            );
+        }
+    }
+
+    #[test]
+    fn constant_feature_collapses_to_one_bin() {
+        let mut data = samples(100, 4);
+        for x in &mut data {
+            x[2] = 3.0;
+        }
+        let q = Quantizer::fit(&data, 8);
+        // Degenerate edges deduplicate: only bins {0,1} possible, and every
+        // actual data value lands in a single bin.
+        let b = q.quantize_one(2, 3.0);
+        assert!(data.iter().all(|x| q.quantize_one(2, x[2]) == b));
+    }
+
+    #[test]
+    fn quantized_vector_preserves_shape() {
+        let data = samples(500, 5);
+        let q = Quantizer::fit(&data, 32);
+        let qx = q.quantize(&data[0]);
+        assert_eq!(qx.len(), NUM_FEATURES);
+        assert!(qx.iter().all(|&v| v >= 0.0 && v < 32.0 && v.fract() == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "two bins")]
+    fn rejects_single_bin() {
+        Quantizer::fit(&samples(10, 6), 1);
+    }
+}

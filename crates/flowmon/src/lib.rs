@@ -1,0 +1,30 @@
+//! The Flow Monitoring Module of Drift-Bottle (§4.1).
+//!
+//! Every switch passively tracks the unidirectional flows passing through it:
+//!
+//! * [`measures`] — the six per-sampling-interval measures of Table 1
+//!   (`n_packet`, `len_all`, `len_max`, `len_last`, `n_burst`, `pos_burst`),
+//!   with bursts counted over numbered sub-intervals.
+//! * [`registers`] — the data-plane register bank. Two implementations: an
+//!   exact map (what the paper's Python replay simulator effectively uses)
+//!   and a hash-indexed fixed-slot bank that models the P4 implementation of
+//!   §5 (`flow_id · W + i` indexing) including silent hash collisions.
+//! * [`window`] — sliding-window feature assembly (Table 2): the 15-feature
+//!   vector `(f_flow, f_avg, f_last)` recomputed at every sampling-interval
+//!   tick; the window length is the 90th percentile of network RTTs.
+//! * [`monitor`] — a per-switch monitor combining store + history + flow
+//!   metadata, and a network-wide set of monitors.
+//! * [`dataset`] — ground-truth labeling ("abnormal iff the packets of the
+//!   flow cannot reach the monitor at the time due to failures") and
+//!   train/test dataset assembly at the paper's 3:1 split.
+
+pub mod dataset;
+pub mod measures;
+pub mod monitor;
+pub mod registers;
+pub mod window;
+
+pub use dataset::{Dataset, FlowStatus, Sample};
+pub use measures::{IntervalMeasures, SUB_INTERVALS};
+pub use monitor::{NetworkMonitor, SwitchMonitor};
+pub use window::{FeatureVector, FlowMeta, WindowConfig, FEATURE_NAMES, NUM_FEATURES};

@@ -1,0 +1,343 @@
+//! Per-switch and network-wide monitors.
+//!
+//! A [`SwitchMonitor`] owns the data-plane measure store for one switch plus
+//! the per-flow interval history and static metadata; at every sampling tick
+//! it produces one Table-2 feature vector per monitored-and-active flow. A
+//! [`NetworkMonitor`] is the full deployment: one monitor per switch, with
+//! every flow registered at every switch on its path.
+
+use crate::measures::IntervalMeasures;
+use crate::registers::{ExactStore, MeasureStore};
+use crate::window::{FeatureVector, FlowHistory, FlowMeta, WindowConfig};
+use db_netsim::{Annotation, FlowId, FlowSpec, HopInfo, Observer, SimTime};
+use db_topology::{LinkId, NodeId, Topology};
+use std::collections::HashMap;
+
+/// Monitoring state of one switch.
+#[derive(Debug)]
+pub struct SwitchMonitor<S: MeasureStore = ExactStore> {
+    node: NodeId,
+    cfg: WindowConfig,
+    store: S,
+    meta: HashMap<FlowId, FlowMeta>,
+    history: HashMap<FlowId, FlowHistory>,
+    interval_start: SimTime,
+}
+
+impl SwitchMonitor<ExactStore> {
+    /// Create a monitor with the default (collision-free) store.
+    pub fn new(node: NodeId, cfg: WindowConfig) -> Self {
+        Self::with_store(node, cfg, ExactStore::new())
+    }
+}
+
+impl<S: MeasureStore> SwitchMonitor<S> {
+    /// Create a monitor around an explicit store implementation.
+    pub fn with_store(node: NodeId, cfg: WindowConfig, store: S) -> Self {
+        SwitchMonitor {
+            node,
+            cfg,
+            store,
+            meta: HashMap::new(),
+            history: HashMap::new(),
+            interval_start: SimTime::ZERO,
+        }
+    }
+
+    /// The switch this monitor runs on.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Register a flow passing through this switch.
+    pub fn register_flow(&mut self, flow: FlowId, meta: FlowMeta) {
+        self.meta.insert(flow, meta);
+        self.history.entry(flow).or_default();
+    }
+
+    /// Number of flows registered.
+    pub fn monitored_flows(&self) -> usize {
+        self.meta.len()
+    }
+
+    /// Static metadata of a monitored flow.
+    pub fn flow_meta(&self, flow: FlowId) -> Option<&FlowMeta> {
+        self.meta.get(&flow)
+    }
+
+    /// Record a packet of a monitored flow; unmonitored flows are ignored
+    /// (transit traffic the operator chose not to track).
+    pub fn on_packet(&mut self, now: SimTime, flow: FlowId, size: u32) {
+        if !self.meta.contains_key(&flow) {
+            return;
+        }
+        let offset = now.saturating_sub(self.interval_start);
+        self.store.record(flow, offset, self.cfg.interval, size);
+    }
+
+    /// Close the current sampling interval at `now`: the control plane drains
+    /// the data-plane registers, extends every monitored flow's history
+    /// (silent flows get an all-zero interval), and emits a feature vector
+    /// per flow that has ever been active here and has one RTT of history.
+    ///
+    /// **Aging**: a flow whose entire RTT feature window is silent is
+    /// deregistered from the active view (its history resets) — the hardware
+    /// analogue is register reclamation. Without aging, every dead flow
+    /// (ended *or* blackholed) would emit an all-zero row per interval
+    /// forever, drowning both training and inference in uninformative and
+    /// mutually contradictory samples.
+    pub fn end_interval(&mut self, now: SimTime) -> Vec<(FlowId, FeatureVector)> {
+        let drained: HashMap<FlowId, IntervalMeasures> =
+            self.store.drain().into_iter().collect();
+        let cap = self.cfg.window_intervals;
+        let mut out = Vec::new();
+        // Deterministic order: sort flow ids.
+        let mut flows: Vec<FlowId> = self.meta.keys().copied().collect();
+        flows.sort_unstable();
+        for flow in flows {
+            let m = drained.get(&flow).copied().unwrap_or_default();
+            let hist = self.history.get_mut(&flow).expect("registered flow has history");
+            hist.push(m, cap);
+            if hist.total_packets == 0 {
+                continue; // never seen here — nothing to judge
+            }
+            let meta = &self.meta[&flow];
+            if hist.len() >= meta.n_interval && hist.recent_all_empty(meta.n_interval) {
+                hist.reset();
+                continue;
+            }
+            if let Some(f) = hist.features(meta) {
+                out.push((flow, f));
+            }
+        }
+        self.interval_start = now;
+        out
+    }
+}
+
+/// One monitoring row produced at a sampling tick.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MonitorRow {
+    /// The monitoring switch.
+    pub switch: NodeId,
+    /// The monitored flow.
+    pub flow: FlowId,
+    /// Tick time (end of the sampled interval).
+    pub at: SimTime,
+    /// The assembled feature vector.
+    pub features: FeatureVector,
+}
+
+/// The full network deployment: one [`SwitchMonitor`] per switch.
+#[derive(Debug)]
+pub struct NetworkMonitor {
+    monitors: Vec<SwitchMonitor>,
+    cfg: WindowConfig,
+    /// Rows collected at every tick (drained by callers or kept for dataset
+    /// building).
+    pub rows: Vec<MonitorRow>,
+}
+
+impl NetworkMonitor {
+    /// Deploy monitors on every switch, registering each flow at every
+    /// switch of its path with the correct upstream-link metadata.
+    pub fn deploy(topo: &Topology, flows: &[FlowSpec], cfg: WindowConfig) -> Self {
+        let mut monitors: Vec<SwitchMonitor> = topo
+            .nodes()
+            .map(|n| SwitchMonitor::new(n, cfg))
+            .collect();
+        for f in flows {
+            for (pos, &node) in f.path.nodes.iter().enumerate() {
+                let upstream: Vec<LinkId> = f.path.links[..pos].to_vec();
+                let meta = FlowMeta::new(f.rtt_ms, f.path.len(), upstream, &cfg);
+                monitors[node.idx()].register_flow(f.id, meta);
+            }
+        }
+        NetworkMonitor {
+            monitors,
+            cfg,
+            rows: Vec::new(),
+        }
+    }
+
+    /// The monitoring configuration.
+    pub fn config(&self) -> WindowConfig {
+        self.cfg
+    }
+
+    /// The monitor deployed on `node`.
+    pub fn switch(&self, node: NodeId) -> &SwitchMonitor {
+        &self.monitors[node.idx()]
+    }
+
+    /// Mutable access to the monitor on `node`.
+    pub fn switch_mut(&mut self, node: NodeId) -> &mut SwitchMonitor {
+        &mut self.monitors[node.idx()]
+    }
+
+    /// Upstream links of `flow` w.r.t. `switch`, if monitored there.
+    pub fn upstream(&self, switch: NodeId, flow: FlowId) -> Option<&[LinkId]> {
+        self.monitors[switch.idx()]
+            .flow_meta(flow)
+            .map(|m| m.upstream.as_slice())
+    }
+
+    /// Record a packet observation.
+    pub fn on_packet(&mut self, now: SimTime, info: &HopInfo, size: u32) {
+        self.monitors[info.node.idx()].on_packet(now, info.flow, size);
+    }
+
+    /// Close the interval on every switch, appending the produced rows.
+    pub fn end_interval(&mut self, now: SimTime) {
+        for m in &mut self.monitors {
+            let node = m.node();
+            for (flow, features) in m.end_interval(now) {
+                self.rows.push(MonitorRow {
+                    switch: node,
+                    flow,
+                    at: now,
+                    features,
+                });
+            }
+        }
+    }
+}
+
+impl Observer for NetworkMonitor {
+    fn on_packet(&mut self, now: SimTime, info: &HopInfo, _ann: &mut Annotation) {
+        NetworkMonitor::on_packet(self, now, info, info.size);
+    }
+
+    fn on_tick(&mut self, now: SimTime) {
+        self.end_interval(now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use db_netsim::{FailureScenario, SimConfig, Simulator, TrafficConfig, TrafficGen};
+    use db_topology::{zoo, RouteTable};
+
+    fn cfg4() -> WindowConfig {
+        WindowConfig::explicit(SimTime::from_ms(4), 4)
+    }
+
+    #[test]
+    fn unregistered_flow_is_ignored() {
+        let mut m = SwitchMonitor::new(NodeId(0), cfg4());
+        m.on_packet(SimTime::from_ms(1), FlowId(5), 100);
+        let rows = m.end_interval(SimTime::from_ms(4));
+        assert!(rows.is_empty());
+        assert_eq!(m.monitored_flows(), 0);
+    }
+
+    #[test]
+    fn features_emerge_after_one_rtt() {
+        let mut m = SwitchMonitor::new(NodeId(0), cfg4());
+        // RTT 8 ms → n_interval 2.
+        m.register_flow(FlowId(1), FlowMeta::new(8.0, 3, vec![LinkId(0)], &cfg4()));
+        m.on_packet(SimTime::from_ms(1), FlowId(1), 1500);
+        assert!(m.end_interval(SimTime::from_ms(4)).is_empty(), "one interval only");
+        m.on_packet(SimTime::from_ms(5), FlowId(1), 1500);
+        let rows = m.end_interval(SimTime::from_ms(8));
+        assert_eq!(rows.len(), 1);
+        let (flow, f) = rows[0];
+        assert_eq!(flow, FlowId(1));
+        assert_eq!(f[0], 8.0);
+        assert_eq!(f[9], 1.0, "last n_packet");
+    }
+
+    #[test]
+    fn silent_registered_flow_produces_zero_last_interval_then_ages_out() {
+        let cfg = cfg4();
+        let mut m = SwitchMonitor::new(NodeId(0), cfg);
+        m.register_flow(FlowId(1), FlowMeta::new(8.0, 2, vec![], &cfg)); // n_interval 2
+        m.on_packet(SimTime::from_ms(1), FlowId(1), 1000);
+        let _ = m.end_interval(SimTime::from_ms(4));
+        m.on_packet(SimTime::from_ms(5), FlowId(1), 1000);
+        let _ = m.end_interval(SimTime::from_ms(8));
+        // First silent interval: features still emitted, last_* = 0 — the
+        // failure signature.
+        let rows = m.end_interval(SimTime::from_ms(12));
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].1[9], 0.0);
+        assert!(rows[0].1[3] > 0.0, "avg still reflects activity");
+        // Second consecutive silent interval fills the whole RTT window:
+        // the monitor reclaims the flow (aging) and stays silent after.
+        assert!(m.end_interval(SimTime::from_ms(16)).is_empty());
+        assert!(m.end_interval(SimTime::from_ms(20)).is_empty());
+        // A returning packet re-activates monitoring.
+        m.on_packet(SimTime::from_ms(21), FlowId(1), 500);
+        let _ = m.end_interval(SimTime::from_ms(24));
+        let rows = m.end_interval(SimTime::from_ms(28));
+        assert_eq!(rows.len(), 1, "flow re-registers after revival");
+    }
+
+    #[test]
+    fn never_active_flow_is_not_reported() {
+        let cfg = cfg4();
+        let mut m = SwitchMonitor::new(NodeId(0), cfg);
+        m.register_flow(FlowId(1), FlowMeta::new(4.0, 2, vec![], &cfg));
+        for i in 1..=5 {
+            assert!(m.end_interval(SimTime::from_ms(4 * i)).is_empty());
+        }
+    }
+
+    #[test]
+    fn offsets_are_relative_to_interval_start() {
+        let cfg = cfg4();
+        let mut m = SwitchMonitor::new(NodeId(0), cfg);
+        m.register_flow(FlowId(1), FlowMeta::new(4.0, 2, vec![], &cfg));
+        let _ = m.end_interval(SimTime::from_ms(4));
+        // Packet at 4.1 ms is 0.1 ms into the second interval → sub 1.
+        m.on_packet(SimTime::from_ms_f64(4.1), FlowId(1), 500);
+        let rows = m.end_interval(SimTime::from_ms(8));
+        assert_eq!(rows[0].1[14], 1.0, "pos_burst must use interval-relative offset");
+    }
+
+    #[test]
+    fn deploy_registers_flows_on_whole_path() {
+        let topo = zoo::line(4);
+        let routes = RouteTable::build(&topo);
+        let flows = TrafficGen::generate(&topo, &routes, &TrafficConfig::default(), 1);
+        let cfg = WindowConfig::for_network(&routes, SimTime::from_ms(4));
+        let nm = NetworkMonitor::deploy(&topo, &flows, cfg);
+        // The flow s0 -> s3 must be registered at all four switches.
+        let f03 = flows
+            .iter()
+            .find(|f| f.src == NodeId(0) && f.dst == NodeId(3))
+            .unwrap();
+        for (pos, node) in f03.path.nodes.iter().enumerate() {
+            let up = nm.upstream(*node, f03.id).expect("registered");
+            assert_eq!(up.len(), pos, "upstream grows along the path");
+        }
+        assert!(nm.upstream(NodeId(0), FlowId(9999)).is_none());
+    }
+
+    #[test]
+    fn live_monitoring_produces_rows() {
+        let topo = zoo::line(3);
+        let routes = RouteTable::build(&topo);
+        let flows = TrafficGen::generate(&topo, &routes, &TrafficConfig::default(), 2);
+        let wcfg = WindowConfig::for_network(&routes, SimTime::from_ms(4));
+        let nm = NetworkMonitor::deploy(&topo, &flows, wcfg);
+        let cfg = SimConfig {
+            end: SimTime::from_ms(60),
+            ..Default::default()
+        };
+        let mut sim = Simulator::new(&topo, flows, cfg, &FailureScenario::none(), 2, nm);
+        sim.run();
+        let (nm, stats) = sim.finish();
+        assert!(stats.delivered > 0);
+        assert!(!nm.rows.is_empty(), "monitoring must produce feature rows");
+        // Rows are tick-aligned.
+        for r in &nm.rows {
+            assert_eq!(r.at.as_ns() % SimTime::from_ms(4).as_ns(), 0);
+        }
+        // Multiple switches report.
+        let switches: std::collections::HashSet<_> =
+            nm.rows.iter().map(|r| r.switch).collect();
+        assert!(switches.len() >= 2);
+    }
+}

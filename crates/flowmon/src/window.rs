@@ -1,0 +1,306 @@
+//! Sliding-window feature assembly (Table 2).
+//!
+//! §4.1: "we extract some measures from several sampling time intervals and
+//! formulate feature vectors by windows sliding on sampling intervals. ...
+//! we set the length of sliding windows to the 90th percentile of RTTs of
+//! all data paths in the network."
+//!
+//! A feature vector is `(f_flow, f_avg, f_last)`:
+//!
+//! * `f_flow` — RTT, path length, number of sampling intervals covering one
+//!   RTT (flow topology features, pushed from the controller);
+//! * `f_avg` — the six Table-1 measures averaged over the sampling intervals
+//!   of the flow's last RTT;
+//! * `f_last` — the six measures of the most recent interval.
+
+use crate::measures::IntervalMeasures;
+use db_netsim::SimTime;
+use db_topology::{LinkId, RouteTable};
+use db_util::stats as st;
+use std::collections::VecDeque;
+
+/// Number of features in a vector: 3 (`f_flow`) + 6 (`f_avg`) + 6 (`f_last`).
+pub const NUM_FEATURES: usize = 15;
+
+/// Feature names, index-aligned with [`FeatureVector`] (Table 2 order).
+pub const FEATURE_NAMES: [&str; NUM_FEATURES] = [
+    "rtt_ms",
+    "len_path",
+    "n_interval",
+    "avg_n_packet",
+    "avg_len_all",
+    "avg_len_max",
+    "avg_len_last",
+    "avg_n_burst",
+    "avg_pos_burst",
+    "last_n_packet",
+    "last_len_all",
+    "last_len_max",
+    "last_len_last",
+    "last_n_burst",
+    "last_pos_burst",
+];
+
+/// A dense feature vector in [`FEATURE_NAMES`] order.
+pub type FeatureVector = [f64; NUM_FEATURES];
+
+/// Network-wide monitoring window configuration (§4.1: consistent across the
+/// network "for the sake of scalability and deployability").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowConfig {
+    /// Sampling interval length (4 ms in §6.3).
+    pub interval: SimTime,
+    /// Sliding window length in intervals — the p90 RTT, rounded up.
+    pub window_intervals: usize,
+}
+
+/// Upper bound on the sliding-window length in intervals (128 ms at the
+/// paper's 4 ms interval). The p90-RTT rule would give multi-hundred-ms
+/// windows on topologies with very long links (Tinet); switch memory and
+/// reaction time both cap the history a monitor keeps.
+pub const MAX_WINDOW_INTERVALS: usize = 32;
+
+impl WindowConfig {
+    /// Derive the configuration from a route table: window = p90 of all-pairs
+    /// RTT, at least one interval, at most [`MAX_WINDOW_INTERVALS`].
+    pub fn for_network(routes: &RouteTable, interval: SimTime) -> Self {
+        assert!(interval > SimTime::ZERO, "interval must be positive");
+        let rtts = routes.all_rtts_ms();
+        let p90 = if rtts.is_empty() {
+            0.0
+        } else {
+            st::percentile(&rtts, 90.0)
+        };
+        let window_intervals = ((p90 / interval.as_ms_f64()).ceil() as usize)
+            .clamp(1, MAX_WINDOW_INTERVALS);
+        WindowConfig {
+            interval,
+            window_intervals,
+        }
+    }
+
+    /// Explicit configuration (tests, ablations).
+    pub fn explicit(interval: SimTime, window_intervals: usize) -> Self {
+        assert!(interval > SimTime::ZERO && window_intervals >= 1);
+        WindowConfig {
+            interval,
+            window_intervals,
+        }
+    }
+
+    /// Window length as simulated time.
+    pub fn window_len(&self) -> SimTime {
+        SimTime::from_ns(self.interval.as_ns() * self.window_intervals as u64)
+    }
+}
+
+/// Per-(switch, flow) static metadata — the `f_flow` features plus the
+/// upstream path the Inference Generation module needs (§4.2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowMeta {
+    /// Flow RTT in milliseconds.
+    pub rtt_ms: f64,
+    /// Length of the flow's full data path, in links.
+    pub path_len: usize,
+    /// Number of sampling intervals needed to cover one RTT (≥ 1, clamped to
+    /// the window length).
+    pub n_interval: usize,
+    /// Links on the upstream part of the flow's path w.r.t. this switch.
+    pub upstream: Vec<LinkId>,
+}
+
+impl FlowMeta {
+    /// Build metadata for a flow monitored at a given switch.
+    pub fn new(rtt_ms: f64, path_len: usize, upstream: Vec<LinkId>, cfg: &WindowConfig) -> Self {
+        let n_interval = ((rtt_ms / cfg.interval.as_ms_f64()).ceil() as usize)
+            .clamp(1, cfg.window_intervals);
+        FlowMeta {
+            rtt_ms,
+            path_len,
+            n_interval,
+            upstream,
+        }
+    }
+}
+
+/// Rolling per-flow interval history, bounded by the window length.
+#[derive(Debug, Clone, Default)]
+pub struct FlowHistory {
+    intervals: VecDeque<IntervalMeasures>,
+    /// Total packets ever recorded (used to skip never-active flows).
+    pub total_packets: u64,
+}
+
+impl FlowHistory {
+    /// Push the measures of a completed interval, evicting beyond `cap`.
+    pub fn push(&mut self, m: IntervalMeasures, cap: usize) {
+        self.total_packets += m.n_packet as u64;
+        self.intervals.push_back(m);
+        while self.intervals.len() > cap {
+            self.intervals.pop_front();
+        }
+    }
+
+    /// Number of buffered intervals.
+    pub fn len(&self) -> usize {
+        self.intervals.len()
+    }
+
+    /// Whether the most recent `n` buffered intervals are all packet-free.
+    pub fn recent_all_empty(&self, n: usize) -> bool {
+        self.intervals.len() >= n && self.intervals.iter().rev().take(n).all(|m| m.is_empty())
+    }
+
+    /// Forget everything — the monitor reclaims this flow's registers.
+    pub fn reset(&mut self) {
+        self.intervals.clear();
+        self.total_packets = 0;
+    }
+
+    /// Whether no interval has been buffered.
+    pub fn is_empty(&self) -> bool {
+        self.intervals.is_empty()
+    }
+
+    /// Assemble the Table-2 feature vector for this flow.
+    ///
+    /// Returns `None` until at least `meta.n_interval` intervals are buffered
+    /// (one full RTT of history, needed for a meaningful `f_avg`).
+    pub fn features(&self, meta: &FlowMeta) -> Option<FeatureVector> {
+        if self.intervals.len() < meta.n_interval {
+            return None;
+        }
+        let last = *self.intervals.back().expect("non-empty history");
+        let n = meta.n_interval;
+        let recent = self.intervals.iter().rev().take(n);
+        let mut sums = [0.0f64; 6];
+        for m in recent {
+            sums[0] += m.n_packet as f64;
+            sums[1] += m.len_all as f64;
+            sums[2] += m.len_max as f64;
+            sums[3] += m.len_last as f64;
+            sums[4] += m.n_burst as f64;
+            sums[5] += m.pos_burst as f64;
+        }
+        let inv = 1.0 / n as f64;
+        Some([
+            meta.rtt_ms,
+            meta.path_len as f64,
+            meta.n_interval as f64,
+            sums[0] * inv,
+            sums[1] * inv,
+            sums[2] * inv,
+            sums[3] * inv,
+            sums[4] * inv,
+            sums[5] * inv,
+            last.n_packet as f64,
+            last.len_all as f64,
+            last.len_max as f64,
+            last.len_last as f64,
+            last.n_burst as f64,
+            last.pos_burst as f64,
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use db_topology::zoo;
+
+    fn meas(n_packet: u32, len_all: u64) -> IntervalMeasures {
+        IntervalMeasures {
+            n_packet,
+            len_all,
+            len_max: 1500,
+            len_last: 1500,
+            n_burst: 2,
+            pos_burst: 5,
+        }
+    }
+
+    #[test]
+    fn window_config_from_routes() {
+        let topo = zoo::line(3); // 1 ms links; RTTs 2 and 4 ms
+        let routes = db_topology::RouteTable::build(&topo);
+        let cfg = WindowConfig::for_network(&routes, SimTime::from_ms(4));
+        // p90 of [2,2,2,2,4,4] = 4ms → 1 interval.
+        assert_eq!(cfg.window_intervals, 1);
+        let cfg2 = WindowConfig::for_network(&routes, SimTime::from_ms(1));
+        assert_eq!(cfg2.window_intervals, 4);
+        assert_eq!(cfg2.window_len(), SimTime::from_ms(4));
+    }
+
+    #[test]
+    fn flow_meta_clamps_n_interval() {
+        let cfg = WindowConfig::explicit(SimTime::from_ms(4), 5);
+        let m = FlowMeta::new(10.0, 3, vec![], &cfg);
+        assert_eq!(m.n_interval, 3, "10ms RTT / 4ms = 2.5 → 3 intervals");
+        let long = FlowMeta::new(100.0, 3, vec![], &cfg);
+        assert_eq!(long.n_interval, 5, "clamped to window length");
+        let tiny = FlowMeta::new(0.1, 3, vec![], &cfg);
+        assert_eq!(tiny.n_interval, 1);
+    }
+
+    #[test]
+    fn features_need_one_rtt_of_history() {
+        let cfg = WindowConfig::explicit(SimTime::from_ms(4), 8);
+        let meta = FlowMeta::new(12.0, 4, vec![], &cfg); // n_interval = 3
+        let mut h = FlowHistory::default();
+        h.push(meas(5, 7_500), cfg.window_intervals);
+        h.push(meas(5, 7_500), cfg.window_intervals);
+        assert!(h.features(&meta).is_none(), "only 2 of 3 intervals buffered");
+        h.push(meas(2, 3_000), cfg.window_intervals);
+        let f = h.features(&meta).expect("enough history now");
+        assert_eq!(f[0], 12.0);
+        assert_eq!(f[1], 4.0);
+        assert_eq!(f[2], 3.0);
+        assert!((f[3] - 4.0).abs() < 1e-12, "avg n_packet = (5+5+2)/3");
+        assert_eq!(f[9], 2.0, "last n_packet");
+        assert_eq!(f[10], 3_000.0, "last len_all");
+    }
+
+    #[test]
+    fn avg_uses_only_last_rtt_of_intervals() {
+        let cfg = WindowConfig::explicit(SimTime::from_ms(4), 10);
+        let meta = FlowMeta::new(8.0, 2, vec![], &cfg); // n_interval = 2
+        let mut h = FlowHistory::default();
+        h.push(meas(100, 1), cfg.window_intervals); // old, outside last RTT
+        h.push(meas(4, 1), cfg.window_intervals);
+        h.push(meas(6, 1), cfg.window_intervals);
+        let f = h.features(&meta).unwrap();
+        assert!((f[3] - 5.0).abs() < 1e-12, "avg over last two intervals only");
+    }
+
+    #[test]
+    fn history_evicts_beyond_cap() {
+        let mut h = FlowHistory::default();
+        for i in 0..20 {
+            h.push(meas(i, 0), 4);
+        }
+        assert_eq!(h.len(), 4);
+        assert_eq!(h.total_packets, (0..20).sum::<u32>() as u64);
+        assert!(!h.is_empty());
+    }
+
+    #[test]
+    fn zero_interval_features_show_silence() {
+        // After activity, a silent interval yields last_* = 0 but avg_* > 0 —
+        // the failure signature the classifier keys on.
+        let cfg = WindowConfig::explicit(SimTime::from_ms(4), 8);
+        let meta = FlowMeta::new(8.0, 2, vec![], &cfg); // n_interval = 2
+        let mut h = FlowHistory::default();
+        h.push(meas(10, 15_000), cfg.window_intervals);
+        h.push(IntervalMeasures::default(), cfg.window_intervals);
+        let f = h.features(&meta).unwrap();
+        assert_eq!(f[9], 0.0, "last interval silent");
+        assert!(f[3] > 0.0, "average still reflects activity");
+    }
+
+    #[test]
+    fn feature_names_align() {
+        assert_eq!(FEATURE_NAMES.len(), NUM_FEATURES);
+        assert_eq!(FEATURE_NAMES[0], "rtt_ms");
+        assert_eq!(FEATURE_NAMES[9], "last_n_packet");
+    }
+}

@@ -1,0 +1,123 @@
+//! Centralized aggregation baselines (§6.2, §6.5).
+//!
+//! "DB-Centralized and 007-Centralized use the same weight assignment scheme
+//! as Drift-Bottle and 007-Drift, respectively. These centralized mechanisms
+//! aggregate local inferences from all monitors together periodically. Then
+//! they utilize the procedure from \[2\] to find problematic links:
+//! centralized mechanisms check whether the weight of 1st link is greater
+//! than a preset portion of the sum of weights of all links or not. If so,
+//! they report the first link as a culprit, then execute the procedure again
+//! to the links that remained until no link exceeds the threshold."
+
+use crate::inference::Inference;
+use db_topology::LinkId;
+
+/// Aggregate all switches' local inferences and iteratively report culprits.
+///
+/// `portion` is 007's reporting threshold: the top link is reported while
+/// its weight is at least `portion × Σ positive weights` of the remaining
+/// links (negative weights certify innocence and do not enter the mass).
+pub fn centralized_report(locals: &[Inference], portion: f64) -> Vec<LinkId> {
+    assert!(
+        portion > 0.0 && portion <= 1.0,
+        "reporting portion must be in (0, 1]"
+    );
+    let mut agg = Inference::empty();
+    for l in locals {
+        agg = agg.aggregate(l);
+    }
+    let mut remaining: Vec<(LinkId, f64)> = agg.entries().to_vec();
+    // The reporting threshold is a portion of the total positive mass of the
+    // periodic aggregate; it stays fixed while culprits are peeled off, so
+    // the procedure terminates once no remaining link carries a
+    // failure-sized share of the original evidence.
+    let mass: f64 = remaining.iter().map(|(_, w)| w.max(0.0)).sum();
+    let mut reported = Vec::new();
+    if mass > 0.0 {
+        // Entries are kept sorted descending by construction; removal from
+        // the front preserves the order.
+        while let Some(&(top_link, top_w)) = remaining.first() {
+            if top_w <= 0.0 || top_w < portion * mass {
+                break;
+            }
+            reported.push(top_link);
+            remaining.remove(0);
+        }
+    }
+    reported.sort_unstable();
+    reported
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(i: u16) -> LinkId {
+        LinkId(i)
+    }
+
+    #[test]
+    fn single_dominant_link_reported() {
+        let locals = vec![
+            Inference::from_pairs([(l(1), 5.0), (l(2), 1.0)]),
+            Inference::from_pairs([(l(1), 4.0)]),
+        ];
+        // l1: 9, l2: 1 → mass 10; 9 ≥ 0.5·10 → report l1; l2: 1 < 5 → stop.
+        let r = centralized_report(&locals, 0.5);
+        assert_eq!(r, vec![l(1)]);
+        let noisy = vec![Inference::from_pairs([
+            (l(1), 10.0),
+            (l(2), 1.0),
+            (l(3), 1.0),
+            (l(4), 1.0),
+        ])];
+        let r = centralized_report(&noisy, 0.6);
+        assert_eq!(r, vec![l(1)], "noise below portion is not reported");
+    }
+
+    #[test]
+    fn no_report_when_weights_are_flat() {
+        let locals = vec![Inference::from_pairs([
+            (l(1), 2.0),
+            (l(2), 2.0),
+            (l(3), 2.0),
+        ])];
+        assert!(centralized_report(&locals, 0.5).is_empty());
+    }
+
+    #[test]
+    fn negative_weights_certify_innocence() {
+        let locals = vec![
+            Inference::from_pairs([(l(1), 3.0), (l(2), -5.0)]),
+            Inference::from_pairs([(l(2), -2.0)]),
+        ];
+        let r = centralized_report(&locals, 0.5);
+        assert_eq!(r, vec![l(1)]);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(centralized_report(&[], 0.5).is_empty());
+        assert!(centralized_report(&[Inference::empty()], 0.5).is_empty());
+    }
+
+    #[test]
+    fn multiple_failures_reported() {
+        // Two strong culprits over background noise.
+        let locals = vec![Inference::from_pairs([
+            (l(1), 10.0),
+            (l(2), 9.0),
+            (l(3), 1.0),
+            (l(4), 1.0),
+        ])];
+        // Mass 21; with portion 0.4 both 10 and 9 clear 8.4, the noise does not.
+        let r = centralized_report(&locals, 0.4);
+        assert_eq!(r, vec![l(1), l(2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "portion must be in")]
+    fn bad_portion_rejected() {
+        centralized_report(&[], 0.0);
+    }
+}

@@ -1,0 +1,89 @@
+//! The per-switch aggregation step (§4.3, §5).
+//!
+//! When a packet carrying a drifted inference arrives, the switch:
+//!
+//! 1. aggregates the drifted inference with its **local** inference via ⊕,
+//! 2. re-truncates to the top-k (the header has k slots),
+//! 3. increments `hop_now`,
+//! 4. checks the warning condition,
+//! 5. writes the new inference back to the header and forwards.
+//!
+//! Crucially the local inference is **never** replaced by the aggregate —
+//! §4.3's *over-aggregation* argument: if switch s2 absorbed the aggregate,
+//! a stream of packets from s1 would bias s3's view toward `n × I1 ⊕ I2`.
+
+use crate::inference::Inference;
+
+/// One aggregation step: `(drifted ⊕ local)` truncated to `k`, with the hop
+/// counter incremented (saturating at `u8::MAX`, the header field width).
+pub fn aggregate_step(
+    local: &Inference,
+    drifted: &Inference,
+    hop_now: u8,
+    k: usize,
+) -> (Inference, u8) {
+    let mut agg = drifted.aggregate(local);
+    agg.truncate_top_k(k);
+    (agg, hop_now.saturating_add(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use db_topology::LinkId;
+
+    fn l(i: u16) -> LinkId {
+        LinkId(i)
+    }
+
+    #[test]
+    fn aggregates_and_increments() {
+        let local = Inference::from_pairs([(l(1), 2.0), (l(2), -1.0)]);
+        let drifted = Inference::from_pairs([(l(1), 3.0), (l(3), 1.0)]);
+        let (next, hops) = aggregate_step(&local, &drifted, 4, 4);
+        assert_eq!(hops, 5);
+        assert_eq!(next.weight_of(l(1)), 5.0);
+        assert_eq!(next.weight_of(l(2)), -1.0);
+        assert_eq!(next.weight_of(l(3)), 1.0);
+    }
+
+    #[test]
+    fn truncates_to_header_capacity() {
+        let local = Inference::from_pairs((0..8).map(|i| (l(i), (8 - i) as f64)));
+        let (next, _) = aggregate_step(&local, &Inference::empty(), 0, 4);
+        assert_eq!(next.len(), 4);
+        assert_eq!(next.w0(), 8.0);
+    }
+
+    #[test]
+    fn hop_counter_saturates() {
+        let (_, hops) = aggregate_step(&Inference::empty(), &Inference::empty(), u8::MAX, 4);
+        assert_eq!(hops, u8::MAX);
+    }
+
+    #[test]
+    fn over_aggregation_scenario() {
+        // The §4.3 linear example: s1 → s2 → s3. If s2 kept updating its
+        // local inference from packets, s3's aggregate would drift to
+        // n·I1 ⊕ I2. With immutable locals, every packet yields I1 ⊕ I2.
+        let i1 = Inference::from_pairs([(l(1), 1.0)]);
+        let i2 = Inference::from_pairs([(l(2), 1.0)]);
+        // Correct protocol: local stays i2 for every packet.
+        for _ in 0..10 {
+            let (at_s3, _) = aggregate_step(&i2, &i1, 1, 4);
+            assert_eq!(at_s3.weight_of(l(1)), 1.0, "no bias toward upstream");
+            assert_eq!(at_s3.weight_of(l(2)), 1.0);
+        }
+        // Faulty protocol (what the paper forbids): s2 absorbs aggregates.
+        let mut absorbed = i2.clone();
+        for _ in 0..10 {
+            let (next, _) = aggregate_step(&absorbed, &i1, 1, 4);
+            absorbed = next;
+        }
+        assert!(
+            absorbed.weight_of(l(1)) > 5.0,
+            "absorbing locals over-weights upstream: {}",
+            absorbed.weight_of(l(1))
+        );
+    }
+}

@@ -1,0 +1,242 @@
+//! The fixed-length inference header (§5 "Inference aggregation", §6.10).
+//!
+//! Layout (compact variant, the paper's):
+//!
+//! ```text
+//! +---------+----------------------+----------------------+ ...
+//! | hop_now | link id (1B) | w+15  | link id (1B) | w+15  | ...  k entries
+//! +---------+----------------------+----------------------+ ...
+//! ```
+//!
+//! "we allocate 2 bytes for each accused link ... The higher 1B encodes the
+//! identity of the link, and the lower 1B records the corresponding weight
+//! (−15–241, 0 is omitted). Drifted inferences require 1B in addition to
+//! record hop_now." — total 1 + 2k bytes = 9 B at k = 4.
+//!
+//! Weights are offset-encoded (`stored = clamp(round(w), −15, 240) + 15`);
+//! link id `0xFF` marks an empty slot, limiting compact-variant networks to
+//! 255 links. The **wide** variant spends 2 bytes on the id (sentinel
+//! `0xFFFF`) for larger networks — 13 B at k = 4.
+
+use crate::inference::Inference;
+use bytes::{Buf, BufMut};
+use db_topology::LinkId;
+
+/// Minimum encodable weight.
+pub const WEIGHT_MIN: i32 = -15;
+/// Maximum encodable weight.
+pub const WEIGHT_MAX: i32 = 240;
+/// Empty-slot sentinel for the compact (1-byte id) variant.
+pub const SENTINEL_COMPACT: u8 = 0xFF;
+/// Empty-slot sentinel for the wide (2-byte id) variant.
+pub const SENTINEL_WIDE: u16 = 0xFFFF;
+
+/// Encoder/decoder for the drifted-inference header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeaderCodec {
+    /// Inference length k — number of (link, weight) slots.
+    pub k: usize,
+    /// Whether link ids take 2 bytes (networks with more than 255 links).
+    pub wide: bool,
+}
+
+impl HeaderCodec {
+    /// The paper's configuration: k = 4, 1-byte ids → 9-byte header.
+    pub fn paper() -> Self {
+        HeaderCodec { k: 4, wide: false }
+    }
+
+    /// Pick the narrowest codec able to address `link_count` links.
+    pub fn for_network(k: usize, link_count: usize) -> Self {
+        assert!(k >= 1, "inference length must be at least 1");
+        assert!(
+            link_count < SENTINEL_WIDE as usize,
+            "networks with ≥ 65535 links are not addressable"
+        );
+        HeaderCodec {
+            k,
+            wide: link_count >= SENTINEL_COMPACT as usize,
+        }
+    }
+
+    /// Encoded size in bytes: `1 + k·(id_bytes + 1)`.
+    pub fn byte_len(&self) -> usize {
+        1 + self.k * (if self.wide { 3 } else { 2 })
+    }
+
+    /// Encode `(inference, hop_now)`. Entries beyond the strongest k are
+    /// dropped; weights are clamped to the encodable range — exactly the
+    /// lossy behavior of the hardware header.
+    pub fn encode(&self, inf: &Inference, hop_now: u8) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(self.byte_len());
+        buf.put_u8(hop_now);
+        let top = inf.top_k(self.k);
+        let mut written = 0;
+        for &(l, w) in top.entries() {
+            let stored = (w.round() as i64).clamp(WEIGHT_MIN as i64, WEIGHT_MAX as i64) as i32;
+            if stored == 0 {
+                // "0 is omitted" — a zero-rounded weight carries no signal.
+                continue;
+            }
+            if self.wide {
+                buf.put_u16(l.0);
+            } else {
+                debug_assert!(
+                    l.0 < SENTINEL_COMPACT as u16,
+                    "link id {} does not fit the compact header",
+                    l.0
+                );
+                buf.put_u8(l.0 as u8);
+            }
+            buf.put_u8((stored - WEIGHT_MIN) as u8);
+            written += 1;
+        }
+        for _ in written..self.k {
+            if self.wide {
+                buf.put_u16(SENTINEL_WIDE);
+            } else {
+                buf.put_u8(SENTINEL_COMPACT);
+            }
+            buf.put_u8(0);
+        }
+        debug_assert_eq!(buf.len(), self.byte_len());
+        buf
+    }
+
+    /// Decode a header; `None` on wrong length.
+    pub fn decode(&self, bytes: &[u8]) -> Option<(Inference, u8)> {
+        if bytes.len() != self.byte_len() {
+            return None;
+        }
+        let mut buf = bytes;
+        let hop_now = buf.get_u8();
+        let mut pairs = Vec::with_capacity(self.k);
+        for _ in 0..self.k {
+            let id = if self.wide {
+                let v = buf.get_u16();
+                if v == SENTINEL_WIDE {
+                    buf.advance(1);
+                    continue;
+                }
+                v
+            } else {
+                let v = buf.get_u8();
+                if v == SENTINEL_COMPACT {
+                    buf.advance(1);
+                    continue;
+                }
+                v as u16
+            };
+            let w = buf.get_u8() as i32 + WEIGHT_MIN;
+            pairs.push((LinkId(id), w as f64));
+        }
+        Some((Inference::from_pairs(pairs), hop_now))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(i: u16) -> LinkId {
+        LinkId(i)
+    }
+
+    #[test]
+    fn paper_header_is_nine_bytes() {
+        assert_eq!(HeaderCodec::paper().byte_len(), 9);
+        assert_eq!(HeaderCodec { k: 8, wide: false }.byte_len(), 17);
+        assert_eq!(HeaderCodec { k: 4, wide: true }.byte_len(), 13);
+    }
+
+    #[test]
+    fn round_trip_integer_weights() {
+        let codec = HeaderCodec::paper();
+        let inf = Inference::from_pairs([(l(3), 7.0), (l(10), -4.0), (l(0), 2.0)]);
+        let bytes = codec.encode(&inf, 5);
+        assert_eq!(bytes.len(), 9);
+        let (back, hops) = codec.decode(&bytes).unwrap();
+        assert_eq!(hops, 5);
+        assert_eq!(back, inf);
+    }
+
+    #[test]
+    fn round_trip_empty() {
+        let codec = HeaderCodec::paper();
+        let bytes = codec.encode(&Inference::empty(), 0);
+        let (back, hops) = codec.decode(&bytes).unwrap();
+        assert!(back.is_empty());
+        assert_eq!(hops, 0);
+    }
+
+    #[test]
+    fn weights_clamp_to_encodable_range() {
+        let codec = HeaderCodec::paper();
+        let inf = Inference::from_pairs([(l(1), 1_000.0), (l(2), -99.0)]);
+        let (back, _) = codec.decode(&codec.encode(&inf, 1)).unwrap();
+        assert_eq!(back.weight_of(l(1)), WEIGHT_MAX as f64);
+        assert_eq!(back.weight_of(l(2)), WEIGHT_MIN as f64);
+    }
+
+    #[test]
+    fn fractional_weights_round() {
+        let codec = HeaderCodec::paper();
+        let inf = Inference::from_pairs([(l(1), 2.4), (l(2), 2.6), (l(3), 0.2)]);
+        let (back, _) = codec.decode(&codec.encode(&inf, 1)).unwrap();
+        assert_eq!(back.weight_of(l(1)), 2.0);
+        assert_eq!(back.weight_of(l(2)), 3.0);
+        // 0.2 rounds to 0 → omitted.
+        assert_eq!(back.weight_of(l(3)), 0.0);
+        assert_eq!(back.len(), 2);
+    }
+
+    #[test]
+    fn truncates_to_k() {
+        let codec = HeaderCodec { k: 2, wide: false };
+        let inf = Inference::from_pairs([(l(1), 5.0), (l(2), 4.0), (l(3), 3.0)]);
+        let (back, _) = codec.decode(&codec.encode(&inf, 1)).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.weight_of(l(3)), 0.0);
+    }
+
+    #[test]
+    fn wide_round_trip_large_ids() {
+        let codec = HeaderCodec { k: 4, wide: true };
+        let inf = Inference::from_pairs([(l(300), 3.0), (l(65000), 2.0)]);
+        let bytes = codec.encode(&inf, 200);
+        assert_eq!(bytes.len(), 13);
+        let (back, hops) = codec.decode(&bytes).unwrap();
+        assert_eq!(hops, 200);
+        assert_eq!(back, inf);
+    }
+
+    #[test]
+    fn for_network_picks_width() {
+        assert!(!HeaderCodec::for_network(4, 151).wide, "AS1221 fits compact");
+        assert!(HeaderCodec::for_network(4, 255).wide);
+        assert!(HeaderCodec::for_network(4, 10_000).wide);
+    }
+
+    #[test]
+    fn wrong_length_rejected() {
+        let codec = HeaderCodec::paper();
+        assert!(codec.decode(&[0u8; 8]).is_none());
+        assert!(codec.decode(&[0u8; 10]).is_none());
+        assert!(codec.decode(&[]).is_none());
+    }
+
+    #[test]
+    fn hop_counter_saturates_at_byte() {
+        // The caller saturates hop_now at 255; the codec stores it verbatim.
+        let codec = HeaderCodec::paper();
+        let (_, hops) = codec.decode(&codec.encode(&Inference::empty(), 255)).unwrap();
+        assert_eq!(hops, 255);
+    }
+
+    #[test]
+    fn encoded_form_is_deterministic() {
+        let codec = HeaderCodec::paper();
+        let inf = Inference::from_pairs([(l(5), 4.0), (l(2), 4.0), (l(9), 1.0)]);
+        assert_eq!(codec.encode(&inf, 3), codec.encode(&inf, 3));
+    }
+}

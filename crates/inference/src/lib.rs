@@ -1,0 +1,33 @@
+//! Failure inference: the heart of Drift-Bottle (§4.2–§4.3).
+//!
+//! * [`inference`] — the [`Inference`] type `I = {(l_i, w_i)}`, the
+//!   aggregation operator `⊕` (per-link weight sum), and the Algorithm-1
+//!   post-processing (drop zero weights, sort descending, truncate to the
+//!   inference length k).
+//! * [`scheme`] — the weight-assignment schemes compared in §6.4:
+//!   Drift-Bottle (±1), Non-Negative (+1/0), 007-Drifted (+1/n / 0) and
+//!   007-Modified (±1/n).
+//! * [`header`] — the fixed-length wire encoding of §5/§6.10: 1 byte
+//!   `hop_now` plus, per accused link, 1 byte of link identity and 1 byte of
+//!   offset-encoded weight (representable range −15..240); 9 bytes total at
+//!   k = 4. A wide variant with 2-byte link ids supports networks with more
+//!   than 255 links.
+//! * [`warning`] — the threshold-based warning mechanism of equation (1).
+//! * [`drift`] — the per-switch aggregation step (aggregate, re-truncate,
+//!   keep the local inference unchanged to avoid over-aggregation).
+//! * [`centralized`] — the DCA baselines (DB-Centralized, 007-Centralized)
+//!   using the iterative top-portion reporting procedure of \[2\].
+
+pub mod centralized;
+pub mod drift;
+pub mod header;
+pub mod inference;
+pub mod scheme;
+pub mod warning;
+
+pub use centralized::centralized_report;
+pub use drift::aggregate_step;
+pub use header::HeaderCodec;
+pub use inference::{Inference, DEFAULT_K};
+pub use scheme::{local_inference, WeightScheme};
+pub use warning::{check_warning, WarningConfig};

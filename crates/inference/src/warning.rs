@@ -1,0 +1,139 @@
+//! The threshold-based warning mechanism — equation (1) of §4.3.
+//!
+//! A drifted inference raises a warning iff
+//!
+//! ```text
+//! hop_now >= hop_min
+//! w0 >= alpha * hop_now
+//! w0 >= beta * w1
+//! ```
+//!
+//! `hop_now` is how many switches have aggregated into the inference; `w0`
+//! and `w1` the two highest weights. "Drift-Bottle will not raise a warning
+//! unless the drifted inference has aggregated local inferences from at
+//! least hop_min switches, and at least α abnormal flows are detected by
+//! each switch on average." β is chosen from the Fig.-11 CDF gap.
+
+use crate::inference::Inference;
+use db_topology::LinkId;
+
+/// Warning thresholds. Operators trade sensitivity against false positives
+/// here (§4.3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WarningConfig {
+    /// Minimum number of aggregations before a warning may fire.
+    pub hop_min: u32,
+    /// Minimum average accusation strength per aggregating switch.
+    pub alpha: f64,
+    /// Minimum dominance of the top link over the runner-up.
+    pub beta: f64,
+}
+
+impl Default for WarningConfig {
+    fn default() -> Self {
+        // Defaults sized for the evaluated topologies (tens of switches,
+        // hundreds of flows): a culprit link accumulates tens of abnormal
+        // votes within a window, while classifier noise on an innocent link
+        // rarely sustains two abnormal flows per aggregating switch.
+        WarningConfig {
+            hop_min: 4,
+            alpha: 2.0,
+            beta: 2.0,
+        }
+    }
+}
+
+/// Evaluate equation (1); returns the accused link when all three conditions
+/// hold. An inference whose top weight is not positive never warns.
+pub fn check_warning(inf: &Inference, hop_now: u32, cfg: &WarningConfig) -> Option<LinkId> {
+    let w0 = inf.w0();
+    if w0 <= 0.0 {
+        return None;
+    }
+    if hop_now < cfg.hop_min {
+        return None;
+    }
+    if w0 < cfg.alpha * hop_now as f64 {
+        return None;
+    }
+    // w1 may be negative or absent (treated as 0); dominance over a
+    // non-positive runner-up is automatic for positive w0.
+    let w1 = inf.w1();
+    if w1 > 0.0 && w0 < cfg.beta * w1 {
+        return None;
+    }
+    Some(inf.top_link().expect("positive w0 implies an entry"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(i: u16) -> LinkId {
+        LinkId(i)
+    }
+
+    fn cfg() -> WarningConfig {
+        WarningConfig {
+            hop_min: 3,
+            alpha: 1.0,
+            beta: 2.0,
+        }
+    }
+
+    #[test]
+    fn fires_when_all_conditions_hold() {
+        let inf = Inference::from_pairs([(l(7), 10.0), (l(1), 3.0)]);
+        assert_eq!(check_warning(&inf, 4, &cfg()), Some(l(7)));
+    }
+
+    #[test]
+    fn respects_hop_min() {
+        let inf = Inference::from_pairs([(l(7), 10.0)]);
+        assert_eq!(check_warning(&inf, 2, &cfg()), None);
+        assert_eq!(check_warning(&inf, 3, &cfg()), Some(l(7)));
+    }
+
+    #[test]
+    fn respects_alpha() {
+        // w0 = 3 with hop_now = 4 < alpha*hop = 4 → no warning.
+        let inf = Inference::from_pairs([(l(7), 3.0)]);
+        assert_eq!(check_warning(&inf, 4, &cfg()), None);
+        assert_eq!(check_warning(&inf, 3, &cfg()), Some(l(7)));
+    }
+
+    #[test]
+    fn respects_beta_dominance() {
+        let close = Inference::from_pairs([(l(7), 10.0), (l(1), 6.0)]);
+        assert_eq!(check_warning(&close, 4, &cfg()), None, "10 < 2·6");
+        let dominant = Inference::from_pairs([(l(7), 12.0), (l(1), 6.0)]);
+        assert_eq!(check_warning(&dominant, 4, &cfg()), Some(l(7)));
+    }
+
+    #[test]
+    fn negative_runner_up_does_not_block() {
+        let inf = Inference::from_pairs([(l(7), 4.0), (l(1), -8.0)]);
+        assert_eq!(check_warning(&inf, 4, &cfg()), Some(l(7)));
+    }
+
+    #[test]
+    fn non_positive_top_never_warns() {
+        let inf = Inference::from_pairs([(l(7), -1.0), (l(1), -5.0)]);
+        assert_eq!(check_warning(&inf, 10, &cfg()), None);
+        assert_eq!(check_warning(&Inference::empty(), 10, &cfg()), None);
+    }
+
+    #[test]
+    fn sensitivity_tradeoff() {
+        // Lower thresholds → more sensitive (the operator knob of §4.3).
+        let inf = Inference::from_pairs([(l(7), 2.0), (l(1), 1.5)]);
+        let strict = cfg();
+        assert_eq!(check_warning(&inf, 3, &strict), None);
+        let lax = WarningConfig {
+            hop_min: 1,
+            alpha: 0.5,
+            beta: 1.1,
+        };
+        assert_eq!(check_warning(&inf, 3, &lax), Some(l(7)));
+    }
+}

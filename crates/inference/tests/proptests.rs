@@ -1,0 +1,94 @@
+//! Property-based tests for the inference crate.
+
+use db_inference::{
+    centralized_report, check_warning, HeaderCodec, Inference, WarningConfig,
+};
+use db_inference::header::{WEIGHT_MAX, WEIGHT_MIN};
+use db_topology::LinkId;
+use proptest::prelude::*;
+
+fn inference_strategy(max_links: u16) -> impl Strategy<Value = Inference> {
+    proptest::collection::vec((0..max_links, -100.0f64..300.0), 0..10)
+        .prop_map(|pairs| Inference::from_pairs(pairs.into_iter().map(|(l, w)| (LinkId(l), w))))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Encoding always clamps into the representable range, and decoding an
+    /// encoded header never fails.
+    #[test]
+    fn encode_clamps_decode_succeeds(inf in inference_strategy(150), hops in 0u8..=255) {
+        let codec = HeaderCodec::paper();
+        let bytes = codec.encode(&inf, hops);
+        prop_assert_eq!(bytes.len(), codec.byte_len());
+        let (back, h) = codec.decode(&bytes).expect("own encoding decodes");
+        prop_assert_eq!(h, hops);
+        prop_assert!(back.len() <= 4);
+        for (l, w) in back.entries() {
+            prop_assert!((WEIGHT_MIN as f64..=WEIGHT_MAX as f64).contains(w));
+            // Every decoded link existed in the source with the same sign
+            // region (after rounding/clamping).
+            let orig = inf.weight_of(*l);
+            prop_assert!(orig != 0.0, "decoded link {l:?} absent from source");
+            let clamped = (orig.round()).clamp(WEIGHT_MIN as f64, WEIGHT_MAX as f64);
+            prop_assert_eq!(*w, clamped);
+        }
+    }
+
+    /// A decode/encode round trip is a projection: applying it twice gives
+    /// the same inference as applying it once. (Byte-level equality need not
+    /// hold — clamping can reorder weight ties.)
+    #[test]
+    fn encoding_is_a_projection(inf in inference_strategy(150), hops in 0u8..=255) {
+        let codec = HeaderCodec::paper();
+        let (once, h1) = codec.decode(&codec.encode(&inf, hops)).expect("decodes");
+        let (twice, h2) = codec.decode(&codec.encode(&once, h1)).expect("decodes");
+        prop_assert_eq!(h1, h2);
+        prop_assert_eq!(once, twice);
+    }
+
+    /// The centralized report only accuses positively weighted links, in
+    /// sorted order, each clearing the portion threshold of the original
+    /// mass.
+    #[test]
+    fn centralized_report_soundness(
+        locals in proptest::collection::vec(inference_strategy(60), 0..6),
+        portion in 0.05f64..1.0,
+    ) {
+        let reported = centralized_report(&locals, portion);
+        // Sorted, unique.
+        for w in reported.windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+        // Recompute the aggregate to check each reported link's weight.
+        let mut agg = Inference::empty();
+        for l in &locals {
+            agg = agg.aggregate(l);
+        }
+        let mass: f64 = agg.entries().iter().map(|(_, w)| w.max(0.0)).sum();
+        for l in &reported {
+            let w = agg.weight_of(*l);
+            prop_assert!(w > 0.0, "non-positive link {l:?} reported");
+            prop_assert!(w >= portion * mass - 1e-9, "threshold violated for {l:?}");
+        }
+    }
+
+    /// Warnings are monotone in the thresholds: anything raised under a
+    /// stricter configuration is raised under a laxer one.
+    #[test]
+    fn warning_monotonicity(inf in inference_strategy(60), hops in 0u32..30) {
+        let strict = WarningConfig { hop_min: 5, alpha: 2.0, beta: 2.5 };
+        let lax = WarningConfig { hop_min: 2, alpha: 0.5, beta: 1.1 };
+        if let Some(link) = check_warning(&inf, hops, &strict) {
+            prop_assert_eq!(check_warning(&inf, hops, &lax), Some(link));
+        }
+    }
+
+    /// `top_k` then `aggregate` with empty is identity on the truncated set.
+    #[test]
+    fn truncate_then_identity(inf in inference_strategy(60), k in 0usize..8) {
+        let t = inf.top_k(k);
+        prop_assert_eq!(t.aggregate(&Inference::empty()), t);
+    }
+}

@@ -1,0 +1,46 @@
+//! Deterministic discrete-event packet-level network simulator.
+//!
+//! This crate stands in for the paper's Mininet + pcap + Python-replay
+//! pipeline (§6.1). It simulates, at packet granularity:
+//!
+//! * **Traffic** — unidirectional flows between host pairs, selected by a
+//!   flow-density parameter; per-flow totals follow a long-tailed (bounded
+//!   Pareto) law; the packet-emission process is PPBP (Poisson burst
+//!   arrivals, Pareto burst durations, near-constant in-burst rate), the
+//!   self-similar model of \[32\].
+//! * **Transport feedback** — destinations acknowledge received data; a
+//!   sender that has heard nothing for an RTO stalls, reproducing the
+//!   unidirectional asymmetry of Fig. 2 that the monitoring model relies on:
+//!   after a link fails, downstream switches lose the flow immediately while
+//!   upstream switches keep seeing packets for a while.
+//! * **Links** — propagation delay, serialization at finite bandwidth, a
+//!   drop-tail queue bound, and a state machine (up / corrupted with i.i.d.
+//!   loss / down).
+//! * **Failures** — scheduled link failures, link corruptions, and node
+//!   failures (all incident links down plus no forwarding), with optional
+//!   repair.
+//! * **Observation** — an [`engine::Observer`] is invoked at every switch a
+//!   packet traverses and at every sampling-interval tick; observers may
+//!   mutate a small fixed-size per-packet [`packet::Annotation`], which is
+//!   how Drift-Bottle's in-packet inference header "drifts" through the
+//!   network.
+//!
+//! Everything is a pure function of `(topology, seed, config)`; the engine
+//! has no global state and no wall-clock dependence.
+
+pub mod engine;
+pub mod failure;
+pub mod flow;
+pub mod link;
+pub mod packet;
+pub mod time;
+pub mod trace;
+pub mod traffic;
+
+pub use engine::{HopInfo, NullObserver, Observer, SimConfig, SimStats, Simulator};
+pub use failure::{FailureEvent, FailureKind, FailureScenario};
+pub use flow::{FlowId, FlowSpec};
+pub use packet::Annotation;
+pub use time::SimTime;
+pub use trace::{Observation, TraceRecorder};
+pub use traffic::{TrafficConfig, TrafficGen};

@@ -1,0 +1,125 @@
+//! Per-packet data the engine moves between hops.
+//!
+//! Packets are value types inside events — no heap allocation on the hot
+//! path. The [`Annotation`] is the in-packet extension header observers may
+//! read and write at each hop; Drift-Bottle stores its drifted inference
+//! there (§4.3: "a special fixed-length lightweight inference header").
+
+/// Maximum size of the per-packet annotation in bytes.
+///
+/// The paper's header is 9 B for inference length k = 4 (§6.10); 32 B leaves
+/// room for the k = 8 ablation and the wide (2-byte link id) encoding.
+pub const MAX_ANNOTATION_BYTES: usize = 32;
+
+/// A small, fixed-capacity byte string carried by a packet across hops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Annotation {
+    len: u8,
+    bytes: [u8; MAX_ANNOTATION_BYTES],
+}
+
+impl Default for Annotation {
+    fn default() -> Self {
+        Annotation {
+            len: 0,
+            bytes: [0; MAX_ANNOTATION_BYTES],
+        }
+    }
+}
+
+impl Annotation {
+    /// An empty annotation (no extension header present).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Create from a byte slice. Panics if longer than [`MAX_ANNOTATION_BYTES`].
+    pub fn from_bytes(src: &[u8]) -> Self {
+        assert!(
+            src.len() <= MAX_ANNOTATION_BYTES,
+            "annotation of {} bytes exceeds the {MAX_ANNOTATION_BYTES}-byte capacity",
+            src.len()
+        );
+        let mut a = Self::default();
+        a.bytes[..src.len()].copy_from_slice(src);
+        a.len = src.len() as u8;
+        a
+    }
+
+    /// The annotation contents.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.bytes[..self.len as usize]
+    }
+
+    /// Replace the contents. Panics if longer than [`MAX_ANNOTATION_BYTES`].
+    pub fn set(&mut self, src: &[u8]) {
+        *self = Self::from_bytes(src);
+    }
+
+    /// Remove the annotation (the last switch strips the header before
+    /// delivering to the destination host, §4.3).
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether no annotation is present.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let a = Annotation::from_bytes(&[1, 2, 3]);
+        assert_eq!(a.as_slice(), &[1, 2, 3]);
+        assert_eq!(a.len(), 3);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn empty() {
+        let a = Annotation::empty();
+        assert!(a.is_empty());
+        assert_eq!(a.as_slice(), &[] as &[u8]);
+    }
+
+    #[test]
+    fn set_and_clear() {
+        let mut a = Annotation::empty();
+        a.set(&[9; 9]);
+        assert_eq!(a.len(), 9);
+        a.clear();
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn max_capacity_ok() {
+        let a = Annotation::from_bytes(&[7; MAX_ANNOTATION_BYTES]);
+        assert_eq!(a.len(), MAX_ANNOTATION_BYTES);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn oversize_rejected() {
+        Annotation::from_bytes(&[0; MAX_ANNOTATION_BYTES + 1]);
+    }
+
+    #[test]
+    fn equality_ignores_stale_tail() {
+        let mut a = Annotation::from_bytes(&[1, 2, 3, 4]);
+        a.set(&[1, 2]);
+        let b = Annotation::from_bytes(&[1, 2]);
+        // The stale bytes beyond len make the arrays differ; contents must
+        // still compare equal at the slice level.
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+}

@@ -1,0 +1,32 @@
+//! Scratch diagnostics: path statistics of the evaluation topologies.
+
+use db_topology::stats::PathStats;
+use db_topology::{zoo, RouteTable, TopologyStats};
+
+fn main() {
+    for t in zoo::evaluation_suite() {
+        let rt = RouteTable::build(&t);
+        let ts = TopologyStats::compute(&t);
+        let ps = PathStats::compute(&rt);
+        // Count links carrying no routed traffic.
+        let mut used = vec![false; t.link_count()];
+        for (s, d) in rt.pairs() {
+            for &l in &rt.path(s, d).links {
+                used[l.idx()] = true;
+            }
+        }
+        let dark = used.iter().filter(|&&u| !u).count();
+        println!(
+            "{:<10} nodes {:>3} links {:>3} latvar {:>7.2} | RTT p90 {:>6.1}ms max {:>6.1}ms | path mean {:.1} max {} | dark links {}",
+            t.name(),
+            ts.nodes,
+            ts.links,
+            ts.latency_variance,
+            ps.rtt_p90_ms,
+            ps.rtt_max_ms,
+            ps.mean_path_links,
+            ps.max_path_links,
+            dark
+        );
+    }
+}

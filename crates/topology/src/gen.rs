@@ -1,0 +1,134 @@
+//! Random topology generators, used by property-based tests and stress tests.
+//!
+//! The generators always return *connected* graphs: a random spanning tree is
+//! laid down first, then extra edges follow the model's attachment rule.
+
+use crate::graph::{Topology, TopologyBuilder};
+use db_util::Pcg64;
+
+/// Waxman random geometric graph: `n` nodes on a unit square; after a random
+/// spanning tree, extra pairs (u, v) are linked with probability
+/// `alpha * exp(-d(u,v) / (beta * L))` where `L` is the maximum distance.
+/// Latency is proportional to distance (scaled to `[0.5, 10]` ms).
+pub fn waxman(n: usize, alpha: f64, beta: f64, seed: u64) -> Topology {
+    assert!(n >= 2, "waxman needs at least two nodes");
+    assert!(alpha > 0.0 && beta > 0.0, "waxman parameters must be positive");
+    let mut rng = Pcg64::new_stream(seed, 0x3A47);
+    let pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.f64(), rng.f64())).collect();
+    let dist = |u: usize, v: usize| -> f64 {
+        let dx = pts[u].0 - pts[v].0;
+        let dy = pts[u].1 - pts[v].1;
+        (dx * dx + dy * dy).sqrt()
+    };
+    let mut b = TopologyBuilder::new(format!("waxman{n}"));
+    let ids = b.nodes(n, "w");
+    // Random spanning tree: connect each node to a random earlier node.
+    let mut order: Vec<usize> = (0..n).collect();
+    rng.shuffle(&mut order);
+    for i in 1..n {
+        let u = order[i];
+        let v = order[rng.index(i)];
+        b.link(ids[u], ids[v], latency_of(dist(u, v)));
+    }
+    let l = std::f64::consts::SQRT_2;
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if b.has_link(ids[u], ids[v]) {
+                continue;
+            }
+            let p = alpha * (-dist(u, v) / (beta * l)).exp();
+            if rng.chance(p) {
+                b.link(ids[u], ids[v], latency_of(dist(u, v)));
+            }
+        }
+    }
+    b.build().expect("waxman construction is valid")
+}
+
+fn latency_of(distance: f64) -> f64 {
+    0.5 + distance * 6.7
+}
+
+/// Barabási-Albert preferential attachment: start from a small clique, then
+/// each new node attaches to `m` existing nodes with probability proportional
+/// to degree. Produces hub-dominated graphs like Chinanet.
+pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> Topology {
+    assert!(m >= 1, "barabasi_albert needs m >= 1");
+    assert!(n > m, "barabasi_albert needs n > m");
+    let mut rng = Pcg64::new_stream(seed, 0xBA);
+    let mut b = TopologyBuilder::new(format!("ba{n}_{m}"));
+    let ids = b.nodes(n, "b");
+    // Repeated-endpoint list: sampling from it is degree-proportional.
+    let mut endpoints: Vec<usize> = Vec::new();
+    // Seed clique of m+1 nodes.
+    for u in 0..=m {
+        for v in (u + 1)..=m {
+            b.link(ids[u], ids[v], 0.5 + 4.0 * rng.f64());
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+    for new in (m + 1)..n {
+        let mut chosen = std::collections::HashSet::new();
+        while chosen.len() < m {
+            let t = endpoints[rng.index(endpoints.len())];
+            chosen.insert(t);
+        }
+        for &t in &chosen {
+            b.link(ids[new], ids[t], 0.5 + 4.0 * rng.f64());
+            endpoints.push(new);
+            endpoints.push(t);
+        }
+    }
+    b.build().expect("barabasi-albert construction is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::TopologyStats;
+
+    #[test]
+    fn waxman_is_connected_and_deterministic() {
+        let a = waxman(30, 0.4, 0.3, 7);
+        let b = waxman(30, 0.4, 0.3, 7);
+        assert!(a.is_connected());
+        assert_eq!(a.link_count(), b.link_count());
+        assert!(a.link_count() >= 29, "at least a spanning tree");
+        let c = waxman(30, 0.4, 0.3, 8);
+        // Different seed should (almost surely) give a different graph.
+        assert!(a.link_count() != c.link_count() || {
+            a.links()
+                .iter()
+                .zip(c.links())
+                .any(|(x, y)| x.a != y.a || x.b != y.b)
+        });
+    }
+
+    #[test]
+    fn waxman_density_grows_with_alpha() {
+        let sparse = waxman(40, 0.1, 0.2, 3);
+        let dense = waxman(40, 0.9, 0.6, 3);
+        assert!(dense.link_count() > sparse.link_count());
+    }
+
+    #[test]
+    fn ba_hub_dominance() {
+        let t = barabasi_albert(60, 2, 11);
+        assert!(t.is_connected());
+        // n-m-1 new nodes each add m links, plus the seed clique.
+        assert_eq!(t.link_count(), 3 + (60 - 3) * 2);
+        let s = TopologyStats::compute(&t);
+        assert!(
+            s.degree_skewness > 1.0,
+            "preferential attachment must be right-skewed, got {}",
+            s.degree_skewness
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "n > m")]
+    fn ba_rejects_bad_params() {
+        barabasi_albert(3, 3, 1);
+    }
+}

@@ -1,0 +1,524 @@
+//! Graph model: nodes (switches), undirected links, and the validated
+//! [`Topology`].
+//!
+//! Conventions used across the workspace:
+//!
+//! * Every node is a switch; each switch has exactly one attached host (the
+//!   paper attaches monitoring to switches and treats hosts as traffic
+//!   endpoints only). Host access links are assumed perfect and are not
+//!   failure units — "Drift-Bottle regards a link as the basic failure unit"
+//!   (§6.2) refers to inter-switch links.
+//! * Links are undirected and identified by a dense [`LinkId`]; a flow's path
+//!   is a sequence of `LinkId`s regardless of direction of traversal.
+//! * Latency is one-way propagation delay in milliseconds (`f64`), matching
+//!   the "VAR. of link latency" column of Table 3.
+
+use std::fmt;
+
+/// Dense index of a node (switch) in a [`Topology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u16);
+
+/// Dense index of an undirected link in a [`Topology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LinkId(pub u16);
+
+impl NodeId {
+    /// The index as `usize`, for slice addressing.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl LinkId {
+    /// The index as `usize`, for slice addressing.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+
+/// An undirected link between two switches.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Link {
+    /// One endpoint (the smaller node id after normalization).
+    pub a: NodeId,
+    /// The other endpoint.
+    pub b: NodeId,
+    /// One-way propagation delay in milliseconds.
+    pub latency_ms: f64,
+    /// Capacity in megabits per second.
+    pub bandwidth_mbps: f64,
+}
+
+impl Link {
+    /// The endpoint opposite to `n`; `None` if `n` is not an endpoint.
+    pub fn other(&self, n: NodeId) -> Option<NodeId> {
+        if n == self.a {
+            Some(self.b)
+        } else if n == self.b {
+            Some(self.a)
+        } else {
+            None
+        }
+    }
+
+    /// Whether `n` is one of the endpoints.
+    pub fn touches(&self, n: NodeId) -> bool {
+        n == self.a || n == self.b
+    }
+}
+
+/// Errors produced while building a [`Topology`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum TopologyError {
+    /// A link references a node index that was never added.
+    UnknownNode(u16),
+    /// A link connects a node to itself.
+    SelfLoop(u16),
+    /// The same unordered node pair appears in two links.
+    DuplicateLink(u16, u16),
+    /// A link has a non-positive or non-finite latency.
+    BadLatency(f64),
+    /// A link has a non-positive or non-finite bandwidth.
+    BadBandwidth(f64),
+    /// The graph is not connected, so some host pairs have no path.
+    Disconnected,
+    /// The topology has no nodes.
+    Empty,
+    /// More nodes or links than the dense u16 id spaces can hold.
+    TooLarge,
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::UnknownNode(n) => write!(f, "link references unknown node {n}"),
+            TopologyError::SelfLoop(n) => write!(f, "self-loop at node {n}"),
+            TopologyError::DuplicateLink(a, b) => write!(f, "duplicate link between {a} and {b}"),
+            TopologyError::BadLatency(l) => write!(f, "invalid link latency {l} ms"),
+            TopologyError::BadBandwidth(bw) => write!(f, "invalid link bandwidth {bw} Mbps"),
+            TopologyError::Disconnected => write!(f, "topology is not connected"),
+            TopologyError::Empty => write!(f, "topology has no nodes"),
+            TopologyError::TooLarge => write!(f, "topology exceeds u16 id space"),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+/// Incremental builder for [`Topology`]; validates on [`TopologyBuilder::build`].
+#[derive(Debug, Clone, Default)]
+pub struct TopologyBuilder {
+    name: String,
+    labels: Vec<String>,
+    links: Vec<Link>,
+}
+
+/// Default link bandwidth when a builder caller does not specify one.
+///
+/// The evaluation topologies are ISP/academic backbones; 10 Gbps keeps the
+/// simulated workload (hundreds of kpps aggregate) comfortably below
+/// saturation so that packet loss comes from *failures*, not from ambient
+/// congestion. Congestion studies lower this explicitly.
+pub const DEFAULT_BANDWIDTH_MBPS: f64 = 10_000.0;
+
+impl TopologyBuilder {
+    /// Start a builder for a topology with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        TopologyBuilder {
+            name: name.into(),
+            labels: Vec::new(),
+            links: Vec::new(),
+        }
+    }
+
+    /// Add a node with a human-readable label; returns its id.
+    pub fn node(&mut self, label: impl Into<String>) -> NodeId {
+        let id = NodeId(self.labels.len() as u16);
+        self.labels.push(label.into());
+        id
+    }
+
+    /// Add `n` nodes labeled `prefix0..prefixN-1`; returns their ids.
+    pub fn nodes(&mut self, n: usize, prefix: &str) -> Vec<NodeId> {
+        (0..n).map(|i| self.node(format!("{prefix}{i}"))).collect()
+    }
+
+    /// Add an undirected link with the default bandwidth.
+    pub fn link(&mut self, a: NodeId, b: NodeId, latency_ms: f64) -> &mut Self {
+        self.link_bw(a, b, latency_ms, DEFAULT_BANDWIDTH_MBPS)
+    }
+
+    /// Add an undirected link with an explicit bandwidth.
+    pub fn link_bw(&mut self, a: NodeId, b: NodeId, latency_ms: f64, bandwidth_mbps: f64) -> &mut Self {
+        // Normalize endpoint order so duplicate detection is direction-free.
+        let (a, b) = if a.0 <= b.0 { (a, b) } else { (b, a) };
+        self.links.push(Link {
+            a,
+            b,
+            latency_ms,
+            bandwidth_mbps,
+        });
+        self
+    }
+
+    /// Whether an (unordered) link between `a` and `b` has been added.
+    pub fn has_link(&self, a: NodeId, b: NodeId) -> bool {
+        let (a, b) = if a.0 <= b.0 { (a, b) } else { (b, a) };
+        self.links.iter().any(|l| l.a == a && l.b == b)
+    }
+
+    /// Number of nodes added so far.
+    pub fn node_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of links added so far.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Validate and freeze into a [`Topology`].
+    pub fn build(self) -> Result<Topology, TopologyError> {
+        let n = self.labels.len();
+        if n == 0 {
+            return Err(TopologyError::Empty);
+        }
+        if n > u16::MAX as usize || self.links.len() > u16::MAX as usize {
+            return Err(TopologyError::TooLarge);
+        }
+        let mut seen = std::collections::HashSet::new();
+        for l in &self.links {
+            if l.a.idx() >= n {
+                return Err(TopologyError::UnknownNode(l.a.0));
+            }
+            if l.b.idx() >= n {
+                return Err(TopologyError::UnknownNode(l.b.0));
+            }
+            if l.a == l.b {
+                return Err(TopologyError::SelfLoop(l.a.0));
+            }
+            if !l.latency_ms.is_finite() || l.latency_ms <= 0.0 {
+                return Err(TopologyError::BadLatency(l.latency_ms));
+            }
+            if !l.bandwidth_mbps.is_finite() || l.bandwidth_mbps <= 0.0 {
+                return Err(TopologyError::BadBandwidth(l.bandwidth_mbps));
+            }
+            if !seen.insert((l.a, l.b)) {
+                return Err(TopologyError::DuplicateLink(l.a.0, l.b.0));
+            }
+        }
+        let mut adj: Vec<Vec<(NodeId, LinkId)>> = vec![Vec::new(); n];
+        for (i, l) in self.links.iter().enumerate() {
+            let id = LinkId(i as u16);
+            adj[l.a.idx()].push((l.b, id));
+            adj[l.b.idx()].push((l.a, id));
+        }
+        // Deterministic neighbor order regardless of insertion order.
+        for neighbors in &mut adj {
+            neighbors.sort_unstable_by_key(|(node, link)| (node.0, link.0));
+        }
+        let topo = Topology {
+            name: self.name,
+            labels: self.labels,
+            links: self.links,
+            adj,
+        };
+        if !topo.is_connected() {
+            return Err(TopologyError::Disconnected);
+        }
+        Ok(topo)
+    }
+}
+
+/// A validated, immutable network topology.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    name: String,
+    labels: Vec<String>,
+    links: Vec<Link>,
+    adj: Vec<Vec<(NodeId, LinkId)>>,
+}
+
+impl Topology {
+    /// Topology name (e.g. `"Geant2012"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of undirected links.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Iterator over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.labels.len() as u16).map(NodeId)
+    }
+
+    /// Iterator over all link ids.
+    pub fn link_ids(&self) -> impl Iterator<Item = LinkId> + '_ {
+        (0..self.links.len() as u16).map(LinkId)
+    }
+
+    /// All links, indexed by [`LinkId`].
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// Link by id. Panics on an out-of-range id.
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.links[id.idx()]
+    }
+
+    /// Human-readable node label. Panics on an out-of-range id.
+    pub fn label(&self, n: NodeId) -> &str {
+        &self.labels[n.idx()]
+    }
+
+    /// Neighbors of `n` as `(neighbor, connecting link)`, sorted by id.
+    pub fn neighbors(&self, n: NodeId) -> &[(NodeId, LinkId)] {
+        &self.adj[n.idx()]
+    }
+
+    /// Degree of `n`.
+    pub fn degree(&self, n: NodeId) -> usize {
+        self.adj[n.idx()].len()
+    }
+
+    /// The link between `a` and `b`, if adjacent.
+    pub fn link_between(&self, a: NodeId, b: NodeId) -> Option<LinkId> {
+        self.adj[a.idx()]
+            .iter()
+            .find(|(node, _)| *node == b)
+            .map(|(_, link)| *link)
+    }
+
+    /// All links incident to node `n` — the failure set of a node failure
+    /// (§6.6: "a node failure is equivalent to failures of all connected
+    /// links").
+    pub fn incident_links(&self, n: NodeId) -> Vec<LinkId> {
+        self.adj[n.idx()].iter().map(|(_, l)| *l).collect()
+    }
+
+    /// Whether the graph is connected (BFS from node 0).
+    pub fn is_connected(&self) -> bool {
+        let n = self.node_count();
+        if n == 0 {
+            return false;
+        }
+        let mut seen = vec![false; n];
+        let mut queue = std::collections::VecDeque::new();
+        seen[0] = true;
+        queue.push_back(NodeId(0));
+        let mut visited = 1;
+        while let Some(u) = queue.pop_front() {
+            for &(v, _) in self.neighbors(u) {
+                if !seen[v.idx()] {
+                    seen[v.idx()] = true;
+                    visited += 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        visited == n
+    }
+
+    /// Hop distance (unweighted BFS) from `src` to every node; `u32::MAX`
+    /// marks unreachable nodes (cannot happen on a validated topology).
+    ///
+    /// Used by the warning-locality analysis (Fig. 12).
+    pub fn hop_distances(&self, src: NodeId) -> Vec<u32> {
+        let mut dist = vec![u32::MAX; self.node_count()];
+        let mut queue = std::collections::VecDeque::new();
+        dist[src.idx()] = 0;
+        queue.push_back(src);
+        while let Some(u) = queue.pop_front() {
+            for &(v, _) in self.neighbors(u) {
+                if dist[v.idx()] == u32::MAX {
+                    dist[v.idx()] = dist[u.idx()] + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Hop distance from node `n` to the nearest endpoint of link `l`.
+    pub fn distance_to_link(&self, n: NodeId, l: LinkId) -> u32 {
+        let d = self.hop_distances(n);
+        let link = self.link(l);
+        d[link.a.idx()].min(d[link.b.idx()])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Topology {
+        let mut b = TopologyBuilder::new("tri");
+        let n = b.nodes(3, "s");
+        b.link(n[0], n[1], 1.0);
+        b.link(n[1], n[2], 2.0);
+        b.link(n[0], n[2], 3.0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builds_triangle() {
+        let t = triangle();
+        assert_eq!(t.node_count(), 3);
+        assert_eq!(t.link_count(), 3);
+        assert_eq!(t.degree(NodeId(0)), 2);
+        assert!(t.is_connected());
+        assert_eq!(t.name(), "tri");
+        assert_eq!(t.label(NodeId(1)), "s1");
+    }
+
+    #[test]
+    fn link_between_and_other() {
+        let t = triangle();
+        let l = t.link_between(NodeId(0), NodeId(2)).unwrap();
+        assert_eq!(t.link(l).latency_ms, 3.0);
+        assert_eq!(t.link(l).other(NodeId(0)), Some(NodeId(2)));
+        assert_eq!(t.link(l).other(NodeId(1)), None);
+        assert!(t.link(l).touches(NodeId(2)));
+        assert!(t.link_between(NodeId(0), NodeId(0)).is_none());
+    }
+
+    #[test]
+    fn duplicate_link_rejected_both_directions() {
+        let mut b = TopologyBuilder::new("dup");
+        let n = b.nodes(2, "s");
+        b.link(n[0], n[1], 1.0);
+        b.link(n[1], n[0], 2.0);
+        assert_eq!(
+            b.build().unwrap_err(),
+            TopologyError::DuplicateLink(0, 1)
+        );
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let mut b = TopologyBuilder::new("loop");
+        let n = b.nodes(1, "s");
+        b.link(n[0], n[0], 1.0);
+        assert_eq!(b.build().unwrap_err(), TopologyError::SelfLoop(0));
+    }
+
+    #[test]
+    fn disconnected_rejected() {
+        let mut b = TopologyBuilder::new("disc");
+        let n = b.nodes(4, "s");
+        b.link(n[0], n[1], 1.0);
+        b.link(n[2], n[3], 1.0);
+        assert_eq!(b.build().unwrap_err(), TopologyError::Disconnected);
+    }
+
+    #[test]
+    fn bad_latency_rejected() {
+        let mut b = TopologyBuilder::new("bad");
+        let n = b.nodes(2, "s");
+        b.link(n[0], n[1], 0.0);
+        assert!(matches!(b.build().unwrap_err(), TopologyError::BadLatency(_)));
+
+        let mut b = TopologyBuilder::new("nan");
+        let n = b.nodes(2, "s");
+        b.link(n[0], n[1], f64::NAN);
+        assert!(matches!(b.build().unwrap_err(), TopologyError::BadLatency(_)));
+    }
+
+    #[test]
+    fn bad_bandwidth_rejected() {
+        let mut b = TopologyBuilder::new("bw");
+        let n = b.nodes(2, "s");
+        b.link_bw(n[0], n[1], 1.0, -5.0);
+        assert!(matches!(b.build().unwrap_err(), TopologyError::BadBandwidth(_)));
+    }
+
+    #[test]
+    fn unknown_node_rejected() {
+        let mut b = TopologyBuilder::new("unk");
+        let n = b.nodes(2, "s");
+        b.link(n[0], NodeId(7), 1.0);
+        assert_eq!(b.build().unwrap_err(), TopologyError::UnknownNode(7));
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert_eq!(
+            TopologyBuilder::new("e").build().unwrap_err(),
+            TopologyError::Empty
+        );
+    }
+
+    #[test]
+    fn single_node_is_connected() {
+        let mut b = TopologyBuilder::new("one");
+        b.node("s0");
+        let t = b.build().unwrap();
+        assert!(t.is_connected());
+        assert_eq!(t.link_count(), 0);
+    }
+
+    #[test]
+    fn hop_distances_on_path_graph() {
+        let mut b = TopologyBuilder::new("path");
+        let n = b.nodes(4, "s");
+        b.link(n[0], n[1], 1.0);
+        b.link(n[1], n[2], 1.0);
+        b.link(n[2], n[3], 1.0);
+        let t = b.build().unwrap();
+        assert_eq!(t.hop_distances(NodeId(0)), vec![0, 1, 2, 3]);
+        // Distance from s3 to link (s0,s1): nearest endpoint is s1, 2 hops.
+        let l01 = t.link_between(NodeId(0), NodeId(1)).unwrap();
+        assert_eq!(t.distance_to_link(NodeId(3), l01), 2);
+        assert_eq!(t.distance_to_link(NodeId(0), l01), 0);
+    }
+
+    #[test]
+    fn incident_links_cover_degree() {
+        let t = triangle();
+        let inc = t.incident_links(NodeId(1));
+        assert_eq!(inc.len(), t.degree(NodeId(1)));
+    }
+
+    #[test]
+    fn neighbors_are_sorted() {
+        let mut b = TopologyBuilder::new("sorted");
+        let n = b.nodes(4, "s");
+        // Insert in scrambled order.
+        b.link(n[0], n[3], 1.0);
+        b.link(n[0], n[1], 1.0);
+        b.link(n[0], n[2], 1.0);
+        let t = b.build().unwrap();
+        let ns: Vec<u16> = t.neighbors(NodeId(0)).iter().map(|(v, _)| v.0).collect();
+        assert_eq!(ns, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(NodeId(3).to_string(), "s3");
+        assert_eq!(LinkId(7).to_string(), "l7");
+    }
+}

@@ -1,0 +1,34 @@
+//! Network topology substrate for the Drift-Bottle reproduction.
+//!
+//! The paper evaluates on four topologies from TopologyZoo \[14\] and
+//! Rocketfuel \[21\] (Table 3). This crate provides:
+//!
+//! * [`graph`] — the graph model: switches ([`NodeId`]), undirected weighted
+//!   links ([`LinkId`], [`Link`]), and a validated [`Topology`].
+//! * [`routing`] — deterministic latency-shortest-path routing and the
+//!   [`routing::Path`]/[`routing::RouteTable`] types; paths are what flows
+//!   follow and what the upstream/downstream split of §2.2 is computed from.
+//! * [`matrix`] — the boolean path-link algebra of §2.1/Fig. 1: the routing
+//!   matrix `A`, link identifiability classes, and the MAX_COVERAGE greedy
+//!   solver \[15\] used as the host-based tomography baseline.
+//! * [`stats`] — the statistics of Table 3 (node/link counts, latency
+//!   variance, degree variance/skewness) plus path/RTT statistics that
+//!   parameterize the monitoring windows (§4.1).
+//! * [`zoo`] — deterministic stand-ins for the four evaluation topologies
+//!   (see DESIGN.md §3 for the substitution argument) and the small toy
+//!   topologies of Fig. 1 and Fig. 5.
+//! * [`gen`] — random graph generators (Waxman, Barabási-Albert) for
+//!   property-based testing.
+//! * [`parse`] — a plain-text topology interchange format.
+
+pub mod gen;
+pub mod graph;
+pub mod matrix;
+pub mod parse;
+pub mod routing;
+pub mod stats;
+pub mod zoo;
+
+pub use graph::{Link, LinkId, NodeId, Topology, TopologyBuilder, TopologyError};
+pub use routing::{Path, RouteTable};
+pub use stats::TopologyStats;

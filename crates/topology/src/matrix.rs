@@ -1,0 +1,368 @@
+//! Boolean path-link algebra (§2.1, Fig. 1) and the host-based tomography
+//! baseline.
+//!
+//! The paper motivates switch-based monitoring by showing that end-to-end
+//! (host-based) monitoring cannot always identify the culprit: the routing
+//! matrix `A` (paths × links) is rank deficient, so solving `Ax ≥ b` leaves
+//! links indistinguishable. This module implements:
+//!
+//! * [`RoutingMatrix`] — the boolean matrix over a set of monitored paths;
+//! * identifiability classes — groups of links that appear in *exactly* the
+//!   same monitored paths and therefore can never be told apart end-to-end;
+//! * [`max_coverage`] — the greedy MAX_COVERAGE solver of Kompella et al. \[15\]
+//!   used as the host-based baseline: find a small set of links that explains
+//!   all abnormal paths without accusing links on normal-only paths.
+
+use crate::graph::{LinkId, Topology};
+use crate::routing::Path;
+
+/// Observed end-to-end status of one monitored path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathStatus {
+    /// The path delivered packets normally.
+    Normal,
+    /// The path lost packets (some link on it has failed).
+    Abnormal,
+}
+
+/// Boolean routing matrix over a fixed set of monitored paths.
+#[derive(Debug, Clone)]
+pub struct RoutingMatrix {
+    link_count: usize,
+    /// `rows[p]` = set of links (as a bitset over links) on path `p`.
+    rows: Vec<Vec<u64>>,
+}
+
+fn bitset_words(bits: usize) -> usize {
+    bits.div_ceil(64)
+}
+
+fn bit_get(words: &[u64], i: usize) -> bool {
+    words[i / 64] >> (i % 64) & 1 == 1
+}
+
+fn bit_set(words: &mut [u64], i: usize) {
+    words[i / 64] |= 1 << (i % 64);
+}
+
+impl RoutingMatrix {
+    /// Build the matrix from monitored paths over a topology.
+    pub fn from_paths(topo: &Topology, paths: &[&Path]) -> Self {
+        let link_count = topo.link_count();
+        let words = bitset_words(link_count);
+        let rows = paths
+            .iter()
+            .map(|p| {
+                let mut row = vec![0u64; words];
+                for l in &p.links {
+                    bit_set(&mut row, l.idx());
+                }
+                row
+            })
+            .collect();
+        RoutingMatrix { link_count, rows }
+    }
+
+    /// Number of monitored paths (rows).
+    pub fn path_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of links (columns).
+    pub fn link_count(&self) -> usize {
+        self.link_count
+    }
+
+    /// Whether path `p` contains link `l` (`A[p][l] = 1`).
+    pub fn contains(&self, p: usize, l: LinkId) -> bool {
+        bit_get(&self.rows[p], l.idx())
+    }
+
+    /// Links on path `p`.
+    pub fn links_of(&self, p: usize) -> Vec<LinkId> {
+        (0..self.link_count)
+            .filter(|&i| bit_get(&self.rows[p], i))
+            .map(|i| LinkId(i as u16))
+            .collect()
+    }
+
+    /// Group links into **identifiability classes**: links whose column
+    /// vectors are identical. Links in the same class of size > 1 can never be
+    /// distinguished by these monitored paths (the Fig. 1 failure mode).
+    ///
+    /// Links covered by no monitored path form one unobservable class at the
+    /// end (if any).
+    pub fn identifiability_classes(&self) -> Vec<Vec<LinkId>> {
+        use std::collections::HashMap;
+        let mut by_column: HashMap<Vec<u64>, Vec<LinkId>> = HashMap::new();
+        for l in 0..self.link_count {
+            // Column of link l as a bitset over paths.
+            let mut col = vec![0u64; bitset_words(self.rows.len())];
+            for (p, row) in self.rows.iter().enumerate() {
+                if bit_get(row, l) {
+                    bit_set(&mut col, p);
+                }
+            }
+            by_column.entry(col).or_default().push(LinkId(l as u16));
+        }
+        let mut classes: Vec<Vec<LinkId>> = by_column.into_values().collect();
+        classes.sort_by_key(|c| c[0]);
+        classes
+    }
+
+    /// Fraction of links that are uniquely identifiable from the monitored
+    /// paths (singleton identifiability class and covered by ≥ 1 path).
+    pub fn identifiable_fraction(&self) -> f64 {
+        if self.link_count == 0 {
+            return 1.0;
+        }
+        let classes = self.identifiability_classes();
+        let unique: usize = classes
+            .iter()
+            .filter(|c| c.len() == 1 && self.link_covered(c[0]))
+            .count();
+        unique as f64 / self.link_count as f64
+    }
+
+    /// Whether at least one monitored path traverses `l`.
+    pub fn link_covered(&self, l: LinkId) -> bool {
+        self.rows.iter().any(|row| bit_get(row, l.idx()))
+    }
+}
+
+/// Greedy MAX_COVERAGE solver \[15\] for the boolean inequality `Ax ≥ b`.
+///
+/// Candidate links are those that appear on at least one abnormal path and on
+/// **no** normal path (a normal path certifies the innocence of all of its
+/// links). Repeatedly pick the candidate covering the most not-yet-explained
+/// abnormal paths; ties break toward the smaller link id so the result is
+/// deterministic. Stops when every abnormal path is explained or no candidate
+/// helps.
+pub fn max_coverage(matrix: &RoutingMatrix, status: &[PathStatus]) -> Vec<LinkId> {
+    assert_eq!(
+        matrix.path_count(),
+        status.len(),
+        "max_coverage: one status per path required"
+    );
+    let abnormal: Vec<usize> = (0..status.len())
+        .filter(|&p| status[p] == PathStatus::Abnormal)
+        .collect();
+    if abnormal.is_empty() {
+        return Vec::new();
+    }
+    // Innocent links: on any normal path.
+    let mut innocent = vec![false; matrix.link_count()];
+    for (p, s) in status.iter().enumerate() {
+        if *s == PathStatus::Normal {
+            for l in matrix.links_of(p) {
+                innocent[l.idx()] = true;
+            }
+        }
+    }
+    let mut uncovered: Vec<usize> = abnormal;
+    let mut chosen = Vec::new();
+    loop {
+        let mut best: Option<(usize, LinkId)> = None;
+        for l in 0..matrix.link_count() {
+            if innocent[l] || chosen.contains(&LinkId(l as u16)) {
+                continue;
+            }
+            let cover = uncovered
+                .iter()
+                .filter(|&&p| matrix.contains(p, LinkId(l as u16)))
+                .count();
+            if cover > 0 {
+                let candidate = (cover, LinkId(l as u16));
+                best = match best {
+                    None => Some(candidate),
+                    Some((bc, bl)) => {
+                        if cover > bc || (cover == bc && (l as u16) < bl.0) {
+                            Some(candidate)
+                        } else {
+                            Some((bc, bl))
+                        }
+                    }
+                };
+            }
+        }
+        match best {
+            None => break,
+            Some((_, l)) => {
+                uncovered.retain(|&p| !matrix.contains(p, l));
+                chosen.push(l);
+                if uncovered.is_empty() {
+                    break;
+                }
+            }
+        }
+    }
+    chosen.sort_unstable();
+    chosen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{NodeId, TopologyBuilder};
+    use crate::routing::RouteTable;
+    use crate::zoo;
+
+    /// Chain s0 - s1 - s2 - s3 with links l0, l1, l2.
+    fn chain4() -> Topology {
+        let mut b = TopologyBuilder::new("chain4");
+        let n = b.nodes(4, "s");
+        b.link(n[0], n[1], 1.0);
+        b.link(n[1], n[2], 1.0);
+        b.link(n[2], n[3], 1.0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn matrix_rows_match_paths() {
+        let t = chain4();
+        let rt = RouteTable::build(&t);
+        let p = rt.path(NodeId(0), NodeId(3));
+        let m = RoutingMatrix::from_paths(&t, &[p]);
+        assert_eq!(m.path_count(), 1);
+        assert_eq!(m.link_count(), 3);
+        assert_eq!(m.links_of(0).len(), 3);
+        assert!(m.contains(0, LinkId(0)));
+        assert!(m.link_covered(LinkId(2)));
+    }
+
+    #[test]
+    fn chain_links_indistinguishable_end_to_end() {
+        // A single end-to-end path cannot distinguish its links: they form
+        // one identifiability class — exactly the Fig. 1 argument.
+        let t = chain4();
+        let rt = RouteTable::build(&t);
+        let p = rt.path(NodeId(0), NodeId(3));
+        let m = RoutingMatrix::from_paths(&t, &[p]);
+        let classes = m.identifiability_classes();
+        assert_eq!(classes.len(), 1);
+        assert_eq!(classes[0].len(), 3);
+        assert_eq!(m.identifiable_fraction(), 0.0);
+    }
+
+    #[test]
+    fn figure1_topology_is_rank_deficient_end_to_end() {
+        // On the Fig. 1 stand-in, all monitored host pairs traverse both
+        // bottleneck links or neither, so those two links share a class.
+        let t = zoo::figure1();
+        let rt = RouteTable::build(&t);
+        // Monitored end-to-end flows: s0 -> s2 (both "hosts" behind s0/s2).
+        let p1 = rt.path(NodeId(0), NodeId(2));
+        let p2 = rt.path(NodeId(2), NodeId(0));
+        let m = RoutingMatrix::from_paths(&t, &[p1, p2]);
+        let classes = m.identifiability_classes();
+        let big = classes.iter().find(|c| c.len() >= 2);
+        assert!(
+            big.is_some(),
+            "expected at least one non-singleton identifiability class"
+        );
+    }
+
+    #[test]
+    fn segment_monitoring_separates_links() {
+        // Adding the per-hop "sub-paths" a switch-based monitor sees makes
+        // the links identifiable — the motivation of §2.1.
+        let t = chain4();
+        let rt = RouteTable::build(&t);
+        let full = rt.path(NodeId(0), NodeId(3));
+        let seg1 = rt.path(NodeId(0), NodeId(1));
+        let seg2 = rt.path(NodeId(0), NodeId(2));
+        let m = RoutingMatrix::from_paths(&t, &[full, seg1, seg2]);
+        assert_eq!(m.identifiable_fraction(), 1.0);
+    }
+
+    #[test]
+    fn max_coverage_finds_single_failure() {
+        let t = chain4();
+        let rt = RouteTable::build(&t);
+        // Monitored paths: 0->3 (abnormal), 0->1 (normal), 0->2 (normal).
+        // Only l2 is on the abnormal path but on no normal path.
+        let m = RoutingMatrix::from_paths(
+            &t,
+            &[
+                rt.path(NodeId(0), NodeId(3)),
+                rt.path(NodeId(0), NodeId(1)),
+                rt.path(NodeId(0), NodeId(2)),
+            ],
+        );
+        let culprits = max_coverage(
+            &m,
+            &[PathStatus::Abnormal, PathStatus::Normal, PathStatus::Normal],
+        );
+        assert_eq!(culprits, vec![LinkId(2)]);
+    }
+
+    #[test]
+    fn max_coverage_no_abnormal_paths() {
+        let t = chain4();
+        let rt = RouteTable::build(&t);
+        let m = RoutingMatrix::from_paths(&t, &[rt.path(NodeId(0), NodeId(3))]);
+        assert!(max_coverage(&m, &[PathStatus::Normal]).is_empty());
+    }
+
+    #[test]
+    fn max_coverage_prefers_common_link() {
+        // Two abnormal paths share l1; greedy picks the shared link once
+        // rather than two distinct ones.
+        let mut b = TopologyBuilder::new("y");
+        let n = b.nodes(5, "s");
+        b.link(n[0], n[2], 1.0); // l0
+        b.link(n[1], n[2], 1.0); // l1
+        b.link(n[2], n[3], 1.0); // l2 shared
+        b.link(n[3], n[4], 1.0); // l3
+        let t = b.build().unwrap();
+        let rt = RouteTable::build(&t);
+        let m = RoutingMatrix::from_paths(
+            &t,
+            &[rt.path(NodeId(0), NodeId(4)), rt.path(NodeId(1), NodeId(4))],
+        );
+        let culprits = max_coverage(&m, &[PathStatus::Abnormal, PathStatus::Abnormal]);
+        assert_eq!(culprits.len(), 1);
+        // l2 and l3 are both on both paths; deterministic tie-break picks l2.
+        assert_eq!(culprits[0], LinkId(2));
+    }
+
+    #[test]
+    fn max_coverage_respects_innocence() {
+        // Same as above, but a normal path 0->3 certifies l0 and l2 innocent,
+        // leaving l3 (and l1) as candidates; l3 covers both abnormal paths.
+        let mut b = TopologyBuilder::new("y2");
+        let n = b.nodes(5, "s");
+        b.link(n[0], n[2], 1.0); // l0
+        b.link(n[1], n[2], 1.0); // l1
+        b.link(n[2], n[3], 1.0); // l2
+        b.link(n[3], n[4], 1.0); // l3
+        let t = b.build().unwrap();
+        let rt = RouteTable::build(&t);
+        let m = RoutingMatrix::from_paths(
+            &t,
+            &[
+                rt.path(NodeId(0), NodeId(4)),
+                rt.path(NodeId(1), NodeId(4)),
+                rt.path(NodeId(0), NodeId(3)),
+            ],
+        );
+        let culprits = max_coverage(
+            &m,
+            &[
+                PathStatus::Abnormal,
+                PathStatus::Abnormal,
+                PathStatus::Normal,
+            ],
+        );
+        assert_eq!(culprits, vec![LinkId(3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one status per path")]
+    fn max_coverage_checks_dimensions() {
+        let t = chain4();
+        let rt = RouteTable::build(&t);
+        let m = RoutingMatrix::from_paths(&t, &[rt.path(NodeId(0), NodeId(3))]);
+        max_coverage(&m, &[]);
+    }
+}

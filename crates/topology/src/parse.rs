@@ -1,0 +1,243 @@
+//! Plain-text topology interchange format.
+//!
+//! A minimal, diff-friendly format so operators can feed their own networks
+//! to the system and so topologies can be checked into test fixtures:
+//!
+//! ```text
+//! # comment
+//! topology MyNet
+//! node 0 frankfurt
+//! node 1 paris
+//! link 0 1 4.25          # latency ms, default bandwidth
+//! link 0 1 4.25 10000    # latency ms, bandwidth Mbps
+//! ```
+//!
+//! Node ids must be dense and ascending starting at 0. [`to_text`] and
+//! [`from_text`] round-trip.
+
+use crate::graph::{NodeId, Topology, TopologyBuilder, TopologyError, DEFAULT_BANDWIDTH_MBPS};
+use std::fmt::Write as _;
+
+/// Errors from [`from_text`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseError {
+    /// A line could not be parsed; `(line_number, message)`.
+    Syntax(usize, String),
+    /// The parsed description failed topology validation.
+    Invalid(TopologyError),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Syntax(line, msg) => write!(f, "line {line}: {msg}"),
+            ParseError::Invalid(e) => write!(f, "invalid topology: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<TopologyError> for ParseError {
+    fn from(e: TopologyError) -> Self {
+        ParseError::Invalid(e)
+    }
+}
+
+/// Serialize a topology to the text format.
+pub fn to_text(topo: &Topology) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "topology {}", topo.name());
+    for n in topo.nodes() {
+        let _ = writeln!(out, "node {} {}", n.0, topo.label(n));
+    }
+    for l in topo.links() {
+        if l.bandwidth_mbps == DEFAULT_BANDWIDTH_MBPS {
+            let _ = writeln!(out, "link {} {} {}", l.a.0, l.b.0, l.latency_ms);
+        } else {
+            let _ = writeln!(
+                out,
+                "link {} {} {} {}",
+                l.a.0, l.b.0, l.latency_ms, l.bandwidth_mbps
+            );
+        }
+    }
+    out
+}
+
+/// Parse the text format into a validated topology.
+pub fn from_text(text: &str) -> Result<Topology, ParseError> {
+    let mut name = String::from("unnamed");
+    let mut builder: Option<TopologyBuilder> = None;
+    let mut nodes_declared = 0u32;
+    let mut pending_links: Vec<(u16, u16, f64, f64)> = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let kw = parts.next().expect("non-empty line has a first token");
+        let rest: Vec<&str> = parts.collect();
+        match kw {
+            "topology" => {
+                if rest.is_empty() {
+                    return Err(ParseError::Syntax(lineno, "topology needs a name".into()));
+                }
+                name = rest.join(" ");
+            }
+            "node" => {
+                if rest.len() < 2 {
+                    return Err(ParseError::Syntax(
+                        lineno,
+                        "node needs: node <id> <label>".into(),
+                    ));
+                }
+                let id: u32 = rest[0].parse().map_err(|_| {
+                    ParseError::Syntax(lineno, format!("bad node id '{}'", rest[0]))
+                })?;
+                if id != nodes_declared {
+                    return Err(ParseError::Syntax(
+                        lineno,
+                        format!("node ids must be dense and ascending; expected {nodes_declared}, got {id}"),
+                    ));
+                }
+                nodes_declared += 1;
+                builder
+                    .get_or_insert_with(|| TopologyBuilder::new(name.clone()))
+                    .node(rest[1..].join(" "));
+            }
+            "link" => {
+                if rest.len() < 3 || rest.len() > 4 {
+                    return Err(ParseError::Syntax(
+                        lineno,
+                        "link needs: link <a> <b> <latency_ms> [bandwidth_mbps]".into(),
+                    ));
+                }
+                let a: u16 = rest[0].parse().map_err(|_| {
+                    ParseError::Syntax(lineno, format!("bad node id '{}'", rest[0]))
+                })?;
+                let b: u16 = rest[1].parse().map_err(|_| {
+                    ParseError::Syntax(lineno, format!("bad node id '{}'", rest[1]))
+                })?;
+                let lat: f64 = rest[2].parse().map_err(|_| {
+                    ParseError::Syntax(lineno, format!("bad latency '{}'", rest[2]))
+                })?;
+                let bw: f64 = if rest.len() == 4 {
+                    rest[3].parse().map_err(|_| {
+                        ParseError::Syntax(lineno, format!("bad bandwidth '{}'", rest[3]))
+                    })?
+                } else {
+                    DEFAULT_BANDWIDTH_MBPS
+                };
+                pending_links.push((a, b, lat, bw));
+            }
+            other => {
+                return Err(ParseError::Syntax(
+                    lineno,
+                    format!("unknown keyword '{other}'"),
+                ));
+            }
+        }
+    }
+    let mut builder = builder.ok_or(ParseError::Invalid(TopologyError::Empty))?;
+    for (a, b, lat, bw) in pending_links {
+        builder.link_bw(NodeId(a), NodeId(b), lat, bw);
+    }
+    Ok(builder.build()?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo;
+
+    #[test]
+    fn round_trip_small() {
+        let t = zoo::line(4);
+        let text = to_text(&t);
+        let back = from_text(&text).unwrap();
+        assert_eq!(back.name(), t.name());
+        assert_eq!(back.node_count(), t.node_count());
+        assert_eq!(back.link_count(), t.link_count());
+        for (a, b) in back.links().iter().zip(t.links()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn round_trip_evaluation_topologies() {
+        for t in zoo::evaluation_suite() {
+            let back = from_text(&to_text(&t)).unwrap();
+            assert_eq!(back.node_count(), t.node_count(), "{}", t.name());
+            assert_eq!(back.link_count(), t.link_count(), "{}", t.name());
+            for (a, b) in back.links().iter().zip(t.links()) {
+                assert_eq!(a, b, "{}", t.name());
+            }
+        }
+    }
+
+    #[test]
+    fn parses_comments_and_blank_lines() {
+        let text = "\n# header\ntopology T\nnode 0 x  # inline\nnode 1 y\n\nlink 0 1 2.5\n";
+        let t = from_text(text).unwrap();
+        assert_eq!(t.name(), "T");
+        assert_eq!(t.link_count(), 1);
+        assert_eq!(t.link(crate::graph::LinkId(0)).latency_ms, 2.5);
+    }
+
+    #[test]
+    fn parses_bandwidth() {
+        let text = "topology T\nnode 0 x\nnode 1 y\nlink 0 1 2.5 40000\n";
+        let t = from_text(text).unwrap();
+        assert_eq!(t.link(crate::graph::LinkId(0)).bandwidth_mbps, 40_000.0);
+    }
+
+    #[test]
+    fn rejects_sparse_node_ids() {
+        let text = "topology T\nnode 0 x\nnode 2 y\n";
+        let err = from_text(text).unwrap_err();
+        assert!(matches!(err, ParseError::Syntax(3, _)), "got {err:?}");
+    }
+
+    #[test]
+    fn rejects_unknown_keyword() {
+        let err = from_text("frobnicate 1 2\n").unwrap_err();
+        assert!(matches!(err, ParseError::Syntax(1, _)));
+    }
+
+    #[test]
+    fn rejects_bad_numbers() {
+        let err = from_text("topology T\nnode 0 x\nnode 1 y\nlink 0 one 2\n").unwrap_err();
+        assert!(matches!(err, ParseError::Syntax(4, _)));
+    }
+
+    #[test]
+    fn rejects_empty_input() {
+        assert_eq!(
+            from_text("# nothing\n").unwrap_err(),
+            ParseError::Invalid(TopologyError::Empty)
+        );
+    }
+
+    #[test]
+    fn propagates_validation_errors() {
+        let text = "topology T\nnode 0 x\nnode 1 y\nlink 0 1 1\nlink 1 0 2\n";
+        let err = from_text(text).unwrap_err();
+        assert_eq!(
+            err,
+            ParseError::Invalid(TopologyError::DuplicateLink(0, 1))
+        );
+    }
+
+    #[test]
+    fn multi_word_labels_survive() {
+        let text = "topology Wide Area Net\nnode 0 new york\nnode 1 los angeles\nlink 0 1 30\n";
+        let t = from_text(text).unwrap();
+        assert_eq!(t.name(), "Wide Area Net");
+        assert_eq!(t.label(NodeId(0)), "new york");
+        let round = from_text(&to_text(&t)).unwrap();
+        assert_eq!(round.label(NodeId(1)), "los angeles");
+    }
+}

@@ -1,0 +1,139 @@
+//! Topology statistics (Table 3) and path statistics.
+//!
+//! Table 3 of the paper characterizes the evaluation topologies by node and
+//! link counts and by the variance of link latency; §6.1 additionally argues
+//! from the variance and skewness of node degrees (Chinanet 17.30 / 2.63 vs.
+//! Geant2012 3.79 / 1.42). The monitoring configuration (§4.1) derives the
+//! sliding-window length from the 90th percentile of path RTTs.
+
+use crate::graph::Topology;
+use crate::routing::RouteTable;
+use db_util::stats as st;
+
+/// Summary statistics of a topology, in the units the paper uses.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopologyStats {
+    /// Topology name.
+    pub name: String,
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Number of undirected links.
+    pub links: usize,
+    /// Population variance of one-way link latency (ms²) — Table 3 column.
+    pub latency_variance: f64,
+    /// Mean one-way link latency (ms).
+    pub latency_mean: f64,
+    /// Population variance of node degree — §6.1.
+    pub degree_variance: f64,
+    /// Skewness of node degree — §6.1.
+    pub degree_skewness: f64,
+    /// Maximum node degree.
+    pub max_degree: usize,
+}
+
+impl TopologyStats {
+    /// Compute statistics for a topology.
+    pub fn compute(topo: &Topology) -> Self {
+        let latencies: Vec<f64> = topo.links().iter().map(|l| l.latency_ms).collect();
+        let degrees: Vec<f64> = topo.nodes().map(|n| topo.degree(n) as f64).collect();
+        TopologyStats {
+            name: topo.name().to_string(),
+            nodes: topo.node_count(),
+            links: topo.link_count(),
+            latency_variance: st::variance(&latencies),
+            latency_mean: st::mean(&latencies),
+            degree_variance: st::variance(&degrees),
+            degree_skewness: st::skewness(&degrees),
+            max_degree: topo.nodes().map(|n| topo.degree(n)).max().unwrap_or(0),
+        }
+    }
+}
+
+/// Path/RTT statistics derived from a route table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathStats {
+    /// 90th percentile of all-pairs RTT (ms) — the paper's sliding window length.
+    pub rtt_p90_ms: f64,
+    /// Maximum all-pairs RTT (ms) — the paper's simulation horizon ("the
+    /// largest RTT of all flows, at the magnitude of 0.1 seconds").
+    pub rtt_max_ms: f64,
+    /// Mean all-pairs RTT (ms).
+    pub rtt_mean_ms: f64,
+    /// Mean path length in links.
+    pub mean_path_links: f64,
+    /// Maximum path length in links (hop diameter under latency routing).
+    pub max_path_links: usize,
+}
+
+impl PathStats {
+    /// Compute path statistics from a route table.
+    pub fn compute(rt: &RouteTable) -> Self {
+        let rtts = rt.all_rtts_ms();
+        let mut lens = Vec::with_capacity(rtts.len());
+        for (s, d) in rt.pairs() {
+            lens.push(rt.path(s, d).len() as f64);
+        }
+        PathStats {
+            rtt_p90_ms: st::percentile(&rtts, 90.0),
+            rtt_max_ms: st::max(&rtts).unwrap_or(0.0),
+            rtt_mean_ms: st::mean(&rtts),
+            mean_path_links: st::mean(&lens),
+            max_path_links: lens.iter().map(|&l| l as usize).max().unwrap_or(0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::TopologyBuilder;
+
+    #[test]
+    fn stats_on_star() {
+        // Star with one hub of degree 4 and four leaves of degree 1.
+        let mut b = TopologyBuilder::new("star5");
+        let hub = b.node("hub");
+        for i in 0..4 {
+            let leaf = b.node(format!("leaf{i}"));
+            b.link(hub, leaf, 2.0);
+        }
+        let t = b.build().unwrap();
+        let s = TopologyStats::compute(&t);
+        assert_eq!(s.nodes, 5);
+        assert_eq!(s.links, 4);
+        assert_eq!(s.latency_variance, 0.0);
+        assert_eq!(s.latency_mean, 2.0);
+        assert_eq!(s.max_degree, 4);
+        // Degrees [4,1,1,1,1]: mean 1.6, variance 1.44, strongly right-skewed.
+        assert!((s.degree_variance - 1.44).abs() < 1e-9);
+        assert!(s.degree_skewness > 1.0);
+    }
+
+    #[test]
+    fn latency_variance_reflects_spread() {
+        let mut b = TopologyBuilder::new("spread");
+        let n = b.nodes(3, "s");
+        b.link(n[0], n[1], 1.0);
+        b.link(n[1], n[2], 9.0);
+        let t = b.build().unwrap();
+        let s = TopologyStats::compute(&t);
+        assert_eq!(s.latency_mean, 5.0);
+        assert_eq!(s.latency_variance, 16.0);
+    }
+
+    #[test]
+    fn path_stats_on_chain() {
+        let mut b = TopologyBuilder::new("chain3");
+        let n = b.nodes(3, "s");
+        b.link(n[0], n[1], 1.0);
+        b.link(n[1], n[2], 1.0);
+        let t = b.build().unwrap();
+        let rt = RouteTable::build(&t);
+        let p = PathStats::compute(&rt);
+        // RTTs: 2,2 (adjacent pairs twice each) and 4,4 (ends) → max 4.
+        assert_eq!(p.rtt_max_ms, 4.0);
+        assert_eq!(p.max_path_links, 2);
+        assert!(p.rtt_p90_ms <= 4.0 && p.rtt_p90_ms >= 2.0);
+        assert!((p.mean_path_links - 8.0 / 6.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,603 @@
+//! The evaluation topologies.
+//!
+//! The paper evaluates on four topologies (Table 3): Geant2012, Chinanet and
+//! Tinet from TopologyZoo \[14\] and AS1221 from Rocketfuel \[21\]. The raw
+//! GraphML/ISP-map files are not available offline, so this module builds
+//! deterministic stand-ins that match Table 3 exactly on node/link counts and
+//! closely on the structural properties the paper's analysis relies on:
+//!
+//! * **Geant2012-like** — 40 nodes / 61 links; a geometric (distance-biased)
+//!   mesh like the European academic backbone, moderate degree variance,
+//!   link-latency variance ≈ 14.12 ms².
+//! * **Chinanet-like** — 42 nodes / 66 links; a hub-dominated, star-like
+//!   hierarchy (three national hubs, regional hubs, provincial leaves) with
+//!   degree variance ≈ 17.3 and skewness ≈ 2.6, latency variance ≈ 8.09 ms².
+//! * **Tinet-like** — 53 nodes / 89 links; two dense subnets connected by a
+//!   few very long links, latency variance ≈ 247.64 ms².
+//! * **AS1221-like** — 104 nodes / 151 links; a ring-like backbone with
+//!   attached chains, latency variance ≈ 9.39 ms².
+//!
+//! Also provided: the toy topologies of Fig. 1 and Fig. 5 and generic shapes
+//! (line, star, ring, grid) used across tests and examples.
+//!
+//! Every constructor is a pure function — same topology every call.
+
+use crate::graph::{NodeId, Topology, TopologyBuilder};
+use db_util::stats as st;
+use db_util::Pcg64;
+
+/// Edge list with base "distance" weights, before latency normalization.
+struct Draft {
+    name: &'static str,
+    nodes: usize,
+    edges: Vec<(usize, usize, f64)>,
+}
+
+impl Draft {
+    /// Affinely rescale edge weights to the target latency mean/variance,
+    /// clamping at `min_ms`, and freeze into a `Topology`.
+    fn build_normalized(mut self, mean_ms: f64, var_ms2: f64, min_ms: f64) -> Topology {
+        let base: Vec<f64> = self.edges.iter().map(|e| e.2).collect();
+        let bmean = st::mean(&base);
+        let bvar = st::variance(&base);
+        let scale = if bvar > 0.0 { (var_ms2 / bvar).sqrt() } else { 0.0 };
+        for e in &mut self.edges {
+            e.2 = (mean_ms + (e.2 - bmean) * scale).max(min_ms);
+        }
+        self.build_raw()
+    }
+
+    /// Freeze into a `Topology` with edge weights taken as latencies in ms.
+    fn build_raw(self) -> Topology {
+        let mut b = TopologyBuilder::new(self.name);
+        let ids = b.nodes(self.nodes, "n");
+        for (u, v, lat) in self.edges {
+            b.link(ids[u], ids[v], lat);
+        }
+        b.build()
+            .unwrap_or_else(|e| panic!("zoo topology {} invalid: {e}", self.name))
+    }
+}
+
+/// Euclidean minimum spanning tree over points, via Prim's algorithm.
+fn euclidean_mst(pts: &[(f64, f64)]) -> Vec<(usize, usize, f64)> {
+    let n = pts.len();
+    let d = |i: usize, j: usize| -> f64 {
+        let dx = pts[i].0 - pts[j].0;
+        let dy = pts[i].1 - pts[j].1;
+        (dx * dx + dy * dy).sqrt()
+    };
+    let mut in_tree = vec![false; n];
+    let mut best = vec![(f64::INFINITY, 0usize); n];
+    in_tree[0] = true;
+    for j in 1..n {
+        best[j] = (d(0, j), 0);
+    }
+    let mut edges = Vec::with_capacity(n - 1);
+    for _ in 1..n {
+        let mut pick = usize::MAX;
+        let mut pick_d = f64::INFINITY;
+        for j in 0..n {
+            if !in_tree[j] && best[j].0 < pick_d {
+                pick = j;
+                pick_d = best[j].0;
+            }
+        }
+        edges.push((best[pick].1, pick, pick_d));
+        in_tree[pick] = true;
+        for j in 0..n {
+            if !in_tree[j] {
+                let dj = d(pick, j);
+                if dj < best[j].0 {
+                    best[j] = (dj, pick);
+                }
+            }
+        }
+    }
+    edges
+}
+
+/// A Geant2012-like geometric mesh: 40 nodes, 61 links.
+///
+/// Construction: Euclidean MST for connectivity, then extra links chosen to
+/// minimize the hop diameter (each added edge connects the currently
+/// farthest-apart pair in hops) — the "express link" planning that gives
+/// real research backbones their ~5-hop diameters. A pure shortest-edges
+/// mesh would have 15+-hop paths, which no real Geant flow sees.
+pub fn geant2012() -> Topology {
+    let mut rng = Pcg64::new(0x6EA2_2012);
+    let n = 40;
+    let pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.f64(), rng.f64())).collect();
+    let euclid = |u: usize, v: usize| {
+        let dx = pts[u].0 - pts[v].0;
+        let dy = pts[u].1 - pts[v].1;
+        (dx * dx + dy * dy).sqrt()
+    };
+    let mut edges = euclidean_mst(&pts);
+    let mut adj = vec![std::collections::HashSet::new(); n];
+    for &(u, v, _) in &edges {
+        adj[u].insert(v);
+        adj[v].insert(u);
+    }
+    // Half the extra budget goes to local meshing (shortest non-edges),
+    // half to diameter-reducing express links.
+    let mut cands: Vec<(usize, usize, f64)> = Vec::new();
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if !adj[u].contains(&v) {
+                cands.push((u, v, euclid(u, v)));
+            }
+        }
+    }
+    cands.sort_by(|a, b| a.2.partial_cmp(&b.2).unwrap());
+    for &(u, v, d) in cands.iter().take(11) {
+        edges.push((u, v, d));
+        adj[u].insert(v);
+        adj[v].insert(u);
+    }
+    while edges.len() < 61 {
+        // BFS hop distances from every node; connect the farthest pair.
+        let mut best = (0usize, 0usize, 0u32);
+        for s in 0..n {
+            let mut dist = vec![u32::MAX; n];
+            let mut q = std::collections::VecDeque::new();
+            dist[s] = 0;
+            q.push_back(s);
+            while let Some(x) = q.pop_front() {
+                for &y in &adj[x] {
+                    if dist[y] == u32::MAX {
+                        dist[y] = dist[x] + 1;
+                        q.push_back(y);
+                    }
+                }
+            }
+            for t in (s + 1)..n {
+                if dist[t] > best.2 && !adj[s].contains(&t) {
+                    best = (s, t, dist[t]);
+                }
+            }
+        }
+        let (u, v, _) = best;
+        edges.push((u, v, euclid(u, v)));
+        adj[u].insert(v);
+        adj[v].insert(u);
+    }
+    assert_eq!(edges.len(), 61, "geant2012 draft must have 61 links");
+    Draft {
+        name: "Geant2012",
+        nodes: n,
+        edges,
+    }
+    .build_normalized(5.0, 14.12, 0.5)
+}
+
+/// A Chinanet-like hub-dominated hierarchy: 42 nodes, 66 links.
+///
+/// Nodes 0-2 are national hubs ("busy nodes whose degrees are obviously
+/// greater than others", §6.1), 3-9 regional hubs, 10-41 provincial leaves.
+pub fn chinanet() -> Topology {
+    let mut rng = Pcg64::new(0xC4A1_4E7);
+    let mut edges: Vec<(usize, usize, f64)> = Vec::new();
+    let jitter = |rng: &mut Pcg64, base: f64| base * (0.7 + 0.6 * rng.f64());
+    // Full mesh between the three national hubs (long-haul trunks).
+    for u in 0..3 {
+        for v in (u + 1)..3 {
+            let base = jitter(&mut rng, 8.0);
+            edges.push((u, v, base));
+        }
+    }
+    // Seven regional hubs, each dual-homed to two national hubs.
+    for r in 3..10 {
+        let h1 = r % 3;
+        let h2 = (r + 1) % 3;
+        edges.push((r, h1, jitter(&mut rng, 5.0)));
+        edges.push((r, h2, jitter(&mut rng, 5.0)));
+    }
+    // 32 provincial leaves; 49 uplinks total (17 dual-homed, 15 single-homed)
+    // biased toward the national hubs to give them dominant degrees.
+    let uplink = |rng: &mut Pcg64, leaf: usize, k: usize| -> (usize, f64) {
+        // 60% of uplinks land on a national hub, 40% on a regional hub.
+        let hub = if (leaf + k) % 5 < 3 {
+            (leaf + k) % 3
+        } else {
+            3 + (leaf * 2 + k) % 7
+        };
+        (hub, jitter(rng, 2.5))
+    };
+    for (i, leaf) in (10..42).enumerate() {
+        let (h, lat) = uplink(&mut rng, leaf, 0);
+        edges.push((leaf, h, lat));
+        if i < 17 {
+            let (mut h2, lat2) = uplink(&mut rng, leaf, 1);
+            if h2 == h {
+                h2 = (h2 + 1) % 3;
+            }
+            edges.push((leaf, h2, lat2));
+        }
+    }
+    assert_eq!(edges.len(), 66, "chinanet draft must have 66 links");
+    Draft {
+        name: "Chinanet",
+        nodes: 42,
+        edges,
+    }
+    .build_normalized(3.5, 8.09, 0.4)
+}
+
+/// A Tinet-like topology: 53 nodes, 89 links — two dense subnets joined by
+/// four very long links ("Tinet connects its two main subnets with several
+/// very long links", §6.1). No latency normalization: the bimodal latency
+/// distribution itself is the point (variance ≈ 247 ms²).
+pub fn tinet() -> Topology {
+    let mut rng = Pcg64::new(0x71_4E7);
+    let sizes = [26usize, 27usize];
+    let offsets = [0usize, 26usize];
+    let mut edges: Vec<(usize, usize, f64)> = Vec::new();
+    // Each subnet is a geometric mesh with short intra-subnet latencies.
+    for c in 0..2 {
+        let n = sizes[c];
+        let off = offsets[c];
+        let pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.f64(), rng.f64())).collect();
+        let mst = euclidean_mst(&pts);
+        let mut adj = vec![std::collections::HashSet::new(); n];
+        let mut local: Vec<(usize, usize)> = Vec::new();
+        for &(u, v, _) in &mst {
+            adj[u].insert(v);
+            adj[v].insert(u);
+            local.push((u, v));
+        }
+        // Intra-subnet link budget: 42 for subnet 0, 43 for subnet 1
+        // (42 + 43 + 4 inter = 89).
+        let budget = [42usize, 43usize][c];
+        let mut cands: Vec<(usize, usize, f64)> = Vec::new();
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if !adj[u].contains(&v) {
+                    let dx = pts[u].0 - pts[v].0;
+                    let dy = pts[u].1 - pts[v].1;
+                    cands.push((u, v, (dx * dx + dy * dy).sqrt()));
+                }
+            }
+        }
+        cands.sort_by(|a, b| a.2.partial_cmp(&b.2).unwrap());
+        for (u, v, _) in cands {
+            if local.len() >= budget {
+                break;
+            }
+            local.push((u, v));
+        }
+        assert_eq!(local.len(), budget);
+        for (u, v) in local {
+            // Short intra-subnet latency, uniform in [1.0, 3.8) ms.
+            edges.push((off + u, off + v, 1.0 + 2.8 * rng.f64()));
+        }
+    }
+    // Four very long inter-subnet links (~78 ms) between border nodes.
+    let borders = [(0usize, 26usize), (5, 31), (12, 40), (20, 49)];
+    for (u, v) in borders {
+        edges.push((u, v, 78.0 * (0.98 + 0.04 * rng.f64())));
+    }
+    assert_eq!(edges.len(), 89, "tinet draft must have 89 links");
+    Draft {
+        name: "Tinet",
+        nodes: 53,
+        edges,
+    }
+    .build_raw()
+}
+
+/// An AS1221-like ring backbone: 104 nodes, 151 links ("the topology of a
+/// ring-like AS network", §6.1).
+///
+/// 20 core nodes form a ring with 10 chords; each core node hangs a chain of
+/// access nodes, and neighboring chains are cross-connected.
+pub fn as1221() -> Topology {
+    let mut rng = Pcg64::new(0xA5_1221);
+    let core = 20usize;
+    let mut edges: Vec<(usize, usize, f64)> = Vec::new();
+    let jitter = |rng: &mut Pcg64, base: f64| base * (0.7 + 0.6 * rng.f64());
+    // Backbone ring.
+    for i in 0..core {
+        edges.push((i, (i + 1) % core, jitter(&mut rng, 6.0)));
+    }
+    // Ten chords across the ring (odd stride so no chord repeats).
+    for k in 0..10 {
+        let u = 2 * k;
+        let v = (2 * k + 7) % core;
+        edges.push((u, v, jitter(&mut rng, 7.0)));
+    }
+    // 84 access nodes hang as chains under the core: 4 cores get length-5
+    // chains, 16 get length-4 chains.
+    let mut next = core;
+    let mut chains: Vec<Vec<usize>> = Vec::with_capacity(core);
+    for i in 0..core {
+        let len = if i % 5 == 0 { 5 } else { 4 };
+        let mut chain = Vec::with_capacity(len);
+        let mut prev = i;
+        for _ in 0..len {
+            edges.push((prev, next, jitter(&mut rng, 2.0)));
+            chain.push(next);
+            prev = next;
+            next += 1;
+        }
+        chains.push(chain);
+    }
+    assert_eq!(next, 104);
+    // Cross-connect: tail of chain i to core (i+1) (20 links), and the second
+    // node of chain i to the first node of chain i+1 for i in 0..17 (17 links).
+    for i in 0..core {
+        edges.push((*chains[i].last().unwrap(), (i + 1) % core, jitter(&mut rng, 3.0)));
+    }
+    for i in 0..17 {
+        edges.push((chains[i][1], chains[i + 1][0], jitter(&mut rng, 2.5)));
+    }
+    assert_eq!(edges.len(), 151, "as1221 draft must have 151 links");
+    Draft {
+        name: "AS1221",
+        nodes: 104,
+        edges,
+    }
+    .build_normalized(3.5, 9.39, 0.4)
+}
+
+/// All four evaluation topologies, in Table 3 order.
+pub fn evaluation_suite() -> Vec<Topology> {
+    vec![geant2012(), chinanet(), tinet(), as1221()]
+}
+
+/// The Fig. 1 motivating topology: a three-switch chain. All end-to-end flows
+/// between the edge switches cross both inter-switch links, so host-based
+/// monitoring cannot tell them apart (see `matrix::identifiability_classes`).
+pub fn figure1() -> Topology {
+    line(3)
+}
+
+/// The Fig. 5 scenario topology: leaf switches a1..a8 behind aggregation
+/// switch `a` (node 0); monitor `s` (node 1); aggregation switch `b`
+/// (node 2) with leaves b1, b2 behind it. Link l(a,s) plays the role of the
+/// figure's `l1`, link l(s,b) of `l2`.
+pub fn figure5() -> Topology {
+    let mut b = TopologyBuilder::new("figure5");
+    let a = b.node("a");
+    let s = b.node("s");
+    let bb = b.node("b");
+    b.link(a, s, 1.0); // l0 = paper's l1
+    b.link(s, bb, 1.0); // l1 = paper's l2
+    for i in 0..8 {
+        let leaf = b.node(format!("a{}", i + 1));
+        b.link(a, leaf, 1.0);
+    }
+    for i in 0..2 {
+        let leaf = b.node(format!("b{}", i + 1));
+        b.link(bb, leaf, 1.0);
+    }
+    b.build().expect("figure5 is valid")
+}
+
+/// A line (chain) of `n` switches with 1 ms links.
+pub fn line(n: usize) -> Topology {
+    line_with_latency(n, 1.0)
+}
+
+/// A line of `n` switches with explicit link latency.
+///
+/// Monitoring-pipeline tests want RTTs spanning several sampling intervals
+/// (as the evaluation topologies do); 1 ms links make RTT-length feature
+/// windows degenerate.
+pub fn line_with_latency(n: usize, latency_ms: f64) -> Topology {
+    assert!(n >= 1, "line needs at least one node");
+    let mut b = TopologyBuilder::new(format!("line{n}"));
+    let ids = b.nodes(n, "s");
+    for i in 1..n {
+        b.link(ids[i - 1], ids[i], latency_ms);
+    }
+    b.build().expect("line is valid")
+}
+
+/// A star: hub (node 0) plus `leaves` leaf switches with 1 ms links.
+pub fn star(leaves: usize) -> Topology {
+    assert!(leaves >= 1, "star needs at least one leaf");
+    let mut b = TopologyBuilder::new(format!("star{leaves}"));
+    let hub = b.node("hub");
+    for i in 0..leaves {
+        let leaf = b.node(format!("leaf{i}"));
+        b.link(hub, leaf, 1.0);
+    }
+    b.build().expect("star is valid")
+}
+
+/// A ring of `n` switches with 1 ms links.
+pub fn ring(n: usize) -> Topology {
+    assert!(n >= 3, "ring needs at least three nodes");
+    let mut b = TopologyBuilder::new(format!("ring{n}"));
+    let ids = b.nodes(n, "s");
+    for i in 0..n {
+        b.link(ids[i], ids[(i + 1) % n], 1.0);
+    }
+    b.build().expect("ring is valid")
+}
+
+/// A `w × h` grid of switches with ~1 ms links.
+///
+/// Latencies carry a small deterministic jitter so that shortest paths are
+/// unique: on a perfectly uniform grid the deterministic tie-break would
+/// funnel all traffic through low-id nodes and leave some links carrying no
+/// transit flows at all, which no monitoring system could then observe.
+pub fn grid(w: usize, h: usize) -> Topology {
+    assert!(w >= 1 && h >= 1 && w * h >= 1, "grid needs positive dimensions");
+    let mut b = TopologyBuilder::new(format!("grid{w}x{h}"));
+    let ids = b.nodes(w * h, "s");
+    let at = |x: usize, y: usize| ids[y * w + x];
+    let jitter = |u: NodeId, v: NodeId| {
+        1.0 + 0.013 * ((3 * u.0 as u64 + 7 * v.0 as u64 + 11) % 17) as f64
+    };
+    for y in 0..h {
+        for x in 0..w {
+            if x + 1 < w {
+                let (u, v) = (at(x, y), at(x + 1, y));
+                b.link(u, v, jitter(u, v));
+            }
+            if y + 1 < h {
+                let (u, v) = (at(x, y), at(x, y + 1));
+                b.link(u, v, jitter(u, v));
+            }
+        }
+    }
+    b.build().expect("grid is valid")
+}
+
+/// Look up an evaluation topology by its (case-insensitive) name.
+pub fn by_name(name: &str) -> Option<Topology> {
+    match name.to_ascii_lowercase().as_str() {
+        "geant2012" | "geant" => Some(geant2012()),
+        "chinanet" => Some(chinanet()),
+        "tinet" => Some(tinet()),
+        "as1221" => Some(as1221()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::NodeId;
+    use crate::stats::TopologyStats;
+
+    #[test]
+    fn table3_counts_are_exact() {
+        let cases = [
+            (geant2012(), 40, 61),
+            (chinanet(), 42, 66),
+            (tinet(), 53, 89),
+            (as1221(), 104, 151),
+        ];
+        for (t, nodes, links) in cases {
+            assert_eq!(t.node_count(), nodes, "{} node count", t.name());
+            assert_eq!(t.link_count(), links, "{} link count", t.name());
+            assert!(t.is_connected(), "{} must be connected", t.name());
+        }
+    }
+
+    #[test]
+    fn table3_latency_variances_are_close() {
+        // Paper values: 14.12 / 8.09 / 247.64 / 9.39 (Table 3).
+        let cases = [
+            (geant2012(), 14.12, 0.30),
+            (chinanet(), 8.09, 0.30),
+            (tinet(), 247.64, 0.20),
+            (as1221(), 9.39, 0.30),
+        ];
+        for (t, target, tol) in cases {
+            let s = TopologyStats::compute(&t);
+            let rel = (s.latency_variance - target).abs() / target;
+            assert!(
+                rel < tol,
+                "{}: latency variance {:.2} vs target {target} (rel err {rel:.2})",
+                t.name(),
+                s.latency_variance
+            );
+        }
+    }
+
+    #[test]
+    fn chinanet_is_hub_dominated() {
+        // §6.1: Chinanet's degree variance and skewness far exceed Geant's
+        // (17.30 vs 3.79 and 2.63 vs 1.42).
+        let g = TopologyStats::compute(&geant2012());
+        let c = TopologyStats::compute(&chinanet());
+        assert!(
+            c.degree_variance > 2.5 * g.degree_variance,
+            "chinanet degree variance {:.2} vs geant {:.2}",
+            c.degree_variance,
+            g.degree_variance
+        );
+        assert!(
+            c.degree_skewness > g.degree_skewness,
+            "chinanet skewness {:.2} vs geant {:.2}",
+            c.degree_skewness,
+            g.degree_skewness
+        );
+        assert!(c.max_degree >= 12, "chinanet hubs must be busy");
+    }
+
+    #[test]
+    fn tinet_has_long_links() {
+        let t = tinet();
+        let long: Vec<_> = t
+            .links()
+            .iter()
+            .filter(|l| l.latency_ms > 50.0)
+            .collect();
+        assert_eq!(long.len(), 4, "tinet has exactly four very long links");
+        let short = t.links().iter().filter(|l| l.latency_ms < 5.0).count();
+        assert_eq!(short, 85);
+    }
+
+    #[test]
+    fn constructors_are_deterministic() {
+        for (a, b) in [
+            (geant2012(), geant2012()),
+            (chinanet(), chinanet()),
+            (tinet(), tinet()),
+            (as1221(), as1221()),
+        ] {
+            assert_eq!(a.node_count(), b.node_count());
+            assert_eq!(a.link_count(), b.link_count());
+            for (la, lb) in a.links().iter().zip(b.links()) {
+                assert_eq!(la, lb, "{} must be reproducible", a.name());
+            }
+        }
+    }
+
+    #[test]
+    fn latencies_positive_everywhere() {
+        for t in evaluation_suite() {
+            for l in t.links() {
+                assert!(l.latency_ms > 0.0, "{}: non-positive latency", t.name());
+            }
+        }
+    }
+
+    #[test]
+    fn shapes() {
+        assert_eq!(line(5).link_count(), 4);
+        assert_eq!(star(6).link_count(), 6);
+        assert_eq!(star(6).degree(NodeId(0)), 6);
+        assert_eq!(ring(8).link_count(), 8);
+        let g = grid(3, 4);
+        assert_eq!(g.node_count(), 12);
+        assert_eq!(g.link_count(), 3 * 4 * 2 - 3 - 4);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn figure5_shape() {
+        let t = figure5();
+        assert_eq!(t.node_count(), 13);
+        assert_eq!(t.link_count(), 12);
+        // Monitor s (node 1) sits between a (0) and b (2).
+        assert!(t.link_between(NodeId(0), NodeId(1)).is_some());
+        assert!(t.link_between(NodeId(1), NodeId(2)).is_some());
+        assert_eq!(t.degree(NodeId(0)), 9);
+        assert_eq!(t.degree(NodeId(2)), 3);
+    }
+
+    #[test]
+    fn by_name_lookup() {
+        assert_eq!(by_name("geant2012").unwrap().name(), "Geant2012");
+        assert_eq!(by_name("CHINANET").unwrap().name(), "Chinanet");
+        assert_eq!(by_name("Tinet").unwrap().name(), "Tinet");
+        assert_eq!(by_name("as1221").unwrap().name(), "AS1221");
+        assert!(by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn ring_like_as1221() {
+        // The 20-core ring means removing one backbone link keeps the
+        // topology connected (ring redundancy).
+        let t = as1221();
+        assert!(t.is_connected());
+        let s = TopologyStats::compute(&t);
+        assert!(s.max_degree <= 12, "AS1221 is not hub-dominated");
+    }
+}

@@ -1,0 +1,143 @@
+//! Property-based tests for the topology crate.
+
+use db_topology::matrix::{max_coverage, PathStatus, RoutingMatrix};
+use db_topology::{gen, parse, zoo, NodeId, RouteTable};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Generated graphs are connected and round-trip the text format.
+    #[test]
+    fn waxman_parse_round_trip(n in 3usize..25, seed in 0u64..300) {
+        let topo = gen::waxman(n, 0.4, 0.35, seed);
+        prop_assert!(topo.is_connected());
+        let back = parse::from_text(&parse::to_text(&topo)).expect("round trip");
+        prop_assert_eq!(back.node_count(), topo.node_count());
+        prop_assert_eq!(back.link_count(), topo.link_count());
+        for (a, b) in back.links().iter().zip(topo.links()) {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// Every routed path is simple (no repeated node) and consistent:
+    /// consecutive nodes are joined by the named link.
+    #[test]
+    fn paths_are_simple_and_consistent(n in 3usize..20, seed in 0u64..200) {
+        let topo = gen::barabasi_albert(n, 2.min(n - 1), seed);
+        let routes = RouteTable::build(&topo);
+        for (s, d) in routes.pairs() {
+            let p = routes.path(s, d);
+            let mut seen = std::collections::HashSet::new();
+            for &node in &p.nodes {
+                prop_assert!(seen.insert(node), "repeated node on path {s}->{d}");
+            }
+            for (i, &l) in p.links.iter().enumerate() {
+                let link = topo.link(l);
+                let (a, b) = (p.nodes[i], p.nodes[i + 1]);
+                prop_assert!(link.touches(a) && link.touches(b));
+            }
+        }
+    }
+
+    /// Hop distances satisfy the triangle inequality over links.
+    #[test]
+    fn hop_distances_triangle(n in 3usize..20, seed in 0u64..200) {
+        let topo = gen::waxman(n, 0.5, 0.4, seed);
+        let d0 = topo.hop_distances(NodeId(0));
+        for l in topo.link_ids() {
+            let link = topo.link(l);
+            let (da, db) = (d0[link.a.idx()], d0[link.b.idx()]);
+            prop_assert!(da.abs_diff(db) <= 1, "adjacent nodes differ by more than one hop");
+        }
+    }
+
+    /// MAX_COVERAGE explains every abnormal path and never accuses a link
+    /// certified innocent by a normal path.
+    #[test]
+    fn max_coverage_soundness(n in 4usize..16, seed in 0u64..200, abnormal_bits in 0u32..256) {
+        let topo = gen::waxman(n, 0.5, 0.4, seed);
+        let routes = RouteTable::build(&topo);
+        let paths: Vec<_> = routes
+            .pairs()
+            .take(8)
+            .map(|(s, d)| routes.path(s, d).clone())
+            .collect();
+        let refs: Vec<&_> = paths.iter().collect();
+        let m = RoutingMatrix::from_paths(&topo, &refs);
+        let status: Vec<PathStatus> = (0..refs.len())
+            .map(|i| {
+                if abnormal_bits >> i & 1 == 1 {
+                    PathStatus::Abnormal
+                } else {
+                    PathStatus::Normal
+                }
+            })
+            .collect();
+        let culprits = max_coverage(&m, &status);
+        // No accused link lies on a normal path.
+        for (p, s) in status.iter().enumerate() {
+            if *s == PathStatus::Normal {
+                for l in m.links_of(p) {
+                    prop_assert!(!culprits.contains(&l), "innocent link {l:?} accused");
+                }
+            }
+        }
+        // Every abnormal path is covered unless all its links are certified
+        // innocent (in which case no explanation exists).
+        for (p, s) in status.iter().enumerate() {
+            if *s == PathStatus::Abnormal {
+                let links = m.links_of(p);
+                let innocent_only = links.iter().all(|l| {
+                    status
+                        .iter()
+                        .enumerate()
+                        .any(|(q, sq)| *sq == PathStatus::Normal && m.contains(q, *l))
+                });
+                if !innocent_only {
+                    prop_assert!(
+                        links.iter().any(|l| culprits.contains(l)),
+                        "abnormal path {p} left unexplained"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Identifiability classes partition the link set.
+    #[test]
+    fn identifiability_partitions(n in 3usize..14, seed in 0u64..100) {
+        let topo = gen::waxman(n, 0.5, 0.4, seed);
+        let routes = RouteTable::build(&topo);
+        let paths: Vec<_> = routes.pairs().map(|(s, d)| routes.path(s, d).clone()).collect();
+        let refs: Vec<&_> = paths.iter().collect();
+        let m = RoutingMatrix::from_paths(&topo, &refs);
+        let classes = m.identifiability_classes();
+        let total: usize = classes.iter().map(|c| c.len()).sum();
+        prop_assert_eq!(total, topo.link_count());
+        let mut seen = std::collections::HashSet::new();
+        for c in &classes {
+            for l in c {
+                prop_assert!(seen.insert(*l), "link in two classes");
+            }
+        }
+    }
+}
+
+#[test]
+fn evaluation_topologies_have_sane_route_tables() {
+    for topo in zoo::evaluation_suite() {
+        let routes = RouteTable::build(&topo);
+        for (s, d) in routes.pairs() {
+            let p = routes.path(s, d);
+            assert_eq!(p.src(), s);
+            assert_eq!(p.dst(), d);
+            assert!(p.len() >= 1);
+            assert!(
+                (p.latency_ms(&topo) - routes.latency_ms(s, d)).abs() < 1e-9,
+                "{}: path latency mismatch",
+                topo.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! Shared utilities for the Drift-Bottle reproduction.
+//!
+//! This crate intentionally has no external dependencies. It provides:
+//!
+//! * [`rng`] — a small, fully specified PCG-64 style pseudo-random number
+//!   generator. Every experiment in the workspace must be a pure function of
+//!   `(topology, seed, config)`, so we carry our own generator instead of
+//!   depending on a crate whose stream may change between versions.
+//! * [`dist`] — inverse-CDF samplers for the distributions the paper's traffic
+//!   model needs (exponential, Pareto, log-normal, …).
+//! * [`stats`] — descriptive statistics (mean, variance, skewness, percentiles)
+//!   used both by the topology statistics of Table 3 and by the evaluation
+//!   harness.
+//! * [`table`] — plain-text table and CSV rendering for the figure/table
+//!   binaries in `db-bench`.
+
+pub mod dist;
+pub mod rng;
+pub mod stats;
+pub mod table;
+
+pub use rng::Pcg64;

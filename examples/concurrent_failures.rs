@@ -1,0 +1,57 @@
+//! Concurrent failures: several links failing at once produce competing
+//! drifted inferences; §4.3 argues different drift bottles can report
+//! different culprits. This example injects growing numbers of simultaneous
+//! failures into the AS1221-like ring network (the §6.6 experiment in
+//! miniature).
+//!
+//! ```sh
+//! cargo run --release --example concurrent_failures
+//! ```
+
+use drift_bottle::core::experiment::sweep;
+use drift_bottle::core::eval::MetricsAccum;
+use drift_bottle::prelude::*;
+
+fn main() {
+    println!("preparing AS1221 (ring-like AS backbone, 104 nodes)...");
+    let prep = prepare(zoo::as1221(), &PrepareConfig::default());
+    println!(
+        "  classifier recalls {:.1}% / {:.1}% (normal/abnormal)\n",
+        100.0 * prep.confusion.recall_normal(),
+        100.0 * prep.confusion.recall_abnormal()
+    );
+    println!(
+        "{:<10} {:>10} {:>8} {:>8} {:>8} {:>10}",
+        "failures", "precision", "recall", "F1", "FPR", "epochs"
+    );
+    let epochs = 4u64;
+    for count in [1usize, 2, 4, 6] {
+        let setup = ScenarioSetup::flagship(&prep, 1.0, 17);
+        let kinds: Vec<ScenarioKind> = (0..epochs)
+            .map(|e| ScenarioKind::RandomLinks {
+                count,
+                seed: 0xC0C0 + e * 7 + count as u64,
+            })
+            .collect();
+        let outcomes = sweep(&setup, kinds);
+        let mut acc = MetricsAccum::new();
+        for o in &outcomes {
+            acc.add(&o.variants[0].metrics);
+        }
+        let m = acc.mean();
+        println!(
+            "{:<10} {:>10.2} {:>8.2} {:>8.2} {:>7.2}% {:>10}",
+            count,
+            m.precision,
+            m.recall,
+            m.f1,
+            100.0 * m.fpr,
+            epochs
+        );
+    }
+    println!(
+        "\nPrecision holds as failures multiply — each reported link is worth\n\
+         acting on — while recall decays: some concurrent failures shadow each\n\
+         other's evidence (§6.6)."
+    );
+}

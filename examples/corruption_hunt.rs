@@ -1,0 +1,48 @@
+//! Gray-failure hunt: a corrupted link drops a fraction of packets instead
+//! of all of them — the hardest common failure to localize. This example
+//! sweeps corruption severities on the Chinanet-like topology and shows
+//! where Drift-Bottle's detectability threshold lies.
+//!
+//! ```sh
+//! cargo run --release --example corruption_hunt
+//! ```
+
+use drift_bottle::core::experiment::sample_covered_links;
+use drift_bottle::prelude::*;
+
+fn main() {
+    println!("preparing Chinanet (hub-dominated ISP topology)...");
+    let prep = prepare(zoo::chinanet(), &PrepareConfig::default());
+    let link = sample_covered_links(&prep, 1, 3)[0];
+    let ends = prep.topo.link(link);
+    println!(
+        "target link: {link} between {} and {}\n",
+        prep.topo.label(ends.a),
+        prep.topo.label(ends.b)
+    );
+    println!("{:<12} {:>10} {:>10} {:>12} {:>12}", "loss rate", "dropped", "reported", "hit?", "raises");
+    for rate in [0.05, 0.1, 0.25, 0.5, 0.75, 1.0] {
+        let setup = ScenarioSetup::flagship(&prep, 1.0, 99);
+        let kind = if rate >= 1.0 {
+            ScenarioKind::SingleLink(link)
+        } else {
+            ScenarioKind::Corruption(link, rate)
+        };
+        let outcome = run_scenario(&setup, &kind);
+        let v = outcome.variant("Drift-Bottle").expect("flagship variant");
+        let hit = v.reported.contains(&link);
+        println!(
+            "{:<12} {:>10} {:>10} {:>12} {:>12}",
+            format!("{:.0}%", rate * 100.0),
+            outcome.stats.dropped_corrupt + outcome.stats.dropped_down,
+            v.reported.len(),
+            if hit { "localized" } else { "-" },
+            v.raises
+        );
+    }
+    println!(
+        "\nFull losses and heavy corruption are localized; light corruption hides\n\
+         below the classifier's sensitivity — the paper's failure model treats\n\
+         links dropping 'at a considerable rate' as failure units (§1, §6.2)."
+    );
+}

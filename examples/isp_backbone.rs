@@ -1,0 +1,60 @@
+//! ISP-backbone scenario: sweep single-link failures across the
+//! Geant2012-like European research backbone and compare Drift-Bottle with
+//! the centralized DCA design it replaces (the §6.5 experiment in miniature).
+//!
+//! ```sh
+//! cargo run --release --example isp_backbone
+//! ```
+
+use drift_bottle::core::experiment::{average_by_variant, sample_covered_links, sweep};
+use drift_bottle::prelude::*;
+
+fn main() {
+    println!("preparing Geant2012 (routing, windows, classifier training)...");
+    let prep = prepare(zoo::geant2012(), &PrepareConfig::default());
+    println!(
+        "  {} nodes, {} links; classifier recalls {:.1}% / {:.1}% (normal/abnormal)",
+        prep.topo.node_count(),
+        prep.topo.link_count(),
+        100.0 * prep.confusion.recall_normal(),
+        100.0 * prep.confusion.recall_abnormal()
+    );
+
+    let links = sample_covered_links(&prep, 8, 2024);
+    println!("sweeping {} single-link failure scenarios...", links.len());
+    let mut setup = ScenarioSetup::flagship(&prep, 1.0, 7);
+    setup.variants = vec![
+        VariantSpec::drift_bottle(),
+        VariantSpec::centralized(WeightScheme::DriftBottle, 0.4),
+    ];
+    let kinds: Vec<ScenarioKind> = links.iter().map(|&l| ScenarioKind::SingleLink(l)).collect();
+    let outcomes = sweep(&setup, kinds);
+
+    for (l, o) in links.iter().zip(&outcomes) {
+        let db = o.variant("Drift-Bottle").expect("variant");
+        let first = db
+            .reported_pairs
+            .first()
+            .map(|(s, _)| format!("first warning at switch {s}"))
+            .unwrap_or_else(|| "no warning".into());
+        println!(
+            "  {l}: drift-bottle reported {:?} ({first}); truth {:?}",
+            db.reported, o.ground_truth
+        );
+    }
+    println!("\naverages over the sweep:");
+    for (name, m) in average_by_variant(&outcomes) {
+        println!(
+            "  {name:<16} precision {:.2}  recall {:.2}  F1 {:.2}  accuracy {:.2}%  FPR {:.2}%",
+            m.precision,
+            m.recall,
+            m.f1,
+            100.0 * m.accuracy,
+            100.0 * m.fpr
+        );
+    }
+    println!(
+        "\nNo extra servers, no mirrored traffic: the distributed variant reaches the\n\
+         centralized DCA's quality with a 9-byte header on packets already flowing."
+    );
+}

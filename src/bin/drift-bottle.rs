@@ -1,0 +1,259 @@
+//! `drift-bottle` — command-line front end for the library.
+//!
+//! Operators point it at a topology (a built-in evaluation topology or a
+//! text file in the interchange format), and it trains, simulates and
+//! localizes without writing any Rust:
+//!
+//! ```text
+//! drift-bottle topo <name|file>                  # statistics + monitoring parameters
+//! drift-bottle fail <name|file> <link> [density] # localize one link failure
+//! drift-bottle node <name|file> <node> [density] # localize one node failure
+//! drift-bottle sweep <name|file> [n] [density]   # sweep n covered links, averaged metrics
+//! drift-bottle health <name|file> [density]      # false-positive check on a healthy network
+//! ```
+//!
+//! Argument parsing is deliberately bare std — the library has no CLI
+//! dependencies.
+
+use drift_bottle::core::experiment::{
+    average_by_variant, covered_links, sample_covered_links, sweep,
+};
+use drift_bottle::prelude::*;
+use drift_bottle::topology::parse;
+use drift_bottle::topology::stats::PathStats;
+use drift_bottle::topology::TopologyStats;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  drift-bottle topo   <name|file>\n  drift-bottle fail   <name|file> <link-id> [density]\n  drift-bottle node   <name|file> <node-id> [density]\n  drift-bottle sweep  <name|file> [links] [density]\n  drift-bottle health <name|file> [density]\n\nbuilt-in topologies: geant2012, chinanet, tinet, as1221"
+    );
+    ExitCode::FAILURE
+}
+
+fn load_topology(spec: &str) -> Result<Topology, String> {
+    if let Some(t) = zoo::by_name(spec) {
+        return Ok(t);
+    }
+    let text = std::fs::read_to_string(spec)
+        .map_err(|e| format!("'{spec}' is not a built-in topology and reading it as a file failed: {e}"))?;
+    parse::from_text(&text).map_err(|e| format!("parsing '{spec}': {e}"))
+}
+
+fn parse_density(arg: Option<&String>) -> Result<f64, String> {
+    match arg {
+        None => Ok(1.0),
+        Some(s) => {
+            let d: f64 = s.parse().map_err(|_| format!("bad density '{s}'"))?;
+            if (0.0..=1.0).contains(&d) {
+                Ok(d)
+            } else {
+                Err(format!("density {d} out of [0,1]"))
+            }
+        }
+    }
+}
+
+fn train(topo: Topology) -> Prepared {
+    eprintln!(
+        "[training classifier on {} ({} nodes, {} links)...]",
+        topo.name(),
+        topo.node_count(),
+        topo.link_count()
+    );
+    let prep = prepare(topo, &PrepareConfig::default());
+    eprintln!(
+        "[classifier: normal recall {:.1}%, abnormal recall {:.1}%; window {} x {} ms]",
+        100.0 * prep.confusion.recall_normal(),
+        100.0 * prep.confusion.recall_abnormal(),
+        prep.wcfg.window_intervals,
+        prep.wcfg.interval.as_ms_f64()
+    );
+    prep
+}
+
+fn print_outcome(prep: &Prepared, outcome: &ScenarioOutcome) {
+    let v = outcome.variant("Drift-Bottle").expect("flagship variant");
+    println!(
+        "failure injected at {}; warnings collected until {}",
+        outcome.t_fail, outcome.window.1
+    );
+    println!("ground truth: {:?}", outcome.ground_truth);
+    if v.reported.is_empty() {
+        println!("no links reported within the window");
+    } else {
+        println!("reported:");
+        for &(switch, link) in &v.reported_pairs {
+            let l = prep.topo.link(link);
+            println!(
+                "  {link} ({} - {}) accused by switch {} ({})",
+                prep.topo.label(l.a),
+                prep.topo.label(l.b),
+                switch,
+                prep.topo.label(switch),
+            );
+        }
+    }
+    println!(
+        "precision {:.2}  recall {:.2}  F1 {:.2}  accuracy {:.2}%  FPR {:.2}%",
+        v.metrics.precision,
+        v.metrics.recall,
+        v.metrics.f1,
+        100.0 * v.metrics.accuracy,
+        100.0 * v.metrics.fpr
+    );
+}
+
+fn cmd_topo(spec: &str) -> Result<(), String> {
+    let topo = load_topology(spec)?;
+    let s = TopologyStats::compute(&topo);
+    let routes = RouteTable::build(&topo);
+    let p = PathStats::compute(&routes);
+    println!("topology   : {}", s.name);
+    println!("nodes      : {}", s.nodes);
+    println!("links      : {}", s.links);
+    println!("latency    : mean {:.2} ms, variance {:.2} ms²", s.latency_mean, s.latency_variance);
+    println!("degree     : variance {:.2}, skewness {:.2}, max {}", s.degree_variance, s.degree_skewness, s.max_degree);
+    println!("paths      : mean {:.1} links, max {} links", p.mean_path_links, p.max_path_links);
+    println!("RTT        : p90 {:.1} ms, max {:.1} ms", p.rtt_p90_ms, p.rtt_max_ms);
+    let mut used = vec![false; topo.link_count()];
+    for (a, b) in routes.pairs() {
+        for &l in &routes.path(a, b).links {
+            used[l.idx()] = true;
+        }
+    }
+    let dark = used.iter().filter(|&&u| !u).count();
+    println!("dark links : {dark} (carry no shortest-path traffic)");
+    let wcfg = drift_bottle::flowmon::WindowConfig::for_network(&routes, SimTime::from_ms(4));
+    println!(
+        "monitoring : 4 ms interval, {}-interval sliding window ({} ms)",
+        wcfg.window_intervals,
+        wcfg.window_len().as_ms_f64()
+    );
+    Ok(())
+}
+
+fn cmd_fail(spec: &str, link: &str, density: f64) -> Result<(), String> {
+    let topo = load_topology(spec)?;
+    let id: u16 = link
+        .trim_start_matches('l')
+        .parse()
+        .map_err(|_| format!("bad link id '{link}'"))?;
+    if id as usize >= topo.link_count() {
+        return Err(format!("link {id} out of range (topology has {})", topo.link_count()));
+    }
+    let prep = train(topo);
+    let setup = ScenarioSetup::flagship(&prep, density, 1);
+    let outcome = run_scenario(&setup, &ScenarioKind::SingleLink(LinkId(id)));
+    print_outcome(&prep, &outcome);
+    Ok(())
+}
+
+fn cmd_node(spec: &str, node: &str, density: f64) -> Result<(), String> {
+    let topo = load_topology(spec)?;
+    let id: u16 = node
+        .trim_start_matches('s')
+        .trim_start_matches('n')
+        .parse()
+        .map_err(|_| format!("bad node id '{node}'"))?;
+    if id as usize >= topo.node_count() {
+        return Err(format!("node {id} out of range (topology has {})", topo.node_count()));
+    }
+    let prep = train(topo);
+    let setup = ScenarioSetup::flagship(&prep, density, 1);
+    let outcome = run_scenario(&setup, &ScenarioKind::Node(NodeId(id)));
+    print_outcome(&prep, &outcome);
+    Ok(())
+}
+
+fn cmd_sweep(spec: &str, n: usize, density: f64) -> Result<(), String> {
+    let topo = load_topology(spec)?;
+    let prep = train(topo);
+    let covered = covered_links(&prep).len();
+    let links = sample_covered_links(&prep, n, 0xC11);
+    eprintln!(
+        "[sweeping {} of {} covered links at density {density}...]",
+        links.len(),
+        covered
+    );
+    let setup = ScenarioSetup::flagship(&prep, density, 1);
+    let kinds: Vec<ScenarioKind> = links
+        .iter()
+        .map(|&l| ScenarioKind::SingleLink(l))
+        .collect();
+    let outcomes = sweep(&setup, kinds);
+    for (l, o) in links.iter().zip(&outcomes) {
+        let v = o.variant("Drift-Bottle").expect("flagship variant");
+        println!(
+            "{l}: reported {:?}  P {:.2}  R {:.2}",
+            v.reported, v.metrics.precision, v.metrics.recall
+        );
+    }
+    let (_, m) = average_by_variant(&outcomes).remove(0);
+    println!(
+        "\naverage over {} scenarios: precision {:.3}, recall {:.3}, F1 {:.3}, accuracy {:.2}%, FPR {:.2}%",
+        outcomes.len(),
+        m.precision,
+        m.recall,
+        m.f1,
+        100.0 * m.accuracy,
+        100.0 * m.fpr
+    );
+    Ok(())
+}
+
+fn cmd_health(spec: &str, density: f64) -> Result<(), String> {
+    let topo = load_topology(spec)?;
+    let prep = train(topo);
+    let setup = ScenarioSetup::flagship(&prep, density, 1);
+    let outcome = run_scenario(&setup, &ScenarioKind::None);
+    let v = outcome.variant("Drift-Bottle").expect("flagship variant");
+    println!(
+        "healthy network: {} links falsely accused ({} raises total, {} packets simulated)",
+        v.reported.len(),
+        v.raises,
+        outcome.stats.packets_sent
+    );
+    if !v.reported.is_empty() {
+        println!("accused: {:?}", v.reported);
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("topo") if args.len() == 2 => cmd_topo(&args[1]),
+        Some("fail") if args.len() >= 3 => match parse_density(args.get(3)) {
+            Ok(d) => cmd_fail(&args[1], &args[2], d),
+            Err(e) => Err(e),
+        },
+        Some("node") if args.len() >= 3 => match parse_density(args.get(3)) {
+            Ok(d) => cmd_node(&args[1], &args[2], d),
+            Err(e) => Err(e),
+        },
+        Some("sweep") if args.len() >= 2 => {
+            let n = args
+                .get(2)
+                .map(|s| s.parse::<usize>())
+                .transpose()
+                .map_err(|_| "bad link count".to_string());
+            match (n, parse_density(args.get(3))) {
+                (Ok(n), Ok(d)) => cmd_sweep(&args[1], n.unwrap_or(8), d),
+                (Err(e), _) | (_, Err(e)) => Err(e),
+            }
+        }
+        Some("health") if args.len() >= 2 => match parse_density(args.get(2)) {
+            Ok(d) => cmd_health(&args[1], d),
+            Err(e) => Err(e),
+        },
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

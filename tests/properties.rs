@@ -1,0 +1,193 @@
+//! Property-based tests on the core data structures and invariants,
+//! spanning crates (proptest).
+
+use drift_bottle::dtree::{DecisionTree, TableClassifier, TrainConfig};
+use drift_bottle::flowmon::{FlowStatus, NUM_FEATURES};
+use drift_bottle::inference::{
+    aggregate_step, check_warning, HeaderCodec, Inference, WarningConfig,
+};
+use drift_bottle::netsim::SimTime;
+use drift_bottle::topology::{gen, LinkId, NodeId, RouteTable};
+use drift_bottle::core::LocalizationMetrics;
+use proptest::prelude::*;
+
+/// Strategy: an inference with up to 8 integer-weighted **distinct** links
+/// in the wire codec's representable range (duplicate links would sum past
+/// the clamp bounds).
+fn wire_inference() -> impl Strategy<Value = Inference> {
+    proptest::collection::btree_map(0u16..150, -15i32..=240, 0..8).prop_map(|pairs| {
+        Inference::from_pairs(pairs.into_iter().map(|(l, w)| (LinkId(l), w as f64)))
+    })
+}
+
+/// Strategy: an unconstrained inference (fractional weights allowed).
+fn any_inference() -> impl Strategy<Value = Inference> {
+    proptest::collection::vec((0u16..100, -50.0f64..50.0), 0..10).prop_map(|pairs| {
+        Inference::from_pairs(pairs.into_iter().map(|(l, w)| (LinkId(l), w)))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The 9-byte header round-trips any top-4 integer inference exactly.
+    #[test]
+    fn header_round_trip(inf in wire_inference(), hops in 0u8..=255) {
+        let codec = HeaderCodec::paper();
+        let truncated = inf.top_k(4);
+        let bytes = codec.encode(&truncated, hops);
+        prop_assert_eq!(bytes.len(), 9);
+        let (back, h) = codec.decode(&bytes).expect("self-encoded header decodes");
+        prop_assert_eq!(h, hops);
+        prop_assert_eq!(back, truncated);
+    }
+
+    /// The wide codec round-trips large link ids.
+    #[test]
+    fn wide_header_round_trip(pairs in proptest::collection::vec((0u16..65_000, -15i32..=240), 0..4)) {
+        let codec = HeaderCodec { k: 4, wide: true };
+        let inf = Inference::from_pairs(pairs.into_iter().map(|(l, w)| (LinkId(l), w as f64)));
+        let (back, _) = codec.decode(&codec.encode(&inf, 1)).expect("decodes");
+        prop_assert_eq!(back, inf.top_k(4));
+    }
+
+    /// ⊕ is commutative and associative on exact weights, with the empty
+    /// inference as identity.
+    #[test]
+    fn aggregation_algebra(a in any_inference(), b in any_inference(), c in any_inference()) {
+        prop_assert_eq!(a.aggregate(&b), b.aggregate(&a));
+        let left = a.aggregate(&b).aggregate(&c);
+        let right = a.aggregate(&b.aggregate(&c));
+        // Compare as sets with tolerance: float addition order may differ.
+        prop_assert_eq!(left.len(), right.len());
+        for (l, w) in left.entries() {
+            prop_assert!((right.weight_of(*l) - w).abs() < 1e-9);
+        }
+        prop_assert_eq!(a.aggregate(&Inference::empty()), a);
+    }
+
+    /// Truncation keeps exactly the strongest entries.
+    #[test]
+    fn top_k_invariants(inf in any_inference(), k in 0usize..12) {
+        let t = inf.top_k(k);
+        prop_assert!(t.len() <= k);
+        prop_assert!(t.len() <= inf.len());
+        // Every kept weight is >= every dropped weight.
+        if let Some(min_kept) = t.entries().last().map(|(_, w)| *w) {
+            for (l, w) in inf.entries() {
+                if t.weight_of(*l) == 0.0 && !t.entries().iter().any(|(tl, _)| tl == l) {
+                    prop_assert!(*w <= min_kept + 1e-12);
+                }
+            }
+        }
+    }
+
+    /// An aggregation step never grows beyond k entries and increments hops.
+    #[test]
+    fn aggregate_step_bounds(a in any_inference(), b in any_inference(), hops in 0u8..=255, k in 1usize..8) {
+        let (agg, h) = aggregate_step(&a, &b, hops, k);
+        prop_assert!(agg.len() <= k);
+        prop_assert_eq!(h, hops.saturating_add(1));
+    }
+
+    /// A raised warning implies every condition of equation (1).
+    #[test]
+    fn warning_soundness(inf in any_inference(), hops in 0u32..40) {
+        let cfg = WarningConfig { hop_min: 3, alpha: 1.5, beta: 2.0 };
+        if let Some(link) = check_warning(&inf, hops, &cfg) {
+            prop_assert_eq!(Some(link), inf.top_link());
+            prop_assert!(hops >= cfg.hop_min);
+            prop_assert!(inf.w0() >= cfg.alpha * hops as f64);
+            let w1 = inf.w1();
+            prop_assert!(w1 <= 0.0 || inf.w0() >= cfg.beta * w1);
+        }
+    }
+
+    /// Localization metrics are bounded and consistent.
+    #[test]
+    fn metrics_bounds(
+        reported in proptest::collection::btree_set(0u16..40, 0..10),
+        actual in proptest::collection::btree_set(0u16..40, 0..10),
+    ) {
+        let m = LocalizationMetrics::compute(
+            reported.iter().map(|&l| LinkId(l)),
+            actual.iter().map(|&l| LinkId(l)),
+            40,
+        );
+        for v in [m.precision, m.recall, m.f1, m.accuracy, m.fpr] {
+            prop_assert!((0.0..=1.0).contains(&v), "metric out of range: {v}");
+        }
+        prop_assert!(m.correct <= m.reported.min(m.actual) || m.reported == 0 || m.actual == 0);
+        prop_assert!(m.f1 <= m.precision.max(m.recall) + 1e-12);
+    }
+
+    /// Dijkstra routes are optimal: checked against a Bellman-Ford oracle on
+    /// random Waxman graphs.
+    #[test]
+    fn routing_is_optimal(n in 4usize..20, seed in 0u64..500) {
+        let topo = gen::waxman(n, 0.5, 0.4, seed);
+        let routes = RouteTable::build(&topo);
+        // Bellman-Ford from node 0.
+        let mut dist = vec![f64::INFINITY; n];
+        dist[0] = 0.0;
+        for _ in 0..n {
+            for l in topo.link_ids() {
+                let link = topo.link(l);
+                let (a, b) = (link.a.idx(), link.b.idx());
+                if dist[a] + link.latency_ms < dist[b] {
+                    dist[b] = dist[a] + link.latency_ms;
+                }
+                if dist[b] + link.latency_ms < dist[a] {
+                    dist[a] = dist[b] + link.latency_ms;
+                }
+            }
+        }
+        for t in 1..n {
+            let via_table = routes.latency_ms(NodeId(0), NodeId(t as u16));
+            prop_assert!((via_table - dist[t]).abs() < 1e-9,
+                "path 0->{t}: table {via_table} vs oracle {}", dist[t]);
+            // And the concrete path's latency matches its claimed distance.
+            let p = routes.path(NodeId(0), NodeId(t as u16));
+            prop_assert!((p.latency_ms(&topo) - via_table).abs() < 1e-9);
+        }
+    }
+
+    /// A compiled match-action table classifies identically to its tree.
+    #[test]
+    fn tree_table_equivalence(seed in 0u64..200) {
+        let mut rng = drift_bottle::util::Pcg64::new(seed);
+        let data: Vec<([f64; NUM_FEATURES], FlowStatus)> = (0..400)
+            .map(|_| {
+                let mut x = [0.0; NUM_FEATURES];
+                for v in &mut x {
+                    *v = rng.range_f64(0.0, 8.0);
+                }
+                let label = if x[9] < 2.0 && x[3] > 3.0 {
+                    FlowStatus::Abnormal
+                } else {
+                    FlowStatus::Normal
+                };
+                (x, label)
+            })
+            .collect();
+        let tree = DecisionTree::train(&data, &TrainConfig::default());
+        let table = TableClassifier::compile(&tree);
+        for _ in 0..200 {
+            let mut x = [0.0; NUM_FEATURES];
+            for v in &mut x {
+                *v = rng.range_f64(-2.0, 10.0);
+            }
+            prop_assert_eq!(table.classify(&x), tree.predict(&x));
+        }
+    }
+
+    /// SimTime arithmetic respects ordering.
+    #[test]
+    fn simtime_arithmetic(a in 0u64..1u64 << 40, b in 0u64..1u64 << 40) {
+        let (ta, tb) = (SimTime::from_ns(a), SimTime::from_ns(b));
+        prop_assert_eq!(ta + tb, tb + ta);
+        prop_assert_eq!((ta + tb).saturating_sub(tb), ta);
+        prop_assert_eq!(ta.checked_sub(tb).is_some(), a >= b);
+        prop_assert_eq!(ta < tb, a < b);
+    }
+}

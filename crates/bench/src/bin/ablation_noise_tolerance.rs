@@ -17,19 +17,44 @@ fn main() {
     let n_links = scale(5, 16);
     let prep = prepared("Geant2012");
     let links = sample_covered_links(&prep, n_links, 0xAB3);
-    let mut kinds: Vec<ScenarioKind> = links
-        .iter()
-        .map(|&l| ScenarioKind::SingleLink(l))
-        .collect();
+    let mut kinds: Vec<ScenarioKind> = links.iter().map(|&l| ScenarioKind::SingleLink(l)).collect();
     kinds.push(ScenarioKind::None);
     let settings = [
-        ("sensitive (hop 2, α 1.0)", WarningConfig { hop_min: 2, alpha: 1.0, beta: 2.0 }),
-        ("default   (hop 4, α 2.0)", WarningConfig { hop_min: 4, alpha: 2.0, beta: 2.0 }),
-        ("tolerant  (hop 6, α 3.0)", WarningConfig { hop_min: 6, alpha: 3.0, beta: 2.0 }),
+        (
+            "sensitive (hop 2, α 1.0)",
+            WarningConfig {
+                hop_min: 2,
+                alpha: 1.0,
+                beta: 2.0,
+            },
+        ),
+        (
+            "default   (hop 4, α 2.0)",
+            WarningConfig {
+                hop_min: 4,
+                alpha: 2.0,
+                beta: 2.0,
+            },
+        ),
+        (
+            "tolerant  (hop 6, α 3.0)",
+            WarningConfig {
+                hop_min: 6,
+                alpha: 3.0,
+                beta: 2.0,
+            },
+        ),
     ];
     let mut t = TextTable::new(
         "Ablation §4.3: warning thresholds vs ambient jitter loss (Geant2012)",
-        &["thresholds", "jitter loss", "precision", "recall", "F1", "healthy FP links"],
+        &[
+            "thresholds",
+            "jitter loss",
+            "precision",
+            "recall",
+            "F1",
+            "healthy FP links",
+        ],
     );
     for (name, warning) in settings {
         for loss in [0.0, 1e-3, 5e-3] {

@@ -10,7 +10,9 @@
 //! side by side on identical traffic and quantifies the damage.
 
 use db_bench::{emit, prepared, scale};
-use db_core::experiment::{average_by_variant, sample_covered_links, sweep, ScenarioKind, ScenarioSetup};
+use db_core::experiment::{
+    average_by_variant, sample_covered_links, sweep, ScenarioKind, ScenarioSetup,
+};
 use db_core::{Mechanism, VariantSpec};
 use db_inference::WeightScheme;
 use db_util::table::{f3, pct, TextTable};
@@ -19,10 +21,7 @@ fn main() {
     let n_links = scale(8, 24);
     let prep = prepared("Geant2012");
     let links = sample_covered_links(&prep, n_links, 0xAB1);
-    let mut kinds: Vec<ScenarioKind> = links
-        .iter()
-        .map(|&l| ScenarioKind::SingleLink(l))
-        .collect();
+    let mut kinds: Vec<ScenarioKind> = links.iter().map(|&l| ScenarioKind::SingleLink(l)).collect();
     // Also a healthy scenario: over-aggregation hurts most when there is
     // nothing to find.
     kinds.push(ScenarioKind::None);
@@ -43,7 +42,14 @@ fn main() {
         .collect();
     let mut t = TextTable::new(
         "Ablation §4.3: immutable locals vs absorbing aggregates (Geant2012, single link failures)",
-        &["Protocol", "precision", "recall", "F1", "FPR", "raises/scenario"],
+        &[
+            "Protocol",
+            "precision",
+            "recall",
+            "F1",
+            "FPR",
+            "raises/scenario",
+        ],
     );
     for (name, m) in average_by_variant(&failures) {
         let raises: u64 = failures

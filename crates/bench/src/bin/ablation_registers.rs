@@ -9,8 +9,8 @@
 use db_bench::emit;
 use db_flowmon::registers::{ExactStore, HashedStore, MeasureStore};
 use db_netsim::{
-    FailureScenario, HopInfo, NullObserver, Observer, SimConfig, SimTime, Simulator,
-    TrafficConfig, TrafficGen,
+    FailureScenario, HopInfo, NullObserver, Observer, SimConfig, SimTime, Simulator, TrafficConfig,
+    TrafficGen,
 };
 use db_topology::{zoo, NodeId, RouteTable};
 use db_util::table::{pct, TextTable};

@@ -6,8 +6,8 @@
 //! failures grows.
 
 use db_bench::{emit, prepared, scale};
-use db_core::experiment::{sweep, ScenarioKind, ScenarioSetup};
 use db_core::eval::MetricsAccum;
+use db_core::experiment::{sweep, ScenarioKind, ScenarioSetup};
 use db_util::table::{f3, pct, TextTable};
 
 fn main() {

@@ -25,17 +25,18 @@ fn main() {
     let probe_ratios = [1.0, 1.5, 2.0, 3.0, 4.0, 6.0, 8.0, 16.0, 32.0, RATIO_CAP];
     let mut gap_summary = Vec::new();
     for (name, prep) in names.iter().zip(&preps) {
-        let links = sample_covered_links(prep, n_links, 0xF11_B);
-        let kinds: Vec<ScenarioKind> = links
-            .iter()
-            .map(|&l| ScenarioKind::SingleLink(l))
-            .collect();
+        let links = sample_covered_links(prep, n_links, 0xF11B);
+        let kinds: Vec<ScenarioKind> = links.iter().map(|&l| ScenarioKind::SingleLink(l)).collect();
         let mut setup = ScenarioSetup::flagship(prep, 1.0, 0xB11);
         setup.sys.ratio_sampling = 4;
         let outcomes = sweep(&setup, kinds);
         let (with_failed, clean) = beta_ratio_groups(&outcomes, "Drift-Bottle");
         if with_failed.is_empty() || clean.is_empty() {
-            println!("[{name}: insufficient ratio samples ({} failed, {} clean)]", with_failed.len(), clean.len());
+            println!(
+                "[{name}: insufficient ratio samples ({} failed, {} clean)]",
+                with_failed.len(),
+                clean.len()
+            );
             continue;
         }
         let cdf_f = ecdf(&with_failed);

@@ -18,14 +18,17 @@ fn main() {
     let preps = par_map(names.clone(), |name| prepared(name));
     let mut t = TextTable::new(
         "Figure 12: Warning locality — distance (hops) from raising switch to the failed link",
-        &["Topology", "distance", "true warnings", "fraction", "raising switches"],
+        &[
+            "Topology",
+            "distance",
+            "true warnings",
+            "fraction",
+            "raising switches",
+        ],
     );
     for (name, prep) in names.iter().zip(&preps) {
-        let links = sample_covered_links(prep, n_links, 0xF12_C);
-        let kinds: Vec<ScenarioKind> = links
-            .iter()
-            .map(|&l| ScenarioKind::SingleLink(l))
-            .collect();
+        let links = sample_covered_links(prep, n_links, 0xF12C);
+        let kinds: Vec<ScenarioKind> = links.iter().map(|&l| ScenarioKind::SingleLink(l)).collect();
         let setup = ScenarioSetup::flagship(prep, 1.0, 0xC12);
         let outcomes = sweep(&setup, kinds);
         let hist = locality_histogram(&outcomes, &prep.topo, "Drift-Bottle");

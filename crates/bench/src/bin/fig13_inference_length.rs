@@ -22,14 +22,14 @@ fn main() {
     let ks = [2usize, 3, 4, 6, 8];
     let prep = prepared("Geant2012");
     // Mixed workload: single failures plus 3- and 4-link concurrent bursts.
-    let mut kinds: Vec<ScenarioKind> = sample_covered_links(&prep, n_links, 0xF13_D)
+    let mut kinds: Vec<ScenarioKind> = sample_covered_links(&prep, n_links, 0xF13D)
         .into_iter()
         .map(ScenarioKind::SingleLink)
         .collect();
     for e in 0..epochs {
         kinds.push(ScenarioKind::RandomLinks {
             count: 3,
-            seed: 0x13_0 + e,
+            seed: 0x130 + e,
         });
         kinds.push(ScenarioKind::RandomLinks {
             count: 4,

@@ -65,7 +65,7 @@ fn threshold_confusion(prep: &db_core::Prepared) -> ConfusionMatrix {
     use db_topology::LinkId;
 
     let traffic = TrafficConfig::with_density(0.5);
-    let flows = TrafficGen::generate(&prep.topo, &prep.routes, &traffic, 0xF16_6);
+    let flows = TrafficGen::generate(&prep.topo, &prep.routes, &traffic, 0xF166);
     let (t_fail, _, end) = db_core::classifier::timeline(&prep.wcfg, traffic.start_spread);
     let link = db_core::experiment::covered_links(prep)[0];
     let scenario = FailureScenario::single_link(link, t_fail);
@@ -75,7 +75,7 @@ fn threshold_confusion(prep: &db_core::Prepared) -> ConfusionMatrix {
         ..Default::default()
     };
     let monitor = NetworkMonitor::deploy(&prep.topo, &flows, prep.wcfg);
-    let mut sim = Simulator::new(&prep.topo, flows.clone(), cfg, &scenario, 0xF16_6, monitor);
+    let mut sim = Simulator::new(&prep.topo, flows.clone(), cfg, &scenario, 0xF166, monitor);
     sim.run();
     let (monitor, stats) = sim.finish();
     let labeler = Labeler::new(&prep.topo, &scenario, &flows, &stats, prep.wcfg.interval);

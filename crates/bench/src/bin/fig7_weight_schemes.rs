@@ -30,16 +30,21 @@ fn main() {
     let preps = par_map(names.clone(), |name| prepared(name));
     let mut t = TextTable::new(
         "Figure 7: F1 of weight assignment schemes vs flow density (single link failures)",
-        &["Topology", "density", "Drift-Bottle", "Non-Negative", "007-Drifted", "007-Modified"],
+        &[
+            "Topology",
+            "density",
+            "Drift-Bottle",
+            "Non-Negative",
+            "007-Drifted",
+            "007-Modified",
+        ],
     );
     for (name, prep) in names.iter().zip(&preps) {
-        let links = sample_covered_links(prep, n_links, 0x716_7);
-        let kinds: Vec<ScenarioKind> = links
-            .iter()
-            .map(|&l| ScenarioKind::SingleLink(l))
-            .collect();
+        let links = sample_covered_links(prep, n_links, 0x7167);
+        let kinds: Vec<ScenarioKind> = links.iter().map(|&l| ScenarioKind::SingleLink(l)).collect();
         for &density in &densities {
-            let mut setup = ScenarioSetup::flagship(prep, density, 0x9_E0 + (density * 100.0) as u64);
+            let mut setup =
+                ScenarioSetup::flagship(prep, density, 0x9_E0 + (density * 100.0) as u64);
             setup.variants = VariantSpec::fig7_set();
             let outcomes = sweep(&setup, kinds.clone());
             let avg = average_by_variant(&outcomes);
@@ -57,7 +62,10 @@ fn main() {
                 f3(f1_of("007-Drifted")),
                 f3(f1_of("007-Modified")),
             ]);
-            println!("[{name} density {density:.1}: {} scenarios done]", outcomes.len());
+            println!(
+                "[{name} density {density:.1}: {} scenarios done]",
+                outcomes.len()
+            );
         }
     }
     emit("fig7_weight_schemes", &t);

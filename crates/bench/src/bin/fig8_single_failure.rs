@@ -10,26 +10,34 @@
 //! centralized version at high density.
 
 use db_bench::{emit, prepared, scale};
-use db_core::experiment::{average_by_variant, sample_covered_links, sweep, ScenarioKind, ScenarioSetup};
+use db_core::experiment::{
+    average_by_variant, sample_covered_links, sweep, ScenarioKind, ScenarioSetup,
+};
 use db_core::par::par_map;
 use db_core::VariantSpec;
 use db_util::table::{f3, pct, TextTable};
 
 fn main() {
+    db_telemetry::enable();
     let n_links = scale(8, usize::MAX);
     // Fig. 8 is the headline figure: all four topologies even in quick mode.
     let names = db_bench::TOPOLOGIES.to_vec();
     let preps = par_map(names.clone(), |name| prepared(name));
     let mut t = TextTable::new(
         "Figure 8: Single link failure scenarios",
-        &["Topology", "Mechanism", "precision", "recall", "F1", "accuracy", "FPR"],
+        &[
+            "Topology",
+            "Mechanism",
+            "precision",
+            "recall",
+            "F1",
+            "accuracy",
+            "FPR",
+        ],
     );
     for (name, prep) in names.iter().zip(&preps) {
-        let links = sample_covered_links(prep, n_links, 0xF18_8);
-        let kinds: Vec<ScenarioKind> = links
-            .iter()
-            .map(|&l| ScenarioKind::SingleLink(l))
-            .collect();
+        let links = sample_covered_links(prep, n_links, 0xF188);
+        let kinds: Vec<ScenarioKind> = links.iter().map(|&l| ScenarioKind::SingleLink(l)).collect();
         let mut setup = ScenarioSetup::flagship(prep, 1.0, 0x818);
         setup.variants = VariantSpec::fig8_set();
         let outcomes = sweep(&setup, kinds);
@@ -47,6 +55,21 @@ fn main() {
         println!("[{name} done]");
     }
     emit("fig8_single_failure", &t);
+    db_bench::write_bench_snapshot(
+        "fig8_single_failure",
+        &[
+            ("topologies", names.join(",")),
+            (
+                "links_per_topology",
+                if n_links == usize::MAX {
+                    "all".to_string()
+                } else {
+                    n_links.to_string()
+                },
+            ),
+            ("density", "1.0".to_string()),
+        ],
+    );
     println!(
         "Paper Fig. 8 shape: Drift-Bottle > centralized variants > 007-Drifted on all\n\
          topologies; best on Chinanet/AS1221, hardest on Tinet; §6.5 headline:\n\

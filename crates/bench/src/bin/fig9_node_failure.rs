@@ -17,10 +17,18 @@ fn main() {
     let preps = par_map(names.clone(), |name| prepared(name));
     let mut t = TextTable::new(
         "Figure 9: Multiple link failures caused by single node failures",
-        &["Topology", "Mechanism", "precision", "recall", "F1", "accuracy", "FPR"],
+        &[
+            "Topology",
+            "Mechanism",
+            "precision",
+            "recall",
+            "F1",
+            "accuracy",
+            "FPR",
+        ],
     );
     for (name, prep) in names.iter().zip(&preps) {
-        let nodes = sample_nodes(&prep.topo, n_nodes, 0xF19_9);
+        let nodes = sample_nodes(&prep.topo, n_nodes, 0xF199);
         let kinds: Vec<ScenarioKind> = nodes.into_iter().map(ScenarioKind::Node).collect();
         let mut setup = ScenarioSetup::flagship(prep, 1.0, 0x919);
         setup.variants = VariantSpec::fig8_set();

@@ -15,6 +15,7 @@ use db_util::table::TextTable;
 use std::time::Instant;
 
 fn main() {
+    db_telemetry::enable();
     // Header overhead table.
     let mut t = TextTable::new(
         "§6.10 Bandwidth: inference header overhead",
@@ -82,7 +83,13 @@ fn main() {
     // would hold (§5 anomaly detection tables).
     let mut t3 = TextTable::new(
         "§6.10 Match-action footprint of the trained classifiers",
-        &["Topology", "tree depth", "tree nodes", "table rules", "avg constrained features/rule"],
+        &[
+            "Topology",
+            "tree depth",
+            "tree nodes",
+            "table rules",
+            "avg constrained features/rule",
+        ],
     );
     for name in ["Geant2012", "Chinanet"] {
         let prep = prepared(name);
@@ -102,6 +109,14 @@ fn main() {
         ]);
     }
     emit("resource_classifier_tables", &t3);
+    db_bench::write_bench_snapshot(
+        "resource_usage",
+        &[
+            ("aggregation_iters", iters.to_string()),
+            ("ns_per_packet", format!("{ns:.1}")),
+            ("topologies", "Geant2012,Chinanet".to_string()),
+        ],
+    );
     println!(
         "Paper §6.10 (Tofino): 11 stages, 6.88% SRAM, 1.74% TCAM, 14.58% meter ALUs,\n\
          13.54% logical tables — not measurable in software; the table above gives\n\

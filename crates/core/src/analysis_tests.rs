@@ -73,9 +73,9 @@ fn locality_histogram_weights_by_raise_count() {
     let topo = zoo::line(4); // links l0(s0-s1), l1(s1-s2), l2(s2-s3)
     let mut v = variant("Drift-Bottle");
     v.pair_counts = vec![
-        ((NodeId(1), LinkId(1)), 10), // distance 0 (endpoint)
-        ((NodeId(3), LinkId(1)), 4),  // distance 1 from s3 to l1's nearest end s2
-        ((NodeId(0), LinkId(0)), 9),  // accusation of an innocent link: ignored
+        ((NodeId(1), LinkId(1)), 10),               // distance 0 (endpoint)
+        ((NodeId(3), LinkId(1)), 4),                // distance 1 from s3 to l1's nearest end s2
+        ((NodeId(0), LinkId(0)), 9),                // accusation of an innocent link: ignored
         ((crate::system::DCA_NODE, LinkId(1)), 99), // DCA pseudo-switch: ignored
     ];
     let o = outcome(vec![LinkId(1)], vec![v]);

@@ -8,11 +8,9 @@
 
 use crate::par::par_map;
 use db_dtree::{ConfusionMatrix, DecisionTree, TableClassifier, TrainConfig};
-use db_flowmon::{Dataset, NetworkMonitor, WindowConfig};
 use db_flowmon::dataset::Labeler;
-use db_netsim::{
-    FailureScenario, SimConfig, SimTime, Simulator, TrafficConfig, TrafficGen,
-};
+use db_flowmon::{Dataset, NetworkMonitor, WindowConfig};
+use db_netsim::{FailureScenario, SimConfig, SimTime, Simulator, TrafficConfig, TrafficGen};
 use db_topology::{LinkId, NodeId, RouteTable, Topology};
 use db_util::Pcg64;
 
@@ -86,7 +84,10 @@ pub struct Prepared {
 
 /// Experiment timeline derived from the monitoring window: failure injection
 /// time, the warning-collection window `(from, to]`, and the simulation end.
-pub fn timeline(wcfg: &WindowConfig, start_spread: SimTime) -> (SimTime, (SimTime, SimTime), SimTime) {
+pub fn timeline(
+    wcfg: &WindowConfig,
+    start_spread: SimTime,
+) -> (SimTime, (SimTime, SimTime), SimTime) {
     let window_len = wcfg.window_len();
     let t_fail = start_spread + window_len + wcfg.interval + wcfg.interval;
     let collect_to = t_fail + window_len + wcfg.interval;
@@ -103,6 +104,7 @@ fn scenario_dataset(
     density: f64,
     seed: u64,
 ) -> Dataset {
+    let _monitor = db_telemetry::span("phase.monitor");
     let traffic = TrafficConfig::with_density(density);
     let start_spread = traffic.start_spread;
     let flows = TrafficGen::generate(topo, routes, &traffic, seed);
@@ -115,7 +117,10 @@ fn scenario_dataset(
         tick_interval: wcfg.interval,
         ..Default::default()
     };
-    let monitor = NetworkMonitor::deploy(topo, &flows, wcfg);
+    let mut monitor = NetworkMonitor::deploy(topo, &flows, wcfg);
+    if let Some(reg) = db_telemetry::active() {
+        monitor.set_metrics(reg);
+    }
     let mut sim = Simulator::new(topo, flows.clone(), cfg, scenario, seed, monitor);
     sim.run();
     let (monitor, stats) = sim.finish();
@@ -125,6 +130,7 @@ fn scenario_dataset(
 
 /// Run the full §6.1 training pipeline for a topology.
 pub fn prepare(topo: Topology, cfg: &PrepareConfig) -> Prepared {
+    let _train = db_telemetry::span("phase.train");
     let routes = RouteTable::build(&topo);
     let wcfg = WindowConfig::for_network(&routes, cfg.interval);
     let mut rng = Pcg64::new_stream(cfg.seed, 0x7EA1);
@@ -179,10 +185,10 @@ pub fn prepare(topo: Topology, cfg: &PrepareConfig) -> Prepared {
         .collect();
     let tree = DecisionTree::train(&examples, &cfg.tree);
     let table = TableClassifier::compile(&tree);
-    let confusion = ConfusionMatrix::evaluate(
-        test.samples.iter().map(|s| (&s.features, s.label)),
-        |x| table.classify(x),
-    );
+    let confusion =
+        ConfusionMatrix::evaluate(test.samples.iter().map(|s| (&s.features, s.label)), |x| {
+            table.classify(x)
+        });
     Prepared {
         topo,
         routes,
@@ -219,7 +225,10 @@ mod tests {
         assert!(prep.train_samples > 100, "train = {}", prep.train_samples);
         assert!(prep.test_samples > 100);
         let cm = prep.confusion;
-        assert!(cm.tp + cm.fn_ > 0, "test split must contain abnormal samples");
+        assert!(
+            cm.tp + cm.fn_ > 0,
+            "test split must contain abnormal samples"
+        );
         assert!(
             cm.recall_normal() > 0.85,
             "normal recall too low: {:.3}",

@@ -12,7 +12,9 @@ use crate::config::{SystemConfig, VariantSpec};
 use crate::eval::{LocalizationMetrics, MetricsAccum};
 use crate::par::par_map;
 use crate::system::{DriftBottleSystem, RatioSample};
-use db_netsim::{FailureScenario, SimConfig, SimStats, SimTime, Simulator, TrafficConfig, TrafficGen};
+use db_netsim::{
+    FailureScenario, SimConfig, SimStats, SimTime, Simulator, TrafficConfig, TrafficGen,
+};
 use db_topology::{LinkId, NodeId, Topology};
 use db_util::Pcg64;
 
@@ -60,8 +62,7 @@ impl ScenarioKind {
                 let picks = rng.sample_indices(covered.len(), count);
                 let mut scenario = FailureScenario::none();
                 for i in picks {
-                    scenario = scenario
-                        .merged(FailureScenario::single_link(covered[i], t_fail));
+                    scenario = scenario.merged(FailureScenario::single_link(covered[i], t_fail));
                 }
                 scenario
             }
@@ -155,7 +156,7 @@ pub fn run_scenario(setup: &ScenarioSetup, kind: &ScenarioKind) -> ScenarioOutco
     let (t_fail, window, end) = timeline(&prep.wcfg, start_spread);
     let scenario = kind.build(prep, t_fail);
     let ground_truth = scenario.failed_links_at(&prep.topo, t_fail);
-    let system = DriftBottleSystem::deploy(
+    let mut system = DriftBottleSystem::deploy(
         &prep.topo,
         &flows,
         prep.wcfg,
@@ -170,8 +171,18 @@ pub fn run_scenario(setup: &ScenarioSetup, kind: &ScenarioKind) -> ScenarioOutco
         background_loss: setup.background_loss,
         ..Default::default()
     };
+    if let Some(reg) = db_telemetry::active() {
+        system.set_metrics(reg);
+    }
     let mut sim = Simulator::new(&prep.topo, flows, cfg, &scenario, setup.seed, system);
-    sim.run();
+    if let Some(reg) = db_telemetry::active() {
+        sim.set_metrics(reg);
+    }
+    {
+        let _simulate = db_telemetry::span("phase.simulate");
+        sim.run();
+    }
+    let _score = db_telemetry::span("phase.score");
     let (system, stats) = sim.finish();
     let total_links = prep.topo.link_count();
     let variants = system
@@ -183,11 +194,8 @@ pub fn run_scenario(setup: &ScenarioSetup, kind: &ScenarioKind) -> ScenarioOutco
                 ground_truth.iter().copied(),
                 total_links,
             );
-            let mut pair_counts: Vec<((NodeId, LinkId), u64)> = log
-                .by_pair
-                .iter()
-                .map(|(k, v)| (*k, v.count))
-                .collect();
+            let mut pair_counts: Vec<((NodeId, LinkId), u64)> =
+                log.by_pair.iter().map(|(k, v)| (*k, v.count)).collect();
             pair_counts.sort_unstable_by_key(|&(k, _)| k);
             VariantResult {
                 name: spec.name.clone(),
@@ -199,7 +207,20 @@ pub fn run_scenario(setup: &ScenarioSetup, kind: &ScenarioKind) -> ScenarioOutco
                 ratios: ratios.to_vec(),
             }
         })
-        .collect();
+        .collect::<Vec<VariantResult>>();
+    for v in &variants {
+        db_telemetry::event!(
+            db_telemetry::Level::Info,
+            "experiment.scenario",
+            "variant scored",
+            variant = v.name,
+            failed = ground_truth.len(),
+            reported = v.reported.len(),
+            raises = v.raises,
+            recall = v.metrics.recall,
+            precision = v.metrics.precision,
+        );
+    }
     ScenarioOutcome {
         ground_truth,
         t_fail,
@@ -265,7 +286,11 @@ pub fn sample_nodes(topo: &Topology, n: usize, seed: u64) -> Vec<NodeId> {
 /// Returns `(variant name, averaged metrics)` in variant order.
 pub fn average_by_variant(outcomes: &[ScenarioOutcome]) -> Vec<(String, LocalizationMetrics)> {
     assert!(!outcomes.is_empty(), "no outcomes to average");
-    let names: Vec<String> = outcomes[0].variants.iter().map(|v| v.name.clone()).collect();
+    let names: Vec<String> = outcomes[0]
+        .variants
+        .iter()
+        .map(|v| v.name.clone())
+        .collect();
     names
         .into_iter()
         .map(|name| {
@@ -297,9 +322,10 @@ pub fn beta_ratio_groups(outcomes: &[ScenarioOutcome], variant: &str) -> (Vec<f6
     let mut with_failed = Vec::new();
     let mut clean = Vec::new();
     for o in outcomes {
-        let truth: std::collections::HashSet<LinkId> =
-            o.ground_truth.iter().copied().collect();
-        let Some(v) = o.variant(variant) else { continue };
+        let truth: std::collections::HashSet<LinkId> = o.ground_truth.iter().copied().collect();
+        let Some(v) = o.variant(variant) else {
+            continue;
+        };
         for s in &v.ratios {
             let failed_w = s
                 .entries
@@ -340,9 +366,10 @@ pub fn locality_histogram(
 ) -> Vec<u64> {
     let mut hist: Vec<u64> = Vec::new();
     for o in outcomes {
-        let truth: std::collections::HashSet<LinkId> =
-            o.ground_truth.iter().copied().collect();
-        let Some(v) = o.variant(variant) else { continue };
+        let truth: std::collections::HashSet<LinkId> = o.ground_truth.iter().copied().collect();
+        let Some(v) = o.variant(variant) else {
+            continue;
+        };
         for &((switch, link), count) in &v.pair_counts {
             if !truth.contains(&link) || switch == crate::system::DCA_NODE {
                 continue;
@@ -450,8 +477,7 @@ mod tests {
         let prep = grid_prep();
         let setup = ScenarioSetup::flagship(prep, 1.0, 11);
         let links = sample_links(&prep.topo, 3, 1);
-        let kinds: Vec<ScenarioKind> =
-            links.into_iter().map(ScenarioKind::SingleLink).collect();
+        let kinds: Vec<ScenarioKind> = links.into_iter().map(ScenarioKind::SingleLink).collect();
         let outcomes = sweep(&setup, kinds);
         assert_eq!(outcomes.len(), 3);
         let avg = average_by_variant(&outcomes);

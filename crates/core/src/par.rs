@@ -9,6 +9,14 @@ use std::sync::Mutex;
 /// Apply `f` to every item on a pool of worker threads, returning results in
 /// input order. Uses `std::thread::available_parallelism` workers (capped by
 /// the item count).
+///
+/// # Panics
+///
+/// If `f` panics for any item, the panic propagates to the caller once the
+/// remaining workers have finished (the `std::thread::scope` join). No
+/// partial results are returned and no worker deadlocks: each result slot
+/// has its own lock, so a panicking worker can poison only the slot it was
+/// filling, never one another worker still needs.
 pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
 where
     T: Send + Sync,
@@ -70,6 +78,26 @@ mod tests {
     #[test]
     fn single_item() {
         assert_eq!(par_map(vec![41], |&x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_caller() {
+        // Silence the worker's panic backtrace; restore the hook after.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let result = std::panic::catch_unwind(|| {
+            par_map((0..64).collect::<Vec<u32>>(), |&x| {
+                if x == 33 {
+                    panic!("worker failure");
+                }
+                x * 2
+            })
+        });
+        std::panic::set_hook(prev);
+        assert!(
+            result.is_err(),
+            "a panicking worker must fail the whole map"
+        );
     }
 
     #[test]

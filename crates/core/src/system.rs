@@ -21,9 +21,10 @@
 
 use crate::config::{Mechanism, SystemConfig, VariantSpec};
 use db_dtree::FlowClassifier;
-use db_flowmon::{FlowStatus, SwitchMonitor, WindowConfig};
+use db_flowmon::{FlowStatus, FlowmonMetrics, SwitchMonitor, WindowConfig};
 use db_inference::{
-    aggregate_step, centralized_report, check_warning, local_inference, HeaderCodec, Inference,
+    aggregate_step_metered, centralized_report, check_warning, local_inference, HeaderCodec,
+    Inference, InferenceMetrics,
 };
 use db_netsim::{Annotation, FlowSpec, HopInfo, Observer, SimTime};
 use db_topology::{LinkId, NodeId, Topology};
@@ -115,6 +116,18 @@ pub struct DriftBottleSystem<C: FlowClassifier> {
     /// Warning collection window `(from, to]`.
     window: (SimTime, SimTime),
     agg_counter: u64,
+    /// Telemetry handles; `None` (the default) keeps the hot path untouched.
+    metrics: Option<InferenceMetrics>,
+    /// Flow-monitoring telemetry for the embedded per-switch monitors.
+    fm_metrics: Option<FlowmonMetrics>,
+    /// Classifier telemetry: (`dtree.classifications`, `dtree.class_normal`,
+    /// `dtree.class_abnormal`) — same names [`db_dtree::InstrumentedClassifier`]
+    /// uses, so either wiring style lands in the same counters.
+    dt_metrics: Option<(
+        db_telemetry::Counter,
+        db_telemetry::Counter,
+        db_telemetry::Counter,
+    )>,
 }
 
 impl<C: FlowClassifier> DriftBottleSystem<C> {
@@ -140,15 +153,12 @@ impl<C: FlowClassifier> DriftBottleSystem<C> {
             wire_count <= 1,
             "packets carry one header: at most one DistributedWire variant"
         );
-        let mut monitors: Vec<SwitchMonitor> = topo
-            .nodes()
-            .map(|n| SwitchMonitor::new(n, wcfg))
-            .collect();
+        let mut monitors: Vec<SwitchMonitor> =
+            topo.nodes().map(|n| SwitchMonitor::new(n, wcfg)).collect();
         for f in flows {
             for (pos, &node) in f.path.nodes.iter().enumerate() {
                 let upstream: Vec<LinkId> = f.path.links[..pos].to_vec();
-                let meta =
-                    db_flowmon::FlowMeta::new(f.rtt_ms, f.path.len(), upstream, &wcfg);
+                let meta = db_flowmon::FlowMeta::new(f.rtt_ms, f.path.len(), upstream, &wcfg);
                 monitors[node.idx()].register_flow(f.id, meta);
             }
         }
@@ -173,7 +183,23 @@ impl<C: FlowClassifier> DriftBottleSystem<C> {
             variants,
             window,
             agg_counter: 0,
+            metrics: None,
+            fm_metrics: None,
+            dt_metrics: None,
         }
+    }
+
+    /// Attach `inference.*`, `flowmon.*` and `dtree.*` telemetry counters
+    /// registered in `reg`. Counter updates are side effects only —
+    /// inference results are unchanged.
+    pub fn set_metrics(&mut self, reg: &db_telemetry::MetricsRegistry) {
+        self.metrics = Some(InferenceMetrics::register(reg));
+        self.fm_metrics = Some(FlowmonMetrics::register(reg));
+        self.dt_metrics = Some((
+            reg.counter("dtree.classifications"),
+            reg.counter("dtree.class_normal"),
+            reg.counter("dtree.class_abnormal"),
+        ));
     }
 
     /// The warning log of the variant named `name`.
@@ -205,6 +231,7 @@ impl<C: FlowClassifier> DriftBottleSystem<C> {
         self.codec
     }
 
+    #[allow(clippy::too_many_arguments)] // internal hot path; a params struct would just rename the problem
     fn handle_distributed(
         variant: &mut VariantState,
         now: SimTime,
@@ -214,6 +241,7 @@ impl<C: FlowClassifier> DriftBottleSystem<C> {
         cfg: &SystemConfig,
         window: (SimTime, SimTime),
         agg_counter: u64,
+        metrics: Option<&InferenceMetrics>,
     ) {
         let node = info.node;
         let local = &variant.locals[node.idx()];
@@ -227,7 +255,7 @@ impl<C: FlowClassifier> DriftBottleSystem<C> {
         };
         let (agg, hops) = match incoming {
             None => (local.top_k(cfg.k), 1u8),
-            Some((drifted, h)) => aggregate_step(local, &drifted, h, cfg.k),
+            Some((drifted, h)) => aggregate_step_metered(local, &drifted, h, cfg.k, metrics),
         };
         if variant.spec.mechanism == Mechanism::DistributedAbsorbing {
             // The forbidden feedback loop (§4.3): the local inference is
@@ -236,10 +264,13 @@ impl<C: FlowClassifier> DriftBottleSystem<C> {
         }
         if let Some(link) = check_warning(&agg, hops as u32, &cfg.warning) {
             variant.log.record(now, node, link, window);
+            if let Some(m) = metrics {
+                m.warning_raised(node.0, link, hops as u32, agg.w0(), agg.w1());
+            }
         }
         if cfg.ratio_sampling > 0
             && hops as u32 >= cfg.warning.hop_min
-            && agg_counter % cfg.ratio_sampling as u64 == 0
+            && agg_counter.is_multiple_of(cfg.ratio_sampling as u64)
             && now > window.0
             && now <= window.1
         {
@@ -257,6 +288,9 @@ impl<C: FlowClassifier> DriftBottleSystem<C> {
             }
         } else if wire {
             ann.set(&codec.encode(&agg, hops));
+            if let Some(m) = metrics {
+                m.headers_piggybacked.inc();
+            }
         } else {
             variant.vtable.insert((info.flow.0, info.seq), (agg, hops));
         }
@@ -272,15 +306,23 @@ impl<C: FlowClassifier> DriftBottleSystem<C> {
             Mechanism::Centralized { .. } => usize::MAX,
             _ => k,
         };
-        variant.locals[node.idx()] =
-            local_inference(statuses.iter().map(|(s, u)| (*s, *u)), variant.spec.scheme, keep);
+        variant.locals[node.idx()] = local_inference(
+            statuses.iter().map(|(s, u)| (*s, *u)),
+            variant.spec.scheme,
+            keep,
+        );
     }
 }
 
 impl<C: FlowClassifier> Observer for DriftBottleSystem<C> {
     fn on_packet(&mut self, now: SimTime, info: &HopInfo, ann: &mut Annotation) {
         // Flow Monitoring module: update measure registers.
-        self.monitors[info.node.idx()].on_packet(now, info.flow, info.size);
+        let recorded = self.monitors[info.node.idx()].on_packet(now, info.flow, info.size);
+        if recorded {
+            if let Some(fm) = &self.fm_metrics {
+                fm.register_updates.inc();
+            }
+        }
         // Inference Aggregation module, per distributed variant.
         self.agg_counter += 1;
         for variant in &mut self.variants {
@@ -295,6 +337,7 @@ impl<C: FlowClassifier> Observer for DriftBottleSystem<C> {
                     &self.cfg,
                     self.window,
                     self.agg_counter,
+                    self.metrics.as_ref(),
                 ),
             }
         }
@@ -305,6 +348,10 @@ impl<C: FlowClassifier> Observer for DriftBottleSystem<C> {
         // local inferences.
         for idx in 0..self.monitors.len() {
             let rows = self.monitors[idx].end_interval(now);
+            if let Some(fm) = &self.fm_metrics {
+                fm.intervals_closed.inc();
+                fm.feature_vectors.add(rows.len() as u64);
+            }
             if rows.is_empty() {
                 // Still reset locals derived from an empty view: no flows
                 // means no evidence.
@@ -317,6 +364,15 @@ impl<C: FlowClassifier> Observer for DriftBottleSystem<C> {
                 .iter()
                 .map(|(flow, features)| (*flow, self.classifier.classify(features)))
                 .collect();
+            if let Some((total, normal, abnormal)) = &self.dt_metrics {
+                let abn = judged
+                    .iter()
+                    .filter(|(_, s)| *s == FlowStatus::Abnormal)
+                    .count() as u64;
+                total.add(judged.len() as u64);
+                abnormal.add(abn);
+                normal.add(judged.len() as u64 - abn);
+            }
             let monitor = &self.monitors[idx];
             let mut statuses: Vec<(FlowStatus, &[LinkId])> = Vec::with_capacity(judged.len());
             for (flow, status) in &judged {
@@ -326,6 +382,9 @@ impl<C: FlowClassifier> Observer for DriftBottleSystem<C> {
             let node = monitor.node();
             for v in &mut self.variants {
                 Self::tick_variant(v, node, &statuses, self.cfg.k);
+            }
+            if let Some(m) = &self.metrics {
+                m.locals_generated.add(self.variants.len() as u64);
             }
         }
         // Centralized variants: periodic DCA reporting.
@@ -339,6 +398,18 @@ impl<C: FlowClassifier> Observer for DriftBottleSystem<C> {
                 if v.ticks_seen % period_ticks.max(1) == 0 {
                     for link in centralized_report(&v.locals, portion) {
                         v.log.record(now, DCA_NODE, link, self.window);
+                        if let Some(m) = &self.metrics {
+                            // DCA reports carry no hop/weight context; count
+                            // the raise and log the accused link only.
+                            m.warnings.inc();
+                            db_telemetry::event!(
+                                db_telemetry::Level::Warn,
+                                "inference.warning",
+                                "dca report",
+                                switch = DCA_NODE.0,
+                                link = link.0,
+                            );
+                        }
                     }
                 }
             }
@@ -351,9 +422,7 @@ mod tests {
     use super::*;
     use db_dtree::ThresholdClassifier;
     use db_inference::WarningConfig;
-    use db_netsim::{
-        FailureScenario, SimConfig, Simulator, TrafficConfig, TrafficGen,
-    };
+    use db_netsim::{FailureScenario, SimConfig, Simulator, TrafficConfig, TrafficGen};
     use db_topology::{zoo, RouteTable};
 
     /// Run the full system on a line topology with a mid-path failure, using

@@ -1,0 +1,252 @@
+//! A minimal, std-only stand-in for the [`criterion`] crate.
+//!
+//! The workspace's benches were written against the real criterion API, but
+//! this repository builds with **no external dependencies** (see DESIGN.md
+//! §4). This shim implements the slice of the API the benches use —
+//! `Criterion::bench_function`, `Bencher::iter`/`iter_batched`, `BatchSize`,
+//! and both forms of `criterion_group!` / `criterion_main!` — as a plain
+//! wall-clock harness: warm up briefly, time a fixed batch of iterations a
+//! few times, report the best (least-noisy) mean per iteration.
+//!
+//! There is no statistics engine, outlier detection, or HTML report; the
+//! numbers are honest medians-of-means suitable for coarse regression
+//! tracking, not publication. Respect `--bench`-style CLI filters: any
+//! non-flag argument is treated as a substring filter on benchmark names
+//! (this also makes `cargo test --benches` happy, which passes `--test`
+//! style flags we ignore).
+//!
+//! [`criterion`]: https://crates.io/crates/criterion
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup cost. The shim only uses this to pick
+/// how many inputs to pre-build per measurement batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: build many per batch.
+    SmallInput,
+    /// Large inputs: build few per batch.
+    LargeInput,
+    /// Rebuild the input for every single iteration.
+    PerIteration,
+}
+
+/// Passed to the closure given to [`Criterion::bench_function`].
+pub struct Bencher {
+    samples: u32,
+    measured: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Time `routine`, called in a tight loop.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Warm-up + calibration: find an iteration count that takes ≥ ~1 ms
+        // per sample so Instant overhead is negligible.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(1) || iters >= 1 << 20 {
+                self.iters_per_sample = iters;
+                break;
+            }
+            iters *= 8;
+        }
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            self.measured.push(start.elapsed());
+        }
+    }
+
+    /// Time `routine` on inputs produced by `setup`, excluding setup cost
+    /// from the measurement as best a wall-clock harness can (setup runs
+    /// outside the timed region).
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        self.iters_per_sample = 1;
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.measured.push(start.elapsed());
+        }
+    }
+
+    fn per_iter_nanos(&self) -> Option<f64> {
+        if self.measured.is_empty() {
+            return None;
+        }
+        let best = self.measured.iter().min()?;
+        Some(best.as_nanos() as f64 / self.iters_per_sample as f64)
+    }
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    sample_size: u32,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && a != "bench");
+        Criterion {
+            sample_size: 30,
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Set how many timed samples each benchmark takes.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1) as u32;
+        self
+    }
+
+    /// Run one benchmark and print its best per-iteration time.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        // `cargo test --benches` compiles and runs bench binaries with
+        // --test-style flags; keep that path fast by doing a single sample.
+        let quick = std::env::args().any(|a| a == "--test");
+        let mut b = Bencher {
+            samples: if quick { 1 } else { self.sample_size },
+            measured: Vec::new(),
+            iters_per_sample: 1,
+        };
+        f(&mut b);
+        match b.per_iter_nanos() {
+            Some(ns) => println!("{name:<40} {}", format_nanos(ns)),
+            None => println!("{name:<40} (no measurement)"),
+        }
+        self
+    }
+
+    /// Called by [`criterion_main!`] after all groups ran.
+    pub fn final_summary(&mut self) {}
+}
+
+fn format_nanos(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:>10.1} ns/iter")
+    } else if ns < 1_000_000.0 {
+        format!("{:>10.3} µs/iter", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:>10.3} ms/iter", ns / 1_000_000.0)
+    } else {
+        format!("{:>10.3} s/iter", ns / 1_000_000_000.0)
+    }
+}
+
+/// Define a benchmark group. Supports both the list form and the
+/// `{ name = ..; config = ..; targets = .. }` form of the real macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define the bench binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_iter_measures_something() {
+        let mut b = Bencher {
+            samples: 3,
+            measured: Vec::new(),
+            iters_per_sample: 1,
+        };
+        let mut acc = 0u64;
+        b.iter(|| {
+            acc = acc.wrapping_add(1);
+            acc
+        });
+        assert_eq!(b.measured.len(), 3);
+        assert!(b.per_iter_nanos().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn bencher_iter_batched_runs_setup_per_sample() {
+        let mut b = Bencher {
+            samples: 4,
+            measured: Vec::new(),
+            iters_per_sample: 1,
+        };
+        let mut setups = 0u32;
+        b.iter_batched(
+            || {
+                setups += 1;
+                vec![1u8; 16]
+            },
+            |v| v.len(),
+            BatchSize::LargeInput,
+        );
+        assert_eq!(setups, 4);
+        assert_eq!(b.measured.len(), 4);
+    }
+
+    #[test]
+    fn format_picks_sane_units() {
+        assert!(format_nanos(12.0).contains("ns"));
+        assert!(format_nanos(12_000.0).contains("µs"));
+        assert!(format_nanos(12_000_000.0).contains("ms"));
+        assert!(format_nanos(12_000_000_000.0).contains("s/iter"));
+    }
+
+    fn trivial(c: &mut Criterion) {
+        c.bench_function("trivial_add", |b| b.iter(|| std::hint::black_box(1 + 1)));
+    }
+
+    criterion_group!(list_form, trivial);
+    criterion_group! {
+        name = struct_form;
+        config = Criterion::default().sample_size(2);
+        targets = trivial
+    }
+
+    #[test]
+    fn both_group_forms_expand_and_run() {
+        list_form();
+        struct_form();
+    }
+}

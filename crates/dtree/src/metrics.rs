@@ -168,10 +168,7 @@ mod tests {
         let x0 = [0.0; db_flowmon::NUM_FEATURES];
         let mut x1 = [0.0; db_flowmon::NUM_FEATURES];
         x1[9] = 5.0;
-        let samples = [
-            (&x0, FlowStatus::Abnormal),
-            (&x1, FlowStatus::Normal),
-        ];
+        let samples = [(&x0, FlowStatus::Abnormal), (&x1, FlowStatus::Normal)];
         let cm = ConfusionMatrix::evaluate(samples, |x| {
             if x[9] == 0.0 {
                 FlowStatus::Abnormal

@@ -141,7 +141,9 @@ mod tests {
         let q = Quantizer::fit(&data, 32);
         let qx = q.quantize(&data[0]);
         assert_eq!(qx.len(), NUM_FEATURES);
-        assert!(qx.iter().all(|&v| v >= 0.0 && v < 32.0 && v.fract() == 0.0));
+        assert!(qx
+            .iter()
+            .all(|&v| (0.0..32.0).contains(&v) && v.fract() == 0.0));
     }
 
     #[test]

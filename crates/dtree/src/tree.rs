@@ -104,7 +104,11 @@ impl DecisionTree {
                     left,
                     right,
                 } => {
-                    node = if x[*feature] <= *threshold { left } else { right };
+                    node = if x[*feature] <= *threshold {
+                        left
+                    } else {
+                        right
+                    };
                 }
             }
         }
@@ -264,7 +268,7 @@ fn build(
             if here == next {
                 continue;
             }
-            if stride > 1 && k % stride != 0 {
+            if stride > 1 && !k.is_multiple_of(stride) {
                 continue;
             }
             let rn = n - ln;
@@ -278,9 +282,7 @@ fn build(
             if k < cfg.min_samples_leaf || idx.len() - k < cfg.min_samples_leaf {
                 continue;
             }
-            let gain = parent_gini
-                - (lw / total_w) * gini(ln, la)
-                - (rw / total_w) * gini(rn, ra);
+            let gain = parent_gini - (lw / total_w) * gini(ln, la) - (rw / total_w) * gini(rn, ra);
             let threshold = 0.5 * (here + next);
             match best {
                 Some((bg, _, _)) if gain <= bg => {}
@@ -336,10 +338,7 @@ mod tests {
         for _ in 0..n {
             if rng.chance(0.15) {
                 // Abnormal: active on average, dead now.
-                out.push((
-                    vecf(0.0, rng.range_f64(2.0, 10.0)),
-                    FlowStatus::Abnormal,
-                ));
+                out.push((vecf(0.0, rng.range_f64(2.0, 10.0)), FlowStatus::Abnormal));
             } else if rng.chance(0.5) {
                 // Normal active.
                 out.push((
@@ -348,10 +347,7 @@ mod tests {
                 ));
             } else {
                 // Normal idle-or-ending (low activity everywhere).
-                out.push((
-                    vecf(0.0, rng.range_f64(0.0, 0.4)),
-                    FlowStatus::Normal,
-                ));
+                out.push((vecf(0.0, rng.range_f64(0.0, 0.4)), FlowStatus::Normal));
             }
         }
         out
@@ -384,7 +380,9 @@ mod tests {
 
     #[test]
     fn pure_dataset_gives_single_leaf() {
-        let data: Vec<_> = (0..50).map(|i| (vecf(i as f64, 1.0), FlowStatus::Normal)).collect();
+        let data: Vec<_> = (0..50)
+            .map(|i| (vecf(i as f64, 1.0), FlowStatus::Normal))
+            .collect();
         let tree = DecisionTree::train(&data, &TrainConfig::default());
         assert_eq!(tree.leaf_count(), 1);
         assert_eq!(tree.depth(), 0);
@@ -435,7 +433,10 @@ mod tests {
             weighted >= unweighted,
             "auto weighting must not reduce abnormal recall: {weighted} vs {unweighted}"
         );
-        assert!(weighted > 0.5, "weighted abnormal recall too low: {weighted}");
+        assert!(
+            weighted > 0.5,
+            "weighted abnormal recall too low: {weighted}"
+        );
     }
 
     #[test]

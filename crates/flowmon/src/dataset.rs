@@ -286,8 +286,16 @@ mod tests {
         assert!(normal > abnormal, "normal dominates (imbalance of §6.3)");
         // Abnormal rows only appear after the failure, at monitors whose
         // upstream part of the flow path contains the failed link l1.
-        for s in ds.samples.iter().filter(|s| s.label == FlowStatus::Abnormal) {
-            assert!(s.at > SimTime::from_ms(100), "abnormal before failure at {}", s.at);
+        for s in ds
+            .samples
+            .iter()
+            .filter(|s| s.label == FlowStatus::Abnormal)
+        {
+            assert!(
+                s.at > SimTime::from_ms(100),
+                "abnormal before failure at {}",
+                s.at
+            );
             let flow = &flows[s.flow.idx()];
             let upstream = flow
                 .path
@@ -332,7 +340,10 @@ mod tests {
         let bal = ds.balanced(3.0, &mut rng);
         let (n, a) = bal.class_counts();
         assert!(a > 0);
-        assert!(n as f64 <= 3.0 * a as f64 + 1.0, "normal {n} vs abnormal {a}");
+        assert!(
+            n as f64 <= 3.0 * a as f64 + 1.0,
+            "normal {n} vs abnormal {a}"
+        );
         // All abnormal samples kept.
         assert_eq!(a, ds.class_counts().1);
     }
@@ -354,7 +365,7 @@ mod tests {
         let (nm, stats) = sim.finish();
         let labeler = Labeler::new(&topo, &scenario, &flows, &stats, SimTime::from_ms(4));
         let ds = Dataset::from_rows(&nm.rows, &nm, &labeler);
-        assert!(ds.len() > 0);
+        assert!(!ds.is_empty());
         assert_eq!(ds.class_counts().1, 0);
     }
 
@@ -365,8 +376,10 @@ mod tests {
         let scenario = FailureScenario::single_link(LinkId(0), SimTime::from_ms(10));
         let routes = RouteTable::build(&topo);
         let flows = TrafficGen::generate(&topo, &routes, &TrafficConfig::default(), 6);
-        let mut stats = SimStats::default();
-        stats.finished_at = vec![None; flows.len()];
+        let mut stats = SimStats {
+            finished_at: vec![None; flows.len()],
+            ..Default::default()
+        };
         // Flow 0 finished naturally at 20 ms.
         stats.finished_at[0] = Some(SimTime::from_ms(20));
         let labeler = Labeler::new(&topo, &scenario, &flows, &stats, SimTime::from_ms(4));

@@ -20,11 +20,13 @@
 
 pub mod dataset;
 pub mod measures;
+pub mod metrics;
 pub mod monitor;
 pub mod registers;
 pub mod window;
 
 pub use dataset::{Dataset, FlowStatus, Sample};
 pub use measures::{IntervalMeasures, SUB_INTERVALS};
+pub use metrics::FlowmonMetrics;
 pub use monitor::{NetworkMonitor, SwitchMonitor};
 pub use window::{FeatureVector, FlowMeta, WindowConfig, FEATURE_NAMES, NUM_FEATURES};

@@ -1,0 +1,31 @@
+//! Flow-monitoring metrics: handles into a [`db_telemetry::MetricsRegistry`].
+//!
+//! Attached to a [`crate::NetworkMonitor`] via
+//! [`set_metrics`](crate::NetworkMonitor::set_metrics); detached (the
+//! default), monitoring records nothing and behaves exactly as before.
+
+use db_telemetry::{Counter, MetricsRegistry};
+
+/// Handle set for the `flowmon.*` metrics.
+#[derive(Debug, Clone)]
+pub struct FlowmonMetrics {
+    /// `flowmon.register_updates` — data-plane measure-register writes
+    /// (one per packet of a monitored flow).
+    pub register_updates: Counter,
+    /// `flowmon.intervals_closed` — per-switch sampling intervals drained
+    /// by the control plane.
+    pub intervals_closed: Counter,
+    /// `flowmon.feature_vectors` — Table-2 feature vectors extracted.
+    pub feature_vectors: Counter,
+}
+
+impl FlowmonMetrics {
+    /// Register (or re-attach to) the `flowmon.*` metrics in `reg`.
+    pub fn register(reg: &MetricsRegistry) -> Self {
+        FlowmonMetrics {
+            register_updates: reg.counter("flowmon.register_updates"),
+            intervals_closed: reg.counter("flowmon.intervals_closed"),
+            feature_vectors: reg.counter("flowmon.feature_vectors"),
+        }
+    }
+}

@@ -66,13 +66,15 @@ impl<S: MeasureStore> SwitchMonitor<S> {
     }
 
     /// Record a packet of a monitored flow; unmonitored flows are ignored
-    /// (transit traffic the operator chose not to track).
-    pub fn on_packet(&mut self, now: SimTime, flow: FlowId, size: u32) {
+    /// (transit traffic the operator chose not to track). Returns whether
+    /// the packet hit a register (used for telemetry accounting).
+    pub fn on_packet(&mut self, now: SimTime, flow: FlowId, size: u32) -> bool {
         if !self.meta.contains_key(&flow) {
-            return;
+            return false;
         }
         let offset = now.saturating_sub(self.interval_start);
         self.store.record(flow, offset, self.cfg.interval, size);
+        true
     }
 
     /// Close the current sampling interval at `now`: the control plane drains
@@ -87,8 +89,7 @@ impl<S: MeasureStore> SwitchMonitor<S> {
     /// forever, drowning both training and inference in uninformative and
     /// mutually contradictory samples.
     pub fn end_interval(&mut self, now: SimTime) -> Vec<(FlowId, FeatureVector)> {
-        let drained: HashMap<FlowId, IntervalMeasures> =
-            self.store.drain().into_iter().collect();
+        let drained: HashMap<FlowId, IntervalMeasures> = self.store.drain().into_iter().collect();
         let cap = self.cfg.window_intervals;
         let mut out = Vec::new();
         // Deterministic order: sort flow ids.
@@ -96,7 +97,10 @@ impl<S: MeasureStore> SwitchMonitor<S> {
         flows.sort_unstable();
         for flow in flows {
             let m = drained.get(&flow).copied().unwrap_or_default();
-            let hist = self.history.get_mut(&flow).expect("registered flow has history");
+            let hist = self
+                .history
+                .get_mut(&flow)
+                .expect("registered flow has history");
             hist.push(m, cap);
             if hist.total_packets == 0 {
                 continue; // never seen here — nothing to judge
@@ -136,16 +140,16 @@ pub struct NetworkMonitor {
     /// Rows collected at every tick (drained by callers or kept for dataset
     /// building).
     pub rows: Vec<MonitorRow>,
+    /// Telemetry handles; `None` (the default) records nothing.
+    metrics: Option<crate::metrics::FlowmonMetrics>,
 }
 
 impl NetworkMonitor {
     /// Deploy monitors on every switch, registering each flow at every
     /// switch of its path with the correct upstream-link metadata.
     pub fn deploy(topo: &Topology, flows: &[FlowSpec], cfg: WindowConfig) -> Self {
-        let mut monitors: Vec<SwitchMonitor> = topo
-            .nodes()
-            .map(|n| SwitchMonitor::new(n, cfg))
-            .collect();
+        let mut monitors: Vec<SwitchMonitor> =
+            topo.nodes().map(|n| SwitchMonitor::new(n, cfg)).collect();
         for f in flows {
             for (pos, &node) in f.path.nodes.iter().enumerate() {
                 let upstream: Vec<LinkId> = f.path.links[..pos].to_vec();
@@ -157,7 +161,14 @@ impl NetworkMonitor {
             monitors,
             cfg,
             rows: Vec::new(),
+            metrics: None,
         }
+    }
+
+    /// Attach telemetry handles (register updates, intervals, feature
+    /// vectors). Never affects what the monitors compute.
+    pub fn set_metrics(&mut self, reg: &db_telemetry::MetricsRegistry) {
+        self.metrics = Some(crate::metrics::FlowmonMetrics::register(reg));
     }
 
     /// The monitoring configuration.
@@ -184,11 +195,17 @@ impl NetworkMonitor {
 
     /// Record a packet observation.
     pub fn on_packet(&mut self, now: SimTime, info: &HopInfo, size: u32) {
-        self.monitors[info.node.idx()].on_packet(now, info.flow, size);
+        let recorded = self.monitors[info.node.idx()].on_packet(now, info.flow, size);
+        if recorded {
+            if let Some(m) = &self.metrics {
+                m.register_updates.inc();
+            }
+        }
     }
 
     /// Close the interval on every switch, appending the produced rows.
     pub fn end_interval(&mut self, now: SimTime) {
+        let mut emitted = 0u64;
         for m in &mut self.monitors {
             let node = m.node();
             for (flow, features) in m.end_interval(now) {
@@ -198,7 +215,12 @@ impl NetworkMonitor {
                     at: now,
                     features,
                 });
+                emitted += 1;
             }
+        }
+        if let Some(met) = &self.metrics {
+            met.intervals_closed.add(self.monitors.len() as u64);
+            met.feature_vectors.add(emitted);
         }
     }
 }
@@ -238,7 +260,10 @@ mod tests {
         // RTT 8 ms → n_interval 2.
         m.register_flow(FlowId(1), FlowMeta::new(8.0, 3, vec![LinkId(0)], &cfg4()));
         m.on_packet(SimTime::from_ms(1), FlowId(1), 1500);
-        assert!(m.end_interval(SimTime::from_ms(4)).is_empty(), "one interval only");
+        assert!(
+            m.end_interval(SimTime::from_ms(4)).is_empty(),
+            "one interval only"
+        );
         m.on_packet(SimTime::from_ms(5), FlowId(1), 1500);
         let rows = m.end_interval(SimTime::from_ms(8));
         assert_eq!(rows.len(), 1);
@@ -293,7 +318,10 @@ mod tests {
         // Packet at 4.1 ms is 0.1 ms into the second interval → sub 1.
         m.on_packet(SimTime::from_ms_f64(4.1), FlowId(1), 500);
         let rows = m.end_interval(SimTime::from_ms(8));
-        assert_eq!(rows[0].1[14], 1.0, "pos_burst must use interval-relative offset");
+        assert_eq!(
+            rows[0].1[14], 1.0,
+            "pos_burst must use interval-relative offset"
+        );
     }
 
     #[test]
@@ -313,6 +341,59 @@ mod tests {
             assert_eq!(up.len(), pos, "upstream grows along the path");
         }
         assert!(nm.upstream(NodeId(0), FlowId(9999)).is_none());
+    }
+
+    #[test]
+    fn trace_replay_drives_identical_downstream_metrics() {
+        // Replay determinism, part 2: replaying one recorded trace through
+        // two independent NetworkMonitors must produce identical feature
+        // rows AND identical telemetry counters — the observability layer
+        // may never perturb or diverge from the monitored computation.
+        use db_netsim::trace::{replay, TraceRecorder};
+        let topo = zoo::line(3);
+        let routes = RouteTable::build(&topo);
+        let flows = TrafficGen::generate(&topo, &routes, &TrafficConfig::default(), 3);
+        let wcfg = WindowConfig::for_network(&routes, SimTime::from_ms(4));
+        let cfg = SimConfig {
+            end: SimTime::from_ms(60),
+            ..Default::default()
+        };
+        let mut sim = Simulator::new(
+            &topo,
+            flows.clone(),
+            cfg,
+            &FailureScenario::single_link(LinkId(0), SimTime::from_ms(30)),
+            3,
+            TraceRecorder::new(),
+        );
+        sim.run();
+        let (trace, _) = sim.finish();
+        assert!(!trace.is_empty());
+
+        let run = || {
+            let reg = db_telemetry::MetricsRegistry::new();
+            let mut nm = NetworkMonitor::deploy(&topo, &flows, wcfg);
+            nm.set_metrics(&reg);
+            replay(&trace, &mut nm);
+            (nm.rows, reg.snapshot())
+        };
+        let (rows_a, snap_a) = run();
+        let (rows_b, snap_b) = run();
+        assert_eq!(rows_a, rows_b, "replayed feature rows must be identical");
+        for name in [
+            "flowmon.register_updates",
+            "flowmon.intervals_closed",
+            "flowmon.feature_vectors",
+        ] {
+            let a = snap_a.counter(name).unwrap();
+            assert_eq!(Some(a), snap_b.counter(name), "{name} diverged");
+            assert!(a > 0, "{name} must be exercised by the replay");
+        }
+        // A metered replay also matches an unmetered one: telemetry is
+        // observation only.
+        let mut plain = NetworkMonitor::deploy(&topo, &flows, wcfg);
+        replay(&trace, &mut plain);
+        assert_eq!(plain.rows, rows_a);
     }
 
     #[test]
@@ -336,8 +417,7 @@ mod tests {
             assert_eq!(r.at.as_ns() % SimTime::from_ms(4).as_ns(), 0);
         }
         // Multiple switches report.
-        let switches: std::collections::HashSet<_> =
-            nm.rows.iter().map(|r| r.switch).collect();
+        let switches: std::collections::HashSet<_> = nm.rows.iter().map(|r| r.switch).collect();
         assert!(switches.len() >= 2);
     }
 }

@@ -71,8 +71,8 @@ impl WindowConfig {
         } else {
             st::percentile(&rtts, 90.0)
         };
-        let window_intervals = ((p90 / interval.as_ms_f64()).ceil() as usize)
-            .clamp(1, MAX_WINDOW_INTERVALS);
+        let window_intervals =
+            ((p90 / interval.as_ms_f64()).ceil() as usize).clamp(1, MAX_WINDOW_INTERVALS);
         WindowConfig {
             interval,
             window_intervals,
@@ -112,8 +112,8 @@ pub struct FlowMeta {
 impl FlowMeta {
     /// Build metadata for a flow monitored at a given switch.
     pub fn new(rtt_ms: f64, path_len: usize, upstream: Vec<LinkId>, cfg: &WindowConfig) -> Self {
-        let n_interval = ((rtt_ms / cfg.interval.as_ms_f64()).ceil() as usize)
-            .clamp(1, cfg.window_intervals);
+        let n_interval =
+            ((rtt_ms / cfg.interval.as_ms_f64()).ceil() as usize).clamp(1, cfg.window_intervals);
         FlowMeta {
             rtt_ms,
             path_len,
@@ -249,7 +249,10 @@ mod tests {
         let mut h = FlowHistory::default();
         h.push(meas(5, 7_500), cfg.window_intervals);
         h.push(meas(5, 7_500), cfg.window_intervals);
-        assert!(h.features(&meta).is_none(), "only 2 of 3 intervals buffered");
+        assert!(
+            h.features(&meta).is_none(),
+            "only 2 of 3 intervals buffered"
+        );
         h.push(meas(2, 3_000), cfg.window_intervals);
         let f = h.features(&meta).expect("enough history now");
         assert_eq!(f[0], 12.0);
@@ -269,7 +272,10 @@ mod tests {
         h.push(meas(4, 1), cfg.window_intervals);
         h.push(meas(6, 1), cfg.window_intervals);
         let f = h.features(&meta).unwrap();
-        assert!((f[3] - 5.0).abs() < 1e-12, "avg over last two intervals only");
+        assert!(
+            (f[3] - 5.0).abs() < 1e-12,
+            "avg over last two intervals only"
+        );
     }
 
     #[test]

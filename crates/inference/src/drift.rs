@@ -13,6 +13,7 @@
 //! a stream of packets from s1 would bias s3's view toward `n × I1 ⊕ I2`.
 
 use crate::inference::Inference;
+use crate::metrics::InferenceMetrics;
 
 /// One aggregation step: `(drifted ⊕ local)` truncated to `k`, with the hop
 /// counter incremented (saturating at `u8::MAX`, the header field width).
@@ -22,7 +23,26 @@ pub fn aggregate_step(
     hop_now: u8,
     k: usize,
 ) -> (Inference, u8) {
+    aggregate_step_metered(local, drifted, hop_now, k, None)
+}
+
+/// [`aggregate_step`] with optional telemetry: counts the ⊕ and whether the
+/// result overflowed the k header slots (a top-k truncation that lost
+/// entries). Exact — the truncation check sees the pre-truncation length.
+pub fn aggregate_step_metered(
+    local: &Inference,
+    drifted: &Inference,
+    hop_now: u8,
+    k: usize,
+    metrics: Option<&InferenceMetrics>,
+) -> (Inference, u8) {
     let mut agg = drifted.aggregate(local);
+    if let Some(m) = metrics {
+        m.aggregations.inc();
+        if agg.len() > k {
+            m.topk_truncations.inc();
+        }
+    }
     agg.truncate_top_k(k);
     (agg, hop_now.saturating_add(1))
 }

@@ -19,7 +19,6 @@
 //! `0xFFFF`) for larger networks — 13 B at k = 4.
 
 use crate::inference::Inference;
-use bytes::{Buf, BufMut};
 use db_topology::LinkId;
 
 /// Minimum encodable weight.
@@ -69,7 +68,7 @@ impl HeaderCodec {
     /// lossy behavior of the hardware header.
     pub fn encode(&self, inf: &Inference, hop_now: u8) -> Vec<u8> {
         let mut buf = Vec::with_capacity(self.byte_len());
-        buf.put_u8(hop_now);
+        buf.push(hop_now);
         let top = inf.top_k(self.k);
         let mut written = 0;
         for &(l, w) in top.entries() {
@@ -79,25 +78,25 @@ impl HeaderCodec {
                 continue;
             }
             if self.wide {
-                buf.put_u16(l.0);
+                buf.extend_from_slice(&l.0.to_be_bytes());
             } else {
                 debug_assert!(
                     l.0 < SENTINEL_COMPACT as u16,
                     "link id {} does not fit the compact header",
                     l.0
                 );
-                buf.put_u8(l.0 as u8);
+                buf.push(l.0 as u8);
             }
-            buf.put_u8((stored - WEIGHT_MIN) as u8);
+            buf.push((stored - WEIGHT_MIN) as u8);
             written += 1;
         }
         for _ in written..self.k {
             if self.wide {
-                buf.put_u16(SENTINEL_WIDE);
+                buf.extend_from_slice(&SENTINEL_WIDE.to_be_bytes());
             } else {
-                buf.put_u8(SENTINEL_COMPACT);
+                buf.push(SENTINEL_COMPACT);
             }
-            buf.put_u8(0);
+            buf.push(0);
         }
         debug_assert_eq!(buf.len(), self.byte_len());
         buf
@@ -108,26 +107,29 @@ impl HeaderCodec {
         if bytes.len() != self.byte_len() {
             return None;
         }
-        let mut buf = bytes;
-        let hop_now = buf.get_u8();
+        let hop_now = bytes[0];
+        let mut at = 1;
         let mut pairs = Vec::with_capacity(self.k);
         for _ in 0..self.k {
             let id = if self.wide {
-                let v = buf.get_u16();
+                let v = u16::from_be_bytes([bytes[at], bytes[at + 1]]);
+                at += 2;
                 if v == SENTINEL_WIDE {
-                    buf.advance(1);
+                    at += 1;
                     continue;
                 }
                 v
             } else {
-                let v = buf.get_u8();
+                let v = bytes[at];
+                at += 1;
                 if v == SENTINEL_COMPACT {
-                    buf.advance(1);
+                    at += 1;
                     continue;
                 }
                 v as u16
             };
-            let w = buf.get_u8() as i32 + WEIGHT_MIN;
+            let w = bytes[at] as i32 + WEIGHT_MIN;
+            at += 1;
             pairs.push((LinkId(id), w as f64));
         }
         Some((Inference::from_pairs(pairs), hop_now))
@@ -212,7 +214,10 @@ mod tests {
 
     #[test]
     fn for_network_picks_width() {
-        assert!(!HeaderCodec::for_network(4, 151).wide, "AS1221 fits compact");
+        assert!(
+            !HeaderCodec::for_network(4, 151).wide,
+            "AS1221 fits compact"
+        );
         assert!(HeaderCodec::for_network(4, 255).wide);
         assert!(HeaderCodec::for_network(4, 10_000).wide);
     }
@@ -229,7 +234,9 @@ mod tests {
     fn hop_counter_saturates_at_byte() {
         // The caller saturates hop_now at 255; the codec stores it verbatim.
         let codec = HeaderCodec::paper();
-        let (_, hops) = codec.decode(&codec.encode(&Inference::empty(), 255)).unwrap();
+        let (_, hops) = codec
+            .decode(&codec.encode(&Inference::empty(), 255))
+            .unwrap();
         assert_eq!(hops, 255);
     }
 

@@ -200,18 +200,14 @@ mod tests {
         let b = Inference::from_pairs([(l(2), -2.0), (l(3), 4.0)]);
         let c = Inference::from_pairs([(l(1), 0.5)]);
         assert_eq!(a.aggregate(&b), b.aggregate(&a));
-        assert_eq!(
-            a.aggregate(&b).aggregate(&c),
-            a.aggregate(&b.aggregate(&c))
-        );
+        assert_eq!(a.aggregate(&b).aggregate(&c), a.aggregate(&b.aggregate(&c)));
         // Empty is the identity.
         assert_eq!(a.aggregate(&Inference::empty()), a);
     }
 
     #[test]
     fn truncation_keeps_strongest() {
-        let mut inf =
-            Inference::from_pairs([(l(1), 5.0), (l(2), 4.0), (l(3), 3.0), (l(4), -1.0)]);
+        let mut inf = Inference::from_pairs([(l(1), 5.0), (l(2), 4.0), (l(3), 3.0), (l(4), -1.0)]);
         inf.truncate_top_k(2);
         assert_eq!(inf.entries(), &[(l(1), 5.0), (l(2), 4.0)]);
         let again = inf.top_k(1);

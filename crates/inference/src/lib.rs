@@ -17,17 +17,21 @@
 //!   keep the local inference unchanged to avoid over-aggregation).
 //! * [`centralized`] — the DCA baselines (DB-Centralized, 007-Centralized)
 //!   using the iterative top-portion reporting procedure of \[2\].
+//! * [`metrics`] — `inference.*` telemetry counters and the structured
+//!   warning event (hop / w0 / w1 context).
 
 pub mod centralized;
 pub mod drift;
 pub mod header;
 pub mod inference;
+pub mod metrics;
 pub mod scheme;
 pub mod warning;
 
 pub use centralized::centralized_report;
-pub use drift::aggregate_step;
+pub use drift::{aggregate_step, aggregate_step_metered};
 pub use header::HeaderCodec;
 pub use inference::{Inference, DEFAULT_K};
+pub use metrics::InferenceMetrics;
 pub use scheme::{local_inference, WeightScheme};
 pub use warning::{check_warning, WarningConfig};

@@ -1,9 +1,7 @@
 //! Property-based tests for the inference crate.
 
-use db_inference::{
-    centralized_report, check_warning, HeaderCodec, Inference, WarningConfig,
-};
 use db_inference::header::{WEIGHT_MAX, WEIGHT_MIN};
+use db_inference::{centralized_report, check_warning, HeaderCodec, Inference, WarningConfig};
 use db_topology::LinkId;
 use proptest::prelude::*;
 

@@ -102,6 +102,8 @@ impl Observer for NullObserver {}
 /// Aggregate counters of one simulation run.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct SimStats {
+    /// Scheduler events dispatched (every kind, including ticks).
+    pub events_processed: u64,
     /// Data packets emitted by hosts.
     pub packets_sent: u64,
     /// Observer invocations (packet-at-switch events).
@@ -203,6 +205,8 @@ pub struct Simulator<'a, O: Observer> {
     /// Public counters, readable during and after the run.
     pub stats: SimStats,
     observer: O,
+    /// Telemetry handles; `None` (the default) records nothing.
+    metrics: Option<crate::metrics::EngineMetrics>,
 }
 
 impl<'a, O: Observer> Simulator<'a, O> {
@@ -224,10 +228,7 @@ impl<'a, O: Observer> Simulator<'a, O> {
             .iter()
             .map(|l| LinkRuntime::new(l.latency_ms, l.bandwidth_mbps, cfg.max_queue_ms))
             .collect();
-        let senders: Vec<Sender> = flows
-            .iter()
-            .map(|f| Sender::new(f, 0.10, seed))
-            .collect();
+        let senders: Vec<Sender> = flows.iter().map(|f| Sender::new(f, 0.10, seed)).collect();
         let reverse_prop: Vec<SimTime> = flows
             .iter()
             .map(|f| {
@@ -260,6 +261,7 @@ impl<'a, O: Observer> Simulator<'a, O> {
                 ..Default::default()
             },
             observer,
+            metrics: None,
         };
         // Schedule flow starts.
         for i in 0..sim.flows.len() {
@@ -294,9 +296,21 @@ impl<'a, O: Observer> Simulator<'a, O> {
                     }
                 }
                 FailureKind::NodeDown(n) => {
-                    sim.push(e.at, Ev::SetNode { node: n.0, up: false });
+                    sim.push(
+                        e.at,
+                        Ev::SetNode {
+                            node: n.0,
+                            up: false,
+                        },
+                    );
                     if let Some(r) = e.repair_at {
-                        sim.push(r, Ev::SetNode { node: n.0, up: true });
+                        sim.push(
+                            r,
+                            Ev::SetNode {
+                                node: n.0,
+                                up: true,
+                            },
+                        );
                     }
                 }
             }
@@ -343,6 +357,13 @@ impl<'a, O: Observer> Simulator<'a, O> {
         (self.observer, self.stats)
     }
 
+    /// Attach telemetry handles. Counters publish from [`SimStats`] when
+    /// [`run`](Self::run) returns; the queue-wait histogram records live.
+    /// Never affects simulation outcomes — only what gets measured.
+    pub fn set_metrics(&mut self, reg: &db_telemetry::MetricsRegistry) {
+        self.metrics = Some(crate::metrics::EngineMetrics::register(reg));
+    }
+
     /// Run to the configured horizon.
     pub fn run(&mut self) {
         while let Some(Reverse(head)) = self.heap.peek() {
@@ -352,9 +373,13 @@ impl<'a, O: Observer> Simulator<'a, O> {
             let Reverse(s) = self.heap.pop().expect("peeked entry exists");
             debug_assert!(s.at >= self.now, "event time went backwards");
             self.now = s.at;
+            self.stats.events_processed += 1;
             self.dispatch(s.ev);
         }
         self.now = self.cfg.end;
+        if let Some(m) = &self.metrics {
+            m.publish(&self.stats);
+        }
     }
 
     fn dispatch(&mut self, ev: Ev) {
@@ -465,6 +490,10 @@ impl<'a, O: Observer> Simulator<'a, O> {
         let coin = self.rng.f64();
         let a_end = self.topo.link(link_id).a;
         let dir = if node == a_end { 0 } else { 1 };
+        if let Some(m) = &self.metrics {
+            m.queue_wait_ns
+                .record(self.links[link_id.idx()].queue_wait(dir, self.now).as_ns());
+        }
         match self.links[link_id.idx()].transmit(dir, self.now, size, coin) {
             TxOutcome::Arrive(at) => {
                 self.push(
@@ -562,8 +591,15 @@ mod tests {
     #[test]
     fn healthy_network_delivers_everything_sent_minus_in_flight() {
         let (_, stats) = run_line(&FailureScenario::none(), SimConfig::default(), 1);
-        assert!(stats.packets_sent > 1_000, "workload too small: {}", stats.packets_sent);
-        assert_eq!(stats.dropped_down + stats.dropped_node + stats.dropped_corrupt, 0);
+        assert!(
+            stats.packets_sent > 1_000,
+            "workload too small: {}",
+            stats.packets_sent
+        );
+        assert_eq!(
+            stats.dropped_down + stats.dropped_node + stats.dropped_corrupt,
+            0
+        );
         // Everything sent is delivered except packets still in flight at the
         // horizon and queue drops (none expected at this load).
         let undelivered = stats.packets_sent - stats.delivered;
@@ -636,17 +672,13 @@ mod tests {
             down_before: 0,
             down_after: 0,
         };
-        let mut sim = Simulator::new(
-            &topo,
-            flows,
-            SimConfig::default(),
-            &scenario,
-            3,
-            counter,
-        );
+        let mut sim = Simulator::new(&topo, flows, SimConfig::default(), &scenario, 3, counter);
         sim.run();
         let (c, _) = sim.finish();
-        assert!(c.up_before > 0 && c.down_before > 0, "flow must be active pre-failure");
+        assert!(
+            c.up_before > 0 && c.down_before > 0,
+            "flow must be active pre-failure"
+        );
         assert!(
             c.up_after > 10,
             "upstream switch must keep seeing the flow after failure (got {})",
@@ -759,15 +791,16 @@ mod tests {
         let topo = zoo::line(4);
         let routes = RouteTable::build(&topo);
         // One flow: s0 -> s3.
-        let flows: Vec<FlowSpec> = TrafficGen::generate(&topo, &routes, &TrafficConfig::default(), 9)
-            .into_iter()
-            .filter(|f| f.src == NodeId(0) && f.dst == NodeId(3))
-            .enumerate()
-            .map(|(i, mut f)| {
-                f.id = FlowId(i as u32);
-                f
-            })
-            .collect();
+        let flows: Vec<FlowSpec> =
+            TrafficGen::generate(&topo, &routes, &TrafficConfig::default(), 9)
+                .into_iter()
+                .filter(|f| f.src == NodeId(0) && f.dst == NodeId(3))
+                .enumerate()
+                .map(|(i, mut f)| {
+                    f.id = FlowId(i as u32);
+                    f
+                })
+                .collect();
         assert_eq!(flows.len(), 1);
         let mut sim = Simulator::new(
             &topo,
@@ -807,7 +840,14 @@ mod tests {
                 }
             }
         }
-        let mut sim = Simulator::new(&topo, flows, cfg, &scenario, 10, LastDelivery(SimTime::ZERO));
+        let mut sim = Simulator::new(
+            &topo,
+            flows,
+            cfg,
+            &scenario,
+            10,
+            LastDelivery(SimTime::ZERO),
+        );
         sim.run();
         let (last, _) = sim.finish();
         assert!(
@@ -820,10 +860,7 @@ mod tests {
     #[test]
     fn per_flow_counters_sum_to_totals() {
         let (_, stats) = run_line(&FailureScenario::none(), SimConfig::default(), 11);
-        assert_eq!(
-            stats.sent_per_flow.iter().sum::<u64>(),
-            stats.packets_sent
-        );
+        assert_eq!(stats.sent_per_flow.iter().sum::<u64>(), stats.packets_sent);
         assert_eq!(
             stats.delivered_per_flow.iter().sum::<u64>(),
             stats.delivered

@@ -62,7 +62,10 @@ impl FailureScenario {
 
     /// A single link corruption at `at` with the given loss rate.
     pub fn corruption(link: LinkId, rate: f64, at: SimTime) -> Self {
-        assert!((0.0..=1.0).contains(&rate), "corruption rate must be in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&rate),
+            "corruption rate must be in [0,1]"
+        );
         FailureScenario {
             events: vec![FailureEvent {
                 at,

@@ -32,6 +32,7 @@ pub mod engine;
 pub mod failure;
 pub mod flow;
 pub mod link;
+pub mod metrics;
 pub mod packet;
 pub mod time;
 pub mod trace;
@@ -40,6 +41,7 @@ pub mod traffic;
 pub use engine::{HopInfo, NullObserver, Observer, SimConfig, SimStats, Simulator};
 pub use failure::{FailureEvent, FailureKind, FailureScenario};
 pub use flow::{FlowId, FlowSpec};
+pub use metrics::EngineMetrics;
 pub use packet::Annotation;
 pub use time::SimTime;
 pub use trace::{Observation, TraceRecorder};

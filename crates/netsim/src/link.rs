@@ -121,6 +121,13 @@ impl LinkRuntime {
         self.prop
     }
 
+    /// Queue wait a packet offered to direction `dir` at `now` would incur
+    /// (zero when the transmitter is idle). Purely observational — used by
+    /// the engine's queue-wait histogram.
+    pub fn queue_wait(&self, dir: usize, now: SimTime) -> SimTime {
+        self.busy_until[dir].saturating_sub(now)
+    }
+
     /// Reset the transmitter-busy horizons (used between simulation phases).
     pub fn reset_queues(&mut self) {
         self.busy_until = [SimTime::ZERO; 2];
@@ -157,7 +164,11 @@ mod tests {
             TxOutcome::Arrive(t) => t,
             o => panic!("{o:?}"),
         };
-        assert_eq!(t2 - t1, SimTime::from_us(12), "second packet waits one serialization");
+        assert_eq!(
+            t2 - t1,
+            SimTime::from_us(12),
+            "second packet waits one serialization"
+        );
     }
 
     #[test]
@@ -200,7 +211,10 @@ mod tests {
     fn corruption_drops_by_coin() {
         let mut l = link();
         l.state = LinkState::Corrupted(0.3);
-        assert_eq!(l.transmit(0, SimTime::ZERO, 100, 0.29), TxOutcome::DropCorrupt);
+        assert_eq!(
+            l.transmit(0, SimTime::ZERO, 100, 0.29),
+            TxOutcome::DropCorrupt
+        );
         assert!(matches!(
             l.transmit(0, SimTime::ZERO, 100, 0.31),
             TxOutcome::Arrive(_)
@@ -216,7 +230,10 @@ mod tests {
             o => panic!("{o:?}"),
         };
         // A dropped packet must NOT occupy the transmitter.
-        assert_eq!(l.transmit(0, SimTime::ZERO, 1500, 0.1), TxOutcome::DropCorrupt);
+        assert_eq!(
+            l.transmit(0, SimTime::ZERO, 1500, 0.1),
+            TxOutcome::DropCorrupt
+        );
         let t2 = match l.transmit(0, SimTime::ZERO, 1500, 0.9) {
             TxOutcome::Arrive(t) => t,
             o => panic!("{o:?}"),

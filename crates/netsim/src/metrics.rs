@@ -1,0 +1,109 @@
+//! Engine metrics: handles into a [`db_telemetry::MetricsRegistry`].
+//!
+//! The simulator never owns a registry — a caller that wants metrics
+//! registers an [`EngineMetrics`] handle set and attaches it with
+//! [`crate::Simulator::set_metrics`]. Detached (the default), the engine
+//! pays one `Option` check per packet and records nothing, which keeps the
+//! default path deterministic and benchmark-clean.
+//!
+//! Counters are *published* from [`crate::SimStats`] when a run finishes
+//! (the engine already counts deterministically; re-counting atomically on
+//! the hot path would be redundant work). The queue-wait histogram is the
+//! one live-recorded metric, since per-packet waits are not in `SimStats`.
+
+use crate::engine::SimStats;
+use db_telemetry::{Counter, Histogram, MetricsRegistry};
+
+/// Queue-wait histogram bucket bounds, in nanoseconds: 1 µs … 10 ms.
+pub const QUEUE_WAIT_BOUNDS_NS: [u64; 6] =
+    [1_000, 10_000, 100_000, 1_000_000, 5_000_000, 10_000_000];
+
+/// Handle set for the `netsim.*` metrics.
+#[derive(Debug, Clone)]
+pub struct EngineMetrics {
+    /// `netsim.events_processed` — total scheduler events dispatched.
+    pub events_processed: Counter,
+    /// `netsim.packets_sent` — data packets emitted by hosts.
+    pub packets_sent: Counter,
+    /// `netsim.hop_events` — observer invocations (packet-at-switch).
+    pub hop_events: Counter,
+    /// `netsim.packets_delivered` — data packets reaching their host.
+    pub packets_delivered: Counter,
+    /// `netsim.packets_dropped` — drops from any cause.
+    pub packets_dropped: Counter,
+    /// `netsim.acks_delivered`.
+    pub acks_delivered: Counter,
+    /// `netsim.acks_lost`.
+    pub acks_lost: Counter,
+    /// `netsim.rto_stalls` — senders that entered RTO stall at least once.
+    pub rto_stalls: Counter,
+    /// `netsim.queue_wait_ns` — per-packet transmit-queue wait (live).
+    pub queue_wait_ns: Histogram,
+}
+
+impl EngineMetrics {
+    /// Register (or re-attach to) the `netsim.*` metrics in `reg`.
+    pub fn register(reg: &MetricsRegistry) -> Self {
+        EngineMetrics {
+            events_processed: reg.counter("netsim.events_processed"),
+            packets_sent: reg.counter("netsim.packets_sent"),
+            hop_events: reg.counter("netsim.hop_events"),
+            packets_delivered: reg.counter("netsim.packets_delivered"),
+            packets_dropped: reg.counter("netsim.packets_dropped"),
+            acks_delivered: reg.counter("netsim.acks_delivered"),
+            acks_lost: reg.counter("netsim.acks_lost"),
+            rto_stalls: reg.counter("netsim.rto_stalls"),
+            queue_wait_ns: reg.histogram("netsim.queue_wait_ns", &QUEUE_WAIT_BOUNDS_NS),
+        }
+    }
+
+    /// Add one finished run's deterministic counters into the registry.
+    pub fn publish(&self, stats: &SimStats) {
+        self.events_processed.add(stats.events_processed);
+        self.packets_sent.add(stats.packets_sent);
+        self.hop_events.add(stats.hop_events);
+        self.packets_delivered.add(stats.delivered);
+        self.packets_dropped.add(
+            stats.dropped_down
+                + stats.dropped_corrupt
+                + stats.dropped_queue
+                + stats.dropped_node
+                + stats.dropped_background,
+        );
+        self.acks_delivered.add(stats.acks_delivered);
+        self.acks_lost.add(stats.acks_lost);
+        self.rto_stalls.add(stats.flows_stalled);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publish_maps_stats_onto_counters() {
+        let reg = MetricsRegistry::new();
+        let m = EngineMetrics::register(&reg);
+        let stats = SimStats {
+            events_processed: 100,
+            packets_sent: 40,
+            hop_events: 90,
+            delivered: 35,
+            dropped_down: 2,
+            dropped_corrupt: 1,
+            dropped_queue: 1,
+            dropped_node: 1,
+            acks_delivered: 30,
+            acks_lost: 5,
+            flows_stalled: 3,
+            ..Default::default()
+        };
+        m.publish(&stats);
+        m.publish(&stats); // runs accumulate
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("netsim.events_processed"), Some(200));
+        assert_eq!(snap.counter("netsim.packets_sent"), Some(80));
+        assert_eq!(snap.counter("netsim.packets_dropped"), Some(10));
+        assert_eq!(snap.counter("netsim.rto_stalls"), Some(6));
+    }
+}

@@ -83,8 +83,9 @@ impl TrafficGen {
         cfg: &TrafficConfig,
         seed: u64,
     ) -> Vec<FlowSpec> {
-        let mut rng = Pcg64::new_stream(seed, 0x7AFF_1C);
-        let volume = BoundedPareto::new(cfg.flow_bytes_min, cfg.flow_bytes_max, cfg.flow_bytes_alpha);
+        let mut rng = Pcg64::new_stream(seed, 0x7AFF1C);
+        let volume =
+            BoundedPareto::new(cfg.flow_bytes_min, cfg.flow_bytes_max, cfg.flow_bytes_alpha);
         let mut flows = Vec::new();
         for (src, dst) in routes.pairs() {
             if !rng.chance(cfg.density) {
@@ -270,7 +271,10 @@ mod tests {
         vols.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let median = vols[vols.len() / 2];
         let mean = vols.iter().sum::<f64>() / vols.len() as f64;
-        assert!(mean > 2.0 * median, "volumes not long-tailed: mean {mean}, median {median}");
+        assert!(
+            mean > 2.0 * median,
+            "volumes not long-tailed: mean {mean}, median {median}"
+        );
     }
 
     #[test]
@@ -291,7 +295,10 @@ mod tests {
                 near_base += 1;
             }
         }
-        assert!(near_burst > 1_000, "no in-burst spacing seen ({near_burst})");
+        assert!(
+            near_burst > 1_000,
+            "no in-burst spacing seen ({near_burst})"
+        );
         assert!(near_base > 1_000, "no base-rate spacing seen ({near_base})");
     }
 

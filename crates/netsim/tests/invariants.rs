@@ -73,7 +73,10 @@ fn hop_events_bounded_by_path_lengths() {
     sim.run();
     let (_, stats) = sim.finish();
     assert!(stats.hop_events <= stats.packets_sent * (max_path + 1));
-    assert!(stats.hop_events >= stats.delivered * 2, "every delivery crosses ≥ 2 switches");
+    assert!(
+        stats.hop_events >= stats.delivered * 2,
+        "every delivery crosses ≥ 2 switches"
+    );
 }
 
 #[test]

@@ -1,0 +1,233 @@
+//! Leveled, structured event log.
+//!
+//! Disabled by default: the max level starts at "off", so an [`event!`]
+//! call site costs a single relaxed atomic load and never formats or
+//! allocates. Enabling is two steps — install a [`Recorder`] and raise the
+//! level — so benchmarks and deterministic tests are unaffected unless a
+//! caller opts in.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Event severity, most severe first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// Unrecoverable or data-corrupting conditions.
+    Error = 1,
+    /// Notable anomalies — e.g. a failure-localization warning firing.
+    Warn = 2,
+    /// Phase-level progress.
+    Info = 3,
+    /// Per-window / per-scenario detail.
+    Debug = 4,
+    /// Per-packet detail (very hot; enable narrowly).
+    Trace = 5,
+}
+
+impl Level {
+    /// Upper-case name, fixed width ≤ 5.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "ERROR",
+            Level::Warn => "WARN",
+            Level::Info => "INFO",
+            Level::Debug => "DEBUG",
+            Level::Trace => "TRACE",
+        }
+    }
+}
+
+/// One structured log event (built only when the level is enabled).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Severity.
+    pub level: Level,
+    /// Dotted source path, e.g. `inference.warning`.
+    pub target: String,
+    /// Human-readable message.
+    pub message: String,
+    /// Structured key/value context, e.g. `[("hop", "3"), ("w0", "12")]`.
+    pub fields: Vec<(String, String)>,
+}
+
+impl std::fmt::Display for Event {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[{:<5} {}] {}",
+            self.level.as_str(),
+            self.target,
+            self.message
+        )?;
+        for (k, v) in &self.fields {
+            write!(f, " {k}={v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Sink for enabled events.
+pub trait Recorder: Send + Sync {
+    /// Consume one event.
+    fn record(&self, event: Event);
+}
+
+/// 0 = off; otherwise the numeric value of the max enabled [`Level`].
+static MAX_LEVEL: AtomicU8 = AtomicU8::new(0);
+
+static RECORDER: RwLock<Option<Arc<dyn Recorder>>> = RwLock::new(None);
+
+/// Enable events up to and including `level` (`None` turns logging off).
+pub fn set_max_level(level: Option<Level>) {
+    MAX_LEVEL.store(level.map_or(0, |l| l as u8), Ordering::Relaxed);
+}
+
+/// Whether events at `level` are currently recorded. This is the hot-path
+/// guard: one relaxed load.
+#[inline]
+pub fn level_enabled(level: Level) -> bool {
+    level as u8 <= MAX_LEVEL.load(Ordering::Relaxed)
+}
+
+/// Install the global event sink (replacing any previous one).
+pub fn set_recorder(recorder: Arc<dyn Recorder>) {
+    *RECORDER.write().unwrap() = Some(recorder);
+}
+
+/// Remove the global event sink and turn the level off.
+pub fn clear_recorder() {
+    set_max_level(None);
+    *RECORDER.write().unwrap() = None;
+}
+
+/// Dispatch an already-built event to the installed recorder, if any.
+/// Prefer the [`event!`] macro, which skips construction when disabled.
+pub fn emit(event: Event) {
+    if let Some(rec) = RECORDER.read().unwrap().as_ref() {
+        rec.record(event);
+    }
+}
+
+/// Log a structured event:
+///
+/// ```
+/// use db_telemetry::{event, Level};
+/// event!(Level::Warn, "inference.warning", "threshold crossed",
+///        hop = 3, w0 = 12.5, w1 = 4.0);
+/// ```
+///
+/// When the level is disabled (the default), the arguments are not
+/// evaluated and nothing allocates.
+#[macro_export]
+macro_rules! event {
+    ($level:expr, $target:expr, $msg:expr $(, $key:ident = $val:expr)* $(,)?) => {
+        if $crate::level_enabled($level) {
+            $crate::emit($crate::Event {
+                level: $level,
+                target: ($target).to_string(),
+                message: ($msg).to_string(),
+                fields: vec![$((stringify!($key).to_string(), format!("{}", $val))),*],
+            });
+        }
+    };
+}
+
+/// A recorder that buffers events in memory, for tests and the CLI `report`
+/// command. Clones share the buffer.
+#[derive(Debug, Clone, Default)]
+pub struct BufferRecorder(Arc<std::sync::Mutex<Vec<Event>>>);
+
+impl BufferRecorder {
+    /// A new, empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Copy of all buffered events.
+    pub fn events(&self) -> Vec<Event> {
+        self.0.lock().unwrap().clone()
+    }
+
+    /// Drain the buffer.
+    pub fn take(&self) -> Vec<Event> {
+        std::mem::take(&mut self.0.lock().unwrap())
+    }
+}
+
+impl Recorder for BufferRecorder {
+    fn record(&self, event: Event) {
+        self.0.lock().unwrap().push(event);
+    }
+}
+
+/// A recorder that prints each event to stderr as one line.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StderrRecorder;
+
+impl Recorder for StderrRecorder {
+    fn record(&self, event: Event) {
+        eprintln!("{event}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Level state is process-global; keep all tests that touch it in one
+    // #[test] so the default parallel test runner cannot interleave them.
+    #[test]
+    fn leveled_recording_end_to_end() {
+        assert!(!level_enabled(Level::Error), "events must default to off");
+
+        let buf = BufferRecorder::new();
+        set_recorder(Arc::new(buf.clone()));
+
+        // Still off: nothing recorded, arguments not evaluated.
+        let mut evaluated = false;
+        event!(Level::Warn, "t", {
+            evaluated = true;
+            "msg"
+        });
+        assert!(!evaluated);
+        assert!(buf.events().is_empty());
+
+        set_max_level(Some(Level::Warn));
+        event!(
+            Level::Warn,
+            "inference.warning",
+            "fired",
+            hop = 3,
+            w0 = 12.5
+        );
+        event!(Level::Debug, "t", "suppressed below max level");
+        let events = buf.take();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].target, "inference.warning");
+        assert_eq!(
+            events[0].fields,
+            vec![
+                ("hop".to_string(), "3".to_string()),
+                ("w0".to_string(), "12.5".to_string())
+            ]
+        );
+        assert_eq!(
+            events[0].to_string(),
+            "[WARN  inference.warning] fired hop=3 w0=12.5"
+        );
+
+        clear_recorder();
+        assert!(!level_enabled(Level::Error));
+        event!(Level::Error, "t", "dropped after clear");
+        assert!(buf.events().is_empty());
+    }
+
+    #[test]
+    fn level_ordering_matches_severity() {
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Warn < Level::Info);
+        assert!(Level::Info < Level::Debug);
+        assert!(Level::Debug < Level::Trace);
+    }
+}

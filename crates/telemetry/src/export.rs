@@ -1,0 +1,342 @@
+//! Exporters: render a [`Snapshot`] as a human text table, JSON, or
+//! Prometheus text exposition format.
+
+use crate::registry::Snapshot;
+use db_util::table::TextTable;
+use std::fmt::Write as _;
+
+/// Render as aligned text tables (one section per metric kind), reusing
+/// `db_util::table::TextTable`. Empty sections are omitted.
+pub fn to_table(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    if !snap.counters.is_empty() {
+        let mut t = TextTable::new("Counters", &["metric", "value"]);
+        for (name, v) in &snap.counters {
+            t.row(&[name.clone(), v.to_string()]);
+        }
+        out.push_str(&t.render());
+    }
+    if !snap.gauges.is_empty() {
+        let mut t = TextTable::new("Gauges", &["metric", "value"]);
+        for (name, v) in &snap.gauges {
+            t.row(&[name.clone(), format!("{v}")]);
+        }
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        out.push_str(&t.render());
+    }
+    if !snap.histograms.is_empty() {
+        let mut t = TextTable::new(
+            "Histograms",
+            &["metric", "count", "sum", "mean", "buckets (≤bound: n)"],
+        );
+        for (name, h) in &snap.histograms {
+            let mut buckets = String::new();
+            for (i, n) in h.buckets.iter().enumerate() {
+                if *n == 0 {
+                    continue;
+                }
+                if !buckets.is_empty() {
+                    buckets.push_str(", ");
+                }
+                match h.bounds.get(i) {
+                    Some(b) => {
+                        let _ = write!(buckets, "≤{b}: {n}");
+                    }
+                    None => {
+                        let _ = write!(buckets, "+inf: {n}");
+                    }
+                }
+            }
+            t.row(&[
+                name.clone(),
+                h.count.to_string(),
+                h.sum.to_string(),
+                format!("{:.1}", h.mean()),
+                buckets,
+            ]);
+        }
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        out.push_str(&t.render());
+    }
+    if !snap.timings.is_empty() {
+        let mut t = TextTable::new(
+            "Phase timings",
+            &["phase", "calls", "total ms", "mean ms", "max ms"],
+        );
+        for (name, s) in &snap.timings {
+            let mean = if s.count == 0 {
+                0.0
+            } else {
+                s.total_ns as f64 / s.count as f64
+            };
+            t.row(&[
+                name.clone(),
+                s.count.to_string(),
+                format!("{:.3}", s.total_ns as f64 / 1e6),
+                format!("{:.3}", mean / 1e6),
+                format!("{:.3}", s.max_ns as f64 / 1e6),
+            ]);
+        }
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        out.push_str(&t.render());
+    }
+    if out.is_empty() {
+        out.push_str("(no metrics registered)\n");
+    }
+    out
+}
+
+/// Escape a string for inclusion in a JSON document.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        // JSON has no NaN/Inf literals.
+        "null".to_string()
+    }
+}
+
+fn json_u64_list(vs: &[u64]) -> String {
+    let items: Vec<String> = vs.iter().map(|v| v.to_string()).collect();
+    format!("[{}]", items.join(","))
+}
+
+/// Render as a self-contained JSON object:
+///
+/// ```json
+/// {"counters": {"netsim.packets_sent": 12},
+///  "gauges": {},
+///  "histograms": {"netsim.queue_wait_ns":
+///      {"bounds": [1000], "buckets": [3, 1], "count": 4, "sum": 5121}},
+///  "timings": {"phase.simulate":
+///      {"total_ns": 81234, "count": 1, "max_ns": 81234}}}
+/// ```
+pub fn to_json(snap: &Snapshot) -> String {
+    let mut out = String::from("{");
+    out.push_str("\"counters\":{");
+    for (i, (name, v)) in snap.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":{}", json_escape(name), v);
+    }
+    out.push_str("},\"gauges\":{");
+    for (i, (name, v)) in snap.gauges.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":{}", json_escape(name), json_f64(*v));
+    }
+    out.push_str("},\"histograms\":{");
+    for (i, (name, h)) in snap.histograms.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\"{}\":{{\"bounds\":{},\"buckets\":{},\"count\":{},\"sum\":{}}}",
+            json_escape(name),
+            json_u64_list(&h.bounds),
+            json_u64_list(&h.buckets),
+            h.count,
+            h.sum
+        );
+    }
+    out.push_str("},\"timings\":{");
+    for (i, (name, t)) in snap.timings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\"{}\":{{\"total_ns\":{},\"count\":{},\"max_ns\":{}}}",
+            json_escape(name),
+            t.total_ns,
+            t.count,
+            t.max_ns
+        );
+    }
+    out.push_str("}}");
+    out
+}
+
+/// Rewrite a dotted metric name into a valid Prometheus metric name:
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`, with every other character mapped to `_`.
+pub fn prometheus_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphanumeric() && !(i == 0 && c.is_ascii_digit());
+        out.push(if ok || c == '_' || c == ':' { c } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Render in the Prometheus text exposition format (v0.0.4): counters and
+/// gauges as single samples, histograms with cumulative `_bucket{le=...}`
+/// series, and span timings as `<name>_ns_total` / `<name>_calls_total`
+/// counter pairs.
+pub fn to_prometheus(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    for (name, v) in &snap.counters {
+        let n = prometheus_name(name);
+        let _ = writeln!(out, "# TYPE {n} counter\n{n} {v}");
+    }
+    for (name, v) in &snap.gauges {
+        let n = prometheus_name(name);
+        let _ = writeln!(out, "# TYPE {n} gauge\n{n} {v}");
+    }
+    for (name, h) in &snap.histograms {
+        let n = prometheus_name(name);
+        let _ = writeln!(out, "# TYPE {n} histogram");
+        let mut cumulative = 0u64;
+        for (i, count) in h.buckets.iter().enumerate() {
+            cumulative += count;
+            match h.bounds.get(i) {
+                Some(b) => {
+                    let _ = writeln!(out, "{n}_bucket{{le=\"{b}\"}} {cumulative}");
+                }
+                None => {
+                    let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {cumulative}");
+                }
+            }
+        }
+        let _ = writeln!(out, "{n}_sum {}\n{n}_count {}", h.sum, h.count);
+    }
+    for (name, t) in &snap.timings {
+        let n = prometheus_name(name);
+        let _ = writeln!(
+            out,
+            "# TYPE {n}_ns_total counter\n{n}_ns_total {}",
+            t.total_ns
+        );
+        let _ = writeln!(
+            out,
+            "# TYPE {n}_calls_total counter\n{n}_calls_total {}",
+            t.count
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MetricsRegistry;
+
+    fn sample_snapshot() -> Snapshot {
+        let reg = MetricsRegistry::new();
+        reg.counter("netsim.packets_sent").add(12);
+        reg.counter("inference.warnings").add(2);
+        reg.gauge("dtree.abnormal_ratio").set(0.25);
+        let h = reg.histogram("netsim.queue_wait_ns", &[100, 1000]);
+        h.record(50);
+        h.record(50);
+        h.record(500);
+        h.record(9_999);
+        reg.timing("phase.simulate").record_ns(2_500_000);
+        reg.snapshot()
+    }
+
+    #[test]
+    fn table_lists_every_metric_kind() {
+        let s = to_table(&sample_snapshot());
+        assert!(s.contains("== Counters =="));
+        assert!(s.contains("netsim.packets_sent"));
+        assert!(s.contains("12"));
+        assert!(s.contains("== Gauges =="));
+        assert!(s.contains("0.25"));
+        assert!(s.contains("== Histograms =="));
+        assert!(s.contains("≤100: 2"));
+        assert!(s.contains("+inf: 1"));
+        assert!(s.contains("== Phase timings =="));
+        assert!(s.contains("phase.simulate"));
+        assert!(s.contains("2.500"));
+    }
+
+    #[test]
+    fn empty_table_says_so() {
+        assert_eq!(to_table(&Snapshot::default()), "(no metrics registered)\n");
+    }
+
+    #[test]
+    fn json_is_complete_and_ordered() {
+        let j = to_json(&sample_snapshot());
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"netsim.packets_sent\":12"));
+        assert!(j.contains("\"dtree.abnormal_ratio\":0.25"));
+        assert!(j.contains(
+            "\"netsim.queue_wait_ns\":{\"bounds\":[100,1000],\"buckets\":[2,1,1],\"count\":4,\"sum\":10599}"
+        ));
+        assert!(
+            j.contains("\"phase.simulate\":{\"total_ns\":2500000,\"count\":1,\"max_ns\":2500000}")
+        );
+        // Braces balance (structural sanity without a JSON parser).
+        let open = j.chars().filter(|&c| c == '{').count();
+        let close = j.chars().filter(|&c| c == '}').count();
+        assert_eq!(open, close);
+    }
+
+    #[test]
+    fn json_escapes_and_handles_nonfinite() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+        assert_eq!(json_f64(1.5), "1.5");
+    }
+
+    #[test]
+    fn prometheus_sanitizes_names_and_accumulates_buckets() {
+        let p = to_prometheus(&sample_snapshot());
+        assert!(p.contains("# TYPE netsim_packets_sent counter"));
+        assert!(p.contains("netsim_packets_sent 12"));
+        assert!(p.contains("dtree_abnormal_ratio 0.25"));
+        // Buckets are cumulative: 2, then 2+1, then 2+1+1.
+        assert!(p.contains("netsim_queue_wait_ns_bucket{le=\"100\"} 2"));
+        assert!(p.contains("netsim_queue_wait_ns_bucket{le=\"1000\"} 3"));
+        assert!(p.contains("netsim_queue_wait_ns_bucket{le=\"+Inf\"} 4"));
+        assert!(p.contains("netsim_queue_wait_ns_sum 10599"));
+        assert!(p.contains("netsim_queue_wait_ns_count 4"));
+        assert!(p.contains("phase_simulate_ns_total 2500000"));
+        assert!(p.contains("phase_simulate_calls_total 1"));
+        // No metric *name* keeps its dots (values like 0.25 may).
+        for line in p.lines().filter(|l| !l.starts_with('#')) {
+            let name = line.split([' ', '{']).next().unwrap();
+            assert!(!name.contains('.'), "unsanitized name in {line:?}");
+        }
+    }
+
+    #[test]
+    fn prometheus_name_rules() {
+        assert_eq!(prometheus_name("a.b-c"), "a_b_c");
+        assert_eq!(prometheus_name("9lives"), "_lives");
+        assert_eq!(prometheus_name(""), "_");
+        assert_eq!(prometheus_name("ok_name:x"), "ok_name:x");
+    }
+}

@@ -1,0 +1,136 @@
+//! `db-telemetry`: the observability layer of the Drift-Bottle reproduction.
+//!
+//! Three pieces, all std-only (no external dependencies, per the workspace
+//! policy):
+//!
+//! * [`MetricsRegistry`] — named counters, gauges, fixed-bucket histograms,
+//!   and span timings. Registration locks and allocates once; every update
+//!   after that is a relaxed atomic on a pre-allocated cell, cheap enough
+//!   for the packet hot path.
+//! * [`Span`] — RAII wall-clock timers for phase accounting
+//!   (train / simulate / monitor / infer / aggregate).
+//! * [`event!`] — a leveled, structured event log behind a [`Recorder`]
+//!   trait, off by default (one relaxed load per call site when disabled).
+//! * [`export`] — renderers from a registry [`Snapshot`] to human text
+//!   tables, JSON, and the Prometheus text format.
+//!
+//! # The global registry
+//!
+//! Instrumented crates (netsim, flowmon, dtree, inference, core) take a
+//! `&MetricsRegistry` explicitly and store handles, so libraries stay
+//! testable and deterministic. The **global** registry here is a
+//! convenience for binaries (CLI, benches): it is disabled by default —
+//! [`active`] returns `None` and instrumentation is skipped entirely, which
+//! is what keeps default runs bit-for-bit identical — and switched on with
+//! [`enable`].
+//!
+//! ```
+//! assert!(db_telemetry::active().is_none()); // default: off, zero cost
+//! db_telemetry::enable();
+//! let reg = db_telemetry::active().unwrap();
+//! reg.counter("demo.hits").inc();
+//! println!("{}", db_telemetry::export::to_table(&reg.snapshot()));
+//! # db_telemetry::disable();
+//! ```
+
+mod event;
+pub mod export;
+mod registry;
+mod span;
+
+pub use event::{
+    clear_recorder, emit, level_enabled, set_max_level, set_recorder, BufferRecorder, Event, Level,
+    Recorder, StderrRecorder,
+};
+pub use export::{json_escape, prometheus_name, to_json, to_prometheus, to_table};
+pub use registry::{
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, Snapshot, Timing, TimingSnapshot,
+};
+pub use span::Span;
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+
+/// The process-wide registry (created on first use, even while disabled —
+/// so a handle registered before [`enable`] still shows up in reports).
+pub fn global() -> &'static MetricsRegistry {
+    GLOBAL.get_or_init(MetricsRegistry::new)
+}
+
+/// Turn global metrics collection on.
+pub fn enable() {
+    global();
+    ENABLED.store(true, Ordering::SeqCst);
+}
+
+/// Turn global metrics collection off (the registry and its values are
+/// kept; [`active`] just stops handing it out).
+pub fn disable() {
+    ENABLED.store(false, Ordering::SeqCst);
+}
+
+/// Whether global collection is on.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// The global registry if collection is enabled, else `None`. This is the
+/// gate instrumented code checks once per component (not per packet):
+/// attach handles when `Some`, skip instrumentation entirely when `None`.
+pub fn active() -> Option<&'static MetricsRegistry> {
+    if enabled() {
+        Some(global())
+    } else {
+        None
+    }
+}
+
+/// Start a span on the global registry, or `None` when disabled. Binding
+/// the result keeps the span alive for the scope:
+///
+/// ```
+/// let _span = db_telemetry::span("phase.simulate");
+/// ```
+pub fn span(name: &str) -> Option<Span> {
+    active().map(|reg| reg.span(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The enable/disable flag is process-global state shared by every test
+    // in this binary, so the whole lifecycle lives in one #[test].
+    #[test]
+    fn global_toggle_lifecycle() {
+        assert!(!enabled(), "collection must default to off");
+        assert!(active().is_none());
+        assert!(span("phase.x").is_none(), "disabled spans cost nothing");
+
+        // Handles registered before enabling still land in the registry.
+        let early = global().counter("lifecycle.early");
+        early.inc();
+
+        enable();
+        let reg = active().expect("enabled");
+        reg.counter("lifecycle.late").inc();
+        {
+            let _s = span("phase.x");
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("lifecycle.early"), Some(1));
+        assert_eq!(snap.counter("lifecycle.late"), Some(1));
+        assert_eq!(
+            snap.timings.iter().filter(|(n, _)| n == "phase.x").count(),
+            1
+        );
+
+        disable();
+        assert!(active().is_none());
+        // Values survive the toggle.
+        assert_eq!(global().snapshot().counter("lifecycle.early"), Some(1));
+    }
+}

@@ -1,0 +1,83 @@
+//! RAII wall-clock spans for phase-level accounting.
+
+use crate::registry::Timing;
+use std::time::Instant;
+
+/// Times the region from construction to drop and records it into a
+/// [`Timing`]. Obtained from [`crate::MetricsRegistry::span`] or
+/// [`crate::span`] (the global-registry helper, which returns `None` when
+/// telemetry is disabled so the hot path pays one atomic load).
+///
+/// ```
+/// let reg = db_telemetry::MetricsRegistry::new();
+/// {
+///     let _span = reg.span("phase.simulate");
+///     // ... work ...
+/// }
+/// assert_eq!(reg.snapshot().timings[0].1.count, 1);
+/// ```
+#[derive(Debug)]
+pub struct Span {
+    timing: Timing,
+    start: Instant,
+}
+
+impl Span {
+    pub(crate) fn new(timing: Timing) -> Self {
+        Span {
+            timing,
+            start: Instant::now(),
+        }
+    }
+
+    /// Elapsed time so far, in nanoseconds.
+    pub fn elapsed_ns(&self) -> u64 {
+        self.start.elapsed().as_nanos() as u64
+    }
+
+    /// End the span early (identical to dropping it).
+    pub fn finish(self) {}
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.timing.record_ns(self.elapsed_ns());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::MetricsRegistry;
+
+    #[test]
+    fn span_records_on_drop() {
+        let reg = MetricsRegistry::new();
+        {
+            let _s = reg.span("phase.t");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let t = reg.timing("phase.t");
+        assert_eq!(t.count(), 1);
+        assert!(t.total_ns() >= 1_000_000, "slept ≥2ms but recorded <1ms");
+        assert_eq!(t.max_ns(), t.total_ns());
+    }
+
+    #[test]
+    fn nested_and_repeated_spans_accumulate() {
+        let reg = MetricsRegistry::new();
+        for _ in 0..3 {
+            let _outer = reg.span("phase.outer");
+            let _inner = reg.span("phase.inner");
+        }
+        assert_eq!(reg.timing("phase.outer").count(), 3);
+        assert_eq!(reg.timing("phase.inner").count(), 3);
+    }
+
+    #[test]
+    fn finish_ends_early() {
+        let reg = MetricsRegistry::new();
+        let s = reg.span("phase.f");
+        s.finish();
+        assert_eq!(reg.timing("phase.f").count(), 1);
+    }
+}

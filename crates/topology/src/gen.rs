@@ -12,7 +12,10 @@ use db_util::Pcg64;
 /// Latency is proportional to distance (scaled to `[0.5, 10]` ms).
 pub fn waxman(n: usize, alpha: f64, beta: f64, seed: u64) -> Topology {
     assert!(n >= 2, "waxman needs at least two nodes");
-    assert!(alpha > 0.0 && beta > 0.0, "waxman parameters must be positive");
+    assert!(
+        alpha > 0.0 && beta > 0.0,
+        "waxman parameters must be positive"
+    );
     let mut rng = Pcg64::new_stream(seed, 0x3A47);
     let pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.f64(), rng.f64())).collect();
     let dist = |u: usize, v: usize| -> f64 {
@@ -97,12 +100,14 @@ mod tests {
         assert!(a.link_count() >= 29, "at least a spanning tree");
         let c = waxman(30, 0.4, 0.3, 8);
         // Different seed should (almost surely) give a different graph.
-        assert!(a.link_count() != c.link_count() || {
-            a.links()
-                .iter()
-                .zip(c.links())
-                .any(|(x, y)| x.a != y.a || x.b != y.b)
-        });
+        assert!(
+            a.link_count() != c.link_count() || {
+                a.links()
+                    .iter()
+                    .zip(c.links())
+                    .any(|(x, y)| x.a != y.a || x.b != y.b)
+            }
+        );
     }
 
     #[test]

@@ -164,7 +164,13 @@ impl TopologyBuilder {
     }
 
     /// Add an undirected link with an explicit bandwidth.
-    pub fn link_bw(&mut self, a: NodeId, b: NodeId, latency_ms: f64, bandwidth_mbps: f64) -> &mut Self {
+    pub fn link_bw(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        latency_ms: f64,
+        bandwidth_mbps: f64,
+    ) -> &mut Self {
         // Normalize endpoint order so duplicate detection is direction-free.
         let (a, b) = if a.0 <= b.0 { (a, b) } else { (b, a) };
         self.links.push(Link {
@@ -412,10 +418,7 @@ mod tests {
         let n = b.nodes(2, "s");
         b.link(n[0], n[1], 1.0);
         b.link(n[1], n[0], 2.0);
-        assert_eq!(
-            b.build().unwrap_err(),
-            TopologyError::DuplicateLink(0, 1)
-        );
+        assert_eq!(b.build().unwrap_err(), TopologyError::DuplicateLink(0, 1));
     }
 
     #[test]
@@ -440,12 +443,18 @@ mod tests {
         let mut b = TopologyBuilder::new("bad");
         let n = b.nodes(2, "s");
         b.link(n[0], n[1], 0.0);
-        assert!(matches!(b.build().unwrap_err(), TopologyError::BadLatency(_)));
+        assert!(matches!(
+            b.build().unwrap_err(),
+            TopologyError::BadLatency(_)
+        ));
 
         let mut b = TopologyBuilder::new("nan");
         let n = b.nodes(2, "s");
         b.link(n[0], n[1], f64::NAN);
-        assert!(matches!(b.build().unwrap_err(), TopologyError::BadLatency(_)));
+        assert!(matches!(
+            b.build().unwrap_err(),
+            TopologyError::BadLatency(_)
+        ));
     }
 
     #[test]
@@ -453,7 +462,10 @@ mod tests {
         let mut b = TopologyBuilder::new("bw");
         let n = b.nodes(2, "s");
         b.link_bw(n[0], n[1], 1.0, -5.0);
-        assert!(matches!(b.build().unwrap_err(), TopologyError::BadBandwidth(_)));
+        assert!(matches!(
+            b.build().unwrap_err(),
+            TopologyError::BadBandwidth(_)
+        ));
     }
 
     #[test]

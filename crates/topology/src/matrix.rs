@@ -163,8 +163,8 @@ pub fn max_coverage(matrix: &RoutingMatrix, status: &[PathStatus]) -> Vec<LinkId
     let mut chosen = Vec::new();
     loop {
         let mut best: Option<(usize, LinkId)> = None;
-        for l in 0..matrix.link_count() {
-            if innocent[l] || chosen.contains(&LinkId(l as u16)) {
+        for (l, &inn) in innocent.iter().enumerate() {
+            if inn || chosen.contains(&LinkId(l as u16)) {
                 continue;
             }
             let cover = uncovered

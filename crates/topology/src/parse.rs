@@ -225,10 +225,7 @@ mod tests {
     fn propagates_validation_errors() {
         let text = "topology T\nnode 0 x\nnode 1 y\nlink 0 1 1\nlink 1 0 2\n";
         let err = from_text(text).unwrap_err();
-        assert_eq!(
-            err,
-            ParseError::Invalid(TopologyError::DuplicateLink(0, 1))
-        );
+        assert_eq!(err, ParseError::Invalid(TopologyError::DuplicateLink(0, 1)));
     }
 
     #[test]

@@ -103,14 +103,15 @@ impl PartialOrd for HeapEntry {
     }
 }
 
+/// Per-destination predecessor: the `(previous node, link)` on the chosen
+/// shortest path, `None` at the source and for unreachable nodes.
+type ParentVec = Vec<Option<(NodeId, LinkId)>>;
+
 /// Single-source shortest paths (latency metric, deterministic ties).
 ///
 /// Returns `(dist, hops, parent)` where `parent[v]` is the `(previous node,
 /// link)` on the chosen shortest path from `src` to `v`.
-fn dijkstra(
-    topo: &Topology,
-    src: NodeId,
-) -> (Vec<f64>, Vec<u32>, Vec<Option<(NodeId, LinkId)>>) {
+fn dijkstra(topo: &Topology, src: NodeId) -> (Vec<f64>, Vec<u32>, ParentVec) {
     let n = topo.node_count();
     let mut dist = vec![f64::INFINITY; n];
     let mut hops = vec![u32::MAX; n];
@@ -124,7 +125,12 @@ fn dijkstra(
         hops: 0,
         node: src,
     });
-    while let Some(HeapEntry { dist: d, hops: h, node: u }) = heap.pop() {
+    while let Some(HeapEntry {
+        dist: d,
+        hops: h,
+        node: u,
+    }) = heap.pop()
+    {
         if done[u.idx()] {
             continue;
         }
@@ -190,8 +196,8 @@ impl RouteTable {
                 let mut links = Vec::new();
                 let mut cur = t;
                 while cur != s {
-                    let (p, l) = parent[cur.idx()]
-                        .expect("topology is connected, parent must exist");
+                    let (p, l) =
+                        parent[cur.idx()].expect("topology is connected, parent must exist");
                     nodes.push(p);
                     links.push(l);
                     cur = p;

@@ -40,7 +40,11 @@ impl Draft {
         let base: Vec<f64> = self.edges.iter().map(|e| e.2).collect();
         let bmean = st::mean(&base);
         let bvar = st::variance(&base);
-        let scale = if bvar > 0.0 { (var_ms2 / bvar).sqrt() } else { 0.0 };
+        let scale = if bvar > 0.0 {
+            (var_ms2 / bvar).sqrt()
+        } else {
+            0.0
+        };
         for e in &mut self.edges {
             e.2 = (mean_ms + (e.2 - bmean) * scale).max(min_ms);
         }
@@ -70,8 +74,8 @@ fn euclidean_mst(pts: &[(f64, f64)]) -> Vec<(usize, usize, f64)> {
     let mut in_tree = vec![false; n];
     let mut best = vec![(f64::INFINITY, 0usize); n];
     in_tree[0] = true;
-    for j in 1..n {
-        best[j] = (d(0, j), 0);
+    for (j, b) in best.iter_mut().enumerate().skip(1) {
+        *b = (d(0, j), 0);
     }
     let mut edges = Vec::with_capacity(n - 1);
     for _ in 1..n {
@@ -122,9 +126,9 @@ pub fn geant2012() -> Topology {
     // Half the extra budget goes to local meshing (shortest non-edges),
     // half to diameter-reducing express links.
     let mut cands: Vec<(usize, usize, f64)> = Vec::new();
-    for u in 0..n {
+    for (u, au) in adj.iter().enumerate() {
         for v in (u + 1)..n {
-            if !adj[u].contains(&v) {
+            if !au.contains(&v) {
                 cands.push((u, v, euclid(u, v)));
             }
         }
@@ -151,9 +155,9 @@ pub fn geant2012() -> Topology {
                     }
                 }
             }
-            for t in (s + 1)..n {
-                if dist[t] > best.2 && !adj[s].contains(&t) {
-                    best = (s, t, dist[t]);
+            for (t, &dt) in dist.iter().enumerate().skip(s + 1) {
+                if dt > best.2 && !adj[s].contains(&t) {
+                    best = (s, t, dt);
                 }
             }
         }
@@ -176,7 +180,7 @@ pub fn geant2012() -> Topology {
 /// Nodes 0-2 are national hubs ("busy nodes whose degrees are obviously
 /// greater than others", §6.1), 3-9 regional hubs, 10-41 provincial leaves.
 pub fn chinanet() -> Topology {
-    let mut rng = Pcg64::new(0xC4A1_4E7);
+    let mut rng = Pcg64::new(0xC4A14E7);
     let mut edges: Vec<(usize, usize, f64)> = Vec::new();
     let jitter = |rng: &mut Pcg64, base: f64| base * (0.7 + 0.6 * rng.f64());
     // Full mesh between the three national hubs (long-haul trunks).
@@ -325,8 +329,12 @@ pub fn as1221() -> Topology {
     assert_eq!(next, 104);
     // Cross-connect: tail of chain i to core (i+1) (20 links), and the second
     // node of chain i to the first node of chain i+1 for i in 0..17 (17 links).
-    for i in 0..core {
-        edges.push((*chains[i].last().unwrap(), (i + 1) % core, jitter(&mut rng, 3.0)));
+    for (i, chain) in chains.iter().enumerate().take(core) {
+        edges.push((
+            *chain.last().unwrap(),
+            (i + 1) % core,
+            jitter(&mut rng, 3.0),
+        ));
     }
     for i in 0..17 {
         edges.push((chains[i][1], chains[i + 1][0], jitter(&mut rng, 2.5)));
@@ -424,13 +432,15 @@ pub fn ring(n: usize) -> Topology {
 /// funnel all traffic through low-id nodes and leave some links carrying no
 /// transit flows at all, which no monitoring system could then observe.
 pub fn grid(w: usize, h: usize) -> Topology {
-    assert!(w >= 1 && h >= 1 && w * h >= 1, "grid needs positive dimensions");
+    assert!(
+        w >= 1 && h >= 1 && w * h >= 1,
+        "grid needs positive dimensions"
+    );
     let mut b = TopologyBuilder::new(format!("grid{w}x{h}"));
     let ids = b.nodes(w * h, "s");
     let at = |x: usize, y: usize| ids[y * w + x];
-    let jitter = |u: NodeId, v: NodeId| {
-        1.0 + 0.013 * ((3 * u.0 as u64 + 7 * v.0 as u64 + 11) % 17) as f64
-    };
+    let jitter =
+        |u: NodeId, v: NodeId| 1.0 + 0.013 * ((3 * u.0 as u64 + 7 * v.0 as u64 + 11) % 17) as f64;
     for y in 0..h {
         for x in 0..w {
             if x + 1 < w {
@@ -523,11 +533,7 @@ mod tests {
     #[test]
     fn tinet_has_long_links() {
         let t = tinet();
-        let long: Vec<_> = t
-            .links()
-            .iter()
-            .filter(|l| l.latency_ms > 50.0)
-            .collect();
+        let long: Vec<_> = t.links().iter().filter(|l| l.latency_ms > 50.0).collect();
         assert_eq!(long.len(), 4, "tinet has exactly four very long links");
         let short = t.links().iter().filter(|l| l.latency_ms < 5.0).count();
         assert_eq!(short, 85);

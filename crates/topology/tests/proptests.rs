@@ -132,7 +132,7 @@ fn evaluation_topologies_have_sane_route_tables() {
             let p = routes.path(s, d);
             assert_eq!(p.src(), s);
             assert_eq!(p.dst(), d);
-            assert!(p.len() >= 1);
+            assert!(!p.is_empty());
             assert!(
                 (p.latency_ms(&topo) - routes.latency_ms(s, d)).abs() < 1e-9,
                 "{}: path latency mismatch",

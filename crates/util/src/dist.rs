@@ -22,7 +22,10 @@ pub struct Exp {
 impl Exp {
     /// Create an exponential distribution. Panics unless `lambda > 0`.
     pub fn new(lambda: f64) -> Self {
-        assert!(lambda > 0.0 && lambda.is_finite(), "Exp: lambda must be positive");
+        assert!(
+            lambda > 0.0 && lambda.is_finite(),
+            "Exp: lambda must be positive"
+        );
         Exp { lambda }
     }
 
@@ -50,8 +53,14 @@ pub struct Pareto {
 impl Pareto {
     /// Create a Pareto distribution. Panics unless both parameters are positive.
     pub fn new(x_min: f64, alpha: f64) -> Self {
-        assert!(x_min > 0.0 && x_min.is_finite(), "Pareto: x_min must be positive");
-        assert!(alpha > 0.0 && alpha.is_finite(), "Pareto: alpha must be positive");
+        assert!(
+            x_min > 0.0 && x_min.is_finite(),
+            "Pareto: x_min must be positive"
+        );
+        assert!(
+            alpha > 0.0 && alpha.is_finite(),
+            "Pareto: alpha must be positive"
+        );
         Pareto { x_min, alpha }
     }
 
@@ -79,9 +88,19 @@ impl BoundedPareto {
     /// Create a bounded Pareto distribution. Panics unless
     /// `0 < x_min < x_max` and `alpha > 0`.
     pub fn new(x_min: f64, x_max: f64, alpha: f64) -> Self {
-        assert!(x_min > 0.0 && x_min < x_max, "BoundedPareto: need 0 < x_min < x_max");
-        assert!(alpha > 0.0 && alpha.is_finite(), "BoundedPareto: alpha must be positive");
-        BoundedPareto { x_min, x_max, alpha }
+        assert!(
+            x_min > 0.0 && x_min < x_max,
+            "BoundedPareto: need 0 < x_min < x_max"
+        );
+        assert!(
+            alpha > 0.0 && alpha.is_finite(),
+            "BoundedPareto: alpha must be positive"
+        );
+        BoundedPareto {
+            x_min,
+            x_max,
+            alpha,
+        }
     }
 
     /// Inverse-CDF sample, always within `[x_min, x_max]`.
@@ -105,7 +124,10 @@ pub struct LogNormal {
 impl LogNormal {
     /// Create a log-normal distribution. Panics unless `sigma >= 0`.
     pub fn new(mu: f64, sigma: f64) -> Self {
-        assert!(sigma >= 0.0 && sigma.is_finite(), "LogNormal: sigma must be non-negative");
+        assert!(
+            sigma >= 0.0 && sigma.is_finite(),
+            "LogNormal: sigma must be non-negative"
+        );
         LogNormal { mu, sigma }
     }
 
@@ -125,7 +147,10 @@ pub fn standard_normal(rng: &mut Pcg64) -> f64 {
 /// One draw from Poisson(`lambda`) by exponential-gap counting (suitable for
 /// the small rates used per sampling interval).
 pub fn poisson(rng: &mut Pcg64, lambda: f64) -> u64 {
-    assert!(lambda >= 0.0 && lambda.is_finite(), "poisson: lambda must be non-negative");
+    assert!(
+        lambda >= 0.0 && lambda.is_finite(),
+        "poisson: lambda must be non-negative"
+    );
     if lambda == 0.0 {
         return 0;
     }
@@ -202,7 +227,10 @@ mod tests {
         let mut rng = Pcg64::new(5);
         for _ in 0..50_000 {
             let x = d.sample(&mut rng);
-            assert!((100.0..=1_000_000.0).contains(&x), "sample {x} out of bounds");
+            assert!(
+                (100.0..=1_000_000.0).contains(&x),
+                "sample {x} out of bounds"
+            );
         }
     }
 

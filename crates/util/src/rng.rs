@@ -59,10 +59,7 @@ impl Pcg64 {
 
     #[inline]
     fn step(&mut self) {
-        self.state = self
-            .state
-            .wrapping_mul(PCG_MULT)
-            .wrapping_add(self.inc);
+        self.state = self.state.wrapping_mul(PCG_MULT).wrapping_add(self.inc);
     }
 
     /// Next 64 uniformly random bits.
@@ -263,7 +260,10 @@ mod tests {
             counts[rng.below(10) as usize] += 1;
         }
         for &c in &counts {
-            assert!((8_500..11_500).contains(&c), "bucket count {c} out of range");
+            assert!(
+                (8_500..11_500).contains(&c),
+                "bucket count {c} out of range"
+            );
         }
     }
 
@@ -303,7 +303,11 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..100).collect::<Vec<u32>>());
-        assert_ne!(v, (0..100).collect::<Vec<u32>>(), "shuffle left input unchanged");
+        assert_ne!(
+            v,
+            (0..100).collect::<Vec<u32>>(),
+            "shuffle left input unchanged"
+        );
     }
 
     #[test]

@@ -45,7 +45,10 @@ pub fn skewness(xs: &[f64]) -> f64 {
 /// Panics if `xs` is empty or `p` is out of range.
 pub fn percentile(xs: &[f64], p: f64) -> f64 {
     assert!(!xs.is_empty(), "percentile of empty slice");
-    assert!((0.0..=100.0).contains(&p), "percentile must be within [0, 100]");
+    assert!(
+        (0.0..=100.0).contains(&p),
+        "percentile must be within [0, 100]"
+    );
     let mut sorted = xs.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("percentile: NaN in input"));
     let rank = p / 100.0 * (sorted.len() - 1) as f64;
@@ -61,24 +64,30 @@ pub fn percentile(xs: &[f64], p: f64) -> f64 {
 
 /// Minimum; `None` for an empty slice or NaN-containing input.
 pub fn min(xs: &[f64]) -> Option<f64> {
-    xs.iter().copied().try_fold(f64::INFINITY, |acc, x| {
-        if x.is_nan() {
-            None
-        } else {
-            Some(acc.min(x))
-        }
-    }).filter(|_| !xs.is_empty())
+    xs.iter()
+        .copied()
+        .try_fold(f64::INFINITY, |acc, x| {
+            if x.is_nan() {
+                None
+            } else {
+                Some(acc.min(x))
+            }
+        })
+        .filter(|_| !xs.is_empty())
 }
 
 /// Maximum; `None` for an empty slice or NaN-containing input.
 pub fn max(xs: &[f64]) -> Option<f64> {
-    xs.iter().copied().try_fold(f64::NEG_INFINITY, |acc, x| {
-        if x.is_nan() {
-            None
-        } else {
-            Some(acc.max(x))
-        }
-    }).filter(|_| !xs.is_empty())
+    xs.iter()
+        .copied()
+        .try_fold(f64::NEG_INFINITY, |acc, x| {
+            if x.is_nan() {
+                None
+            } else {
+                Some(acc.max(x))
+            }
+        })
+        .filter(|_| !xs.is_empty())
 }
 
 /// Empirical CDF points `(value, fraction ≤ value)` for plotting (Fig. 11).

@@ -8,8 +8,8 @@
 //! cargo run --release --example concurrent_failures
 //! ```
 
-use drift_bottle::core::experiment::sweep;
 use drift_bottle::core::eval::MetricsAccum;
+use drift_bottle::core::experiment::sweep;
 use drift_bottle::prelude::*;
 
 fn main() {

@@ -20,7 +20,10 @@ fn main() {
         prep.topo.label(ends.a),
         prep.topo.label(ends.b)
     );
-    println!("{:<12} {:>10} {:>10} {:>12} {:>12}", "loss rate", "dropped", "reported", "hit?", "raises");
+    println!(
+        "{:<12} {:>10} {:>10} {:>12} {:>12}",
+        "loss rate", "dropped", "reported", "hit?", "raises"
+    );
     for rate in [0.05, 0.1, 0.25, 0.5, 0.75, 1.0] {
         let setup = ScenarioSetup::flagship(&prep, 1.0, 99);
         let kind = if rate >= 1.0 {

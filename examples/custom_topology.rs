@@ -44,7 +44,9 @@ fn main() {
     );
     // Round-trip check: serialize back out (what a config tool would store).
     assert_eq!(
-        parse::from_text(&parse::to_text(&topo)).unwrap().link_count(),
+        parse::from_text(&parse::to_text(&topo))
+            .unwrap()
+            .link_count(),
         topo.link_count()
     );
 

@@ -10,7 +10,14 @@
 //! drift-bottle node <name|file> <node> [density] # localize one node failure
 //! drift-bottle sweep <name|file> [n] [density]   # sweep n covered links, averaged metrics
 //! drift-bottle health <name|file> [density]      # false-positive check on a healthy network
+//! drift-bottle report <name|file> [density]      # one scenario + full telemetry report
 //! ```
+//!
+//! Every command accepts `--metrics[=table|json|prom]`: it enables the
+//! global telemetry registry for the run and appends the metrics report
+//! (counters, histograms, per-phase timings) to stdout in the chosen
+//! format. `report` is the dedicated observability command — it implies
+//! `--metrics=table` and additionally mirrors warning events to stderr.
 //!
 //! Argument parsing is deliberately bare std — the library has no CLI
 //! dependencies.
@@ -26,17 +33,67 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  drift-bottle topo   <name|file>\n  drift-bottle fail   <name|file> <link-id> [density]\n  drift-bottle node   <name|file> <node-id> [density]\n  drift-bottle sweep  <name|file> [links] [density]\n  drift-bottle health <name|file> [density]\n\nbuilt-in topologies: geant2012, chinanet, tinet, as1221"
+        "usage:\n  drift-bottle topo   <name|file>\n  drift-bottle fail   <name|file> <link-id> [density]\n  drift-bottle node   <name|file> <node-id> [density]\n  drift-bottle sweep  <name|file> [links] [density]\n  drift-bottle health <name|file> [density]\n  drift-bottle report <name|file> [density]\n\noptions:\n  --metrics[=table|json|prom]  collect telemetry and print a metrics report\n\nbuilt-in topologies: geant2012, chinanet, tinet, as1221"
     );
     ExitCode::FAILURE
+}
+
+/// Output format of the `--metrics` report.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum MetricsFormat {
+    Table,
+    Json,
+    Prom,
+}
+
+/// Strip every `--metrics[=fmt]` flag out of `args`, returning the chosen
+/// format (the last one wins) or an error for an unknown format.
+fn take_metrics_flag(args: &mut Vec<String>) -> Result<Option<MetricsFormat>, String> {
+    let mut fmt = None;
+    let mut err = None;
+    args.retain(|a| {
+        let Some(rest) = a.strip_prefix("--metrics") else {
+            return true;
+        };
+        match rest {
+            "" | "=table" => fmt = Some(MetricsFormat::Table),
+            "=json" => fmt = Some(MetricsFormat::Json),
+            "=prom" => fmt = Some(MetricsFormat::Prom),
+            other => {
+                err = Some(format!(
+                    "unknown metrics format '{}' (expected table, json or prom)",
+                    other.trim_start_matches('=')
+                ))
+            }
+        }
+        false
+    });
+    match err {
+        Some(e) => Err(e),
+        None => Ok(fmt),
+    }
+}
+
+/// Print the global registry's snapshot in the requested format.
+fn print_metrics_report(fmt: MetricsFormat) {
+    let snap = drift_bottle::telemetry::global().snapshot();
+    match fmt {
+        MetricsFormat::Table => {
+            println!("\n=== telemetry report ===\n");
+            print!("{}", drift_bottle::telemetry::to_table(&snap));
+        }
+        MetricsFormat::Json => println!("{}", drift_bottle::telemetry::to_json(&snap)),
+        MetricsFormat::Prom => print!("{}", drift_bottle::telemetry::to_prometheus(&snap)),
+    }
 }
 
 fn load_topology(spec: &str) -> Result<Topology, String> {
     if let Some(t) = zoo::by_name(spec) {
         return Ok(t);
     }
-    let text = std::fs::read_to_string(spec)
-        .map_err(|e| format!("'{spec}' is not a built-in topology and reading it as a file failed: {e}"))?;
+    let text = std::fs::read_to_string(spec).map_err(|e| {
+        format!("'{spec}' is not a built-in topology and reading it as a file failed: {e}")
+    })?;
     parse::from_text(&text).map_err(|e| format!("parsing '{spec}': {e}"))
 }
 
@@ -112,10 +169,22 @@ fn cmd_topo(spec: &str) -> Result<(), String> {
     println!("topology   : {}", s.name);
     println!("nodes      : {}", s.nodes);
     println!("links      : {}", s.links);
-    println!("latency    : mean {:.2} ms, variance {:.2} ms²", s.latency_mean, s.latency_variance);
-    println!("degree     : variance {:.2}, skewness {:.2}, max {}", s.degree_variance, s.degree_skewness, s.max_degree);
-    println!("paths      : mean {:.1} links, max {} links", p.mean_path_links, p.max_path_links);
-    println!("RTT        : p90 {:.1} ms, max {:.1} ms", p.rtt_p90_ms, p.rtt_max_ms);
+    println!(
+        "latency    : mean {:.2} ms, variance {:.2} ms²",
+        s.latency_mean, s.latency_variance
+    );
+    println!(
+        "degree     : variance {:.2}, skewness {:.2}, max {}",
+        s.degree_variance, s.degree_skewness, s.max_degree
+    );
+    println!(
+        "paths      : mean {:.1} links, max {} links",
+        p.mean_path_links, p.max_path_links
+    );
+    println!(
+        "RTT        : p90 {:.1} ms, max {:.1} ms",
+        p.rtt_p90_ms, p.rtt_max_ms
+    );
     let mut used = vec![false; topo.link_count()];
     for (a, b) in routes.pairs() {
         for &l in &routes.path(a, b).links {
@@ -140,7 +209,10 @@ fn cmd_fail(spec: &str, link: &str, density: f64) -> Result<(), String> {
         .parse()
         .map_err(|_| format!("bad link id '{link}'"))?;
     if id as usize >= topo.link_count() {
-        return Err(format!("link {id} out of range (topology has {})", topo.link_count()));
+        return Err(format!(
+            "link {id} out of range (topology has {})",
+            topo.link_count()
+        ));
     }
     let prep = train(topo);
     let setup = ScenarioSetup::flagship(&prep, density, 1);
@@ -157,7 +229,10 @@ fn cmd_node(spec: &str, node: &str, density: f64) -> Result<(), String> {
         .parse()
         .map_err(|_| format!("bad node id '{node}'"))?;
     if id as usize >= topo.node_count() {
-        return Err(format!("node {id} out of range (topology has {})", topo.node_count()));
+        return Err(format!(
+            "node {id} out of range (topology has {})",
+            topo.node_count()
+        ));
     }
     let prep = train(topo);
     let setup = ScenarioSetup::flagship(&prep, density, 1);
@@ -177,10 +252,7 @@ fn cmd_sweep(spec: &str, n: usize, density: f64) -> Result<(), String> {
         covered
     );
     let setup = ScenarioSetup::flagship(&prep, density, 1);
-    let kinds: Vec<ScenarioKind> = links
-        .iter()
-        .map(|&l| ScenarioKind::SingleLink(l))
-        .collect();
+    let kinds: Vec<ScenarioKind> = links.iter().map(|&l| ScenarioKind::SingleLink(l)).collect();
     let outcomes = sweep(&setup, kinds);
     for (l, o) in links.iter().zip(&outcomes) {
         let v = o.variant("Drift-Bottle").expect("flagship variant");
@@ -220,8 +292,42 @@ fn cmd_health(spec: &str, density: f64) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_report(spec: &str, density: f64) -> Result<(), String> {
+    // Mirror warning events to stderr so the operator sees the raises with
+    // their hop/w0/w1 context as they happen.
+    drift_bottle::telemetry::set_recorder(std::sync::Arc::new(
+        drift_bottle::telemetry::StderrRecorder,
+    ));
+    drift_bottle::telemetry::set_max_level(Some(drift_bottle::telemetry::Level::Warn));
+    let topo = load_topology(spec)?;
+    let prep = train(topo);
+    let covered = covered_links(&prep);
+    let link = *covered
+        .first()
+        .ok_or("topology has no covered links to fail")?;
+    eprintln!("[failing {link} and running one scenario at density {density}...]");
+    let setup = ScenarioSetup::flagship(&prep, density, 1);
+    let outcome = run_scenario(&setup, &ScenarioKind::SingleLink(link));
+    print_outcome(&prep, &outcome);
+    Ok(())
+}
+
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut fmt = match take_metrics_flag(&mut args) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.first().map(String::as_str) == Some("report") {
+        // The observability command always reports; default to the table.
+        fmt = fmt.or(Some(MetricsFormat::Table));
+    }
+    if fmt.is_some() {
+        drift_bottle::telemetry::enable();
+    }
     let result = match args.first().map(String::as_str) {
         Some("topo") if args.len() == 2 => cmd_topo(&args[1]),
         Some("fail") if args.len() >= 3 => match parse_density(args.get(3)) {
@@ -247,10 +353,19 @@ fn main() -> ExitCode {
             Ok(d) => cmd_health(&args[1], d),
             Err(e) => Err(e),
         },
+        Some("report") if args.len() >= 2 => match parse_density(args.get(2)) {
+            Ok(d) => cmd_report(&args[1], d),
+            Err(e) => Err(e),
+        },
         _ => return usage(),
     };
     match result {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(()) => {
+            if let Some(fmt) = fmt {
+                print_metrics_report(fmt);
+            }
+            ExitCode::SUCCESS
+        }
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE

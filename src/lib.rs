@@ -26,6 +26,7 @@
 //! | [`inference`] | `db-inference` | inference algebra, weight schemes, wire header, warnings, baselines |
 //! | [`core`] | `db-core` | the assembled system, training pipeline, experiment runners |
 //! | [`util`] | `db-util` | deterministic RNG, distributions, statistics, tables |
+//! | [`telemetry`] | `db-telemetry` | metrics registry, phase spans, event log, exporters |
 //!
 //! ## Quickstart
 //!
@@ -60,6 +61,7 @@ pub use db_dtree as dtree;
 pub use db_flowmon as flowmon;
 pub use db_inference as inference;
 pub use db_netsim as netsim;
+pub use db_telemetry as telemetry;
 pub use db_topology as topology;
 pub use db_util as util;
 
@@ -70,6 +72,8 @@ pub mod prelude {
         ScenarioKind, ScenarioOutcome, ScenarioSetup, SystemConfig, VariantSpec,
     };
     pub use db_inference::{Inference, WarningConfig, WeightScheme};
-    pub use db_netsim::{FailureScenario, SimConfig, SimTime, Simulator, TrafficConfig, TrafficGen};
+    pub use db_netsim::{
+        FailureScenario, SimConfig, SimTime, Simulator, TrafficConfig, TrafficGen,
+    };
     pub use db_topology::{zoo, LinkId, NodeId, RouteTable, Topology, TopologyBuilder};
 }

@@ -5,8 +5,8 @@
 //! examples (Fig. 1 identifiability, Fig. 5 weight assignment) recreated
 //! against the live system rather than against isolated modules.
 
-use drift_bottle::prelude::*;
 use drift_bottle::core::experiment::sample_covered_links;
+use drift_bottle::prelude::*;
 use std::sync::OnceLock;
 
 /// A shared prepared 3x3 grid: training once keeps the suite fast.
@@ -118,9 +118,9 @@ fn repair_stops_the_warnings() {
     let prep = grid_prep();
     let setup = grid_setup(prep, 33);
     // Build a repaired scenario manually through the netsim API.
-    use drift_bottle::netsim::{FailureScenario, Simulator, SimConfig};
-    use drift_bottle::core::system::DriftBottleSystem;
     use drift_bottle::core::classifier::timeline;
+    use drift_bottle::core::system::DriftBottleSystem;
+    use drift_bottle::netsim::{FailureScenario, SimConfig, Simulator};
     let traffic = TrafficConfig::with_density(1.0);
     let flows = TrafficGen::generate(&prep.topo, &prep.routes, &traffic, 33);
     let (t_fail, window, end) = timeline(&prep.wcfg, traffic.start_spread);
@@ -193,7 +193,10 @@ fn figure1_identifiability_contrast() {
     // End-to-end view: only the full chain paths are observable.
     let m = RoutingMatrix::from_paths(
         &topo,
-        &[routes.path(NodeId(0), NodeId(2)), routes.path(NodeId(2), NodeId(0))],
+        &[
+            routes.path(NodeId(0), NodeId(2)),
+            routes.path(NodeId(2), NodeId(0)),
+        ],
     );
     let classes = m.identifiability_classes();
     assert!(

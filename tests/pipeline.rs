@@ -9,7 +9,12 @@ use drift_bottle::netsim::trace::replay;
 use drift_bottle::netsim::TraceRecorder;
 use drift_bottle::prelude::*;
 
-fn small_world() -> (Topology, RouteTable, Vec<drift_bottle::netsim::FlowSpec>, WindowConfig) {
+fn small_world() -> (
+    Topology,
+    RouteTable,
+    Vec<drift_bottle::netsim::FlowSpec>,
+    WindowConfig,
+) {
     let topo = zoo::line_with_latency(4, 3.0);
     let routes = RouteTable::build(&topo);
     let flows = TrafficGen::generate(&topo, &routes, &TrafficConfig::default(), 12);
@@ -45,7 +50,10 @@ fn replayed_monitoring_equals_live_monitoring() {
     );
     sim.run();
     let (trace, trace_stats) = sim.finish();
-    assert_eq!(live_stats, trace_stats, "observers must not affect the network");
+    assert_eq!(
+        live_stats, trace_stats,
+        "observers must not affect the network"
+    );
     let mut replayed = NetworkMonitor::deploy(&topo, &flows, wcfg);
     replay(&trace, &mut replayed);
     assert_eq!(replayed.rows.len(), live.rows.len());
@@ -169,5 +177,9 @@ fn header_survives_multi_hop_transport() {
     sim.run();
     let (checker, stats) = sim.finish();
     assert!(stats.delivered > 0);
-    assert!(checker.decoded > 300, "headers decoded: {}", checker.decoded);
+    assert!(
+        checker.decoded > 300,
+        "headers decoded: {}",
+        checker.decoded
+    );
 }

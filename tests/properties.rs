@@ -1,6 +1,7 @@
 //! Property-based tests on the core data structures and invariants,
 //! spanning crates (proptest).
 
+use drift_bottle::core::LocalizationMetrics;
 use drift_bottle::dtree::{DecisionTree, TableClassifier, TrainConfig};
 use drift_bottle::flowmon::{FlowStatus, NUM_FEATURES};
 use drift_bottle::inference::{
@@ -8,7 +9,6 @@ use drift_bottle::inference::{
 };
 use drift_bottle::netsim::SimTime;
 use drift_bottle::topology::{gen, LinkId, NodeId, RouteTable};
-use drift_bottle::core::LocalizationMetrics;
 use proptest::prelude::*;
 
 /// Strategy: an inference with up to 8 integer-weighted **distinct** links
@@ -22,9 +22,8 @@ fn wire_inference() -> impl Strategy<Value = Inference> {
 
 /// Strategy: an unconstrained inference (fractional weights allowed).
 fn any_inference() -> impl Strategy<Value = Inference> {
-    proptest::collection::vec((0u16..100, -50.0f64..50.0), 0..10).prop_map(|pairs| {
-        Inference::from_pairs(pairs.into_iter().map(|(l, w)| (LinkId(l), w)))
-    })
+    proptest::collection::vec((0u16..100, -50.0f64..50.0), 0..10)
+        .prop_map(|pairs| Inference::from_pairs(pairs.into_iter().map(|(l, w)| (LinkId(l), w))))
 }
 
 proptest! {
@@ -142,10 +141,10 @@ proptest! {
                 }
             }
         }
-        for t in 1..n {
+        for (t, &oracle) in dist.iter().enumerate().skip(1) {
             let via_table = routes.latency_ms(NodeId(0), NodeId(t as u16));
-            prop_assert!((via_table - dist[t]).abs() < 1e-9,
-                "path 0->{t}: table {via_table} vs oracle {}", dist[t]);
+            prop_assert!((via_table - oracle).abs() < 1e-9,
+                "path 0->{t}: table {via_table} vs oracle {oracle}");
             // And the concrete path's latency matches its claimed distance.
             let p = routes.path(NodeId(0), NodeId(t as u16));
             prop_assert!((p.latency_ms(&topo) - via_table).abs() < 1e-9);

@@ -6,9 +6,16 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+/// How many items a worker claims per `fetch_add`. Chunked self-scheduling
+/// amortizes contention on the shared cursor while staying fine-grained
+/// enough that a slow scenario cannot strand a large tail on one worker.
+const CHUNK: usize = 4;
+
 /// Apply `f` to every item on a pool of worker threads, returning results in
 /// input order. Uses `std::thread::available_parallelism` workers (capped by
-/// the item count).
+/// the item count) unless the `DB_THREADS` environment variable overrides the
+/// count (`DB_THREADS=1` forces the sequential path — handy for profiling
+/// and for bit-exact single-threaded repros).
 ///
 /// # Panics
 ///
@@ -23,14 +30,30 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
+    let workers = match std::env::var("DB_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+    {
+        Some(n) if n >= 1 => n,
+        _ => std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(4),
+    };
+    par_map_with_workers(items, workers, f)
+}
+
+/// [`par_map`] with an explicit worker count (testing and benchmarks).
+pub fn par_map_with_workers<T, R, F>(items: Vec<T>, workers: usize, f: F) -> Vec<R>
+where
+    T: Send + Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
     let n = items.len();
     if n == 0 {
         return Vec::new();
     }
-    let workers = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4)
-        .min(n);
+    let workers = workers.min(n);
     if workers <= 1 {
         return items.iter().map(&f).collect();
     }
@@ -39,12 +62,14 @@ where
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
+                let start = next.fetch_add(CHUNK, Ordering::Relaxed);
+                if start >= n {
                     break;
                 }
-                let r = f(&items[i]);
-                *results[i].lock().expect("poisoned result slot") = Some(r);
+                for i in start..(start + CHUNK).min(n) {
+                    let r = f(&items[i]);
+                    *results[i].lock().expect("poisoned result slot") = Some(r);
+                }
             });
         }
     });
@@ -98,6 +123,28 @@ mod tests {
             result.is_err(),
             "a panicking worker must fail the whole map"
         );
+    }
+
+    #[test]
+    fn explicit_worker_counts_agree() {
+        let items: Vec<u32> = (0..37).collect(); // not a multiple of CHUNK
+        let seq = par_map_with_workers(items.clone(), 1, |&x| x * 3 + 1);
+        for workers in [2, 3, 8, 64] {
+            assert_eq!(
+                par_map_with_workers(items.clone(), workers, |&x| x * 3 + 1),
+                seq,
+                "{workers} workers"
+            );
+        }
+    }
+
+    #[test]
+    fn chunk_tail_is_covered() {
+        // Item counts around the chunk boundary: every slot must be filled.
+        for n in [1usize, 3, 4, 5, 7, 8, 9] {
+            let out = par_map_with_workers((0..n as u64).collect(), 2, |&x| x + 1);
+            assert_eq!(out, (1..=n as u64).collect::<Vec<u64>>(), "n = {n}");
+        }
     }
 
     #[test]

@@ -23,8 +23,9 @@ use crate::config::{Mechanism, SystemConfig, VariantSpec};
 use db_dtree::FlowClassifier;
 use db_flowmon::{FlowStatus, FlowmonMetrics, SwitchMonitor, WindowConfig};
 use db_inference::{
-    aggregate_step_metered, centralized_report, check_warning, local_inference, HeaderCodec,
-    Inference, InferenceMetrics,
+    aggregate_step_inline_metered, aggregate_step_metered, centralized_report, check_warning,
+    check_warning_inline, local_inference, HeaderCodec, Inference, InferenceMetrics,
+    InlineInference, INLINE_CAP, MAX_HEADER_BYTES,
 };
 use db_netsim::{Annotation, FlowSpec, HopInfo, Observer, SimTime};
 use db_topology::{LinkId, NodeId, Topology};
@@ -95,8 +96,18 @@ struct VariantState {
     /// Local inference per switch (truncated to k for distributed variants,
     /// untruncated for centralized ones).
     locals: Vec<Inference>,
+    /// Inline mirror of `locals` for the allocation-free per-packet path.
+    /// Kept in sync at tick boundaries (and on absorbing updates) for
+    /// distributed variants when the inline path is enabled; centralized
+    /// variants keep untruncated locals that may exceed [`INLINE_CAP`] and
+    /// never touch the per-packet path, so their mirror stays empty.
+    locals_inline: Vec<InlineInference>,
     /// Exact-weight carrier: per in-flight packet `(flow, seq)` → state.
+    /// Used by the legacy (Vec-backed) path only.
     vtable: HashMap<(u32, u64), (Inference, u8)>,
+    /// Exact-weight carrier for the inline path (values are `Copy`, no
+    /// per-packet allocation beyond amortized map growth).
+    vtable_inline: HashMap<(u32, u64), (InlineInference, u8)>,
     /// Warnings raised.
     log: WarningLog,
     /// Sampled drifted inferences (Fig. 11).
@@ -115,6 +126,10 @@ pub struct DriftBottleSystem<C: FlowClassifier> {
     variants: Vec<VariantState>,
     /// Warning collection window `(from, to]`.
     window: (SimTime, SimTime),
+    /// Whether the per-packet path runs on the inline representation. True
+    /// whenever a ⊕ of two k-truncated inferences fits [`INLINE_CAP`]; the
+    /// Vec-backed path is kept as a fallback for oversized k (ablations).
+    inline_ok: bool,
     agg_counter: u64,
     /// Telemetry handles; `None` (the default) keeps the hot path untouched.
     metrics: Option<InferenceMetrics>,
@@ -168,13 +183,16 @@ impl<C: FlowClassifier> DriftBottleSystem<C> {
             .map(|spec| VariantState {
                 spec,
                 locals: vec![Inference::empty(); n],
+                locals_inline: vec![InlineInference::empty(); n],
                 vtable: HashMap::new(),
+                vtable_inline: HashMap::new(),
                 log: WarningLog::default(),
                 ratios: Vec::new(),
                 ticks_seen: 0,
             })
             .collect();
         let codec = HeaderCodec::for_network(cfg.k, topo.link_count());
+        let inline_ok = cfg.k * 2 <= INLINE_CAP;
         DriftBottleSystem {
             monitors,
             classifier,
@@ -182,6 +200,7 @@ impl<C: FlowClassifier> DriftBottleSystem<C> {
             codec,
             variants,
             window,
+            inline_ok,
             agg_counter: 0,
             metrics: None,
             fm_metrics: None,
@@ -296,11 +315,86 @@ impl<C: FlowClassifier> DriftBottleSystem<C> {
         }
     }
 
+    /// [`Self::handle_distributed`] on the inline representation — the
+    /// allocation-free per-packet hot path: decode → ⊕ → truncate → warn →
+    /// encode entirely on stack-resident fixed-capacity state. Every branch
+    /// mirrors the Vec-backed path bit-for-bit (see `crates/core/tests/
+    /// golden.rs` and the equivalence proptests in db-inference).
+    #[allow(clippy::too_many_arguments)] // same internal hot path as handle_distributed
+    fn handle_distributed_inline(
+        variant: &mut VariantState,
+        now: SimTime,
+        info: &HopInfo,
+        ann: &mut Annotation,
+        codec: HeaderCodec,
+        cfg: &SystemConfig,
+        window: (SimTime, SimTime),
+        agg_counter: u64,
+        metrics: Option<&InferenceMetrics>,
+    ) {
+        let node = info.node;
+        let wire = variant.spec.mechanism == Mechanism::DistributedWire;
+        let incoming: Option<(InlineInference, u8)> = if info.is_ingress {
+            None
+        } else if wire {
+            codec.decode_inline(ann.as_slice())
+        } else {
+            variant.vtable_inline.remove(&(info.flow.0, info.seq))
+        };
+        let local = &variant.locals_inline[node.idx()];
+        let (agg, hops) = match incoming {
+            None => (local.top_k(cfg.k), 1u8),
+            Some((drifted, h)) => aggregate_step_inline_metered(local, &drifted, h, cfg.k, metrics),
+        };
+        if variant.spec.mechanism == Mechanism::DistributedAbsorbing {
+            // The forbidden feedback loop (§4.3) — keep both local forms in
+            // sync (this ablation path tolerates the conversion cost).
+            variant.locals[node.idx()] = agg.to_inference().top_k(cfg.k);
+            variant.locals_inline[node.idx()] = agg.top_k(cfg.k);
+        }
+        if let Some(link) = check_warning_inline(&agg, hops as u32, &cfg.warning) {
+            variant.log.record(now, node, link, window);
+            if let Some(m) = metrics {
+                m.warning_raised(node.0, link, hops as u32, agg.w0(), agg.w1());
+            }
+        }
+        if cfg.ratio_sampling > 0
+            && hops as u32 >= cfg.warning.hop_min
+            && agg_counter.is_multiple_of(cfg.ratio_sampling as u64)
+            && now > window.0
+            && now <= window.1
+        {
+            variant.ratios.push(RatioSample {
+                // Canonical order, exactly what the Vec path records.
+                entries: agg.to_inference().entries().to_vec(),
+                hop_now: hops,
+                at: now,
+            });
+        }
+        if info.is_last_switch {
+            if wire {
+                ann.clear();
+            }
+        } else if wire {
+            let mut buf = [0u8; MAX_HEADER_BYTES];
+            let n = codec.encode_into(&agg, hops, &mut buf);
+            ann.set(&buf[..n]);
+            if let Some(m) = metrics {
+                m.headers_piggybacked.inc();
+            }
+        } else {
+            variant
+                .vtable_inline
+                .insert((info.flow.0, info.seq), (agg, hops));
+        }
+    }
+
     fn tick_variant(
         variant: &mut VariantState,
         node: NodeId,
         statuses: &[(FlowStatus, &[LinkId])],
         k: usize,
+        inline_ok: bool,
     ) {
         let keep = match variant.spec.mechanism {
             Mechanism::Centralized { .. } => usize::MAX,
@@ -311,6 +405,10 @@ impl<C: FlowClassifier> DriftBottleSystem<C> {
             variant.spec.scheme,
             keep,
         );
+        if inline_ok && keep != usize::MAX {
+            variant.locals_inline[node.idx()] =
+                InlineInference::from_inference(&variant.locals[node.idx()]);
+        }
     }
 }
 
@@ -328,6 +426,17 @@ impl<C: FlowClassifier> Observer for DriftBottleSystem<C> {
         for variant in &mut self.variants {
             match variant.spec.mechanism {
                 Mechanism::Centralized { .. } => {}
+                _ if self.inline_ok => Self::handle_distributed_inline(
+                    variant,
+                    now,
+                    info,
+                    ann,
+                    self.codec,
+                    &self.cfg,
+                    self.window,
+                    self.agg_counter,
+                    self.metrics.as_ref(),
+                ),
                 _ => Self::handle_distributed(
                     variant,
                     now,
@@ -357,6 +466,7 @@ impl<C: FlowClassifier> Observer for DriftBottleSystem<C> {
                 // means no evidence.
                 for v in &mut self.variants {
                     v.locals[idx] = Inference::empty();
+                    v.locals_inline[idx] = InlineInference::empty();
                 }
                 continue;
             }
@@ -381,7 +491,7 @@ impl<C: FlowClassifier> Observer for DriftBottleSystem<C> {
             }
             let node = monitor.node();
             for v in &mut self.variants {
-                Self::tick_variant(v, node, &statuses, self.cfg.k);
+                Self::tick_variant(v, node, &statuses, self.cfg.k, self.inline_ok);
             }
             if let Some(m) = &self.metrics {
                 m.locals_generated.add(self.variants.len() as u64);

@@ -117,10 +117,20 @@ impl Criterion {
     }
 
     /// Run one benchmark and print its best per-iteration time.
-    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        self.bench_value(name, f);
+        self
+    }
+
+    /// Shim extension (not in the real criterion API): like
+    /// [`bench_function`](Self::bench_function), but also return the measured
+    /// best nanoseconds per iteration, so callers can persist numbers (e.g.
+    /// the `BENCH_*.json` trajectory files). `None` when the benchmark was
+    /// filtered out or produced no measurement.
+    pub fn bench_value<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> Option<f64> {
         if let Some(filter) = &self.filter {
             if !name.contains(filter.as_str()) {
-                return self;
+                return None;
             }
         }
         // `cargo test --benches` compiles and runs bench binaries with
@@ -132,11 +142,12 @@ impl Criterion {
             iters_per_sample: 1,
         };
         f(&mut b);
-        match b.per_iter_nanos() {
+        let ns = b.per_iter_nanos();
+        match ns {
             Some(ns) => println!("{name:<40} {}", format_nanos(ns)),
             None => println!("{name:<40} (no measurement)"),
         }
-        self
+        ns
     }
 
     /// Called by [`criterion_main!`] after all groups ran.

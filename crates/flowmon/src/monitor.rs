@@ -6,21 +6,34 @@
 //! [`NetworkMonitor`] is the full deployment: one monitor per switch, with
 //! every flow registered at every switch on its path.
 
-use crate::measures::IntervalMeasures;
 use crate::registers::{ExactStore, MeasureStore};
 use crate::window::{FeatureVector, FlowHistory, FlowMeta, WindowConfig};
 use db_netsim::{Annotation, FlowId, FlowSpec, HopInfo, Observer, SimTime};
 use db_topology::{LinkId, NodeId, Topology};
-use std::collections::HashMap;
+
+/// Per-flow monitoring state: static metadata plus the interval history.
+#[derive(Debug)]
+struct FlowSlot {
+    meta: FlowMeta,
+    history: FlowHistory,
+}
 
 /// Monitoring state of one switch.
+///
+/// Flow ids are dense small integers (the traffic generator hands them out
+/// sequentially), so per-flow state lives in a `Vec` indexed by `FlowId` —
+/// the per-packet membership check and register update are two array loads,
+/// no hashing. `registered` keeps the monitored ids sorted for the
+/// deterministic interval-end sweep.
 #[derive(Debug)]
 pub struct SwitchMonitor<S: MeasureStore = ExactStore> {
     node: NodeId,
     cfg: WindowConfig,
     store: S,
-    meta: HashMap<FlowId, FlowMeta>,
-    history: HashMap<FlowId, FlowHistory>,
+    /// Indexed by `FlowId.0`; `None` for unmonitored ids.
+    slots: Vec<Option<FlowSlot>>,
+    /// Monitored flow ids, ascending.
+    registered: Vec<FlowId>,
     interval_start: SimTime,
 }
 
@@ -38,8 +51,8 @@ impl<S: MeasureStore> SwitchMonitor<S> {
             node,
             cfg,
             store,
-            meta: HashMap::new(),
-            history: HashMap::new(),
+            slots: Vec::new(),
+            registered: Vec::new(),
             interval_start: SimTime::ZERO,
         }
     }
@@ -49,28 +62,46 @@ impl<S: MeasureStore> SwitchMonitor<S> {
         self.node
     }
 
-    /// Register a flow passing through this switch.
+    /// Register a flow passing through this switch. Re-registering replaces
+    /// the metadata but keeps any accumulated history.
     pub fn register_flow(&mut self, flow: FlowId, meta: FlowMeta) {
-        self.meta.insert(flow, meta);
-        self.history.entry(flow).or_default();
+        let idx = flow.0 as usize;
+        if idx >= self.slots.len() {
+            self.slots.resize_with(idx + 1, || None);
+        }
+        match &mut self.slots[idx] {
+            Some(slot) => slot.meta = meta,
+            empty @ None => {
+                *empty = Some(FlowSlot {
+                    meta,
+                    history: FlowHistory::default(),
+                });
+                let at = self.registered.partition_point(|&f| f < flow);
+                self.registered.insert(at, flow);
+            }
+        }
     }
 
     /// Number of flows registered.
     pub fn monitored_flows(&self) -> usize {
-        self.meta.len()
+        self.registered.len()
     }
 
     /// Static metadata of a monitored flow.
     pub fn flow_meta(&self, flow: FlowId) -> Option<&FlowMeta> {
-        self.meta.get(&flow)
+        self.slots
+            .get(flow.0 as usize)
+            .and_then(|s| s.as_ref())
+            .map(|s| &s.meta)
     }
 
     /// Record a packet of a monitored flow; unmonitored flows are ignored
     /// (transit traffic the operator chose not to track). Returns whether
     /// the packet hit a register (used for telemetry accounting).
     pub fn on_packet(&mut self, now: SimTime, flow: FlowId, size: u32) -> bool {
-        if !self.meta.contains_key(&flow) {
-            return false;
+        match self.slots.get(flow.0 as usize) {
+            Some(Some(_)) => {}
+            _ => return false,
         }
         let offset = now.saturating_sub(self.interval_start);
         self.store.record(flow, offset, self.cfg.interval, size);
@@ -89,23 +120,34 @@ impl<S: MeasureStore> SwitchMonitor<S> {
     /// forever, drowning both training and inference in uninformative and
     /// mutually contradictory samples.
     pub fn end_interval(&mut self, now: SimTime) -> Vec<(FlowId, FeatureVector)> {
-        let drained: HashMap<FlowId, IntervalMeasures> = self.store.drain().into_iter().collect();
+        // `drain` yields ascending flow ids and `registered` is kept sorted,
+        // so a two-pointer sweep aligns measures with flows directly — no
+        // intermediate map, no re-sort.
+        let drained = self.store.drain();
         let cap = self.cfg.window_intervals;
         let mut out = Vec::new();
-        // Deterministic order: sort flow ids.
-        let mut flows: Vec<FlowId> = self.meta.keys().copied().collect();
-        flows.sort_unstable();
-        for flow in flows {
-            let m = drained.get(&flow).copied().unwrap_or_default();
-            let hist = self
-                .history
-                .get_mut(&flow)
-                .expect("registered flow has history");
+        let mut di = 0;
+        for &flow in &self.registered {
+            while di < drained.len() && drained[di].0 < flow {
+                di += 1; // measures of a since-deregistered flow: impossible
+                         // today (registration is permanent), skipped if ever
+            }
+            let m = if di < drained.len() && drained[di].0 == flow {
+                let m = drained[di].1;
+                di += 1;
+                m
+            } else {
+                Default::default()
+            };
+            let slot = self.slots[flow.0 as usize]
+                .as_mut()
+                .expect("registered flow has a slot");
+            let hist = &mut slot.history;
             hist.push(m, cap);
             if hist.total_packets == 0 {
                 continue; // never seen here — nothing to judge
             }
-            let meta = &self.meta[&flow];
+            let meta = &slot.meta;
             if hist.len() >= meta.n_interval && hist.recent_all_empty(meta.n_interval) {
                 hist.reset();
                 continue;

@@ -15,7 +15,6 @@
 
 use crate::measures::IntervalMeasures;
 use db_netsim::{FlowId, SimTime};
-use std::collections::HashMap;
 
 /// A per-interval measure store: record packets, then drain at interval end.
 pub trait MeasureStore {
@@ -23,16 +22,23 @@ pub trait MeasureStore {
     /// current interval of length `interval`.
     fn record(&mut self, flow: FlowId, offset: SimTime, interval: SimTime, size: u32);
     /// Take all non-empty measures accumulated this interval, attributed to
-    /// flows, clearing the store for the next interval. Order is unspecified.
+    /// flows, clearing the store for the next interval. Sorted by ascending
+    /// flow id (callers two-pointer the result against their own sorted flow
+    /// lists).
     fn drain(&mut self) -> Vec<(FlowId, IntervalMeasures)>;
     /// Number of distinct slots currently in use.
     fn occupancy(&self) -> usize;
 }
 
-/// Collision-free store backed by a hash map.
+/// Collision-free store with one register row per flow id, indexed directly
+/// (flow ids are dense small integers). A packet update is one bounds check
+/// and one array write — the software analogue of the paper's per-flow P4
+/// register rows. `touched` tracks which rows were written this interval so
+/// draining does not scan the (mostly idle) full table.
 #[derive(Debug, Clone, Default)]
 pub struct ExactStore {
-    current: HashMap<FlowId, IntervalMeasures>,
+    rows: Vec<IntervalMeasures>,
+    touched: Vec<FlowId>,
 }
 
 impl ExactStore {
@@ -44,20 +50,28 @@ impl ExactStore {
 
 impl MeasureStore for ExactStore {
     fn record(&mut self, flow: FlowId, offset: SimTime, interval: SimTime, size: u32) {
-        self.current
-            .entry(flow)
-            .or_default()
-            .record(offset, interval, size);
+        let idx = flow.0 as usize;
+        if idx >= self.rows.len() {
+            self.rows.resize_with(idx + 1, Default::default);
+        }
+        // `record` always bumps n_packet, so an empty row ⇔ untouched this
+        // interval — exactly when the flow must join the touched list.
+        if self.rows[idx].is_empty() {
+            self.touched.push(flow);
+        }
+        self.rows[idx].record(offset, interval, size);
     }
 
     fn drain(&mut self) -> Vec<(FlowId, IntervalMeasures)> {
-        let mut out: Vec<(FlowId, IntervalMeasures)> = self.current.drain().collect();
-        out.sort_unstable_by_key(|(f, _)| *f);
-        out
+        self.touched.sort_unstable();
+        self.touched
+            .drain(..)
+            .map(|f| (f, std::mem::take(&mut self.rows[f.0 as usize])))
+            .collect()
     }
 
     fn occupancy(&self) -> usize {
-        self.current.len()
+        self.touched.len()
     }
 }
 

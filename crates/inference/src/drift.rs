@@ -13,6 +13,7 @@
 //! a stream of packets from s1 would bias s3's view toward `n × I1 ⊕ I2`.
 
 use crate::inference::Inference;
+use crate::inline::InlineInference;
 use crate::metrics::InferenceMetrics;
 
 /// One aggregation step: `(drifted ⊕ local)` truncated to `k`, with the hop
@@ -37,6 +38,39 @@ pub fn aggregate_step_metered(
     metrics: Option<&InferenceMetrics>,
 ) -> (Inference, u8) {
     let mut agg = drifted.aggregate(local);
+    if let Some(m) = metrics {
+        m.aggregations.inc();
+        if agg.len() > k {
+            m.topk_truncations.inc();
+        }
+    }
+    agg.truncate_top_k(k);
+    (agg, hop_now.saturating_add(1))
+}
+
+/// Allocation-free [`aggregate_step`]: same ⊕-then-truncate on the inline
+/// representation. Bit-for-bit equivalent — the merge sums `drifted + local`
+/// per link in that operand order, exactly like `drifted.aggregate(local)`.
+pub fn aggregate_step_inline(
+    local: &InlineInference,
+    drifted: &InlineInference,
+    hop_now: u8,
+    k: usize,
+) -> (InlineInference, u8) {
+    aggregate_step_inline_metered(local, drifted, hop_now, k, None)
+}
+
+/// [`aggregate_step_inline`] with the same telemetry contract as
+/// [`aggregate_step_metered`]: one `aggregations` tick per ⊕, one
+/// `topk_truncations` tick when the pre-truncation length exceeds k.
+pub fn aggregate_step_inline_metered(
+    local: &InlineInference,
+    drifted: &InlineInference,
+    hop_now: u8,
+    k: usize,
+    metrics: Option<&InferenceMetrics>,
+) -> (InlineInference, u8) {
+    let mut agg = drifted.merge(local);
     if let Some(m) = metrics {
         m.aggregations.inc();
         if agg.len() > k {
@@ -79,6 +113,46 @@ mod tests {
     fn hop_counter_saturates() {
         let (_, hops) = aggregate_step(&Inference::empty(), &Inference::empty(), u8::MAX, 4);
         assert_eq!(hops, u8::MAX);
+    }
+
+    #[test]
+    fn inline_step_matches_vec_step_and_counters() {
+        // The inline hot path must feed InferenceMetrics exactly as the
+        // Vec-backed metered step does: one `aggregations` tick per ⊕, one
+        // `topk_truncations` tick iff the pre-truncation result overflowed k.
+        let cases = [
+            // Overflows k = 2 (3 distinct links survive the sum).
+            (vec![(1, 2.0), (2, -1.0)], vec![(1, 3.0), (3, 1.0)], 2),
+            // Fits exactly.
+            (vec![(1, 2.0)], vec![(3, 1.0)], 2),
+            // Cancellation shrinks the result below k.
+            (vec![(1, 2.0), (2, -1.0)], vec![(2, 1.0)], 2),
+        ];
+        for (a, b, k) in cases {
+            let local = Inference::from_pairs(a.iter().map(|&(l, w)| (LinkId(l), w)));
+            let drifted = Inference::from_pairs(b.iter().map(|&(l, w)| (LinkId(l), w)));
+            let reg_v = db_telemetry::MetricsRegistry::new();
+            let m_v = InferenceMetrics::register(&reg_v);
+            let (agg_v, h_v) = aggregate_step_metered(&local, &drifted, 3, k, Some(&m_v));
+
+            let il = InlineInference::from_inference(&local);
+            let id = InlineInference::from_inference(&drifted);
+            let reg_i = db_telemetry::MetricsRegistry::new();
+            let m_i = InferenceMetrics::register(&reg_i);
+            let (agg_i, h_i) = aggregate_step_inline_metered(&il, &id, 3, k, Some(&m_i));
+
+            assert_eq!(agg_i.to_inference(), agg_v);
+            assert_eq!(h_i, h_v);
+            let (sv, si) = (reg_v.snapshot(), reg_i.snapshot());
+            for name in ["inference.aggregations", "inference.topk_truncations"] {
+                assert_eq!(sv.counter(name), si.counter(name), "{name}");
+            }
+
+            // Metered and unmetered inline steps agree on the result.
+            let (agg_un, h_un) = aggregate_step_inline(&il, &id, 3, k);
+            assert_eq!(agg_un, agg_i);
+            assert_eq!(h_un, h_i);
+        }
     }
 
     #[test]

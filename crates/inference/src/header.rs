@@ -19,7 +19,13 @@
 //! `0xFFFF`) for larger networks — 13 B at k = 4.
 
 use crate::inference::Inference;
+use crate::inline::{InlineInference, INLINE_CAP};
 use db_topology::LinkId;
+
+/// Upper bound on any codec's [`byte_len`](HeaderCodec::byte_len), sized for
+/// the largest k the inline hot path supports (`INLINE_CAP / 2`) in the wide
+/// (3 bytes/slot) variant. Lets the per-hop path encode into a stack buffer.
+pub const MAX_HEADER_BYTES: usize = 1 + (INLINE_CAP / 2) * 3;
 
 /// Minimum encodable weight.
 pub const WEIGHT_MIN: i32 = -15;
@@ -134,6 +140,98 @@ impl HeaderCodec {
         }
         Some((Inference::from_pairs(pairs), hop_now))
     }
+
+    /// Allocation-free [`encode`](Self::encode): write the header into a
+    /// caller-provided buffer (e.g. a `[u8; MAX_HEADER_BYTES]` on the stack)
+    /// and return the number of bytes written, always
+    /// [`byte_len`](Self::byte_len). Slot contents and order are byte-for-
+    /// byte identical to `encode(&inf.to_inference(), hop_now)`: slots emit
+    /// in the canonical `(weight desc, link asc)` order and zero-rounded
+    /// weights are omitted.
+    pub fn encode_into(&self, inf: &InlineInference, hop_now: u8, buf: &mut [u8]) -> usize {
+        let len = self.byte_len();
+        assert!(buf.len() >= len, "header buffer too small");
+        buf[0] = hop_now;
+        let mut at = 1;
+        let mut written = 0;
+        for &(l, w) in inf.entries().iter().take(self.k) {
+            let stored = (w.round() as i64).clamp(WEIGHT_MIN as i64, WEIGHT_MAX as i64) as i32;
+            if stored == 0 {
+                continue;
+            }
+            if self.wide {
+                buf[at..at + 2].copy_from_slice(&l.0.to_be_bytes());
+                at += 2;
+            } else {
+                debug_assert!(
+                    l.0 < SENTINEL_COMPACT as u16,
+                    "link id {} does not fit the compact header",
+                    l.0
+                );
+                buf[at] = l.0 as u8;
+                at += 1;
+            }
+            buf[at] = (stored - WEIGHT_MIN) as u8;
+            at += 1;
+            written += 1;
+        }
+        for _ in written..self.k {
+            if self.wide {
+                buf[at..at + 2].copy_from_slice(&SENTINEL_WIDE.to_be_bytes());
+                at += 2;
+            } else {
+                buf[at] = SENTINEL_COMPACT;
+                at += 1;
+            }
+            buf[at] = 0;
+            at += 1;
+        }
+        debug_assert_eq!(at, len);
+        len
+    }
+
+    /// Allocation-free [`decode`](Self::decode): same parse, but straight
+    /// into an [`InlineInference`]. Duplicate slots (never produced by our
+    /// encoder, but legal on the wire) sum in slot order and zero totals are
+    /// swept afterwards — exactly what `Inference::from_pairs` does, so
+    /// `decode_inline(b)` matches `decode(b)` entry-for-entry.
+    pub fn decode_inline(&self, bytes: &[u8]) -> Option<(InlineInference, u8)> {
+        if bytes.len() != self.byte_len() {
+            return None;
+        }
+        assert!(
+            self.k <= INLINE_CAP,
+            "k = {} exceeds the inline capacity {INLINE_CAP}",
+            self.k
+        );
+        let hop_now = bytes[0];
+        let mut at = 1;
+        let mut inf = InlineInference::empty();
+        for _ in 0..self.k {
+            let id = if self.wide {
+                let v = u16::from_be_bytes([bytes[at], bytes[at + 1]]);
+                at += 2;
+                if v == SENTINEL_WIDE {
+                    at += 1;
+                    continue;
+                }
+                v
+            } else {
+                let v = bytes[at];
+                at += 1;
+                if v == SENTINEL_COMPACT {
+                    at += 1;
+                    continue;
+                }
+                v as u16
+            };
+            let w = bytes[at] as i32 + WEIGHT_MIN;
+            at += 1;
+            inf.accumulate(LinkId(id), w as f64);
+        }
+        inf.normalize();
+        Some((inf, hop_now))
+    }
 }
 
 #[cfg(test)]
@@ -245,5 +343,53 @@ mod tests {
         let codec = HeaderCodec::paper();
         let inf = Inference::from_pairs([(l(5), 4.0), (l(2), 4.0), (l(9), 1.0)]);
         assert_eq!(codec.encode(&inf, 3), codec.encode(&inf, 3));
+    }
+
+    #[test]
+    fn encode_into_matches_encode_byte_for_byte() {
+        for codec in [
+            HeaderCodec::paper(),
+            HeaderCodec { k: 2, wide: false },
+            HeaderCodec { k: 4, wide: true },
+        ] {
+            let inf = Inference::from_pairs([
+                (l(5), 4.0),
+                (l(2), 4.0),
+                (l(9), 0.3),
+                (l(1), -3.0),
+                (l(8), 7.0),
+            ]);
+            let heap = codec.encode(&inf, 11);
+            let mut buf = [0u8; MAX_HEADER_BYTES];
+            let n = codec.encode_into(&InlineInference::from_inference(&inf), 11, &mut buf);
+            assert_eq!(&buf[..n], &heap[..], "codec {codec:?}");
+        }
+    }
+
+    #[test]
+    fn decode_inline_matches_decode() {
+        let codec = HeaderCodec::paper();
+        let inf = Inference::from_pairs([(l(3), 7.0), (l(10), -4.0), (l(0), 2.0)]);
+        let bytes = codec.encode(&inf, 5);
+        let (vec_form, h1) = codec.decode(&bytes).unwrap();
+        let (inl_form, h2) = codec.decode_inline(&bytes).unwrap();
+        assert_eq!(h1, h2);
+        assert_eq!(inl_form.to_inference(), vec_form);
+        // Wrong length rejected the same way.
+        assert!(codec.decode_inline(&[0u8; 8]).is_none());
+    }
+
+    #[test]
+    fn decode_inline_sums_duplicate_slots_like_from_pairs() {
+        // Hand-craft a header accusing link 3 twice (our encoder never does
+        // this, but the decoder must agree with the Vec path on it).
+        let codec = HeaderCodec::paper();
+        let w = |v: i32| (v - WEIGHT_MIN) as u8;
+        let bytes = [2, 3, w(5), 3, w(-5), 1, w(2), SENTINEL_COMPACT, 0];
+        let (vec_form, _) = codec.decode(&bytes).unwrap();
+        let (inl_form, _) = codec.decode_inline(&bytes).unwrap();
+        assert_eq!(inl_form.to_inference(), vec_form);
+        assert_eq!(inl_form.weight_of(l(3)), 0.0, "5 + (-5) cancels");
+        assert_eq!(inl_form.len(), 1);
     }
 }

@@ -31,14 +31,27 @@ impl Inference {
 
     /// Build from arbitrary pairs: weights of duplicate links are summed,
     /// zero weights dropped, then sorted canonically. No truncation.
+    ///
+    /// Duplicates are summed by a stable sort-then-fold — per link, weights
+    /// add left-to-right in input order, so the result is a deterministic
+    /// function of the input sequence (the former `HashMap` intermediate
+    /// left the fold order to iteration order; for the ±1-integer weights of
+    /// the paper's schemes that never mattered, but fractional 007 weights
+    /// could round differently run-to-run).
     pub fn from_pairs(pairs: impl IntoIterator<Item = (LinkId, f64)>) -> Self {
-        let mut map = std::collections::HashMap::new();
-        for (l, w) in pairs {
-            *map.entry(l).or_insert(0.0) += w;
+        let mut entries: Vec<(LinkId, f64)> = pairs.into_iter().collect();
+        entries.sort_by_key(|&(l, _)| l);
+        let mut w = 0usize;
+        for i in 0..entries.len() {
+            if w > 0 && entries[w - 1].0 == entries[i].0 {
+                entries[w - 1].1 += entries[i].1;
+            } else {
+                entries[w] = entries[i];
+                w += 1;
+            }
         }
-        let mut inf = Inference {
-            entries: map.into_iter().collect(),
-        };
+        entries.truncate(w);
+        let mut inf = Inference { entries };
         inf.normalize();
         inf
     }
@@ -64,17 +77,37 @@ impl Inference {
 
     /// The aggregation operator ⊕: per-link weight sum.
     ///
-    /// Runs on every packet-hop, so it avoids hashing: inferences are tiny
-    /// (≤ k entries), making the quadratic linear-scan merge the fastest
-    /// option.
+    /// Implemented as a sorted two-pointer merge over link ids. Shared links
+    /// sum as `self + other` (left operand first — the order the per-hop
+    /// path depends on for bit-exactness: `drifted.aggregate(local)`). The
+    /// allocation-free equivalent for the per-packet hot path is
+    /// [`InlineInference::merge`](crate::inline::InlineInference::merge).
     pub fn aggregate(&self, other: &Inference) -> Inference {
-        let mut entries = self.entries.clone();
-        for &(l, w) in &other.entries {
-            match entries.iter_mut().find(|(el, _)| *el == l) {
-                Some((_, ew)) => *ew += w,
-                None => entries.push((l, w)),
+        let mut a = self.entries.clone();
+        a.sort_by_key(|&(l, _)| l);
+        let mut b: Vec<(LinkId, f64)> = other.entries.clone();
+        b.sort_by_key(|&(l, _)| l);
+        let mut entries = Vec::with_capacity(a.len() + b.len());
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].0.cmp(&b[j].0) {
+                std::cmp::Ordering::Less => {
+                    entries.push(a[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    entries.push(b[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    entries.push((a[i].0, a[i].1 + b[j].1));
+                    i += 1;
+                    j += 1;
+                }
             }
         }
+        entries.extend_from_slice(&a[i..]);
+        entries.extend_from_slice(&b[j..]);
         let mut out = Inference { entries };
         out.normalize();
         out

@@ -12,6 +12,9 @@
 //!   offset-encoded weight (representable range −15..240); 9 bytes total at
 //!   k = 4. A wide variant with 2-byte link ids supports networks with more
 //!   than 255 links.
+//! * [`inline`] — [`InlineInference`], the fixed-capacity representation the
+//!   per-packet hot path uses: same algebra, zero heap traffic, bit-for-bit
+//!   identical results (see the equivalence proptests).
 //! * [`warning`] — the threshold-based warning mechanism of equation (1).
 //! * [`drift`] — the per-switch aggregation step (aggregate, re-truncate,
 //!   keep the local inference unchanged to avoid over-aggregation).
@@ -24,14 +27,18 @@ pub mod centralized;
 pub mod drift;
 pub mod header;
 pub mod inference;
+pub mod inline;
 pub mod metrics;
 pub mod scheme;
 pub mod warning;
 
 pub use centralized::centralized_report;
-pub use drift::{aggregate_step, aggregate_step_metered};
-pub use header::HeaderCodec;
+pub use drift::{
+    aggregate_step, aggregate_step_inline, aggregate_step_inline_metered, aggregate_step_metered,
+};
+pub use header::{HeaderCodec, MAX_HEADER_BYTES};
 pub use inference::{Inference, DEFAULT_K};
+pub use inline::{InlineInference, INLINE_CAP};
 pub use metrics::InferenceMetrics;
 pub use scheme::{local_inference, WeightScheme};
-pub use warning::{check_warning, WarningConfig};
+pub use warning::{check_warning, check_warning_inline, WarningConfig};

@@ -15,6 +15,7 @@
 //! each switch on average." β is chosen from the Fig.-11 CDF gap.
 
 use crate::inference::Inference;
+use crate::inline::InlineInference;
 use db_topology::LinkId;
 
 /// Warning thresholds. Operators trade sensitivity against false positives
@@ -58,6 +59,32 @@ pub fn check_warning(inf: &Inference, hop_now: u32, cfg: &WarningConfig) -> Opti
     }
     // w1 may be negative or absent (treated as 0); dominance over a
     // non-positive runner-up is automatic for positive w0.
+    let w1 = inf.w1();
+    if w1 > 0.0 && w0 < cfg.beta * w1 {
+        return None;
+    }
+    Some(inf.top_link().expect("positive w0 implies an entry"))
+}
+
+/// [`check_warning`] on the inline representation. The entries are already
+/// canonically ordered, so `w0`/`w1`/`top_link` are direct array reads; the
+/// threshold logic is identical to the `Vec`-backed path on the same
+/// multiset.
+pub fn check_warning_inline(
+    inf: &InlineInference,
+    hop_now: u32,
+    cfg: &WarningConfig,
+) -> Option<LinkId> {
+    let w0 = inf.w0();
+    if w0 <= 0.0 {
+        return None;
+    }
+    if hop_now < cfg.hop_min {
+        return None;
+    }
+    if w0 < cfg.alpha * hop_now as f64 {
+        return None;
+    }
     let w1 = inf.w1();
     if w1 > 0.0 && w0 < cfg.beta * w1 {
         return None;

@@ -1,13 +1,20 @@
 //! Property-based tests for the inference crate.
 
-use db_inference::header::{WEIGHT_MAX, WEIGHT_MIN};
-use db_inference::{centralized_report, check_warning, HeaderCodec, Inference, WarningConfig};
+use db_inference::header::{MAX_HEADER_BYTES, WEIGHT_MAX, WEIGHT_MIN};
+use db_inference::{
+    aggregate_step, aggregate_step_inline, centralized_report, check_warning, check_warning_inline,
+    HeaderCodec, Inference, InlineInference, WarningConfig,
+};
 use db_topology::LinkId;
 use proptest::prelude::*;
 
-fn inference_strategy(max_links: u16) -> impl Strategy<Value = Inference> {
+fn raw_pairs(max_links: u16) -> impl Strategy<Value = Vec<(LinkId, f64)>> {
     proptest::collection::vec((0..max_links, -100.0f64..300.0), 0..10)
-        .prop_map(|pairs| Inference::from_pairs(pairs.into_iter().map(|(l, w)| (LinkId(l), w))))
+        .prop_map(|pairs| pairs.into_iter().map(|(l, w)| (LinkId(l), w)).collect())
+}
+
+fn inference_strategy(max_links: u16) -> impl Strategy<Value = Inference> {
+    raw_pairs(max_links).prop_map(Inference::from_pairs)
 }
 
 proptest! {
@@ -88,5 +95,82 @@ proptest! {
     fn truncate_then_identity(inf in inference_strategy(60), k in 0usize..8) {
         let t = inf.top_k(k);
         prop_assert_eq!(t.aggregate(&Inference::empty()), t);
+    }
+
+    /// `from_pairs` (sort-then-fold) equals building the same multiset by a
+    /// sequence of sorted merges: folding each pair in as a singleton via ⊕
+    /// must land on the same entries bit-for-bit.
+    #[test]
+    fn from_pairs_equals_sorted_merge_fold(pairs in raw_pairs(60)) {
+        let direct = Inference::from_pairs(pairs.clone());
+        let folded = pairs
+            .iter()
+            .fold(Inference::empty(), |acc, &(l, w)| {
+                acc.aggregate(&Inference::from_pairs([(l, w)]))
+            });
+        prop_assert_eq!(direct, folded);
+    }
+
+    /// The inline representation round-trips exactly and agrees with the
+    /// Vec-backed form on every accessor the hot path uses.
+    #[test]
+    fn inline_round_trip_and_accessors(inf in inference_strategy(60)) {
+        let inl = InlineInference::from_inference(&inf);
+        prop_assert_eq!(inl.to_inference(), inf.clone());
+        prop_assert_eq!(inl.len(), inf.len());
+        prop_assert!(inl.w0() == inf.w0());
+        prop_assert!(inl.w1() == inf.w1());
+        prop_assert_eq!(inl.top_link(), inf.top_link());
+        for &(l, w) in inf.entries() {
+            prop_assert!(inl.weight_of(l) == w);
+        }
+    }
+
+    /// One full inline hop — decode ⊕ truncate warn encode — is bit-for-bit
+    /// the Vec-backed pipeline: same aggregate entries, same warning
+    /// decision, same header bytes.
+    #[test]
+    fn inline_hop_pipeline_matches_vec(
+        drifted in inference_strategy(150),
+        local in inference_strategy(150),
+        hops in 0u8..=255,
+        k in 1usize..8,
+    ) {
+        let codec = HeaderCodec { k, wide: false };
+        let warn = WarningConfig::default();
+        let bytes = codec.encode(&drifted, hops);
+
+        let (dv, hv) = codec.decode(&bytes).expect("decodes");
+        let local_k = local.top_k(k);
+        let (agg_v, hv) = aggregate_step(&local_k, &dv, hv, k);
+        let warned_v = check_warning(&agg_v, hv as u32, &warn);
+        let out_v = codec.encode(&agg_v, hv);
+
+        let (di, hi) = codec.decode_inline(&bytes).expect("decodes");
+        let local_i = InlineInference::from_inference(&local_k);
+        let (agg_i, hi) = aggregate_step_inline(&local_i, &di, hi, k);
+        let warned_i = check_warning_inline(&agg_i, hi as u32, &warn);
+        let mut buf = [0u8; MAX_HEADER_BYTES];
+        let n = codec.encode_into(&agg_i, hi, &mut buf);
+
+        prop_assert_eq!(agg_i.to_inference(), agg_v);
+        prop_assert_eq!(warned_i, warned_v);
+        prop_assert_eq!(hv, hi);
+        prop_assert_eq!(&buf[..n], &out_v[..]);
+    }
+
+    /// Inline merge/truncate agree with Vec aggregate/truncate on arbitrary
+    /// (untruncated, up to capacity) operands — not just post-decode ones.
+    #[test]
+    fn inline_merge_truncate_matches_vec(
+        a in inference_strategy(60),
+        b in inference_strategy(60),
+        k in 0usize..8,
+    ) {
+        let ia = InlineInference::from_inference(&a);
+        let ib = InlineInference::from_inference(&b);
+        let merged = ia.merge(&ib);
+        prop_assert_eq!(merged.to_inference(), a.aggregate(&b));
+        prop_assert_eq!(merged.top_k(k).to_inference(), a.aggregate(&b).top_k(k));
     }
 }

@@ -200,6 +200,14 @@ pub struct Simulator<'a, O: Observer> {
     reverse_prop: Vec<SimTime>,
     heap: BinaryHeap<Reverse<Scheduled>>,
     seq: u64,
+    /// Lazy observer ticks: instead of materializing every tick event up
+    /// front (tens of thousands of heap entries before the first packet
+    /// moves), exactly one tick is armed at a time and re-armed when it
+    /// fires. The full tick seq range is reserved at construction so event
+    /// ordering is bit-identical to the eager schedule.
+    tick_seq_base: u64,
+    ticks_armed: u64,
+    n_ticks: u64,
     now: SimTime,
     rng: Pcg64,
     /// Public counters, readable during and after the run.
@@ -250,8 +258,14 @@ impl<'a, O: Observer> Simulator<'a, O> {
             links,
             nodes_up: vec![true; topo.node_count()],
             reverse_prop,
-            heap: BinaryHeap::new(),
+            // Steady state holds roughly one in-flight packet event plus one
+            // pending send per flow; pre-size for that (plus slack for ACKs
+            // and control events) so the hot loop never reallocates.
+            heap: BinaryHeap::with_capacity(4 * n_flows + 64),
             seq: 0,
+            tick_seq_base: 0,
+            ticks_armed: 0,
+            n_ticks: 0,
             now: SimTime::ZERO,
             rng: Pcg64::new_stream(seed, 0xE4614E),
             stats: SimStats {
@@ -268,11 +282,20 @@ impl<'a, O: Observer> Simulator<'a, O> {
             let at = sim.flows[i].start;
             sim.push(at, Ev::HostSend { flow: i as u32 });
         }
-        // Schedule observer ticks.
-        let mut t = sim.cfg.tick_interval;
-        while t <= sim.cfg.end {
-            sim.push(t, Ev::Tick);
-            t += sim.cfg.tick_interval;
+        // Schedule observer ticks lazily: reserve the seq range the eager
+        // schedule would have used (one seq per tick, in tick order), then
+        // arm only the first tick; each firing re-arms the next with its
+        // reserved seq, so the event order is identical to pushing them all.
+        sim.tick_seq_base = sim.seq;
+        sim.n_ticks = if sim.cfg.tick_interval > SimTime::ZERO {
+            sim.cfg.end.as_ns() / sim.cfg.tick_interval.as_ns()
+        } else {
+            0
+        };
+        sim.seq += sim.n_ticks;
+        if sim.n_ticks > 0 {
+            sim.ticks_armed = 1;
+            sim.push_raw(sim.cfg.tick_interval, sim.tick_seq_base + 1, Ev::Tick);
         }
         // Schedule failures and repairs.
         for e in &scenario.events {
@@ -325,6 +348,11 @@ impl<'a, O: Observer> Simulator<'a, O> {
             seq: self.seq,
             ev,
         }));
+    }
+
+    /// Push with an explicit (already-reserved) seq — lazy ticks only.
+    fn push_raw(&mut self, at: SimTime, seq: u64, ev: Ev) {
+        self.heap.push(Reverse(Scheduled { at, seq, ev }));
     }
 
     /// Current simulated time.
@@ -394,6 +422,14 @@ impl<'a, O: Observer> Simulator<'a, O> {
             } => self.arrive(flow, seq, size, hop, ann),
             Ev::AckArrive { flow } => self.ack_arrive(flow),
             Ev::Tick => {
+                // Re-arm the next tick with its reserved seq before anything
+                // the observer schedules can run.
+                if self.ticks_armed < self.n_ticks {
+                    self.ticks_armed += 1;
+                    let at = self.now + self.cfg.tick_interval;
+                    let seq = self.tick_seq_base + self.ticks_armed;
+                    self.push_raw(at, seq, Ev::Tick);
+                }
                 let now = self.now;
                 self.observer.on_tick(now);
             }

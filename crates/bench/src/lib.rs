@@ -9,7 +9,6 @@
 //! densities, thirty epochs), which takes hours on the large topologies.
 
 use db_core::{prepare, PrepareConfig, Prepared};
-use db_topology::zoo;
 use db_util::table::TextTable;
 use std::path::PathBuf;
 
@@ -31,10 +30,18 @@ pub fn scale(quick: usize, full: usize) -> usize {
 pub const TOPOLOGIES: [&str; 4] = ["Geant2012", "Chinanet", "Tinet", "AS1221"];
 
 /// Prepare a topology by name (routes + windows + trained classifier) with
-/// the default training pipeline. Panics on an unknown name.
+/// the default training pipeline.
+pub fn try_prepared(name: &str) -> Result<Prepared, db_topology::LoadError> {
+    Ok(prepare(
+        db_topology::load::load(name)?,
+        &PrepareConfig::default(),
+    ))
+}
+
+/// [`try_prepared`], panicking on an unknown name — fine in the figure
+/// binaries, whose topology lists are compile-time constants.
 pub fn prepared(name: &str) -> Prepared {
-    let topo = zoo::by_name(name).unwrap_or_else(|| panic!("unknown topology {name}"));
-    prepare(topo, &PrepareConfig::default())
+    try_prepared(name).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Topologies for quick runs (the two the paper's locality figure uses) or
@@ -112,6 +119,7 @@ pub fn results_dir() -> PathBuf {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use db_topology::zoo;
 
     #[test]
     fn scale_respects_env_default() {

@@ -106,7 +106,7 @@ impl<'a> ScenarioSetup<'a> {
 }
 
 /// Per-variant outcome of one scenario.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct VariantResult {
     /// Variant display name.
     pub name: String,
@@ -126,7 +126,7 @@ pub struct VariantResult {
 }
 
 /// Outcome of one scenario.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioOutcome {
     /// Ground-truth failed links.
     pub ground_truth: Vec<LinkId>,
@@ -231,8 +231,20 @@ pub fn run_scenario(setup: &ScenarioSetup, kind: &ScenarioKind) -> ScenarioOutco
 }
 
 /// Run many scenarios of one setup in parallel.
+///
+/// **Ordering contract:** `outcomes[i]` is the outcome of `kinds[i]`, for
+/// every worker count. This was previously an implicit property of
+/// `par_map` (workers write into per-index slots); it is now explicit —
+/// each unit is tagged with its index before the parallel map and the
+/// outcomes are sorted by that index afterwards — because the checkpoint
+/// replay of `db-runner` and a fresh run must agree byte-for-byte, and an
+/// ordering that silently depended on the scheduler would break that.
 pub fn sweep(setup: &ScenarioSetup, kinds: Vec<ScenarioKind>) -> Vec<ScenarioOutcome> {
-    par_map(kinds, |kind| run_scenario(setup, kind))
+    let indexed: Vec<(usize, ScenarioKind)> = kinds.into_iter().enumerate().collect();
+    let mut outcomes: Vec<(usize, ScenarioOutcome)> =
+        par_map(indexed, |(i, kind)| (*i, run_scenario(setup, kind)));
+    outcomes.sort_by_key(|&(i, _)| i);
+    outcomes.into_iter().map(|(_, o)| o).collect()
 }
 
 /// Deterministically sample `n` distinct links of a topology (sub-sampling
@@ -484,6 +496,26 @@ mod tests {
         assert_eq!(avg.len(), 1);
         assert_eq!(avg[0].0, "Drift-Bottle");
         assert!(avg[0].1.recall > 0.5, "avg recall {:?}", avg[0].1);
+    }
+
+    #[test]
+    fn sweep_outcomes_follow_unit_index_order() {
+        // The ordering contract: outcomes[i] belongs to kinds[i], exactly
+        // as a sequential loop would produce them.
+        let prep = grid_prep();
+        let setup = ScenarioSetup::flagship(prep, 1.0, 11);
+        let links = sample_links(&prep.topo, 3, 1);
+        let kinds: Vec<ScenarioKind> = links.into_iter().map(ScenarioKind::SingleLink).collect();
+        let parallel = sweep(&setup, kinds.clone());
+        let sequential: Vec<ScenarioOutcome> =
+            kinds.iter().map(|k| run_scenario(&setup, k)).collect();
+        assert_eq!(parallel.len(), sequential.len());
+        for (p, s) in parallel.iter().zip(&sequential) {
+            assert_eq!(p.ground_truth, s.ground_truth);
+            assert_eq!(p.variants[0].reported, s.variants[0].reported);
+            assert_eq!(p.variants[0].raises, s.variants[0].raises);
+            assert_eq!(p.stats, s.stats);
+        }
     }
 
     #[test]

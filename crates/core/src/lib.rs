@@ -17,6 +17,8 @@
 //! * [`experiment`] — scenario runners and sweeps for every evaluation
 //!   experiment (Figs. 7–13).
 //! * [`par`] — a small deterministic-order parallel map for sweeps.
+//! * [`wire`] — bit-exact checkpoint serialization of scenario outcomes
+//!   for the `db-runner` sweep orchestrator.
 
 #[cfg(test)]
 mod analysis_tests;
@@ -26,6 +28,7 @@ pub mod eval;
 pub mod experiment;
 pub mod par;
 pub mod system;
+pub mod wire;
 
 pub use classifier::{prepare, PrepareConfig, Prepared};
 pub use config::{Mechanism, SystemConfig, VariantSpec};

@@ -320,6 +320,11 @@ impl<C: FlowClassifier> DriftBottleSystem<C> {
     /// encode entirely on stack-resident fixed-capacity state. Every branch
     /// mirrors the Vec-backed path bit-for-bit (see `crates/core/tests/
     /// golden.rs` and the equivalence proptests in db-inference).
+    ///
+    /// Deliberately private: representation choice is an internal concern
+    /// of this hot path. Anything outside `db-core` wanting the sealed
+    /// behaviour should use `db_inference::InferenceState`, which picks
+    /// inline vs. heap itself.
     #[allow(clippy::too_many_arguments)] // same internal hot path as handle_distributed
     fn handle_distributed_inline(
         variant: &mut VariantState,

@@ -1,0 +1,249 @@
+//! Checkpoint serialization of scenario outcomes.
+//!
+//! `db-runner` persists every completed sweep unit so an interrupted run
+//! can resume. The contract is strict: a decoded [`ScenarioOutcome`] must
+//! be **bit-identical** to the one that was encoded — a resumed sweep must
+//! be indistinguishable from an uninterrupted one. All floating-point
+//! fields therefore travel as IEEE-754 bit patterns via
+//! [`db_util::wire`]; nothing here goes through a decimal representation.
+//!
+//! The encoding is field-ordered and versionless on purpose: a checkpoint
+//! is a crash-recovery artifact tied to the exact binary that wrote it
+//! (the runner refuses to resume across config changes via its
+//! fingerprint), not a long-term interchange format.
+
+use crate::eval::LocalizationMetrics;
+use crate::experiment::{ScenarioOutcome, VariantResult};
+use crate::system::RatioSample;
+use db_netsim::{SimStats, SimTime};
+use db_topology::{LinkId, NodeId};
+use db_util::wire::{ByteReader, ByteWriter, WireError};
+
+fn encode_metrics(m: &LocalizationMetrics, w: &mut ByteWriter) {
+    w.f64(m.precision);
+    w.f64(m.recall);
+    w.f64(m.f1);
+    w.f64(m.accuracy);
+    w.f64(m.fpr);
+    w.usize(m.reported);
+    w.usize(m.actual);
+    w.usize(m.correct);
+}
+
+fn decode_metrics(r: &mut ByteReader) -> Result<LocalizationMetrics, WireError> {
+    Ok(LocalizationMetrics {
+        precision: r.f64()?,
+        recall: r.f64()?,
+        f1: r.f64()?,
+        accuracy: r.f64()?,
+        fpr: r.f64()?,
+        reported: r.usize()?,
+        actual: r.usize()?,
+        correct: r.usize()?,
+    })
+}
+
+fn encode_ratio(s: &RatioSample, w: &mut ByteWriter) {
+    w.seq(s.entries.len());
+    for &(l, weight) in &s.entries {
+        w.u32(l.0 as u32);
+        w.f64(weight);
+    }
+    w.u8(s.hop_now);
+    w.u64(s.at.as_ns());
+}
+
+fn decode_ratio(r: &mut ByteReader) -> Result<RatioSample, WireError> {
+    let n = r.seq()?;
+    let mut entries = Vec::with_capacity(n);
+    for _ in 0..n {
+        let l = LinkId(r.u32()? as u16);
+        entries.push((l, r.f64()?));
+    }
+    Ok(RatioSample {
+        entries,
+        hop_now: r.u8()?,
+        at: SimTime::from_ns(r.u64()?),
+    })
+}
+
+fn encode_variant(v: &VariantResult, w: &mut ByteWriter) {
+    w.str(&v.name);
+    w.seq(v.reported.len());
+    for &l in &v.reported {
+        w.u32(l.0 as u32);
+    }
+    encode_metrics(&v.metrics, w);
+    w.seq(v.reported_pairs.len());
+    for &(n, l) in &v.reported_pairs {
+        w.u32(n.0 as u32);
+        w.u32(l.0 as u32);
+    }
+    w.seq(v.pair_counts.len());
+    for &((n, l), c) in &v.pair_counts {
+        w.u32(n.0 as u32);
+        w.u32(l.0 as u32);
+        w.u64(c);
+    }
+    w.u64(v.raises);
+    w.seq(v.ratios.len());
+    for s in &v.ratios {
+        encode_ratio(s, w);
+    }
+}
+
+fn decode_variant(r: &mut ByteReader) -> Result<VariantResult, WireError> {
+    let name = r.str()?;
+    let n = r.seq()?;
+    let mut reported = Vec::with_capacity(n);
+    for _ in 0..n {
+        reported.push(LinkId(r.u32()? as u16));
+    }
+    let metrics = decode_metrics(r)?;
+    let n = r.seq()?;
+    let mut reported_pairs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let node = NodeId(r.u32()? as u16);
+        reported_pairs.push((node, LinkId(r.u32()? as u16)));
+    }
+    let n = r.seq()?;
+    let mut pair_counts = Vec::with_capacity(n);
+    for _ in 0..n {
+        let node = NodeId(r.u32()? as u16);
+        let link = LinkId(r.u32()? as u16);
+        pair_counts.push(((node, link), r.u64()?));
+    }
+    let raises = r.u64()?;
+    let n = r.seq()?;
+    let mut ratios = Vec::with_capacity(n);
+    for _ in 0..n {
+        ratios.push(decode_ratio(r)?);
+    }
+    Ok(VariantResult {
+        name,
+        reported,
+        metrics,
+        reported_pairs,
+        pair_counts,
+        raises,
+        ratios,
+    })
+}
+
+/// Serialize a complete scenario outcome.
+pub fn encode_outcome(o: &ScenarioOutcome) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.seq(o.ground_truth.len());
+    for &l in &o.ground_truth {
+        w.u32(l.0 as u32);
+    }
+    w.u64(o.t_fail.as_ns());
+    w.u64(o.window.0.as_ns());
+    w.u64(o.window.1.as_ns());
+    w.seq(o.variants.len());
+    for v in &o.variants {
+        encode_variant(v, &mut w);
+    }
+    o.stats.encode_into(&mut w);
+    w.into_bytes()
+}
+
+/// Inverse of [`encode_outcome`]; errors if `bytes` is malformed or carries
+/// trailing data.
+pub fn decode_outcome(bytes: &[u8]) -> Result<ScenarioOutcome, WireError> {
+    let mut r = ByteReader::new(bytes);
+    let n = r.seq()?;
+    let mut ground_truth = Vec::with_capacity(n);
+    for _ in 0..n {
+        ground_truth.push(LinkId(r.u32()? as u16));
+    }
+    let t_fail = SimTime::from_ns(r.u64()?);
+    let window = (SimTime::from_ns(r.u64()?), SimTime::from_ns(r.u64()?));
+    let n = r.seq()?;
+    let mut variants = Vec::with_capacity(n);
+    for _ in 0..n {
+        variants.push(decode_variant(&mut r)?);
+    }
+    let stats = SimStats::decode(&mut r)?;
+    r.finish()?;
+    Ok(ScenarioOutcome {
+        ground_truth,
+        t_fail,
+        window,
+        variants,
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_outcome() -> ScenarioOutcome {
+        ScenarioOutcome {
+            ground_truth: vec![LinkId(3), LinkId(17)],
+            t_fail: SimTime::from_ms(50),
+            window: (SimTime::from_ms(50), SimTime::from_ms(74)),
+            variants: vec![VariantResult {
+                name: "Drift-Bottle".into(),
+                reported: vec![LinkId(3)],
+                metrics: LocalizationMetrics {
+                    precision: 1.0,
+                    recall: 0.5,
+                    f1: 2.0 / 3.0, // a non-terminating binary fraction
+                    accuracy: 0.99,
+                    fpr: -0.0, // signed zero must survive
+                    reported: 1,
+                    actual: 2,
+                    correct: 1,
+                },
+                reported_pairs: vec![(NodeId(4), LinkId(3))],
+                pair_counts: vec![((NodeId(4), LinkId(3)), 12)],
+                raises: 12,
+                ratios: vec![RatioSample {
+                    entries: vec![(LinkId(3), 5.0), (LinkId(9), 0.1 + 0.2)],
+                    hop_now: 7,
+                    at: SimTime::from_ns(123_456_789),
+                }],
+            }],
+            stats: SimStats {
+                packets_sent: 1000,
+                finished_at: vec![None, Some(SimTime::from_ms(90))],
+                ..Default::default()
+            },
+        }
+    }
+
+    #[test]
+    fn outcome_round_trip_is_bit_exact() {
+        let o = sample_outcome();
+        let back = decode_outcome(&encode_outcome(&o)).unwrap();
+        // PartialEq on f64 fields would already accept 0.0 == -0.0; compare
+        // the bit patterns of the delicate fields too.
+        assert_eq!(back.variants[0].metrics, o.variants[0].metrics);
+        assert_eq!(
+            back.variants[0].metrics.fpr.to_bits(),
+            o.variants[0].metrics.fpr.to_bits()
+        );
+        assert_eq!(
+            back.variants[0].ratios[0].entries[1].1.to_bits(),
+            o.variants[0].ratios[0].entries[1].1.to_bits()
+        );
+        assert_eq!(back.ground_truth, o.ground_truth);
+        assert_eq!(back.t_fail, o.t_fail);
+        assert_eq!(back.window, o.window);
+        assert_eq!(back.stats, o.stats);
+        assert_eq!(back.variants[0].pair_counts, o.variants[0].pair_counts);
+        // Encoding is deterministic: same outcome, same bytes.
+        assert_eq!(encode_outcome(&o), encode_outcome(&back));
+    }
+
+    #[test]
+    fn malformed_bytes_are_rejected() {
+        let bytes = encode_outcome(&sample_outcome());
+        assert!(decode_outcome(&bytes[..bytes.len() - 1]).is_err());
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(decode_outcome(&trailing).is_err());
+    }
+}

@@ -51,6 +51,12 @@ pub fn aggregate_step_metered(
 /// Allocation-free [`aggregate_step`]: same ⊕-then-truncate on the inline
 /// representation. Bit-for-bit equivalent — the merge sums `drifted + local`
 /// per link in that operand order, exactly like `drifted.aggregate(local)`.
+///
+/// **Deprecated for external use.** This entry point (like the inline
+/// `handle_distributed_inline` path inside `db-core`) exists for the
+/// per-packet hot path and the equivalence proptests only; code outside
+/// `db-core` should go through [`crate::InferenceState`], which selects the
+/// representation itself and never diverges from the heap semantics.
 pub fn aggregate_step_inline(
     local: &InlineInference,
     drifted: &InlineInference,

@@ -15,6 +15,10 @@
 //! * [`inline`] — [`InlineInference`], the fixed-capacity representation the
 //!   per-packet hot path uses: same algebra, zero heap traffic, bit-for-bit
 //!   identical results (see the equivalence proptests).
+//! * [`state`] — [`InferenceState`], the unified entry point over both
+//!   representations: callers no longer pick `Inference` vs.
+//!   `InlineInference` by hand; small sets stay inline, large sets spill
+//!   to the heap, results are identical either way.
 //! * [`warning`] — the threshold-based warning mechanism of equation (1).
 //! * [`drift`] — the per-switch aggregation step (aggregate, re-truncate,
 //!   keep the local inference unchanged to avoid over-aggregation).
@@ -30,6 +34,7 @@ pub mod inference;
 pub mod inline;
 pub mod metrics;
 pub mod scheme;
+pub mod state;
 pub mod warning;
 
 pub use centralized::centralized_report;
@@ -41,4 +46,5 @@ pub use inference::{Inference, DEFAULT_K};
 pub use inline::{InlineInference, INLINE_CAP};
 pub use metrics::InferenceMetrics;
 pub use scheme::{local_inference, WeightScheme};
+pub use state::InferenceState;
 pub use warning::{check_warning, check_warning_inline, WarningConfig};

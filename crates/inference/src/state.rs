@@ -1,0 +1,269 @@
+//! The unified inference entry point.
+//!
+//! The crate carries two representations of the same §4.2 multiset:
+//! [`Inference`] (heap-backed, unbounded — inspection, centralized
+//! baselines, training) and [`InlineInference`] (fixed-capacity, `Copy` —
+//! the zero-allocation per-packet hot path). Before this module existed,
+//! every caller picked a representation by hand and the system code paths
+//! forked on that choice (`handle_distributed` vs.
+//! `handle_distributed_inline` in `db-core`).
+//!
+//! [`InferenceState`] seals that choice: it holds whichever representation
+//! fits and presents one API with the exact algebra of both. Small sets
+//! (≤ [`INLINE_CAP`] entries, the only sets the paper's k ≤ 8 sweeps ever
+//! produce) stay inline and allocation-free; anything larger spills to the
+//! heap transparently. Every operation is bit-for-bit equivalent across
+//! representations — the same canonical order, the same operand-order
+//! sums — so the choice is invisible in results, only in performance.
+//!
+//! External callers should use this type (or plain [`Inference`]) rather
+//! than `InlineInference` directly; the raw inline form and the
+//! `*_inline` aggregation entry points remain public only for `db-core`'s
+//! per-packet pipeline and the equivalence proptests.
+
+use crate::inference::Inference;
+use crate::inline::{InlineInference, INLINE_CAP};
+use db_topology::LinkId;
+
+/// An inference set behind a representation-sealed entry point: inline
+/// (fixed-capacity, allocation-free) while it fits, heap-backed when not.
+// The size asymmetry is the design: the inline arm trades 264 in-place
+// bytes for zero allocation on the per-packet path (DESIGN.md §9); boxing
+// it would reintroduce exactly the indirection it exists to avoid.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, PartialEq)]
+pub enum InferenceState {
+    /// Fixed-capacity representation — at most [`INLINE_CAP`] entries.
+    Inline(InlineInference),
+    /// Heap representation — unbounded.
+    Heap(Inference),
+}
+
+impl Default for InferenceState {
+    fn default() -> Self {
+        InferenceState::Inline(InlineInference::empty())
+    }
+}
+
+impl InferenceState {
+    /// The empty inference (inline — nothing to allocate).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Build from arbitrary pairs with the semantics of
+    /// [`Inference::from_pairs`]: duplicate links sum in input order, zero
+    /// weights are dropped, the result is canonically ordered. The
+    /// representation is chosen by size.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (LinkId, f64)>) -> Self {
+        Self::from_inference(Inference::from_pairs(pairs))
+    }
+
+    /// Wrap an existing heap inference, going inline when it fits.
+    pub fn from_inference(inf: Inference) -> Self {
+        if inf.len() <= INLINE_CAP {
+            InferenceState::Inline(InlineInference::from_inference(&inf))
+        } else {
+            InferenceState::Heap(inf)
+        }
+    }
+
+    /// Wrap an inline inference as-is.
+    pub fn from_inline(inf: InlineInference) -> Self {
+        InferenceState::Inline(inf)
+    }
+
+    /// Whether the current representation is the allocation-free one.
+    pub fn is_inline(&self) -> bool {
+        matches!(self, InferenceState::Inline(_))
+    }
+
+    /// The heap-backed form (allocates only when currently inline).
+    pub fn to_inference(&self) -> Inference {
+        match self {
+            InferenceState::Inline(i) => i.to_inference(),
+            InferenceState::Heap(i) => i.clone(),
+        }
+    }
+
+    /// The aggregation operator ⊕ with `self` as the left operand (the
+    /// operand order per-link sums evaluate in — the order the per-hop
+    /// pipeline's bit-exactness depends on). Stays inline whenever the
+    /// merged set can fit.
+    pub fn aggregate(&self, other: &InferenceState) -> InferenceState {
+        match (self, other) {
+            (InferenceState::Inline(a), InferenceState::Inline(b))
+                if a.len() + b.len() <= INLINE_CAP =>
+            {
+                InferenceState::Inline(a.merge(b))
+            }
+            _ => Self::from_inference(self.to_inference().aggregate(&other.to_inference())),
+        }
+    }
+
+    /// Algorithm-1 truncation: keep the strongest `k` entries. A heap
+    /// representation that now fits inline switches back.
+    pub fn truncate_top_k(&mut self, k: usize) {
+        match self {
+            InferenceState::Inline(i) => i.truncate_top_k(k),
+            InferenceState::Heap(i) => {
+                i.truncate_top_k(k);
+                if i.len() <= INLINE_CAP {
+                    *self = InferenceState::Inline(InlineInference::from_inference(i));
+                }
+            }
+        }
+    }
+
+    /// A truncated copy.
+    pub fn top_k(&self, k: usize) -> InferenceState {
+        let mut c = self.clone();
+        c.truncate_top_k(k);
+        c
+    }
+
+    /// Entries in canonical order (descending weight, ties by ascending
+    /// link id) — identical across representations.
+    pub fn entries(&self) -> &[(LinkId, f64)] {
+        match self {
+            InferenceState::Inline(i) => i.entries(),
+            InferenceState::Heap(i) => i.entries(),
+        }
+    }
+
+    /// Number of (non-zero) entries.
+    pub fn len(&self) -> usize {
+        self.entries().len()
+    }
+
+    /// Whether the inference accuses nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries().is_empty()
+    }
+
+    /// Weight of `link`, 0.0 if absent.
+    pub fn weight_of(&self, link: LinkId) -> f64 {
+        match self {
+            InferenceState::Inline(i) => i.weight_of(link),
+            InferenceState::Heap(i) => i.weight_of(link),
+        }
+    }
+
+    /// Highest weight `w0`, or 0.0 when empty.
+    pub fn w0(&self) -> f64 {
+        match self {
+            InferenceState::Inline(i) => i.w0(),
+            InferenceState::Heap(i) => i.w0(),
+        }
+    }
+
+    /// Second-highest weight `w1`, or 0.0 when fewer than two entries.
+    pub fn w1(&self) -> f64 {
+        match self {
+            InferenceState::Inline(i) => i.w1(),
+            InferenceState::Heap(i) => i.w1(),
+        }
+    }
+
+    /// The most accused link, if any.
+    pub fn top_link(&self) -> Option<LinkId> {
+        match self {
+            InferenceState::Inline(i) => i.top_link(),
+            InferenceState::Heap(i) => i.top_link(),
+        }
+    }
+}
+
+impl From<Inference> for InferenceState {
+    fn from(inf: Inference) -> Self {
+        InferenceState::from_inference(inf)
+    }
+}
+
+impl From<InlineInference> for InferenceState {
+    fn from(inf: InlineInference) -> Self {
+        InferenceState::from_inline(inf)
+    }
+}
+
+impl FromIterator<(LinkId, f64)> for InferenceState {
+    fn from_iter<T: IntoIterator<Item = (LinkId, f64)>>(iter: T) -> Self {
+        InferenceState::from_pairs(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(i: u16) -> LinkId {
+        LinkId(i)
+    }
+
+    #[test]
+    fn small_sets_stay_inline() {
+        let s = InferenceState::from_pairs([(l(1), 2.0), (l(2), -1.0)]);
+        assert!(s.is_inline());
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.w0(), 2.0);
+        assert_eq!(s.top_link(), Some(l(1)));
+    }
+
+    #[test]
+    fn large_sets_spill_to_heap_and_truncate_back() {
+        let pairs: Vec<(LinkId, f64)> = (0..(INLINE_CAP as u16 + 4))
+            .map(|i| (l(i), 1.0 + i as f64))
+            .collect();
+        let mut s = InferenceState::from_pairs(pairs.clone());
+        assert!(!s.is_inline(), "oversized set must use the heap");
+        assert_eq!(s.len(), INLINE_CAP + 4);
+        s.truncate_top_k(4);
+        assert!(s.is_inline(), "truncated set fits inline again");
+        let mut reference = Inference::from_pairs(pairs);
+        reference.truncate_top_k(4);
+        assert_eq!(s.entries(), reference.entries());
+    }
+
+    #[test]
+    fn aggregate_matches_heap_semantics_in_both_representations() {
+        let a_pairs = [(l(1), 2.0), (l(2), -1.0)];
+        let b_pairs = [(l(1), 3.0), (l(2), 1.0), (l(4), 1.0)];
+        let reference = Inference::from_pairs(a_pairs).aggregate(&Inference::from_pairs(b_pairs));
+        // Inline ⊕ inline.
+        let inl =
+            InferenceState::from_pairs(a_pairs).aggregate(&InferenceState::from_pairs(b_pairs));
+        assert!(inl.is_inline());
+        assert_eq!(inl.entries(), reference.entries());
+        // Heap ⊕ inline (forced heap left operand).
+        let heap_a = InferenceState::Heap(Inference::from_pairs(a_pairs));
+        let mixed = heap_a.aggregate(&InferenceState::from_pairs(b_pairs));
+        assert_eq!(mixed.entries(), reference.entries());
+    }
+
+    #[test]
+    fn aggregate_spills_when_merge_cannot_fit() {
+        // Two disjoint near-capacity sets: the merge exceeds INLINE_CAP and
+        // must fall back to the heap without losing entries.
+        let a = InferenceState::from_pairs((0..INLINE_CAP as u16).map(|i| (l(i), 1.0)));
+        let b = InferenceState::from_pairs((0..INLINE_CAP as u16).map(|i| (l(100 + i), 2.0)));
+        assert!(a.is_inline() && b.is_inline());
+        let merged = a.aggregate(&b);
+        assert!(!merged.is_inline());
+        assert_eq!(merged.len(), 2 * INLINE_CAP);
+        assert_eq!(merged.w0(), 2.0);
+    }
+
+    #[test]
+    fn empty_and_accessors() {
+        let e = InferenceState::empty();
+        assert!(e.is_empty() && e.is_inline());
+        assert_eq!(e.w0(), 0.0);
+        assert_eq!(e.w1(), 0.0);
+        assert_eq!(e.top_link(), None);
+        assert_eq!(e.weight_of(l(3)), 0.0);
+        let s: InferenceState = vec![(l(1), 1.0), (l(2), 2.0)].into_iter().collect();
+        assert_eq!(s.w1(), 1.0);
+        assert_eq!(s.weight_of(l(2)), 2.0);
+        assert_eq!(s.to_inference().entries(), s.entries());
+    }
+}

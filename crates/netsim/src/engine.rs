@@ -141,6 +141,81 @@ pub struct SimStats {
     pub finished_at: Vec<Option<SimTime>>,
 }
 
+impl SimStats {
+    /// Serialize into `w` for the sweep checkpoint format (`db-runner`).
+    /// Field order is the struct order; [`SimStats::decode`] is the inverse.
+    /// All counters are integers, so the round trip is trivially exact.
+    pub fn encode_into(&self, w: &mut db_util::wire::ByteWriter) {
+        for v in [
+            self.events_processed,
+            self.packets_sent,
+            self.hop_events,
+            self.delivered,
+            self.delivered_bytes,
+            self.dropped_down,
+            self.dropped_corrupt,
+            self.dropped_queue,
+            self.dropped_node,
+            self.dropped_background,
+            self.acks_delivered,
+            self.acks_lost,
+            self.flows_finished,
+            self.flows_stalled,
+        ] {
+            w.u64(v);
+        }
+        w.seq(self.sent_per_flow.len());
+        for &v in &self.sent_per_flow {
+            w.u64(v);
+        }
+        w.seq(self.delivered_per_flow.len());
+        for &v in &self.delivered_per_flow {
+            w.u64(v);
+        }
+        w.seq(self.finished_at.len());
+        for t in &self.finished_at {
+            if w.option(t.is_some()) {
+                w.u64(t.unwrap().as_ns());
+            }
+        }
+    }
+
+    /// Inverse of [`SimStats::encode_into`].
+    pub fn decode(r: &mut db_util::wire::ByteReader) -> Result<Self, db_util::wire::WireError> {
+        let mut s = SimStats {
+            events_processed: r.u64()?,
+            packets_sent: r.u64()?,
+            hop_events: r.u64()?,
+            delivered: r.u64()?,
+            delivered_bytes: r.u64()?,
+            dropped_down: r.u64()?,
+            dropped_corrupt: r.u64()?,
+            dropped_queue: r.u64()?,
+            dropped_node: r.u64()?,
+            dropped_background: r.u64()?,
+            acks_delivered: r.u64()?,
+            acks_lost: r.u64()?,
+            flows_finished: r.u64()?,
+            flows_stalled: r.u64()?,
+            ..Default::default()
+        };
+        let n = r.seq()?;
+        s.sent_per_flow = (0..n).map(|_| r.u64()).collect::<Result<_, _>>()?;
+        let n = r.seq()?;
+        s.delivered_per_flow = (0..n).map(|_| r.u64()).collect::<Result<_, _>>()?;
+        let n = r.seq()?;
+        s.finished_at = Vec::with_capacity(n);
+        for _ in 0..n {
+            s.finished_at.push(if r.option()? {
+                Some(SimTime::from_ns(r.u64()?))
+            } else {
+                None
+            });
+        }
+        Ok(s)
+    }
+}
+
 /// Internal event kinds.
 #[derive(Debug, Clone)]
 enum Ev {
@@ -901,5 +976,18 @@ mod tests {
             stats.delivered_per_flow.iter().sum::<u64>(),
             stats.delivered
         );
+    }
+
+    #[test]
+    fn stats_wire_round_trip_is_exact() {
+        let (_, stats) = run_line(&FailureScenario::none(), SimConfig::default(), 11);
+        assert!(!stats.finished_at.is_empty());
+        let mut w = db_util::wire::ByteWriter::new();
+        stats.encode_into(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = db_util::wire::ByteReader::new(&bytes);
+        let back = SimStats::decode(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(back, stats);
     }
 }

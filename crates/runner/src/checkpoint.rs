@@ -1,0 +1,393 @@
+//! The sweep checkpoint format: `results/<sweep>.ckpt.jsonl`.
+//!
+//! One JSON object per line. The first line is the header — sweep name,
+//! config fingerprint, unit count:
+//!
+//! ```text
+//! {"v":1,"sweep":"fig8-geant2012","fingerprint":"9f8a...","units":61}
+//! {"unit":0,"status":"done","outcome":"<hex of db_core::wire encoding>"}
+//! {"unit":3,"status":"failed","error":"index out of bounds: ..."}
+//! ```
+//!
+//! Outcomes travel as hex of the bit-exact [`db_core::wire`] encoding, so
+//! a replayed unit is indistinguishable from a re-run one. The fingerprint
+//! hashes every input that determines unit results (topology, density,
+//! seeds, variants, scenario list, system config); resuming under a
+//! different config is refused rather than silently mixing incompatible
+//! results.
+//!
+//! Crash tolerance: units append as they complete, each line flushed
+//! before the next unit can land on the same handle. A run killed
+//! mid-write leaves at most one truncated **final** line, which the loader
+//! drops; a malformed line anywhere else means real corruption and is an
+//! error. When a sweep completes, the file is compacted — rewritten in
+//! unit order — so finished checkpoints are byte-deterministic regardless
+//! of worker count or how many interruptions happened along the way.
+
+use crate::job::{UnitOutcome, UnitStatus};
+use db_telemetry::json_escape;
+use db_util::wire::{from_hex, to_hex};
+use std::fs::{File, OpenOptions};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Checkpoint format version.
+const VERSION: u64 = 1;
+
+/// The checkpoint header record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointHeader {
+    /// Sweep name (display/diagnostics only).
+    pub sweep: String,
+    /// FNV-1a 64 hash of the sweep configuration.
+    pub fingerprint: u64,
+    /// Total number of units in the sweep.
+    pub units: usize,
+}
+
+/// Why a checkpoint could not be used.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointError {
+    /// 1-based line number (0 for file-level problems).
+    pub line: usize,
+    /// Human-readable reason.
+    pub reason: String,
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.line > 0 {
+            write!(f, "line {}: {}", self.line, self.reason)
+        } else {
+            write!(f, "{}", self.reason)
+        }
+    }
+}
+
+fn err(line: usize, reason: impl Into<String>) -> CheckpointError {
+    CheckpointError {
+        line,
+        reason: reason.into(),
+    }
+}
+
+// ---- line rendering -------------------------------------------------------
+
+fn header_line(h: &CheckpointHeader) -> String {
+    format!(
+        "{{\"v\":{VERSION},\"sweep\":\"{}\",\"fingerprint\":\"{:016x}\",\"units\":{}}}",
+        json_escape(&h.sweep),
+        h.fingerprint,
+        h.units
+    )
+}
+
+fn unit_line(u: &UnitOutcome) -> String {
+    match &u.status {
+        UnitStatus::Done(o) => format!(
+            "{{\"unit\":{},\"status\":\"done\",\"outcome\":\"{}\"}}",
+            u.unit,
+            to_hex(&db_core::wire::encode_outcome(o))
+        ),
+        UnitStatus::Failed(e) => format!(
+            "{{\"unit\":{},\"status\":\"failed\",\"error\":\"{}\"}}",
+            u.unit,
+            json_escape(e)
+        ),
+    }
+}
+
+// ---- line parsing ---------------------------------------------------------
+//
+// The loader only ever reads files this module wrote, so it parses the
+// known shapes rather than carrying a general JSON parser: locate a key,
+// then read either a bare token or an escaped string.
+
+fn raw_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let tag = format!("\"{key}\":");
+    let start = line.find(&tag)? + tag.len();
+    let rest = &line[start..];
+    if let Some(stripped) = rest.strip_prefix('"') {
+        // String value: scan to the first unescaped quote.
+        let bytes = stripped.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'\\' => i += 2,
+                b'"' => return Some(&stripped[..i]),
+                _ => i += 1,
+            }
+        }
+        None
+    } else {
+        let end = rest.find([',', '}'])?;
+        Some(&rest[..end])
+    }
+}
+
+fn json_unescape(s: &str) -> Option<String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next()? {
+            '"' => out.push('"'),
+            '\\' => out.push('\\'),
+            'n' => out.push('\n'),
+            'r' => out.push('\r'),
+            't' => out.push('\t'),
+            'u' => {
+                let hex: String = (&mut chars).take(4).collect();
+                let code = u32::from_str_radix(&hex, 16).ok()?;
+                out.push(char::from_u32(code)?);
+            }
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+fn parse_header(line: &str) -> Result<CheckpointHeader, CheckpointError> {
+    let v: u64 = raw_field(line, "v")
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| err(1, "missing version field"))?;
+    if v != VERSION {
+        return Err(err(1, format!("unsupported checkpoint version {v}")));
+    }
+    let sweep = raw_field(line, "sweep")
+        .and_then(json_unescape)
+        .ok_or_else(|| err(1, "missing sweep name"))?;
+    let fingerprint = raw_field(line, "fingerprint")
+        .and_then(|s| u64::from_str_radix(s, 16).ok())
+        .ok_or_else(|| err(1, "missing or malformed fingerprint"))?;
+    let units = raw_field(line, "units")
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| err(1, "missing unit count"))?;
+    Ok(CheckpointHeader {
+        sweep,
+        fingerprint,
+        units,
+    })
+}
+
+fn parse_unit(line: &str) -> Option<UnitOutcome> {
+    let unit: usize = raw_field(line, "unit")?.parse().ok()?;
+    let status = raw_field(line, "status")?;
+    let status = match status {
+        "done" => {
+            let hex = raw_field(line, "outcome")?;
+            let bytes = from_hex(hex)?;
+            UnitStatus::Done(db_core::wire::decode_outcome(&bytes).ok()?)
+        }
+        "failed" => UnitStatus::Failed(json_unescape(raw_field(line, "error")?)?),
+        _ => return None,
+    };
+    Some(UnitOutcome { unit, status })
+}
+
+/// Parse a checkpoint file's contents. Later records for the same unit win
+/// (a retried unit appends a fresh line). A malformed **final** line is
+/// dropped — the expected residue of a killed run — while a malformed line
+/// anywhere else is corruption and errors out.
+pub fn parse(contents: &str) -> Result<(CheckpointHeader, Vec<UnitOutcome>), CheckpointError> {
+    let mut lines = contents.lines().enumerate();
+    let (_, first) = lines.next().ok_or_else(|| err(0, "checkpoint is empty"))?;
+    let header = parse_header(first)?;
+    let mut by_unit: std::collections::BTreeMap<usize, UnitOutcome> = Default::default();
+    let mut pending: Vec<(usize, &str)> = lines.filter(|(_, l)| !l.trim().is_empty()).collect();
+    let last = pending.pop();
+    for (idx, line) in pending {
+        let u = parse_unit(line)
+            .ok_or_else(|| err(idx + 1, "malformed unit record before end of file"))?;
+        if u.unit >= header.units {
+            return Err(err(idx + 1, format!("unit {} out of range", u.unit)));
+        }
+        by_unit.insert(u.unit, u);
+    }
+    if let Some((idx, line)) = last {
+        match parse_unit(line) {
+            Some(u) if u.unit < header.units => {
+                by_unit.insert(u.unit, u);
+            }
+            Some(u) => return Err(err(idx + 1, format!("unit {} out of range", u.unit))),
+            // Truncated trailing write from a killed run: drop it; the
+            // unit simply re-runs on resume.
+            None => {}
+        }
+    }
+    Ok((header, by_unit.into_values().collect()))
+}
+
+/// An open checkpoint being appended to by the worker pool.
+#[derive(Debug)]
+pub struct CheckpointFile {
+    path: PathBuf,
+    file: Mutex<File>,
+}
+
+impl CheckpointFile {
+    /// Start a fresh checkpoint: truncate `path` and write the header.
+    pub fn create(path: &Path, header: &CheckpointHeader) -> std::io::Result<Self> {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let mut file = File::create(path)?;
+        writeln!(file, "{}", header_line(header))?;
+        file.flush()?;
+        Ok(CheckpointFile {
+            path: path.to_path_buf(),
+            file: Mutex::new(file),
+        })
+    }
+
+    /// Reopen an existing checkpoint for appending (resume).
+    pub fn open_append(path: &Path) -> std::io::Result<Self> {
+        let file = OpenOptions::new().append(true).open(path)?;
+        Ok(CheckpointFile {
+            path: path.to_path_buf(),
+            file: Mutex::new(file),
+        })
+    }
+
+    /// Append one completed unit, flushed before returning — a unit is
+    /// either fully on disk or (if the process dies mid-write) a truncated
+    /// final line the loader ignores.
+    pub fn append(&self, unit: &UnitOutcome) -> std::io::Result<()> {
+        let mut f = self.file.lock().expect("checkpoint writer poisoned");
+        writeln!(f, "{}", unit_line(unit))?;
+        f.flush()
+    }
+
+    /// Rewrite the checkpoint in unit order (called once the sweep is
+    /// complete): the finished file is byte-deterministic for any worker
+    /// count and any interrupt/resume history. Written via a temporary
+    /// sibling + rename so a crash during compaction cannot destroy the
+    /// appended records.
+    pub fn compact(self, header: &CheckpointHeader, units: &[UnitOutcome]) -> std::io::Result<()> {
+        drop(self.file); // close the append handle first
+        let tmp = self.path.with_extension("jsonl.tmp");
+        let mut out = String::new();
+        out.push_str(&header_line(header));
+        out.push('\n');
+        for u in units {
+            out.push_str(&unit_line(u));
+            out.push('\n');
+        }
+        std::fs::write(&tmp, out)?;
+        std::fs::rename(&tmp, &self.path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use db_core::ScenarioOutcome;
+    use db_netsim::{SimStats, SimTime};
+    use db_topology::LinkId;
+
+    fn outcome() -> ScenarioOutcome {
+        ScenarioOutcome {
+            ground_truth: vec![LinkId(7)],
+            t_fail: SimTime::from_ms(50),
+            window: (SimTime::from_ms(50), SimTime::from_ms(70)),
+            variants: vec![],
+            stats: SimStats::default(),
+        }
+    }
+
+    fn header() -> CheckpointHeader {
+        CheckpointHeader {
+            sweep: "test \"sweep\"".into(),
+            fingerprint: 0xDEAD_BEEF_1234_5678,
+            units: 4,
+        }
+    }
+
+    #[test]
+    fn lines_round_trip() {
+        let h = header();
+        assert_eq!(parse_header(&header_line(&h)).unwrap(), h);
+        let done = UnitOutcome {
+            unit: 2,
+            status: UnitStatus::Done(outcome()),
+        };
+        assert_eq!(parse_unit(&unit_line(&done)).unwrap(), done);
+        let failed = UnitOutcome {
+            unit: 1,
+            status: UnitStatus::Failed("panicked: \"index\"\nat line 3".into()),
+        };
+        assert_eq!(parse_unit(&unit_line(&failed)).unwrap(), failed);
+    }
+
+    #[test]
+    fn parse_tolerates_truncated_final_line_only() {
+        let h = header();
+        let done = UnitOutcome {
+            unit: 0,
+            status: UnitStatus::Done(outcome()),
+        };
+        let full = unit_line(&done);
+        let truncated = &full[..full.len() - 10];
+        // Truncated final line: dropped.
+        let text = format!("{}\n{}\n{}\n", header_line(&h), full, truncated);
+        let (ph, units) = parse(&text).unwrap();
+        assert_eq!(ph, h);
+        assert_eq!(units.len(), 1);
+        // Same garbage in the middle: corruption.
+        let text = format!("{}\n{}\n{}\n", header_line(&h), truncated, full);
+        assert!(parse(&text).is_err());
+    }
+
+    #[test]
+    fn later_records_win_and_order_is_by_unit() {
+        let h = header();
+        let a = UnitOutcome {
+            unit: 3,
+            status: UnitStatus::Failed("first attempt".into()),
+        };
+        let b = UnitOutcome {
+            unit: 0,
+            status: UnitStatus::Done(outcome()),
+        };
+        let retry = UnitOutcome {
+            unit: 3,
+            status: UnitStatus::Done(outcome()),
+        };
+        let text = format!(
+            "{}\n{}\n{}\n{}\n",
+            header_line(&h),
+            unit_line(&a),
+            unit_line(&b),
+            unit_line(&retry)
+        );
+        let (_, units) = parse(&text).unwrap();
+        assert_eq!(units.len(), 2);
+        assert_eq!(units[0].unit, 0);
+        assert_eq!(units[1].unit, 3);
+        assert!(matches!(units[1].status, UnitStatus::Done(_)));
+    }
+
+    #[test]
+    fn out_of_range_units_are_rejected() {
+        let h = header();
+        let bad = UnitOutcome {
+            unit: 99,
+            status: UnitStatus::Failed("x".into()),
+        };
+        let text = format!("{}\n{}\n", header_line(&h), unit_line(&bad));
+        assert!(parse(&text).is_err());
+    }
+
+    #[test]
+    fn unescape_handles_unicode_escapes() {
+        assert_eq!(json_unescape("a\\u0007b").unwrap(), "a\u{7}b");
+        assert_eq!(json_unescape("\\\"\\\\\\n").unwrap(), "\"\\\n");
+        assert!(json_unescape("\\q").is_none());
+    }
+}

@@ -1,0 +1,240 @@
+//! The sweep worker pool: shard-isolated execution of [`SweepJob`]s.
+//!
+//! Workers self-schedule off an atomic cursor (one unit per claim — units
+//! are whole simulations, coarse enough that cursor contention is noise).
+//! Each unit runs under `catch_unwind`: a panicking unit is recorded as
+//! [`UnitStatus::Failed`] with its panic message and the pool moves on,
+//! instead of one poisoned scenario aborting an hours-long `DB_FULL=1`
+//! sweep. Completed units are handed to an `on_unit` sink (checkpoint
+//! append + progress) under a mutex, in completion order.
+//!
+//! Determinism note: because every unit's result is a pure function of its
+//! [`SweepJob`] (see [`crate::job::derive_seed`]), the worker count and
+//! claim interleaving affect only *when* a unit runs, never what it
+//! produces. The builder re-sorts by unit index afterwards.
+
+use crate::job::{SweepJob, UnitOutcome, UnitStatus};
+use db_core::ScenarioOutcome;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Unit-latency histogram bucket bounds, in milliseconds.
+const LATENCY_BOUNDS_MS: [u64; 10] = [1, 5, 10, 50, 100, 500, 1_000, 5_000, 30_000, 120_000];
+
+/// Execution knobs for one pool invocation.
+#[derive(Debug, Clone, Default)]
+pub struct ExecConfig {
+    /// Worker threads; `0` means `available_parallelism` (capped by the
+    /// job count either way).
+    pub workers: usize,
+    /// Process at most this many units, then stop claiming — the
+    /// kill-after-N knob behind the resume CI smoke. Claims follow job
+    /// order, so `stop_after = Some(n)` executes exactly the first `n`
+    /// pending jobs.
+    pub stop_after: Option<usize>,
+}
+
+fn resolve_workers(requested: usize, jobs: usize) -> usize {
+    let n = if requested >= 1 {
+        requested
+    } else {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(4)
+    };
+    n.min(jobs).max(1)
+}
+
+/// Render a caught panic payload as a message. Panics via `panic!("...")`
+/// carry `&str` or `String`; anything else gets a placeholder.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Run `jobs` on a worker pool, isolating per-unit panics, and feed each
+/// finished [`UnitOutcome`] to `on_unit` (serialized under a mutex, in
+/// completion order). Returns the outcomes in **completion order**; the
+/// caller sorts by unit index.
+///
+/// `run` executes one job; it is the seam tests use to substitute cheap
+/// synthetic workloads (or injected panics) for full simulations.
+pub fn execute<F>(
+    jobs: &[SweepJob],
+    cfg: &ExecConfig,
+    run: F,
+    on_unit: &mut (dyn FnMut(&UnitOutcome) + Send),
+) -> Vec<UnitOutcome>
+where
+    F: Fn(&SweepJob) -> ScenarioOutcome + Sync,
+{
+    let budget = cfg.stop_after.unwrap_or(usize::MAX).min(jobs.len());
+    if budget == 0 {
+        return Vec::new();
+    }
+    let workers = resolve_workers(cfg.workers, budget);
+
+    // Telemetry handles are resolved once per pool run, not per unit.
+    let telemetry = db_telemetry::active().map(|reg| {
+        let bounds: Vec<u64> = LATENCY_BOUNDS_MS.iter().map(|ms| ms * 1_000_000).collect();
+        (
+            reg.counter("runner.units_done"),
+            reg.counter("runner.units_failed"),
+            reg.gauge("runner.units_remaining"),
+            reg.histogram("runner.unit_latency_ns", &bounds),
+        )
+    });
+    let remaining = AtomicUsize::new(budget);
+    if let Some((_, _, gauge, _)) = &telemetry {
+        gauge.set(budget as f64);
+    }
+
+    let cursor = AtomicUsize::new(0);
+    type Sink<'s> = (&'s mut (dyn FnMut(&UnitOutcome) + Send), Vec<UnitOutcome>);
+    let sink: Mutex<Sink<'_>> = Mutex::new((on_unit, Vec::with_capacity(budget)));
+    let run = &run;
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= budget {
+                    break;
+                }
+                let job = &jobs[i];
+                let started = Instant::now();
+                let status = match catch_unwind(AssertUnwindSafe(|| run(job))) {
+                    Ok(outcome) => UnitStatus::Done(outcome),
+                    Err(payload) => UnitStatus::Failed(panic_message(payload)),
+                };
+                if let Some((done, failed, gauge, latency)) = &telemetry {
+                    match &status {
+                        UnitStatus::Done(_) => done.inc(),
+                        UnitStatus::Failed(_) => failed.inc(),
+                    }
+                    gauge.set((remaining.fetch_sub(1, Ordering::Relaxed) - 1) as f64);
+                    latency.record(started.elapsed().as_nanos() as u64);
+                }
+                let outcome = UnitOutcome {
+                    unit: job.unit,
+                    status,
+                };
+                let mut guard = sink.lock().expect("sweep sink poisoned");
+                let (on_unit, collected) = &mut *guard;
+                on_unit(&outcome);
+                collected.push(outcome);
+            });
+        }
+    });
+    sink.into_inner().expect("sweep sink poisoned").1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use db_core::experiment::ScenarioKind;
+    use db_netsim::{SimStats, SimTime};
+    use db_topology::LinkId;
+
+    fn job(unit: usize) -> SweepJob {
+        SweepJob {
+            unit,
+            kind: ScenarioKind::None,
+            seed: unit as u64,
+        }
+    }
+
+    fn synthetic(job: &SweepJob) -> ScenarioOutcome {
+        ScenarioOutcome {
+            ground_truth: vec![LinkId(job.unit as u16)],
+            t_fail: SimTime(job.seed),
+            window: (SimTime(0), SimTime(1)),
+            variants: vec![],
+            stats: SimStats::default(),
+        }
+    }
+
+    fn units_of(outcomes: &[UnitOutcome]) -> Vec<usize> {
+        let mut u: Vec<usize> = outcomes.iter().map(|o| o.unit).collect();
+        u.sort_unstable();
+        u
+    }
+
+    #[test]
+    fn executes_every_job_once() {
+        let jobs: Vec<SweepJob> = (0..17).map(job).collect();
+        for workers in [1, 2, 8] {
+            let cfg = ExecConfig {
+                workers,
+                stop_after: None,
+            };
+            let mut seen = Vec::new();
+            let out = execute(&jobs, &cfg, synthetic, &mut |u| seen.push(u.unit));
+            assert_eq!(
+                units_of(&out),
+                (0..17).collect::<Vec<_>>(),
+                "{workers} workers"
+            );
+            let mut seen_sorted = seen;
+            seen_sorted.sort_unstable();
+            assert_eq!(seen_sorted, (0..17).collect::<Vec<_>>());
+            assert!(out.iter().all(|u| u.outcome().is_some()));
+        }
+    }
+
+    #[test]
+    fn stop_after_takes_exactly_the_first_n_jobs() {
+        let jobs: Vec<SweepJob> = (0..10).map(job).collect();
+        let cfg = ExecConfig {
+            workers: 4,
+            stop_after: Some(3),
+        };
+        let out = execute(&jobs, &cfg, synthetic, &mut |_| {});
+        assert_eq!(units_of(&out), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn a_panicking_unit_is_isolated() {
+        let jobs: Vec<SweepJob> = (0..8).map(job).collect();
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let out = execute(
+            &jobs,
+            &ExecConfig {
+                workers: 3,
+                stop_after: None,
+            },
+            |j| {
+                if j.unit == 5 {
+                    panic!("injected unit failure {}", j.unit);
+                }
+                synthetic(j)
+            },
+            &mut |_| {},
+        );
+        std::panic::set_hook(prev);
+        assert_eq!(units_of(&out), (0..8).collect::<Vec<_>>());
+        let failed: Vec<&UnitOutcome> = out.iter().filter(|u| u.error().is_some()).collect();
+        assert_eq!(failed.len(), 1);
+        assert_eq!(failed[0].unit, 5);
+        assert_eq!(failed[0].error().unwrap(), "injected unit failure 5");
+    }
+
+    #[test]
+    fn empty_jobs_and_zero_budget_are_fine() {
+        let none: Vec<SweepJob> = Vec::new();
+        assert!(execute(&none, &ExecConfig::default(), synthetic, &mut |_| {}).is_empty());
+        let jobs: Vec<SweepJob> = (0..4).map(job).collect();
+        let cfg = ExecConfig {
+            workers: 2,
+            stop_after: Some(0),
+        };
+        assert!(execute(&jobs, &cfg, synthetic, &mut |_| {}).is_empty());
+    }
+}

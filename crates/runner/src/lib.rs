@@ -1,0 +1,56 @@
+//! `db-runner`: checkpointed, shard-isolated sweep orchestration.
+//!
+//! The §6 evaluation is hundreds of independent scenario simulations per
+//! figure. This crate turns any such experiment into a **sweep**:
+//!
+//! 1. **Decompose** — [`SweepBuilder`] fixes everything shared (prepared
+//!    topology, density, variants, system config) and derives one
+//!    deterministic [`SweepJob`] per scenario: its unit index, its
+//!    [`ScenarioKind`], and a workload seed that is a pure function of
+//!    `(base seed, unit index, seed mode)` — never of worker count or
+//!    scheduling (see [`job::derive_seed`]).
+//! 2. **Execute** — a `std::thread::scope` worker pool runs units under
+//!    per-unit `catch_unwind`: a poisoned scenario becomes a
+//!    [`UnitStatus::Failed`] record with its panic message, not an aborted
+//!    sweep. Progress flows through the `db-telemetry` registry
+//!    (`runner.units_done` / `runner.units_failed` /
+//!    `runner.units_remaining`, plus a unit-latency histogram) when
+//!    collection is enabled.
+//! 3. **Checkpoint** — completed units append to a
+//!    `results/<sweep>.ckpt.jsonl` file ([`checkpoint`]), outcomes encoded
+//!    with the bit-exact [`db_core::wire`] codec. A killed `DB_FULL=1` run
+//!    resumes with `.resume(true)`: finished units replay from disk,
+//!    pending units execute, and the merged result is **bit-identical** to
+//!    an uninterrupted run — the property the resume tests pin.
+//!
+//! ```no_run
+//! use db_core::classifier::{prepare, PrepareConfig};
+//! use db_core::experiment::ScenarioKind;
+//! use db_runner::SweepBuilder;
+//! use db_topology::{zoo, LinkId};
+//!
+//! let prep = prepare(zoo::geant2012(), &PrepareConfig::default());
+//! let report = SweepBuilder::new("single-link", &prep)
+//!     .scenarios((0..prep.topo.link_count() as u16).map(|i| ScenarioKind::SingleLink(LinkId(i))))
+//!     .checkpoint("results/single-link.ckpt.jsonl")
+//!     .resume(true)
+//!     .run()
+//!     .expect("sweep");
+//! for (unit, err) in report.failed() {
+//!     eprintln!("unit {unit} failed: {err}");
+//! }
+//! let outcomes = report.cloned_outcomes();
+//! # let _ = outcomes;
+//! ```
+//!
+//! [`ScenarioKind`]: db_core::experiment::ScenarioKind
+
+pub mod builder;
+pub mod checkpoint;
+pub mod executor;
+pub mod job;
+
+pub use builder::{SweepBuilder, SweepError, SweepReport};
+pub use checkpoint::{CheckpointError, CheckpointHeader};
+pub use executor::ExecConfig;
+pub use job::{derive_seed, SeedMode, SweepJob, UnitOutcome, UnitStatus};

@@ -20,9 +20,13 @@
 //! * [`gen`] — random graph generators (Waxman, Barabási-Albert) for
 //!   property-based testing.
 //! * [`parse`] — a plain-text topology interchange format.
+//! * [`load`] — name-or-file topology resolution behind one `Result`
+//!   return, so front ends report [`load::LoadError`] with context instead
+//!   of unwinding.
 
 pub mod gen;
 pub mod graph;
+pub mod load;
 pub mod matrix;
 pub mod parse;
 pub mod routing;
@@ -30,5 +34,6 @@ pub mod stats;
 pub mod zoo;
 
 pub use graph::{Link, LinkId, NodeId, Topology, TopologyBuilder, TopologyError};
+pub use load::LoadError;
 pub use routing::{Path, RouteTable};
 pub use stats::TopologyStats;

@@ -1,0 +1,108 @@
+//! One-stop topology loading: built-in name or interchange file.
+//!
+//! Every front end (the `drift-bottle` CLI, the figure binaries, the sweep
+//! orchestrator) needs the same resolution rule — "is this a built-in
+//! evaluation topology name, else a path to a text-format file?" — and
+//! previously each hand-rolled it with ad-hoc `String` errors or panics.
+//! [`load`] is that rule behind a single `Result` return: callers report
+//! [`LoadError`] with context instead of unwinding.
+
+use crate::graph::Topology;
+use crate::parse::{self, ParseError};
+use crate::zoo;
+
+/// Why a topology spec could not be loaded.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LoadError {
+    /// Not a built-in name and not a readable file; carries the spec and
+    /// the I/O error from the file attempt.
+    NotFound {
+        /// The spec as given.
+        spec: String,
+        /// The error from trying to read it as a file.
+        io: String,
+    },
+    /// The file was read but its contents failed to parse or validate.
+    Parse {
+        /// The spec as given.
+        spec: String,
+        /// The parse/validation error, with line context.
+        error: ParseError,
+    },
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::NotFound { spec, io } => write!(
+                f,
+                "'{spec}' is not a built-in topology ({}) and reading it as a file failed: {io}",
+                zoo::BUILTIN_NAMES.join(", ")
+            ),
+            LoadError::Parse { spec, error } => write!(f, "parsing '{spec}': {error}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+/// Load a topology from a spec: a built-in evaluation-topology name
+/// (case-insensitive, see [`zoo::by_name`]) or a path to a file in the
+/// [`parse`] interchange format.
+pub fn load(spec: &str) -> Result<Topology, LoadError> {
+    if let Some(t) = zoo::by_name(spec) {
+        return Ok(t);
+    }
+    let text = std::fs::read_to_string(spec).map_err(|e| LoadError::NotFound {
+        spec: spec.to_string(),
+        io: e.to_string(),
+    })?;
+    parse::from_text(&text).map_err(|error| LoadError::Parse {
+        spec: spec.to_string(),
+        error,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::TopologyError;
+
+    #[test]
+    fn loads_builtins_by_name() {
+        assert_eq!(load("geant2012").unwrap().name(), "Geant2012");
+        assert_eq!(load("CHINANET").unwrap().name(), "Chinanet");
+    }
+
+    #[test]
+    fn loads_files_and_reports_parse_errors() {
+        let dir = std::env::temp_dir().join("db-topology-load-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let good = dir.join("good.topo");
+        std::fs::write(&good, "topology T\nnode 0 x\nnode 1 y\nlink 0 1 2.5\n").unwrap();
+        let t = load(good.to_str().unwrap()).unwrap();
+        assert_eq!(t.name(), "T");
+
+        let bad = dir.join("bad.topo");
+        std::fs::write(
+            &bad,
+            "topology T\nnode 0 a\nnode 1 b\nnode 2 c\nnode 3 d\nlink 0 1 1\nlink 2 3 1\n",
+        )
+        .unwrap();
+        match load(bad.to_str().unwrap()) {
+            Err(LoadError::Parse { error, .. }) => {
+                assert_eq!(error, ParseError::Invalid(TopologyError::Disconnected))
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_spec_reports_both_interpretations() {
+        let err = load("no-such-topology-or-file").unwrap_err();
+        let msg = err.to_string();
+        assert!(matches!(err, LoadError::NotFound { .. }));
+        assert!(msg.contains("not a built-in topology"), "{msg}");
+        assert!(msg.contains("geant2012"), "names the alternatives: {msg}");
+    }
+}

@@ -456,6 +456,10 @@ pub fn grid(w: usize, h: usize) -> Topology {
     b.build().expect("grid is valid")
 }
 
+/// The names [`by_name`] accepts (canonical spellings, Table-3 order) —
+/// what error messages should offer when a lookup fails.
+pub const BUILTIN_NAMES: [&str; 4] = ["geant2012", "chinanet", "tinet", "as1221"];
+
 /// Look up an evaluation topology by its (case-insensitive) name.
 pub fn by_name(name: &str) -> Option<Topology> {
     match name.to_ascii_lowercase().as_str() {

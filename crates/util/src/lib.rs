@@ -13,10 +13,13 @@
 //!   harness.
 //! * [`table`] — plain-text table and CSV rendering for the figure/table
 //!   binaries in `db-bench`.
+//! * [`wire`] — a big-endian byte codec with bit-exact `f64` round trips,
+//!   used by the sweep checkpoint format of `db-runner`.
 
 pub mod dist;
 pub mod rng;
 pub mod stats;
 pub mod table;
+pub mod wire;
 
 pub use rng::Pcg64;

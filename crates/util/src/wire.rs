@@ -1,0 +1,302 @@
+//! A tiny big-endian byte codec for checkpoint records.
+//!
+//! The sweep orchestrator (`db-runner`) persists completed scenario
+//! outcomes so an interrupted run can resume and still produce results
+//! **bit-identical** to an uninterrupted one. That rules out any decimal
+//! round trip for `f64`: values are written as their IEEE-754 bit patterns
+//! (`to_bits`/`from_bits`), which round-trips every value exactly,
+//! including `-0.0` and the non-finite values.
+//!
+//! The format is deliberately schema-less: readers and writers must agree
+//! on field order, exactly like the in-packet header codec of
+//! `db-inference`. Variable-length data (strings, sequences) is
+//! length-prefixed with a `u32`.
+
+/// Append-only encoder over a byte buffer.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// A fresh, empty writer.
+    pub fn new() -> Self {
+        ByteWriter::default()
+    }
+
+    /// The encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing was written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Write one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Write a big-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Write a big-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Write a `usize` as a `u64` (checkpoints must not depend on the
+    /// platform word size).
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Write an `f64` as its exact IEEE-754 bit pattern.
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Write a length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Write a sequence length (prefix for the caller's own element loop).
+    pub fn seq(&mut self, len: usize) {
+        self.u32(len as u32);
+    }
+
+    /// Write an `Option` discriminant; the caller writes the payload when
+    /// this returns `true`.
+    pub fn option(&mut self, present: bool) -> bool {
+        self.u8(present as u8);
+        present
+    }
+}
+
+/// Errors from [`ByteReader`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireError {
+    /// The buffer ended before the requested field.
+    Truncated,
+    /// A string field held invalid UTF-8.
+    BadUtf8,
+    /// An `Option` discriminant was neither 0 nor 1.
+    BadOption(u8),
+    /// Trailing bytes remained after the outermost decode finished.
+    TrailingBytes(usize),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "record truncated"),
+            WireError::BadUtf8 => write!(f, "string field is not valid UTF-8"),
+            WireError::BadOption(b) => write!(f, "bad option discriminant {b}"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after record"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Sequential decoder over a byte slice.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Decode from the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Error unless every byte was consumed.
+    pub fn finish(self) -> Result<(), WireError> {
+        match self.remaining() {
+            0 => Ok(()),
+            n => Err(WireError::TrailingBytes(n)),
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a big-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Read a big-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read a `usize` written by [`ByteWriter::usize`].
+    pub fn usize(&mut self) -> Result<usize, WireError> {
+        Ok(self.u64()? as usize)
+    }
+
+    /// Read an exact-bits `f64`.
+    pub fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, WireError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadUtf8)
+    }
+
+    /// Read a sequence length written by [`ByteWriter::seq`].
+    pub fn seq(&mut self) -> Result<usize, WireError> {
+        Ok(self.u32()? as usize)
+    }
+
+    /// Read an `Option` discriminant.
+    pub fn option(&mut self) -> Result<bool, WireError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(WireError::BadOption(b)),
+        }
+    }
+}
+
+/// Lower-case hex of `bytes` (checkpoint lines keep binary records
+/// printable so the `.ckpt.jsonl` files stay diff- and grep-friendly).
+pub fn to_hex(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push(char::from_digit((b >> 4) as u32, 16).unwrap());
+        s.push(char::from_digit((b & 0xF) as u32, 16).unwrap());
+    }
+    s
+}
+
+/// Inverse of [`to_hex`]. `None` on odd length or non-hex characters.
+pub fn from_hex(s: &str) -> Option<Vec<u8>> {
+    if !s.len().is_multiple_of(2) {
+        return None;
+    }
+    let digits = s.as_bytes();
+    let mut out = Vec::with_capacity(s.len() / 2);
+    for pair in digits.chunks_exact(2) {
+        let hi = (pair[0] as char).to_digit(16)?;
+        let lo = (pair[1] as char).to_digit(16)?;
+        out.push(((hi << 4) | lo) as u8);
+    }
+    Some(out)
+}
+
+/// FNV-1a 64-bit hash — the checkpoint config fingerprint. Stable by
+/// specification (not a defaulted `Hasher`), so fingerprints survive
+/// toolchain upgrades.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_every_field_kind() {
+        let mut w = ByteWriter::new();
+        w.u8(7);
+        w.u32(0xDEAD_BEEF);
+        w.u64(u64::MAX - 3);
+        w.usize(12345);
+        w.f64(-0.0);
+        w.f64(f64::from_bits(0x7FF8_0000_0000_1234)); // a payload NaN
+        w.str("héllo");
+        w.seq(3);
+        if w.option(true) {
+            w.u8(9);
+        }
+        w.option(false);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 3);
+        assert_eq!(r.usize().unwrap(), 12345);
+        assert_eq!(r.f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(r.f64().unwrap().to_bits(), 0x7FF8_0000_0000_1234);
+        assert_eq!(r.str().unwrap(), "héllo");
+        assert_eq!(r.seq().unwrap(), 3);
+        assert!(r.option().unwrap());
+        assert_eq!(r.u8().unwrap(), 9);
+        assert!(!r.option().unwrap());
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn truncation_and_trailing_are_detected() {
+        let mut w = ByteWriter::new();
+        w.u64(1);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes[..4]);
+        assert_eq!(r.u64(), Err(WireError::Truncated));
+        let mut r = ByteReader::new(&bytes);
+        r.u32().unwrap();
+        assert_eq!(r.finish(), Err(WireError::TrailingBytes(4)));
+    }
+
+    #[test]
+    fn bad_option_rejected() {
+        let mut r = ByteReader::new(&[2]);
+        assert_eq!(r.option(), Err(WireError::BadOption(2)));
+    }
+
+    #[test]
+    fn hex_round_trip() {
+        let bytes = [0x00, 0x0F, 0xF0, 0xAB, 0xFF];
+        let hex = to_hex(&bytes);
+        assert_eq!(hex, "000ff0abff");
+        assert_eq!(from_hex(&hex).unwrap(), bytes);
+        assert!(from_hex("abc").is_none(), "odd length");
+        assert!(from_hex("zz").is_none(), "non-hex");
+    }
+
+    #[test]
+    fn fnv_is_pinned() {
+        // Reference vectors for FNV-1a 64.
+        assert_eq!(fnv1a64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63dc4c8601ec8c);
+    }
+}

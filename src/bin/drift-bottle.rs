@@ -22,18 +22,16 @@
 //! Argument parsing is deliberately bare std — the library has no CLI
 //! dependencies.
 
-use drift_bottle::core::experiment::{
-    average_by_variant, covered_links, sample_covered_links, sweep,
-};
+use drift_bottle::core::experiment::{average_by_variant, covered_links, sample_covered_links};
 use drift_bottle::prelude::*;
-use drift_bottle::topology::parse;
+use drift_bottle::topology::load;
 use drift_bottle::topology::stats::PathStats;
 use drift_bottle::topology::TopologyStats;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  drift-bottle topo   <name|file>\n  drift-bottle fail   <name|file> <link-id> [density]\n  drift-bottle node   <name|file> <node-id> [density]\n  drift-bottle sweep  <name|file> [links] [density]\n  drift-bottle health <name|file> [density]\n  drift-bottle report <name|file> [density]\n\noptions:\n  --metrics[=table|json|prom]  collect telemetry and print a metrics report\n\nbuilt-in topologies: geant2012, chinanet, tinet, as1221"
+        "usage:\n  drift-bottle topo   <name|file>\n  drift-bottle fail   <name|file> <link-id> [density]\n  drift-bottle node   <name|file> <node-id> [density]\n  drift-bottle sweep  <name|file> [links] [density]\n  drift-bottle health <name|file> [density]\n  drift-bottle report <name|file> [density]\n\noptions:\n  --metrics[=table|json|prom]  collect telemetry and print a metrics report\n\nsweep options:\n  --workers=N          worker threads (default: all cores)\n  --checkpoint[=path]  checkpoint units to path (default results/sweep-<topo>.ckpt.jsonl)\n  --resume             resume from the checkpoint if it exists (implies --checkpoint)\n  (env DB_SWEEP_STOP_AFTER=N stops after N units, leaving a resumable checkpoint)\n\nbuilt-in topologies: geant2012, chinanet, tinet, as1221"
     );
     ExitCode::FAILURE
 }
@@ -87,14 +85,11 @@ fn print_metrics_report(fmt: MetricsFormat) {
     }
 }
 
+/// Resolve a topology spec through [`load::load`], rendering the
+/// structured [`load::LoadError`] (which knows the built-in names and the
+/// parse position) for the operator.
 fn load_topology(spec: &str) -> Result<Topology, String> {
-    if let Some(t) = zoo::by_name(spec) {
-        return Ok(t);
-    }
-    let text = std::fs::read_to_string(spec).map_err(|e| {
-        format!("'{spec}' is not a built-in topology and reading it as a file failed: {e}")
-    })?;
-    parse::from_text(&text).map_err(|e| format!("parsing '{spec}': {e}"))
+    load::load(spec).map_err(|e| e.to_string())
 }
 
 fn parse_density(arg: Option<&String>) -> Result<f64, String> {
@@ -118,7 +113,20 @@ fn train(topo: Topology) -> Prepared {
         topo.node_count(),
         topo.link_count()
     );
-    let prep = prepare(topo, &PrepareConfig::default());
+    // DB_SMOKE=1 (the CI smoke knob, same as the bench binaries) shrinks
+    // the training pipeline so end-to-end CLI checks finish in seconds.
+    let cfg = if std::env::var("DB_SMOKE").map(|v| v == "1").unwrap_or(false) {
+        PrepareConfig {
+            n_link_scenarios: 2,
+            n_node_scenarios: 1,
+            n_healthy: 1,
+            train_density: 0.2,
+            ..Default::default()
+        }
+    } else {
+        PrepareConfig::default()
+    };
+    let prep = prepare(topo, &cfg);
     eprintln!(
         "[classifier: normal recall {:.1}%, abnormal recall {:.1}%; window {} x {} ms]",
         100.0 * prep.confusion.recall_normal(),
@@ -241,25 +249,118 @@ fn cmd_node(spec: &str, node: &str, density: f64) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_sweep(spec: &str, n: usize, density: f64) -> Result<(), String> {
+/// Parsed `sweep` subcommand flags.
+#[derive(Debug, Default)]
+struct SweepFlags {
+    /// Worker threads; 0 = auto.
+    workers: usize,
+    /// `Some(None)` = checkpoint at the default path, `Some(Some(p))` = at
+    /// `p`, `None` = no checkpointing.
+    checkpoint: Option<Option<String>>,
+    /// Resume from the checkpoint if it exists.
+    resume: bool,
+}
+
+/// Strip `--workers=N`, `--checkpoint[=path]` and `--resume` out of `args`.
+fn take_sweep_flags(args: &mut Vec<String>) -> Result<SweepFlags, String> {
+    let mut flags = SweepFlags::default();
+    let mut err = None;
+    args.retain(|a| {
+        if let Some(rest) = a.strip_prefix("--workers") {
+            match rest.strip_prefix('=').and_then(|s| s.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => flags.workers = n,
+                _ => err = Some(format!("bad worker count '{a}' (use --workers=N)")),
+            }
+            false
+        } else if let Some(rest) = a.strip_prefix("--checkpoint") {
+            match rest.strip_prefix('=') {
+                None if rest.is_empty() => flags.checkpoint = Some(None),
+                Some(p) if !p.is_empty() => flags.checkpoint = Some(Some(p.to_string())),
+                _ => err = Some(format!("bad checkpoint path '{a}'")),
+            }
+            false
+        } else if a == "--resume" {
+            flags.resume = true;
+            false
+        } else {
+            true
+        }
+    });
+    match err {
+        Some(e) => Err(e),
+        None => Ok(flags),
+    }
+}
+
+fn cmd_sweep(spec: &str, n: usize, density: f64, flags: &SweepFlags) -> Result<(), String> {
     let topo = load_topology(spec)?;
     let prep = train(topo);
     let covered = covered_links(&prep).len();
     let links = sample_covered_links(&prep, n, 0xC11);
+    let name = format!("sweep-{}", prep.topo.name());
     eprintln!(
         "[sweeping {} of {} covered links at density {density}...]",
         links.len(),
         covered
     );
-    let setup = ScenarioSetup::flagship(&prep, density, 1);
-    let kinds: Vec<ScenarioKind> = links.iter().map(|&l| ScenarioKind::SingleLink(l)).collect();
-    let outcomes = sweep(&setup, kinds);
-    for (l, o) in links.iter().zip(&outcomes) {
-        let v = o.variant("Drift-Bottle").expect("flagship variant");
-        println!(
-            "{l}: reported {:?}  P {:.2}  R {:.2}",
-            v.reported, v.metrics.precision, v.metrics.recall
+    // `--resume` implies checkpointing; a bare `--checkpoint` uses the
+    // conventional results/ path.
+    let ckpt_path = match (&flags.checkpoint, flags.resume) {
+        (Some(Some(p)), _) => Some(p.clone()),
+        (Some(None), _) | (None, true) => Some(format!("results/{name}.ckpt.jsonl")),
+        (None, false) => None,
+    };
+    let stop_after = match std::env::var("DB_SWEEP_STOP_AFTER") {
+        Ok(v) => Some(
+            v.parse::<usize>()
+                .map_err(|_| format!("bad DB_SWEEP_STOP_AFTER '{v}'"))?,
+        ),
+        Err(_) => None,
+    };
+    let mut builder = SweepBuilder::new(&name, &prep)
+        .density(density)
+        .seed(1)
+        .scenarios(links.iter().map(|&l| ScenarioKind::SingleLink(l)))
+        .workers(flags.workers)
+        .resume(flags.resume)
+        .stop_after(stop_after)
+        .progress(true);
+    if let Some(p) = &ckpt_path {
+        builder = builder.checkpoint(p);
+    }
+    let report = builder.run().map_err(|e| e.to_string())?;
+    if report.resumed > 0 {
+        eprintln!(
+            "[resumed {} completed units from {}]",
+            report.resumed,
+            ckpt_path.as_deref().unwrap_or("checkpoint")
         );
+    }
+    for u in &report.units {
+        let l = links[u.unit];
+        match u.outcome() {
+            Some(o) => {
+                let v = o.variant("Drift-Bottle").expect("flagship variant");
+                println!(
+                    "{l}: reported {:?}  P {:.2}  R {:.2}",
+                    v.reported, v.metrics.precision, v.metrics.recall
+                );
+            }
+            None => println!("{l}: FAILED ({})", u.error().unwrap_or("unknown")),
+        }
+    }
+    if !report.is_complete() {
+        let path = ckpt_path.as_deref().unwrap_or("<no checkpoint>");
+        println!(
+            "\nstopped after {} of {} units; resume with: drift-bottle sweep {spec} {n} {density} --resume --checkpoint={path}",
+            report.units.len(),
+            report.total_units,
+        );
+        return Ok(());
+    }
+    let outcomes = report.cloned_outcomes();
+    if outcomes.is_empty() {
+        return Err("every unit failed; nothing to average".into());
     }
     let (_, m) = average_by_variant(&outcomes).remove(0);
     println!(
@@ -328,6 +429,17 @@ fn main() -> ExitCode {
     if fmt.is_some() {
         drift_bottle::telemetry::enable();
     }
+    let sweep_flags = if args.first().map(String::as_str) == Some("sweep") {
+        match take_sweep_flags(&mut args) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        SweepFlags::default()
+    };
     let result = match args.first().map(String::as_str) {
         Some("topo") if args.len() == 2 => cmd_topo(&args[1]),
         Some("fail") if args.len() >= 3 => match parse_density(args.get(3)) {
@@ -345,7 +457,7 @@ fn main() -> ExitCode {
                 .transpose()
                 .map_err(|_| "bad link count".to_string());
             match (n, parse_density(args.get(3))) {
-                (Ok(n), Ok(d)) => cmd_sweep(&args[1], n.unwrap_or(8), d),
+                (Ok(n), Ok(d)) => cmd_sweep(&args[1], n.unwrap_or(8), d, &sweep_flags),
                 (Err(e), _) | (_, Err(e)) => Err(e),
             }
         }

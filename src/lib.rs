@@ -25,6 +25,7 @@
 //! | [`dtree`] | `db-dtree` | CART training and match-action-table compilation |
 //! | [`inference`] | `db-inference` | inference algebra, weight schemes, wire header, warnings, baselines |
 //! | [`core`] | `db-core` | the assembled system, training pipeline, experiment runners |
+//! | [`runner`] | `db-runner` | checkpointed, panic-isolated sweep orchestration ([`SweepBuilder`](runner::SweepBuilder)) |
 //! | [`util`] | `db-util` | deterministic RNG, distributions, statistics, tables |
 //! | [`telemetry`] | `db-telemetry` | metrics registry, phase spans, event log, exporters |
 //!
@@ -61,6 +62,7 @@ pub use db_dtree as dtree;
 pub use db_flowmon as flowmon;
 pub use db_inference as inference;
 pub use db_netsim as netsim;
+pub use db_runner as runner;
 pub use db_telemetry as telemetry;
 pub use db_topology as topology;
 pub use db_util as util;
@@ -71,9 +73,10 @@ pub mod prelude {
         prepare, run_scenario, LocalizationMetrics, Mechanism, PrepareConfig, Prepared,
         ScenarioKind, ScenarioOutcome, ScenarioSetup, SystemConfig, VariantSpec,
     };
-    pub use db_inference::{Inference, WarningConfig, WeightScheme};
+    pub use db_inference::{Inference, InferenceState, WarningConfig, WeightScheme};
     pub use db_netsim::{
         FailureScenario, SimConfig, SimTime, Simulator, TrafficConfig, TrafficGen,
     };
+    pub use db_runner::{SeedMode, SweepBuilder, SweepReport};
     pub use db_topology::{zoo, LinkId, NodeId, RouteTable, Topology, TopologyBuilder};
 }

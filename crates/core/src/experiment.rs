@@ -15,8 +15,10 @@ use crate::system::{DriftBottleSystem, RatioSample};
 use db_netsim::{
     FailureScenario, SimConfig, SimStats, SimTime, Simulator, TrafficConfig, TrafficGen,
 };
+use db_telemetry::flight::{FlightRecord, FlightRecorder};
 use db_topology::{LinkId, NodeId, Topology};
 use db_util::Pcg64;
+use std::sync::Arc;
 
 /// What fails in a scenario.
 #[derive(Debug, Clone, PartialEq)]
@@ -86,6 +88,11 @@ pub struct ScenarioSetup<'a> {
     /// Ambient i.i.d. per-hop packet loss ("network jitter", §4.3) — noise
     /// the warning thresholds must tolerate. Usually 0.
     pub background_loss: f64,
+    /// Provenance flight recorder. `None` (the default) records nothing and
+    /// keeps scenario results bit-for-bit identical; `Some` captures the
+    /// cause chain of the flagship variant (see
+    /// [`DriftBottleSystem::set_flight`]) plus simulator packet drops.
+    pub flight: Option<Arc<FlightRecorder>>,
 }
 
 impl<'a> ScenarioSetup<'a> {
@@ -101,6 +108,7 @@ impl<'a> ScenarioSetup<'a> {
             },
             variants: vec![VariantSpec::drift_bottle()],
             background_loss: 0.0,
+            flight: None,
         }
     }
 }
@@ -174,9 +182,29 @@ pub fn run_scenario(setup: &ScenarioSetup, kind: &ScenarioKind) -> ScenarioOutco
     if let Some(reg) = db_telemetry::active() {
         system.set_metrics(reg);
     }
+    if let Some(rec) = &setup.flight {
+        // The run header goes in first: everything `explain` needs to
+        // re-evaluate equation (1) and score against ground truth offline.
+        rec.record(FlightRecord::RunMeta {
+            t_fail_ns: t_fail.as_ns(),
+            window_from_ns: window.0.as_ns(),
+            window_to_ns: window.1.as_ns(),
+            interval_ns: prep.wcfg.interval.as_ns(),
+            total_links: prep.topo.link_count() as u32,
+            k: setup.sys.k as u32,
+            hop_min: setup.sys.warning.hop_min,
+            alpha: setup.sys.warning.alpha,
+            beta: setup.sys.warning.beta,
+            ground_truth: ground_truth.iter().map(|l| l.0).collect(),
+        });
+        system.set_flight(rec.clone(), &ground_truth, prep.topo.link_count());
+    }
     let mut sim = Simulator::new(&prep.topo, flows, cfg, &scenario, setup.seed, system);
     if let Some(reg) = db_telemetry::active() {
         sim.set_metrics(reg);
+    }
+    if let Some(rec) = &setup.flight {
+        sim.set_flight(rec.clone());
     }
     {
         let _simulate = db_telemetry::span("phase.simulate");

@@ -24,12 +24,14 @@ use db_dtree::FlowClassifier;
 use db_flowmon::{FlowStatus, FlowmonMetrics, SwitchMonitor, WindowConfig};
 use db_inference::{
     aggregate_step_inline_metered, aggregate_step_metered, centralized_report, check_warning,
-    check_warning_inline, local_inference, HeaderCodec, Inference, InferenceMetrics,
-    InlineInference, INLINE_CAP, MAX_HEADER_BYTES,
+    check_warning_inline, inference_digest, local_inference, provenance::NO_INFERENCE_DIGEST,
+    HeaderCodec, Inference, InferenceMetrics, InlineInference, INLINE_CAP, MAX_HEADER_BYTES,
 };
 use db_netsim::{Annotation, FlowSpec, HopInfo, Observer, SimTime};
+use db_telemetry::flight::{FlightRecord, FlightRecorder};
 use db_topology::{LinkId, NodeId, Topology};
 use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
 
 /// Per-(switch, link) warning statistics.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -60,6 +62,22 @@ pub struct WarningLog {
 
 /// The pseudo-switch id used for warnings raised by a centralized DCA.
 pub const DCA_NODE: NodeId = NodeId(u16::MAX);
+
+/// Flight-recorder attachment: the recorder plus the run context needed to
+/// stamp records (ground truth for `WarningRaised`, the traced variant).
+///
+/// Provenance traces **one** variant — the flagship wire variant when
+/// present, else the first non-centralized one — because records from
+/// several variants interleaved in one ring would be unattributable.
+struct FlightScope {
+    rec: Arc<FlightRecorder>,
+    /// `truth[link.idx()]` — whether the link actually failed.
+    truth: Vec<bool>,
+    /// Index into `variants` of the traced variant.
+    variant: usize,
+    /// Sampling-window counter (ticks observed so far).
+    window_seq: u32,
+}
 
 impl WarningLog {
     fn record(&mut self, now: SimTime, switch: NodeId, link: LinkId, window: (SimTime, SimTime)) {
@@ -143,6 +161,9 @@ pub struct DriftBottleSystem<C: FlowClassifier> {
         db_telemetry::Counter,
         db_telemetry::Counter,
     )>,
+    /// Provenance flight recorder; `None` (the default) records nothing and
+    /// keeps results bit-for-bit identical.
+    flight: Option<FlightScope>,
 }
 
 impl<C: FlowClassifier> DriftBottleSystem<C> {
@@ -205,6 +226,7 @@ impl<C: FlowClassifier> DriftBottleSystem<C> {
             metrics: None,
             fm_metrics: None,
             dt_metrics: None,
+            flight: None,
         }
     }
 
@@ -219,6 +241,51 @@ impl<C: FlowClassifier> DriftBottleSystem<C> {
             reg.counter("dtree.class_normal"),
             reg.counter("dtree.class_abnormal"),
         ));
+    }
+
+    /// Attach a provenance flight recorder. Records the causal chain —
+    /// classifications, votes, ⊕ merges with truncation losses, warnings —
+    /// of **one** variant: the wire flagship when deployed, else the first
+    /// distributed one. No-op (and returns `false`) when every variant is
+    /// centralized. `ground_truth` stamps `WarningRaised.ground_truth_hit`.
+    pub fn set_flight(
+        &mut self,
+        rec: Arc<FlightRecorder>,
+        ground_truth: &[LinkId],
+        total_links: usize,
+    ) -> bool {
+        let variant = self
+            .variants
+            .iter()
+            .position(|v| v.spec.mechanism == Mechanism::DistributedWire)
+            .or_else(|| {
+                self.variants
+                    .iter()
+                    .position(|v| !matches!(v.spec.mechanism, Mechanism::Centralized { .. }))
+            });
+        let Some(variant) = variant else {
+            return false;
+        };
+        let mut truth = vec![false; total_links];
+        for l in ground_truth {
+            if let Some(t) = truth.get_mut(l.idx()) {
+                *t = true;
+            }
+        }
+        self.flight = Some(FlightScope {
+            rec,
+            truth,
+            variant,
+            window_seq: 0,
+        });
+        true
+    }
+
+    /// The name of the variant the flight recorder traces, if attached.
+    pub fn flight_variant(&self) -> Option<&str> {
+        self.flight
+            .as_ref()
+            .map(|f| self.variants[f.variant].spec.name.as_str())
     }
 
     /// The warning log of the variant named `name`.
@@ -261,6 +328,7 @@ impl<C: FlowClassifier> DriftBottleSystem<C> {
         window: (SimTime, SimTime),
         agg_counter: u64,
         metrics: Option<&InferenceMetrics>,
+        flight: Option<&FlightScope>,
     ) {
         let node = info.node;
         let local = &variant.locals[node.idx()];
@@ -272,6 +340,20 @@ impl<C: FlowClassifier> DriftBottleSystem<C> {
         } else {
             variant.vtable.remove(&(info.flow.0, info.seq))
         };
+        // Provenance pre-pass: capture digests and the *untruncated* merge
+        // (to diff truncation losses against) before `incoming` is consumed.
+        // Runs only with a recorder attached; the result path below is
+        // untouched either way.
+        let fl_pre = flight.map(|_| {
+            let in_digest = incoming
+                .as_ref()
+                .map_or(NO_INFERENCE_DIGEST, |(d, _)| inference_digest(d.entries()));
+            let full = match &incoming {
+                None => local.clone(),
+                Some((d, _)) => d.aggregate(local),
+            };
+            (in_digest, inference_digest(local.entries()), full)
+        });
         let (agg, hops) = match incoming {
             None => (local.top_k(cfg.k), 1u8),
             Some((drifted, h)) => aggregate_step_metered(local, &drifted, h, cfg.k, metrics),
@@ -281,8 +363,43 @@ impl<C: FlowClassifier> DriftBottleSystem<C> {
             // replaced by the aggregate, biasing later packets.
             variant.locals[node.idx()] = agg.top_k(cfg.k);
         }
+        if let (Some(f), Some((in_digest, local_digest, full))) = (flight, fl_pre) {
+            let dropped_links: Vec<u16> = full
+                .entries()
+                .iter()
+                .filter(|(l, _)| agg.weight_of(*l) == 0.0)
+                .map(|(l, _)| l.0)
+                .collect();
+            f.rec.record(FlightRecord::DriftMerged {
+                at_ns: now.as_ns(),
+                switch: node.0,
+                flow: info.flow.0,
+                pkt_seq: info.seq,
+                hop_now: hops,
+                in_digest,
+                local_digest,
+                out_digest: inference_digest(agg.entries()),
+                w0: agg.w0(),
+                w1: agg.w1(),
+                top_link: agg.top_link().map(|l| l.0),
+                dropped_links,
+            });
+        }
         if let Some(link) = check_warning(&agg, hops as u32, &cfg.warning) {
             variant.log.record(now, node, link, window);
+            if let Some(f) = flight {
+                f.rec.record(FlightRecord::WarningRaised {
+                    at_ns: now.as_ns(),
+                    switch: node.0,
+                    link: link.0,
+                    hop_now: hops,
+                    w0: agg.w0(),
+                    w1: agg.w1(),
+                    alpha_lhs: cfg.warning.alpha * hops as f64,
+                    beta_lhs: cfg.warning.beta * agg.w1().max(0.0),
+                    ground_truth_hit: f.truth.get(link.idx()).copied().unwrap_or(false),
+                });
+            }
             if let Some(m) = metrics {
                 m.warning_raised(node.0, link, hops as u32, agg.w0(), agg.w1());
             }
@@ -336,6 +453,7 @@ impl<C: FlowClassifier> DriftBottleSystem<C> {
         window: (SimTime, SimTime),
         agg_counter: u64,
         metrics: Option<&InferenceMetrics>,
+        flight: Option<&FlightScope>,
     ) {
         let node = info.node;
         let wire = variant.spec.mechanism == Mechanism::DistributedWire;
@@ -347,6 +465,19 @@ impl<C: FlowClassifier> DriftBottleSystem<C> {
             variant.vtable_inline.remove(&(info.flow.0, info.seq))
         };
         let local = &variant.locals_inline[node.idx()];
+        // Provenance pre-pass — see `handle_distributed`; the untruncated
+        // merge goes through the heap form, off the hot path by definition
+        // (only runs with a recorder attached).
+        let fl_pre = flight.map(|_| {
+            let in_digest = incoming
+                .as_ref()
+                .map_or(NO_INFERENCE_DIGEST, |(d, _)| inference_digest(d.entries()));
+            let full = match &incoming {
+                None => local.to_inference(),
+                Some((d, _)) => d.to_inference().aggregate(&local.to_inference()),
+            };
+            (in_digest, inference_digest(local.entries()), full)
+        });
         let (agg, hops) = match incoming {
             None => (local.top_k(cfg.k), 1u8),
             Some((drifted, h)) => aggregate_step_inline_metered(local, &drifted, h, cfg.k, metrics),
@@ -357,8 +488,46 @@ impl<C: FlowClassifier> DriftBottleSystem<C> {
             variant.locals[node.idx()] = agg.to_inference().top_k(cfg.k);
             variant.locals_inline[node.idx()] = agg.top_k(cfg.k);
         }
+        if let (Some(f), Some((in_digest, local_digest, full))) = (flight, fl_pre) {
+            let dropped_links: Vec<u16> = full
+                .entries()
+                .iter()
+                .filter(|(l, _)| agg.weight_of(*l) == 0.0)
+                .map(|(l, _)| l.0)
+                .collect();
+            // Canonical-order digests, identical to what the Vec path
+            // records for the same multiset.
+            let out = agg.to_inference();
+            f.rec.record(FlightRecord::DriftMerged {
+                at_ns: now.as_ns(),
+                switch: node.0,
+                flow: info.flow.0,
+                pkt_seq: info.seq,
+                hop_now: hops,
+                in_digest,
+                local_digest,
+                out_digest: inference_digest(out.entries()),
+                w0: agg.w0(),
+                w1: agg.w1(),
+                top_link: agg.top_link().map(|l| l.0),
+                dropped_links,
+            });
+        }
         if let Some(link) = check_warning_inline(&agg, hops as u32, &cfg.warning) {
             variant.log.record(now, node, link, window);
+            if let Some(f) = flight {
+                f.rec.record(FlightRecord::WarningRaised {
+                    at_ns: now.as_ns(),
+                    switch: node.0,
+                    link: link.0,
+                    hop_now: hops,
+                    w0: agg.w0(),
+                    w1: agg.w1(),
+                    alpha_lhs: cfg.warning.alpha * hops as f64,
+                    beta_lhs: cfg.warning.beta * agg.w1().max(0.0),
+                    ground_truth_hit: f.truth.get(link.idx()).copied().unwrap_or(false),
+                });
+            }
             if let Some(m) = metrics {
                 m.warning_raised(node.0, link, hops as u32, agg.w0(), agg.w1());
             }
@@ -428,7 +597,8 @@ impl<C: FlowClassifier> Observer for DriftBottleSystem<C> {
         }
         // Inference Aggregation module, per distributed variant.
         self.agg_counter += 1;
-        for variant in &mut self.variants {
+        for (vi, variant) in self.variants.iter_mut().enumerate() {
+            let flight = self.flight.as_ref().filter(|f| f.variant == vi);
             match variant.spec.mechanism {
                 Mechanism::Centralized { .. } => {}
                 _ if self.inline_ok => Self::handle_distributed_inline(
@@ -441,6 +611,7 @@ impl<C: FlowClassifier> Observer for DriftBottleSystem<C> {
                     self.window,
                     self.agg_counter,
                     self.metrics.as_ref(),
+                    flight,
                 ),
                 _ => Self::handle_distributed(
                     variant,
@@ -452,12 +623,16 @@ impl<C: FlowClassifier> Observer for DriftBottleSystem<C> {
                     self.window,
                     self.agg_counter,
                     self.metrics.as_ref(),
+                    flight,
                 ),
             }
         }
     }
 
     fn on_tick(&mut self, now: SimTime) {
+        if let Some(f) = &mut self.flight {
+            f.window_seq += 1;
+        }
         // Close the sampling interval on every switch, classify, regenerate
         // local inferences.
         for idx in 0..self.monitors.len() {
@@ -495,6 +670,37 @@ impl<C: FlowClassifier> Observer for DriftBottleSystem<C> {
                 statuses.push((*status, meta.upstream.as_slice()));
             }
             let node = monitor.node();
+            // Provenance: one FlowClassified per judged flow, plus the ±1
+            // LocalVote fan-out Algorithm 1 derives from it (for the traced
+            // variant's scheme). Recorded before the locals rebuild below so
+            // the ring orders cause before effect.
+            if let Some(f) = self.flight.as_ref() {
+                let scheme = self.variants[f.variant].spec.scheme;
+                for ((flow, features), (_, status)) in rows.iter().zip(judged.iter()) {
+                    f.rec.record(FlightRecord::FlowClassified {
+                        at_ns: now.as_ns(),
+                        switch: node.0,
+                        window: f.window_seq,
+                        flow: flow.0,
+                        abnormal: *status == FlowStatus::Abnormal,
+                        feature_digest: db_flowmon::feature_digest(features),
+                    });
+                    let meta = monitor.flow_meta(*flow).expect("row from registered flow");
+                    let delta = scheme.contribution(*status, meta.upstream.len());
+                    if delta != 0.0 {
+                        for link in &meta.upstream {
+                            f.rec.record(FlightRecord::LocalVote {
+                                at_ns: now.as_ns(),
+                                switch: node.0,
+                                window: f.window_seq,
+                                flow: flow.0,
+                                link: link.0,
+                                delta,
+                            });
+                        }
+                    }
+                }
+            }
             for v in &mut self.variants {
                 Self::tick_variant(v, node, &statuses, self.cfg.k, self.inline_ok);
             }

@@ -29,4 +29,6 @@ pub use dataset::{Dataset, FlowStatus, Sample};
 pub use measures::{IntervalMeasures, SUB_INTERVALS};
 pub use metrics::FlowmonMetrics;
 pub use monitor::{NetworkMonitor, SwitchMonitor};
-pub use window::{FeatureVector, FlowMeta, WindowConfig, FEATURE_NAMES, NUM_FEATURES};
+pub use window::{
+    feature_digest, FeatureVector, FlowMeta, WindowConfig, FEATURE_NAMES, NUM_FEATURES,
+};

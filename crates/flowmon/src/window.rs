@@ -44,6 +44,18 @@ pub const FEATURE_NAMES: [&str; NUM_FEATURES] = [
 /// A dense feature vector in [`FEATURE_NAMES`] order.
 pub type FeatureVector = [f64; NUM_FEATURES];
 
+/// FNV-1a 64 digest of a feature vector's exact IEEE-754 bit patterns, in
+/// [`FEATURE_NAMES`] order, each value big-endian. The provenance flight
+/// recorder stores this instead of 15 floats: two recordings produced the
+/// same digest iff the classifier saw bit-identical features.
+pub fn feature_digest(features: &FeatureVector) -> u64 {
+    let mut bytes = [0u8; NUM_FEATURES * 8];
+    for (i, v) in features.iter().enumerate() {
+        bytes[i * 8..(i + 1) * 8].copy_from_slice(&v.to_bits().to_be_bytes());
+    }
+    db_util::wire::fnv1a64(&bytes)
+}
+
 /// Network-wide monitoring window configuration (§4.1: consistent across the
 /// network "for the sake of scalability and deployability").
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -308,5 +320,26 @@ mod tests {
         assert_eq!(FEATURE_NAMES.len(), NUM_FEATURES);
         assert_eq!(FEATURE_NAMES[0], "rtt_ms");
         assert_eq!(FEATURE_NAMES[9], "last_n_packet");
+    }
+
+    #[test]
+    fn feature_digest_is_bit_exact() {
+        let mut a: FeatureVector = [0.0; NUM_FEATURES];
+        a[0] = 8.0;
+        a[3] = 1.5;
+        let b = a;
+        assert_eq!(feature_digest(&a), feature_digest(&b));
+        let mut c = a;
+        c[3] = 1.5 + f64::EPSILON; // one-ulp change flips the digest
+        assert_ne!(feature_digest(&a), feature_digest(&c));
+        // ±0.0 differ at the bit level, so digests differ too.
+        let zero: FeatureVector = [0.0; NUM_FEATURES];
+        let mut negzero = zero;
+        negzero[0] = -0.0;
+        assert_ne!(feature_digest(&zero), feature_digest(&negzero));
+        // Pinned: the digest of the all-zeros vector must never drift.
+        assert_eq!(feature_digest(&[0.0; NUM_FEATURES]), {
+            db_util::wire::fnv1a64(&[0u8; NUM_FEATURES * 8])
+        });
     }
 }

@@ -26,6 +26,9 @@
 //!   using the iterative top-portion reporting procedure of \[2\].
 //! * [`metrics`] — `inference.*` telemetry counters and the structured
 //!   warning event (hop / w0 / w1 context).
+//! * [`provenance`] — offline analysis of flight recordings: reconstruct
+//!   which flows voted on a link, where truncation lost its weight, which
+//!   equation-(1) clause blocked a warning, and how the run scored.
 
 pub mod centralized;
 pub mod drift;
@@ -33,6 +36,7 @@ pub mod header;
 pub mod inference;
 pub mod inline;
 pub mod metrics;
+pub mod provenance;
 pub mod scheme;
 pub mod state;
 pub mod warning;
@@ -45,6 +49,10 @@ pub use header::{HeaderCodec, MAX_HEADER_BYTES};
 pub use inference::{Inference, DEFAULT_K};
 pub use inline::{InlineInference, INLINE_CAP};
 pub use metrics::InferenceMetrics;
+pub use provenance::{
+    explain_link, explain_switch, inference_digest, quality_report, LinkExplanation, QualityReport,
+    RunInfo, SwitchExplanation,
+};
 pub use scheme::{local_inference, WeightScheme};
 pub use state::InferenceState;
 pub use warning::{check_warning, check_warning_inline, WarningConfig};

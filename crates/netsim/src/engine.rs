@@ -18,7 +18,8 @@ use crate::link::{LinkRuntime, LinkState, TxOutcome};
 use crate::packet::Annotation;
 use crate::time::SimTime;
 use crate::traffic::Sender;
-use db_topology::{NodeId, Topology};
+use db_telemetry::flight::{DropKind, FlightRecord, FlightRecorder};
+use db_topology::{LinkId, NodeId, Topology};
 use db_util::Pcg64;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -290,6 +291,9 @@ pub struct Simulator<'a, O: Observer> {
     observer: O,
     /// Telemetry handles; `None` (the default) records nothing.
     metrics: Option<crate::metrics::EngineMetrics>,
+    /// Provenance flight recorder for link-level packet drops; `None` (the
+    /// default) records nothing.
+    flight: Option<std::sync::Arc<FlightRecorder>>,
 }
 
 impl<'a, O: Observer> Simulator<'a, O> {
@@ -351,6 +355,7 @@ impl<'a, O: Observer> Simulator<'a, O> {
             },
             observer,
             metrics: None,
+            flight: None,
         };
         // Schedule flow starts.
         for i in 0..sim.flows.len() {
@@ -465,6 +470,13 @@ impl<'a, O: Observer> Simulator<'a, O> {
     /// Never affects simulation outcomes — only what gets measured.
     pub fn set_metrics(&mut self, reg: &db_telemetry::MetricsRegistry) {
         self.metrics = Some(crate::metrics::EngineMetrics::register(reg));
+    }
+
+    /// Attach a provenance flight recorder: every failure-relevant packet
+    /// drop (down / corrupt / queue) appends a `PacketDropped` record.
+    /// Never affects simulation outcomes — only what gets recorded.
+    pub fn set_flight(&mut self, rec: std::sync::Arc<FlightRecorder>) {
+        self.flight = Some(rec);
     }
 
     /// Run to the configured horizon.
@@ -618,9 +630,32 @@ impl<'a, O: Observer> Simulator<'a, O> {
                     },
                 );
             }
-            TxOutcome::DropDown => self.stats.dropped_down += 1,
-            TxOutcome::DropCorrupt => self.stats.dropped_corrupt += 1,
-            TxOutcome::DropQueue => self.stats.dropped_queue += 1,
+            TxOutcome::DropDown => {
+                self.stats.dropped_down += 1;
+                self.record_drop(link_id, flow, seq, DropKind::Down);
+            }
+            TxOutcome::DropCorrupt => {
+                self.stats.dropped_corrupt += 1;
+                self.record_drop(link_id, flow, seq, DropKind::Corrupt);
+            }
+            TxOutcome::DropQueue => {
+                self.stats.dropped_queue += 1;
+                self.record_drop(link_id, flow, seq, DropKind::Queue);
+            }
+        }
+    }
+
+    /// Append a `PacketDropped` provenance record — the physical evidence
+    /// the localization chain reacts to. No-op without a flight recorder.
+    fn record_drop(&self, link: LinkId, flow: u32, seq: u64, kind: DropKind) {
+        if let Some(rec) = &self.flight {
+            rec.record(FlightRecord::PacketDropped {
+                at_ns: self.now.as_ns(),
+                link: link.0,
+                flow,
+                pkt_seq: seq,
+                kind,
+            });
         }
     }
 

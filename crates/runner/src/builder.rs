@@ -12,14 +12,17 @@
 use crate::checkpoint::{parse, CheckpointError, CheckpointFile, CheckpointHeader};
 use crate::executor::{execute, ExecConfig};
 use crate::job::{derive_seed, SeedMode, SweepJob, UnitOutcome, UnitStatus};
+use crate::metrics::RunnerMetrics;
 use db_core::classifier::Prepared;
 use db_core::config::{SystemConfig, VariantSpec};
 use db_core::experiment::{run_scenario, ScenarioKind, ScenarioSetup};
 use db_core::ScenarioOutcome;
+use db_telemetry::FlightRecorder;
 use db_util::wire::fnv1a64;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Why a sweep could not run (not why a *unit* failed — unit panics are
 /// isolated into [`UnitStatus::Failed`] records, never into this error).
@@ -163,6 +166,7 @@ pub struct SweepBuilder<'a> {
     retry_failed: bool,
     stop_after: Option<usize>,
     progress: bool,
+    flight: Option<usize>,
 }
 
 impl<'a> SweepBuilder<'a> {
@@ -194,6 +198,7 @@ impl<'a> SweepBuilder<'a> {
             retry_failed: false,
             stop_after: None,
             progress: false,
+            flight: None,
         }
     }
 
@@ -289,6 +294,37 @@ impl<'a> SweepBuilder<'a> {
         self
     }
 
+    /// Attach a provenance flight recorder (capacity in records; see
+    /// [`FlightRecorder`]) to every unit and write each unit's recording to
+    /// [`flight_path`] when the unit finishes. Recording is observational:
+    /// unit outcomes stay bit-identical (the equivalence tests pin this), so
+    /// the sweep fingerprint deliberately excludes it. A recording that
+    /// fails to write is reported on stderr without failing the unit.
+    ///
+    /// [`flight_path`]: SweepBuilder::flight_path
+    pub fn flight(mut self, capacity: usize) -> Self {
+        self.flight = Some(capacity);
+        self
+    }
+
+    /// Where unit `unit`'s flight recording goes: next to the checkpoint —
+    /// `<base>.unit<N>.flight`, where `<base>` is the checkpoint path minus
+    /// a trailing `.ckpt.jsonl` — or `results/<name>.unit<N>.flight` when no
+    /// checkpoint is configured.
+    pub fn flight_path(&self, unit: usize) -> PathBuf {
+        let base = match &self.checkpoint {
+            Some(p) => {
+                let s = p.to_string_lossy();
+                match s.strip_suffix(".ckpt.jsonl") {
+                    Some(stripped) => stripped.to_string(),
+                    None => s.into_owned(),
+                }
+            }
+            None => format!("results/{}", self.name),
+        };
+        PathBuf::from(format!("{base}.unit{unit}.flight"))
+    }
+
     /// The sweep's deterministic job list: unit `i` is `kinds[i]` with its
     /// derived seed.
     pub fn jobs(&self) -> Vec<SweepJob> {
@@ -304,8 +340,9 @@ impl<'a> SweepBuilder<'a> {
     }
 
     /// FNV-1a 64 hash of everything that determines unit results. Worker
-    /// count, checkpoint path, and progress/stop knobs are deliberately
-    /// excluded — they change scheduling, not outcomes. The prepared
+    /// count, checkpoint path, flight recording, and progress/stop knobs
+    /// are deliberately excluded — they change scheduling or observability,
+    /// not outcomes. The prepared
     /// pipeline is covered through its observable discriminators (topology
     /// shape, window config, training sample counts) rather than the full
     /// trained tree: differently-trained preparations collide only if they
@@ -344,13 +381,28 @@ impl<'a> SweepBuilder<'a> {
             sys: self.sys.clone(),
             variants: self.variants.clone(),
             background_loss: self.background_loss,
+            flight: None, // attached per job below
         };
         self.run_with(|job| {
+            let rec = self.flight.map(|cap| Arc::new(FlightRecorder::new(cap)));
             let setup = ScenarioSetup {
                 seed: job.seed,
+                flight: rec.clone(),
                 ..setup.clone()
             };
-            run_scenario(&setup, &job.kind)
+            let outcome = run_scenario(&setup, &job.kind);
+            if let Some(rec) = rec {
+                let path = self.flight_path(job.unit);
+                if let Err(e) = rec.save(&path) {
+                    eprintln!(
+                        "[{}] unit {}: flight recording {} not written: {e}",
+                        self.name,
+                        job.unit,
+                        path.display()
+                    );
+                }
+            }
+            outcome
         })
     }
 
@@ -371,6 +423,10 @@ impl<'a> SweepBuilder<'a> {
             units: jobs.len(),
         };
 
+        // Register the runner.* bundle up front — even a fully-resumed or
+        // stop_after(0) invocation reports its (zero) activity.
+        let metrics = RunnerMetrics::active();
+
         // Replay the checkpoint, if resuming.
         let mut known: BTreeMap<usize, UnitOutcome> = BTreeMap::new();
         let mut resuming_file = false;
@@ -390,8 +446,8 @@ impl<'a> SweepBuilder<'a> {
             }
         }
         let resumed = known.len();
-        if let Some(reg) = db_telemetry::active() {
-            reg.counter("runner.units_resumed").add(resumed as u64);
+        if let Some(m) = &metrics {
+            m.units_resumed.add(resumed as u64);
         }
 
         let pending: Vec<SweepJob> = jobs
@@ -446,7 +502,7 @@ impl<'a> SweepBuilder<'a> {
             workers: self.workers,
             stop_after: self.stop_after,
         };
-        let executed = execute(&pending, &exec, runner, &mut on_unit);
+        let executed = execute(&pending, &exec, metrics.as_ref(), runner, &mut on_unit);
         if let Some(source) = sink_error {
             return Err(SweepError::Io {
                 path: self.checkpoint.clone().expect("sink error implies path"),

@@ -14,14 +14,12 @@
 //! produces. The builder re-sorts by unit index afterwards.
 
 use crate::job::{SweepJob, UnitOutcome, UnitStatus};
+use crate::metrics::RunnerMetrics;
 use db_core::ScenarioOutcome;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
-
-/// Unit-latency histogram bucket bounds, in milliseconds.
-const LATENCY_BOUNDS_MS: [u64; 10] = [1, 5, 10, 50, 100, 500, 1_000, 5_000, 30_000, 120_000];
 
 /// Execution knobs for one pool invocation.
 #[derive(Debug, Clone, Default)]
@@ -66,9 +64,15 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 ///
 /// `run` executes one job; it is the seam tests use to substitute cheap
 /// synthetic workloads (or injected panics) for full simulations.
+///
+/// `metrics` is the pre-registered `runner.*` bundle (the builder registers
+/// it before deciding whether anything is pending, so a zero-budget call
+/// still leaves the gauge at 0 in the snapshot); `None` disables
+/// instrumentation entirely.
 pub fn execute<F>(
     jobs: &[SweepJob],
     cfg: &ExecConfig,
+    metrics: Option<&RunnerMetrics>,
     run: F,
     on_unit: &mut (dyn FnMut(&UnitOutcome) + Send),
 ) -> Vec<UnitOutcome>
@@ -76,25 +80,14 @@ where
     F: Fn(&SweepJob) -> ScenarioOutcome + Sync,
 {
     let budget = cfg.stop_after.unwrap_or(usize::MAX).min(jobs.len());
+    if let Some(m) = metrics {
+        m.units_remaining.set(budget as f64);
+    }
     if budget == 0 {
         return Vec::new();
     }
     let workers = resolve_workers(cfg.workers, budget);
-
-    // Telemetry handles are resolved once per pool run, not per unit.
-    let telemetry = db_telemetry::active().map(|reg| {
-        let bounds: Vec<u64> = LATENCY_BOUNDS_MS.iter().map(|ms| ms * 1_000_000).collect();
-        (
-            reg.counter("runner.units_done"),
-            reg.counter("runner.units_failed"),
-            reg.gauge("runner.units_remaining"),
-            reg.histogram("runner.unit_latency_ns", &bounds),
-        )
-    });
     let remaining = AtomicUsize::new(budget);
-    if let Some((_, _, gauge, _)) = &telemetry {
-        gauge.set(budget as f64);
-    }
 
     let cursor = AtomicUsize::new(0);
     type Sink<'s> = (&'s mut (dyn FnMut(&UnitOutcome) + Send), Vec<UnitOutcome>);
@@ -113,13 +106,15 @@ where
                     Ok(outcome) => UnitStatus::Done(outcome),
                     Err(payload) => UnitStatus::Failed(panic_message(payload)),
                 };
-                if let Some((done, failed, gauge, latency)) = &telemetry {
+                if let Some(m) = metrics {
                     match &status {
-                        UnitStatus::Done(_) => done.inc(),
-                        UnitStatus::Failed(_) => failed.inc(),
+                        UnitStatus::Done(_) => m.units_done.inc(),
+                        UnitStatus::Failed(_) => m.units_failed.inc(),
                     }
-                    gauge.set((remaining.fetch_sub(1, Ordering::Relaxed) - 1) as f64);
-                    latency.record(started.elapsed().as_nanos() as u64);
+                    m.units_remaining
+                        .set((remaining.fetch_sub(1, Ordering::Relaxed) - 1) as f64);
+                    m.unit_latency_ns
+                        .record(started.elapsed().as_nanos() as u64);
                 }
                 let outcome = UnitOutcome {
                     unit: job.unit,
@@ -175,7 +170,7 @@ mod tests {
                 stop_after: None,
             };
             let mut seen = Vec::new();
-            let out = execute(&jobs, &cfg, synthetic, &mut |u| seen.push(u.unit));
+            let out = execute(&jobs, &cfg, None, synthetic, &mut |u| seen.push(u.unit));
             assert_eq!(
                 units_of(&out),
                 (0..17).collect::<Vec<_>>(),
@@ -195,7 +190,7 @@ mod tests {
             workers: 4,
             stop_after: Some(3),
         };
-        let out = execute(&jobs, &cfg, synthetic, &mut |_| {});
+        let out = execute(&jobs, &cfg, None, synthetic, &mut |_| {});
         assert_eq!(units_of(&out), vec![0, 1, 2]);
     }
 
@@ -210,6 +205,7 @@ mod tests {
                 workers: 3,
                 stop_after: None,
             },
+            None,
             |j| {
                 if j.unit == 5 {
                     panic!("injected unit failure {}", j.unit);
@@ -227,14 +223,54 @@ mod tests {
     }
 
     #[test]
+    fn metrics_account_for_every_unit() {
+        let reg = db_telemetry::MetricsRegistry::new();
+        let m = RunnerMetrics::register(&reg);
+        let jobs: Vec<SweepJob> = (0..6).map(job).collect();
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        execute(
+            &jobs,
+            &ExecConfig {
+                workers: 2,
+                stop_after: None,
+            },
+            Some(&m),
+            |j| {
+                if j.unit % 3 == 0 {
+                    panic!("boom");
+                }
+                synthetic(j)
+            },
+            &mut |_| {},
+        );
+        std::panic::set_hook(prev);
+        assert_eq!(m.units_done.get(), 4);
+        assert_eq!(m.units_failed.get(), 2);
+        assert_eq!(m.units_remaining.get(), 0.0);
+        assert_eq!(m.unit_latency_ns.count(), 6);
+
+        // A zero-budget call still publishes the (empty) remaining gauge
+        // instead of returning before instrumentation.
+        let m2 = RunnerMetrics::register(&reg);
+        m2.units_remaining.set(99.0);
+        let cfg = ExecConfig {
+            workers: 2,
+            stop_after: Some(0),
+        };
+        assert!(execute(&jobs, &cfg, Some(&m2), synthetic, &mut |_| {}).is_empty());
+        assert_eq!(m2.units_remaining.get(), 0.0);
+    }
+
+    #[test]
     fn empty_jobs_and_zero_budget_are_fine() {
         let none: Vec<SweepJob> = Vec::new();
-        assert!(execute(&none, &ExecConfig::default(), synthetic, &mut |_| {}).is_empty());
+        assert!(execute(&none, &ExecConfig::default(), None, synthetic, &mut |_| {}).is_empty());
         let jobs: Vec<SweepJob> = (0..4).map(job).collect();
         let cfg = ExecConfig {
             workers: 2,
             stop_after: Some(0),
         };
-        assert!(execute(&jobs, &cfg, synthetic, &mut |_| {}).is_empty());
+        assert!(execute(&jobs, &cfg, None, synthetic, &mut |_| {}).is_empty());
     }
 }

@@ -49,8 +49,10 @@ pub mod builder;
 pub mod checkpoint;
 pub mod executor;
 pub mod job;
+pub mod metrics;
 
 pub use builder::{SweepBuilder, SweepError, SweepReport};
 pub use checkpoint::{CheckpointError, CheckpointHeader};
 pub use executor::ExecConfig;
 pub use job::{derive_seed, SeedMode, SweepJob, UnitOutcome, UnitStatus};
+pub use metrics::RunnerMetrics;

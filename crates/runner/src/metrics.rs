@@ -1,0 +1,90 @@
+//! `runner.*` telemetry: the sweep pool's progress metrics as one bundle.
+//!
+//! Registered once per [`SweepBuilder::run_with`] invocation — before the
+//! pool decides whether it has anything to execute — so a fully-resumed or
+//! `stop_after(0)` sweep still reports its counters (all zero executed,
+//! `runner.units_resumed` > 0) instead of leaving the registry empty. The
+//! executor previously registered these lazily inside the pool, which made
+//! "nothing ran" and "telemetry was off" indistinguishable in the final
+//! snapshot.
+//!
+//! [`SweepBuilder::run_with`]: crate::SweepBuilder::run_with
+
+use db_telemetry::{Counter, Gauge, Histogram, MetricsRegistry};
+
+/// Unit-latency histogram bucket bounds, in milliseconds.
+pub const LATENCY_BOUNDS_MS: [u64; 10] = [1, 5, 10, 50, 100, 500, 1_000, 5_000, 30_000, 120_000];
+
+/// Handles for every `runner.*` metric the sweep pool maintains.
+#[derive(Debug, Clone)]
+pub struct RunnerMetrics {
+    /// Units that finished successfully this process.
+    pub units_done: Counter,
+    /// Units whose scenario panicked (isolated into failure records).
+    pub units_failed: Counter,
+    /// Units replayed from a checkpoint instead of executed.
+    pub units_resumed: Counter,
+    /// Units still pending in the current pool run.
+    pub units_remaining: Gauge,
+    /// Wall-clock per executed unit, in nanoseconds.
+    pub unit_latency_ns: Histogram,
+}
+
+impl RunnerMetrics {
+    /// Register (or re-attach to) the `runner.*` metrics on `reg`.
+    pub fn register(reg: &MetricsRegistry) -> Self {
+        let bounds: Vec<u64> = LATENCY_BOUNDS_MS.iter().map(|ms| ms * 1_000_000).collect();
+        RunnerMetrics {
+            units_done: reg.counter("runner.units_done"),
+            units_failed: reg.counter("runner.units_failed"),
+            units_resumed: reg.counter("runner.units_resumed"),
+            units_remaining: reg.gauge("runner.units_remaining"),
+            unit_latency_ns: reg.histogram("runner.unit_latency_ns", &bounds),
+        }
+    }
+
+    /// Register against the global registry, or `None` when collection is
+    /// disabled (the usual off-by-default telemetry gate).
+    pub fn active() -> Option<Self> {
+        db_telemetry::active().map(Self::register)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registers_every_runner_metric() {
+        let reg = MetricsRegistry::new();
+        let m = RunnerMetrics::register(&reg);
+        m.units_done.inc();
+        m.units_failed.add(2);
+        m.units_resumed.add(3);
+        m.units_remaining.set(4.0);
+        m.unit_latency_ns.record(7_000_000);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("runner.units_done"), Some(1));
+        assert_eq!(snap.counter("runner.units_failed"), Some(2));
+        assert_eq!(snap.counter("runner.units_resumed"), Some(3));
+        assert_eq!(snap.gauge("runner.units_remaining"), Some(4.0));
+        let (_, h) = snap
+            .histograms
+            .iter()
+            .find(|(n, _)| n == "runner.unit_latency_ns")
+            .expect("latency histogram registered");
+        assert_eq!(h.count, 1);
+        // Bounds are stored in nanoseconds.
+        assert_eq!(h.bounds[0], 1_000_000);
+    }
+
+    #[test]
+    fn re_registration_shares_the_cells() {
+        let reg = MetricsRegistry::new();
+        let a = RunnerMetrics::register(&reg);
+        let b = RunnerMetrics::register(&reg);
+        a.units_done.inc();
+        b.units_done.inc();
+        assert_eq!(reg.snapshot().counter("runner.units_done"), Some(2));
+    }
+}

@@ -133,31 +133,85 @@ macro_rules! event {
     };
 }
 
+#[derive(Debug, Default)]
+struct BufferInner {
+    events: Vec<Event>,
+    dropped: u64,
+}
+
 /// A recorder that buffers events in memory, for tests and the CLI `report`
-/// command. Clones share the buffer.
-#[derive(Debug, Clone, Default)]
-pub struct BufferRecorder(Arc<std::sync::Mutex<Vec<Event>>>);
+/// command. Clones share the buffer. Unbounded by default; use
+/// [`with_capacity`] to cap memory — once full, the **oldest** events are
+/// kept, later ones are counted in [`dropped`] instead of stored.
+///
+/// [`with_capacity`]: BufferRecorder::with_capacity
+/// [`dropped`]: BufferRecorder::dropped
+#[derive(Debug, Clone)]
+pub struct BufferRecorder {
+    inner: Arc<std::sync::Mutex<BufferInner>>,
+    capacity: usize,
+}
+
+impl Default for BufferRecorder {
+    fn default() -> Self {
+        BufferRecorder {
+            inner: Arc::default(),
+            capacity: usize::MAX,
+        }
+    }
+}
 
 impl BufferRecorder {
-    /// A new, empty buffer.
+    /// A new, empty, unbounded buffer.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Copy of all buffered events.
-    pub fn events(&self) -> Vec<Event> {
-        self.0.lock().unwrap().clone()
+    /// A new buffer that stores at most `capacity` events (clamped to ≥ 1);
+    /// overflow is counted, not stored.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BufferRecorder {
+            inner: Arc::default(),
+            capacity: capacity.max(1),
+        }
     }
 
-    /// Drain the buffer.
+    /// Copy of all buffered events.
+    pub fn events(&self) -> Vec<Event> {
+        self.inner.lock().unwrap().events.clone()
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().events.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events rejected because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().unwrap().dropped
+    }
+
+    /// Drain the buffer (the [`dropped`] count is kept).
+    ///
+    /// [`dropped`]: BufferRecorder::dropped
     pub fn take(&self) -> Vec<Event> {
-        std::mem::take(&mut self.0.lock().unwrap())
+        std::mem::take(&mut self.inner.lock().unwrap().events)
     }
 }
 
 impl Recorder for BufferRecorder {
     fn record(&self, event: Event) {
-        self.0.lock().unwrap().push(event);
+        let mut inner = self.inner.lock().unwrap();
+        if inner.events.len() >= self.capacity {
+            inner.dropped += 1;
+        } else {
+            inner.events.push(event);
+        }
     }
 }
 

@@ -13,6 +13,9 @@
 //!   trait, off by default (one relaxed load per call site when disabled).
 //! * [`export`] — renderers from a registry [`Snapshot`] to human text
 //!   tables, JSON, and the Prometheus text format.
+//! * [`flight`] — the provenance flight recorder: a bounded ring of
+//!   structured cause-chain records ([`FlightRecord`]) with a stable binary
+//!   file format, powering `drift-bottle explain`.
 //!
 //! # The global registry
 //!
@@ -35,6 +38,7 @@
 
 mod event;
 pub mod export;
+pub mod flight;
 mod registry;
 mod span;
 
@@ -43,8 +47,10 @@ pub use event::{
     Recorder, StderrRecorder,
 };
 pub use export::{json_escape, prometheus_name, to_json, to_prometheus, to_table};
+pub use flight::{DropKind, FlightError, FlightRecord, FlightRecorder, Recording};
 pub use registry::{
-    Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, Snapshot, Timing, TimingSnapshot,
+    BoundsMismatch, Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, Snapshot,
+    Timing, TimingSnapshot,
 };
 pub use span::Span;
 

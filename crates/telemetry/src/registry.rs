@@ -191,8 +191,13 @@ impl MetricsRegistry {
 
     /// Get or create the histogram `name` with the given inclusive upper
     /// bucket bounds (an overflow bucket is added automatically). Bounds are
-    /// fixed by the first registration; later calls return the same
-    /// histogram regardless of the bounds they pass.
+    /// frozen by the **first** registration; later calls return the same
+    /// histogram and their `bounds` argument is ignored — so two call sites
+    /// registering the same name with different bucket layouts silently
+    /// share the first layout. Use [`try_histogram`] when that situation
+    /// should be an error instead of a silent merge.
+    ///
+    /// [`try_histogram`]: MetricsRegistry::try_histogram
     pub fn histogram(&self, name: &str, bounds: &[u64]) -> Histogram {
         let mut inner = self.inner.lock().unwrap();
         inner
@@ -200,6 +205,33 @@ impl MetricsRegistry {
             .entry(name.to_string())
             .or_insert_with(|| Histogram::new(bounds))
             .clone()
+    }
+
+    /// Like [`histogram`], but refuses to hand out a histogram whose frozen
+    /// bucket layout differs from `bounds`. Bounds are compared in
+    /// normalized form (sorted, deduplicated) — the same normalization
+    /// registration applies — so argument order and duplicates don't cause
+    /// spurious mismatches.
+    ///
+    /// [`histogram`]: MetricsRegistry::histogram
+    pub fn try_histogram(&self, name: &str, bounds: &[u64]) -> Result<Histogram, BoundsMismatch> {
+        let mut normalized = bounds.to_vec();
+        normalized.sort_unstable();
+        normalized.dedup();
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(existing) = inner.histograms.get(name) {
+            if existing.0.bounds != normalized {
+                return Err(BoundsMismatch {
+                    name: name.to_string(),
+                    existing: existing.0.bounds.clone(),
+                    requested: normalized,
+                });
+            }
+            return Ok(existing.clone());
+        }
+        let h = Histogram::new(&normalized);
+        inner.histograms.insert(name.to_string(), h.clone());
+        Ok(h)
     }
 
     /// Get or create the phase-timing accumulator `name`.
@@ -261,6 +293,31 @@ impl std::fmt::Debug for MetricsRegistry {
             .finish()
     }
 }
+
+/// A histogram name was re-registered with a different bucket layout
+/// (see [`MetricsRegistry::try_histogram`]). Both bound lists are in
+/// normalized (sorted, deduplicated) form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BoundsMismatch {
+    /// The contested histogram name.
+    pub name: String,
+    /// Bounds frozen by the first registration.
+    pub existing: Vec<u64>,
+    /// Bounds the rejected call asked for.
+    pub requested: Vec<u64>,
+}
+
+impl std::fmt::Display for BoundsMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "histogram {:?} is already registered with bounds {:?}; refusing conflicting bounds {:?}",
+            self.name, self.existing, self.requested
+        )
+    }
+}
+
+impl std::error::Error for BoundsMismatch {}
 
 /// Point-in-time copy of a [`Histogram`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -383,6 +440,45 @@ mod tests {
         let snap = &reg.snapshot().histograms[0].1;
         assert_eq!(snap.bounds, vec![10, 100]);
         assert_eq!(snap.buckets, vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn histogram_keeps_first_bounds_on_conflicting_reregistration() {
+        let reg = MetricsRegistry::new();
+        let a = reg.histogram("x.h", &[10, 100]);
+        // Documented lenient path: the second call's bounds are ignored and
+        // both handles share the first layout.
+        let b = reg.histogram("x.h", &[7]);
+        a.record(50);
+        b.record(5);
+        let snap = &reg.snapshot().histograms[0].1;
+        assert_eq!(snap.bounds, vec![10, 100]);
+        assert_eq!(snap.count, 2);
+    }
+
+    #[test]
+    fn try_histogram_rejects_conflicting_bounds() {
+        let reg = MetricsRegistry::new();
+        let a = reg.try_histogram("x.h", &[10, 100]).expect("first");
+        // Same bounds modulo normalization: fine, same cell.
+        let b = reg
+            .try_histogram("x.h", &[100, 10, 10])
+            .expect("same normalized bounds");
+        a.record(1);
+        b.record(2);
+        assert_eq!(a.count(), 2);
+        // Different bounds: a structured error naming both layouts.
+        let err = reg.try_histogram("x.h", &[7]).unwrap_err();
+        assert_eq!(err.name, "x.h");
+        assert_eq!(err.existing, vec![10, 100]);
+        assert_eq!(err.requested, vec![7]);
+        assert!(err.to_string().contains("x.h"));
+        // The failed call registered nothing and mutated nothing.
+        assert_eq!(reg.snapshot().histograms.len(), 1);
+        // try_histogram also sees (and agrees with) plain histogram().
+        let c = reg.histogram("x.h", &[999]);
+        c.record(3);
+        assert_eq!(a.count(), 3);
     }
 
     #[test]

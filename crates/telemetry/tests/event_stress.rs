@@ -1,0 +1,116 @@
+//! Stress and filtering tests for the global event pipeline.
+//!
+//! These live in an integration binary (own process) because `set_max_level`
+//! / `set_recorder` are process-global: interleaving with the library's unit
+//! tests would make both flaky. Within this binary the tests still share
+//! that state, so everything runs inside one `#[test]` sequence per global
+//! configuration.
+
+use db_telemetry::{
+    clear_recorder, event, level_enabled, set_max_level, set_recorder, BufferRecorder, Level,
+};
+use std::sync::Arc;
+
+const THREADS: usize = 8;
+const PER_THREAD: usize = 500;
+
+/// Every event carries a unique (thread, seq) pair so loss and duplication
+/// are both detectable after the fact.
+fn blast(threads: usize, per_thread: usize) {
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            scope.spawn(move || {
+                for i in 0..per_thread {
+                    event!(Level::Info, "stress.emit", "e", thread = t, seq = i);
+                }
+            });
+        }
+    });
+}
+
+fn ids(events: &[db_telemetry::Event]) -> Vec<(usize, usize)> {
+    let mut out: Vec<(usize, usize)> = events
+        .iter()
+        .map(|e| {
+            let get = |k: &str| {
+                e.fields
+                    .iter()
+                    .find(|(n, _)| n == k)
+                    .expect("field present")
+                    .1
+                    .parse::<usize>()
+                    .expect("numeric field")
+            };
+            (get("thread"), get("seq"))
+        })
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+#[test]
+fn level_filtering_and_concurrent_emission() {
+    // --- Level filtering ------------------------------------------------
+    assert!(
+        !level_enabled(Level::Error),
+        "events must default to off in a fresh process"
+    );
+    let buf = BufferRecorder::new();
+    set_recorder(Arc::new(buf.clone()));
+
+    event!(Level::Error, "filter.t", "dropped while off");
+    assert!(buf.is_empty(), "recorder without a level stays silent");
+
+    set_max_level(Some(Level::Warn));
+    assert!(level_enabled(Level::Error));
+    assert!(level_enabled(Level::Warn));
+    assert!(!level_enabled(Level::Info));
+    assert!(!level_enabled(Level::Trace));
+    event!(Level::Error, "filter.t", "kept");
+    event!(Level::Warn, "filter.t", "kept");
+    event!(Level::Info, "filter.t", "suppressed");
+    event!(Level::Debug, "filter.t", "suppressed");
+    let seen = buf.take();
+    assert_eq!(seen.len(), 2);
+    assert!(seen.iter().all(|e| e.level <= Level::Warn));
+
+    // Raising to Trace admits everything; dropping to None mutes again.
+    set_max_level(Some(Level::Trace));
+    event!(Level::Trace, "filter.t", "kept now");
+    assert_eq!(buf.take().len(), 1);
+    set_max_level(None);
+    event!(Level::Error, "filter.t", "muted");
+    assert!(buf.is_empty());
+
+    // --- Concurrent emit, unbounded: nothing lost, nothing duplicated ---
+    set_max_level(Some(Level::Info));
+    blast(THREADS, PER_THREAD);
+    let events = buf.take();
+    assert_eq!(events.len(), THREADS * PER_THREAD);
+    let got = ids(&events);
+    let want: Vec<(usize, usize)> = (0..THREADS)
+        .flat_map(|t| (0..PER_THREAD).map(move |i| (t, i)))
+        .collect();
+    assert_eq!(got, want, "every (thread, seq) exactly once");
+    assert_eq!(buf.dropped(), 0);
+
+    // --- Concurrent emit, bounded: capacity held, overflow counted ------
+    let small = BufferRecorder::with_capacity(64);
+    set_recorder(Arc::new(small.clone()));
+    blast(THREADS, PER_THREAD);
+    let kept = small.events();
+    assert_eq!(kept.len(), 64, "buffer never exceeds its capacity");
+    assert_eq!(
+        small.dropped() as usize,
+        THREADS * PER_THREAD - 64,
+        "every overflowed event is accounted for"
+    );
+    // The kept events are still unique (no duplication under contention).
+    let kept_ids = ids(&kept);
+    let mut dedup = kept_ids.clone();
+    dedup.dedup();
+    assert_eq!(kept_ids, dedup);
+
+    clear_recorder();
+    assert!(!level_enabled(Level::Error));
+}

@@ -11,6 +11,7 @@
 //! drift-bottle sweep <name|file> [n] [density]   # sweep n covered links, averaged metrics
 //! drift-bottle health <name|file> [density]      # false-positive check on a healthy network
 //! drift-bottle report <name|file> [density]      # one scenario + full telemetry report
+//! drift-bottle explain <file.flight> [l<ID>|s<ID>] # reconstruct a run from a flight recording
 //! ```
 //!
 //! Every command accepts `--metrics[=table|json|prom]`: it enables the
@@ -19,19 +20,26 @@
 //! format. `report` is the dedicated observability command — it implies
 //! `--metrics=table` and additionally mirrors warning events to stderr.
 //!
+//! Scenario commands additionally accept `--scheme=NAME` (compare a §6.4
+//! weight scheme instead of the flagship) and `--flight[=path]` (capture a
+//! provenance flight recording for `explain` to consume later).
+//!
 //! Argument parsing is deliberately bare std — the library has no CLI
 //! dependencies.
 
 use drift_bottle::core::experiment::{average_by_variant, covered_links, sample_covered_links};
+use drift_bottle::inference::provenance;
 use drift_bottle::prelude::*;
+use drift_bottle::telemetry::{FlightRecorder, Recording};
 use drift_bottle::topology::load;
 use drift_bottle::topology::stats::PathStats;
 use drift_bottle::topology::TopologyStats;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  drift-bottle topo   <name|file>\n  drift-bottle fail   <name|file> <link-id> [density]\n  drift-bottle node   <name|file> <node-id> [density]\n  drift-bottle sweep  <name|file> [links] [density]\n  drift-bottle health <name|file> [density]\n  drift-bottle report <name|file> [density]\n\noptions:\n  --metrics[=table|json|prom]  collect telemetry and print a metrics report\n\nsweep options:\n  --workers=N          worker threads (default: all cores)\n  --checkpoint[=path]  checkpoint units to path (default results/sweep-<topo>.ckpt.jsonl)\n  --resume             resume from the checkpoint if it exists (implies --checkpoint)\n  (env DB_SWEEP_STOP_AFTER=N stops after N units, leaving a resumable checkpoint)\n\nbuilt-in topologies: geant2012, chinanet, tinet, as1221"
+        "usage:\n  drift-bottle topo    <name|file>\n  drift-bottle fail    <name|file> <link-id> [density]\n  drift-bottle node    <name|file> <node-id> [density]\n  drift-bottle sweep   <name|file> [links] [density]\n  drift-bottle health  <name|file> [density]\n  drift-bottle report  <name|file> [density]\n  drift-bottle explain <file.flight> [l<ID>|s<ID>]\n\noptions:\n  --metrics[=table|json|prom]  collect telemetry and print a metrics report\n  --scheme=NAME        weight scheme to run (default Drift-Bottle; see below)\n  --flight[=path]      record provenance for `explain` (default results/<cmd>-<topo>.flight;\n                       env DB_FLIGHT_CAPACITY=N bounds the ring, default 65536 records)\n\nsweep options:\n  --workers=N          worker threads (default: all cores)\n  --checkpoint[=path]  checkpoint units to path (default results/sweep-<topo>.ckpt.jsonl)\n  --resume             resume from the checkpoint if it exists (implies --checkpoint)\n  (env DB_SWEEP_STOP_AFTER=N stops after N units, leaving a resumable checkpoint;\n   --flight writes one recording per unit next to the checkpoint)\n\nexplain options:\n  --window=N           restrict votes/warnings to sampling window N\n  --format=table|json  output format (default table)\n\nweight schemes: Drift-Bottle, Non-Negative, 007-Drifted, 007-Modified\nbuilt-in topologies: geant2012, chinanet, tinet, as1221"
     );
     ExitCode::FAILURE
 }
@@ -82,6 +90,145 @@ fn print_metrics_report(fmt: MetricsFormat) {
         }
         MetricsFormat::Json => println!("{}", drift_bottle::telemetry::to_json(&snap)),
         MetricsFormat::Prom => print!("{}", drift_bottle::telemetry::to_prometheus(&snap)),
+    }
+}
+
+/// Options shared by the scenario commands (fail/node/sweep/health/report).
+#[derive(Debug, Default)]
+struct RunOpts {
+    /// Weight scheme override (`None` = the flagship Drift-Bottle wire
+    /// variant).
+    scheme: Option<WeightScheme>,
+    /// `Some(None)` = flight recording at the default path, `Some(Some(p))`
+    /// = at `p`, `None` = no recording.
+    flight: Option<Option<String>>,
+}
+
+/// Strip `--scheme=NAME` out of `args`. A typo'd name is rejected with the
+/// full list of schemes, instead of surfacing later as a missing-variant
+/// panic.
+fn take_scheme_flag(args: &mut Vec<String>) -> Result<Option<WeightScheme>, String> {
+    let mut scheme = None;
+    let mut err = None;
+    args.retain(|a| {
+        let Some(rest) = a.strip_prefix("--scheme") else {
+            return true;
+        };
+        match rest.strip_prefix('=') {
+            Some(name) if !name.is_empty() => {
+                match WeightScheme::ALL
+                    .iter()
+                    .find(|s| s.name().eq_ignore_ascii_case(name))
+                {
+                    Some(s) => scheme = Some(*s),
+                    None => {
+                        let names: Vec<&str> = WeightScheme::ALL.iter().map(|s| s.name()).collect();
+                        err = Some(format!(
+                            "unknown scheme '{name}' (available: {})",
+                            names.join(", ")
+                        ));
+                    }
+                }
+            }
+            _ => err = Some(format!("bad scheme flag '{a}' (use --scheme=NAME)")),
+        }
+        false
+    });
+    match err {
+        Some(e) => Err(e),
+        None => Ok(scheme),
+    }
+}
+
+/// Strip `--flight[=path]` out of `args`.
+fn take_flight_flag(args: &mut Vec<String>) -> Result<Option<Option<String>>, String> {
+    let mut flight = None;
+    let mut err = None;
+    args.retain(|a| {
+        let Some(rest) = a.strip_prefix("--flight") else {
+            return true;
+        };
+        match rest.strip_prefix('=') {
+            None if rest.is_empty() => flight = Some(None),
+            Some(p) if !p.is_empty() => flight = Some(Some(p.to_string())),
+            _ => err = Some(format!("bad flight flag '{a}' (use --flight[=path])")),
+        }
+        false
+    });
+    match err {
+        Some(e) => Err(e),
+        None => Ok(flight),
+    }
+}
+
+/// Ring capacity for `--flight`, overridable via `DB_FLIGHT_CAPACITY`.
+fn flight_capacity() -> Result<usize, String> {
+    match std::env::var("DB_FLIGHT_CAPACITY") {
+        Ok(v) => v
+            .parse::<usize>()
+            .map_err(|_| format!("bad DB_FLIGHT_CAPACITY '{v}'")),
+        Err(_) => Ok(FlightRecorder::DEFAULT_CAPACITY),
+    }
+}
+
+/// Write a finished recording and tell the operator where it went.
+fn save_flight(rec: &FlightRecorder, path: &str) -> Result<(), String> {
+    rec.save(path)
+        .map_err(|e| format!("writing flight recording {path}: {e}"))?;
+    eprintln!(
+        "[flight recording: {path} ({} records, {} evicted); inspect with: drift-bottle explain {path}]",
+        rec.len(),
+        rec.dropped()
+    );
+    Ok(())
+}
+
+/// Look up a variant in an outcome, or explain which variants the run
+/// actually produced — the contextual replacement for the old
+/// `.expect(\"flagship variant\")` panics.
+fn variant_or_err<'o>(
+    outcome: &'o ScenarioOutcome,
+    name: &str,
+) -> Result<&'o drift_bottle::core::experiment::VariantResult, String> {
+    outcome.variant(name).ok_or_else(|| {
+        let available: Vec<&str> = outcome.variants.iter().map(|v| v.name.as_str()).collect();
+        format!(
+            "variant '{name}' not in this run's results (available: {})",
+            available.join(", ")
+        )
+    })
+}
+
+/// Build the single-scenario setup for `opts`: the chosen weight scheme
+/// (Drift-Bottle rides the real wire header; the others need the exact
+/// side-table carrier) plus the flight recorder when requested. Returns the
+/// setup, the variant name to report on, and the recorder for saving.
+#[allow(clippy::type_complexity)]
+fn single_setup<'a>(
+    prep: &'a Prepared,
+    density: f64,
+    opts: &RunOpts,
+) -> Result<(ScenarioSetup<'a>, String, Option<Arc<FlightRecorder>>), String> {
+    let spec = match opts.scheme {
+        None | Some(WeightScheme::DriftBottle) => VariantSpec::drift_bottle(),
+        Some(s) => VariantSpec::distributed(s),
+    };
+    let vname = spec.name.clone();
+    let mut setup = ScenarioSetup::flagship(prep, density, 1);
+    setup.variants = vec![spec];
+    let rec = match &opts.flight {
+        Some(_) => Some(Arc::new(FlightRecorder::new(flight_capacity()?))),
+        None => None,
+    };
+    setup.flight = rec.clone();
+    Ok((setup, vname, rec))
+}
+
+/// Default or explicit `--flight` output path for a single-run command.
+fn flight_path_for(opts: &RunOpts, cmd: &str, topo: &str) -> String {
+    match &opts.flight {
+        Some(Some(p)) => p.clone(),
+        _ => format!("results/{cmd}-{topo}.flight"),
     }
 }
 
@@ -137,8 +284,8 @@ fn train(topo: Topology) -> Prepared {
     prep
 }
 
-fn print_outcome(prep: &Prepared, outcome: &ScenarioOutcome) {
-    let v = outcome.variant("Drift-Bottle").expect("flagship variant");
+fn print_outcome(prep: &Prepared, outcome: &ScenarioOutcome, vname: &str) -> Result<(), String> {
+    let v = variant_or_err(outcome, vname)?;
     println!(
         "failure injected at {}; warnings collected until {}",
         outcome.t_fail, outcome.window.1
@@ -167,6 +314,7 @@ fn print_outcome(prep: &Prepared, outcome: &ScenarioOutcome) {
         100.0 * v.metrics.accuracy,
         100.0 * v.metrics.fpr
     );
+    Ok(())
 }
 
 fn cmd_topo(spec: &str) -> Result<(), String> {
@@ -210,7 +358,7 @@ fn cmd_topo(spec: &str) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_fail(spec: &str, link: &str, density: f64) -> Result<(), String> {
+fn cmd_fail(spec: &str, link: &str, density: f64, opts: &RunOpts) -> Result<(), String> {
     let topo = load_topology(spec)?;
     let id: u16 = link
         .trim_start_matches('l')
@@ -223,13 +371,16 @@ fn cmd_fail(spec: &str, link: &str, density: f64) -> Result<(), String> {
         ));
     }
     let prep = train(topo);
-    let setup = ScenarioSetup::flagship(&prep, density, 1);
+    let (setup, vname, rec) = single_setup(&prep, density, opts)?;
     let outcome = run_scenario(&setup, &ScenarioKind::SingleLink(LinkId(id)));
-    print_outcome(&prep, &outcome);
+    print_outcome(&prep, &outcome, &vname)?;
+    if let Some(rec) = rec {
+        save_flight(&rec, &flight_path_for(opts, "fail", prep.topo.name()))?;
+    }
     Ok(())
 }
 
-fn cmd_node(spec: &str, node: &str, density: f64) -> Result<(), String> {
+fn cmd_node(spec: &str, node: &str, density: f64, opts: &RunOpts) -> Result<(), String> {
     let topo = load_topology(spec)?;
     let id: u16 = node
         .trim_start_matches('s')
@@ -243,9 +394,12 @@ fn cmd_node(spec: &str, node: &str, density: f64) -> Result<(), String> {
         ));
     }
     let prep = train(topo);
-    let setup = ScenarioSetup::flagship(&prep, density, 1);
+    let (setup, vname, rec) = single_setup(&prep, density, opts)?;
     let outcome = run_scenario(&setup, &ScenarioKind::Node(NodeId(id)));
-    print_outcome(&prep, &outcome);
+    print_outcome(&prep, &outcome, &vname)?;
+    if let Some(rec) = rec {
+        save_flight(&rec, &flight_path_for(opts, "node", prep.topo.name()))?;
+    }
     Ok(())
 }
 
@@ -292,9 +446,26 @@ fn take_sweep_flags(args: &mut Vec<String>) -> Result<SweepFlags, String> {
     }
 }
 
-fn cmd_sweep(spec: &str, n: usize, density: f64, flags: &SweepFlags) -> Result<(), String> {
+fn cmd_sweep(
+    spec: &str,
+    n: usize,
+    density: f64,
+    flags: &SweepFlags,
+    opts: &RunOpts,
+) -> Result<(), String> {
     let topo = load_topology(spec)?;
     let prep = train(topo);
+    let variant = match opts.scheme {
+        None | Some(WeightScheme::DriftBottle) => VariantSpec::drift_bottle(),
+        Some(s) => VariantSpec::distributed(s),
+    };
+    let vname = variant.name.clone();
+    if let Some(Some(p)) = &opts.flight {
+        return Err(format!(
+            "sweep writes one recording per unit next to the checkpoint; \
+             use a bare --flight instead of --flight={p}"
+        ));
+    }
     let covered = covered_links(&prep).len();
     let links = sample_covered_links(&prep, n, 0xC11);
     let name = format!("sweep-{}", prep.topo.name());
@@ -320,6 +491,7 @@ fn cmd_sweep(spec: &str, n: usize, density: f64, flags: &SweepFlags) -> Result<(
     let mut builder = SweepBuilder::new(&name, &prep)
         .density(density)
         .seed(1)
+        .variants(vec![variant])
         .scenarios(links.iter().map(|&l| ScenarioKind::SingleLink(l)))
         .workers(flags.workers)
         .resume(flags.resume)
@@ -327,6 +499,15 @@ fn cmd_sweep(spec: &str, n: usize, density: f64, flags: &SweepFlags) -> Result<(
         .progress(true);
     if let Some(p) = &ckpt_path {
         builder = builder.checkpoint(p);
+    }
+    if opts.flight.is_some() {
+        builder = builder.flight(flight_capacity()?);
+        let pattern = builder
+            .flight_path(0)
+            .display()
+            .to_string()
+            .replace(".unit0.flight", ".unit<N>.flight");
+        eprintln!("[per-unit flight recordings: {pattern}]");
     }
     let report = builder.run().map_err(|e| e.to_string())?;
     if report.resumed > 0 {
@@ -340,7 +521,7 @@ fn cmd_sweep(spec: &str, n: usize, density: f64, flags: &SweepFlags) -> Result<(
         let l = links[u.unit];
         match u.outcome() {
             Some(o) => {
-                let v = o.variant("Drift-Bottle").expect("flagship variant");
+                let v = variant_or_err(o, &vname)?;
                 println!(
                     "{l}: reported {:?}  P {:.2}  R {:.2}",
                     v.reported, v.metrics.precision, v.metrics.recall
@@ -375,12 +556,12 @@ fn cmd_sweep(spec: &str, n: usize, density: f64, flags: &SweepFlags) -> Result<(
     Ok(())
 }
 
-fn cmd_health(spec: &str, density: f64) -> Result<(), String> {
+fn cmd_health(spec: &str, density: f64, opts: &RunOpts) -> Result<(), String> {
     let topo = load_topology(spec)?;
     let prep = train(topo);
-    let setup = ScenarioSetup::flagship(&prep, density, 1);
+    let (setup, vname, rec) = single_setup(&prep, density, opts)?;
     let outcome = run_scenario(&setup, &ScenarioKind::None);
-    let v = outcome.variant("Drift-Bottle").expect("flagship variant");
+    let v = variant_or_err(&outcome, &vname)?;
     println!(
         "healthy network: {} links falsely accused ({} raises total, {} packets simulated)",
         v.reported.len(),
@@ -390,10 +571,13 @@ fn cmd_health(spec: &str, density: f64) -> Result<(), String> {
     if !v.reported.is_empty() {
         println!("accused: {:?}", v.reported);
     }
+    if let Some(rec) = rec {
+        save_flight(&rec, &flight_path_for(opts, "health", prep.topo.name()))?;
+    }
     Ok(())
 }
 
-fn cmd_report(spec: &str, density: f64) -> Result<(), String> {
+fn cmd_report(spec: &str, density: f64, opts: &RunOpts) -> Result<(), String> {
     // Mirror warning events to stderr so the operator sees the raises with
     // their hop/w0/w1 context as they happen.
     drift_bottle::telemetry::set_recorder(std::sync::Arc::new(
@@ -407,10 +591,440 @@ fn cmd_report(spec: &str, density: f64) -> Result<(), String> {
         .first()
         .ok_or("topology has no covered links to fail")?;
     eprintln!("[failing {link} and running one scenario at density {density}...]");
-    let setup = ScenarioSetup::flagship(&prep, density, 1);
+    let (setup, vname, rec) = single_setup(&prep, density, opts)?;
     let outcome = run_scenario(&setup, &ScenarioKind::SingleLink(link));
-    print_outcome(&prep, &outcome);
+    print_outcome(&prep, &outcome, &vname)?;
+    if let Some(rec) = rec {
+        save_flight(&rec, &flight_path_for(opts, "report", prep.topo.name()))?;
+    }
     Ok(())
+}
+
+/// Output format of `explain`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum ExplainFormat {
+    Table,
+    Json,
+}
+
+/// Parsed `explain` subcommand flags.
+#[derive(Debug)]
+struct ExplainFlags {
+    /// Restrict votes/warnings to this sampling-window index.
+    window: Option<u32>,
+    /// Output format.
+    format: ExplainFormat,
+}
+
+/// Strip `--window=N` and `--format=table|json` out of `args`.
+fn take_explain_flags(args: &mut Vec<String>) -> Result<ExplainFlags, String> {
+    let mut flags = ExplainFlags {
+        window: None,
+        format: ExplainFormat::Table,
+    };
+    let mut err = None;
+    args.retain(|a| {
+        if let Some(rest) = a.strip_prefix("--window") {
+            match rest.strip_prefix('=').and_then(|s| s.parse::<u32>().ok()) {
+                Some(n) => flags.window = Some(n),
+                None => err = Some(format!("bad window '{a}' (use --window=N)")),
+            }
+            false
+        } else if let Some(rest) = a.strip_prefix("--format") {
+            match rest.strip_prefix('=') {
+                Some("table") => flags.format = ExplainFormat::Table,
+                Some("json") => flags.format = ExplainFormat::Json,
+                _ => err = Some(format!("bad format '{a}' (use --format=table|json)")),
+            }
+            false
+        } else {
+            true
+        }
+    });
+    match err {
+        Some(e) => Err(e),
+        None => Ok(flags),
+    }
+}
+
+fn fmt_ms(ns: u64) -> String {
+    format!("{:.3} ms", ns as f64 / 1e6)
+}
+
+fn fmt_links(links: &[u16]) -> String {
+    if links.is_empty() {
+        "(none)".to_string()
+    } else {
+        links
+            .iter()
+            .map(|l| format!("l{l}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+/// Render a [`provenance::BlockedTally`] as `clause xN` terms.
+fn fmt_blocked(t: &provenance::BlockedTally) -> String {
+    let mut parts = Vec::new();
+    for (n, label) in [
+        (t.non_positive_w0, "w0<=0"),
+        (t.hop_min, "hop_min"),
+        (t.alpha, "alpha"),
+        (t.beta, "beta"),
+    ] {
+        if n > 0 {
+            parts.push(format!("{label} x{n}"));
+        }
+    }
+    if parts.is_empty() {
+        "never blocked".to_string()
+    } else {
+        parts.join(", ")
+    }
+}
+
+fn explain_aggregate(rec: &Recording, path: &str, fmt: ExplainFormat) -> Result<(), String> {
+    let q = provenance::quality_report(rec).ok_or(
+        "recording has no run header (evicted from the ring?); \
+         re-record with a larger DB_FLIGHT_CAPACITY to score the run",
+    )?;
+    if fmt == ExplainFormat::Json {
+        let ttfw: Vec<String> = q
+            .time_to_first_warning_ns
+            .iter()
+            .map(|(l, t)| {
+                format!(
+                    "{{\"link\":{l},\"ns\":{}}}",
+                    t.map_or("null".to_string(), |n| n.to_string())
+                )
+            })
+            .collect();
+        println!(
+            "{{\"file\":\"{}\",\"records\":{},\"evicted\":{},\"ground_truth\":{:?},\"reported\":{:?},\"precision\":{},\"recall\":{},\"f1\":{},\"accuracy\":{},\"fpr\":{},\"warnings_total\":{},\"warnings_in_window\":{},\"classified_abnormal\":{},\"classified_normal\":{},\"merges\":{},\"merges_with_drops\":{},\"dropped_entries\":{},\"truncation_loss_rate\":{},\"time_to_first_warning\":[{}]}}",
+            drift_bottle::telemetry::json_escape(path),
+            rec.records.len(),
+            q.ring_dropped,
+            q.info.ground_truth,
+            q.reported_links,
+            q.precision,
+            q.recall,
+            q.f1,
+            q.accuracy,
+            q.fpr,
+            q.warnings_total,
+            q.warnings_in_window,
+            q.classified.0,
+            q.classified.1,
+            q.truncation.merges,
+            q.truncation.merges_with_drops,
+            q.truncation.dropped_entries,
+            q.truncation.loss_rate(),
+            ttfw.join(",")
+        );
+        return Ok(());
+    }
+    println!("=== flight recording: {path} ===");
+    println!(
+        "records      : {} kept, {} evicted (capacity {})",
+        rec.records.len(),
+        q.ring_dropped,
+        rec.capacity
+    );
+    println!(
+        "run          : t_fail {}, window ({}, {}], k={}, hop_min={}, alpha={}, beta={}",
+        fmt_ms(q.info.t_fail_ns),
+        fmt_ms(q.info.window_ns.0),
+        fmt_ms(q.info.window_ns.1),
+        q.info.k,
+        q.info.warning.hop_min,
+        q.info.warning.alpha,
+        q.info.warning.beta
+    );
+    println!("ground truth : {}", fmt_links(&q.info.ground_truth));
+    println!("reported     : {}", fmt_links(&q.reported_links));
+    println!(
+        "quality      : precision {:.2}  recall {:.2}  F1 {:.2}  accuracy {:.2}%  FPR {:.2}%",
+        q.precision,
+        q.recall,
+        q.f1,
+        100.0 * q.accuracy,
+        100.0 * q.fpr
+    );
+    println!(
+        "warnings     : {} raised, {} inside the collection window",
+        q.warnings_total, q.warnings_in_window
+    );
+    println!(
+        "classified   : {} abnormal / {} normal flow-windows",
+        q.classified.0, q.classified.1
+    );
+    println!(
+        "truncation   : {} merges, {} lost >=1 link ({:.1}%), {} entries dropped",
+        q.truncation.merges,
+        q.truncation.merges_with_drops,
+        100.0 * q.truncation.loss_rate(),
+        q.truncation.dropped_entries
+    );
+    println!("time to first in-window warning:");
+    for (l, t) in &q.time_to_first_warning_ns {
+        match t {
+            Some(ns) => println!("  l{l}: {} after injection", fmt_ms(*ns)),
+            None => println!("  l{l}: never warned"),
+        }
+    }
+    if q.ring_dropped > 0 {
+        println!(
+            "note: {} records were evicted from the ring — this report scores only the \
+             surviving tail; re-record with DB_FLIGHT_CAPACITY={} or more for a full chain",
+            q.ring_dropped,
+            q.ring_dropped + rec.records.len() as u64
+        );
+    }
+    Ok(())
+}
+
+fn explain_link_cmd(rec: &Recording, id: u16, flags: &ExplainFlags) -> Result<(), String> {
+    let mut e = provenance::explain_link(rec, id);
+    if let Some(w) = flags.window {
+        e.votes.retain(|v| v.window == w);
+        e.warnings.retain(|v| v.window_index == Some(w));
+    }
+    if flags.format == ExplainFormat::Json {
+        let votes: Vec<String> = e
+            .votes
+            .iter()
+            .map(|v| {
+                format!(
+                    "{{\"at_ns\":{},\"switch\":{},\"window\":{},\"flow\":{},\"delta\":{}}}",
+                    v.at_ns, v.switch, v.window, v.flow, v.delta
+                )
+            })
+            .collect();
+        let warnings: Vec<String> = e
+            .warnings
+            .iter()
+            .map(|w| {
+                format!(
+                    "{{\"at_ns\":{},\"switch\":{},\"hop_now\":{},\"w0\":{},\"w1\":{},\"in_window\":{}}}",
+                    w.at_ns,
+                    w.switch,
+                    w.hop_now,
+                    w.w0,
+                    w.w1,
+                    w.in_window
+                        .map_or("null".to_string(), |b| b.to_string())
+                )
+            })
+            .collect();
+        let truncated: Vec<String> = e
+            .truncation_drops
+            .iter()
+            .map(|t| {
+                format!(
+                    "{{\"at_ns\":{},\"switch\":{},\"flow\":{},\"hop_now\":{}}}",
+                    t.at_ns, t.switch, t.flow, t.hop_now
+                )
+            })
+            .collect();
+        println!(
+            "{{\"link\":{},\"ground_truth\":{},\"reported\":{},\"vote_total\":{},\"votes_for\":{},\"votes_against\":{},\"voting_flows\":{},\"voting_switches\":{},\"merges_as_top\":{},\"packet_drops\":{:?},\"votes\":[{}],\"truncation_drops\":[{}],\"warnings\":[{}]}}",
+            e.link,
+            e.ground_truth
+                .map_or("null".to_string(), |b| b.to_string()),
+            e.reported().map_or("null".to_string(), |b| b.to_string()),
+            e.vote_total,
+            e.votes_for,
+            e.votes_against,
+            e.voting_flows,
+            e.voting_switches,
+            e.merges_as_top,
+            e.packet_drops,
+            votes.join(","),
+            truncated.join(","),
+            warnings.join(",")
+        );
+        return Ok(());
+    }
+    println!("=== link l{id} ===");
+    match e.ground_truth {
+        Some(true) => println!("ground truth : FAILED"),
+        Some(false) => println!("ground truth : healthy"),
+        None => println!("ground truth : unknown (run header evicted)"),
+    }
+    match e.reported() {
+        Some(true) => println!("reported     : yes (warning inside the collection window)"),
+        Some(false) => println!("reported     : no"),
+        None => println!("reported     : unknown (run header evicted)"),
+    }
+    if let Some(w) = flags.window {
+        println!("filter       : sampling window {w} only");
+    }
+    println!(
+        "votes        : {} ({} accusing, {} exonerating), total {:+}, from {} flows across {} switches",
+        e.votes.len(),
+        e.votes_for,
+        e.votes_against,
+        e.vote_total,
+        e.voting_flows,
+        e.voting_switches
+    );
+    for v in e.votes.iter().take(10) {
+        println!(
+            "  {} s{} window {} flow {} delta {:+}",
+            fmt_ms(v.at_ns),
+            v.switch,
+            v.window,
+            v.flow,
+            v.delta
+        );
+    }
+    if e.votes.len() > 10 {
+        println!("  ... {} more", e.votes.len() - 10);
+    }
+    println!(
+        "truncated    : {} merges dropped this link's weight in transit",
+        e.truncation_drops.len()
+    );
+    for t in e.truncation_drops.iter().take(5) {
+        println!(
+            "  {} s{} flow {} at hop {}",
+            fmt_ms(t.at_ns),
+            t.switch,
+            t.flow,
+            t.hop_now
+        );
+    }
+    if e.truncation_drops.len() > 5 {
+        println!("  ... {} more", e.truncation_drops.len() - 5);
+    }
+    print!(
+        "top of merge : {} merges had l{id} as top accusation",
+        e.merges_as_top
+    );
+    match &e.blocked {
+        Some(t) => println!("; eq(1): {}, fired x{}", fmt_blocked(t), t.fires),
+        None => println!(),
+    }
+    println!("warnings     : {}", e.warnings.len());
+    for w in e.warnings.iter().take(10) {
+        println!(
+            "  {} s{} hop {} w0 {:+} w1 {:+}{}",
+            fmt_ms(w.at_ns),
+            w.switch,
+            w.hop_now,
+            w.w0,
+            w.w1,
+            match w.in_window {
+                Some(true) => " [in window]",
+                Some(false) => " [outside window]",
+                None => "",
+            }
+        );
+    }
+    if e.warnings.len() > 10 {
+        println!("  ... {} more", e.warnings.len() - 10);
+    }
+    if let Some(first) = &e.first_warning_in_window {
+        println!(
+            "first report : {} at s{}, hop {}, sampling window {}",
+            fmt_ms(first.at_ns),
+            first.switch,
+            first.hop_now,
+            first
+                .window_index
+                .map_or("?".to_string(), |w| w.to_string())
+        );
+    }
+    println!(
+        "packet drops : {} down, {} corrupt, {} queue",
+        e.packet_drops[0], e.packet_drops[1], e.packet_drops[2]
+    );
+    Ok(())
+}
+
+fn explain_switch_cmd(rec: &Recording, id: u16, flags: &ExplainFlags) -> Result<(), String> {
+    let mut s = provenance::explain_switch(rec, id);
+    if let Some(w) = flags.window {
+        s.warnings.retain(|(_, v)| v.window_index == Some(w));
+    }
+    if flags.format == ExplainFormat::Json {
+        let votes: Vec<String> = s
+            .votes_by_link
+            .iter()
+            .map(|(l, total, n)| format!("{{\"link\":{l},\"total\":{total},\"count\":{n}}}"))
+            .collect();
+        let warnings: Vec<String> = s
+            .warnings
+            .iter()
+            .map(|(l, w)| {
+                format!(
+                    "{{\"link\":{l},\"at_ns\":{},\"hop_now\":{},\"w0\":{},\"w1\":{}}}",
+                    w.at_ns, w.hop_now, w.w0, w.w1
+                )
+            })
+            .collect();
+        println!(
+            "{{\"switch\":{},\"classified_abnormal\":{},\"classified_normal\":{},\"merges\":{},\"merges_with_drops\":{},\"votes_by_link\":[{}],\"warnings\":[{}]}}",
+            s.switch,
+            s.classified.0,
+            s.classified.1,
+            s.merges,
+            s.merges_with_drops,
+            votes.join(","),
+            warnings.join(",")
+        );
+        return Ok(());
+    }
+    println!("=== switch s{id} ===");
+    println!(
+        "classified   : {} abnormal / {} normal flow-windows",
+        s.classified.0, s.classified.1
+    );
+    println!("votes        : {} links voted on", s.votes_by_link.len());
+    for (l, total, n) in s.votes_by_link.iter().take(10) {
+        println!("  l{l}: total {total:+} over {n} votes");
+    }
+    if s.votes_by_link.len() > 10 {
+        println!("  ... {} more", s.votes_by_link.len() - 10);
+    }
+    println!(
+        "merges       : {} ({} lost >=1 link to the top-k cut)",
+        s.merges, s.merges_with_drops
+    );
+    println!("warnings     : {}", s.warnings.len());
+    for (l, w) in s.warnings.iter().take(10) {
+        println!(
+            "  {} l{l} hop {} w0 {:+} w1 {:+}{}",
+            fmt_ms(w.at_ns),
+            w.hop_now,
+            w.w0,
+            w.w1,
+            match w.in_window {
+                Some(true) => " [in window]",
+                Some(false) => " [outside window]",
+                None => "",
+            }
+        );
+    }
+    Ok(())
+}
+
+fn cmd_explain(path: &str, target: Option<&String>, flags: &ExplainFlags) -> Result<(), String> {
+    let rec = Recording::load(path).map_err(|e| format!("loading {path}: {e}"))?;
+    match target {
+        None => explain_aggregate(&rec, path, flags.format),
+        Some(t) => {
+            if let Some(id) = t.strip_prefix('l').and_then(|s| s.parse::<u16>().ok()) {
+                explain_link_cmd(&rec, id, flags)
+            } else if let Some(id) = t.strip_prefix('s').and_then(|s| s.parse::<u16>().ok()) {
+                explain_switch_cmd(&rec, id, flags)
+            } else {
+                Err(format!(
+                    "bad explain target '{t}' (use l<ID> for a link or s<ID> for a switch)"
+                ))
+            }
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -440,14 +1054,43 @@ fn main() -> ExitCode {
     } else {
         SweepFlags::default()
     };
+    let explain_flags = if args.first().map(String::as_str) == Some("explain") {
+        match take_explain_flags(&mut args) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        ExplainFlags {
+            window: None,
+            format: ExplainFormat::Table,
+        }
+    };
+    let opts = match (take_scheme_flag(&mut args), take_flight_flag(&mut args)) {
+        (Ok(scheme), Ok(flight)) => RunOpts { scheme, flight },
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if matches!(
+        args.first().map(String::as_str),
+        Some("topo") | Some("explain")
+    ) && (opts.scheme.is_some() || opts.flight.is_some())
+    {
+        eprintln!("error: --scheme/--flight only apply to scenario commands");
+        return ExitCode::FAILURE;
+    }
     let result = match args.first().map(String::as_str) {
         Some("topo") if args.len() == 2 => cmd_topo(&args[1]),
         Some("fail") if args.len() >= 3 => match parse_density(args.get(3)) {
-            Ok(d) => cmd_fail(&args[1], &args[2], d),
+            Ok(d) => cmd_fail(&args[1], &args[2], d, &opts),
             Err(e) => Err(e),
         },
         Some("node") if args.len() >= 3 => match parse_density(args.get(3)) {
-            Ok(d) => cmd_node(&args[1], &args[2], d),
+            Ok(d) => cmd_node(&args[1], &args[2], d, &opts),
             Err(e) => Err(e),
         },
         Some("sweep") if args.len() >= 2 => {
@@ -457,18 +1100,21 @@ fn main() -> ExitCode {
                 .transpose()
                 .map_err(|_| "bad link count".to_string());
             match (n, parse_density(args.get(3))) {
-                (Ok(n), Ok(d)) => cmd_sweep(&args[1], n.unwrap_or(8), d, &sweep_flags),
+                (Ok(n), Ok(d)) => cmd_sweep(&args[1], n.unwrap_or(8), d, &sweep_flags, &opts),
                 (Err(e), _) | (_, Err(e)) => Err(e),
             }
         }
         Some("health") if args.len() >= 2 => match parse_density(args.get(2)) {
-            Ok(d) => cmd_health(&args[1], d),
+            Ok(d) => cmd_health(&args[1], d, &opts),
             Err(e) => Err(e),
         },
         Some("report") if args.len() >= 2 => match parse_density(args.get(2)) {
-            Ok(d) => cmd_report(&args[1], d),
+            Ok(d) => cmd_report(&args[1], d, &opts),
             Err(e) => Err(e),
         },
+        Some("explain") if args.len() == 2 || args.len() == 3 => {
+            cmd_explain(&args[1], args.get(2), &explain_flags)
+        }
         _ => return usage(),
     };
     match result {

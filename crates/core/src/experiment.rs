@@ -362,7 +362,7 @@ pub fn beta_ratio_groups(outcomes: &[ScenarioOutcome], variant: &str) -> (Vec<f6
     let mut with_failed = Vec::new();
     let mut clean = Vec::new();
     for o in outcomes {
-        let truth: std::collections::HashSet<LinkId> = o.ground_truth.iter().copied().collect();
+        let truth: std::collections::BTreeSet<LinkId> = o.ground_truth.iter().copied().collect();
         let Some(v) = o.variant(variant) else {
             continue;
         };
@@ -406,7 +406,7 @@ pub fn locality_histogram(
 ) -> Vec<u64> {
     let mut hist: Vec<u64> = Vec::new();
     for o in outcomes {
-        let truth: std::collections::HashSet<LinkId> = o.ground_truth.iter().copied().collect();
+        let truth: std::collections::BTreeSet<LinkId> = o.ground_truth.iter().copied().collect();
         let Some(v) = o.variant(variant) else {
             continue;
         };

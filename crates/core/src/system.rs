@@ -30,7 +30,7 @@ use db_inference::{
 use db_netsim::{Annotation, FlowSpec, HopInfo, Observer, SimTime};
 use db_telemetry::flight::{FlightRecord, FlightRecorder};
 use db_topology::{LinkId, NodeId, Topology};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap}; // db-lint: allow(det-hash-iter) — HashMap only for the never-iterated vtables below
 use std::sync::Arc;
 
 /// Per-(switch, link) warning statistics.
@@ -52,7 +52,9 @@ pub struct WarningLog {
     pub raises: u64,
     /// Per-(switch, link) statistics. Centralized variants use the DCA
     /// pseudo-switch `NodeId(u16::MAX)`.
-    pub by_pair: HashMap<(NodeId, LinkId), PairStats>,
+    /// BTreeMap: this map is iterated into `pair_counts` output, so its
+    /// order must not depend on the process hash seed.
+    pub by_pair: BTreeMap<(NodeId, LinkId), PairStats>,
     /// Links accused inside the collection window (§6.2: "we collect links
     /// reported within a sliding window after the occurrence of failures").
     pub reported_links: BTreeSet<LinkId>,
@@ -122,9 +124,11 @@ struct VariantState {
     locals_inline: Vec<InlineInference>,
     /// Exact-weight carrier: per in-flight packet `(flow, seq)` → state.
     /// Used by the legacy (Vec-backed) path only.
+    // db-lint: allow(det-hash-iter) — keyed lookup/insert/remove only, never iterated
     vtable: HashMap<(u32, u64), (Inference, u8)>,
     /// Exact-weight carrier for the inline path (values are `Copy`, no
     /// per-packet allocation beyond amortized map growth).
+    // db-lint: allow(det-hash-iter) — keyed lookup/insert/remove only, never iterated
     vtable_inline: HashMap<(u32, u64), (InlineInference, u8)>,
     /// Warnings raised.
     log: WarningLog,
@@ -205,8 +209,8 @@ impl<C: FlowClassifier> DriftBottleSystem<C> {
                 spec,
                 locals: vec![Inference::empty(); n],
                 locals_inline: vec![InlineInference::empty(); n],
-                vtable: HashMap::new(),
-                vtable_inline: HashMap::new(),
+                vtable: HashMap::new(), // db-lint: allow(det-hash-iter) — see field
+                vtable_inline: HashMap::new(), // db-lint: allow(det-hash-iter) — see field
                 log: WarningLog::default(),
                 ratios: Vec::new(),
                 ticks_seen: 0,
@@ -318,6 +322,7 @@ impl<C: FlowClassifier> DriftBottleSystem<C> {
     }
 
     #[allow(clippy::too_many_arguments)] // internal hot path; a params struct would just rename the problem
+                                         // db-lint: allow(hot-index, hot-alloc) — per-node vectors are sized by node count at setup; the allocating branches are recorder- or sampling-window-gated, off the steady-state path
     fn handle_distributed(
         variant: &mut VariantState,
         now: SimTime,
@@ -443,6 +448,7 @@ impl<C: FlowClassifier> DriftBottleSystem<C> {
     /// behaviour should use `db_inference::InferenceState`, which picks
     /// inline vs. heap itself.
     #[allow(clippy::too_many_arguments)] // same internal hot path as handle_distributed
+                                         // db-lint: allow(hot-index, hot-alloc) — per-node vectors are sized by node count at setup; the allocating branches are recorder- or sampling-window-gated, off the steady-state path
     fn handle_distributed_inline(
         variant: &mut VariantState,
         now: SimTime,
@@ -587,6 +593,7 @@ impl<C: FlowClassifier> DriftBottleSystem<C> {
 }
 
 impl<C: FlowClassifier> Observer for DriftBottleSystem<C> {
+    // db-lint: allow(hot-index) — monitors and per-node state are sized by node count at setup; HopInfo nodes come from the same topology
     fn on_packet(&mut self, now: SimTime, info: &HopInfo, ann: &mut Annotation) {
         // Flow Monitoring module: update measure registers.
         let recorded = self.monitors[info.node.idx()].on_packet(now, info.flow, info.size);

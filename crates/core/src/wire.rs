@@ -46,7 +46,7 @@ fn decode_metrics(r: &mut ByteReader) -> Result<LocalizationMetrics, WireError> 
 fn encode_ratio(s: &RatioSample, w: &mut ByteWriter) {
     w.seq(s.entries.len());
     for &(l, weight) in &s.entries {
-        w.u32(l.0 as u32);
+        w.u16w(l.0);
         w.f64(weight);
     }
     w.u8(s.hop_now);
@@ -57,7 +57,7 @@ fn decode_ratio(r: &mut ByteReader) -> Result<RatioSample, WireError> {
     let n = r.seq()?;
     let mut entries = Vec::with_capacity(n);
     for _ in 0..n {
-        let l = LinkId(r.u32()? as u16);
+        let l = LinkId(r.u16w()?);
         entries.push((l, r.f64()?));
     }
     Ok(RatioSample {
@@ -71,18 +71,18 @@ fn encode_variant(v: &VariantResult, w: &mut ByteWriter) {
     w.str(&v.name);
     w.seq(v.reported.len());
     for &l in &v.reported {
-        w.u32(l.0 as u32);
+        w.u16w(l.0);
     }
     encode_metrics(&v.metrics, w);
     w.seq(v.reported_pairs.len());
     for &(n, l) in &v.reported_pairs {
-        w.u32(n.0 as u32);
-        w.u32(l.0 as u32);
+        w.u16w(n.0);
+        w.u16w(l.0);
     }
     w.seq(v.pair_counts.len());
     for &((n, l), c) in &v.pair_counts {
-        w.u32(n.0 as u32);
-        w.u32(l.0 as u32);
+        w.u16w(n.0);
+        w.u16w(l.0);
         w.u64(c);
     }
     w.u64(v.raises);
@@ -97,20 +97,20 @@ fn decode_variant(r: &mut ByteReader) -> Result<VariantResult, WireError> {
     let n = r.seq()?;
     let mut reported = Vec::with_capacity(n);
     for _ in 0..n {
-        reported.push(LinkId(r.u32()? as u16));
+        reported.push(LinkId(r.u16w()?));
     }
     let metrics = decode_metrics(r)?;
     let n = r.seq()?;
     let mut reported_pairs = Vec::with_capacity(n);
     for _ in 0..n {
-        let node = NodeId(r.u32()? as u16);
-        reported_pairs.push((node, LinkId(r.u32()? as u16)));
+        let node = NodeId(r.u16w()?);
+        reported_pairs.push((node, LinkId(r.u16w()?)));
     }
     let n = r.seq()?;
     let mut pair_counts = Vec::with_capacity(n);
     for _ in 0..n {
-        let node = NodeId(r.u32()? as u16);
-        let link = LinkId(r.u32()? as u16);
+        let node = NodeId(r.u16w()?);
+        let link = LinkId(r.u16w()?);
         pair_counts.push(((node, link), r.u64()?));
     }
     let raises = r.u64()?;
@@ -135,7 +135,7 @@ pub fn encode_outcome(o: &ScenarioOutcome) -> Vec<u8> {
     let mut w = ByteWriter::new();
     w.seq(o.ground_truth.len());
     for &l in &o.ground_truth {
-        w.u32(l.0 as u32);
+        w.u16w(l.0);
     }
     w.u64(o.t_fail.as_ns());
     w.u64(o.window.0.as_ns());
@@ -155,7 +155,7 @@ pub fn decode_outcome(bytes: &[u8]) -> Result<ScenarioOutcome, WireError> {
     let n = r.seq()?;
     let mut ground_truth = Vec::with_capacity(n);
     for _ in 0..n {
-        ground_truth.push(LinkId(r.u32()? as u16));
+        ground_truth.push(LinkId(r.u16w()?));
     }
     let t_fail = SimTime::from_ns(r.u64()?);
     let window = (SimTime::from_ns(r.u64()?), SimTime::from_ns(r.u64()?));

@@ -60,7 +60,7 @@ pub struct Labeler<'a> {
     starts: Vec<SimTime>,
     finished_at: Vec<Option<SimTime>>,
     /// Active spans per link, expanded over node failures: `(from, until)`.
-    spans: std::collections::HashMap<db_topology::LinkId, Vec<(SimTime, Option<SimTime>)>>,
+    spans: std::collections::BTreeMap<db_topology::LinkId, Vec<(SimTime, Option<SimTime>)>>,
 }
 
 impl<'a> Labeler<'a> {
@@ -78,8 +78,8 @@ impl<'a> Labeler<'a> {
             stats.finished_at.len(),
             "stats must come from the same flow table"
         );
-        let mut spans: std::collections::HashMap<_, Vec<(SimTime, Option<SimTime>)>> =
-            std::collections::HashMap::new();
+        let mut spans: std::collections::BTreeMap<_, Vec<(SimTime, Option<SimTime>)>> =
+            std::collections::BTreeMap::new();
         for e in &scenario.events {
             let links: Vec<db_topology::LinkId> = match e.kind {
                 db_netsim::FailureKind::LinkDown(l) => vec![l],
@@ -236,7 +236,7 @@ impl Dataset {
             .filter(|&i| self.samples[i].label == major_label)
             .collect();
         let chosen = rng.sample_indices(major_idx.len(), keep_major);
-        let keep: std::collections::HashSet<usize> =
+        let keep: std::collections::BTreeSet<usize> =
             chosen.into_iter().map(|i| major_idx[i]).collect();
         let samples = self
             .samples

@@ -236,6 +236,7 @@ impl NetworkMonitor {
     }
 
     /// Record a packet observation.
+    // db-lint: allow(hot-index) — monitors is sized by node count at setup; HopInfo nodes come from the same topology
     pub fn on_packet(&mut self, now: SimTime, info: &HopInfo, size: u32) {
         let recorded = self.monitors[info.node.idx()].on_packet(now, info.flow, size);
         if recorded {

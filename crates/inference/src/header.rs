@@ -55,12 +55,12 @@ impl HeaderCodec {
     pub fn for_network(k: usize, link_count: usize) -> Self {
         assert!(k >= 1, "inference length must be at least 1");
         assert!(
-            link_count < SENTINEL_WIDE as usize,
+            link_count < usize::from(SENTINEL_WIDE),
             "networks with ≥ 65535 links are not addressable"
         );
         HeaderCodec {
             k,
-            wide: link_count >= SENTINEL_COMPACT as usize,
+            wide: link_count >= usize::from(SENTINEL_COMPACT),
         }
     }
 
@@ -78,22 +78,23 @@ impl HeaderCodec {
         let top = inf.top_k(self.k);
         let mut written = 0;
         for &(l, w) in top.entries() {
-            let stored = (w.round() as i64).clamp(WEIGHT_MIN as i64, WEIGHT_MAX as i64) as i32;
-            if stored == 0 {
+            let Some(wb) = weight_byte(w) else {
                 // "0 is omitted" — a zero-rounded weight carries no signal.
                 continue;
-            }
+            };
             if self.wide {
                 buf.extend_from_slice(&l.0.to_be_bytes());
             } else {
                 debug_assert!(
-                    l.0 < SENTINEL_COMPACT as u16,
+                    l.0 < u16::from(SENTINEL_COMPACT),
                     "link id {} does not fit the compact header",
                     l.0
                 );
-                buf.push(l.0 as u8);
+                // A release-mode id overflow degrades to an empty slot
+                // instead of silently aliasing another link.
+                buf.push(u8::try_from(l.0).unwrap_or(SENTINEL_COMPACT));
             }
-            buf.push((stored - WEIGHT_MIN) as u8);
+            buf.push(wb);
             written += 1;
         }
         for _ in written..self.k {
@@ -132,11 +133,11 @@ impl HeaderCodec {
                     at += 1;
                     continue;
                 }
-                v as u16
+                u16::from(v)
             };
-            let w = bytes[at] as i32 + WEIGHT_MIN;
+            let w = i32::from(bytes[at]) + WEIGHT_MIN;
             at += 1;
-            pairs.push((LinkId(id), w as f64));
+            pairs.push((LinkId(id), f64::from(w)));
         }
         Some((Inference::from_pairs(pairs), hop_now))
     }
@@ -148,6 +149,7 @@ impl HeaderCodec {
     /// byte identical to `encode(&inf.to_inference(), hop_now)`: slots emit
     /// in the canonical `(weight desc, link asc)` order and zero-rounded
     /// weights are omitted.
+    // db-lint: allow(hot-index, hot-panic) — buffer length asserted on entry; every offset is bounded by byte_len
     pub fn encode_into(&self, inf: &InlineInference, hop_now: u8, buf: &mut [u8]) -> usize {
         let len = self.byte_len();
         assert!(buf.len() >= len, "header buffer too small");
@@ -155,23 +157,22 @@ impl HeaderCodec {
         let mut at = 1;
         let mut written = 0;
         for &(l, w) in inf.entries().iter().take(self.k) {
-            let stored = (w.round() as i64).clamp(WEIGHT_MIN as i64, WEIGHT_MAX as i64) as i32;
-            if stored == 0 {
+            let Some(wb) = weight_byte(w) else {
                 continue;
-            }
+            };
             if self.wide {
                 buf[at..at + 2].copy_from_slice(&l.0.to_be_bytes());
                 at += 2;
             } else {
                 debug_assert!(
-                    l.0 < SENTINEL_COMPACT as u16,
+                    l.0 < u16::from(SENTINEL_COMPACT),
                     "link id {} does not fit the compact header",
                     l.0
                 );
-                buf[at] = l.0 as u8;
+                buf[at] = u8::try_from(l.0).unwrap_or(SENTINEL_COMPACT);
                 at += 1;
             }
-            buf[at] = (stored - WEIGHT_MIN) as u8;
+            buf[at] = wb;
             at += 1;
             written += 1;
         }
@@ -195,6 +196,7 @@ impl HeaderCodec {
     /// encoder, but legal on the wire) sum in slot order and zero totals are
     /// swept afterwards — exactly what `Inference::from_pairs` does, so
     /// `decode_inline(b)` matches `decode(b)` entry-for-entry.
+    // db-lint: allow(hot-index, hot-panic) — length checked on entry (returns None); k is pinned to INLINE_CAP by the assert
     pub fn decode_inline(&self, bytes: &[u8]) -> Option<(InlineInference, u8)> {
         if bytes.len() != self.byte_len() {
             return None;
@@ -223,14 +225,28 @@ impl HeaderCodec {
                     at += 1;
                     continue;
                 }
-                v as u16
+                u16::from(v)
             };
-            let w = bytes[at] as i32 + WEIGHT_MIN;
+            let w = i32::from(bytes[at]) + WEIGHT_MIN;
             at += 1;
-            inf.accumulate(LinkId(id), w as f64);
+            inf.accumulate(LinkId(id), f64::from(w));
         }
         inf.normalize();
         Some((inf, hop_now))
+    }
+}
+
+/// Encoded weight byte for `w`: round, clamp to the encodable range, shift
+/// by `-WEIGHT_MIN` into `0..=255`. `None` when the weight rounds to zero
+/// ("0 is omitted" — no signal).
+#[inline]
+fn weight_byte(w: f64) -> Option<u8> {
+    let rounded = w.round() as i32; // db-lint: allow(wire-cast) — f64→i32 `as` saturates by definition; clamp() then pins the encodable range
+    let stored = rounded.clamp(WEIGHT_MIN, WEIGHT_MAX);
+    if stored == 0 {
+        None
+    } else {
+        Some(u8::try_from(stored - WEIGHT_MIN).unwrap_or(0))
     }
 }
 

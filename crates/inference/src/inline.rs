@@ -110,6 +110,7 @@ impl InlineInference {
     /// `from_pairs` fold). Used by the header decoder; the caller restores
     /// the invariants with [`normalize`](Self::normalize) once all slots are
     /// read.
+    // db-lint: allow(hot-index, hot-panic) — entries is a fixed INLINE_CAP array; the overflow assert pins len below it
     pub(crate) fn accumulate(&mut self, link: LinkId, w: f64) {
         for e in &mut self.entries[..self.len] {
             if e.0 == link {
@@ -125,6 +126,7 @@ impl InlineInference {
     /// Restore the invariants after raw [`accumulate`](Self::accumulate)s:
     /// drop exact-zero weights (including `-0.0`, like `Inference`'s
     /// `retain(w != 0.0)`) and re-establish the canonical order.
+    // db-lint: allow(hot-index) — both cursors stay below self.len ≤ INLINE_CAP
     pub(crate) fn normalize(&mut self) {
         let mut w = 0;
         for i in 0..self.len {
@@ -184,6 +186,7 @@ impl InlineInference {
     }
 
     /// Highest weight `w0`, or 0.0 when empty.
+    // db-lint: allow(hot-index) — index 0 guarded by the len check
     pub fn w0(&self) -> f64 {
         if self.len > 0 {
             self.entries[0].1
@@ -193,6 +196,7 @@ impl InlineInference {
     }
 
     /// Second-highest weight `w1`, or 0.0 when fewer than two entries.
+    // db-lint: allow(hot-index) — index 1 guarded by the len check
     pub fn w1(&self) -> f64 {
         if self.len > 1 {
             self.entries[1].1

@@ -75,7 +75,7 @@ mod tests {
         let events = buf.take();
         assert_eq!(events.len(), 1);
         assert_eq!(events[0].target, "inference.warning");
-        let fields: std::collections::HashMap<_, _> = events[0]
+        let fields: std::collections::BTreeMap<_, _> = events[0]
             .fields
             .iter()
             .map(|(k, v)| (k.as_str(), v.as_str()))

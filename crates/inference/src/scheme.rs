@@ -84,7 +84,10 @@ pub fn local_inference<'a>(
     scheme: WeightScheme,
     k: usize,
 ) -> Inference {
-    let mut weights: std::collections::HashMap<LinkId, f64> = std::collections::HashMap::new();
+    // BTreeMap keeps accumulation order independent of the process hash
+    // seed; `from_pairs` sorts anyway, but float accumulation order must
+    // also be stable for bit-identical weights.
+    let mut weights: std::collections::BTreeMap<LinkId, f64> = std::collections::BTreeMap::new();
     for (status, upstream) in flows {
         let c = scheme.contribution(status, upstream.len());
         if c == 0.0 {

@@ -1,0 +1,168 @@
+//! The grandfathered-findings baseline and its ratchet.
+//!
+//! `lint.baseline.json` maps `"file:rule"` → count. A run regresses iff the
+//! actual count for some key exceeds the baselined count, or a finding
+//! appears under a key with no baseline entry. When a count drops below its
+//! baseline the run still passes but reports the slack, so the baseline can
+//! be ratcheted down with `--write-baseline`.
+
+use crate::findings::{escape, Finding};
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// `"file:rule"` → grandfathered finding count.
+    pub entries: BTreeMap<String, usize>,
+}
+
+/// Outcome of comparing a run against the baseline.
+#[derive(Debug, Clone, Default)]
+pub struct Ratchet {
+    /// Findings not covered by the baseline (these fail the run).
+    pub regressions: Vec<Finding>,
+    /// Keys whose actual count is below baseline — candidates for ratchet.
+    pub slack: Vec<(String, usize, usize)>, // (key, baselined, actual)
+    /// Baseline keys with zero actual findings (stale entries).
+    pub stale: Vec<String>,
+}
+
+impl Baseline {
+    pub fn key_of(f: &Finding) -> String {
+        format!("{}:{}", f.file, f.rule)
+    }
+
+    /// Build a baseline covering exactly the given findings.
+    pub fn from_findings(findings: &[Finding]) -> Baseline {
+        let mut entries = BTreeMap::new();
+        for f in findings {
+            *entries.entry(Self::key_of(f)).or_insert(0) += 1;
+        }
+        Baseline { entries }
+    }
+
+    /// Compare `findings` against the baseline.
+    ///
+    /// Within a key, the first `baselined` findings (in line order) are
+    /// forgiven; the excess are regressions. That keeps the common case —
+    /// someone adds a new violation to an already-baselined file — pointing
+    /// at a concrete line even though the baseline only stores counts.
+    pub fn ratchet(&self, findings: &[Finding]) -> Ratchet {
+        let mut by_key: BTreeMap<String, Vec<&Finding>> = BTreeMap::new();
+        for f in findings {
+            by_key.entry(Self::key_of(f)).or_default().push(f);
+        }
+        let mut out = Ratchet::default();
+        for (key, fs) in &by_key {
+            let allowed = self.entries.get(key).copied().unwrap_or(0);
+            if fs.len() > allowed {
+                out.regressions
+                    .extend(fs[allowed..].iter().map(|f| (*f).clone()));
+            } else if fs.len() < allowed {
+                out.slack.push((key.clone(), allowed, fs.len()));
+            }
+        }
+        for key in self.entries.keys() {
+            if !by_key.contains_key(key) {
+                out.stale.push(key.clone());
+            }
+        }
+        out
+    }
+
+    pub fn total(&self) -> usize {
+        self.entries.values().sum()
+    }
+
+    /// Parse `lint.baseline.json`. The format is a flat JSON object of
+    /// string keys to integer counts; this parser accepts exactly that.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut entries = BTreeMap::new();
+        let body = text.trim();
+        let body = body
+            .strip_prefix('{')
+            .and_then(|b| b.strip_suffix('}'))
+            .ok_or("baseline: expected a JSON object")?;
+        // Split on commas outside strings; keys never contain quotes.
+        for part in split_top(body) {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (k, v) = part
+                .rsplit_once(':')
+                .ok_or_else(|| format!("baseline: bad entry `{part}`"))?;
+            let key = k
+                .trim()
+                .strip_prefix('"')
+                .and_then(|k| k.strip_suffix('"'))
+                .ok_or_else(|| format!("baseline: unquoted key `{k}`"))?;
+            let count: usize = v
+                .trim()
+                .parse()
+                .map_err(|e| format!("baseline: bad count for `{key}`: {e}"))?;
+            entries.insert(unescape(key), count);
+        }
+        Ok(Baseline { entries })
+    }
+
+    pub fn load(path: &std::path::Path) -> Result<Baseline, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        Baseline::parse(&text)
+    }
+
+    pub fn render(&self) -> String {
+        let mut out = String::from("{\n");
+        let n = self.entries.len();
+        for (i, (k, v)) in self.entries.iter().enumerate() {
+            out.push_str(&format!("  \"{}\": {}", escape(k), v));
+            out.push_str(if i + 1 < n { ",\n" } else { "\n" });
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Split a JSON object body on commas outside quoted strings.
+fn split_top(body: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut start = 0;
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in body.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_str => escaped = true,
+            '"' => in_str = !in_str,
+            ',' if !in_str => {
+                parts.push(&body[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(&body[start..]);
+    parts
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some('t') => out.push('\t'),
+                Some('r') => out.push('\r'),
+                Some(other) => out.push(other),
+                None => {}
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}

@@ -1,0 +1,169 @@
+//! `lint.toml` — the checked-in tier declaration.
+//!
+//! The workspace builds offline, so this is a deliberately small TOML
+//! subset parser covering exactly what the tier config needs: `[section]`
+//! headers, `key = "string"`, `key = ["a", "b"]` (single-line or spread
+//! over multiple lines), and `#` comments. Anything else is a hard error —
+//! a config typo must fail CI, not silently disable a tier.
+
+use std::collections::BTreeMap;
+
+/// The three rule tiers of DESIGN.md §12.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LintConfig {
+    /// Crate directory names (under `crates/`) whose code must be
+    /// deterministic. The root package is addressed as `.`.
+    pub deterministic_crates: Vec<String>,
+    /// Per-file hot-path function lists: workspace-relative path → names of
+    /// the functions the hot-path rules apply to.
+    pub hotpath: BTreeMap<String, Vec<String>>,
+    /// Workspace-relative paths of wire-format modules.
+    pub wire_files: Vec<String>,
+}
+
+impl LintConfig {
+    /// Parse the contents of a `lint.toml`.
+    pub fn parse(text: &str) -> Result<LintConfig, String> {
+        let doc = parse_toml_subset(text)?;
+        let mut cfg = LintConfig::default();
+        for (section, entries) in &doc {
+            match section.as_str() {
+                "deterministic" => {
+                    for (k, v) in entries {
+                        match (k.as_str(), v) {
+                            ("crates", Value::Array(a)) => cfg.deterministic_crates = a.clone(),
+                            _ => return Err(format!("[deterministic]: unknown key `{k}`")),
+                        }
+                    }
+                }
+                "hotpath" => {
+                    for (k, v) in entries {
+                        match v {
+                            Value::Array(a) => {
+                                cfg.hotpath.insert(k.clone(), a.clone());
+                            }
+                            _ => return Err(format!("[hotpath]: `{k}` must list function names")),
+                        }
+                    }
+                }
+                "wire" => {
+                    for (k, v) in entries {
+                        match (k.as_str(), v) {
+                            ("files", Value::Array(a)) => cfg.wire_files = a.clone(),
+                            _ => return Err(format!("[wire]: unknown key `{k}`")),
+                        }
+                    }
+                }
+                other => return Err(format!("unknown section [{other}]")),
+            }
+        }
+        Ok(cfg)
+    }
+
+    /// Load from a file path.
+    pub fn load(path: &std::path::Path) -> Result<LintConfig, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        LintConfig::parse(&text)
+    }
+
+    /// Whether `rel_path` belongs to a deterministic-tier crate.
+    pub fn is_deterministic(&self, rel_path: &str) -> bool {
+        let krate = crate_of(rel_path);
+        self.deterministic_crates.iter().any(|c| c == krate)
+    }
+
+    /// Hot-path function names for `rel_path`, if any.
+    pub fn hotpath_fns(&self, rel_path: &str) -> Option<&[String]> {
+        self.hotpath.get(rel_path).map(Vec::as_slice)
+    }
+
+    /// Whether `rel_path` is a wire-tier module.
+    pub fn is_wire(&self, rel_path: &str) -> bool {
+        self.wire_files.iter().any(|f| f == rel_path)
+    }
+}
+
+/// The crate directory a workspace-relative path belongs to (`.` for the
+/// root package's `src/`).
+pub fn crate_of(rel_path: &str) -> &str {
+    match rel_path.strip_prefix("crates/") {
+        Some(rest) => rest.split('/').next().unwrap_or(rest),
+        None => ".",
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Str(String),
+    Array(Vec<String>),
+}
+
+type Doc = Vec<(String, Vec<(String, Value)>)>;
+
+fn parse_toml_subset(text: &str) -> Result<Doc, String> {
+    let mut doc: Doc = Vec::new();
+    let mut lines = text.lines().enumerate().peekable();
+    while let Some((idx, raw)) = lines.next() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            doc.push((name.trim().to_string(), Vec::new()));
+            continue;
+        }
+        let Some(eq) = line.find('=') else {
+            return Err(format!("line {}: expected `key = value`", idx + 1));
+        };
+        let key = unquote(line[..eq].trim());
+        let mut value = line[eq + 1..].trim().to_string();
+        // A multi-line array: keep consuming lines until the `]`.
+        while value.starts_with('[') && !balanced(&value) {
+            let Some((_, next)) = lines.next() else {
+                return Err(format!("line {}: unterminated array", idx + 1));
+            };
+            value.push(' ');
+            value.push_str(strip_comment(next).trim());
+        }
+        let parsed = if let Some(body) = value.strip_prefix('[').and_then(|v| v.strip_suffix(']')) {
+            Value::Array(
+                body.split(',')
+                    .map(|e| unquote(e.trim()))
+                    .filter(|e| !e.is_empty())
+                    .collect(),
+            )
+        } else {
+            Value::Str(unquote(&value))
+        };
+        match doc.last_mut() {
+            Some((_, entries)) => entries.push((key, parsed)),
+            None => return Err(format!("line {}: key before any [section]", idx + 1)),
+        }
+    }
+    Ok(doc)
+}
+
+/// Strip a `#` comment, respecting quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn balanced(value: &str) -> bool {
+    value.contains(']')
+}
+
+fn unquote(s: &str) -> String {
+    s.strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .unwrap_or(s)
+        .to_string()
+}

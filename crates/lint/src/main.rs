@@ -1,0 +1,187 @@
+//! `db-lint` CLI: `cargo run -p db-lint -- check [flags]`.
+
+use db_lint::baseline::Baseline;
+use db_lint::config::LintConfig;
+use db_lint::findings::{escape, render_json, render_table};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+db-lint — Drift-Bottle workspace invariant checker
+
+USAGE:
+  db-lint check [--deny] [--format=table|json] [--baseline=PATH]
+                [--config=PATH] [--root=PATH] [--write-baseline]
+  db-lint rules
+
+FLAGS:
+  --deny             exit non-zero when findings regress past the baseline
+  --format=FMT       report format: table (default) or json
+  --baseline=PATH    baseline file (default: <root>/lint.baseline.json)
+  --config=PATH      tier config (default: <root>/lint.toml)
+  --root=PATH        workspace root (default: nearest dir with lint.toml)
+  --write-baseline   regenerate the baseline from the current findings
+";
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("db-lint: error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprint!("{USAGE}");
+        return Ok(ExitCode::from(2));
+    };
+    match cmd.as_str() {
+        "rules" => {
+            for (id, desc) in db_lint::rules::ALL_RULES {
+                println!("{id:15} {desc}");
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        "check" => check(&args[1..]),
+        "--help" | "-h" | "help" => {
+            print!("{USAGE}");
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    }
+}
+
+fn check(args: &[String]) -> Result<ExitCode, String> {
+    let mut deny = false;
+    let mut write_baseline = false;
+    let mut format = "table".to_string();
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut config_path: Option<PathBuf> = None;
+    let mut root: Option<PathBuf> = None;
+    for a in args {
+        if a == "--deny" {
+            deny = true;
+        } else if a == "--write-baseline" {
+            write_baseline = true;
+        } else if let Some(v) = a.strip_prefix("--format=") {
+            format = v.to_string();
+        } else if let Some(v) = a.strip_prefix("--baseline=") {
+            baseline_path = Some(PathBuf::from(v));
+        } else if let Some(v) = a.strip_prefix("--config=") {
+            config_path = Some(PathBuf::from(v));
+        } else if let Some(v) = a.strip_prefix("--root=") {
+            root = Some(PathBuf::from(v));
+        } else {
+            return Err(format!("unknown flag `{a}`\n{USAGE}"));
+        }
+    }
+    if format != "table" && format != "json" {
+        return Err(format!("--format must be table or json, got `{format}`"));
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => find_root()?,
+    };
+    let config_path = config_path.unwrap_or_else(|| root.join("lint.toml"));
+    let baseline_path = baseline_path.unwrap_or_else(|| root.join("lint.baseline.json"));
+
+    let cfg = LintConfig::load(&config_path)?;
+    let baseline = if baseline_path.exists() {
+        Baseline::load(&baseline_path)?
+    } else {
+        Baseline::default()
+    };
+
+    let report = db_lint::run_with_baseline(&root, &cfg, &baseline)?;
+
+    if write_baseline {
+        let new = Baseline::from_findings(&report.findings);
+        std::fs::write(&baseline_path, new.render())
+            .map_err(|e| format!("writing {}: {e}", baseline_path.display()))?;
+        eprintln!(
+            "db-lint: wrote {} ({} grandfathered findings)",
+            baseline_path.display(),
+            new.total()
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let regressed = !report.ratchet.regressions.is_empty();
+    match format.as_str() {
+        "json" => print!("{}", json_report(&report)),
+        _ => {
+            if regressed {
+                print!("{}", render_table(&report.ratchet.regressions));
+            }
+            for (key, base, actual) in &report.ratchet.slack {
+                eprintln!(
+                    "db-lint: note: `{key}` is below baseline ({actual} < {base}) — ratchet down with --write-baseline"
+                );
+            }
+            for key in &report.ratchet.stale {
+                eprintln!(
+                    "db-lint: note: baseline entry `{key}` has no findings — ratchet down with --write-baseline"
+                );
+            }
+            eprintln!(
+                "db-lint: {} files, {} findings ({} grandfathered), {} regression(s)",
+                report.files_scanned,
+                report.findings.len(),
+                report.baseline_total,
+                report.ratchet.regressions.len()
+            );
+        }
+    }
+    if regressed && deny {
+        Ok(ExitCode::FAILURE)
+    } else {
+        Ok(ExitCode::SUCCESS)
+    }
+}
+
+/// Walk up from the current directory to the nearest `lint.toml`.
+fn find_root() -> Result<PathBuf, String> {
+    let mut dir = std::env::current_dir().map_err(|e| format!("getcwd: {e}"))?;
+    loop {
+        if dir.join("lint.toml").exists() {
+            return Ok(dir);
+        }
+        if !dir.pop() {
+            return Err("no lint.toml found here or in any parent directory".into());
+        }
+    }
+}
+
+fn json_report(report: &db_lint::Report) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("\"files_scanned\": {},\n", report.files_scanned));
+    out.push_str(&format!("\"baseline_total\": {},\n", report.baseline_total));
+    out.push_str(&format!("\"findings_total\": {},\n", report.findings.len()));
+    out.push_str("\"regressions\": ");
+    out.push_str(&render_json(&report.ratchet.regressions));
+    out.push_str(",\n\"slack\": [");
+    for (i, (key, base, actual)) in report.ratchet.slack.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!(
+            "{{\"key\": \"{}\", \"baseline\": {base}, \"actual\": {actual}}}",
+            escape(key)
+        ));
+    }
+    out.push_str("],\n\"stale\": [");
+    for (i, key) in report.ratchet.stale.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("\"{}\"", escape(key)));
+    }
+    out.push_str("]\n}\n");
+    out
+}

@@ -1,0 +1,462 @@
+//! Source scanning: comment/string scrubbing, allow-annotation harvesting,
+//! and line/scope classification (test code, function spans).
+//!
+//! The workspace builds offline, so there is no `syn` to lean on. Instead a
+//! character-level state machine blanks out comments and string/char
+//! literals (preserving line structure), and a second pass over the
+//! scrubbed text tracks brace depth to recover the two scopes the rules
+//! care about: which `fn` a line belongs to, and whether it sits inside
+//! test code (`#[cfg(test)]` modules, `#[test]` functions, or an
+//! integration-test/bench/example file).
+//!
+//! Scrubbing means matchers never false-positive on prose: `"HashMap"` in a
+//! doc comment, a rule id inside a string literal, or `panic!` quoted in an
+//! error message are all invisible to the rules.
+
+use std::collections::BTreeSet;
+
+/// An allow escape hatch found in a comment: `db-lint:` followed by an
+/// `allow` list naming rule ids, then `— reason`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Allow {
+    /// Rule ids the annotation suppresses.
+    pub rules: BTreeSet<String>,
+    /// The justification text after the rule list (may be empty — the
+    /// engine reports reason-less allows as findings of their own).
+    pub reason: String,
+    /// 1-based line the allow *applies to* (the same line for a trailing
+    /// comment, the next line for a comment-only line).
+    pub applies_to: usize,
+    /// 1-based line the comment itself sits on.
+    pub at: usize,
+}
+
+/// One `fn` body, by 1-based line span (signature line through closing
+/// brace). Nested functions produce nested spans; rules match a line to the
+/// innermost span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FnSpan {
+    /// Function name as written.
+    pub name: String,
+    /// Line of the `fn` keyword.
+    pub first_line: usize,
+    /// Line of the matching closing brace.
+    pub last_line: usize,
+}
+
+/// A scanned source file: scrubbed text plus scope metadata.
+#[derive(Debug)]
+pub struct ScannedFile {
+    /// Workspace-relative path with forward slashes.
+    pub rel_path: String,
+    /// Scrubbed lines: comments and string/char-literal contents replaced
+    /// by spaces, line count identical to the raw file.
+    pub scrubbed: Vec<String>,
+    /// `test[i]` — whether line `i + 1` is inside test code.
+    pub test: Vec<bool>,
+    /// All function spans, in source order.
+    pub fns: Vec<FnSpan>,
+    /// All allow annotations, in source order.
+    pub allows: Vec<Allow>,
+}
+
+impl ScannedFile {
+    /// Scan `content` as the file at `rel_path`.
+    pub fn scan(rel_path: &str, content: &str) -> ScannedFile {
+        let (scrubbed_text, allows) = scrub(content);
+        let scrubbed: Vec<String> = scrubbed_text.lines().map(str::to_string).collect();
+        let file_is_test = is_test_path(rel_path);
+        let (test, fns) = classify(&scrubbed, file_is_test);
+        ScannedFile {
+            rel_path: rel_path.to_string(),
+            scrubbed,
+            test,
+            fns,
+            allows,
+        }
+    }
+
+    /// Whether 1-based `line` is test code.
+    pub fn is_test_line(&self, line: usize) -> bool {
+        self.test
+            .get(line.saturating_sub(1))
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// Whether `rule` is allowed (with any reason) on 1-based `line`.
+    ///
+    /// An annotation is line-scoped, except when it lands on a `fn`
+    /// signature line (trailing, or on the comment line directly above):
+    /// then it covers the whole function body. Hot-path functions index
+    /// dense per-packet state on most lines — a single justified exemption
+    /// at the signature beats an annotation per line.
+    pub fn is_allowed(&self, rule: &str, line: usize) -> bool {
+        self.allows.iter().any(|a| {
+            if !a.rules.contains(rule) {
+                return false;
+            }
+            if a.applies_to == line {
+                return true;
+            }
+            self.fns.iter().any(|f| {
+                f.first_line == a.applies_to && f.first_line <= line && line <= f.last_line
+            })
+        })
+    }
+
+    /// The name of the innermost function containing 1-based `line`.
+    pub fn enclosing_fn(&self, line: usize) -> Option<&str> {
+        self.fns
+            .iter()
+            .filter(|f| f.first_line <= line && line <= f.last_line)
+            .min_by_key(|f| f.last_line - f.first_line)
+            .map(|f| f.name.as_str())
+    }
+}
+
+/// Whether a workspace-relative path is test-only by location: integration
+/// tests, benches, examples, and `*_tests.rs` modules (compiled only under
+/// `cfg(test)`, like `core/src/analysis_tests.rs`).
+fn is_test_path(rel_path: &str) -> bool {
+    let by_dir = rel_path
+        .split('/')
+        .any(|seg| seg == "tests" || seg == "benches" || seg == "examples");
+    let by_stem = rel_path
+        .rsplit('/')
+        .next()
+        .is_some_and(|f| f.ends_with("_tests.rs"));
+    by_dir || by_stem
+}
+
+// ---- pass 1: scrubbing ----------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Mode {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+    CharLit,
+}
+
+/// Blank comments and string/char literals to spaces (newlines preserved),
+/// harvesting `db-lint:` allow annotations from comments along the way.
+fn scrub(content: &str) -> (String, Vec<Allow>) {
+    let chars: Vec<char> = content.chars().collect();
+    let mut out = String::with_capacity(content.len());
+    let mut allows = Vec::new();
+    let mut mode = Mode::Code;
+    let mut line = 1usize;
+    // Text of the comment currently being consumed (for allow parsing).
+    let mut comment = String::new();
+    // Whether any code appeared on the current line before the comment.
+    let mut code_on_line = false;
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            if matches!(mode, Mode::LineComment) {
+                flush_comment(&mut comment, line, code_on_line, &mut allows);
+                mode = Mode::Code;
+            }
+            out.push('\n');
+            line += 1;
+            code_on_line = false;
+            i += 1;
+            continue;
+        }
+        match mode {
+            Mode::Code => {
+                if c == '/' && chars.get(i + 1) == Some(&'/') {
+                    mode = Mode::LineComment;
+                    comment.clear();
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    mode = Mode::BlockComment(1);
+                    comment.clear();
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                } else if c == '"' {
+                    mode = Mode::Str;
+                    out.push('"');
+                    i += 1;
+                } else if c == 'r'
+                    && !prev_is_ident(&chars, i)
+                    && raw_str_hashes(&chars, i + 1).is_some()
+                {
+                    let hashes = raw_str_hashes(&chars, i + 1).expect("checked");
+                    // Skip r, the hashes and the opening quote.
+                    out.push('r');
+                    for _ in 0..hashes {
+                        out.push('#');
+                    }
+                    out.push('"');
+                    i += 1 + hashes as usize + 1;
+                    mode = Mode::RawStr(hashes);
+                } else if c == 'b' && !prev_is_ident(&chars, i) && chars.get(i + 1) == Some(&'"') {
+                    out.push('b');
+                    out.push('"');
+                    i += 2;
+                    mode = Mode::Str;
+                } else if c == '\'' {
+                    // Char literal vs lifetime/label. A char literal is
+                    // `'x'` or `'\..'`; anything else (`'a` in `<'a>`,
+                    // `'outer:`) is a lifetime and stays code.
+                    if chars.get(i + 1) == Some(&'\\') {
+                        mode = Mode::CharLit;
+                        out.push('\'');
+                        i += 1;
+                    } else if chars.get(i + 2) == Some(&'\'') && chars.get(i + 1) != Some(&'\'') {
+                        out.push('\'');
+                        out.push(' ');
+                        out.push('\'');
+                        i += 3;
+                        code_on_line = true;
+                    } else {
+                        out.push('\'');
+                        i += 1;
+                        code_on_line = true;
+                    }
+                } else {
+                    if !c.is_whitespace() {
+                        code_on_line = true;
+                    }
+                    out.push(c);
+                    i += 1;
+                }
+            }
+            Mode::LineComment => {
+                comment.push(c);
+                out.push(' ');
+                i += 1;
+            }
+            Mode::BlockComment(depth) => {
+                if c == '*' && chars.get(i + 1) == Some(&'/') {
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                    if depth == 1 {
+                        flush_comment(&mut comment, line, code_on_line, &mut allows);
+                        mode = Mode::Code;
+                    } else {
+                        mode = Mode::BlockComment(depth - 1);
+                    }
+                } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                    mode = Mode::BlockComment(depth + 1);
+                } else {
+                    comment.push(c);
+                    out.push(' ');
+                    i += 1;
+                }
+            }
+            Mode::Str => {
+                if c == '\\' {
+                    out.push(' ');
+                    if chars.get(i + 1).is_some_and(|&n| n != '\n') {
+                        out.push(' ');
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                } else if c == '"' {
+                    out.push('"');
+                    i += 1;
+                    mode = Mode::Code;
+                } else {
+                    out.push(' ');
+                    i += 1;
+                }
+            }
+            Mode::RawStr(hashes) => {
+                if c == '"' && closes_raw(&chars, i + 1, hashes) {
+                    out.push('"');
+                    for _ in 0..hashes {
+                        out.push('#');
+                    }
+                    i += 1 + hashes as usize;
+                    mode = Mode::Code;
+                } else {
+                    out.push(' ');
+                    i += 1;
+                }
+            }
+            Mode::CharLit => {
+                if c == '\\' {
+                    out.push(' ');
+                    if chars.get(i + 1).is_some_and(|&n| n != '\n') {
+                        out.push(' ');
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                } else if c == '\'' {
+                    out.push('\'');
+                    i += 1;
+                    mode = Mode::Code;
+                } else {
+                    out.push(' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    if matches!(mode, Mode::LineComment) {
+        flush_comment(&mut comment, line, code_on_line, &mut allows);
+    }
+    (out, allows)
+}
+
+fn prev_is_ident(chars: &[char], i: usize) -> bool {
+    i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_')
+}
+
+/// If `chars[from..]` is `#*"` (zero or more hashes then a quote), the hash
+/// count — i.e. position `from` starts a raw-string body prefix.
+fn raw_str_hashes(chars: &[char], from: usize) -> Option<u32> {
+    let mut n = 0u32;
+    let mut i = from;
+    while chars.get(i) == Some(&'#') {
+        n += 1;
+        i += 1;
+    }
+    (chars.get(i) == Some(&'"')).then_some(n)
+}
+
+fn closes_raw(chars: &[char], from: usize, hashes: u32) -> bool {
+    (0..hashes as usize).all(|k| chars.get(from + k) == Some(&'#'))
+}
+
+/// Parse a finished comment for a `db-lint:` allow directive.
+fn flush_comment(comment: &mut String, line: usize, code_on_line: bool, allows: &mut Vec<Allow>) {
+    let text = std::mem::take(comment);
+    let Some(at) = text.find("db-lint:") else {
+        return;
+    };
+    let rest = text[at + "db-lint:".len()..].trim_start();
+    let Some(rest) = rest.strip_prefix("allow(") else {
+        return;
+    };
+    let Some(close) = rest.find(')') else {
+        return;
+    };
+    let rules: BTreeSet<String> = rest[..close]
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    // The reason is whatever follows the rule list, minus separator
+    // punctuation (`—`, `--`, `-`, `:`).
+    let reason = rest[close + 1..]
+        .trim_start_matches(|c: char| c.is_whitespace() || c == '—' || c == '-' || c == ':')
+        .trim()
+        .to_string();
+    allows.push(Allow {
+        rules,
+        reason,
+        applies_to: if code_on_line { line } else { line + 1 },
+        at: line,
+    });
+}
+
+// ---- pass 2: scope classification -----------------------------------------
+
+/// One entry per `{` encountered.
+#[derive(Debug, Clone, Copy)]
+struct Open {
+    /// Index into the result `fns` vec, when this brace opened a fn body.
+    fn_idx: Option<usize>,
+    /// Whether this scope switched test mode on (attribute-carried).
+    is_test: bool,
+}
+
+/// Walk the scrubbed lines tracking brace depth; produce the per-line test
+/// mask and the function spans.
+fn classify(scrubbed: &[String], file_is_test: bool) -> (Vec<bool>, Vec<FnSpan>) {
+    let mut test = vec![file_is_test; scrubbed.len()];
+    let mut fns: Vec<FnSpan> = Vec::new();
+    let mut stack: Vec<Open> = Vec::new();
+    let mut test_depth = 0usize;
+    // A `#[test]`/`#[cfg(test)]` attribute seen, waiting for the body it
+    // annotates (cleared by `;` — module declarations, cfg'd use items).
+    let mut pending_test_attr = false;
+    // A `fn name` seen, waiting for its body `{` (or `;` for a trait decl).
+    let mut pending_fn: Option<(String, usize)> = None;
+
+    for (idx, line) in scrubbed.iter().enumerate() {
+        let lineno = idx + 1;
+        if line.contains("#[cfg(test)]") || line.contains("#[test]") {
+            pending_test_attr = true;
+        }
+        let bytes = line.as_bytes();
+        let mut i = 0usize;
+        while i < bytes.len() {
+            let c = bytes[i] as char;
+            if c.is_ascii_alphabetic() || c == '_' {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                if &line[start..i] == "fn" {
+                    let name: String = line[i..]
+                        .trim_start()
+                        .chars()
+                        .take_while(|c| c.is_alphanumeric() || *c == '_')
+                        .collect();
+                    if !name.is_empty() {
+                        pending_fn = Some((name, lineno));
+                    }
+                }
+                continue;
+            }
+            match c {
+                '{' => {
+                    let fn_idx = pending_fn.take().map(|(name, first_line)| {
+                        fns.push(FnSpan {
+                            name,
+                            first_line,
+                            last_line: first_line,
+                        });
+                        fns.len() - 1
+                    });
+                    let is_test = std::mem::take(&mut pending_test_attr);
+                    if is_test {
+                        test_depth += 1;
+                    }
+                    stack.push(Open { fn_idx, is_test });
+                }
+                '}' => {
+                    if let Some(open) = stack.pop() {
+                        if let Some(fi) = open.fn_idx {
+                            fns[fi].last_line = lineno;
+                        }
+                        if open.is_test {
+                            test_depth = test_depth.saturating_sub(1);
+                        }
+                    }
+                }
+                ';' => {
+                    // Trait method declarations (`fn f();`) and annotated
+                    // non-block items (`#[cfg(test)] mod x;`).
+                    pending_fn = None;
+                    pending_test_attr = false;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        if test_depth > 0 {
+            test[idx] = true;
+        }
+    }
+    (test, fns)
+}

@@ -1,0 +1,152 @@
+//! Rule-by-rule fixture tests: every rule has a positive fixture that must
+//! trip exactly that rule and a negative twin that must scan clean. Each
+//! fixture is staged into a throwaway root at the path that puts it in the
+//! right tier, then checked both through the library and — for positives —
+//! through the real binary with `--deny` (which must exit non-zero).
+
+use db_lint::config::LintConfig;
+use db_lint::run_check;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+/// The tier layout every fixture root gets: `util` and `core` are
+/// deterministic, `crates/core/src/hot.rs` has one hot fn, and
+/// `crates/core/src/wire.rs` is wire tier.
+const FIXTURE_LINT_TOML: &str = r#"
+[deterministic]
+crates = ["util", "core"]
+
+[hotpath]
+"crates/core/src/hot.rs" = ["hot_fn"]
+
+[wire]
+files = ["crates/core/src/wire.rs"]
+"#;
+
+/// Where a fixture lands inside the staged root, by rule family.
+fn placement(rule: &str) -> &'static str {
+    if rule.starts_with("hot-") {
+        "crates/core/src/hot.rs"
+    } else if rule.starts_with("wire-") {
+        "crates/core/src/wire.rs"
+    } else {
+        // det-* and allow-reason: any deterministic-tier file.
+        "crates/util/src/fixture.rs"
+    }
+}
+
+fn fixtures_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+/// Stage `fixture` into a fresh root laid out for its rule and return the
+/// root. Roots are per-test-case so parallel tests never collide.
+fn stage(rule: &str, fixture: &str) -> PathBuf {
+    let root = std::env::temp_dir()
+        .join("db-lint-fixtures")
+        .join(fixture.trim_end_matches(".rs"));
+    if root.exists() {
+        fs::remove_dir_all(&root).expect("clear stale fixture root");
+    }
+    let dest = root.join(placement(rule));
+    fs::create_dir_all(dest.parent().expect("placement has a parent")).expect("mkdir");
+    fs::copy(fixtures_dir().join(fixture), &dest).expect("copy fixture");
+    fs::write(root.join("lint.toml"), FIXTURE_LINT_TOML).expect("write lint.toml");
+    root
+}
+
+fn check(root: &Path) -> Vec<db_lint::findings::Finding> {
+    let cfg = LintConfig::load(&root.join("lint.toml")).expect("fixture config parses");
+    run_check(root, &cfg).expect("scan succeeds")
+}
+
+/// Every rule id with its fixture pair.
+const CASES: &[&str] = &[
+    "det-hash-iter",
+    "det-time",
+    "det-float-eq",
+    "det-rng",
+    "hot-panic",
+    "hot-index",
+    "hot-alloc",
+    "wire-cast",
+    "wire-endian",
+    "wire-symmetry",
+    "allow-reason",
+];
+
+fn fixture_name(rule: &str, suffix: &str) -> String {
+    format!("{}_{suffix}.rs", rule.replace('-', "_"))
+}
+
+#[test]
+fn every_positive_fixture_trips_exactly_its_rule() {
+    for rule in CASES {
+        let root = stage(rule, &fixture_name(rule, "pos"));
+        let findings = check(&root);
+        assert!(
+            !findings.is_empty(),
+            "{rule}: positive fixture produced no findings"
+        );
+        for f in &findings {
+            assert_eq!(
+                f.rule, *rule,
+                "{rule}: positive fixture tripped {} at {}:{}",
+                f.rule, f.file, f.line
+            );
+        }
+    }
+}
+
+#[test]
+fn every_negative_fixture_scans_clean() {
+    for rule in CASES {
+        let root = stage(rule, &fixture_name(rule, "neg"));
+        let findings = check(&root);
+        assert!(
+            findings.is_empty(),
+            "{rule}: negative fixture tripped {:?}",
+            findings
+                .iter()
+                .map(|f| format!("{} at {}:{}", f.rule, f.file, f.line))
+                .collect::<Vec<_>>()
+        );
+    }
+}
+
+#[test]
+fn deny_exits_nonzero_on_each_violation_fixture() {
+    for rule in CASES {
+        let root = stage(rule, &fixture_name(rule, "pos"));
+        let out = Command::new(env!("CARGO_BIN_EXE_db-lint"))
+            .arg("check")
+            .arg("--deny")
+            .arg(format!("--root={}", root.display()))
+            .output()
+            .expect("run db-lint");
+        assert!(
+            !out.status.success(),
+            "{rule}: `check --deny` exited 0 on the violation fixture\nstderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+}
+
+#[test]
+fn deny_exits_zero_on_clean_fixture_roots() {
+    for rule in CASES {
+        let root = stage(rule, &fixture_name(rule, "neg"));
+        let out = Command::new(env!("CARGO_BIN_EXE_db-lint"))
+            .arg("check")
+            .arg("--deny")
+            .arg(format!("--root={}", root.display()))
+            .output()
+            .expect("run db-lint");
+        assert!(
+            out.status.success(),
+            "{rule}: `check --deny` failed on the clean fixture\nstderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+}

@@ -1,0 +1,8 @@
+//! Negative: a reasoned allow suppresses the rule and reports nothing.
+
+// db-lint: allow(det-hash-iter) — keyed lookup only, never iterated
+use std::collections::HashMap as Table;
+
+pub fn lookup(m: &Table<u32, u32>, k: u32) -> Option<u32> {
+    m.get(&k).copied()
+}

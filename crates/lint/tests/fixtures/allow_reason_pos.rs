@@ -1,0 +1,9 @@
+//! Positive: the escape hatch without a reason is itself a violation
+//! (the named rule is still suppressed; the empty reason is reported).
+
+// db-lint: allow(det-hash-iter)
+use std::collections::HashMap as Table;
+
+pub fn lookup(m: &Table<u32, u32>, k: u32) -> Option<u32> {
+    m.get(&k).copied()
+}

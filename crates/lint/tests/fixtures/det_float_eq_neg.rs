@@ -1,0 +1,5 @@
+//! Negative: exact-zero compares are the deliberate "no weight" idiom,
+//! and ordered compares are always fine.
+pub fn keep(w: f64) -> bool {
+    w != 0.0 && w <= 1.5
+}

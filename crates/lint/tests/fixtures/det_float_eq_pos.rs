@@ -1,0 +1,4 @@
+//! Positive: equality against a non-zero float literal.
+pub fn is_unit(w: f64) -> bool {
+    w == 1.5
+}

@@ -1,0 +1,10 @@
+//! Negative: ordered collections carry no hash-seed nondeterminism.
+use std::collections::BTreeMap;
+
+pub fn count(xs: &[u32]) -> BTreeMap<u32, u32> {
+    let mut m = BTreeMap::new();
+    for &x in xs {
+        *m.entry(x).or_insert(0) += 1;
+    }
+    m
+}

@@ -1,0 +1,5 @@
+//! Positive: ambient randomness outside the seeded db-util RNG.
+pub fn coin() -> bool {
+    let r = rand::thread_rng();
+    r.gen()
+}

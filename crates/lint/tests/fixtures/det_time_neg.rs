@@ -1,0 +1,4 @@
+//! Negative: simulated time is a plain counter the scenario advances.
+pub fn stamp(now_ns: u64, step_ns: u64) -> u64 {
+    now_ns + step_ns
+}

@@ -1,0 +1,4 @@
+//! Positive: wall-clock reads make runs unrepeatable.
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}

@@ -1,0 +1,10 @@
+//! Negative: the hot fn reuses a caller-provided buffer; setup allocates.
+pub fn hot_fn(buf: &mut [u32], x: u32) {
+    if let Some(slot) = buf.first_mut() {
+        *slot = x;
+    }
+}
+
+pub fn cold_setup(n: usize) -> Vec<u32> {
+    vec![0; n]
+}

@@ -1,0 +1,6 @@
+//! Positive: heap allocation inside a configured hot-path fn.
+pub fn hot_fn(n: usize) -> Vec<u32> {
+    let mut v = Vec::new();
+    v.resize(n, 0);
+    v
+}

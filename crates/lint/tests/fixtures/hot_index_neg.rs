@@ -1,0 +1,8 @@
+//! Negative: get() handles the miss; indexing in cold code is fine.
+pub fn hot_fn(xs: &[u32]) -> u32 {
+    xs.get(0).copied().unwrap_or(0)
+}
+
+pub fn cold_setup(xs: &[u32]) -> u32 {
+    xs[0]
+}

@@ -1,0 +1,9 @@
+//! Negative: the hot fn degrades instead of panicking; the same unwrap
+//! outside the hot set is not the hot-panic rule's business.
+pub fn hot_fn(xs: &[u32]) -> u32 {
+    xs.first().copied().unwrap_or(0)
+}
+
+pub fn cold_setup(xs: &[u32]) -> u32 {
+    xs.first().copied().unwrap()
+}

@@ -1,0 +1,4 @@
+//! Positive: unwrap inside a configured hot-path fn.
+pub fn hot_fn(xs: &[u32]) -> u32 {
+    xs.first().copied().unwrap()
+}

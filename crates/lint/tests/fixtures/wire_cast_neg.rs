@@ -1,0 +1,16 @@
+//! Negative: try_from surfaces the overflow instead of wrapping.
+pub fn encode_len(n: usize) -> Option<u16> {
+    u16::try_from(n).ok()
+}
+
+pub fn decode_len(v: u16) -> usize {
+    usize::from(v)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn round_trip() {
+        assert_eq!(super::decode_len(super::encode_len(7).expect("fits")), 7);
+    }
+}

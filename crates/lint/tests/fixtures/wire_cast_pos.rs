@@ -1,0 +1,16 @@
+//! Positive: an `as` cast in a wire-tier file can truncate silently.
+pub fn encode_len(n: usize) -> u16 {
+    n as u16
+}
+
+pub fn decode_len(v: u16) -> usize {
+    usize::from(v)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn round_trip() {
+        assert_eq!(super::decode_len(super::encode_len(7)), 7);
+    }
+}

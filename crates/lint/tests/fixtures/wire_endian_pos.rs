@@ -1,0 +1,16 @@
+//! Positive: little-endian bytes are not the wire byte order.
+pub fn encode_word(v: u32) -> [u8; 4] {
+    v.to_le_bytes()
+}
+
+pub fn decode_word(b: [u8; 4]) -> u32 {
+    u32::from_le_bytes(b)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn round_trip() {
+        assert_eq!(super::decode_word(super::encode_word(7)), 7);
+    }
+}

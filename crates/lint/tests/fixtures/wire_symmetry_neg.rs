@@ -1,0 +1,18 @@
+//! Negative: encoder, decoder sibling, and a round-trip test.
+pub fn encode_record(v: u32, out: &mut Vec<u8>) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+pub fn decode_record(b: &[u8]) -> Option<u32> {
+    Some(u32::from_be_bytes(b.get(..4)?.try_into().ok()?))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn round_trip() {
+        let mut out = Vec::new();
+        super::encode_record(7, &mut out);
+        assert_eq!(super::decode_record(&out), Some(7));
+    }
+}

@@ -1,0 +1,4 @@
+//! Positive: an encoder with no decoder sibling and no round-trip test.
+pub fn encode_record(v: u32, out: &mut Vec<u8>) {
+    out.extend_from_slice(&v.to_be_bytes());
+}

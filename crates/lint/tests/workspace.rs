@@ -1,0 +1,63 @@
+//! The self-hosting test: the workspace this linter ships in must satisfy
+//! its own invariants, modulo the committed baseline. A new violation in
+//! any tiered crate fails this test before CI's `lint-invariants` job ever
+//! runs.
+
+use db_lint::baseline::Baseline;
+use db_lint::config::LintConfig;
+use std::path::{Path, PathBuf};
+
+/// The workspace root: two levels up from this crate's manifest.
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/lint sits two levels below the root")
+        .to_path_buf()
+}
+
+#[test]
+fn workspace_is_clean_modulo_the_committed_baseline() {
+    let root = workspace_root();
+    let cfg = LintConfig::load(&root.join("lint.toml")).expect("lint.toml parses");
+    let baseline =
+        Baseline::load(&root.join("lint.baseline.json")).expect("lint.baseline.json parses");
+    let report = db_lint::run_with_baseline(&root, &cfg, &baseline).expect("scan succeeds");
+
+    assert!(
+        report.ratchet.regressions.is_empty(),
+        "new lint violations (fix them or annotate with a reasoned \
+         `// db-lint: allow(...)`):\n{}",
+        db_lint::findings::render_table(&report.ratchet.regressions)
+    );
+    // The ratchet only goes down: the grandfathered debt must stay within
+    // the ≤10 budget the baseline was committed under.
+    assert!(
+        report.baseline_total <= 10,
+        "baseline grew to {} grandfathered findings; fix debt instead of re-baselining upward",
+        report.baseline_total
+    );
+}
+
+#[test]
+fn deterministic_tier_covers_the_pipeline_crates() {
+    // The determinism guarantee is only as good as the tier list; pin the
+    // crates whose outputs feed figures so a lint.toml edit can't silently
+    // drop one.
+    let root = workspace_root();
+    let cfg = LintConfig::load(&root.join("lint.toml")).expect("lint.toml parses");
+    for krate in [
+        "util",
+        "topology",
+        "flowmon",
+        "dtree",
+        "inference",
+        "netsim",
+        "core",
+    ] {
+        assert!(
+            cfg.is_deterministic(&format!("crates/{krate}/src/lib.rs")),
+            "crate `{krate}` fell out of the deterministic tier"
+        );
+    }
+}

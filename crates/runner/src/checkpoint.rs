@@ -174,19 +174,32 @@ fn parse_header(line: &str) -> Result<CheckpointHeader, CheckpointError> {
     })
 }
 
-fn parse_unit(line: &str) -> Option<UnitOutcome> {
-    let unit: usize = raw_field(line, "unit")?.parse().ok()?;
-    let status = raw_field(line, "status")?;
+/// Parse one unit record, reporting *why* the line is unusable: which field
+/// is missing or malformed, and for undecodable outcomes the byte offset
+/// carried by [`db_util::wire::WireError`]. The caller attaches the line
+/// number.
+fn parse_unit(line: &str) -> Result<UnitOutcome, String> {
+    let unit: usize = raw_field(line, "unit")
+        .ok_or("missing \"unit\" field")?
+        .parse()
+        .map_err(|_| "non-numeric \"unit\" field")?;
+    let status = raw_field(line, "status").ok_or("missing \"status\" field")?;
     let status = match status {
         "done" => {
-            let hex = raw_field(line, "outcome")?;
-            let bytes = from_hex(hex)?;
-            UnitStatus::Done(db_core::wire::decode_outcome(&bytes).ok()?)
+            let hex = raw_field(line, "outcome").ok_or("missing \"outcome\" field")?;
+            let bytes =
+                from_hex(hex).ok_or_else(|| format!("malformed outcome hex ({hex:.16}…)"))?;
+            let outcome = db_core::wire::decode_outcome(&bytes)
+                .map_err(|e| format!("outcome does not decode: {e}"))?;
+            UnitStatus::Done(outcome)
         }
-        "failed" => UnitStatus::Failed(json_unescape(raw_field(line, "error")?)?),
-        _ => return None,
+        "failed" => UnitStatus::Failed(
+            json_unescape(raw_field(line, "error").ok_or("missing \"error\" field")?)
+                .ok_or("bad escape in \"error\" field")?,
+        ),
+        other => return Err(format!("unknown status {other:?}")),
     };
-    Some(UnitOutcome { unit, status })
+    Ok(UnitOutcome { unit, status })
 }
 
 /// Parse a checkpoint file's contents. Later records for the same unit win
@@ -201,8 +214,12 @@ pub fn parse(contents: &str) -> Result<(CheckpointHeader, Vec<UnitOutcome>), Che
     let mut pending: Vec<(usize, &str)> = lines.filter(|(_, l)| !l.trim().is_empty()).collect();
     let last = pending.pop();
     for (idx, line) in pending {
-        let u = parse_unit(line)
-            .ok_or_else(|| err(idx + 1, "malformed unit record before end of file"))?;
+        let u = parse_unit(line).map_err(|why| {
+            err(
+                idx + 1,
+                format!("corrupt unit record before end of file: {why}"),
+            )
+        })?;
         if u.unit >= header.units {
             return Err(err(idx + 1, format!("unit {} out of range", u.unit)));
         }
@@ -210,13 +227,13 @@ pub fn parse(contents: &str) -> Result<(CheckpointHeader, Vec<UnitOutcome>), Che
     }
     if let Some((idx, line)) = last {
         match parse_unit(line) {
-            Some(u) if u.unit < header.units => {
+            Ok(u) if u.unit < header.units => {
                 by_unit.insert(u.unit, u);
             }
-            Some(u) => return Err(err(idx + 1, format!("unit {} out of range", u.unit))),
+            Ok(u) => return Err(err(idx + 1, format!("unit {} out of range", u.unit))),
             // Truncated trailing write from a killed run: drop it; the
             // unit simply re-runs on resume.
-            None => {}
+            Err(_) => {}
         }
     }
     Ok((header, by_unit.into_values().collect()))
@@ -382,6 +399,36 @@ mod tests {
         };
         let text = format!("{}\n{}\n", header_line(&h), unit_line(&bad));
         assert!(parse(&text).is_err());
+    }
+
+    #[test]
+    fn corrupt_records_report_the_reason() {
+        // Bad hex in a mid-file record: line number plus the field detail.
+        let h = header();
+        let bad = "{\"unit\":1,\"status\":\"done\",\"outcome\":\"zz\"}";
+        let ok = unit_line(&UnitOutcome {
+            unit: 0,
+            status: UnitStatus::Done(outcome()),
+        });
+        let text = format!("{}\n{}\n{}\n", header_line(&h), bad, ok);
+        let e = parse(&text).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.reason.contains("malformed outcome hex"), "{}", e.reason);
+
+        // Valid hex of a truncated payload: the wire-level offset surfaces.
+        let full = unit_line(&UnitOutcome {
+            unit: 1,
+            status: UnitStatus::Done(outcome()),
+        });
+        let hex_start = full.find("\"outcome\":\"").unwrap() + 11;
+        let truncated = format!("{}00\"}}", &full[..hex_start + 8]);
+        let why = parse_unit(&truncated).unwrap_err();
+        assert!(why.contains("outcome does not decode"), "{why}");
+        assert!(why.contains("byte"), "offset missing from: {why}");
+
+        // Unknown status names itself.
+        let why = parse_unit("{\"unit\":0,\"status\":\"maybe\"}").unwrap_err();
+        assert!(why.contains("maybe"), "{why}");
     }
 
     #[test]

@@ -59,6 +59,15 @@ impl DropKind {
         }
     }
 
+    /// Wire discriminant (the inverse of [`DropKind::from_u8`]).
+    fn as_u8(self) -> u8 {
+        match self {
+            DropKind::Down => 0,
+            DropKind::Corrupt => 1,
+            DropKind::Queue => 2,
+        }
+    }
+
     /// Lower-case name for reports.
     pub fn as_str(self) -> &'static str {
         match self {
@@ -228,7 +237,7 @@ impl FlightRecord {
                 w.f64(*beta);
                 w.seq(ground_truth.len());
                 for &l in ground_truth {
-                    w.u32(l as u32);
+                    w.u16w(l);
                 }
             }
             FlightRecord::FlowClassified {
@@ -241,10 +250,10 @@ impl FlightRecord {
             } => {
                 w.u8(TAG_FLOW_CLASSIFIED);
                 w.u64(*at_ns);
-                w.u32(*switch as u32);
+                w.u16w(*switch);
                 w.u32(*window);
                 w.u32(*flow);
-                w.u8(*abnormal as u8);
+                w.u8(u8::from(*abnormal));
                 w.u64(*feature_digest);
             }
             FlightRecord::LocalVote {
@@ -257,10 +266,10 @@ impl FlightRecord {
             } => {
                 w.u8(TAG_LOCAL_VOTE);
                 w.u64(*at_ns);
-                w.u32(*switch as u32);
+                w.u16w(*switch);
                 w.u32(*window);
                 w.u32(*flow);
-                w.u32(*link as u32);
+                w.u16w(*link);
                 w.f64(*delta);
             }
             FlightRecord::DriftMerged {
@@ -279,7 +288,7 @@ impl FlightRecord {
             } => {
                 w.u8(TAG_DRIFT_MERGED);
                 w.u64(*at_ns);
-                w.u32(*switch as u32);
+                w.u16w(*switch);
                 w.u32(*flow);
                 w.u64(*pkt_seq);
                 w.u8(*hop_now);
@@ -288,12 +297,18 @@ impl FlightRecord {
                 w.u64(*out_digest);
                 w.f64(*w0);
                 w.f64(*w1);
-                if w.option(top_link.is_some()) {
-                    w.u32(top_link.unwrap() as u32);
+                match top_link {
+                    Some(l) => {
+                        w.option(true);
+                        w.u16w(*l);
+                    }
+                    None => {
+                        w.option(false);
+                    }
                 }
                 w.seq(dropped_links.len());
                 for &l in dropped_links {
-                    w.u32(l as u32);
+                    w.u16w(l);
                 }
             }
             FlightRecord::WarningRaised {
@@ -309,14 +324,14 @@ impl FlightRecord {
             } => {
                 w.u8(TAG_WARNING_RAISED);
                 w.u64(*at_ns);
-                w.u32(*switch as u32);
-                w.u32(*link as u32);
+                w.u16w(*switch);
+                w.u16w(*link);
                 w.u8(*hop_now);
                 w.f64(*w0);
                 w.f64(*w1);
                 w.f64(*alpha_lhs);
                 w.f64(*beta_lhs);
-                w.u8(*ground_truth_hit as u8);
+                w.u8(u8::from(*ground_truth_hit));
             }
             FlightRecord::PacketDropped {
                 at_ns,
@@ -327,10 +342,10 @@ impl FlightRecord {
             } => {
                 w.u8(TAG_PACKET_DROPPED);
                 w.u64(*at_ns);
-                w.u32(*link as u32);
+                w.u16w(*link);
                 w.u32(*flow);
                 w.u64(*pkt_seq);
-                w.u8(*kind as u8);
+                w.u8(kind.as_u8());
             }
         }
     }
@@ -352,7 +367,7 @@ impl FlightRecord {
                 let n = r.seq()?;
                 let mut ground_truth = Vec::with_capacity(n);
                 for _ in 0..n {
-                    ground_truth.push(r.u32()? as u16);
+                    ground_truth.push(r.u16w()?);
                 }
                 FlightRecord::RunMeta {
                     t_fail_ns,
@@ -369,7 +384,7 @@ impl FlightRecord {
             }
             TAG_FLOW_CLASSIFIED => FlightRecord::FlowClassified {
                 at_ns: r.u64()?,
-                switch: r.u32()? as u16,
+                switch: r.u16w()?,
                 window: r.u32()?,
                 flow: r.u32()?,
                 abnormal: r.u8()? != 0,
@@ -377,15 +392,15 @@ impl FlightRecord {
             },
             TAG_LOCAL_VOTE => FlightRecord::LocalVote {
                 at_ns: r.u64()?,
-                switch: r.u32()? as u16,
+                switch: r.u16w()?,
                 window: r.u32()?,
                 flow: r.u32()?,
-                link: r.u32()? as u16,
+                link: r.u16w()?,
                 delta: r.f64()?,
             },
             TAG_DRIFT_MERGED => {
                 let at_ns = r.u64()?;
-                let switch = r.u32()? as u16;
+                let switch = r.u16w()?;
                 let flow = r.u32()?;
                 let pkt_seq = r.u64()?;
                 let hop_now = r.u8()?;
@@ -394,15 +409,11 @@ impl FlightRecord {
                 let out_digest = r.u64()?;
                 let w0 = r.f64()?;
                 let w1 = r.f64()?;
-                let top_link = if r.option()? {
-                    Some(r.u32()? as u16)
-                } else {
-                    None
-                };
+                let top_link = if r.option()? { Some(r.u16w()?) } else { None };
                 let n = r.seq()?;
                 let mut dropped_links = Vec::with_capacity(n);
                 for _ in 0..n {
-                    dropped_links.push(r.u32()? as u16);
+                    dropped_links.push(r.u16w()?);
                 }
                 FlightRecord::DriftMerged {
                     at_ns,
@@ -421,8 +432,8 @@ impl FlightRecord {
             }
             TAG_WARNING_RAISED => FlightRecord::WarningRaised {
                 at_ns: r.u64()?,
-                switch: r.u32()? as u16,
-                link: r.u32()? as u16,
+                switch: r.u16w()?,
+                link: r.u16w()?,
                 hop_now: r.u8()?,
                 w0: r.f64()?,
                 w1: r.f64()?,
@@ -432,7 +443,7 @@ impl FlightRecord {
             },
             TAG_PACKET_DROPPED => FlightRecord::PacketDropped {
                 at_ns: r.u64()?,
-                link: r.u32()? as u16,
+                link: r.u16w()?,
                 flow: r.u32()?,
                 pkt_seq: r.u64()?,
                 kind: {
@@ -456,9 +467,20 @@ pub enum FlightError {
     /// The file does not start with [`FLIGHT_MAGIC`].
     BadMagic,
     /// The file uses an unsupported format version.
-    BadVersion(u16),
+    BadVersion(u32),
     /// An unknown record tag (or enum discriminant) was encountered.
     BadTag(u8),
+    /// A record frame failed to decode: which frame, and the byte offset of
+    /// its payload within the file.
+    FrameCorrupt {
+        /// 0-based frame index within the record stream.
+        index: usize,
+        /// Byte offset of the frame payload from the start of the file.
+        at: usize,
+        /// The underlying decode failure (offsets inside it are
+        /// frame-relative).
+        cause: Box<FlightError>,
+    },
 }
 
 impl std::fmt::Display for FlightError {
@@ -472,6 +494,9 @@ impl std::fmt::Display for FlightError {
                 "flight format version {v} unsupported (this build reads {FLIGHT_VERSION})"
             ),
             FlightError::BadTag(t) => write!(f, "unknown flight record tag {t}"),
+            FlightError::FrameCorrupt { index, at, cause } => {
+                write!(f, "record frame {index} (payload at byte {at}): {cause}")
+            }
         }
     }
 }
@@ -599,7 +624,7 @@ impl FlightRecorder {
         records.extend(ring.meta.iter().cloned());
         records.extend(ring.buf.iter().cloned());
         Recording {
-            capacity: self.capacity as u64,
+            capacity: u64::try_from(self.capacity).expect("usize wider than u64"),
             dropped: ring.dropped,
             records,
         }
@@ -634,17 +659,17 @@ impl Recording {
         w.u8(FLIGHT_MAGIC[3]);
         let mut out = w.into_bytes();
         let mut body = ByteWriter::new();
-        body.u32(FLIGHT_VERSION as u32);
+        body.u32(u32::from(FLIGHT_VERSION));
         body.u64(self.capacity);
         body.u64(self.dropped);
-        body.u32(self.records.len() as u32);
+        body.seq(self.records.len());
         out.extend_from_slice(&body.into_bytes());
         for rec in &self.records {
             let mut frame = ByteWriter::new();
             rec.encode_into(&mut frame);
             let frame = frame.into_bytes();
             let mut len = ByteWriter::new();
-            len.u32(frame.len() as u32);
+            len.seq(frame.len());
             out.extend_from_slice(&len.into_bytes());
             out.extend_from_slice(&frame);
         }
@@ -658,27 +683,29 @@ impl Recording {
         if magic != FLIGHT_MAGIC {
             return Err(FlightError::BadMagic);
         }
-        let version = r.u32()? as u16;
-        if version != FLIGHT_VERSION {
+        let version = r.u32()?;
+        if version != u32::from(FLIGHT_VERSION) {
             return Err(FlightError::BadVersion(version));
         }
         let capacity = r.u64()?;
         let dropped = r.u64()?;
-        let count = r.u32()? as usize;
+        let count = r.seq()?;
         let mut records = Vec::with_capacity(count.min(1 << 20));
-        for _ in 0..count {
-            let len = r.u32()? as usize;
-            if r.remaining() < len {
-                return Err(FlightError::Wire(WireError::Truncated));
-            }
+        for index in 0..count {
+            let len = r.seq()?;
+            let at = r.offset();
             // Frames are length-delimited: decode the record and tolerate
-            // (skip) any trailing bytes a newer writer appended.
-            let mut frame_bytes = Vec::with_capacity(len);
-            for _ in 0..len {
-                frame_bytes.push(r.u8()?);
-            }
-            let mut fr = ByteReader::new(&frame_bytes);
-            records.push(FlightRecord::decode(&mut fr)?);
+            // (skip) any trailing bytes a newer writer appended. A frame
+            // that fails reports its index and file offset, so a corrupt
+            // `.flight` file points at the bad frame instead of panicking.
+            let frame = r.bytes(len)?;
+            let mut fr = ByteReader::new(frame);
+            let rec = FlightRecord::decode(&mut fr).map_err(|e| FlightError::FrameCorrupt {
+                index,
+                at,
+                cause: Box::new(e),
+            })?;
+            records.push(rec);
         }
         r.finish()?;
         Ok(Recording {
@@ -888,7 +915,7 @@ mod tests {
     fn corrupt_inputs_are_rejected() {
         assert!(matches!(
             Recording::from_bytes(b"no"),
-            Err(FlightError::Wire(WireError::Truncated))
+            Err(FlightError::Wire(WireError::Truncated { .. }))
         ));
         assert!(matches!(
             Recording::from_bytes(b"nope"),
@@ -918,6 +945,33 @@ mod tests {
         }
         .to_bytes();
         assert!(Recording::from_bytes(&full[..full.len() - 3]).is_err());
+    }
+
+    #[test]
+    fn corrupt_frame_reports_index_and_offset() {
+        let mut bytes = Recording {
+            capacity: 4,
+            dropped: 0,
+            records: sample_records(),
+        }
+        .to_bytes();
+        // Header is magic(4) + version(4) + capacity(8) + dropped(8) +
+        // count(4) = 28 bytes; byte 28 is frame 0's length prefix and byte
+        // 32 its tag. Smash the tag of frame 0.
+        assert_eq!(bytes[32], 0, "frame 0 should be RunMeta (tag 0)");
+        bytes[32] = 0xEE;
+        match Recording::from_bytes(&bytes) {
+            Err(FlightError::FrameCorrupt { index, at, cause }) => {
+                assert_eq!(index, 0);
+                assert_eq!(at, 32);
+                assert!(matches!(*cause, FlightError::BadTag(0xEE)));
+            }
+            other => panic!("expected FrameCorrupt, got {other:?}"),
+        }
+        // The rendered message carries the frame context end to end.
+        let msg = Recording::from_bytes(&bytes).unwrap_err().to_string();
+        assert!(msg.contains("frame 0"), "{msg}");
+        assert!(msg.contains("byte 32"), "{msg}");
     }
 
     #[test]

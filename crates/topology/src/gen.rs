@@ -72,7 +72,10 @@ pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> Topology {
         }
     }
     for new in (m + 1)..n {
-        let mut chosen = std::collections::HashSet::new();
+        // BTreeSet, not HashSet: links are created in iteration order below,
+        // and HashSet order varies per process (seeded RandomState), which
+        // would scramble LinkId assignment and every subsequent weight draw.
+        let mut chosen = std::collections::BTreeSet::new();
         while chosen.len() < m {
             let t = endpoints[rng.index(endpoints.len())];
             chosen.insert(t);

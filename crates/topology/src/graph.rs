@@ -207,7 +207,7 @@ impl TopologyBuilder {
         if n > u16::MAX as usize || self.links.len() > u16::MAX as usize {
             return Err(TopologyError::TooLarge);
         }
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for l in &self.links {
             if l.a.idx() >= n {
                 return Err(TopologyError::UnknownNode(l.a.0));

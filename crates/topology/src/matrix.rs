@@ -93,8 +93,8 @@ impl RoutingMatrix {
     /// Links covered by no monitored path form one unobservable class at the
     /// end (if any).
     pub fn identifiability_classes(&self) -> Vec<Vec<LinkId>> {
-        use std::collections::HashMap;
-        let mut by_column: HashMap<Vec<u64>, Vec<LinkId>> = HashMap::new();
+        use std::collections::BTreeMap;
+        let mut by_column: BTreeMap<Vec<u64>, Vec<LinkId>> = BTreeMap::new();
         for l in 0..self.link_count {
             // Column of link l as a bitset over paths.
             let mut col = vec![0u64; bitset_words(self.rows.len())];

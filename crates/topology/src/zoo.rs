@@ -118,7 +118,7 @@ pub fn geant2012() -> Topology {
         (dx * dx + dy * dy).sqrt()
     };
     let mut edges = euclidean_mst(&pts);
-    let mut adj = vec![std::collections::HashSet::new(); n];
+    let mut adj = vec![std::collections::BTreeSet::new(); n];
     for &(u, v, _) in &edges {
         adj[u].insert(v);
         adj[v].insert(u);
@@ -243,7 +243,7 @@ pub fn tinet() -> Topology {
         let off = offsets[c];
         let pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.f64(), rng.f64())).collect();
         let mst = euclidean_mst(&pts);
-        let mut adj = vec![std::collections::HashSet::new(); n];
+        let mut adj = vec![std::collections::BTreeSet::new(); n];
         let mut local: Vec<(usize, usize)> = Vec::new();
         for &(u, v, _) in &mst {
             adj[u].insert(v);

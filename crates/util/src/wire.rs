@@ -11,6 +11,10 @@
 //! on field order, exactly like the in-packet header codec of
 //! `db-inference`. Variable-length data (strings, sequences) is
 //! length-prefixed with a `u32`.
+//!
+//! Every decode error carries the byte offset where the offending field
+//! started, so a corrupt record reports *where* it went wrong, not just
+//! that it did.
 
 /// Append-only encoder over a byte buffer.
 #[derive(Debug, Default)]
@@ -49,6 +53,13 @@ impl ByteWriter {
         self.buf.extend_from_slice(&v.to_be_bytes());
     }
 
+    /// Write a `u16` in the wire's `u32` slot (the format has no 2-byte
+    /// fields; ids are stored widened). Pairs with [`ByteReader::u16w`],
+    /// which checks the narrowing on the way back in.
+    pub fn u16w(&mut self, v: u16) {
+        self.u32(u32::from(v));
+    }
+
     /// Write a big-endian `u64`.
     pub fn u64(&mut self, v: u64) {
         self.buf.extend_from_slice(&v.to_be_bytes());
@@ -57,7 +68,7 @@ impl ByteWriter {
     /// Write a `usize` as a `u64` (checkpoints must not depend on the
     /// platform word size).
     pub fn usize(&mut self, v: usize) {
-        self.u64(v as u64);
+        self.u64(u64::try_from(v).expect("usize wider than u64"));
     }
 
     /// Write an `f64` as its exact IEEE-754 bit pattern.
@@ -67,42 +78,74 @@ impl ByteWriter {
 
     /// Write a length-prefixed UTF-8 string.
     pub fn str(&mut self, s: &str) {
-        self.u32(s.len() as u32);
+        self.u32(u32::try_from(s.len()).expect("string longer than u32::MAX"));
         self.buf.extend_from_slice(s.as_bytes());
     }
 
     /// Write a sequence length (prefix for the caller's own element loop).
     pub fn seq(&mut self, len: usize) {
-        self.u32(len as u32);
+        self.u32(u32::try_from(len).expect("sequence longer than u32::MAX"));
     }
 
     /// Write an `Option` discriminant; the caller writes the payload when
     /// this returns `true`.
     pub fn option(&mut self, present: bool) -> bool {
-        self.u8(present as u8);
+        self.u8(u8::from(present));
         present
     }
 }
 
-/// Errors from [`ByteReader`].
+/// Errors from [`ByteReader`]. Each carries the byte offset (`at`) of the
+/// field that failed, counted from the start of the record.
 #[derive(Debug, Clone, PartialEq)]
 pub enum WireError {
-    /// The buffer ended before the requested field.
-    Truncated,
-    /// A string field held invalid UTF-8.
-    BadUtf8,
-    /// An `Option` discriminant was neither 0 nor 1.
-    BadOption(u8),
+    /// The buffer ended before the requested field: `need` bytes were
+    /// wanted at offset `at` but only `have` remained.
+    Truncated { at: usize, need: usize, have: usize },
+    /// A string field at `at` held invalid UTF-8.
+    BadUtf8 { at: usize },
+    /// An `Option` discriminant at `at` was neither 0 nor 1.
+    BadOption { at: usize, value: u8 },
+    /// A value at `at` did not fit the target field's range (e.g. a `u32`
+    /// slot holding more than `u16::MAX` for a [`ByteReader::u16w`] read).
+    Overflow { at: usize, value: u64 },
     /// Trailing bytes remained after the outermost decode finished.
     TrailingBytes(usize),
+}
+
+impl WireError {
+    /// The byte offset the error refers to (end of buffer for
+    /// [`WireError::TrailingBytes`], which is about what *follows* a
+    /// complete record).
+    pub fn offset(&self) -> Option<usize> {
+        match self {
+            WireError::Truncated { at, .. }
+            | WireError::BadUtf8 { at }
+            | WireError::BadOption { at, .. }
+            | WireError::Overflow { at, .. } => Some(*at),
+            WireError::TrailingBytes(_) => None,
+        }
+    }
 }
 
 impl std::fmt::Display for WireError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            WireError::Truncated => write!(f, "record truncated"),
-            WireError::BadUtf8 => write!(f, "string field is not valid UTF-8"),
-            WireError::BadOption(b) => write!(f, "bad option discriminant {b}"),
+            WireError::Truncated { at, need, have } => {
+                write!(
+                    f,
+                    "record truncated at byte {at}: field needs {need} bytes, {have} left"
+                )
+            }
+            WireError::BadUtf8 { at } => {
+                write!(f, "string field at byte {at} is not valid UTF-8")
+            }
+            WireError::BadOption { at, value } => {
+                write!(f, "bad option discriminant {value} at byte {at}")
+            }
+            WireError::Overflow { at, value } => {
+                write!(f, "value {value} at byte {at} exceeds the field's range")
+            }
             WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after record"),
         }
     }
@@ -128,6 +171,12 @@ impl<'a> ByteReader<'a> {
         self.buf.len() - self.pos
     }
 
+    /// Offset of the next unread byte (for error context in callers that
+    /// layer their own framing on top).
+    pub fn offset(&self) -> usize {
+        self.pos
+    }
+
     /// Error unless every byte was consumed.
     pub fn finish(self) -> Result<(), WireError> {
         match self.remaining() {
@@ -138,11 +187,20 @@ impl<'a> ByteReader<'a> {
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
         if self.remaining() < n {
-            return Err(WireError::Truncated);
+            return Err(WireError::Truncated {
+                at: self.pos,
+                need: n,
+                have: self.remaining(),
+            });
         }
         let s = &self.buf[self.pos..self.pos + n];
         self.pos += n;
         Ok(s)
+    }
+
+    /// Read `n` raw bytes (framing layers slice whole frames out this way).
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        self.take(n)
     }
 
     /// Read one byte.
@@ -152,17 +210,44 @@ impl<'a> ByteReader<'a> {
 
     /// Read a big-endian `u32`.
     pub fn u32(&mut self) -> Result<u32, WireError> {
-        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+        let at = self.pos;
+        let s = self.take(4)?;
+        let arr: [u8; 4] = s.try_into().map_err(|_| WireError::Truncated {
+            at,
+            need: 4,
+            have: 0,
+        })?;
+        Ok(u32::from_be_bytes(arr))
+    }
+
+    /// Read a `u16` stored in a `u32` slot by [`ByteWriter::u16w`],
+    /// rejecting values that would silently truncate.
+    pub fn u16w(&mut self) -> Result<u16, WireError> {
+        let at = self.pos;
+        let v = self.u32()?;
+        u16::try_from(v).map_err(|_| WireError::Overflow {
+            at,
+            value: u64::from(v),
+        })
     }
 
     /// Read a big-endian `u64`.
     pub fn u64(&mut self) -> Result<u64, WireError> {
-        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+        let at = self.pos;
+        let s = self.take(8)?;
+        let arr: [u8; 8] = s.try_into().map_err(|_| WireError::Truncated {
+            at,
+            need: 8,
+            have: 0,
+        })?;
+        Ok(u64::from_be_bytes(arr))
     }
 
     /// Read a `usize` written by [`ByteWriter::usize`].
     pub fn usize(&mut self) -> Result<usize, WireError> {
-        Ok(self.u64()? as usize)
+        let at = self.pos;
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| WireError::Overflow { at, value: v })
     }
 
     /// Read an exact-bits `f64`.
@@ -172,33 +257,47 @@ impl<'a> ByteReader<'a> {
 
     /// Read a length-prefixed UTF-8 string.
     pub fn str(&mut self) -> Result<String, WireError> {
-        let len = self.u32()? as usize;
+        let len_at = self.pos;
+        let len32 = self.u32()?;
+        let len = usize::try_from(len32).map_err(|_| WireError::Overflow {
+            at: len_at,
+            value: u64::from(len32),
+        })?;
+        let at = self.pos;
         let bytes = self.take(len)?;
-        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadUtf8)
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadUtf8 { at })
     }
 
     /// Read a sequence length written by [`ByteWriter::seq`].
     pub fn seq(&mut self) -> Result<usize, WireError> {
-        Ok(self.u32()? as usize)
+        let at = self.pos;
+        let v = self.u32()?;
+        usize::try_from(v).map_err(|_| WireError::Overflow {
+            at,
+            value: u64::from(v),
+        })
     }
 
     /// Read an `Option` discriminant.
     pub fn option(&mut self) -> Result<bool, WireError> {
+        let at = self.pos;
         match self.u8()? {
             0 => Ok(false),
             1 => Ok(true),
-            b => Err(WireError::BadOption(b)),
+            value => Err(WireError::BadOption { at, value }),
         }
     }
 }
+
+const HEX_DIGITS: &[u8; 16] = b"0123456789abcdef";
 
 /// Lower-case hex of `bytes` (checkpoint lines keep binary records
 /// printable so the `.ckpt.jsonl` files stay diff- and grep-friendly).
 pub fn to_hex(bytes: &[u8]) -> String {
     let mut s = String::with_capacity(bytes.len() * 2);
-    for b in bytes {
-        s.push(char::from_digit((b >> 4) as u32, 16).unwrap());
-        s.push(char::from_digit((b & 0xF) as u32, 16).unwrap());
+    for &b in bytes {
+        s.push(char::from(HEX_DIGITS[usize::from(b >> 4)]));
+        s.push(char::from(HEX_DIGITS[usize::from(b & 0xF)]));
     }
     s
 }
@@ -211,11 +310,21 @@ pub fn from_hex(s: &str) -> Option<Vec<u8>> {
     let digits = s.as_bytes();
     let mut out = Vec::with_capacity(s.len() / 2);
     for pair in digits.chunks_exact(2) {
-        let hi = (pair[0] as char).to_digit(16)?;
-        let lo = (pair[1] as char).to_digit(16)?;
-        out.push(((hi << 4) | lo) as u8);
+        let hi = hex_val(pair[0])?;
+        let lo = hex_val(pair[1])?;
+        out.push((hi << 4) | lo);
     }
     Some(out)
+}
+
+/// Value of one hex digit byte, avoiding any char/u32 round trip.
+fn hex_val(d: u8) -> Option<u8> {
+    match d {
+        b'0'..=b'9' => Some(d - b'0'),
+        b'a'..=b'f' => Some(d - b'a' + 10),
+        b'A'..=b'F' => Some(d - b'A' + 10),
+        _ => None,
+    }
 }
 
 /// FNV-1a 64-bit hash — the checkpoint config fingerprint. Stable by
@@ -224,7 +333,7 @@ pub fn from_hex(s: &str) -> Option<Vec<u8>> {
 pub fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf29ce484222325;
     for &b in bytes {
-        h ^= b as u64;
+        h ^= u64::from(b);
         h = h.wrapping_mul(0x100000001b3);
     }
     h
@@ -239,6 +348,7 @@ mod tests {
         let mut w = ByteWriter::new();
         w.u8(7);
         w.u32(0xDEAD_BEEF);
+        w.u16w(0xBEEF);
         w.u64(u64::MAX - 3);
         w.usize(12345);
         w.f64(-0.0);
@@ -253,6 +363,7 @@ mod tests {
         let mut r = ByteReader::new(&bytes);
         assert_eq!(r.u8().unwrap(), 7);
         assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u16w().unwrap(), 0xBEEF);
         assert_eq!(r.u64().unwrap(), u64::MAX - 3);
         assert_eq!(r.usize().unwrap(), 12345);
         assert_eq!(r.f64().unwrap().to_bits(), (-0.0f64).to_bits());
@@ -271,16 +382,56 @@ mod tests {
         w.u64(1);
         let bytes = w.into_bytes();
         let mut r = ByteReader::new(&bytes[..4]);
-        assert_eq!(r.u64(), Err(WireError::Truncated));
+        assert_eq!(
+            r.u64(),
+            Err(WireError::Truncated {
+                at: 0,
+                need: 8,
+                have: 4
+            })
+        );
         let mut r = ByteReader::new(&bytes);
         r.u32().unwrap();
         assert_eq!(r.finish(), Err(WireError::TrailingBytes(4)));
     }
 
     #[test]
+    fn errors_carry_the_field_offset() {
+        // Field layout: u8 at 0, then a u32 at 1 that is too large for u16w.
+        let mut w = ByteWriter::new();
+        w.u8(1);
+        w.u32(0x0001_0000);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        r.u8().unwrap();
+        let err = r.u16w().unwrap_err();
+        assert_eq!(
+            err,
+            WireError::Overflow {
+                at: 1,
+                value: 0x0001_0000
+            }
+        );
+        assert_eq!(err.offset(), Some(1));
+
+        // A bad option discriminant reports its own offset, not zero.
+        let mut r = ByteReader::new(&[9, 2]);
+        r.u8().unwrap();
+        assert_eq!(r.option(), Err(WireError::BadOption { at: 1, value: 2 }));
+
+        // Bad UTF-8 points at the string payload.
+        let mut w = ByteWriter::new();
+        w.u32(2);
+        let mut bytes = w.into_bytes();
+        bytes.extend_from_slice(&[0xFF, 0xFF]);
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.str(), Err(WireError::BadUtf8 { at: 4 }));
+    }
+
+    #[test]
     fn bad_option_rejected() {
         let mut r = ByteReader::new(&[2]);
-        assert_eq!(r.option(), Err(WireError::BadOption(2)));
+        assert_eq!(r.option(), Err(WireError::BadOption { at: 0, value: 2 }));
     }
 
     #[test]
@@ -291,6 +442,7 @@ mod tests {
         assert_eq!(from_hex(&hex).unwrap(), bytes);
         assert!(from_hex("abc").is_none(), "odd length");
         assert!(from_hex("zz").is_none(), "non-hex");
+        assert_eq!(from_hex("ABFF").unwrap(), [0xAB, 0xFF]);
     }
 
     #[test]

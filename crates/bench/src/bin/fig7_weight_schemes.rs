@@ -46,7 +46,8 @@ fn main() {
                 .density(density)
                 .seed(0x9_E0 + (density * 100.0) as u64)
                 .variants(VariantSpec::fig7_set())
-                .scenarios(links.iter().map(|&l| ScenarioKind::SingleLink(l)));
+                .scenarios(links.iter().map(|&l| ScenarioKind::SingleLink(l)))
+                .trace_from_env();
             if db_bench::full_scale() {
                 // Checkpoint the hours-long full sweeps so a killed run
                 // resumes instead of restarting.

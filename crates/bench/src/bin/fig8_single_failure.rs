@@ -41,7 +41,8 @@ fn main() {
         let mut sweep = SweepBuilder::new(format!("fig8-{name}"), prep)
             .seed(0x818)
             .variants(VariantSpec::fig8_set())
-            .scenarios(links.iter().map(|&l| ScenarioKind::SingleLink(l)));
+            .scenarios(links.iter().map(|&l| ScenarioKind::SingleLink(l)))
+            .trace_from_env();
         if db_bench::full_scale() {
             sweep = sweep
                 .checkpoint(db_bench::results_dir().join(format!("fig8-{name}.ckpt.jsonl")))

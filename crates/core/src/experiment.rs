@@ -16,6 +16,7 @@ use db_netsim::{
     FailureScenario, SimConfig, SimStats, SimTime, Simulator, TrafficConfig, TrafficGen,
 };
 use db_telemetry::flight::{FlightRecord, FlightRecorder};
+use db_telemetry::scope::{ScopeMeta, ScopeRecorder};
 use db_topology::{LinkId, NodeId, Topology};
 use db_util::Pcg64;
 use std::sync::Arc;
@@ -93,6 +94,12 @@ pub struct ScenarioSetup<'a> {
     /// cause chain of the flagship variant (see
     /// [`DriftBottleSystem::set_flight`]) plus simulator packet drops.
     pub flight: Option<Arc<FlightRecorder>>,
+    /// db-scope recorder. `None` (the default) records nothing and keeps
+    /// scenario results bit-for-bit identical; `Some` captures per-window
+    /// health series of the flagship variant (see
+    /// [`DriftBottleSystem::set_scope`]), per-link drop series and queue
+    /// depth from the simulator, and the scenario→phase→window span tree.
+    pub scope: Option<Arc<ScopeRecorder>>,
 }
 
 impl<'a> ScenarioSetup<'a> {
@@ -109,6 +116,7 @@ impl<'a> ScenarioSetup<'a> {
             variants: vec![VariantSpec::drift_bottle()],
             background_loss: 0.0,
             flight: None,
+            scope: None,
         }
     }
 }
@@ -199,6 +207,24 @@ pub fn run_scenario(setup: &ScenarioSetup, kind: &ScenarioKind) -> ScenarioOutco
         });
         system.set_flight(rec.clone(), &ground_truth, prep.topo.link_count());
     }
+    let scenario_span = if let Some(sc) = &setup.scope {
+        // The meta header first: everything `timeline` needs to map
+        // nanosecond feed times onto window indices and re-state the
+        // equation (1) thresholds next to the series.
+        sc.set_meta(ScopeMeta {
+            interval_ns: prep.wcfg.interval.as_ns(),
+            t_fail_ns: t_fail.as_ns(),
+            total_links: prep.topo.link_count() as u32,
+            total_switches: prep.topo.node_count() as u32,
+            alpha: setup.sys.warning.alpha,
+            beta: setup.sys.warning.beta,
+            hop_min: setup.sys.warning.hop_min,
+        });
+        system.set_scope(sc.clone());
+        Some(sc.begin_span("scenario"))
+    } else {
+        None
+    };
     let mut sim = Simulator::new(&prep.topo, flows, cfg, &scenario, setup.seed, system);
     if let Some(reg) = db_telemetry::active() {
         sim.set_metrics(reg);
@@ -206,11 +232,22 @@ pub fn run_scenario(setup: &ScenarioSetup, kind: &ScenarioKind) -> ScenarioOutco
     if let Some(rec) = &setup.flight {
         sim.set_flight(rec.clone());
     }
+    if let Some(sc) = &setup.scope {
+        sim.set_scope(sc.clone());
+    }
     {
         let _simulate = db_telemetry::span("phase.simulate");
+        let sim_span = setup
+            .scope
+            .as_ref()
+            .map(|sc| sc.begin_span("phase.simulate"));
         sim.run();
+        if let (Some(sc), Some(id)) = (&setup.scope, sim_span) {
+            sc.end_span(id);
+        }
     }
     let _score = db_telemetry::span("phase.score");
+    let score_span = setup.scope.as_ref().map(|sc| sc.begin_span("phase.score"));
     let (system, stats) = sim.finish();
     let total_links = prep.topo.link_count();
     let variants = system
@@ -248,6 +285,14 @@ pub fn run_scenario(setup: &ScenarioSetup, kind: &ScenarioKind) -> ScenarioOutco
             recall = v.metrics.recall,
             precision = v.metrics.precision,
         );
+    }
+    if let Some(sc) = &setup.scope {
+        if let Some(id) = score_span {
+            sc.end_span(id);
+        }
+        if let Some(id) = scenario_span {
+            sc.end_span(id);
+        }
     }
     ScenarioOutcome {
         ground_truth,

@@ -29,6 +29,7 @@ use db_inference::{
 };
 use db_netsim::{Annotation, FlowSpec, HopInfo, Observer, SimTime};
 use db_telemetry::flight::{FlightRecord, FlightRecorder};
+use db_telemetry::scope::{hot, HotFn, ScopeRecorder};
 use db_topology::{LinkId, NodeId, Topology};
 use std::collections::{BTreeMap, BTreeSet, HashMap}; // db-lint: allow(det-hash-iter) — HashMap only for the never-iterated vtables below
 use std::sync::Arc;
@@ -79,6 +80,15 @@ struct FlightScope {
     variant: usize,
     /// Sampling-window counter (ticks observed so far).
     window_seq: u32,
+}
+
+/// db-scope attachment: the recorder plus the traced variant index. Like
+/// the flight recorder, scope traces **one** variant so series from several
+/// variants never mix in one store.
+struct ScopeHook {
+    rec: Arc<ScopeRecorder>,
+    /// Index into `variants` of the traced variant.
+    variant: usize,
 }
 
 impl WarningLog {
@@ -168,6 +178,9 @@ pub struct DriftBottleSystem<C: FlowClassifier> {
     /// Provenance flight recorder; `None` (the default) records nothing and
     /// keeps results bit-for-bit identical.
     flight: Option<FlightScope>,
+    /// db-scope recorder feeding per-window health series and pipeline
+    /// phase spans; `None` (the default) records nothing.
+    scope: Option<ScopeHook>,
 }
 
 impl<C: FlowClassifier> DriftBottleSystem<C> {
@@ -231,6 +244,7 @@ impl<C: FlowClassifier> DriftBottleSystem<C> {
             fm_metrics: None,
             dt_metrics: None,
             flight: None,
+            scope: None,
         }
     }
 
@@ -292,6 +306,46 @@ impl<C: FlowClassifier> DriftBottleSystem<C> {
             .map(|f| self.variants[f.variant].spec.name.as_str())
     }
 
+    /// Attach a db-scope recorder. Feeds the per-window health series —
+    /// suspicion, votes, warnings, fan-in, abnormal classifications — and
+    /// emits one span per pipeline phase per window, for **one** variant
+    /// (chosen exactly as [`Self::set_flight`] does: the wire flagship when
+    /// deployed, else the first distributed one). No-op (and returns
+    /// `false`) when every variant is centralized. Never affects outcomes.
+    pub fn set_scope(&mut self, rec: Arc<ScopeRecorder>) -> bool {
+        let variant = self
+            .variants
+            .iter()
+            .position(|v| v.spec.mechanism == Mechanism::DistributedWire)
+            .or_else(|| {
+                self.variants
+                    .iter()
+                    .position(|v| !matches!(v.spec.mechanism, Mechanism::Centralized { .. }))
+            });
+        let Some(variant) = variant else {
+            return false;
+        };
+        self.scope = Some(ScopeHook { rec, variant });
+        true
+    }
+
+    /// The name of the variant the scope recorder traces, if attached.
+    pub fn scope_variant(&self) -> Option<&str> {
+        self.scope
+            .as_ref()
+            .map(|s| self.variants[s.variant].spec.name.as_str())
+    }
+
+    fn scope_begin(&self, name: &str) -> Option<u32> {
+        self.scope.as_ref().map(|s| s.rec.begin_span(name))
+    }
+
+    fn scope_end(&self, id: Option<u32>) {
+        if let (Some(s), Some(id)) = (self.scope.as_ref(), id) {
+            s.rec.end_span(id);
+        }
+    }
+
     /// The warning log of the variant named `name`.
     pub fn log(&self, name: &str) -> Option<&WarningLog> {
         self.variants
@@ -334,7 +388,9 @@ impl<C: FlowClassifier> DriftBottleSystem<C> {
         agg_counter: u64,
         metrics: Option<&InferenceMetrics>,
         flight: Option<&FlightScope>,
+        scope: Option<&ScopeHook>,
     ) {
+        hot(HotFn::HandleDistributed);
         let node = info.node;
         let local = &variant.locals[node.idx()];
         let wire = variant.spec.mechanism == Mechanism::DistributedWire;
@@ -390,8 +446,15 @@ impl<C: FlowClassifier> DriftBottleSystem<C> {
                 dropped_links,
             });
         }
+        if let Some(sc) = scope {
+            sc.rec
+                .merge(now.as_ns(), node.0, agg.w0(), agg.top_link().map(|l| l.0));
+        }
         if let Some(link) = check_warning(&agg, hops as u32, &cfg.warning) {
             variant.log.record(now, node, link, window);
+            if let Some(sc) = scope {
+                sc.rec.warning(now.as_ns(), link.0);
+            }
             if let Some(f) = flight {
                 f.rec.record(FlightRecord::WarningRaised {
                     at_ns: now.as_ns(),
@@ -460,7 +523,9 @@ impl<C: FlowClassifier> DriftBottleSystem<C> {
         agg_counter: u64,
         metrics: Option<&InferenceMetrics>,
         flight: Option<&FlightScope>,
+        scope: Option<&ScopeHook>,
     ) {
+        hot(HotFn::HandleDistributedInline);
         let node = info.node;
         let wire = variant.spec.mechanism == Mechanism::DistributedWire;
         let incoming: Option<(InlineInference, u8)> = if info.is_ingress {
@@ -519,8 +584,15 @@ impl<C: FlowClassifier> DriftBottleSystem<C> {
                 dropped_links,
             });
         }
+        if let Some(sc) = scope {
+            sc.rec
+                .merge(now.as_ns(), node.0, agg.w0(), agg.top_link().map(|l| l.0));
+        }
         if let Some(link) = check_warning_inline(&agg, hops as u32, &cfg.warning) {
             variant.log.record(now, node, link, window);
+            if let Some(sc) = scope {
+                sc.rec.warning(now.as_ns(), link.0);
+            }
             if let Some(f) = flight {
                 f.rec.record(FlightRecord::WarningRaised {
                     at_ns: now.as_ns(),
@@ -595,6 +667,7 @@ impl<C: FlowClassifier> DriftBottleSystem<C> {
 impl<C: FlowClassifier> Observer for DriftBottleSystem<C> {
     // db-lint: allow(hot-index) — monitors and per-node state are sized by node count at setup; HopInfo nodes come from the same topology
     fn on_packet(&mut self, now: SimTime, info: &HopInfo, ann: &mut Annotation) {
+        hot(HotFn::OnPacket);
         // Flow Monitoring module: update measure registers.
         let recorded = self.monitors[info.node.idx()].on_packet(now, info.flow, info.size);
         if recorded {
@@ -606,6 +679,7 @@ impl<C: FlowClassifier> Observer for DriftBottleSystem<C> {
         self.agg_counter += 1;
         for (vi, variant) in self.variants.iter_mut().enumerate() {
             let flight = self.flight.as_ref().filter(|f| f.variant == vi);
+            let scope = self.scope.as_ref().filter(|s| s.variant == vi);
             match variant.spec.mechanism {
                 Mechanism::Centralized { .. } => {}
                 _ if self.inline_ok => Self::handle_distributed_inline(
@@ -619,6 +693,7 @@ impl<C: FlowClassifier> Observer for DriftBottleSystem<C> {
                     self.agg_counter,
                     self.metrics.as_ref(),
                     flight,
+                    scope,
                 ),
                 _ => Self::handle_distributed(
                     variant,
@@ -631,6 +706,7 @@ impl<C: FlowClassifier> Observer for DriftBottleSystem<C> {
                     self.agg_counter,
                     self.metrics.as_ref(),
                     flight,
+                    scope,
                 ),
             }
         }
@@ -640,14 +716,59 @@ impl<C: FlowClassifier> Observer for DriftBottleSystem<C> {
         if let Some(f) = &mut self.flight {
             f.window_seq += 1;
         }
-        // Close the sampling interval on every switch, classify, regenerate
-        // local inferences.
-        for idx in 0..self.monitors.len() {
-            let rows = self.monitors[idx].end_interval(now);
-            if let Some(fm) = &self.fm_metrics {
+        if let Some(sc) = &self.scope {
+            sc.rec.window_roll(now.as_ns());
+        }
+        // The tick pipeline runs as three explicit phases — monitor (drain
+        // every switch's registers), classify (judge every drained row),
+        // infer (provenance, votes, local regeneration) — so db-scope can
+        // emit one span per phase per window. Switches are independent in
+        // the first two phases and the per-switch order of the third is
+        // unchanged, so outcomes and flight-record order are identical to
+        // the fused per-switch loop this replaces (the golden snapshot
+        // pins this).
+        let span = self.scope_begin("phase.monitor");
+        let all_rows: Vec<_> = (0..self.monitors.len())
+            .map(|idx| self.monitors[idx].end_interval(now))
+            .collect();
+        if let Some(fm) = &self.fm_metrics {
+            for rows in &all_rows {
                 fm.intervals_closed.inc();
                 fm.feature_vectors.add(rows.len() as u64);
             }
+        }
+        if let Some(sc) = &self.scope {
+            // Register occupancy at window close: what each switch is still
+            // holding live history for, after this interval's aging pass.
+            for (idx, mon) in self.monitors.iter().enumerate() {
+                sc.rec
+                    .active_flows(now.as_ns(), idx as u16, mon.active_flows());
+            }
+        }
+        self.scope_end(span);
+        let span = self.scope_begin("phase.classify");
+        let all_judged: Vec<Vec<(db_netsim::FlowId, FlowStatus)>> = all_rows
+            .iter()
+            .map(|rows| {
+                rows.iter()
+                    .map(|(flow, features)| (*flow, self.classifier.classify(features)))
+                    .collect()
+            })
+            .collect();
+        if let Some((total, normal, abnormal)) = &self.dt_metrics {
+            for judged in &all_judged {
+                let abn = judged
+                    .iter()
+                    .filter(|(_, s)| *s == FlowStatus::Abnormal)
+                    .count() as u64;
+                total.add(judged.len() as u64);
+                abnormal.add(abn);
+                normal.add(judged.len() as u64 - abn);
+            }
+        }
+        self.scope_end(span);
+        let span = self.scope_begin("phase.infer");
+        for (idx, (rows, judged)) in all_rows.iter().zip(all_judged.iter()).enumerate() {
             if rows.is_empty() {
                 // Still reset locals derived from an empty view: no flows
                 // means no evidence.
@@ -657,22 +778,9 @@ impl<C: FlowClassifier> Observer for DriftBottleSystem<C> {
                 }
                 continue;
             }
-            let judged: Vec<(db_netsim::FlowId, FlowStatus)> = rows
-                .iter()
-                .map(|(flow, features)| (*flow, self.classifier.classify(features)))
-                .collect();
-            if let Some((total, normal, abnormal)) = &self.dt_metrics {
-                let abn = judged
-                    .iter()
-                    .filter(|(_, s)| *s == FlowStatus::Abnormal)
-                    .count() as u64;
-                total.add(judged.len() as u64);
-                abnormal.add(abn);
-                normal.add(judged.len() as u64 - abn);
-            }
             let monitor = &self.monitors[idx];
             let mut statuses: Vec<(FlowStatus, &[LinkId])> = Vec::with_capacity(judged.len());
-            for (flow, status) in &judged {
+            for (flow, status) in judged {
                 let meta = monitor.flow_meta(*flow).expect("row from registered flow");
                 statuses.push((*status, meta.upstream.as_slice()));
             }
@@ -704,6 +812,22 @@ impl<C: FlowClassifier> Observer for DriftBottleSystem<C> {
                                 link: link.0,
                                 delta,
                             });
+                        }
+                    }
+                }
+            }
+            // db-scope: the same classification/vote fan-out, folded into
+            // per-window series for the traced variant's scheme.
+            if let Some(sc) = self.scope.as_ref() {
+                let scheme = self.variants[sc.variant].spec.scheme;
+                for ((flow, _), (_, status)) in rows.iter().zip(judged.iter()) {
+                    sc.rec
+                        .classified(now.as_ns(), node.0, *status == FlowStatus::Abnormal);
+                    let meta = monitor.flow_meta(*flow).expect("row from registered flow");
+                    let delta = scheme.contribution(*status, meta.upstream.len());
+                    if delta != 0.0 {
+                        for link in &meta.upstream {
+                            sc.rec.vote(now.as_ns(), link.0, delta);
                         }
                     }
                 }
@@ -742,6 +866,7 @@ impl<C: FlowClassifier> Observer for DriftBottleSystem<C> {
                 }
             }
         }
+        self.scope_end(span);
     }
 }
 

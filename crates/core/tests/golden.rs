@@ -13,10 +13,16 @@
 //! semantics; do not re-pin without understanding exactly why.
 
 use db_core::{prepare, run_scenario, PrepareConfig, ScenarioKind, ScenarioSetup, VariantSpec};
+use db_telemetry::ScopeRecorder;
 use db_topology::{zoo, NodeId};
 use std::fmt::Write as _;
+use std::sync::Arc;
 
 fn fingerprint() -> String {
+    fingerprint_with(None)
+}
+
+fn fingerprint_with(scope: Option<Arc<ScopeRecorder>>) -> String {
     let prep = prepare(
         zoo::grid(3, 3),
         &PrepareConfig {
@@ -30,6 +36,7 @@ fn fingerprint() -> String {
     let mut setup = ScenarioSetup::flagship(&prep, 1.0, 42);
     setup.variants = VariantSpec::fig8_set();
     setup.sys.ratio_sampling = 8;
+    setup.scope = scope;
     let link = prep
         .topo
         .link_between(NodeId(4), NodeId(5))
@@ -128,6 +135,25 @@ fn fig8_scenario_matches_golden_snapshot() {
     assert!(
         got == GOLDEN,
         "scenario output diverged from the pinned pre-optimization snapshot\n\
+         --- got ---\n{got}\n--- golden ---\n{GOLDEN}"
+    );
+}
+
+/// db-scope is observational: the same scenario traced (series + spans
+/// recorded, hot-path profiler sampling) must reproduce the snapshot
+/// byte for byte.
+#[test]
+fn fig8_scenario_matches_golden_snapshot_while_traced() {
+    db_telemetry::scope::profiler_enable();
+    let scope = Arc::new(ScopeRecorder::default());
+    let got = fingerprint_with(Some(scope.clone()));
+    assert!(
+        scope.span_count() > 0,
+        "tracing was attached but recorded nothing"
+    );
+    assert!(
+        got == GOLDEN,
+        "tracing changed scenario output — db-scope must be observational\n\
          --- got ---\n{got}\n--- golden ---\n{GOLDEN}"
     );
 }

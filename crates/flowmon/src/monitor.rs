@@ -87,6 +87,22 @@ impl<S: MeasureStore> SwitchMonitor<S> {
         self.registered.len()
     }
 
+    /// Number of flows currently occupying live register history: registered
+    /// flows that have been seen here and not yet aged out. This is the
+    /// hardware register-occupancy view — `monitored_flows()` counts the
+    /// operator's intent, `active_flows()` counts what the switch is actually
+    /// holding state for.
+    pub fn active_flows(&self) -> usize {
+        self.registered
+            .iter()
+            .filter(|f| {
+                self.slots[f.0 as usize]
+                    .as_ref()
+                    .is_some_and(|s| s.history.total_packets > 0)
+            })
+            .count()
+    }
+
     /// Static metadata of a monitored flow.
     pub fn flow_meta(&self, flow: FlowId) -> Option<&FlowMeta> {
         self.slots
@@ -314,6 +330,26 @@ mod tests {
         assert_eq!(flow, FlowId(1));
         assert_eq!(f[0], 8.0);
         assert_eq!(f[9], 1.0, "last n_packet");
+    }
+
+    #[test]
+    fn active_flows_tracks_register_occupancy_through_aging() {
+        let cfg = cfg4();
+        let mut m = SwitchMonitor::new(NodeId(0), cfg);
+        m.register_flow(FlowId(1), FlowMeta::new(8.0, 2, vec![], &cfg)); // n_interval 2
+        m.register_flow(FlowId(2), FlowMeta::new(8.0, 2, vec![], &cfg));
+        // Registered but never seen: intent without occupancy.
+        assert_eq!(m.monitored_flows(), 2);
+        assert_eq!(m.active_flows(), 0);
+        m.on_packet(SimTime::from_ms(1), FlowId(1), 1000);
+        let _ = m.end_interval(SimTime::from_ms(4));
+        assert_eq!(m.active_flows(), 1, "only the seen flow holds history");
+        // Two consecutive silent intervals fill flow 1's RTT window and age
+        // it out — occupancy drops back to zero, registration stays.
+        let _ = m.end_interval(SimTime::from_ms(8));
+        let _ = m.end_interval(SimTime::from_ms(12));
+        assert_eq!(m.active_flows(), 0);
+        assert_eq!(m.monitored_flows(), 2);
     }
 
     #[test]

@@ -152,8 +152,21 @@ impl RunInfo {
 
     /// Sampling-window index of a timestamp (completed intervals).
     pub fn window_index(&self, at_ns: u64) -> u32 {
-        at_ns.checked_div(self.interval_ns).unwrap_or(0) as u32
+        window_of(at_ns, self.interval_ns) as u32
     }
+}
+
+/// Sampling-window index of a nanosecond timestamp: completed intervals,
+/// `at_ns / interval_ns` (0 for a zero interval rather than a panic).
+///
+/// This is the **shared window arithmetic** of the two observability
+/// views: `explain` places `WarningRaised` records with it (via
+/// [`RunInfo::window_index`]) and db-scope's time-series store buckets
+/// every feed with the same division — which is why `drift-bottle
+/// timeline` and `drift-bottle explain` agree on which window a warning
+/// landed in without any timestamp reconciliation.
+pub fn window_of(at_ns: u64, interval_ns: u64) -> u64 {
+    at_ns.checked_div(interval_ns).unwrap_or(0)
 }
 
 /// One recorded ±1 vote on a link.

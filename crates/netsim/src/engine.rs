@@ -19,6 +19,7 @@ use crate::packet::Annotation;
 use crate::time::SimTime;
 use crate::traffic::Sender;
 use db_telemetry::flight::{DropKind, FlightRecord, FlightRecorder};
+use db_telemetry::scope::{hot, HotFn, ScopeRecorder};
 use db_topology::{LinkId, NodeId, Topology};
 use db_util::Pcg64;
 use std::cmp::Reverse;
@@ -294,6 +295,9 @@ pub struct Simulator<'a, O: Observer> {
     /// Provenance flight recorder for link-level packet drops; `None` (the
     /// default) records nothing.
     flight: Option<std::sync::Arc<FlightRecorder>>,
+    /// db-scope recorder for per-window drop series and event-queue depth;
+    /// `None` (the default) records nothing.
+    scope: Option<std::sync::Arc<ScopeRecorder>>,
 }
 
 impl<'a, O: Observer> Simulator<'a, O> {
@@ -356,6 +360,7 @@ impl<'a, O: Observer> Simulator<'a, O> {
             observer,
             metrics: None,
             flight: None,
+            scope: None,
         };
         // Schedule flow starts.
         for i in 0..sim.flows.len() {
@@ -422,6 +427,7 @@ impl<'a, O: Observer> Simulator<'a, O> {
     }
 
     fn push(&mut self, at: SimTime, ev: Ev) {
+        hot(HotFn::Push);
         self.seq += 1;
         self.heap.push(Reverse(Scheduled {
             at,
@@ -432,6 +438,7 @@ impl<'a, O: Observer> Simulator<'a, O> {
 
     /// Push with an explicit (already-reserved) seq — lazy ticks only.
     fn push_raw(&mut self, at: SimTime, seq: u64, ev: Ev) {
+        hot(HotFn::PushRaw);
         self.heap.push(Reverse(Scheduled { at, seq, ev }));
     }
 
@@ -479,6 +486,13 @@ impl<'a, O: Observer> Simulator<'a, O> {
         self.flight = Some(rec);
     }
 
+    /// Attach a db-scope recorder: per-link drops feed the `link.drops`
+    /// series and the event-queue depth is sampled at each tick. Never
+    /// affects simulation outcomes — only what gets recorded.
+    pub fn set_scope(&mut self, rec: std::sync::Arc<ScopeRecorder>) {
+        self.scope = Some(rec);
+    }
+
     /// Run to the configured horizon.
     pub fn run(&mut self) {
         while let Some(Reverse(head)) = self.heap.peek() {
@@ -499,6 +513,7 @@ impl<'a, O: Observer> Simulator<'a, O> {
 
     // db-lint: allow(hot-index) — flow/link/node vectors are sized at setup; event payloads index the same tables they were built from
     fn dispatch(&mut self, ev: Ev) {
+        hot(HotFn::Dispatch);
         match ev {
             Ev::HostSend { flow } => self.host_send(flow),
             Ev::Arrive {
@@ -510,6 +525,9 @@ impl<'a, O: Observer> Simulator<'a, O> {
             } => self.arrive(flow, seq, size, hop, ann),
             Ev::AckArrive { flow } => self.ack_arrive(flow),
             Ev::Tick => {
+                if let Some(sc) = &self.scope {
+                    sc.queue_depth(self.now.as_ns(), self.heap.len());
+                }
                 // Re-arm the next tick with its reserved seq before anything
                 // the observer schedules can run.
                 if self.ticks_armed < self.n_ticks {
@@ -536,6 +554,7 @@ impl<'a, O: Observer> Simulator<'a, O> {
 
     // db-lint: allow(hot-index) — flow/link/node vectors are sized at setup; event payloads index the same tables they were built from
     fn host_send(&mut self, flow: u32) {
+        hot(HotFn::HostSend);
         let f = flow as usize;
         if self.senders[f].done() {
             return;
@@ -581,6 +600,7 @@ impl<'a, O: Observer> Simulator<'a, O> {
 
     // db-lint: allow(hot-index) — flow/link/node vectors are sized at setup; event payloads index the same tables they were built from
     fn arrive(&mut self, flow: u32, seq: u64, size: u32, hop: u16, mut ann: Annotation) {
+        hot(HotFn::Arrive);
         let f = flow as usize;
         let spec = &self.flows[f];
         let node = spec.path.nodes[hop as usize];
@@ -651,6 +671,7 @@ impl<'a, O: Observer> Simulator<'a, O> {
     /// Append a `PacketDropped` provenance record — the physical evidence
     /// the localization chain reacts to. No-op without a flight recorder.
     fn record_drop(&self, link: LinkId, flow: u32, seq: u64, kind: DropKind) {
+        hot(HotFn::RecordDrop);
         if let Some(rec) = &self.flight {
             rec.record(FlightRecord::PacketDropped {
                 at_ns: self.now.as_ns(),
@@ -660,10 +681,14 @@ impl<'a, O: Observer> Simulator<'a, O> {
                 kind,
             });
         }
+        if let Some(sc) = &self.scope {
+            sc.drop_event(self.now.as_ns(), link.0);
+        }
     }
 
     // db-lint: allow(hot-index) — flow/link/node vectors are sized at setup; event payloads index the same tables they were built from
     fn deliver(&mut self, flow: u32, size: u32) {
+        hot(HotFn::Deliver);
         let f = flow as usize;
         self.stats.delivered += 1;
         self.stats.delivered_bytes += size as u64;
@@ -708,6 +733,7 @@ impl<'a, O: Observer> Simulator<'a, O> {
 
     // db-lint: allow(hot-index) — flow/link/node vectors are sized at setup; event payloads index the same tables they were built from
     fn ack_arrive(&mut self, flow: u32) {
+        hot(HotFn::AckArrive);
         let f = flow as usize;
         self.stats.acks_delivered += 1;
         self.senders[f].last_feedback = self.now;

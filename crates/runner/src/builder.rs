@@ -17,7 +17,7 @@ use db_core::classifier::Prepared;
 use db_core::config::{SystemConfig, VariantSpec};
 use db_core::experiment::{run_scenario, ScenarioKind, ScenarioSetup};
 use db_core::ScenarioOutcome;
-use db_telemetry::FlightRecorder;
+use db_telemetry::{FlightRecorder, ScopeRecorder};
 use db_util::wire::fnv1a64;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -167,6 +167,7 @@ pub struct SweepBuilder<'a> {
     stop_after: Option<usize>,
     progress: bool,
     flight: Option<usize>,
+    trace: bool,
 }
 
 impl<'a> SweepBuilder<'a> {
@@ -199,6 +200,7 @@ impl<'a> SweepBuilder<'a> {
             stop_after: None,
             progress: false,
             flight: None,
+            trace: false,
         }
     }
 
@@ -312,7 +314,50 @@ impl<'a> SweepBuilder<'a> {
     /// a trailing `.ckpt.jsonl` — or `results/<name>.unit<N>.flight` when no
     /// checkpoint is configured.
     pub fn flight_path(&self, unit: usize) -> PathBuf {
-        let base = match &self.checkpoint {
+        PathBuf::from(format!("{}.unit{unit}.flight", self.artifact_base()))
+    }
+
+    /// Attach a db-scope recorder to every unit and write each unit's
+    /// Chrome `trace_event` JSON to [`trace_path`] when the unit finishes.
+    /// Like [`flight`], tracing is observational: unit outcomes stay
+    /// bit-identical (the equivalence tests pin this) and the sweep
+    /// fingerprint deliberately excludes it. A trace that fails to write is
+    /// reported on stderr without failing the unit.
+    ///
+    /// [`trace_path`]: SweepBuilder::trace_path
+    /// [`flight`]: SweepBuilder::flight
+    pub fn trace(mut self, on: bool) -> Self {
+        self.trace = on;
+        self
+    }
+
+    /// Enable tracing when `DB_TRACE=1` is set in the environment. Lets any
+    /// sweep-driven binary (the figure benches in particular) emit per-unit
+    /// traces without its own plumbing — and doubles as the knob for
+    /// demonstrating that traced and untraced runs produce byte-identical
+    /// CSVs.
+    pub fn trace_from_env(mut self) -> Self {
+        if std::env::var("DB_TRACE").is_ok_and(|v| v == "1") {
+            self.trace = true;
+        }
+        self
+    }
+
+    /// Where unit `unit`'s db-scope trace goes: next to the checkpoint —
+    /// `<base>.unit<N>.trace.json` — or `results/<name>.unit<N>.trace.json`
+    /// when no checkpoint is configured (same base rule as
+    /// [`flight_path`]).
+    ///
+    /// [`flight_path`]: SweepBuilder::flight_path
+    pub fn trace_path(&self, unit: usize) -> PathBuf {
+        PathBuf::from(format!("{}.unit{unit}.trace.json", self.artifact_base()))
+    }
+
+    /// The per-unit artifact stem shared by flight recordings and traces:
+    /// the checkpoint path minus a trailing `.ckpt.jsonl`, or
+    /// `results/<name>` when no checkpoint is configured.
+    fn artifact_base(&self) -> String {
+        match &self.checkpoint {
             Some(p) => {
                 let s = p.to_string_lossy();
                 match s.strip_suffix(".ckpt.jsonl") {
@@ -321,8 +366,7 @@ impl<'a> SweepBuilder<'a> {
                 }
             }
             None => format!("results/{}", self.name),
-        };
-        PathBuf::from(format!("{base}.unit{unit}.flight"))
+        }
     }
 
     /// The sweep's deterministic job list: unit `i` is `kinds[i]` with its
@@ -382,12 +426,23 @@ impl<'a> SweepBuilder<'a> {
             variants: self.variants.clone(),
             background_loss: self.background_loss,
             flight: None, // attached per job below
+            scope: None,  // attached per job below
         };
+        if self.trace {
+            db_telemetry::scope::profiler_enable();
+        }
         self.run_with(|job| {
             let rec = self.flight.map(|cap| Arc::new(FlightRecorder::new(cap)));
+            let scope = self
+                .trace
+                .then(|| Arc::new(ScopeRecorder::new(ScopeRecorder::DEFAULT_SERIES_CAPACITY)));
+            let unit_span = scope
+                .as_ref()
+                .map(|sc| sc.begin_span(&format!("unit {}", job.unit)));
             let setup = ScenarioSetup {
                 seed: job.seed,
                 flight: rec.clone(),
+                scope: scope.clone(),
                 ..setup.clone()
             };
             let outcome = run_scenario(&setup, &job.kind);
@@ -396,6 +451,20 @@ impl<'a> SweepBuilder<'a> {
                 if let Err(e) = rec.save(&path) {
                     eprintln!(
                         "[{}] unit {}: flight recording {} not written: {e}",
+                        self.name,
+                        job.unit,
+                        path.display()
+                    );
+                }
+            }
+            if let Some(sc) = scope {
+                if let Some(id) = unit_span {
+                    sc.end_span(id);
+                }
+                let path = self.trace_path(job.unit);
+                if let Err(e) = sc.save(&path) {
+                    eprintln!(
+                        "[{}] unit {}: trace {} not written: {e}",
                         self.name,
                         job.unit,
                         path.display()

@@ -198,10 +198,42 @@ pub fn prometheus_name(name: &str) -> String {
     out
 }
 
+/// Render an `f64` sample value per the exposition format: Rust's `{}`
+/// would print `inf`/`-inf`/`NaN`, but Prometheus requires the spellings
+/// `+Inf` / `-Inf` / `NaN`.
+pub fn prometheus_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Escape a label *value* for the exposition format: backslash, double
+/// quote, and newline must be written `\\`, `\"`, `\n` inside the quotes.
+pub fn prometheus_label_value(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// Render in the Prometheus text exposition format (v0.0.4): counters and
 /// gauges as single samples, histograms with cumulative `_bucket{le=...}`
 /// series, and span timings as `<name>_ns_total` / `<name>_calls_total`
-/// counter pairs.
+/// counter pairs. Names pass through [`prometheus_name`], sample values
+/// through [`prometheus_f64`], and label values through
+/// [`prometheus_label_value`].
 pub fn to_prometheus(snap: &Snapshot) -> String {
     let mut out = String::new();
     for (name, v) in &snap.counters {
@@ -210,7 +242,7 @@ pub fn to_prometheus(snap: &Snapshot) -> String {
     }
     for (name, v) in &snap.gauges {
         let n = prometheus_name(name);
-        let _ = writeln!(out, "# TYPE {n} gauge\n{n} {v}");
+        let _ = writeln!(out, "# TYPE {n} gauge\n{n} {}", prometheus_f64(*v));
     }
     for (name, h) in &snap.histograms {
         let n = prometheus_name(name);
@@ -220,7 +252,8 @@ pub fn to_prometheus(snap: &Snapshot) -> String {
             cumulative += count;
             match h.bounds.get(i) {
                 Some(b) => {
-                    let _ = writeln!(out, "{n}_bucket{{le=\"{b}\"}} {cumulative}");
+                    let le = prometheus_label_value(&b.to_string());
+                    let _ = writeln!(out, "{n}_bucket{{le=\"{le}\"}} {cumulative}");
                 }
                 None => {
                     let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {cumulative}");
@@ -338,5 +371,113 @@ mod tests {
         assert_eq!(prometheus_name("9lives"), "_lives");
         assert_eq!(prometheus_name(""), "_");
         assert_eq!(prometheus_name("ok_name:x"), "ok_name:x");
+    }
+
+    #[test]
+    fn prometheus_nonfinite_values_use_spec_spellings() {
+        assert_eq!(prometheus_f64(f64::NAN), "NaN");
+        assert_eq!(prometheus_f64(f64::INFINITY), "+Inf");
+        assert_eq!(prometheus_f64(f64::NEG_INFINITY), "-Inf");
+        assert_eq!(prometheus_f64(0.25), "0.25");
+        let reg = MetricsRegistry::new();
+        reg.gauge("bad.ratio").set(f64::INFINITY);
+        let p = to_prometheus(&reg.snapshot());
+        assert!(p.contains("bad_ratio +Inf"), "got: {p}");
+        assert!(!p.contains("inf\n"), "Rust inf spelling leaked: {p}");
+    }
+
+    #[test]
+    fn prometheus_label_value_escapes() {
+        assert_eq!(prometheus_label_value(r#"a\b"c"#), r#"a\\b\"c"#);
+        assert_eq!(prometheus_label_value("x\ny"), "x\\ny");
+        assert_eq!(prometheus_label_value("plain"), "plain");
+    }
+
+    /// A metric name per the exposition format: `[a-zA-Z_:][a-zA-Z0-9_:]*`.
+    fn valid_metric_name(name: &str) -> bool {
+        let mut chars = name.chars();
+        let head_ok = chars
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':');
+        head_ok
+            && name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+    }
+
+    /// A sample value: a float, or one of the spec's non-finite spellings.
+    fn valid_sample_value(v: &str) -> bool {
+        matches!(v, "+Inf" | "-Inf" | "NaN") || v.parse::<f64>().is_ok_and(|p| p.is_finite())
+    }
+
+    /// Validate one `name{labels} value` sample line; labels must be
+    /// `key="escaped-value"` pairs with no raw `"`, `\`, or newline inside.
+    fn valid_sample_line(line: &str) -> bool {
+        let (name_labels, value) = match line.rsplit_once(' ') {
+            Some(parts) => parts,
+            None => return false,
+        };
+        if !valid_sample_value(value) {
+            return false;
+        }
+        let name = match name_labels.split_once('{') {
+            None => name_labels,
+            Some((name, rest)) => {
+                let Some(body) = rest.strip_suffix('}') else {
+                    return false;
+                };
+                for pair in body.split(',') {
+                    let Some((k, v)) = pair.split_once('=') else {
+                        return false;
+                    };
+                    let Some(v) = v.strip_prefix('"').and_then(|v| v.strip_suffix('"')) else {
+                        return false;
+                    };
+                    let unescaped_quote = v
+                        .match_indices('"')
+                        .any(|(i, _)| i == 0 || !v[..i].ends_with('\\'));
+                    if !valid_metric_name(k) || unescaped_quote || v.contains('\n') {
+                        return false;
+                    }
+                }
+                name
+            }
+        };
+        valid_metric_name(name)
+    }
+
+    #[test]
+    fn prometheus_output_round_trips_against_exposition_grammar() {
+        // Hostile names (`-`, `.`, leading digit) and non-finite values.
+        let reg = MetricsRegistry::new();
+        reg.counter("drift-bottle.packets.sent").add(7);
+        reg.counter("0day.count").inc();
+        reg.gauge("link-7.suspicion").set(f64::NAN);
+        reg.gauge("queue.depth").set(1e9);
+        let h = reg.histogram("per-hop.latency_ns", &[100, 1000]);
+        h.record(50);
+        h.record(5_000);
+        reg.timing("phase.sim-loop").record_ns(123);
+        let p = to_prometheus(&reg.snapshot());
+
+        for line in p.lines() {
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut it = rest.split(' ');
+                let (name, ty) = (it.next().unwrap_or(""), it.next().unwrap_or(""));
+                assert!(valid_metric_name(name), "bad TYPE name in {line:?}");
+                assert!(
+                    matches!(ty, "counter" | "gauge" | "histogram"),
+                    "bad TYPE kind in {line:?}"
+                );
+                assert_eq!(it.next(), None, "trailing junk in {line:?}");
+            } else {
+                assert!(valid_sample_line(line), "invalid sample line {line:?}");
+            }
+        }
+        // The hostile inputs surfaced, sanitized.
+        assert!(p.contains("drift_bottle_packets_sent 7"));
+        assert!(p.contains("_day_count 1"));
+        assert!(p.contains("link_7_suspicion NaN"));
+        assert!(p.contains("per_hop_latency_ns_bucket{le=\"100\"} 1"));
     }
 }

@@ -16,6 +16,9 @@
 //! * [`flight`] — the provenance flight recorder: a bounded ring of
 //!   structured cause-chain records ([`FlightRecord`]) with a stable binary
 //!   file format, powering `drift-bottle explain`.
+//! * [`scope`] — db-scope: ring-buffered per-window time series, causal
+//!   span tracing exported as Chrome `trace_event` JSON, and a sampling
+//!   hot-path profiler, powering `drift-bottle timeline` and `--trace`.
 //!
 //! # The global registry
 //!
@@ -40,18 +43,23 @@ mod event;
 pub mod export;
 pub mod flight;
 mod registry;
+pub mod scope;
 mod span;
 
 pub use event::{
     clear_recorder, emit, level_enabled, set_max_level, set_recorder, BufferRecorder, Event, Level,
     Recorder, StderrRecorder,
 };
-pub use export::{json_escape, prometheus_name, to_json, to_prometheus, to_table};
+pub use export::{
+    json_escape, prometheus_f64, prometheus_label_value, prometheus_name, to_json, to_prometheus,
+    to_table,
+};
 pub use flight::{DropKind, FlightError, FlightRecord, FlightRecorder, Recording};
 pub use registry::{
     BoundsMismatch, Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, Snapshot,
     Timing, TimingSnapshot,
 };
+pub use scope::{hot, HotFn, ScopeMeta, ScopeRecorder, SeriesKind, TraceData};
 pub use span::Span;
 
 use std::sync::atomic::{AtomicBool, Ordering};

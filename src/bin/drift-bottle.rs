@@ -12,6 +12,7 @@
 //! drift-bottle health <name|file> [density]      # false-positive check on a healthy network
 //! drift-bottle report <name|file> [density]      # one scenario + full telemetry report
 //! drift-bottle explain <file.flight> [l<ID>|s<ID>] # reconstruct a run from a flight recording
+//! drift-bottle timeline <file.trace.json> [l<ID>|s<ID>] # per-window health series from a trace
 //! ```
 //!
 //! Every command accepts `--metrics[=table|json|prom]`: it enables the
@@ -21,8 +22,11 @@
 //! `--metrics=table` and additionally mirrors warning events to stderr.
 //!
 //! Scenario commands additionally accept `--scheme=NAME` (compare a §6.4
-//! weight scheme instead of the flagship) and `--flight[=path]` (capture a
-//! provenance flight recording for `explain` to consume later).
+//! weight scheme instead of the flagship), `--flight[=path]` (capture a
+//! provenance flight recording for `explain` to consume later), and
+//! `--trace[=path]` (capture a db-scope trace — per-window health series,
+//! the scenario→phase→window span tree as Chrome `trace_event` JSON, and
+//! hot-path profiler shares — for `timeline` or Perfetto).
 //!
 //! Argument parsing is deliberately bare std — the library has no CLI
 //! dependencies.
@@ -30,16 +34,18 @@
 use drift_bottle::core::experiment::{average_by_variant, covered_links, sample_covered_links};
 use drift_bottle::inference::provenance;
 use drift_bottle::prelude::*;
-use drift_bottle::telemetry::{FlightRecorder, Recording};
+use drift_bottle::telemetry::scope::{sparkline, SeriesKind, TraceData, TraceSeries};
+use drift_bottle::telemetry::{FlightRecorder, Recording, ScopeRecorder};
 use drift_bottle::topology::load;
 use drift_bottle::topology::stats::PathStats;
 use drift_bottle::topology::TopologyStats;
+use std::path::Path;
 use std::process::ExitCode;
 use std::sync::Arc;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  drift-bottle topo    <name|file>\n  drift-bottle fail    <name|file> <link-id> [density]\n  drift-bottle node    <name|file> <node-id> [density]\n  drift-bottle sweep   <name|file> [links] [density]\n  drift-bottle health  <name|file> [density]\n  drift-bottle report  <name|file> [density]\n  drift-bottle explain <file.flight> [l<ID>|s<ID>]\n\noptions:\n  --metrics[=table|json|prom]  collect telemetry and print a metrics report\n  --scheme=NAME        weight scheme to run (default Drift-Bottle; see below)\n  --flight[=path]      record provenance for `explain` (default results/<cmd>-<topo>.flight;\n                       env DB_FLIGHT_CAPACITY=N bounds the ring, default 65536 records)\n\nsweep options:\n  --workers=N          worker threads (default: all cores)\n  --checkpoint[=path]  checkpoint units to path (default results/sweep-<topo>.ckpt.jsonl)\n  --resume             resume from the checkpoint if it exists (implies --checkpoint)\n  (env DB_SWEEP_STOP_AFTER=N stops after N units, leaving a resumable checkpoint;\n   --flight writes one recording per unit next to the checkpoint)\n\nexplain options:\n  --window=N           restrict votes/warnings to sampling window N\n  --format=table|json  output format (default table)\n\nweight schemes: Drift-Bottle, Non-Negative, 007-Drifted, 007-Modified\nbuilt-in topologies: geant2012, chinanet, tinet, as1221"
+        "usage:\n  drift-bottle topo    <name|file>\n  drift-bottle fail    <name|file> <link-id> [density]\n  drift-bottle node    <name|file> <node-id> [density]\n  drift-bottle sweep   <name|file> [links] [density]\n  drift-bottle health  <name|file> [density]\n  drift-bottle report  <name|file> [density]\n  drift-bottle explain <file.flight> [l<ID>|s<ID>]\n  drift-bottle timeline <file.trace.json> [l<ID>|s<ID>]\n\noptions:\n  --metrics[=table|json|prom]  collect telemetry and print a metrics report\n  --scheme=NAME        weight scheme to run (default Drift-Bottle; see below)\n  --flight[=path]      record provenance for `explain` (default results/<cmd>-<topo>.flight)\n  --trace[=path]       record a db-scope trace for `timeline` / Perfetto\n                       (default results/<cmd>-<topo>.trace.json)\n\nsweep options:\n  --workers=N          worker threads (default: all cores)\n  --checkpoint[=path]  checkpoint units to path (default results/sweep-<topo>.ckpt.jsonl)\n  --resume             resume from the checkpoint if it exists (implies --checkpoint)\n  (--flight / --trace write one recording per unit next to the checkpoint)\n\nexplain options:\n  --window=N           restrict votes/warnings to sampling window N\n  --format=table|json  output format (default table)\n\ntimeline options:\n  --format=table|json|sparkline  output format (default table)\n\nenvironment:\n  DB_FLIGHT_CAPACITY=N   --flight ring capacity in records (default 65536)\n  DB_THREADS=N           cap library parallelism; 1 forces sequential execution\n  DB_SWEEP_STOP_AFTER=N  stop a sweep after N units (leaves a resumable checkpoint)\n  DB_SMOKE=1             shrink classifier training for fast smoke runs\n\nweight schemes: Drift-Bottle, Non-Negative, 007-Drifted, 007-Modified\nbuilt-in topologies: geant2012, chinanet, tinet, as1221"
     );
     ExitCode::FAILURE
 }
@@ -102,6 +108,9 @@ struct RunOpts {
     /// `Some(None)` = flight recording at the default path, `Some(Some(p))`
     /// = at `p`, `None` = no recording.
     flight: Option<Option<String>>,
+    /// `Some(None)` = db-scope trace at the default path, `Some(Some(p))`
+    /// = at `p`, `None` = no tracing.
+    trace: Option<Option<String>>,
 }
 
 /// Strip `--scheme=NAME` out of `args`. A typo'd name is rejected with the
@@ -161,6 +170,27 @@ fn take_flight_flag(args: &mut Vec<String>) -> Result<Option<Option<String>>, St
     }
 }
 
+/// Strip `--trace[=path]` out of `args`.
+fn take_trace_flag(args: &mut Vec<String>) -> Result<Option<Option<String>>, String> {
+    let mut trace = None;
+    let mut err = None;
+    args.retain(|a| {
+        let Some(rest) = a.strip_prefix("--trace") else {
+            return true;
+        };
+        match rest.strip_prefix('=') {
+            None if rest.is_empty() => trace = Some(None),
+            Some(p) if !p.is_empty() => trace = Some(Some(p.to_string())),
+            _ => err = Some(format!("bad trace flag '{a}' (use --trace[=path])")),
+        }
+        false
+    });
+    match err {
+        Some(e) => Err(e),
+        None => Ok(trace),
+    }
+}
+
 /// Ring capacity for `--flight`, overridable via `DB_FLIGHT_CAPACITY`.
 fn flight_capacity() -> Result<usize, String> {
     match std::env::var("DB_FLIGHT_CAPACITY") {
@@ -201,14 +231,23 @@ fn variant_or_err<'o>(
 
 /// Build the single-scenario setup for `opts`: the chosen weight scheme
 /// (Drift-Bottle rides the real wire header; the others need the exact
-/// side-table carrier) plus the flight recorder when requested. Returns the
-/// setup, the variant name to report on, and the recorder for saving.
+/// side-table carrier) plus the flight and scope recorders when requested.
+/// Returns the setup, the variant name to report on, and the recorders for
+/// saving.
 #[allow(clippy::type_complexity)]
 fn single_setup<'a>(
     prep: &'a Prepared,
     density: f64,
     opts: &RunOpts,
-) -> Result<(ScenarioSetup<'a>, String, Option<Arc<FlightRecorder>>), String> {
+) -> Result<
+    (
+        ScenarioSetup<'a>,
+        String,
+        Option<Arc<FlightRecorder>>,
+        Option<Arc<ScopeRecorder>>,
+    ),
+    String,
+> {
     let spec = match opts.scheme {
         None | Some(WeightScheme::DriftBottle) => VariantSpec::drift_bottle(),
         Some(s) => VariantSpec::distributed(s),
@@ -221,7 +260,12 @@ fn single_setup<'a>(
         None => None,
     };
     setup.flight = rec.clone();
-    Ok((setup, vname, rec))
+    let scope = opts.trace.as_ref().map(|_| {
+        drift_bottle::telemetry::scope::profiler_enable();
+        Arc::new(ScopeRecorder::default())
+    });
+    setup.scope = scope.clone();
+    Ok((setup, vname, rec, scope))
 }
 
 /// Default or explicit `--flight` output path for a single-run command.
@@ -230,6 +274,25 @@ fn flight_path_for(opts: &RunOpts, cmd: &str, topo: &str) -> String {
         Some(Some(p)) => p.clone(),
         _ => format!("results/{cmd}-{topo}.flight"),
     }
+}
+
+/// Default or explicit `--trace` output path for a single-run command.
+fn trace_path_for(opts: &RunOpts, cmd: &str, topo: &str) -> String {
+    match &opts.trace {
+        Some(Some(p)) => p.clone(),
+        _ => format!("results/{cmd}-{topo}.trace.json"),
+    }
+}
+
+/// Write a finished db-scope trace and tell the operator where it went.
+fn save_trace(sc: &ScopeRecorder, path: &str) -> Result<(), String> {
+    sc.save(Path::new(path))
+        .map_err(|e| format!("writing trace {path}: {e}"))?;
+    eprintln!(
+        "[trace: {path} ({} spans); inspect with: drift-bottle timeline {path}, or open in Perfetto]",
+        sc.span_count()
+    );
+    Ok(())
 }
 
 /// Resolve a topology spec through [`load::load`], rendering the
@@ -371,11 +434,14 @@ fn cmd_fail(spec: &str, link: &str, density: f64, opts: &RunOpts) -> Result<(), 
         ));
     }
     let prep = train(topo);
-    let (setup, vname, rec) = single_setup(&prep, density, opts)?;
+    let (setup, vname, rec, scope) = single_setup(&prep, density, opts)?;
     let outcome = run_scenario(&setup, &ScenarioKind::SingleLink(LinkId(id)));
     print_outcome(&prep, &outcome, &vname)?;
     if let Some(rec) = rec {
         save_flight(&rec, &flight_path_for(opts, "fail", prep.topo.name()))?;
+    }
+    if let Some(sc) = scope {
+        save_trace(&sc, &trace_path_for(opts, "fail", prep.topo.name()))?;
     }
     Ok(())
 }
@@ -394,11 +460,14 @@ fn cmd_node(spec: &str, node: &str, density: f64, opts: &RunOpts) -> Result<(), 
         ));
     }
     let prep = train(topo);
-    let (setup, vname, rec) = single_setup(&prep, density, opts)?;
+    let (setup, vname, rec, scope) = single_setup(&prep, density, opts)?;
     let outcome = run_scenario(&setup, &ScenarioKind::Node(NodeId(id)));
     print_outcome(&prep, &outcome, &vname)?;
     if let Some(rec) = rec {
         save_flight(&rec, &flight_path_for(opts, "node", prep.topo.name()))?;
+    }
+    if let Some(sc) = scope {
+        save_trace(&sc, &trace_path_for(opts, "node", prep.topo.name()))?;
     }
     Ok(())
 }
@@ -466,6 +535,12 @@ fn cmd_sweep(
              use a bare --flight instead of --flight={p}"
         ));
     }
+    if let Some(Some(p)) = &opts.trace {
+        return Err(format!(
+            "sweep writes one trace per unit next to the checkpoint; \
+             use a bare --trace instead of --trace={p}"
+        ));
+    }
     let covered = covered_links(&prep).len();
     let links = sample_covered_links(&prep, n, 0xC11);
     let name = format!("sweep-{}", prep.topo.name());
@@ -508,6 +583,15 @@ fn cmd_sweep(
             .to_string()
             .replace(".unit0.flight", ".unit<N>.flight");
         eprintln!("[per-unit flight recordings: {pattern}]");
+    }
+    if opts.trace.is_some() {
+        builder = builder.trace(true);
+        let pattern = builder
+            .trace_path(0)
+            .display()
+            .to_string()
+            .replace(".unit0.trace.json", ".unit<N>.trace.json");
+        eprintln!("[per-unit traces: {pattern}]");
     }
     let report = builder.run().map_err(|e| e.to_string())?;
     if report.resumed > 0 {
@@ -559,7 +643,7 @@ fn cmd_sweep(
 fn cmd_health(spec: &str, density: f64, opts: &RunOpts) -> Result<(), String> {
     let topo = load_topology(spec)?;
     let prep = train(topo);
-    let (setup, vname, rec) = single_setup(&prep, density, opts)?;
+    let (setup, vname, rec, scope) = single_setup(&prep, density, opts)?;
     let outcome = run_scenario(&setup, &ScenarioKind::None);
     let v = variant_or_err(&outcome, &vname)?;
     println!(
@@ -573,6 +657,9 @@ fn cmd_health(spec: &str, density: f64, opts: &RunOpts) -> Result<(), String> {
     }
     if let Some(rec) = rec {
         save_flight(&rec, &flight_path_for(opts, "health", prep.topo.name()))?;
+    }
+    if let Some(sc) = scope {
+        save_trace(&sc, &trace_path_for(opts, "health", prep.topo.name()))?;
     }
     Ok(())
 }
@@ -591,11 +678,14 @@ fn cmd_report(spec: &str, density: f64, opts: &RunOpts) -> Result<(), String> {
         .first()
         .ok_or("topology has no covered links to fail")?;
     eprintln!("[failing {link} and running one scenario at density {density}...]");
-    let (setup, vname, rec) = single_setup(&prep, density, opts)?;
+    let (setup, vname, rec, scope) = single_setup(&prep, density, opts)?;
     let outcome = run_scenario(&setup, &ScenarioKind::SingleLink(link));
     print_outcome(&prep, &outcome, &vname)?;
     if let Some(rec) = rec {
         save_flight(&rec, &flight_path_for(opts, "report", prep.topo.name()))?;
+    }
+    if let Some(sc) = scope {
+        save_trace(&sc, &trace_path_for(opts, "report", prep.topo.name()))?;
     }
     Ok(())
 }
@@ -1027,6 +1117,357 @@ fn cmd_explain(path: &str, target: Option<&String>, flags: &ExplainFlags) -> Res
     }
 }
 
+/// Output format of `timeline`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum TimelineFormat {
+    Table,
+    Json,
+    Spark,
+}
+
+/// Strip `--format=table|json|sparkline` out of `args`.
+fn take_timeline_flags(args: &mut Vec<String>) -> Result<TimelineFormat, String> {
+    let mut fmt = TimelineFormat::Table;
+    let mut err = None;
+    args.retain(|a| {
+        let Some(rest) = a.strip_prefix("--format") else {
+            return true;
+        };
+        match rest.strip_prefix('=') {
+            Some("table") => fmt = TimelineFormat::Table,
+            Some("json") => fmt = TimelineFormat::Json,
+            Some("sparkline") => fmt = TimelineFormat::Spark,
+            _ => {
+                err = Some(format!(
+                    "bad format '{a}' (use --format=table|json|sparkline)"
+                ))
+            }
+        }
+        false
+    });
+    match err {
+        Some(e) => Err(e),
+        None => Ok(fmt),
+    }
+}
+
+/// The per-window rows of a set of series columns: the sorted union of
+/// their window indices, one `Option<f64>` cell per column.
+fn window_rows(cols: &[Option<&TraceSeries>]) -> Vec<(u64, Vec<Option<f64>>)> {
+    let mut rows: std::collections::BTreeMap<u64, Vec<Option<f64>>> =
+        std::collections::BTreeMap::new();
+    for (i, col) in cols.iter().enumerate() {
+        let Some(s) = col else { continue };
+        for &(w, v) in &s.points {
+            rows.entry(w).or_insert_with(|| vec![None; cols.len()])[i] = Some(v);
+        }
+    }
+    rows.into_iter().collect()
+}
+
+/// One link's or switch's per-window view of a trace.
+fn timeline_target(
+    data: &TraceData,
+    label: &str,
+    kinds: &[SeriesKind],
+    id: u16,
+    fmt: TimelineFormat,
+) -> Result<(), String> {
+    let cols: Vec<Option<&TraceSeries>> = kinds.iter().map(|&k| data.series_for(k, id)).collect();
+    if cols.iter().all(|c| c.is_none()) {
+        return Err(format!(
+            "trace has no series for {label} (nothing was fed for that id; \
+             check the summary view for the ids present)"
+        ));
+    }
+    let rows = window_rows(&cols);
+    if fmt == TimelineFormat::Json {
+        let series: Vec<String> = kinds
+            .iter()
+            .zip(&cols)
+            .filter_map(|(&k, c)| {
+                c.map(|s| {
+                    let pts: Vec<String> =
+                        s.points.iter().map(|(w, v)| format!("[{w},{v}]")).collect();
+                    format!(
+                        "{{\"kind\":\"{}\",\"evicted\":{},\"points\":[{}]}}",
+                        k.as_str(),
+                        s.evicted,
+                        pts.join(",")
+                    )
+                })
+            })
+            .collect();
+        println!(
+            "{{\"target\":\"{label}\",\"series\":[{}]}}",
+            series.join(",")
+        );
+        return Ok(());
+    }
+    println!("=== {label} ===");
+    if let Some(m) = &data.meta {
+        println!(
+            "run          : interval {}, failure injected at {}",
+            fmt_ms(m.interval_ns),
+            fmt_ms(m.t_fail_ns)
+        );
+        println!(
+            "eq(1)        : alpha {}, beta {}, hop_min {}",
+            m.alpha, m.beta, m.hop_min
+        );
+    }
+    if fmt == TimelineFormat::Spark {
+        for (i, (k, c)) in kinds.iter().zip(&cols).enumerate() {
+            if c.is_none() {
+                continue;
+            }
+            let vals: Vec<f64> = rows
+                .iter()
+                .map(|(_, cells)| cells[i].unwrap_or(0.0))
+                .collect();
+            let peak = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            println!(
+                "{:<16} {}  windows {}..{}, peak {peak}",
+                k.as_str(),
+                sparkline(&vals),
+                rows.first().map_or(0, |r| r.0),
+                rows.last().map_or(0, |r| r.0),
+            );
+        }
+    } else {
+        let mut header = format!("{:>8}", "window");
+        for k in kinds {
+            header.push_str(&format!("  {:>15}", k.as_str()));
+        }
+        println!("{header}");
+        for (w, cells) in &rows {
+            let mut line = format!("{w:>8}");
+            for c in cells {
+                line.push_str(&format!(
+                    "  {:>15}",
+                    c.map_or("-".to_string(), |v| format!("{v}"))
+                ));
+            }
+            println!("{line}");
+        }
+    }
+    // The warning cross-reference: the first window whose warning count is
+    // non-zero is the sampling window in which `explain`'s WarningRaised
+    // record for this link lands (both derive the index as at_ns/interval).
+    if kinds.contains(&SeriesKind::LinkWarnings) {
+        if let Some(ws) = data.series_for(SeriesKind::LinkWarnings, id) {
+            if let Some(&(w, _)) = ws.points.iter().find(|&&(_, v)| v > 0.0) {
+                let at = data
+                    .meta
+                    .as_ref()
+                    .map(|m| format!(" (~{} into the run)", fmt_ms(w * m.interval_ns)))
+                    .unwrap_or_default();
+                println!("first warning: window {w}{at}");
+            } else {
+                println!("first warning: never (no eq(1) firing for this link)");
+            }
+        }
+    }
+    let evicted: u64 = cols.iter().filter_map(|c| c.map(|s| s.evicted)).sum();
+    if evicted > 0 {
+        println!(
+            "note: {evicted} early points were evicted from the ring; the series above \
+             is the surviving tail"
+        );
+    }
+    Ok(())
+}
+
+/// The whole-trace summary view.
+fn timeline_summary(data: &TraceData, path: &str, fmt: TimelineFormat) -> Result<(), String> {
+    // Peak suspicion and warning totals per link, for the suspect list.
+    let mut suspects: Vec<(u16, f64)> = data
+        .series
+        .iter()
+        .filter(|s| s.kind == SeriesKind::LinkSuspicion.as_str())
+        .map(|s| {
+            let peak = s
+                .points
+                .iter()
+                .map(|&(_, v)| v)
+                .fold(f64::NEG_INFINITY, f64::max);
+            (s.id, peak)
+        })
+        .collect();
+    suspects.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    let warned: Vec<u16> = data
+        .series
+        .iter()
+        .filter(|s| {
+            s.kind == SeriesKind::LinkWarnings.as_str() && s.points.iter().any(|&(_, v)| v > 0.0)
+        })
+        .map(|s| s.id)
+        .collect();
+    let (wlo, whi) = data
+        .series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|&(w, _)| w))
+        .fold((u64::MAX, 0u64), |(lo, hi), w| (lo.min(w), hi.max(w)));
+    let total_calls: u64 = data.profiler.iter().map(|&(_, n)| n).sum();
+    if fmt == TimelineFormat::Json {
+        let meta = data
+            .meta
+            .as_ref()
+            .map(|m| {
+                format!(
+                    "{{\"interval_ns\":{},\"t_fail_ns\":{},\"total_links\":{},\"total_switches\":{},\"alpha\":{},\"beta\":{},\"hop_min\":{}}}",
+                    m.interval_ns, m.t_fail_ns, m.total_links, m.total_switches, m.alpha, m.beta, m.hop_min
+                )
+            })
+            .unwrap_or_else(|| "null".to_string());
+        let top: Vec<String> = suspects
+            .iter()
+            .take(5)
+            .map(|(l, p)| format!("{{\"link\":{l},\"peak\":{p}}}"))
+            .collect();
+        let prof: Vec<String> = data
+            .profiler
+            .iter()
+            .map(|(f, n)| format!("{{\"fn\":\"{f}\",\"calls\":{n}}}"))
+            .collect();
+        println!(
+            "{{\"file\":\"{}\",\"meta\":{meta},\"series\":{},\"spans\":{},\"windows\":{},\"links_with_warnings\":{:?},\"top_suspicion\":[{}],\"profiler_enabled\":{},\"profiler\":[{}]}}",
+            drift_bottle::telemetry::json_escape(path),
+            data.series.len(),
+            data.spans.len(),
+            if wlo == u64::MAX {
+                "null".to_string()
+            } else {
+                format!("[{wlo},{whi}]")
+            },
+            warned,
+            top.join(","),
+            data.profiler_enabled,
+            prof.join(",")
+        );
+        return Ok(());
+    }
+    println!("=== db-scope trace: {path} ===");
+    match &data.meta {
+        Some(m) => {
+            println!(
+                "run          : interval {}, failure at {}, {} links, {} switches",
+                fmt_ms(m.interval_ns),
+                fmt_ms(m.t_fail_ns),
+                m.total_links,
+                m.total_switches
+            );
+            println!(
+                "eq(1)        : alpha {}, beta {}, hop_min {}",
+                m.alpha, m.beta, m.hop_min
+            );
+        }
+        None => println!("run          : no meta header (trace written outside a scenario?)"),
+    }
+    if wlo == u64::MAX {
+        println!("series       : none (no windows closed before export)");
+    } else {
+        println!(
+            "series       : {} across windows {wlo}..{whi}",
+            data.series.len()
+        );
+    }
+    let mut window_spans = 0usize;
+    let mut tally: std::collections::BTreeMap<&str, usize> = std::collections::BTreeMap::new();
+    for s in &data.spans {
+        if s.name.starts_with("window ") {
+            window_spans += 1;
+        } else {
+            *tally.entry(s.name.as_str()).or_default() += 1;
+        }
+    }
+    let named: Vec<String> = tally.iter().map(|(n, c)| format!("{n} x{c}")).collect();
+    println!(
+        "spans        : {} total ({}; {window_spans} windows)",
+        data.spans.len(),
+        named.join(", ")
+    );
+    println!("links warned : {}", {
+        let labels: Vec<String> = warned.iter().map(|l| format!("l{l}")).collect();
+        if labels.is_empty() {
+            "(none)".to_string()
+        } else {
+            labels.join(" ")
+        }
+    });
+    println!("top suspicion:");
+    for (l, peak) in suspects.iter().take(5) {
+        let spark = data
+            .series_for(SeriesKind::LinkSuspicion, *l)
+            .map(|s| {
+                let vals: Vec<f64> = s.points.iter().map(|&(_, v)| v).collect();
+                sparkline(&vals)
+            })
+            .unwrap_or_default();
+        let first_warn = data
+            .series_for(SeriesKind::LinkWarnings, *l)
+            .and_then(|s| s.points.iter().find(|&&(_, v)| v > 0.0))
+            .map(|&(w, _)| format!(", first warning in window {w}"))
+            .unwrap_or_default();
+        println!("  l{l:<4} peak {peak:<8} {spark}{first_warn}");
+    }
+    if suspects.is_empty() {
+        println!("  (no merges reached any switch)");
+    }
+    if data.profiler_enabled && total_calls > 0 {
+        println!("hot path     : {total_calls} calls");
+        let mut prof = data.profiler.clone();
+        prof.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        for (f, n) in prof.iter().filter(|&&(_, n)| n > 0) {
+            println!(
+                "  {f:<26} {n:>12}  {:.1}%",
+                100.0 * *n as f64 / total_calls as f64
+            );
+        }
+    }
+    println!("inspect a link with: drift-bottle timeline {path} l<ID> (or s<ID> for a switch)");
+    Ok(())
+}
+
+fn cmd_timeline(path: &str, target: Option<&String>, fmt: TimelineFormat) -> Result<(), String> {
+    let data = TraceData::load(Path::new(path)).map_err(|e| format!("loading {path}: {e}"))?;
+    match target {
+        None => timeline_summary(&data, path, fmt),
+        Some(t) => {
+            if let Some(id) = t.strip_prefix('l').and_then(|s| s.parse::<u16>().ok()) {
+                timeline_target(
+                    &data,
+                    &format!("link l{id}"),
+                    &[
+                        SeriesKind::LinkSuspicion,
+                        SeriesKind::LinkVotes,
+                        SeriesKind::LinkWarnings,
+                        SeriesKind::LinkDrops,
+                    ],
+                    id,
+                    fmt,
+                )
+            } else if let Some(id) = t.strip_prefix('s').and_then(|s| s.parse::<u16>().ok()) {
+                timeline_target(
+                    &data,
+                    &format!("switch s{id}"),
+                    &[
+                        SeriesKind::SwitchFanIn,
+                        SeriesKind::SwitchAbnormal,
+                        SeriesKind::SwitchActive,
+                    ],
+                    id,
+                    fmt,
+                )
+            } else {
+                Err(format!(
+                    "bad timeline target '{t}' (use l<ID> for a link or s<ID> for a switch)"
+                ))
+            }
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let mut fmt = match take_metrics_flag(&mut args) {
@@ -1068,19 +1509,38 @@ fn main() -> ExitCode {
             format: ExplainFormat::Table,
         }
     };
-    let opts = match (take_scheme_flag(&mut args), take_flight_flag(&mut args)) {
-        (Ok(scheme), Ok(flight)) => RunOpts { scheme, flight },
-        (Err(e), _) | (_, Err(e)) => {
+    let timeline_fmt = if args.first().map(String::as_str) == Some("timeline") {
+        match take_timeline_flags(&mut args) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        TimelineFormat::Table
+    };
+    let opts = match (
+        take_scheme_flag(&mut args),
+        take_flight_flag(&mut args),
+        take_trace_flag(&mut args),
+    ) {
+        (Ok(scheme), Ok(flight), Ok(trace)) => RunOpts {
+            scheme,
+            flight,
+            trace,
+        },
+        (Err(e), _, _) | (_, Err(e), _) | (_, _, Err(e)) => {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
     };
     if matches!(
         args.first().map(String::as_str),
-        Some("topo") | Some("explain")
-    ) && (opts.scheme.is_some() || opts.flight.is_some())
+        Some("topo") | Some("explain") | Some("timeline")
+    ) && (opts.scheme.is_some() || opts.flight.is_some() || opts.trace.is_some())
     {
-        eprintln!("error: --scheme/--flight only apply to scenario commands");
+        eprintln!("error: --scheme/--flight/--trace only apply to scenario commands");
         return ExitCode::FAILURE;
     }
     let result = match args.first().map(String::as_str) {
@@ -1114,6 +1574,9 @@ fn main() -> ExitCode {
         },
         Some("explain") if args.len() == 2 || args.len() == 3 => {
             cmd_explain(&args[1], args.get(2), &explain_flags)
+        }
+        Some("timeline") if args.len() == 2 || args.len() == 3 => {
+            cmd_timeline(&args[1], args.get(2), timeline_fmt)
         }
         _ => return usage(),
     };

@@ -65,7 +65,7 @@ fn threshold_confusion(prep: &db_core::Prepared) -> ConfusionMatrix {
     use db_topology::LinkId;
 
     let traffic = TrafficConfig::with_density(0.5);
-    let flows = TrafficGen::generate(&prep.topo, &prep.routes, &traffic, 0xF166);
+    let flows = TrafficGen::generate(&prep.topo, prep.routes.as_ref(), &traffic, 0xF166);
     let (t_fail, _, end) = db_core::classifier::timeline(&prep.wcfg, traffic.start_spread);
     let link = db_core::experiment::covered_links(prep)[0];
     let scenario = FailureScenario::single_link(link, t_fail);

@@ -1,0 +1,266 @@
+//! Scale benchmark for the CSR topology core and on-demand routing:
+//! 10⁴–10⁵-node AS-graph-style graphs routed, set up, and (at 10⁴ nodes)
+//! simulated end-to-end, persisted to `results/BENCH_topology.json`.
+//!
+//! Three phases:
+//!
+//! 1. **as10000, always** — generate a 10 000-node AS graph, build the CSR
+//!    form, answer a deterministic path-query sample through a bounded
+//!    `OnDemandRoutes` cache (asserting the peak resident tree count never
+//!    exceeds the cache capacity), then train a smoke-sized classifier and
+//!    run one single-link-failure scenario end-to-end, recording whether
+//!    the failed link was localized.
+//! 2. **as50000, full runs only** — the ISSUE's headline demo: a 50 000-node
+//!    scenario *setup* (generate, CSR, routes, monitoring windows, sampled
+//!    workload) in seconds.
+//! 3. **as100000 (CSR-only), full runs only** — a 100 000-node graph built
+//!    straight into CSR (beyond the `u16` simulation bound), with landmark
+//!    distance estimates over a query sample.
+//!
+//! `DB_SMOKE=1` runs phase 1 only. Unlike the committed-baseline benches,
+//! smoke runs *do* write `results/BENCH_topology.json` (with
+//! `"smoke":true`) — the CI `topo-scale-smoke` job uploads that file as its
+//! artifact. Regenerate the committed full-scale baseline with a plain
+//! `cargo run --release -p db-bench --bin topo_scale`.
+
+use db_core::experiment::{busiest_sampled_link, run_scenario, ScenarioKind, ScenarioSetup};
+use db_core::{prepare, PrepareConfig};
+use db_flowmon::WindowConfig;
+use db_netsim::{SimTime, TrafficConfig, TrafficGen};
+use db_topology::{gen, CsrTopology, Landmarks, NodeId, OnDemandRoutes, Routes};
+use db_util::Pcg64;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn smoke() -> bool {
+    std::env::var("DB_SMOKE").map(|v| v == "1").unwrap_or(false)
+}
+
+fn ms(t: Instant) -> f64 {
+    t.elapsed().as_secs_f64() * 1e3
+}
+
+/// Time a deterministic sample of `n_queries` distinct-endpoint path
+/// queries through a bounded on-demand cache; returns the JSON fragment and
+/// asserts the cache bound held.
+fn route_sample(csr: &Arc<CsrTopology>, capacity: usize, n_queries: usize) -> String {
+    let routes = OnDemandRoutes::with_capacity(Arc::clone(csr), capacity);
+    let n = csr.node_count();
+    let mut rng = Pcg64::new_stream(0xBE7C, 0x70B0);
+    let t0 = Instant::now();
+    let mut hops = 0usize;
+    for _ in 0..n_queries {
+        let s = rng.below(n as u64) as usize;
+        let mut d = rng.below(n as u64) as usize;
+        if d == s {
+            d = (d + 1) % n;
+        }
+        hops += routes.path(NodeId(s as u16), NodeId(d as u16)).len();
+    }
+    let wall_ms = ms(t0);
+    let stats = routes.cache_stats();
+    assert!(
+        stats.peak_resident <= stats.capacity,
+        "cache bound violated: peak {} > capacity {}",
+        stats.peak_resident,
+        stats.capacity
+    );
+    println!(
+        "  route sample: {n_queries} paths ({hops} hops) in {wall_ms:.1} ms; \
+         cache peak {}/{} resident, {} evictions, {}/{} hit/miss",
+        stats.peak_resident, stats.capacity, stats.evictions, stats.hits, stats.misses
+    );
+    format!(
+        concat!(
+            "{{\"paths\":{},\"hops\":{},\"wall_ms\":{:.1},\"paths_per_sec\":{:.0},",
+            "\"cache\":{{\"capacity\":{},\"peak_resident\":{},\"resident\":{},",
+            "\"evictions\":{},\"hits\":{},\"misses\":{},\"bounded\":true}}}}"
+        ),
+        n_queries,
+        hops,
+        wall_ms,
+        n_queries as f64 / (wall_ms / 1e3),
+        stats.capacity,
+        stats.peak_resident,
+        stats.resident,
+        stats.evictions,
+        stats.hits,
+        stats.misses,
+    )
+}
+
+/// Phase 1: the 10⁴-node end-to-end story.
+fn phase_as10000() -> String {
+    println!("== as10000: generate, route, train, simulate ==");
+    let t0 = Instant::now();
+    let topo = gen::as_graph(10_000, 1);
+    let gen_ms = ms(t0);
+    let t0 = Instant::now();
+    let csr = Arc::new(CsrTopology::from_topology(&topo));
+    let csr_ms = ms(t0);
+    println!(
+        "  generated {} nodes / {} links in {gen_ms:.1} ms, CSR in {csr_ms:.1} ms",
+        topo.node_count(),
+        topo.link_count()
+    );
+    let routing = route_sample(&csr, 128, 4096);
+
+    // Smoke-sized training either way: the point is the scale of the graph,
+    // not the size of the training set.
+    let cfg = PrepareConfig {
+        n_link_scenarios: 2,
+        n_node_scenarios: 1,
+        n_healthy: 1,
+        train_density: 0.2,
+        ..Default::default()
+    };
+    let t0 = Instant::now();
+    let prep = prepare(topo, &cfg);
+    let train_ms = ms(t0);
+    let link = busiest_sampled_link(&prep).expect("sampled workload crosses links");
+    let mut setup = ScenarioSetup::flagship(&prep, 1.0, 1);
+    let vname = setup.variants[0].name.clone();
+    setup.variants.truncate(1);
+    let t0 = Instant::now();
+    let outcome = run_scenario(&setup, &ScenarioKind::SingleLink(link));
+    let run_ms = ms(t0);
+    let localized = outcome
+        .variant(&vname)
+        .is_some_and(|v| v.reported.contains(&link));
+    println!(
+        "  trained in {train_ms:.0} ms; failed {link}, simulated {} packets in {run_ms:.0} ms, \
+         localized: {localized}",
+        outcome.stats.packets_sent
+    );
+    format!(
+        concat!(
+            "{{\"nodes\":{},\"links\":{},\"gen_ms\":{:.1},\"csr_ms\":{:.1},\n",
+            "  \"route_sample\":{},\n",
+            "  \"scenario\":{{\"train_ms\":{:.0},\"run_ms\":{:.0},\"packets\":{},",
+            "\"failed_link\":{},\"localized\":{}}}}}"
+        ),
+        prep.topo.node_count(),
+        prep.topo.link_count(),
+        gen_ms,
+        csr_ms,
+        routing,
+        train_ms,
+        run_ms,
+        outcome.stats.packets_sent,
+        link.0,
+        localized,
+    )
+}
+
+/// Phase 2: 50k-node scenario setup wall clock.
+fn phase_as50000() -> String {
+    println!("== as50000: scenario setup ==");
+    let t0 = Instant::now();
+    let topo = gen::as_graph(50_000, 1);
+    let gen_ms = ms(t0);
+    let t0 = Instant::now();
+    let csr = Arc::new(CsrTopology::from_topology(&topo));
+    let csr_ms = ms(t0);
+    let routing = route_sample(&csr, 64, 2048);
+    let t0 = Instant::now();
+    let routes = OnDemandRoutes::new(Arc::clone(&csr));
+    let wcfg = WindowConfig::for_network_auto(&routes, SimTime::from_ms(4));
+    let traffic = TrafficConfig::with_density(1.0);
+    let flows = TrafficGen::generate_auto(&topo, &routes, &traffic, 1);
+    let setup_ms = ms(t0);
+    println!(
+        "  {} nodes / {} links: gen {gen_ms:.0} ms, CSR {csr_ms:.0} ms, \
+         windows+{}-flow workload {setup_ms:.0} ms",
+        topo.node_count(),
+        topo.link_count(),
+        flows.len()
+    );
+    format!(
+        concat!(
+            "{{\"nodes\":{},\"links\":{},\"gen_ms\":{:.1},\"csr_ms\":{:.1},\n",
+            "  \"route_sample\":{},\n",
+            "  \"setup\":{{\"window_intervals\":{},\"flows\":{},\"wall_ms\":{:.1}}}}}"
+        ),
+        topo.node_count(),
+        topo.link_count(),
+        gen_ms,
+        csr_ms,
+        routing,
+        wcfg.window_intervals,
+        flows.len(),
+        setup_ms,
+    )
+}
+
+/// Phase 3: 100k nodes, CSR-only, landmark estimates.
+fn phase_as100000() -> String {
+    println!("== as100000: CSR-only + landmarks ==");
+    let t0 = Instant::now();
+    let csr = gen::as_csr(100_000, 2, 1);
+    let build_ms = ms(t0);
+    let t0 = Instant::now();
+    let lm = Landmarks::build(&csr, 16);
+    let lm_ms = ms(t0);
+    let mut rng = Pcg64::new_stream(0xBE7C, 0x1A4D);
+    let n = csr.node_count() as u64;
+    let t0 = Instant::now();
+    let mut acc = 0.0f64;
+    const ESTIMATES: usize = 1_000_000;
+    for _ in 0..ESTIMATES {
+        let s = rng.below(n) as u32;
+        let t = rng.below(n) as u32;
+        acc += lm.estimate_ms(s, t);
+    }
+    let est_ms = ms(t0);
+    println!(
+        "  {} nodes / {} links: CSR build {build_ms:.0} ms, {} landmarks in {lm_ms:.0} ms, \
+         {ESTIMATES} estimates in {est_ms:.0} ms (mean {:.1} ms)",
+        csr.node_count(),
+        csr.link_count(),
+        lm.ids().len(),
+        acc / ESTIMATES as f64
+    );
+    format!(
+        concat!(
+            "{{\"nodes\":{},\"links\":{},\"build_ms\":{:.1},\n",
+            "  \"landmarks\":{{\"k\":{},\"build_ms\":{:.1},\"estimates\":{},",
+            "\"estimate_wall_ms\":{:.1},\"mean_estimate_ms\":{:.2}}}}}"
+        ),
+        csr.node_count(),
+        csr.link_count(),
+        build_ms,
+        lm.ids().len(),
+        lm_ms,
+        ESTIMATES,
+        est_ms,
+        acc / ESTIMATES as f64,
+    )
+}
+
+fn main() {
+    let smoke = smoke();
+    let ten_k = phase_as10000();
+    let (fifty_k, hundred_k) = if smoke {
+        println!("[DB_SMOKE=1: skipping the 50k/100k phases]");
+        ("null".to_string(), "null".to_string())
+    } else {
+        (phase_as50000(), phase_as100000())
+    };
+    let doc = format!(
+        concat!(
+            "{{\"bench\":\"topo_scale\",\n",
+            " \"config\":{{\"smoke\":{},\"seed\":1}},\n",
+            " \"as10000\":{},\n",
+            " \"as50000\":{},\n",
+            " \"as100000\":{}}}\n"
+        ),
+        smoke, ten_k, fifty_k, hundred_k,
+    );
+    let path = db_bench::results_dir().join("BENCH_topology.json");
+    match std::fs::create_dir_all(db_bench::results_dir())
+        .and_then(|()| std::fs::write(&path, &doc))
+    {
+        Ok(()) => println!("[bench snapshot written to {}]", path.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+    }
+}

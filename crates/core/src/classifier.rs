@@ -11,8 +11,9 @@ use db_dtree::{ConfusionMatrix, DecisionTree, TableClassifier, TrainConfig};
 use db_flowmon::dataset::Labeler;
 use db_flowmon::{Dataset, NetworkMonitor, WindowConfig};
 use db_netsim::{FailureScenario, SimConfig, SimTime, Simulator, TrafficConfig, TrafficGen};
-use db_topology::{LinkId, NodeId, RouteTable, Topology};
+use db_topology::{CsrTopology, LinkId, NodeId, OnDemandRoutes, Routes, Topology};
 use db_util::Pcg64;
+use std::sync::Arc;
 
 /// Training pipeline configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -64,8 +65,10 @@ impl Default for PrepareConfig {
 pub struct Prepared {
     /// The topology.
     pub topo: Topology,
-    /// All-pairs routes.
-    pub routes: RouteTable,
+    /// Routing engine: on-demand per-source trees behind a bounded LRU
+    /// cache, bit-identical to the old all-pairs `RouteTable` on small
+    /// graphs (DESIGN.md §14) but `O(cache)` rather than `O(n²)` resident.
+    pub routes: Arc<dyn Routes>,
     /// Network-wide monitoring window configuration.
     pub wcfg: WindowConfig,
     /// The trained tree (inspection, Fig. 6 ablations).
@@ -98,7 +101,7 @@ pub fn timeline(
 /// One training scenario: simulate, monitor, label.
 fn scenario_dataset(
     topo: &Topology,
-    routes: &RouteTable,
+    routes: &dyn Routes,
     wcfg: WindowConfig,
     scenario: &FailureScenario,
     density: f64,
@@ -107,7 +110,7 @@ fn scenario_dataset(
     let _monitor = db_telemetry::span("phase.monitor");
     let traffic = TrafficConfig::with_density(density);
     let start_spread = traffic.start_spread;
-    let flows = TrafficGen::generate(topo, routes, &traffic, seed);
+    let flows = TrafficGen::generate_auto(topo, routes, &traffic, seed);
     let (t_fail, _, _) = timeline(&wcfg, start_spread);
     // Train past the failure long enough to see every flow's decaying
     // post-failure windows (bounded by monitor aging at one window length).
@@ -131,34 +134,73 @@ fn scenario_dataset(
 /// Run the full §6.1 training pipeline for a topology.
 pub fn prepare(topo: Topology, cfg: &PrepareConfig) -> Prepared {
     let _train = db_telemetry::span("phase.train");
-    let routes = RouteTable::build(&topo);
-    let wcfg = WindowConfig::for_network(&routes, cfg.interval);
+    let ondemand = OnDemandRoutes::new(Arc::new(CsrTopology::from_topology(&topo)));
+    if let Some(reg) = db_telemetry::active() {
+        ondemand.set_metrics(reg);
+    }
+    let routes: Arc<dyn Routes> = Arc::new(ondemand);
+    let wcfg = WindowConfig::for_network_auto(routes.as_ref(), cfg.interval);
     let mut rng = Pcg64::new_stream(cfg.seed, 0x7EA1);
     let start_spread = TrafficConfig::default().start_spread;
     let (t_fail, _, _) = timeline(&wcfg, start_spread);
 
     // Assemble the scenario list: sampled link failures, sampled node
-    // failures, and healthy runs.
+    // failures, and healthy runs. Below the scale threshold the picks are
+    // uniform over links/nodes (the historical behavior, bit-identical).
+    // Above it the workload is sampled, so a uniform pick would almost
+    // always fail a link carrying no flow — yielding zero abnormal windows
+    // and a vacuous classifier. Instead each scale scenario picks a random
+    // link (or node) on a random flow of its own workload: traffic-weighted,
+    // so failures are observable by construction.
+    let scale = topo.node_count() > db_topology::SCALE_NODE_THRESHOLD;
     let mut scenarios: Vec<(FailureScenario, u64)> = Vec::new();
-    let link_picks = rng.sample_indices(
-        topo.link_count(),
-        cfg.n_link_scenarios.min(topo.link_count()),
-    );
-    for (i, l) in link_picks.into_iter().enumerate() {
-        scenarios.push((
-            FailureScenario::single_link(LinkId(l as u16), t_fail),
-            cfg.seed ^ (i as u64 + 1),
-        ));
-    }
-    let node_picks = rng.sample_indices(
-        topo.node_count(),
-        cfg.n_node_scenarios.min(topo.node_count()),
-    );
-    for (i, n) in node_picks.into_iter().enumerate() {
-        scenarios.push((
-            FailureScenario::node(NodeId(n as u16), t_fail),
-            cfg.seed ^ (0x100 + i as u64),
-        ));
+    if scale {
+        let traffic = TrafficConfig::with_density(cfg.train_density);
+        let scale_pick = |rng: &mut Pcg64, seed: u64| {
+            let flows = TrafficGen::generate_sampled(&topo, routes.as_ref(), &traffic, seed);
+            if flows.is_empty() {
+                return None;
+            }
+            let f = &flows[rng.below(flows.len() as u64) as usize];
+            let links = &f.path.links;
+            let l = links[rng.below(links.len() as u64) as usize];
+            let nodes = &f.path.nodes;
+            let n = nodes[rng.below(nodes.len() as u64) as usize];
+            Some((l, n))
+        };
+        for i in 0..cfg.n_link_scenarios {
+            let seed = cfg.seed ^ (i as u64 + 1);
+            if let Some((l, _)) = scale_pick(&mut rng, seed) {
+                scenarios.push((FailureScenario::single_link(l, t_fail), seed));
+            }
+        }
+        for i in 0..cfg.n_node_scenarios {
+            let seed = cfg.seed ^ (0x100 + i as u64);
+            if let Some((_, n)) = scale_pick(&mut rng, seed) {
+                scenarios.push((FailureScenario::node(n, t_fail), seed));
+            }
+        }
+    } else {
+        let link_picks = rng.sample_indices(
+            topo.link_count(),
+            cfg.n_link_scenarios.min(topo.link_count()),
+        );
+        for (i, l) in link_picks.into_iter().enumerate() {
+            scenarios.push((
+                FailureScenario::single_link(LinkId(l as u16), t_fail),
+                cfg.seed ^ (i as u64 + 1),
+            ));
+        }
+        let node_picks = rng.sample_indices(
+            topo.node_count(),
+            cfg.n_node_scenarios.min(topo.node_count()),
+        );
+        for (i, n) in node_picks.into_iter().enumerate() {
+            scenarios.push((
+                FailureScenario::node(NodeId(n as u16), t_fail),
+                cfg.seed ^ (0x100 + i as u64),
+            ));
+        }
     }
     for i in 0..cfg.n_healthy {
         scenarios.push((FailureScenario::none(), cfg.seed ^ (0x200 + i as u64)));
@@ -166,7 +208,14 @@ pub fn prepare(topo: Topology, cfg: &PrepareConfig) -> Prepared {
 
     // Simulate in parallel; merge datasets.
     let datasets = par_map(scenarios, |(scenario, seed)| {
-        scenario_dataset(&topo, &routes, wcfg, scenario, cfg.train_density, *seed)
+        scenario_dataset(
+            &topo,
+            routes.as_ref(),
+            wcfg,
+            scenario,
+            cfg.train_density,
+            *seed,
+        )
     });
     let mut full = Dataset::default();
     for d in datasets {
@@ -253,7 +302,7 @@ mod tests {
     #[test]
     fn timeline_ordering() {
         let topo = zoo::line(4);
-        let routes = RouteTable::build(&topo);
+        let routes = db_topology::RouteTable::build(&topo);
         let wcfg = WindowConfig::for_network(&routes, SimTime::from_ms(4));
         let spread = SimTime::from_ms(20);
         let (t_fail, (from, to), end) = timeline(&wcfg, spread);

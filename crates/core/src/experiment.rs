@@ -17,7 +17,7 @@ use db_netsim::{
 };
 use db_telemetry::flight::{FlightRecord, FlightRecorder};
 use db_telemetry::scope::{ScopeMeta, ScopeRecorder};
-use db_topology::{LinkId, NodeId, Topology};
+use db_topology::{ordered_pairs, LinkId, NodeId, Topology, SCALE_NODE_THRESHOLD};
 use db_util::Pcg64;
 use std::sync::Arc;
 
@@ -168,7 +168,7 @@ pub fn run_scenario(setup: &ScenarioSetup, kind: &ScenarioKind) -> ScenarioOutco
     let prep = setup.prep;
     let traffic = TrafficConfig::with_density(setup.density);
     let start_spread = traffic.start_spread;
-    let flows = TrafficGen::generate(&prep.topo, &prep.routes, &traffic, setup.seed);
+    let flows = TrafficGen::generate_auto(&prep.topo, prep.routes.as_ref(), &traffic, setup.seed);
     let (t_fail, window, end) = timeline(&prep.wcfg, start_spread);
     let scenario = kind.build(prep, t_fail);
     let ground_truth = scenario.failed_links_at(&prep.topo, t_fail);
@@ -337,15 +337,53 @@ pub fn sample_links(topo: &Topology, n: usize, seed: u64) -> Vec<LinkId> {
 /// report them separately.
 pub fn covered_links(prep: &Prepared) -> Vec<LinkId> {
     let mut used = vec![false; prep.topo.link_count()];
-    for (s, d) in prep.routes.pairs() {
-        for &l in &prep.routes.path(s, d).links {
-            used[l.idx()] = true;
+    let n = prep.topo.node_count();
+    if n <= SCALE_NODE_THRESHOLD {
+        // Exact all-pairs pass, identical to the historical RouteTable scan.
+        for (s, d) in ordered_pairs(n) {
+            for &l in &prep.routes.path(s, d).links {
+                used[l.idx()] = true;
+            }
+        }
+    } else {
+        // Scale regime: "covered" means carried by the canonical sampled
+        // workload (full density, seed 1 — the scenario commands' default),
+        // so failing a covered link is guaranteed observable from traffic.
+        let traffic = TrafficConfig::with_density(1.0);
+        let flows = TrafficGen::generate_sampled(&prep.topo, prep.routes.as_ref(), &traffic, 1);
+        for f in &flows {
+            for &l in &f.path.links {
+                used[l.idx()] = true;
+            }
         }
     }
     (0..prep.topo.link_count() as u16)
         .map(LinkId)
         .filter(|l| used[l.idx()])
         .collect()
+}
+
+/// The covered link crossed by the most flows of the canonical sampled
+/// workload (full density, seed 1), ties to the smaller id — the scale
+/// regime's best-observed failure candidate. On a sparse sampled workload
+/// an arbitrary covered link may carry a single flow, too weak a signal
+/// for the equation-(1) thresholds; the busiest link is where a failure
+/// is most observable.
+pub fn busiest_sampled_link(prep: &Prepared) -> Option<LinkId> {
+    let traffic = TrafficConfig::with_density(1.0);
+    let flows = TrafficGen::generate_sampled(&prep.topo, prep.routes.as_ref(), &traffic, 1);
+    let mut count = vec![0u32; prep.topo.link_count()];
+    for f in &flows {
+        for &l in &f.path.links {
+            count[l.idx()] += 1;
+        }
+    }
+    count
+        .iter()
+        .enumerate()
+        .filter(|&(_, &c)| c > 0)
+        .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+        .map(|(i, _)| LinkId(i as u16))
 }
 
 /// Sample `n` covered links, deterministically.

@@ -15,8 +15,8 @@
 
 use crate::measures::IntervalMeasures;
 use db_netsim::SimTime;
-use db_topology::{LinkId, RouteTable};
-use db_util::stats as st;
+use db_topology::{LinkId, NodeId, Routes, SCALE_NODE_THRESHOLD};
+use db_util::{stats as st, Pcg64};
 use std::collections::VecDeque;
 
 /// Number of features in a vector: 3 (`f_flow`) + 6 (`f_avg`) + 6 (`f_last`).
@@ -73,15 +73,52 @@ pub struct WindowConfig {
 pub const MAX_WINDOW_INTERVALS: usize = 32;
 
 impl WindowConfig {
-    /// Derive the configuration from a route table: window = p90 of all-pairs
-    /// RTT, at least one interval, at most [`MAX_WINDOW_INTERVALS`].
-    pub fn for_network(routes: &RouteTable, interval: SimTime) -> Self {
+    /// Derive the configuration from a routing engine: window = p90 of
+    /// all-pairs RTT, at least one interval, at most
+    /// [`MAX_WINDOW_INTERVALS`]. `O(n²)` — intended for graphs at or below
+    /// [`SCALE_NODE_THRESHOLD`]; use [`WindowConfig::for_network_sampled`]
+    /// beyond it, or [`WindowConfig::for_network_auto`] to dispatch.
+    pub fn for_network(routes: &dyn Routes, interval: SimTime) -> Self {
         assert!(interval > SimTime::ZERO, "interval must be positive");
         let rtts = routes.all_rtts_ms();
+        Self::from_rtts(&rtts, interval)
+    }
+
+    /// Derive the configuration from a deterministic 64-source × ≤32-dest
+    /// RTT sample (`2 × one-way latency`, fixed internal stream) instead of
+    /// all `n²` pairs — the scale regime's approximation (DESIGN.md §14).
+    pub fn for_network_sampled(routes: &dyn Routes, interval: SimTime) -> Self {
+        assert!(interval > SimTime::ZERO, "interval must be positive");
+        let n = routes.node_count();
+        let mut rng = Pcg64::new_stream(0x5CA1E, 0x91D0);
+        let sources = rng.sample_indices(n, 64.min(n));
+        let mut rtts = Vec::new();
+        for s in sources {
+            let mut dests = rng.sample_indices(n, 33.min(n));
+            dests.retain(|&d| d != s);
+            dests.truncate(32);
+            for d in dests {
+                rtts.push(2.0 * routes.latency_ms(NodeId(s as u16), NodeId(d as u16)));
+            }
+        }
+        Self::from_rtts(&rtts, interval)
+    }
+
+    /// [`WindowConfig::for_network`] at or below [`SCALE_NODE_THRESHOLD`]
+    /// nodes, [`WindowConfig::for_network_sampled`] above.
+    pub fn for_network_auto(routes: &dyn Routes, interval: SimTime) -> Self {
+        if routes.node_count() <= SCALE_NODE_THRESHOLD {
+            Self::for_network(routes, interval)
+        } else {
+            Self::for_network_sampled(routes, interval)
+        }
+    }
+
+    fn from_rtts(rtts: &[f64], interval: SimTime) -> Self {
         let p90 = if rtts.is_empty() {
             0.0
         } else {
-            st::percentile(&rtts, 90.0)
+            st::percentile(rtts, 90.0)
         };
         let window_intervals =
             ((p90 / interval.as_ms_f64()).ceil() as usize).clamp(1, MAX_WINDOW_INTERVALS);
@@ -241,6 +278,21 @@ mod tests {
         let cfg2 = WindowConfig::for_network(&routes, SimTime::from_ms(1));
         assert_eq!(cfg2.window_intervals, 4);
         assert_eq!(cfg2.window_len(), SimTime::from_ms(4));
+    }
+
+    #[test]
+    fn sampled_window_config_matches_exact_on_small_graphs() {
+        // Below the sample sizes every pair is visited, and symmetric
+        // latencies make 2×one-way equal the two-directional RTT, so the
+        // sampled p90 can only differ by sample multiplicity — on a uniform
+        // line (all RTT values present in both samples) it matches exactly.
+        let topo = zoo::line(3);
+        let routes = db_topology::RouteTable::build(&topo);
+        let exact = WindowConfig::for_network(&routes, SimTime::from_ms(1));
+        let sampled = WindowConfig::for_network_sampled(&routes, SimTime::from_ms(1));
+        assert_eq!(sampled.window_intervals, exact.window_intervals);
+        let auto = WindowConfig::for_network_auto(&routes, SimTime::from_ms(1));
+        assert_eq!(auto, exact, "small graph dispatches to the exact pass");
     }
 
     #[test]

@@ -13,7 +13,7 @@
 
 use crate::flow::{FlowId, FlowSpec, PpbpParams};
 use crate::time::SimTime;
-use db_topology::{RouteTable, Topology};
+use db_topology::{ordered_pairs, NodeId, Routes, Topology, SCALE_NODE_THRESHOLD};
 use db_util::dist::{BoundedPareto, Exp, Pareto};
 use db_util::Pcg64;
 
@@ -76,10 +76,11 @@ impl TrafficGen {
     ///
     /// Each **ordered** pair of distinct switches carries a unidirectional
     /// flow with probability `cfg.density`; the result is a pure function of
-    /// `(topology, cfg, seed)`.
+    /// `(topology, cfg, seed)`. `O(n²)` pair visits — scale callers go
+    /// through [`TrafficGen::generate_auto`].
     pub fn generate(
         _topo: &Topology,
-        routes: &RouteTable,
+        routes: &dyn Routes,
         cfg: &TrafficConfig,
         seed: u64,
     ) -> Vec<FlowSpec> {
@@ -87,35 +88,109 @@ impl TrafficGen {
         let volume =
             BoundedPareto::new(cfg.flow_bytes_min, cfg.flow_bytes_max, cfg.flow_bytes_alpha);
         let mut flows = Vec::new();
-        for (src, dst) in routes.pairs() {
+        for (src, dst) in ordered_pairs(routes.node_count()) {
             if !rng.chance(cfg.density) {
                 continue;
             }
-            let id = FlowId(flows.len() as u32);
-            let path = routes.path(src, dst).clone();
             let rtt_ms = routes.rtt_ms(src, dst);
-            let start = SimTime::from_ns(rng.below(cfg.start_spread.as_ns().max(1)));
-            let total_bytes = volume.sample(&mut rng) as u64;
-            // Per-flow PPBP parameter jitter so flows are heterogeneous.
-            let ppbp = PpbpParams {
-                burst_pps: rng.range_f64(600.0, 1_200.0),
-                base_pps: rng.range_f64(350.0, 500.0),
-                burst_rate: rng.range_f64(30.0, 60.0),
-                burst_min_s: rng.range_f64(0.004, 0.008),
-                burst_alpha: 1.4,
-            };
-            flows.push(FlowSpec {
-                id,
-                src,
-                dst,
-                path,
-                start,
-                total_bytes,
-                ppbp,
-                rtt_ms,
-            });
+            Self::push_flow(&mut flows, routes, src, dst, rtt_ms, cfg, &volume, &mut rng);
         }
         flows
+    }
+
+    /// Scale-regime workload: instead of rolling a density die per ordered
+    /// pair (`O(n²)` RNG draws), sample `⌈2048·density⌉` flows grouped as
+    /// sources × up to 32 destinations each. Grouping by source bounds the
+    /// number of distinct shortest-path trees the on-demand router computes
+    /// to the source count, and the per-flow RTT is estimated as `2 ×
+    /// one-way latency` so destination trees are never needed. Still a pure
+    /// function of `(routes, cfg, seed)`.
+    pub fn generate_sampled(
+        _topo: &Topology,
+        routes: &dyn Routes,
+        cfg: &TrafficConfig,
+        seed: u64,
+    ) -> Vec<FlowSpec> {
+        let n = routes.node_count();
+        let mut rng = Pcg64::new_stream(seed, 0x7AFF1C);
+        let volume =
+            BoundedPareto::new(cfg.flow_bytes_min, cfg.flow_bytes_max, cfg.flow_bytes_alpha);
+        let target = (2048.0 * cfg.density).round() as usize;
+        let mut flows = Vec::new();
+        if target == 0 {
+            return flows;
+        }
+        let per_source = 32usize.min(n - 1);
+        let n_sources = target.div_ceil(per_source).min(n);
+        let sources = rng.sample_indices(n, n_sources);
+        'outer: for s in sources {
+            let src = NodeId(s as u16);
+            let mut dests = rng.sample_indices(n, (per_source + 1).min(n));
+            dests.retain(|&d| d != s);
+            dests.truncate(per_source);
+            for d in dests {
+                let dst = NodeId(d as u16);
+                let rtt_ms = 2.0 * routes.latency_ms(src, dst);
+                Self::push_flow(&mut flows, routes, src, dst, rtt_ms, cfg, &volume, &mut rng);
+                if flows.len() >= target {
+                    break 'outer;
+                }
+            }
+        }
+        flows
+    }
+
+    /// Dispatch on graph size: exact per-pair generation (bit-identical to
+    /// the historical behavior) at or below [`SCALE_NODE_THRESHOLD`],
+    /// sampled above it.
+    pub fn generate_auto(
+        topo: &Topology,
+        routes: &dyn Routes,
+        cfg: &TrafficConfig,
+        seed: u64,
+    ) -> Vec<FlowSpec> {
+        if routes.node_count() <= SCALE_NODE_THRESHOLD {
+            Self::generate(topo, routes, cfg, seed)
+        } else {
+            Self::generate_sampled(topo, routes, cfg, seed)
+        }
+    }
+
+    /// Shared per-flow tail: id assignment, path lookup, and the start /
+    /// volume / PPBP-jitter draws in the exact historical RNG order.
+    #[allow(clippy::too_many_arguments)]
+    fn push_flow(
+        flows: &mut Vec<FlowSpec>,
+        routes: &dyn Routes,
+        src: NodeId,
+        dst: NodeId,
+        rtt_ms: f64,
+        cfg: &TrafficConfig,
+        volume: &BoundedPareto,
+        rng: &mut Pcg64,
+    ) {
+        let id = FlowId(flows.len() as u32);
+        let path = routes.path(src, dst);
+        let start = SimTime::from_ns(rng.below(cfg.start_spread.as_ns().max(1)));
+        let total_bytes = volume.sample(rng) as u64;
+        // Per-flow PPBP parameter jitter so flows are heterogeneous.
+        let ppbp = PpbpParams {
+            burst_pps: rng.range_f64(600.0, 1_200.0),
+            base_pps: rng.range_f64(350.0, 500.0),
+            burst_rate: rng.range_f64(30.0, 60.0),
+            burst_min_s: rng.range_f64(0.004, 0.008),
+            burst_alpha: 1.4,
+        };
+        flows.push(FlowSpec {
+            id,
+            src,
+            dst,
+            path,
+            start,
+            total_bytes,
+            ppbp,
+            rtt_ms,
+        });
     }
 }
 
@@ -215,7 +290,7 @@ impl Sender {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use db_topology::zoo;
+    use db_topology::{zoo, RouteTable};
 
     fn spec_for_tests() -> FlowSpec {
         let topo = zoo::line(3);

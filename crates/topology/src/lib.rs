@@ -17,23 +17,34 @@
 //! * [`zoo`] — deterministic stand-ins for the four evaluation topologies
 //!   (see DESIGN.md §3 for the substitution argument) and the small toy
 //!   topologies of Fig. 1 and Fig. 5.
-//! * [`gen`] — random graph generators (Waxman, Barabási-Albert) for
-//!   property-based testing.
+//! * [`csr`] — the compressed-sparse-row core for 10⁴–10⁵-node graphs:
+//!   dense `u32` ids, struct-of-arrays link attributes, and the
+//!   `Result`-based plain-text edge-list loader.
+//! * [`ondemand`] — lazy per-source routing behind the [`routing::Routes`]
+//!   trait: a bounded deterministic LRU tree cache plus landmark distance
+//!   estimation, bit-identical to [`routing::RouteTable`] (DESIGN.md §14).
+//! * [`gen`] — random graph generators (Waxman, Barabási-Albert, and the
+//!   AS-graph-style `as_graph`/`as_csr`) for property-based testing and
+//!   scale experiments.
 //! * [`parse`] — a plain-text topology interchange format.
 //! * [`load`] — name-or-file topology resolution behind one `Result`
 //!   return, so front ends report [`load::LoadError`] with context instead
 //!   of unwinding.
 
+pub mod csr;
 pub mod gen;
 pub mod graph;
 pub mod load;
 pub mod matrix;
+pub mod ondemand;
 pub mod parse;
 pub mod routing;
 pub mod stats;
 pub mod zoo;
 
+pub use csr::{CsrTopology, EdgeListError};
 pub use graph::{Link, LinkId, NodeId, Topology, TopologyBuilder, TopologyError};
 pub use load::LoadError;
-pub use routing::{Path, RouteTable};
+pub use ondemand::{CacheStats, Landmarks, OnDemandRoutes, SourceTree};
+pub use routing::{ordered_pairs, Path, RouteTable, Routes, SCALE_NODE_THRESHOLD};
 pub use stats::TopologyStats;

@@ -1,13 +1,26 @@
-//! One-stop topology loading: built-in name or interchange file.
+//! One-stop topology loading: built-in name, generator spec, or file.
 //!
 //! Every front end (the `drift-bottle` CLI, the figure binaries, the sweep
-//! orchestrator) needs the same resolution rule — "is this a built-in
-//! evaluation topology name, else a path to a text-format file?" — and
-//! previously each hand-rolled it with ad-hoc `String` errors or panics.
-//! [`load`] is that rule behind a single `Result` return: callers report
-//! [`LoadError`] with context instead of unwinding.
+//! orchestrator) needs the same resolution rule — and previously each
+//! hand-rolled it with ad-hoc `String` errors or panics. [`load`] is that
+//! rule behind a single `Result` return: callers report [`LoadError`] with
+//! context instead of unwinding.
+//!
+//! Accepted specs, tried in order:
+//!
+//! 1. `as:<n>[:<seed>]` — an AS-graph-style generated topology with `n`
+//!    nodes ([`gen::as_graph`], default seed 1).
+//! 2. `path:<file>` — a plain-text edge list (`nodes <count>` header, then
+//!    `a b latency_ms [bandwidth_mbps]` lines; see
+//!    [`CsrTopology::from_edge_list_text`]). Parse failures carry the
+//!    offending line number.
+//! 3. A built-in evaluation-topology name (case-insensitive,
+//!    [`zoo::by_name`]).
+//! 4. A path to a file in the [`parse`] interchange format.
 
-use crate::graph::Topology;
+use crate::csr::{CsrTopology, EdgeListError};
+use crate::gen;
+use crate::graph::{Topology, TopologyError};
 use crate::parse::{self, ParseError};
 use crate::zoo;
 
@@ -29,6 +42,21 @@ pub enum LoadError {
         /// The parse/validation error, with line context.
         error: ParseError,
     },
+    /// A recognized spec form (`as:`/`path:`) with invalid arguments.
+    Spec {
+        /// The spec as given.
+        spec: String,
+        /// What was wrong with it.
+        msg: String,
+    },
+    /// A `path:` edge list was read but failed to parse or validate; the
+    /// error carries the offending line.
+    EdgeList {
+        /// The spec as given.
+        spec: String,
+        /// The line-carrying edge-list error.
+        error: EdgeListError,
+    },
 }
 
 impl std::fmt::Display for LoadError {
@@ -36,20 +64,30 @@ impl std::fmt::Display for LoadError {
         match self {
             LoadError::NotFound { spec, io } => write!(
                 f,
-                "'{spec}' is not a built-in topology ({}) and reading it as a file failed: {io}",
+                "'{spec}' is not a built-in topology ({}), not a generator spec \
+                 (as:<n>[:<seed>], path:<file>), and reading it as a file failed: {io}",
                 zoo::BUILTIN_NAMES.join(", ")
             ),
             LoadError::Parse { spec, error } => write!(f, "parsing '{spec}': {error}"),
+            LoadError::Spec { spec, msg } => write!(f, "bad spec '{spec}': {msg}"),
+            LoadError::EdgeList { spec, error } => write!(f, "edge list '{spec}': {error}"),
         }
     }
 }
 
 impl std::error::Error for LoadError {}
 
-/// Load a topology from a spec: a built-in evaluation-topology name
-/// (case-insensitive, see [`zoo::by_name`]) or a path to a file in the
-/// [`parse`] interchange format.
+/// Load a topology from a spec (see the module docs for the accepted
+/// forms). Never panics: every failure is a [`LoadError`] with context.
 pub fn load(spec: &str) -> Result<Topology, LoadError> {
+    if let Some(args) = spec.strip_prefix("as:") {
+        return load_as(spec, args);
+    }
+    if let Some(file) = spec.strip_prefix("path:") {
+        return load_edge_list(spec, file)?
+            .to_topology()
+            .map_err(|e| too_large(spec, e));
+    }
     if let Some(t) = zoo::by_name(spec) {
         return Ok(t);
     }
@@ -61,6 +99,70 @@ pub fn load(spec: &str) -> Result<Topology, LoadError> {
         spec: spec.to_string(),
         error,
     })
+}
+
+/// Load a spec straight into CSR form. `path:` edge lists skip the `u16`
+/// bound entirely; every other spec goes through [`load`] and is converted.
+pub fn load_csr(spec: &str) -> Result<CsrTopology, LoadError> {
+    if let Some(file) = spec.strip_prefix("path:") {
+        return load_edge_list(spec, file);
+    }
+    load(spec).map(|t| CsrTopology::from_topology(&t))
+}
+
+fn load_as(spec: &str, args: &str) -> Result<Topology, LoadError> {
+    let bad = |msg: String| LoadError::Spec {
+        spec: spec.to_string(),
+        msg,
+    };
+    let mut parts = args.split(':');
+    let n: usize = parts
+        .next()
+        .unwrap_or("")
+        .parse()
+        .map_err(|_| bad("expected as:<n>[:<seed>] with integer n".to_string()))?;
+    let seed: u64 = match parts.next() {
+        Some(s) => s
+            .parse()
+            .map_err(|_| bad(format!("'{s}' is not an integer seed")))?,
+        None => 1,
+    };
+    if parts.next().is_some() {
+        return Err(bad("too many ':'-separated fields".to_string()));
+    }
+    if n < 4 {
+        return Err(bad("as graph needs at least 4 nodes".to_string()));
+    }
+    if n > gen::AS_GRAPH_MAX_NODES {
+        return Err(bad(format!(
+            "as graph is capped at {} nodes by the u16 link budget",
+            gen::AS_GRAPH_MAX_NODES
+        )));
+    }
+    Ok(gen::as_graph(n, seed))
+}
+
+fn load_edge_list(spec: &str, file: &str) -> Result<CsrTopology, LoadError> {
+    let text = std::fs::read_to_string(file).map_err(|e| LoadError::NotFound {
+        spec: spec.to_string(),
+        io: e.to_string(),
+    })?;
+    let name = std::path::Path::new(file)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("edgelist")
+        .to_string();
+    CsrTopology::from_edge_list_text(name, &text).map_err(|error| LoadError::EdgeList {
+        spec: spec.to_string(),
+        error,
+    })
+}
+
+fn too_large(spec: &str, e: TopologyError) -> LoadError {
+    LoadError::Spec {
+        spec: spec.to_string(),
+        msg: format!("valid edge list, but unusable for simulation: {e}"),
+    }
 }
 
 #[cfg(test)]
@@ -104,5 +206,72 @@ mod tests {
         assert!(matches!(err, LoadError::NotFound { .. }));
         assert!(msg.contains("not a built-in topology"), "{msg}");
         assert!(msg.contains("geant2012"), "names the alternatives: {msg}");
+        assert!(msg.contains("as:<n>"), "mentions generator specs: {msg}");
+    }
+
+    #[test]
+    fn as_spec_generates_deterministically() {
+        let a = load("as:200").unwrap();
+        assert_eq!(a.name(), "as200");
+        assert_eq!(a.node_count(), 200);
+        assert!(a.is_connected());
+        let b = load("as:200:1").unwrap();
+        assert_eq!(a.link_count(), b.link_count());
+        let c = load("as:200:9").unwrap();
+        assert!(a
+            .links()
+            .iter()
+            .zip(c.links())
+            .any(|(x, y)| x.a != y.a || x.b != y.b || x.latency_ms != y.latency_ms));
+    }
+
+    #[test]
+    fn as_spec_rejects_bad_args() {
+        for (spec, needle) in [
+            ("as:abc", "integer n"),
+            ("as:3", "at least 4"),
+            ("as:100:x", "integer seed"),
+            ("as:100:1:2", "too many"),
+            ("as:999999", "capped"),
+        ] {
+            let err = load(spec).unwrap_err();
+            assert!(matches!(err, LoadError::Spec { .. }), "{spec}: {err}");
+            assert!(err.to_string().contains(needle), "{spec}: {err}");
+        }
+    }
+
+    #[test]
+    fn path_spec_loads_edge_lists_with_line_errors() {
+        let dir = std::env::temp_dir().join("db-topology-edgelist-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let good = dir.join("small.edges");
+        std::fs::write(&good, "nodes 3\n0 1 1.0\n1 2 2.0\n").unwrap();
+        let spec = format!("path:{}", good.display());
+        let t = load(&spec).unwrap();
+        assert_eq!(t.name(), "small");
+        assert_eq!(t.node_count(), 3);
+        assert_eq!(t.link_count(), 2);
+        // CSR-direct load agrees.
+        let c = load_csr(&spec).unwrap();
+        assert_eq!(c.node_count(), 3);
+
+        let bad = dir.join("bad.edges");
+        std::fs::write(&bad, "nodes 3\n0 1 1.0\n1 7 2.0\n").unwrap();
+        let err = load(&format!("path:{}", bad.display())).unwrap_err();
+        match &err {
+            LoadError::EdgeList { error, .. } => assert_eq!(
+                *error,
+                crate::csr::EdgeListError::UnknownNode {
+                    line: 3,
+                    id: 7,
+                    nodes: 3
+                }
+            ),
+            other => panic!("expected edge-list error, got {other:?}"),
+        }
+        assert!(err.to_string().contains("line 3"), "{err}");
+
+        let missing = load("path:/no/such/file.edges").unwrap_err();
+        assert!(matches!(missing, LoadError::NotFound { .. }));
     }
 }

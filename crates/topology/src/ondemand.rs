@@ -1,0 +1,617 @@
+//! On-demand routing over a [`CsrTopology`]: lazy per-source shortest-path
+//! trees in a bounded, deterministic LRU cache.
+//!
+//! [`RouteTable::build`] materializes all `n²` paths up front — `O(n²)`
+//! memory that walls off every graph past a few thousand nodes. The
+//! [`OnDemandRoutes`] engine instead computes one Dijkstra *tree* per
+//! requested source, caches at most `capacity` trees, and reconstructs
+//! paths from parent pointers on demand. Peak path storage is bounded by
+//! the cache capacity, never by `n²`.
+//!
+//! **Determinism argument** (DESIGN.md §14): the CSR Dijkstra mirrors the
+//! legacy one operation for operation — same heap ordering, same neighbor
+//! visit order (rows are `(node, link)`-sorted in both representations),
+//! same floating-point additions in the same order, same strict-improvement
+//! tie-break. A cached tree is therefore bit-identical to a recomputed one,
+//! so cache hits, misses, and evictions cannot change any produced path or
+//! distance — the cache affects *when* trees are computed, never *what*
+//! they contain. Eviction itself is deterministic under single-threaded use
+//! (least-recently-used by a monotonic tick), but no result depends on it.
+//!
+//! `rtt_ms` deliberately sums the forward and reverse tree distances
+//! (`d_src[dst] + d_dst[src]`) instead of doubling one of them: the two
+//! directional sums walk the same links in opposite orders, and f64
+//! addition is not associative, so they can differ in the last ulp. The
+//! legacy table sums both directions; byte-identical outputs require doing
+//! the same here.
+
+use crate::csr::CsrTopology;
+use crate::graph::{LinkId, NodeId};
+use crate::routing::{Path, Routes};
+use db_telemetry::{Counter, Gauge, MetricsRegistry};
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, BinaryHeap};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A single-source shortest-path tree: distances plus `(parent node,
+/// parent link)` pointers, both indexed by node id.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SourceTree {
+    /// One-way latency from the source to each node, milliseconds.
+    pub dist: Vec<f64>,
+    /// Predecessor on the chosen shortest path; `None` at the source.
+    pub parent: Vec<Option<(u32, u32)>>,
+}
+
+impl SourceTree {
+    /// Reconstruct the path from this tree's source to `dst` into caller
+    /// buffers (cleared first): `nodes` gets the visited switches source →
+    /// `dst`, `links` the traversed link per hop. Returns `false` without
+    /// panicking if `dst` is unreachable or out of range. Registered in the
+    /// lint hot tier: allocation beyond `push` into the reused buffers,
+    /// indexing, and panics are all banned here.
+    pub fn reconstruct_into(
+        &self,
+        src: u32,
+        dst: u32,
+        nodes: &mut Vec<NodeId>,
+        links: &mut Vec<LinkId>,
+    ) -> bool {
+        nodes.clear();
+        links.clear();
+        nodes.push(NodeId(dst as u16));
+        let mut cur = dst;
+        let mut steps = 0usize;
+        let limit = self.parent.len();
+        while cur != src {
+            let step = match self.parent.get(cur as usize) {
+                Some(&Some(pair)) => pair,
+                _ => return false,
+            };
+            let (p, l) = step;
+            nodes.push(NodeId(p as u16));
+            links.push(LinkId(l as u16));
+            cur = p;
+            steps += 1;
+            if steps > limit {
+                return false;
+            }
+        }
+        nodes.reverse();
+        links.reverse();
+        true
+    }
+}
+
+/// Dijkstra heap state over `u32` ids, ordered exactly like the legacy
+/// `HeapEntry` in [`crate::routing`]: reversed (min-heap) on distance, then
+/// hop count, then node id.
+#[derive(PartialEq)]
+struct CsrHeapEntry {
+    dist: f64,
+    hops: u32,
+    node: u32,
+}
+
+impl Eq for CsrHeapEntry {}
+
+impl Ord for CsrHeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .expect("link latencies are finite")
+            .then(other.hops.cmp(&self.hops))
+            .then(other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for CsrHeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Single-source shortest paths over CSR rows, mirroring the legacy
+/// `Topology` Dijkstra operation for operation (see the module docs for why
+/// that matters). Deliberately a *separate* implementation rather than a
+/// shared generic: the equivalence proptest in `tests/` is only meaningful
+/// if the two engines cannot share a bug.
+pub fn shortest_tree(csr: &CsrTopology, src: u32) -> SourceTree {
+    let n = csr.node_count();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut hops = vec![u32::MAX; n];
+    let mut parent: Vec<Option<(u32, u32)>> = vec![None; n];
+    let mut done = vec![false; n];
+    let mut heap = BinaryHeap::new();
+    dist[src as usize] = 0.0;
+    hops[src as usize] = 0;
+    heap.push(CsrHeapEntry {
+        dist: 0.0,
+        hops: 0,
+        node: src,
+    });
+    while let Some(CsrHeapEntry {
+        dist: d,
+        hops: h,
+        node: u,
+    }) = heap.pop()
+    {
+        if done[u as usize] {
+            continue;
+        }
+        done[u as usize] = true;
+        let (nbrs, links) = csr.neighbors(u);
+        for (&v, &l) in nbrs.iter().zip(links) {
+            if done[v as usize] {
+                continue;
+            }
+            let nd = d + csr.link_latency_ms(l);
+            let nh = h + 1;
+            // Same strict-improvement tie-break as the legacy engine:
+            // distance, then hops, then smaller parent id.
+            let better = nd < dist[v as usize]
+                || (nd == dist[v as usize] && nh < hops[v as usize])
+                || (nd == dist[v as usize]
+                    && nh == hops[v as usize]
+                    && parent[v as usize].is_some_and(|(p, _)| u < p));
+            if better {
+                dist[v as usize] = nd;
+                hops[v as usize] = nh;
+                parent[v as usize] = Some((u, l));
+                heap.push(CsrHeapEntry {
+                    dist: nd,
+                    hops: nh,
+                    node: v,
+                });
+            }
+        }
+    }
+    SourceTree { dist, parent }
+}
+
+/// Route-cache occupancy and traffic counters, readable at any time via
+/// [`OnDemandRoutes::cache_stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from a cached tree.
+    pub hits: u64,
+    /// Lookups that required a Dijkstra computation.
+    pub misses: u64,
+    /// Trees discarded to stay within capacity.
+    pub evictions: u64,
+    /// Trees currently resident.
+    pub resident: usize,
+    /// High-water mark of resident trees — never exceeds `capacity`.
+    pub peak_resident: usize,
+    /// Configured capacity bound.
+    pub capacity: usize,
+}
+
+/// Bounded LRU of per-source trees. Recency is a monotonic tick stamped on
+/// every touch; the eviction victim is the minimum-tick entry. A `BTreeMap`
+/// keeps iteration (and thus victim selection on the impossible case of a
+/// tick tie) deterministic.
+#[derive(Debug)]
+struct TreeCache {
+    cap: usize,
+    tick: u64,
+    map: BTreeMap<u32, (u64, Arc<SourceTree>)>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    peak_resident: usize,
+}
+
+impl TreeCache {
+    fn new(cap: usize) -> Self {
+        TreeCache {
+            cap: cap.max(1),
+            tick: 0,
+            map: BTreeMap::new(),
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+            peak_resident: 0,
+        }
+    }
+
+    /// Cache probe: refresh recency and hand back the tree on a hit.
+    /// Registered in the lint hot tier — no allocation (an `Arc` clone is a
+    /// reference-count bump), no indexing, no panics.
+    fn lookup(&mut self, src: u32) -> Option<Arc<SourceTree>> {
+        self.tick += 1;
+        let tick = self.tick;
+        match self.map.get_mut(&src) {
+            Some(entry) => {
+                entry.0 = tick;
+                self.hits += 1;
+                Some(Arc::clone(&entry.1))
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert a freshly computed tree, evicting the least-recently-used
+    /// entry when at capacity. If another thread inserted `src` while this
+    /// one was computing, the incumbent wins (the two trees are
+    /// bit-identical by the determinism argument). Returns the resident
+    /// tree and whether an eviction happened.
+    fn insert(&mut self, src: u32, tree: Arc<SourceTree>) -> (Arc<SourceTree>, bool) {
+        if let Some(entry) = self.map.get(&src) {
+            return (Arc::clone(&entry.1), false);
+        }
+        let mut evicted = false;
+        if self.map.len() >= self.cap {
+            if let Some(victim) = self
+                .map
+                .iter()
+                .min_by_key(|(_, entry)| entry.0)
+                .map(|(&src, _)| src)
+            {
+                self.map.remove(&victim);
+                self.evictions += 1;
+                evicted = true;
+            }
+        }
+        self.tick += 1;
+        self.map.insert(src, (self.tick, Arc::clone(&tree)));
+        self.peak_resident = self.peak_resident.max(self.map.len());
+        (tree, evicted)
+    }
+}
+
+/// Registered metric handles for the route cache (`routes.cache_*`).
+struct CacheTelemetry {
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
+    resident: Gauge,
+}
+
+/// The on-demand routing engine: a [`CsrTopology`] plus a bounded tree
+/// cache, implementing [`Routes`] bit-identically to [`RouteTable`]
+/// (`crate::routing::RouteTable`) on the same graph.
+///
+/// Path-producing methods use `u16` [`NodeId`]/[`LinkId`], so construction
+/// requires the graph to fit the `u16` id space; larger graphs use
+/// [`CsrTopology`] and [`Landmarks`] directly.
+pub struct OnDemandRoutes {
+    csr: Arc<CsrTopology>,
+    cache: Mutex<TreeCache>,
+    telemetry: OnceLock<CacheTelemetry>,
+}
+
+impl std::fmt::Debug for OnDemandRoutes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.cache_stats();
+        f.debug_struct("OnDemandRoutes")
+            .field("topology", &self.csr.name())
+            .field("nodes", &self.csr.node_count())
+            .field("cache", &stats)
+            .finish()
+    }
+}
+
+/// Default cache capacity: bound total cached-tree memory to roughly a
+/// constant (~`2²⁰` node slots) regardless of graph size, with at least 16
+/// trees and at most 1024. At built-in-evaluation sizes this exceeds `n`,
+/// so small topologies cache every source after one pass.
+fn default_capacity(n: usize) -> usize {
+    ((1 << 20) / n.max(1)).clamp(16, 1024)
+}
+
+impl OnDemandRoutes {
+    /// Wrap a CSR topology with the default capacity bound.
+    ///
+    /// Panics if the graph exceeds the `u16` id space (use [`CsrTopology`]
+    /// + [`Landmarks`] for those).
+    pub fn new(csr: Arc<CsrTopology>) -> Self {
+        let cap = default_capacity(csr.node_count());
+        Self::with_capacity(csr, cap)
+    }
+
+    /// Wrap with an explicit tree-cache capacity (minimum 1).
+    pub fn with_capacity(csr: Arc<CsrTopology>, capacity: usize) -> Self {
+        assert!(
+            csr.node_count() <= usize::from(u16::MAX) + 1
+                && csr.link_count() <= usize::from(u16::MAX) + 1,
+            "OnDemandRoutes requires u16-fitting ids; got {} nodes / {} links",
+            csr.node_count(),
+            csr.link_count()
+        );
+        OnDemandRoutes {
+            csr,
+            cache: Mutex::new(TreeCache::new(capacity)),
+            telemetry: OnceLock::new(),
+        }
+    }
+
+    /// The underlying CSR topology.
+    pub fn csr(&self) -> &Arc<CsrTopology> {
+        &self.csr
+    }
+
+    /// Register `routes.cache_hits`/`_misses`/`_evictions` counters and the
+    /// `routes.cache_resident` gauge on `reg`. Idempotent; the first
+    /// registry wins (handles are get-or-create, so re-attaching the global
+    /// registry is a no-op).
+    pub fn set_metrics(&self, reg: &MetricsRegistry) {
+        let _ = self.telemetry.set(CacheTelemetry {
+            hits: reg.counter("routes.cache_hits"),
+            misses: reg.counter("routes.cache_misses"),
+            evictions: reg.counter("routes.cache_evictions"),
+            resident: reg.gauge("routes.cache_resident"),
+        });
+    }
+
+    /// Current cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        let c = self.cache.lock().expect("route cache poisoned");
+        CacheStats {
+            hits: c.hits,
+            misses: c.misses,
+            evictions: c.evictions,
+            resident: c.map.len(),
+            peak_resident: c.peak_resident,
+            capacity: c.cap,
+        }
+    }
+
+    /// The shortest-path tree rooted at `src`, from cache or computed. The
+    /// Dijkstra runs outside the cache lock so concurrent misses on
+    /// different sources proceed in parallel.
+    pub fn tree(&self, src: u32) -> Arc<SourceTree> {
+        {
+            let mut c = self.cache.lock().expect("route cache poisoned");
+            if let Some(t) = c.lookup(src) {
+                if let Some(m) = self.telemetry.get() {
+                    m.hits.inc();
+                }
+                return t;
+            }
+        }
+        let tree = Arc::new(shortest_tree(&self.csr, src));
+        let mut c = self.cache.lock().expect("route cache poisoned");
+        let (out, evicted) = c.insert(src, tree);
+        if let Some(m) = self.telemetry.get() {
+            m.misses.inc();
+            if evicted {
+                m.evictions.inc();
+            }
+            m.resident.set(c.map.len() as f64);
+        }
+        out
+    }
+}
+
+impl Routes for OnDemandRoutes {
+    fn node_count(&self) -> usize {
+        self.csr.node_count()
+    }
+
+    fn path(&self, src: NodeId, dst: NodeId) -> Path {
+        if src == dst {
+            return Path {
+                nodes: vec![src],
+                links: vec![],
+            };
+        }
+        let tree = self.tree(u32::from(src.0));
+        let mut nodes = Vec::new();
+        let mut links = Vec::new();
+        let ok = tree.reconstruct_into(u32::from(src.0), u32::from(dst.0), &mut nodes, &mut links);
+        assert!(ok, "topology is connected, path {src}->{dst} must exist");
+        Path { nodes, links }
+    }
+
+    fn latency_ms(&self, src: NodeId, dst: NodeId) -> f64 {
+        self.tree(u32::from(src.0)).dist[dst.idx()]
+    }
+
+    fn rtt_ms(&self, src: NodeId, dst: NodeId) -> f64 {
+        // Both directional trees, not 2×: see the module docs.
+        self.tree(u32::from(src.0)).dist[dst.idx()] + self.tree(u32::from(dst.0)).dist[src.idx()]
+    }
+
+    fn all_rtts_ms(&self) -> Vec<f64> {
+        // O(n²): intended for graphs at or below SCALE_NODE_THRESHOLD —
+        // scale callers use their sampled variants instead. Trees are
+        // pinned via Arc for the duration, so a small cache capacity does
+        // not force recomputation mid-pass.
+        let n = self.csr.node_count();
+        let trees: Vec<Arc<SourceTree>> = (0..n as u32).map(|s| self.tree(s)).collect();
+        let mut out = Vec::with_capacity(n * (n - 1));
+        for s in 0..n {
+            for t in 0..n {
+                if s != t {
+                    out.push(trees[s].dist[t] + trees[t].dist[s]);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Landmark (pivot) distance estimation for graphs too large to route
+/// per-pair: `k` high-degree nodes, each with a full distance vector.
+/// `estimate_ms` is the best triangle-inequality **upper bound**
+/// `min_l d(l,s) + d(l,t)` — exact whenever a landmark lies on a shortest
+/// s–t path (hub-routed AS graphs make that common).
+#[derive(Debug, Clone)]
+pub struct Landmarks {
+    ids: Vec<u32>,
+    dist: Vec<Vec<f64>>,
+}
+
+impl Landmarks {
+    /// Build `k` landmarks: the highest-degree nodes, ties toward the
+    /// smaller id. Cost is `k` Dijkstras and `k·n` floats.
+    pub fn build(csr: &CsrTopology, k: usize) -> Self {
+        let ids = csr.top_degree_nodes(k.max(1));
+        let dist = ids.iter().map(|&l| shortest_tree(csr, l).dist).collect();
+        Landmarks { ids, dist }
+    }
+
+    /// The landmark node ids, highest degree first.
+    pub fn ids(&self) -> &[u32] {
+        &self.ids
+    }
+
+    /// Upper-bound estimate of the one-way latency between `s` and `t`.
+    pub fn estimate_ms(&self, s: u32, t: u32) -> f64 {
+        let mut best = f64::INFINITY;
+        for row in &self.dist {
+            let e = row[s as usize] + row[t as usize];
+            if e < best {
+                best = e;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::TopologyBuilder;
+    use crate::routing::{ordered_pairs, RouteTable};
+
+    fn diamond() -> crate::graph::Topology {
+        let mut b = TopologyBuilder::new("diamond");
+        let n = b.nodes(4, "s");
+        b.link(n[0], n[1], 1.0);
+        b.link(n[1], n[3], 1.0);
+        b.link(n[0], n[2], 1.0);
+        b.link(n[2], n[3], 5.0);
+        b.build().unwrap()
+    }
+
+    fn engines() -> (RouteTable, OnDemandRoutes) {
+        let t = diamond();
+        let rt = RouteTable::build(&t);
+        let od = OnDemandRoutes::new(Arc::new(CsrTopology::from_topology(&t)));
+        (rt, od)
+    }
+
+    #[test]
+    fn paths_match_route_table_bit_for_bit() {
+        let (rt, od) = engines();
+        for (s, d) in ordered_pairs(4) {
+            assert_eq!(od.path(s, d), *rt.path(s, d), "path {s}->{d}");
+            assert_eq!(
+                od.latency_ms(s, d).to_bits(),
+                RouteTable::latency_ms(&rt, s, d).to_bits()
+            );
+            assert_eq!(
+                od.rtt_ms(s, d).to_bits(),
+                RouteTable::rtt_ms(&rt, s, d).to_bits()
+            );
+        }
+        let a: Vec<u64> = od.all_rtts_ms().iter().map(|r| r.to_bits()).collect();
+        let b: Vec<u64> = rt.all_rtts_ms().iter().map(|r| r.to_bits()).collect();
+        assert_eq!(a, b, "all_rtts order and bits");
+    }
+
+    #[test]
+    fn diagonal_is_trivial() {
+        let (_, od) = engines();
+        let p = od.path(NodeId(2), NodeId(2));
+        assert!(p.is_empty());
+        assert_eq!(p.nodes, vec![NodeId(2)]);
+        assert_eq!(od.latency_ms(NodeId(2), NodeId(2)), 0.0);
+    }
+
+    #[test]
+    fn tiny_cache_evicts_without_changing_results() {
+        let t = diamond();
+        let rt = RouteTable::build(&t);
+        let od = OnDemandRoutes::with_capacity(Arc::new(CsrTopology::from_topology(&t)), 2);
+        // Two full passes with capacity 2 over 4 sources: guaranteed
+        // eviction churn between them.
+        for _pass in 0..2 {
+            for (s, d) in ordered_pairs(4) {
+                assert_eq!(od.path(s, d), *rt.path(s, d));
+            }
+        }
+        let stats = od.cache_stats();
+        assert!(stats.evictions > 0, "capacity 2 must evict: {stats:?}");
+        assert!(stats.resident <= 2 && stats.peak_resident <= 2, "{stats:?}");
+        assert_eq!(stats.capacity, 2);
+        assert!(stats.hits > 0 && stats.misses >= 4, "{stats:?}");
+    }
+
+    #[test]
+    fn lru_keeps_the_recently_used_source() {
+        let t = diamond();
+        let od = OnDemandRoutes::with_capacity(Arc::new(CsrTopology::from_topology(&t)), 2);
+        od.tree(0);
+        od.tree(1);
+        od.tree(0); // refresh 0: next insert must evict 1, not 0
+        od.tree(2);
+        let before = od.cache_stats();
+        od.tree(0);
+        let after = od.cache_stats();
+        assert_eq!(after.hits, before.hits + 1, "0 must still be resident");
+        assert_eq!(after.misses, before.misses);
+    }
+
+    #[test]
+    fn reconstruct_into_reports_unreachable() {
+        let tree = SourceTree {
+            dist: vec![0.0, f64::INFINITY],
+            parent: vec![None, None],
+        };
+        let mut nodes = Vec::new();
+        let mut links = Vec::new();
+        assert!(!tree.reconstruct_into(0, 1, &mut nodes, &mut links));
+        assert!(tree.reconstruct_into(0, 0, &mut nodes, &mut links));
+        assert_eq!(nodes, vec![NodeId(0)]);
+        assert!(links.is_empty());
+    }
+
+    #[test]
+    fn landmark_estimates_upper_bound_truth() {
+        let t = diamond();
+        let csr = CsrTopology::from_topology(&t);
+        let od = OnDemandRoutes::new(Arc::new(csr.clone()));
+        let lm = Landmarks::build(&csr, 2);
+        assert_eq!(lm.ids().len(), 2);
+        for (s, d) in ordered_pairs(4) {
+            let truth = od.latency_ms(s, d);
+            let est = lm.estimate_ms(u32::from(s.0), u32::from(d.0));
+            assert!(
+                est >= truth - 1e-12,
+                "estimate {est} must not undercut {truth} for {s}->{d}"
+            );
+        }
+        // Pairs touching a landmark are exact.
+        let l0 = lm.ids()[0];
+        let est = lm.estimate_ms(l0, (l0 + 1) % 4);
+        let truth = od.latency_ms(NodeId(l0 as u16), NodeId(((l0 + 1) % 4) as u16));
+        assert_eq!(est.to_bits(), truth.to_bits());
+    }
+
+    #[test]
+    fn metrics_mirror_cache_stats() {
+        let reg = MetricsRegistry::new();
+        let (_, od) = engines();
+        od.set_metrics(&reg);
+        for (s, d) in ordered_pairs(4) {
+            od.path(s, d);
+        }
+        let snap = reg.snapshot();
+        let stats = od.cache_stats();
+        assert_eq!(snap.counter("routes.cache_hits"), Some(stats.hits));
+        assert_eq!(snap.counter("routes.cache_misses"), Some(stats.misses));
+        assert_eq!(snap.counter("routes.cache_evictions"), Some(0));
+        assert_eq!(
+            snap.gauge("routes.cache_resident"),
+            Some(stats.resident as f64)
+        );
+        assert_eq!(stats.misses, 4, "one tree per source");
+    }
+}

@@ -164,6 +164,67 @@ fn dijkstra(topo: &Topology, src: NodeId) -> (Vec<f64>, Vec<u32>, ParentVec) {
     (dist, hops, parent)
 }
 
+/// Node count above which scale-aware call sites switch from exact
+/// all-pairs computation to deterministic sampling (traffic generation,
+/// window sizing, coverage scans). At or below the threshold every code
+/// path is bit-identical to the historical all-pairs implementation.
+pub const SCALE_NODE_THRESHOLD: usize = 1024;
+
+/// Routing engine abstraction: precomputed all-pairs ([`RouteTable`]) or
+/// on-demand per-source trees (`OnDemandRoutes`) behind one interface, so
+/// `netsim`/`core`/`runner` are agnostic to how paths are produced.
+///
+/// Implementations must agree bit-for-bit on every method for the same
+/// topology: same latency→hop-count→lexicographic tie-break, `rtt_ms`
+/// summing the two directional distances (which may differ in the last ulp
+/// — see `OnDemandRoutes`), and [`Routes::all_rtts_ms`] in the canonical
+/// src-major, dst-inner order of [`ordered_pairs`].
+pub trait Routes: Send + Sync + std::fmt::Debug {
+    /// Number of nodes routed over.
+    fn node_count(&self) -> usize;
+    /// The routed path from `src` to `dst` (owned; the diagonal yields a
+    /// trivial single-node path).
+    fn path(&self, src: NodeId, dst: NodeId) -> Path;
+    /// One-way latency from `src` to `dst` in milliseconds.
+    fn latency_ms(&self, src: NodeId, dst: NodeId) -> f64;
+    /// Round-trip time in milliseconds: forward plus reverse latency.
+    fn rtt_ms(&self, src: NodeId, dst: NodeId) -> f64;
+    /// RTTs of all ordered pairs (src != dst) in [`ordered_pairs`] order.
+    fn all_rtts_ms(&self) -> Vec<f64>;
+}
+
+impl Routes for RouteTable {
+    fn node_count(&self) -> usize {
+        RouteTable::node_count(self)
+    }
+    fn path(&self, src: NodeId, dst: NodeId) -> Path {
+        RouteTable::path(self, src, dst).clone()
+    }
+    fn latency_ms(&self, src: NodeId, dst: NodeId) -> f64 {
+        RouteTable::latency_ms(self, src, dst)
+    }
+    fn rtt_ms(&self, src: NodeId, dst: NodeId) -> f64 {
+        RouteTable::rtt_ms(self, src, dst)
+    }
+    fn all_rtts_ms(&self) -> Vec<f64> {
+        RouteTable::all_rtts_ms(self)
+    }
+}
+
+/// All ordered `(src, dst)` pairs with `src != dst`, src-major — the
+/// engine-independent equivalent of [`RouteTable::pairs`], byte-for-byte
+/// the same sequence. Callers that consume RNG draws per pair rely on this
+/// exact order.
+pub fn ordered_pairs(n: usize) -> impl Iterator<Item = (NodeId, NodeId)> {
+    debug_assert!(n <= usize::from(u16::MAX) + 1, "pairs need u16 node ids");
+    let n = n as u16;
+    (0..n).flat_map(move |s| {
+        (0..n)
+            .filter(move |&t| t != s)
+            .map(move |t| (NodeId(s), NodeId(t)))
+    })
+}
+
 /// All-pairs routes, precomputed. `O(n · (m log n))` to build.
 #[derive(Debug, Clone)]
 pub struct RouteTable {
@@ -384,6 +445,29 @@ mod tests {
         let rt = RouteTable::build(&t);
         assert_eq!(rt.all_rtts_ms().len(), 4 * 3);
         assert!(rt.all_rtts_ms().iter().all(|&r| r > 0.0));
+    }
+
+    #[test]
+    fn ordered_pairs_matches_route_table_pairs() {
+        let t = diamond();
+        let rt = RouteTable::build(&t);
+        let a: Vec<_> = rt.pairs().collect();
+        let b: Vec<_> = ordered_pairs(rt.node_count()).collect();
+        assert_eq!(a, b, "trait-level pair order must match RouteTable::pairs");
+    }
+
+    #[test]
+    fn route_table_implements_routes() {
+        let t = diamond();
+        let rt = RouteTable::build(&t);
+        let dynr: &dyn Routes = &rt;
+        assert_eq!(dynr.node_count(), 4);
+        assert_eq!(
+            dynr.path(NodeId(0), NodeId(3)),
+            *rt.path(NodeId(0), NodeId(3))
+        );
+        assert_eq!(dynr.rtt_ms(NodeId(0), NodeId(3)), 4.0);
+        assert_eq!(dynr.all_rtts_ms(), rt.all_rtts_ms());
     }
 
     #[test]

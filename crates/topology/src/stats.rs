@@ -6,9 +6,9 @@
 //! Geant2012 3.79 / 1.42). The monitoring configuration (§4.1) derives the
 //! sliding-window length from the 90th percentile of path RTTs.
 
-use crate::graph::Topology;
-use crate::routing::RouteTable;
-use db_util::stats as st;
+use crate::graph::{NodeId, Topology};
+use crate::routing::{ordered_pairs, Routes};
+use db_util::{stats as st, Pcg64};
 
 /// Summary statistics of a topology, in the units the paper uses.
 #[derive(Debug, Clone, PartialEq)]
@@ -66,18 +66,50 @@ pub struct PathStats {
 }
 
 impl PathStats {
-    /// Compute path statistics from a route table.
-    pub fn compute(rt: &RouteTable) -> Self {
-        let rtts = rt.all_rtts_ms();
+    /// Compute exact path statistics over all ordered pairs. `O(n²)` path
+    /// queries — intended for graphs at or below
+    /// [`crate::routing::SCALE_NODE_THRESHOLD`]; use
+    /// [`PathStats::compute_sampled`] beyond it.
+    pub fn compute(routes: &dyn Routes) -> Self {
+        let rtts = routes.all_rtts_ms();
         let mut lens = Vec::with_capacity(rtts.len());
-        for (s, d) in rt.pairs() {
-            lens.push(rt.path(s, d).len() as f64);
+        for (s, d) in ordered_pairs(routes.node_count()) {
+            lens.push(routes.path(s, d).len() as f64);
         }
+        Self::from_samples(&rtts, &lens)
+    }
+
+    /// Estimate path statistics from a deterministic sample of sources ×
+    /// destinations (64 × 32, fixed internal stream) instead of all `n²`
+    /// pairs. RTTs use `2 × one-way latency` so only the source trees are
+    /// computed — the scale regime's approximation, documented in
+    /// DESIGN.md §14.
+    pub fn compute_sampled(routes: &dyn Routes) -> Self {
+        let n = routes.node_count();
+        let mut rng = Pcg64::new_stream(0x5CA1E, 0x57A7);
+        let sources = rng.sample_indices(n, 64.min(n));
+        let mut rtts = Vec::new();
+        let mut lens = Vec::new();
+        for s in sources {
+            let src = NodeId(s as u16);
+            let mut dests = rng.sample_indices(n, 33.min(n));
+            dests.retain(|&d| d != s);
+            dests.truncate(32);
+            for d in dests {
+                let dst = NodeId(d as u16);
+                rtts.push(2.0 * routes.latency_ms(src, dst));
+                lens.push(routes.path(src, dst).len() as f64);
+            }
+        }
+        Self::from_samples(&rtts, &lens)
+    }
+
+    fn from_samples(rtts: &[f64], lens: &[f64]) -> Self {
         PathStats {
-            rtt_p90_ms: st::percentile(&rtts, 90.0),
-            rtt_max_ms: st::max(&rtts).unwrap_or(0.0),
-            rtt_mean_ms: st::mean(&rtts),
-            mean_path_links: st::mean(&lens),
+            rtt_p90_ms: st::percentile(rtts, 90.0),
+            rtt_max_ms: st::max(rtts).unwrap_or(0.0),
+            rtt_mean_ms: st::mean(rtts),
+            mean_path_links: st::mean(lens),
             max_path_links: lens.iter().map(|&l| l as usize).max().unwrap_or(0),
         }
     }
@@ -87,6 +119,7 @@ impl PathStats {
 mod tests {
     use super::*;
     use crate::graph::TopologyBuilder;
+    use crate::routing::RouteTable;
 
     #[test]
     fn stats_on_star() {
@@ -135,5 +168,24 @@ mod tests {
         assert_eq!(p.max_path_links, 2);
         assert!(p.rtt_p90_ms <= 4.0 && p.rtt_p90_ms >= 2.0);
         assert!((p.mean_path_links - 8.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampled_stats_cover_small_graphs_exactly() {
+        // With n below the sample sizes, compute_sampled sees every source
+        // and destination, so the hop statistics match the exact pass.
+        let mut b = TopologyBuilder::new("chain4");
+        let n = b.nodes(4, "s");
+        b.link(n[0], n[1], 1.0);
+        b.link(n[1], n[2], 1.0);
+        b.link(n[2], n[3], 1.0);
+        let t = b.build().unwrap();
+        let rt = RouteTable::build(&t);
+        let exact = PathStats::compute(&rt);
+        let sampled = PathStats::compute_sampled(&rt);
+        assert_eq!(sampled.max_path_links, exact.max_path_links);
+        assert_eq!(sampled.rtt_max_ms, exact.rtt_max_ms);
+        // Symmetric latencies: 2×one-way equals the two-directional sum.
+        assert_eq!(sampled.rtt_mean_ms, exact.rtt_mean_ms);
     }
 }

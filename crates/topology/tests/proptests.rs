@@ -1,8 +1,11 @@
 //! Property-based tests for the topology crate.
 
 use db_topology::matrix::{max_coverage, PathStatus, RoutingMatrix};
-use db_topology::{gen, parse, zoo, NodeId, RouteTable};
+use db_topology::{
+    gen, ordered_pairs, parse, zoo, CsrTopology, NodeId, OnDemandRoutes, RouteTable, Routes,
+};
 use proptest::prelude::*;
+use std::sync::Arc;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
@@ -100,6 +103,85 @@ proptest! {
                         "abnormal path {p} left unexplained"
                     );
                 }
+            }
+        }
+    }
+
+    /// The on-demand engine returns byte-identical `Path`s (nodes, links,
+    /// tie-break order) and bit-identical latencies/RTTs to the legacy
+    /// all-pairs `RouteTable`, on random graphs — including with a tiny
+    /// cache that forces evictions and recomputation mid-pass.
+    #[test]
+    fn ondemand_matches_route_table(n in 3usize..22, seed in 0u64..200) {
+        let topo = if seed % 2 == 0 {
+            gen::waxman(n, 0.5, 0.4, seed)
+        } else {
+            gen::barabasi_albert(n, 2.min(n - 1), seed)
+        };
+        let table = RouteTable::build(&topo);
+        let csr = Arc::new(CsrTopology::from_topology(&topo));
+        let full = OnDemandRoutes::new(Arc::clone(&csr));
+        let tiny = OnDemandRoutes::with_capacity(csr, 2); // evicts constantly
+        for engine in [&full, &tiny] {
+            for (s, d) in ordered_pairs(n) {
+                let expect = table.path(s, d);
+                let got = engine.path(s, d);
+                prop_assert_eq!(&got.nodes, &expect.nodes, "{}->{} nodes", s, d);
+                prop_assert_eq!(&got.links, &expect.links, "{}->{} links", s, d);
+                prop_assert_eq!(
+                    engine.latency_ms(s, d).to_bits(),
+                    RouteTable::latency_ms(&table, s, d).to_bits()
+                );
+                prop_assert_eq!(
+                    engine.rtt_ms(s, d).to_bits(),
+                    RouteTable::rtt_ms(&table, s, d).to_bits()
+                );
+            }
+            let expect_rtts = RouteTable::all_rtts_ms(&table);
+            let got_rtts = engine.all_rtts_ms();
+            prop_assert_eq!(got_rtts.len(), expect_rtts.len());
+            for (a, b) in got_rtts.iter().zip(&expect_rtts) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+        let stats = tiny.cache_stats();
+        prop_assert!(stats.resident <= 2 && stats.peak_resident <= 2);
+    }
+
+    /// Concurrent readers racing on a shared (and undersized) cache still
+    /// observe byte-identical paths: the cached tree for a source is always
+    /// the same tree recomputation would produce.
+    #[test]
+    fn ondemand_is_deterministic_across_threads(n in 4usize..16, seed in 0u64..60) {
+        let topo = gen::waxman(n, 0.5, 0.4, seed);
+        let table = RouteTable::build(&topo);
+        let csr = Arc::new(CsrTopology::from_topology(&topo));
+        let engine = OnDemandRoutes::with_capacity(csr, 3);
+        let pairs: Vec<(NodeId, NodeId)> = ordered_pairs(n).collect();
+        let results: Vec<Vec<(Vec<NodeId>, u64)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|t| {
+                    let engine = &engine;
+                    let pairs = &pairs;
+                    scope.spawn(move || {
+                        pairs
+                            .iter()
+                            .skip(t)
+                            .step_by(8)
+                            .map(|&(s, d)| {
+                                (engine.path(s, d).nodes, engine.rtt_ms(s, d).to_bits())
+                            })
+                            .collect()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("no panic")).collect()
+        });
+        for (t, rows) in results.iter().enumerate() {
+            for (i, (nodes, rtt_bits)) in rows.iter().enumerate() {
+                let (s, d) = pairs[t + i * 8];
+                prop_assert_eq!(nodes, &table.path(s, d).nodes, "{}->{}", s, d);
+                prop_assert_eq!(*rtt_bits, RouteTable::rtt_ms(&table, s, d).to_bits());
             }
         }
     }

@@ -4,6 +4,12 @@
 //! text file in the interchange format), and it trains, simulates and
 //! localizes without writing any Rust:
 //!
+//! Topology specs are resolved by [`load::load`]: a built-in name, an
+//! `as:<n>[:<seed>]` generated AS graph (up to 50 000 nodes), a `path:<file>`
+//! plain-text edge list, or an interchange-format file. Above
+//! [`SCALE_NODE_THRESHOLD`] nodes the path/RTT statistics and workloads
+//! switch to deterministic sampling over the on-demand routing engine.
+//!
 //! ```text
 //! drift-bottle topo <name|file>                  # statistics + monitoring parameters
 //! drift-bottle fail <name|file> <link> [density] # localize one link failure
@@ -45,7 +51,7 @@ use std::sync::Arc;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  drift-bottle topo    <name|file>\n  drift-bottle fail    <name|file> <link-id> [density]\n  drift-bottle node    <name|file> <node-id> [density]\n  drift-bottle sweep   <name|file> [links] [density]\n  drift-bottle health  <name|file> [density]\n  drift-bottle report  <name|file> [density]\n  drift-bottle explain <file.flight> [l<ID>|s<ID>]\n  drift-bottle timeline <file.trace.json> [l<ID>|s<ID>]\n\noptions:\n  --metrics[=table|json|prom]  collect telemetry and print a metrics report\n  --scheme=NAME        weight scheme to run (default Drift-Bottle; see below)\n  --flight[=path]      record provenance for `explain` (default results/<cmd>-<topo>.flight)\n  --trace[=path]       record a db-scope trace for `timeline` / Perfetto\n                       (default results/<cmd>-<topo>.trace.json)\n\nsweep options:\n  --workers=N          worker threads (default: all cores)\n  --checkpoint[=path]  checkpoint units to path (default results/sweep-<topo>.ckpt.jsonl)\n  --resume             resume from the checkpoint if it exists (implies --checkpoint)\n  (--flight / --trace write one recording per unit next to the checkpoint)\n\nexplain options:\n  --window=N           restrict votes/warnings to sampling window N\n  --format=table|json  output format (default table)\n\ntimeline options:\n  --format=table|json|sparkline  output format (default table)\n\nenvironment:\n  DB_FLIGHT_CAPACITY=N   --flight ring capacity in records (default 65536)\n  DB_THREADS=N           cap library parallelism; 1 forces sequential execution\n  DB_SWEEP_STOP_AFTER=N  stop a sweep after N units (leaves a resumable checkpoint)\n  DB_SMOKE=1             shrink classifier training for fast smoke runs\n\nweight schemes: Drift-Bottle, Non-Negative, 007-Drifted, 007-Modified\nbuilt-in topologies: geant2012, chinanet, tinet, as1221"
+        "usage:\n  drift-bottle topo    <name|file>\n  drift-bottle fail    <name|file> <link-id> [density]\n  drift-bottle node    <name|file> <node-id> [density]\n  drift-bottle sweep   <name|file> [links] [density]\n  drift-bottle health  <name|file> [density]\n  drift-bottle report  <name|file> [density]\n  drift-bottle explain <file.flight> [l<ID>|s<ID>]\n  drift-bottle timeline <file.trace.json> [l<ID>|s<ID>]\n\noptions:\n  --metrics[=table|json|prom]  collect telemetry and print a metrics report\n  --scheme=NAME        weight scheme to run (default Drift-Bottle; see below)\n  --flight[=path]      record provenance for `explain` (default results/<cmd>-<topo>.flight)\n  --trace[=path]       record a db-scope trace for `timeline` / Perfetto\n                       (default results/<cmd>-<topo>.trace.json)\n\nsweep options:\n  --workers=N          worker threads (default: all cores)\n  --checkpoint[=path]  checkpoint units to path (default results/sweep-<topo>.ckpt.jsonl)\n  --resume             resume from the checkpoint if it exists (implies --checkpoint)\n  (--flight / --trace write one recording per unit next to the checkpoint)\n\nexplain options:\n  --window=N           restrict votes/warnings to sampling window N\n  --format=table|json  output format (default table)\n\ntimeline options:\n  --format=table|json|sparkline  output format (default table)\n\nenvironment:\n  DB_FLIGHT_CAPACITY=N   --flight ring capacity in records (default 65536)\n  DB_THREADS=N           cap library parallelism; 1 forces sequential execution\n  DB_SWEEP_STOP_AFTER=N  stop a sweep after N units (leaves a resumable checkpoint)\n  DB_SMOKE=1             shrink classifier training for fast smoke runs\n\nweight schemes: Drift-Bottle, Non-Negative, 007-Drifted, 007-Modified\nbuilt-in topologies: geant2012, chinanet, tinet, as1221\ntopology specs:\n  <name>               a built-in evaluation topology (above)\n  as:<n>[:<seed>]      generated AS-graph-style topology, 4..=50000 nodes\n  path:<file>          plain-text edge list: 'nodes <N>' header, then\n                       '<a> <b> <latency_ms> [bandwidth_mbps]' per line\n  <file>               a file in the interchange format (topology/node/link)"
     );
     ExitCode::FAILURE
 }
@@ -383,8 +389,16 @@ fn print_outcome(prep: &Prepared, outcome: &ScenarioOutcome, vname: &str) -> Res
 fn cmd_topo(spec: &str) -> Result<(), String> {
     let topo = load_topology(spec)?;
     let s = TopologyStats::compute(&topo);
-    let routes = RouteTable::build(&topo);
-    let p = PathStats::compute(&routes);
+    let routes = OnDemandRoutes::new(Arc::new(CsrTopology::from_topology(&topo)));
+    if let Some(reg) = drift_bottle::telemetry::active() {
+        routes.set_metrics(reg);
+    }
+    let exact = topo.node_count() <= SCALE_NODE_THRESHOLD;
+    let p = if exact {
+        PathStats::compute(&routes)
+    } else {
+        PathStats::compute_sampled(&routes)
+    };
     println!("topology   : {}", s.name);
     println!("nodes      : {}", s.nodes);
     println!("links      : {}", s.links);
@@ -396,25 +410,32 @@ fn cmd_topo(spec: &str) -> Result<(), String> {
         "degree     : variance {:.2}, skewness {:.2}, max {}",
         s.degree_variance, s.degree_skewness, s.max_degree
     );
+    let approx = if exact { "" } else { " (sampled)" };
     println!(
-        "paths      : mean {:.1} links, max {} links",
+        "paths      : mean {:.1} links, max {} links{approx}",
         p.mean_path_links, p.max_path_links
     );
     println!(
-        "RTT        : p90 {:.1} ms, max {:.1} ms",
+        "RTT        : p90 {:.1} ms, max {:.1} ms{approx}",
         p.rtt_p90_ms, p.rtt_max_ms
     );
-    let mut used = vec![false; topo.link_count()];
-    for (a, b) in routes.pairs() {
-        for &l in &routes.path(a, b).links {
-            used[l.idx()] = true;
+    if exact {
+        let mut used = vec![false; topo.link_count()];
+        for (a, b) in drift_bottle::topology::ordered_pairs(topo.node_count()) {
+            for &l in &routes.path(a, b).links {
+                used[l.idx()] = true;
+            }
         }
+        let dark = used.iter().filter(|&&u| !u).count();
+        println!("dark links : {dark} (carry no shortest-path traffic)");
+    } else {
+        println!(
+            "dark links : skipped (graph above the {SCALE_NODE_THRESHOLD}-node exact threshold)"
+        );
     }
-    let dark = used.iter().filter(|&&u| !u).count();
-    println!("dark links : {dark} (carry no shortest-path traffic)");
-    let wcfg = drift_bottle::flowmon::WindowConfig::for_network(&routes, SimTime::from_ms(4));
+    let wcfg = drift_bottle::flowmon::WindowConfig::for_network_auto(&routes, SimTime::from_ms(4));
     println!(
-        "monitoring : 4 ms interval, {}-interval sliding window ({} ms)",
+        "monitoring : 4 ms interval, {}-interval sliding window ({} ms){approx}",
         wcfg.window_intervals,
         wcfg.window_len().as_ms_f64()
     );
@@ -673,10 +694,16 @@ fn cmd_report(spec: &str, density: f64, opts: &RunOpts) -> Result<(), String> {
     drift_bottle::telemetry::set_max_level(Some(drift_bottle::telemetry::Level::Warn));
     let topo = load_topology(spec)?;
     let prep = train(topo);
-    let covered = covered_links(&prep);
-    let link = *covered
-        .first()
-        .ok_or("topology has no covered links to fail")?;
+    // Above the exact threshold the sampled workload is sparse, so fail the
+    // busiest link (most flows) rather than an arbitrary covered one.
+    let link = if prep.topo.node_count() <= SCALE_NODE_THRESHOLD {
+        *covered_links(&prep)
+            .first()
+            .ok_or("topology has no covered links to fail")?
+    } else {
+        drift_bottle::core::experiment::busiest_sampled_link(&prep)
+            .ok_or("sampled workload crosses no links")?
+    };
     eprintln!("[failing {link} and running one scenario at density {density}...]");
     let (setup, vname, rec, scope) = single_setup(&prep, density, opts)?;
     let outcome = run_scenario(&setup, &ScenarioKind::SingleLink(link));

@@ -78,5 +78,8 @@ pub mod prelude {
         FailureScenario, SimConfig, SimTime, Simulator, TrafficConfig, TrafficGen,
     };
     pub use db_runner::{SeedMode, SweepBuilder, SweepReport};
-    pub use db_topology::{zoo, LinkId, NodeId, RouteTable, Topology, TopologyBuilder};
+    pub use db_topology::{
+        zoo, CsrTopology, LinkId, NodeId, OnDemandRoutes, RouteTable, Routes, Topology,
+        TopologyBuilder, SCALE_NODE_THRESHOLD,
+    };
 }

@@ -122,7 +122,7 @@ fn repair_stops_the_warnings() {
     use drift_bottle::core::system::DriftBottleSystem;
     use drift_bottle::netsim::{FailureScenario, SimConfig, Simulator};
     let traffic = TrafficConfig::with_density(1.0);
-    let flows = TrafficGen::generate(&prep.topo, &prep.routes, &traffic, 33);
+    let flows = TrafficGen::generate(&prep.topo, prep.routes.as_ref(), &traffic, 33);
     let (t_fail, window, end) = timeline(&prep.wcfg, traffic.start_spread);
     // Fail long before the window and repair before it opens.
     let early = SimTime::from_ms(10);

@@ -86,7 +86,7 @@ fn main() {
         untraced_ms.push(t0.elapsed().as_secs_f64() * 1e3);
 
         let mut setup = ScenarioSetup::flagship(&prep, 1.0, 0x5C0);
-        setup.scope = Some(Arc::new(ScopeRecorder::default()));
+        setup.instr.scope = Some(Arc::new(ScopeRecorder::default()));
         profiler_enable();
         let t0 = Instant::now();
         black_box(run_scenario(&setup, &kind));

@@ -1,0 +1,562 @@
+//! The incremental Drift-Bottle engine — the streaming face of
+//! [`DriftBottleSystem`](crate::system::DriftBottleSystem).
+//!
+//! The batch pipeline ([`crate::experiment::run_scenario`]) owns the whole
+//! simulate → monitor → classify → infer loop: the simulator drives the
+//! deployed system as an [`Observer`] and annotations ride inside simulated
+//! packets. A long-lived service has neither a simulator nor packets — it
+//! receives switch-level flow records over the wire, in time order, and must
+//! produce the same warnings the batch pipeline would.
+//!
+//! [`Engine`] closes that gap:
+//!
+//! * [`Engine::ingest`] accepts one [`FlowRecord`] (≈ one pcap line: a
+//!   packet observed at one switch) and returns every warning it caused.
+//!   Sampling-interval ticks fire *inside* ingest, interleaved exactly as
+//!   the event loop would: a tick at time `t` runs before any record with
+//!   `at ≥ t` (the simulator reserves low sequence numbers for ticks, so at
+//!   equal timestamps the tick pops first).
+//! * In-packet inference headers have no packet to ride in, so the engine
+//!   keeps them in a bounded side table keyed by `(flow, seq)` — the
+//!   streaming analogue of the wire annotation, with the same ingress-empty
+//!   / last-switch-strip life cycle. [`Engine::set_retention`] bounds its
+//!   memory for lossy feeds (a record whose carrier was evicted degrades to
+//!   an ingress-like empty header, never an error).
+//! * [`Engine::snapshot`] / [`Engine::restore`] serialize the complete
+//!   mutable state (via the same `db-util` wire codec the db-runner
+//!   checkpoints use), guarded by a configuration fingerprint, so a daemon
+//!   restarts mid-window without losing localization context.
+//!
+//! The batch path is reimplemented *on top of* this engine (the engine is
+//! the observer `run_scenario` hands to the simulator), so batch and
+//! streaming share one pipeline and the equivalence proptest in
+//! `crates/core/tests/streaming.rs` pins them bit-identical.
+
+use crate::system::{DriftBottleSystem, Warning};
+use db_dtree::FlowClassifier;
+use db_netsim::{Annotation, FlowSpec, HopInfo, Observation, Observer, SimTime};
+use db_util::wire::{ByteReader, ByteWriter, WireError};
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+
+/// One switch-level packet observation fed to [`Engine::ingest`] — the
+/// streaming equivalent of a recorded [`Observation`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowRecord {
+    /// When the packet was observed.
+    pub at: SimTime,
+    /// Everything about the packet at that hop.
+    pub info: HopInfo,
+}
+
+impl From<Observation> for FlowRecord {
+    fn from(o: Observation) -> Self {
+        FlowRecord {
+            at: o.at,
+            info: o.info,
+        }
+    }
+}
+
+/// Why [`Engine::restore`] rejected a snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RestoreError {
+    /// The snapshot was taken under a different deployment configuration
+    /// (topology extent, window/system parameters, or variant roster).
+    ConfigMismatch {
+        /// Fingerprint of this engine's configuration.
+        expected: u64,
+        /// Fingerprint recorded in the snapshot.
+        found: u64,
+    },
+    /// The snapshot bytes are malformed.
+    Wire(WireError),
+}
+
+impl fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RestoreError::ConfigMismatch { expected, found } => write!(
+                f,
+                "snapshot config fingerprint {found:#018x} does not match deployment {expected:#018x}"
+            ),
+            RestoreError::Wire(e) => write!(f, "malformed snapshot: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RestoreError {}
+
+impl From<WireError> for RestoreError {
+    fn from(e: WireError) -> Self {
+        RestoreError::Wire(e)
+    }
+}
+
+/// Snapshot format version, bumped on any layout change.
+const SNAPSHOT_VERSION: u8 = 1;
+
+/// The incremental engine: a deployed system plus the clock, tick source,
+/// and header carrier table the simulator provides in batch mode.
+pub struct Engine<C: FlowClassifier> {
+    system: DriftBottleSystem<C>,
+    /// Sampling-interval length; ticks fire at `interval, 2·interval, …`.
+    interval: SimTime,
+    /// Latest time observed (record, tick, or advance target).
+    now: SimTime,
+    /// Time the next pending tick fires at.
+    next_tick: SimTime,
+    /// Ticks fired so far.
+    ticks_fired: u32,
+    /// In-flight inference carriers: `(flow, seq)` → (annotation, last
+    /// touch). BTreeMap so snapshots are byte-stable without sorting.
+    carriers: BTreeMap<(u32, u64), (Annotation, SimTime)>,
+    /// Carrier touch times in arrival order, for retention eviction.
+    /// Entries go stale when a carrier is re-touched; eviction re-checks
+    /// the live table before dropping anything.
+    age: VecDeque<(SimTime, (u32, u64))>,
+    /// Carrier retention in sampling windows; `None` keeps carriers until
+    /// their last switch strips them (batch semantics, unbounded on lossy
+    /// feeds).
+    retention: Option<u32>,
+    fingerprint: u64,
+}
+
+impl<C: FlowClassifier> Engine<C> {
+    /// Wrap a deployed system. The tick cadence comes from the system's
+    /// window configuration; the first tick fires at one interval, exactly
+    /// as the simulator arms it.
+    pub fn new(system: DriftBottleSystem<C>) -> Self {
+        let interval = system.window_config().interval;
+        let fingerprint = system.config_fingerprint();
+        Engine {
+            system,
+            interval,
+            now: SimTime::ZERO,
+            next_tick: interval,
+            ticks_fired: 0,
+            carriers: BTreeMap::new(),
+            age: VecDeque::new(),
+            retention: None,
+            fingerprint,
+        }
+    }
+
+    /// Bound carrier memory: a carrier untouched for `windows` sampling
+    /// intervals is dropped at the next tick. Records whose carrier was
+    /// evicted are treated as ingress (empty incoming header) — monitoring
+    /// and local inference are unaffected, only drift continuity is cut.
+    /// `0` is clamped to 1 so a carrier always survives the window it was
+    /// written in.
+    pub fn set_retention(&mut self, windows: u32) {
+        self.retention = Some(windows.max(1));
+    }
+
+    /// Turn on live warning collection (see
+    /// [`DriftBottleSystem::set_live_warnings`]); [`Self::ingest`] and
+    /// [`Self::advance_to`] return raises only after this is called.
+    pub fn set_live_warnings(&mut self) {
+        self.system.set_live_warnings();
+    }
+
+    /// Register a flow definition at every switch on its path — the
+    /// streaming analogue of deploy-time registration.
+    pub fn register_flow(&mut self, f: &FlowSpec) {
+        self.system.register_flow(f);
+    }
+
+    /// The wrapped system (results, logs, telemetry attachment).
+    pub fn system(&self) -> &DriftBottleSystem<C> {
+        &self.system
+    }
+
+    /// Mutable access to the wrapped system.
+    pub fn system_mut(&mut self) -> &mut DriftBottleSystem<C> {
+        &mut self.system
+    }
+
+    /// Consume the engine, yielding the system for batch result extraction.
+    pub fn into_system(self) -> DriftBottleSystem<C> {
+        self.system
+    }
+
+    /// The configuration fingerprint guarding [`Self::restore`].
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Latest time the engine has seen.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Ticks fired so far (= closed sampling windows).
+    pub fn ticks_fired(&self) -> u32 {
+        self.ticks_fired
+    }
+
+    /// In-flight carrier count (inference headers awaiting their next hop).
+    pub fn carriers_in_flight(&self) -> usize {
+        self.carriers.len()
+    }
+
+    fn fire_tick(&mut self) {
+        let t = self.next_tick;
+        self.system.on_tick(t);
+        self.ticks_fired += 1;
+        self.now = t;
+        self.next_tick = t + self.interval;
+        if let Some(windows) = self.retention {
+            let horizon = SimTime::from_ns(self.interval.as_ns().saturating_mul(windows as u64));
+            let cutoff = SimTime::from_ns(t.as_ns().saturating_sub(horizon.as_ns()));
+            while let Some(&(touched, key)) = self.age.front() {
+                if touched >= cutoff {
+                    break;
+                }
+                self.age.pop_front();
+                // Stale queue entries (carrier re-touched since) keep the
+                // carrier alive; only drop if the live entry is old too.
+                if let Some(&(_, last)) = self.carriers.get(&key) {
+                    if last < cutoff {
+                        self.carriers.remove(&key);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Ingest one flow record, firing any sampling ticks due at or before
+    /// it, and return the warnings raised (empty unless
+    /// [`Self::set_live_warnings`] is on).
+    ///
+    /// Records must arrive in non-decreasing time order per the feeding
+    /// switch stream; a record older than an already-fired tick is still
+    /// processed (its measures land in the current window, exactly as a
+    /// late packet would in a real switch).
+    pub fn ingest(&mut self, rec: &FlowRecord) -> Vec<Warning> {
+        while self.next_tick <= rec.at {
+            self.fire_tick();
+        }
+        let key = (rec.info.flow.0, rec.info.seq);
+        // An absent carrier and an empty annotation mean the same thing to
+        // the pipeline, so empty annotations are never parked: while the
+        // network is healthy (no inferences drifting) most records skip the
+        // carrier table entirely, which is what keeps ingest at wire speed.
+        let mut ann = if self.carriers.is_empty() {
+            Annotation::empty()
+        } else if rec.info.is_ingress {
+            // A fresh packet enters empty; drop any stale carrier under the
+            // same key (seq reuse across a very old flow restart).
+            self.carriers.remove(&key);
+            Annotation::empty()
+        } else {
+            match self.carriers.remove(&key) {
+                Some((ann, _)) => ann,
+                None => Annotation::empty(),
+            }
+        };
+        self.system.on_packet(rec.at, &rec.info, &mut ann);
+        if rec.at > self.now {
+            self.now = rec.at;
+        }
+        if !rec.info.is_last_switch && !ann.is_empty() {
+            self.carriers.insert(key, (ann, rec.at));
+            self.age.push_back((rec.at, key));
+        }
+        self.system.drain_warnings()
+    }
+
+    /// Advance the clock to `t`, firing every sampling tick due at or
+    /// before it, and return the warnings raised (centralized DCA reports
+    /// fire on ticks). Idle streams call this to keep windows closing.
+    pub fn advance_to(&mut self, t: SimTime) -> Vec<Warning> {
+        while self.next_tick <= t {
+            self.fire_tick();
+        }
+        if t > self.now {
+            self.now = t;
+        }
+        self.system.drain_warnings()
+    }
+
+    /// Serialize the complete engine state: clock, tick counter, carrier
+    /// table, and the full system state, prefixed with a version byte and
+    /// the configuration fingerprint.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.u8(SNAPSHOT_VERSION);
+        w.u64(self.fingerprint);
+        w.u64(self.now.as_ns());
+        w.u64(self.next_tick.as_ns());
+        w.u32(self.ticks_fired);
+        w.seq(self.carriers.len());
+        for (&(flow, seq), (ann, last)) in &self.carriers {
+            w.u32(flow);
+            w.u64(seq);
+            w.u64(last.as_ns());
+            let bytes = ann.as_slice();
+            w.seq(bytes.len());
+            for &b in bytes {
+                w.u8(b);
+            }
+        }
+        self.system.snapshot_into(&mut w);
+        w.into_bytes()
+    }
+
+    /// Restore state from [`Self::snapshot`] bytes, onto an identically
+    /// deployed engine. The configuration fingerprint is checked first;
+    /// on any error the engine is left untouched only up to the point of
+    /// failure — callers should discard an engine whose restore failed
+    /// mid-way (the daemon restores before serving, so a failure there
+    /// just falls back to a fresh engine).
+    pub fn restore(&mut self, bytes: &[u8]) -> Result<(), RestoreError> {
+        let mut r = ByteReader::new(bytes);
+        let version = r.u8()?;
+        if version != SNAPSHOT_VERSION {
+            return Err(RestoreError::Wire(WireError::Overflow {
+                at: 0,
+                value: version as u64,
+            }));
+        }
+        let found = r.u64()?;
+        if found != self.fingerprint {
+            return Err(RestoreError::ConfigMismatch {
+                expected: self.fingerprint,
+                found,
+            });
+        }
+        let now = SimTime::from_ns(r.u64()?);
+        let next_tick = SimTime::from_ns(r.u64()?);
+        let ticks_fired = r.u32()?;
+        let mut carriers = BTreeMap::new();
+        let mut by_touch: Vec<(SimTime, (u32, u64))> = Vec::new();
+        for _ in 0..r.seq()? {
+            let flow = r.u32()?;
+            let seq = r.u64()?;
+            let last = SimTime::from_ns(r.u64()?);
+            let n = r.seq()?;
+            let bytes = r.bytes(n)?;
+            carriers.insert((flow, seq), (Annotation::from_bytes(bytes), last));
+            by_touch.push((last, (flow, seq)));
+        }
+        self.system.restore_from(&mut r)?;
+        r.finish()?;
+        // The original arrival order interleaving of equal touch times is
+        // lost; a stable sort by touch time preserves eviction semantics
+        // (eviction only compares against the live table's touch time).
+        by_touch.sort_by_key(|&(t, _)| t);
+        self.now = now;
+        self.next_tick = next_tick;
+        self.ticks_fired = ticks_fired;
+        self.carriers = carriers;
+        self.age = by_touch.into();
+        Ok(())
+    }
+}
+
+/// Batch mode: the engine is the observer `run_scenario` hands to the
+/// simulator. Packets carry their own annotations there, so the carrier
+/// table stays empty; ticks are driven by the event loop, and the engine
+/// only keeps its clock bookkeeping in sync so a snapshot taken after a
+/// batch run is well-formed.
+impl<C: FlowClassifier> Observer for Engine<C> {
+    fn on_packet(&mut self, now: SimTime, info: &HopInfo, ann: &mut Annotation) {
+        self.system.on_packet(now, info, ann);
+        if now > self.now {
+            self.now = now;
+        }
+    }
+
+    fn on_tick(&mut self, now: SimTime) {
+        self.system.on_tick(now);
+        self.ticks_fired += 1;
+        if now > self.now {
+            self.now = now;
+        }
+        self.next_tick = now + self.interval;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{SystemConfig, VariantSpec};
+    use db_dtree::ThresholdClassifier;
+    use db_flowmon::WindowConfig;
+    use db_netsim::{
+        FailureScenario, SimConfig, Simulator, TraceRecorder, TrafficConfig, TrafficGen,
+    };
+    use db_topology::{zoo, RouteTable};
+
+    fn line_setup() -> (
+        db_topology::Topology,
+        Vec<db_netsim::FlowSpec>,
+        WindowConfig,
+        (SimTime, SimTime),
+        SystemConfig,
+    ) {
+        let topo = zoo::line_with_latency(5, 3.0);
+        let routes = RouteTable::build(&topo);
+        let flows = TrafficGen::generate(&topo, &routes, &TrafficConfig::default(), 7);
+        let interval = SimTime::from_ms(4);
+        let wcfg = WindowConfig::for_network(&routes, interval);
+        let t_fail = SimTime::from_ms(80);
+        let window = (t_fail, t_fail + wcfg.window_len() + SimTime::from_ms(20));
+        let cfg = SystemConfig {
+            warning: db_inference::WarningConfig {
+                hop_min: 2,
+                alpha: 1.0,
+                beta: 1.6,
+            },
+            ..Default::default()
+        };
+        (topo, flows, wcfg, window, cfg)
+    }
+
+    fn deploy(
+        topo: &db_topology::Topology,
+        flows: &[db_netsim::FlowSpec],
+        wcfg: WindowConfig,
+        window: (SimTime, SimTime),
+        cfg: SystemConfig,
+    ) -> DriftBottleSystem<ThresholdClassifier> {
+        DriftBottleSystem::deploy(
+            topo,
+            flows,
+            wcfg,
+            ThresholdClassifier::default(),
+            vec![VariantSpec::drift_bottle()],
+            cfg,
+            window,
+        )
+    }
+
+    /// Record a trace and the batch-run system for the same seed.
+    fn trace_and_batch() -> (TraceRecorder, DriftBottleSystem<ThresholdClassifier>) {
+        let (topo, flows, wcfg, window, cfg) = line_setup();
+        let scenario = FailureScenario::single_link(db_topology::LinkId(2), window.0);
+        let sim_cfg = SimConfig {
+            end: window.1 + SimTime::from_ms(8),
+            tick_interval: wcfg.interval,
+            ..Default::default()
+        };
+        let mut sim = Simulator::new(
+            &topo,
+            flows.clone(),
+            sim_cfg.clone(),
+            &scenario,
+            7,
+            TraceRecorder::new(),
+        );
+        sim.run();
+        let (trace, _) = sim.finish();
+
+        let system = deploy(&topo, &flows, wcfg, window, cfg);
+        let mut sim = Simulator::new(&topo, flows, sim_cfg, &scenario, 7, system);
+        sim.run();
+        (trace, sim.finish().0)
+    }
+
+    #[test]
+    fn streaming_ingest_matches_batch_log() {
+        let (trace, batch) = trace_and_batch();
+        let (topo, flows, wcfg, window, cfg) = line_setup();
+        let mut engine = Engine::new(deploy(&topo, &flows, wcfg, window, cfg));
+        engine.set_live_warnings();
+        let mut live_raises = 0u64;
+        for o in &trace.observations {
+            live_raises += engine.ingest(&FlowRecord::from(*o)).len() as u64;
+        }
+        let end = window.1 + SimTime::from_ms(8);
+        live_raises += engine.advance_to(end).len() as u64;
+        let stream_log = engine.system().log("Drift-Bottle").unwrap();
+        let batch_log = batch.log("Drift-Bottle").unwrap();
+        assert_eq!(stream_log.raises, batch_log.raises);
+        assert_eq!(stream_log.by_pair, batch_log.by_pair);
+        assert_eq!(stream_log.reported_links, batch_log.reported_links);
+        assert_eq!(live_raises, stream_log.raises, "every raise surfaced live");
+        // Carriers of packets the failure dropped mid-path never meet their
+        // last switch; without retention they linger — that's what
+        // `set_retention` is for in a long-lived daemon.
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_mid_stream() {
+        let (trace, _) = trace_and_batch();
+        let (topo, flows, wcfg, window, cfg) = line_setup();
+        let mut a = Engine::new(deploy(&topo, &flows, wcfg, window, cfg.clone()));
+        a.set_live_warnings();
+        let split = trace.observations.len() / 2;
+        for o in &trace.observations[..split] {
+            a.ingest(&FlowRecord::from(*o));
+        }
+        let snap = a.snapshot();
+
+        let mut b = Engine::new(deploy(&topo, &flows, wcfg, window, cfg));
+        b.set_live_warnings();
+        b.restore(&snap).unwrap();
+        assert_eq!(b.snapshot(), snap, "restore is lossless");
+
+        for o in &trace.observations[split..] {
+            let wa = a.ingest(&FlowRecord::from(*o));
+            let wb = b.ingest(&FlowRecord::from(*o));
+            assert_eq!(wa, wb);
+        }
+        assert_eq!(a.snapshot(), b.snapshot());
+    }
+
+    #[test]
+    fn restore_rejects_other_configs() {
+        let (topo, flows, wcfg, window, cfg) = line_setup();
+        let a = Engine::new(deploy(&topo, &flows, wcfg, window, cfg.clone()));
+        let snap = a.snapshot();
+        let mut other_cfg = cfg;
+        other_cfg.warning.beta += 0.5;
+        let mut b = Engine::new(deploy(&topo, &flows, wcfg, window, other_cfg));
+        match b.restore(&snap) {
+            Err(RestoreError::ConfigMismatch { .. }) => {}
+            other => panic!("expected ConfigMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn restore_rejects_truncated_bytes() {
+        let (topo, flows, wcfg, window, cfg) = line_setup();
+        let mut e = Engine::new(deploy(&topo, &flows, wcfg, window, cfg));
+        let snap = e.snapshot();
+        match e.restore(&snap[..snap.len() - 3]) {
+            Err(RestoreError::Wire(_)) => {}
+            other => panic!("expected Wire error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn retention_evicts_stale_carriers() {
+        let (topo, flows, wcfg, window, cfg) = line_setup();
+        let mut e = Engine::new(deploy(&topo, &flows, wcfg, window, cfg));
+        e.set_retention(2);
+        // A mid-path record with no prior carrier: treated as ingress-like,
+        // stored for the (never-arriving) next hop.
+        let f = &flows[0];
+        let rec = FlowRecord {
+            at: SimTime::from_ms(1),
+            info: HopInfo {
+                flow: f.id,
+                src: f.path.nodes[0],
+                dst: *f.path.nodes.last().unwrap(),
+                seq: 1,
+                size: 500,
+                node: f.path.nodes[0],
+                hop_index: 0,
+                is_ingress: true,
+                is_last_switch: false,
+            },
+        };
+        e.ingest(&rec);
+        assert_eq!(e.carriers_in_flight(), 1);
+        // Two windows later the carrier is gone.
+        e.advance_to(SimTime::from_ms(20));
+        assert_eq!(e.carriers_in_flight(), 0);
+    }
+}

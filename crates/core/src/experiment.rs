@@ -8,7 +8,8 @@
 //! injection.
 
 use crate::classifier::{timeline, Prepared};
-use crate::config::{SystemConfig, VariantSpec};
+use crate::config::{Mechanism, SystemConfig, VariantSpec};
+use crate::engine::Engine;
 use crate::eval::{LocalizationMetrics, MetricsAccum};
 use crate::par::par_map;
 use crate::system::{DriftBottleSystem, RatioSample};
@@ -17,8 +18,10 @@ use db_netsim::{
 };
 use db_telemetry::flight::{FlightRecord, FlightRecorder};
 use db_telemetry::scope::{ScopeMeta, ScopeRecorder};
+use db_telemetry::Instrumentation;
 use db_topology::{ordered_pairs, LinkId, NodeId, Topology, SCALE_NODE_THRESHOLD};
 use db_util::Pcg64;
+use std::fmt;
 use std::sync::Arc;
 
 /// What fails in a scenario.
@@ -74,7 +77,15 @@ impl ScenarioKind {
 }
 
 /// Everything fixed across the scenarios of one sweep.
+///
+/// Construct via [`ScenarioSetup::builder`] (validated) or the
+/// [`ScenarioSetup::flagship`] shorthand. Direct struct-literal construction
+/// is sealed (`#[non_exhaustive]`) so invalid combinations — empty variant
+/// lists, several wire variants, out-of-range densities — are caught at
+/// build time instead of panicking mid-simulation; the fields stay public
+/// for in-place adjustment after construction.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct ScenarioSetup<'a> {
     /// The prepared topology (routes, windows, trained classifier).
     pub prep: &'a Prepared,
@@ -89,35 +100,197 @@ pub struct ScenarioSetup<'a> {
     /// Ambient i.i.d. per-hop packet loss ("network jitter", §4.3) — noise
     /// the warning thresholds must tolerate. Usually 0.
     pub background_loss: f64,
-    /// Provenance flight recorder. `None` (the default) records nothing and
-    /// keeps scenario results bit-for-bit identical; `Some` captures the
-    /// cause chain of the flagship variant (see
-    /// [`DriftBottleSystem::set_flight`]) plus simulator packet drops.
-    pub flight: Option<Arc<FlightRecorder>>,
-    /// db-scope recorder. `None` (the default) records nothing and keeps
-    /// scenario results bit-for-bit identical; `Some` captures per-window
-    /// health series of the flagship variant (see
-    /// [`DriftBottleSystem::set_scope`]), per-link drop series and queue
-    /// depth from the simulator, and the scenario→phase→window span tree.
-    pub scope: Option<Arc<ScopeRecorder>>,
+    /// Telemetry attachment (provenance flight recorder + db-scope). The
+    /// default is off, which records nothing and keeps scenario results
+    /// bit-for-bit identical; see [`DriftBottleSystem::set_flight`] and
+    /// [`DriftBottleSystem::set_scope`] for what each recorder captures.
+    pub instr: Instrumentation,
+}
+
+/// Why [`ScenarioSetupBuilder::build`] rejected a configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SetupError {
+    /// Flow density must be finite and strictly positive.
+    BadDensity,
+    /// Background loss is a probability: `0.0 ≤ p < 1.0`.
+    BadBackgroundLoss,
+    /// At least one variant is required.
+    NoVariants,
+    /// Packets carry one header: at most one `DistributedWire` variant.
+    MultipleWireVariants,
+}
+
+impl fmt::Display for SetupError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SetupError::BadDensity => write!(f, "flow density must be finite and > 0"),
+            SetupError::BadBackgroundLoss => {
+                write!(f, "background loss must satisfy 0.0 <= p < 1.0")
+            }
+            SetupError::NoVariants => write!(f, "at least one variant is required"),
+            SetupError::MultipleWireVariants => {
+                write!(
+                    f,
+                    "at most one DistributedWire variant (packets carry one header)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SetupError {}
+
+/// Validating builder for [`ScenarioSetup`]. Defaults: density 1.0, seed 0,
+/// the prepared topology's sampling interval, the flagship variant only, no
+/// background loss, instrumentation off.
+#[derive(Debug, Clone)]
+pub struct ScenarioSetupBuilder<'a> {
+    prep: &'a Prepared,
+    density: f64,
+    seed: u64,
+    sys: SystemConfig,
+    variants: Vec<VariantSpec>,
+    background_loss: f64,
+    instr: Instrumentation,
+}
+
+impl<'a> ScenarioSetupBuilder<'a> {
+    /// Flow density (§6.1).
+    pub fn density(mut self, density: f64) -> Self {
+        self.density = density;
+        self
+    }
+
+    /// Workload seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replace the system parameters wholesale.
+    pub fn sys(mut self, sys: SystemConfig) -> Self {
+        self.sys = sys;
+        self
+    }
+
+    /// Warning thresholds (equation (1)).
+    pub fn warning(mut self, warning: db_inference::WarningConfig) -> Self {
+        self.sys.warning = warning;
+        self
+    }
+
+    /// Sample one in `n` aggregations for the Fig.-11 CDFs (0 disables).
+    pub fn ratio_sampling(mut self, n: u32) -> Self {
+        self.sys.ratio_sampling = n;
+        self
+    }
+
+    /// The variants to compare (replaces the default flagship-only list).
+    pub fn variants(mut self, variants: Vec<VariantSpec>) -> Self {
+        self.variants = variants;
+        self
+    }
+
+    /// Ambient i.i.d. per-hop packet loss.
+    pub fn background_loss(mut self, p: f64) -> Self {
+        self.background_loss = p;
+        self
+    }
+
+    /// Attach a provenance flight recorder.
+    pub fn flight(mut self, rec: Arc<FlightRecorder>) -> Self {
+        self.instr.flight = Some(rec);
+        self
+    }
+
+    /// Attach a db-scope recorder.
+    pub fn scope(mut self, rec: Arc<ScopeRecorder>) -> Self {
+        self.instr.scope = Some(rec);
+        self
+    }
+
+    /// Replace the whole instrumentation bundle.
+    pub fn instrumentation(mut self, instr: Instrumentation) -> Self {
+        self.instr = instr;
+        self
+    }
+
+    /// Validate and build the setup.
+    pub fn build(self) -> Result<ScenarioSetup<'a>, SetupError> {
+        if !(self.density.is_finite() && self.density > 0.0) {
+            return Err(SetupError::BadDensity);
+        }
+        if !(self.background_loss.is_finite() && (0.0..1.0).contains(&self.background_loss)) {
+            return Err(SetupError::BadBackgroundLoss);
+        }
+        if self.variants.is_empty() {
+            return Err(SetupError::NoVariants);
+        }
+        let wire_count = self
+            .variants
+            .iter()
+            .filter(|v| v.mechanism == Mechanism::DistributedWire)
+            .count();
+        if wire_count > 1 {
+            return Err(SetupError::MultipleWireVariants);
+        }
+        Ok(ScenarioSetup {
+            prep: self.prep,
+            density: self.density,
+            seed: self.seed,
+            sys: self.sys,
+            variants: self.variants,
+            background_loss: self.background_loss,
+            instr: self.instr,
+        })
+    }
 }
 
 impl<'a> ScenarioSetup<'a> {
-    /// A setup with the default system config and only the flagship variant.
-    pub fn flagship(prep: &'a Prepared, density: f64, seed: u64) -> Self {
-        ScenarioSetup {
+    /// Start a validating builder over a prepared topology.
+    pub fn builder(prep: &'a Prepared) -> ScenarioSetupBuilder<'a> {
+        ScenarioSetupBuilder {
             prep,
-            density,
-            seed,
+            density: 1.0,
+            seed: 0,
             sys: SystemConfig {
                 interval: prep.interval,
                 ..Default::default()
             },
             variants: vec![VariantSpec::drift_bottle()],
             background_loss: 0.0,
-            flight: None,
-            scope: None,
+            instr: Instrumentation::off(),
         }
+    }
+
+    /// A setup with the default system config and only the flagship variant.
+    pub fn flagship(prep: &'a Prepared, density: f64, seed: u64) -> Self {
+        Self::builder(prep)
+            .density(density)
+            .seed(seed)
+            .build()
+            .expect("flagship defaults are valid for any positive density")
+    }
+
+    /// Legacy all-fields constructor, kept for the transition to the
+    /// builder. Panics on the combinations [`Self::builder`] rejects.
+    #[deprecated(note = "use ScenarioSetup::builder() — it validates instead of panicking")]
+    pub fn from_parts(
+        prep: &'a Prepared,
+        density: f64,
+        seed: u64,
+        sys: SystemConfig,
+        variants: Vec<VariantSpec>,
+        background_loss: f64,
+    ) -> Self {
+        let mut b = Self::builder(prep)
+            .density(density)
+            .seed(seed)
+            .sys(sys)
+            .background_loss(background_loss);
+        b.variants = variants;
+        b.build()
+            .expect("legacy constructor forwards invalid setups")
     }
 }
 
@@ -190,7 +363,7 @@ pub fn run_scenario(setup: &ScenarioSetup, kind: &ScenarioKind) -> ScenarioOutco
     if let Some(reg) = db_telemetry::active() {
         system.set_metrics(reg);
     }
-    if let Some(rec) = &setup.flight {
+    if let Some(rec) = &setup.instr.flight {
         // The run header goes in first: everything `explain` needs to
         // re-evaluate equation (1) and score against ground truth offline.
         rec.record(FlightRecord::RunMeta {
@@ -207,7 +380,7 @@ pub fn run_scenario(setup: &ScenarioSetup, kind: &ScenarioKind) -> ScenarioOutco
         });
         system.set_flight(rec.clone(), &ground_truth, prep.topo.link_count());
     }
-    let scenario_span = if let Some(sc) = &setup.scope {
+    let scenario_span = if let Some(sc) = &setup.instr.scope {
         // The meta header first: everything `timeline` needs to map
         // nanosecond feed times onto window indices and re-state the
         // equation (1) thresholds next to the series.
@@ -225,30 +398,40 @@ pub fn run_scenario(setup: &ScenarioSetup, kind: &ScenarioKind) -> ScenarioOutco
     } else {
         None
     };
-    let mut sim = Simulator::new(&prep.topo, flows, cfg, &scenario, setup.seed, system);
+    // Batch runs on the incremental engine: the engine is the observer the
+    // simulator drives, so the batch and streaming paths share one pipeline
+    // (the golden snapshot pins this rebase bit-identical).
+    let engine = Engine::new(system);
+    let mut sim = Simulator::new(&prep.topo, flows, cfg, &scenario, setup.seed, engine);
     if let Some(reg) = db_telemetry::active() {
         sim.set_metrics(reg);
     }
-    if let Some(rec) = &setup.flight {
+    if let Some(rec) = &setup.instr.flight {
         sim.set_flight(rec.clone());
     }
-    if let Some(sc) = &setup.scope {
+    if let Some(sc) = &setup.instr.scope {
         sim.set_scope(sc.clone());
     }
     {
         let _simulate = db_telemetry::span("phase.simulate");
         let sim_span = setup
+            .instr
             .scope
             .as_ref()
             .map(|sc| sc.begin_span("phase.simulate"));
         sim.run();
-        if let (Some(sc), Some(id)) = (&setup.scope, sim_span) {
+        if let (Some(sc), Some(id)) = (&setup.instr.scope, sim_span) {
             sc.end_span(id);
         }
     }
     let _score = db_telemetry::span("phase.score");
-    let score_span = setup.scope.as_ref().map(|sc| sc.begin_span("phase.score"));
-    let (system, stats) = sim.finish();
+    let score_span = setup
+        .instr
+        .scope
+        .as_ref()
+        .map(|sc| sc.begin_span("phase.score"));
+    let (engine, stats) = sim.finish();
+    let system = engine.into_system();
     let total_links = prep.topo.link_count();
     let variants = system
         .results()
@@ -286,7 +469,7 @@ pub fn run_scenario(setup: &ScenarioSetup, kind: &ScenarioKind) -> ScenarioOutco
             precision = v.metrics.precision,
         );
     }
-    if let Some(sc) = &setup.scope {
+    if let Some(sc) = &setup.instr.scope {
         if let Some(id) = score_span {
             sc.end_span(id);
         }

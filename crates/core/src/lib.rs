@@ -9,6 +9,10 @@
 //!   generation (Algorithm 1) → in-packet distributed aggregation with the
 //!   real 9-byte header → threshold warnings. Several variants share one
 //!   simulated network, so scheme comparisons see identical traffic.
+//! * [`engine`] — [`engine::Engine`], the incremental face of the same
+//!   pipeline: ingest flow records one at a time, get warnings back live,
+//!   snapshot/restore complete state. The batch runner is built on top of
+//!   it; `drift-bottle serve` streams through it.
 //! * [`eval`] — the §6.2 metrics: precision, recall, F1, accuracy, FPR over
 //!   link sets.
 //! * [`classifier`] — the offline training pipeline of §4.1/§6.1: simulate
@@ -24,6 +28,7 @@
 mod analysis_tests;
 pub mod classifier;
 pub mod config;
+pub mod engine;
 pub mod eval;
 pub mod experiment;
 pub mod par;
@@ -32,6 +37,7 @@ pub mod wire;
 
 pub use classifier::{prepare, PrepareConfig, Prepared};
 pub use config::{Mechanism, SystemConfig, VariantSpec};
+pub use engine::{Engine, FlowRecord, RestoreError};
 pub use eval::{LocalizationMetrics, MetricsAccum};
 pub use experiment::{run_scenario, ScenarioKind, ScenarioOutcome, ScenarioSetup, VariantResult};
-pub use system::{DriftBottleSystem, RatioSample, WarningLog};
+pub use system::{DriftBottleSystem, RatioSample, Warning, WarningLog};

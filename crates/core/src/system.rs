@@ -24,15 +24,47 @@ use db_dtree::FlowClassifier;
 use db_flowmon::{FlowStatus, FlowmonMetrics, SwitchMonitor, WindowConfig};
 use db_inference::{
     aggregate_step_inline_metered, aggregate_step_metered, centralized_report, check_warning,
-    check_warning_inline, inference_digest, local_inference, provenance::NO_INFERENCE_DIGEST,
-    HeaderCodec, Inference, InferenceMetrics, InlineInference, INLINE_CAP, MAX_HEADER_BYTES,
+    check_warning_inline, inference_digest, local_inference_scratched,
+    provenance::NO_INFERENCE_DIGEST, HeaderCodec, Inference, InferenceMetrics, InlineInference,
+    VoteScratch, INLINE_CAP, MAX_HEADER_BYTES,
 };
 use db_netsim::{Annotation, FlowSpec, HopInfo, Observer, SimTime};
 use db_telemetry::flight::{FlightRecord, FlightRecorder};
 use db_telemetry::scope::{hot, HotFn, ScopeRecorder};
 use db_topology::{LinkId, NodeId, Topology};
+use db_util::wire::{ByteReader, ByteWriter, WireError};
 use std::collections::{BTreeMap, BTreeSet, HashMap}; // db-lint: allow(det-hash-iter) — HashMap only for the never-iterated vtables below
 use std::sync::Arc;
+
+/// One live warning, as surfaced by the streaming engine's ingest path.
+///
+/// The batch pipeline only needs the aggregated [`WarningLog`]; a long-lived
+/// service needs each raise *as it happens*, carrying enough context for a
+/// subscriber to act on it: the raising switch, the accused link, the
+/// equation-(1) inputs, and the drifted inference exactly as the wire would
+/// carry it (encoded with the deployed [`HeaderCodec`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Warning {
+    /// When the warning was raised.
+    pub at: SimTime,
+    /// The raising switch ([`DCA_NODE`] for centralized reports).
+    pub switch: NodeId,
+    /// The accused link.
+    pub link: LinkId,
+    /// Index of the raising variant in deployment order.
+    pub variant: u8,
+    /// Aggregation count at raise time (0 for centralized reports).
+    pub hop_now: u8,
+    /// Strongest weight of the raising inference.
+    pub w0: f64,
+    /// Runner-up weight.
+    pub w1: f64,
+    /// The raising inference, encoded with the deployed header codec
+    /// (`header[..header_len]`; empty for centralized reports).
+    pub header: [u8; MAX_HEADER_BYTES],
+    /// Valid prefix length of `header`.
+    pub header_len: u8,
+}
 
 /// Per-(switch, link) warning statistics.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -154,8 +186,13 @@ pub struct DriftBottleSystem<C: FlowClassifier> {
     monitors: Vec<SwitchMonitor>,
     classifier: C,
     cfg: SystemConfig,
+    wcfg: WindowConfig,
     codec: HeaderCodec,
     variants: Vec<VariantState>,
+    /// Live warning buffer. `None` (the default, batch mode) records
+    /// nothing; `Some` collects every raise for [`Self::drain_warnings`] —
+    /// push-only, so enabling it never perturbs outcomes.
+    live: Option<Vec<Warning>>,
     /// Warning collection window `(from, to]`.
     window: (SimTime, SimTime),
     /// Whether the per-packet path runs on the inline representation. True
@@ -198,6 +235,25 @@ impl<C: FlowClassifier> DriftBottleSystem<C> {
         cfg: SystemConfig,
         window: (SimTime, SimTime),
     ) -> Self {
+        let mut system = Self::deploy_empty(topo, wcfg, classifier, variants, cfg, window);
+        for f in flows {
+            system.register_flow(f);
+        }
+        system
+    }
+
+    /// Deploy the system with **no flows registered** — the streaming form:
+    /// a daemon deploys once per topology and registers flows as their
+    /// definitions arrive (see [`Self::register_flow`]). [`Self::deploy`]
+    /// is this plus one `register_flow` per workload flow, in order.
+    pub fn deploy_empty(
+        topo: &Topology,
+        wcfg: WindowConfig,
+        classifier: C,
+        variants: Vec<VariantSpec>,
+        cfg: SystemConfig,
+        window: (SimTime, SimTime),
+    ) -> Self {
         let wire_count = variants
             .iter()
             .filter(|v| v.mechanism == Mechanism::DistributedWire)
@@ -206,15 +262,8 @@ impl<C: FlowClassifier> DriftBottleSystem<C> {
             wire_count <= 1,
             "packets carry one header: at most one DistributedWire variant"
         );
-        let mut monitors: Vec<SwitchMonitor> =
+        let monitors: Vec<SwitchMonitor> =
             topo.nodes().map(|n| SwitchMonitor::new(n, wcfg)).collect();
-        for f in flows {
-            for (pos, &node) in f.path.nodes.iter().enumerate() {
-                let upstream: Vec<LinkId> = f.path.links[..pos].to_vec();
-                let meta = db_flowmon::FlowMeta::new(f.rtt_ms, f.path.len(), upstream, &wcfg);
-                monitors[node.idx()].register_flow(f.id, meta);
-            }
-        }
         let n = topo.node_count();
         let variants = variants
             .into_iter()
@@ -235,8 +284,10 @@ impl<C: FlowClassifier> DriftBottleSystem<C> {
             monitors,
             classifier,
             cfg,
+            wcfg,
             codec,
             variants,
+            live: None,
             window,
             inline_ok,
             agg_counter: 0,
@@ -245,6 +296,37 @@ impl<C: FlowClassifier> DriftBottleSystem<C> {
             dt_metrics: None,
             flight: None,
             scope: None,
+        }
+    }
+
+    /// Register one flow at every switch on its path, with the upstream-link
+    /// metadata each monitor needs — exactly what [`Self::deploy`] does per
+    /// workload flow. Idempotent per (flow, switch): re-registration
+    /// replaces metadata and keeps accumulated history.
+    pub fn register_flow(&mut self, f: &FlowSpec) {
+        for (pos, &node) in f.path.nodes.iter().enumerate() {
+            let upstream: Vec<LinkId> = f.path.links[..pos].to_vec();
+            let meta = db_flowmon::FlowMeta::new(f.rtt_ms, f.path.len(), upstream, &self.wcfg);
+            self.monitors[node.idx()].register_flow(f.id, meta);
+        }
+    }
+
+    /// Switch the live warning buffer on: every subsequent raise (from any
+    /// variant, including centralized DCA reports) is also pushed to an
+    /// internal buffer drained by [`Self::drain_warnings`]. Observation
+    /// only — logs, ratios, and every outcome stay bit-identical.
+    pub fn set_live_warnings(&mut self) {
+        if self.live.is_none() {
+            self.live = Some(Vec::new());
+        }
+    }
+
+    /// Take all live warnings buffered since the last drain. Empty unless
+    /// [`Self::set_live_warnings`] was called.
+    pub fn drain_warnings(&mut self) -> Vec<Warning> {
+        match &mut self.live {
+            Some(buf) => std::mem::take(buf),
+            None => Vec::new(),
         }
     }
 
@@ -375,6 +457,239 @@ impl<C: FlowClassifier> DriftBottleSystem<C> {
         self.codec
     }
 
+    /// The window configuration the system was deployed with.
+    pub fn window_config(&self) -> WindowConfig {
+        self.wcfg
+    }
+
+    /// FNV-1a digest of everything [`Self::restore_from`] assumes is equal
+    /// between the snapshotting and the restoring deployment: window and
+    /// system parameters, the collection window, topology extent, and the
+    /// full variant roster. Two systems with equal fingerprints are
+    /// structurally interchangeable for snapshot/restore (the classifier is
+    /// derived from training configuration upstream and is not hashed).
+    pub fn config_fingerprint(&self) -> u64 {
+        let mut w = ByteWriter::new();
+        w.u64(self.wcfg.interval.as_ns());
+        w.usize(self.wcfg.window_intervals);
+        w.usize(self.cfg.k);
+        w.u32(self.cfg.warning.hop_min);
+        w.f64(self.cfg.warning.alpha);
+        w.f64(self.cfg.warning.beta);
+        w.u64(self.cfg.interval.as_ns());
+        w.u32(self.cfg.ratio_sampling);
+        w.u64(self.window.0.as_ns());
+        w.u64(self.window.1.as_ns());
+        w.usize(self.monitors.len());
+        w.seq(self.variants.len());
+        for v in &self.variants {
+            w.str(&v.spec.name);
+            w.u8(match v.spec.scheme {
+                db_inference::WeightScheme::DriftBottle => 0,
+                db_inference::WeightScheme::NonNegative => 1,
+                db_inference::WeightScheme::Drifted007 => 2,
+                db_inference::WeightScheme::Modified007 => 3,
+            });
+            match v.spec.mechanism {
+                Mechanism::DistributedWire => w.u8(0),
+                Mechanism::DistributedVirtual => w.u8(1),
+                Mechanism::Centralized {
+                    portion,
+                    period_ticks,
+                } => {
+                    w.u8(2);
+                    w.f64(portion);
+                    w.u32(period_ticks);
+                }
+                Mechanism::DistributedAbsorbing => w.u8(3),
+            }
+        }
+        db_util::wire::fnv1a64(&w.into_bytes())
+    }
+
+    /// Serialize the complete mutable state of the deployment: the
+    /// aggregation counter, every switch monitor (mid-window registers and
+    /// per-flow history), and every variant's locals, in-flight carrier
+    /// tables, warning log, ratio samples and tick counter. A system
+    /// restored from this continues **bit-identically** — the streaming
+    /// equivalence proptest pins that across a mid-stream cycle.
+    ///
+    /// Configuration (topology, classifier, codec, thresholds, window) is
+    /// deliberately *not* included: restore targets an identically deployed
+    /// system, and the engine layer guards that with a config fingerprint.
+    pub fn snapshot_into(&self, w: &mut ByteWriter) {
+        w.u64(self.agg_counter);
+        w.seq(self.monitors.len());
+        for m in &self.monitors {
+            m.snapshot_into(w);
+        }
+        w.seq(self.variants.len());
+        for v in &self.variants {
+            w.seq(v.locals.len());
+            for inf in &v.locals {
+                encode_entries(w, inf.entries());
+            }
+            w.seq(v.locals_inline.len());
+            for inf in &v.locals_inline {
+                encode_entries(w, inf.entries());
+            }
+            // The carrier tables are hash maps; sort by key so the snapshot
+            // is byte-stable across processes.
+            let mut keys: Vec<(u32, u64)> = v.vtable.keys().copied().collect();
+            keys.sort_unstable();
+            w.seq(keys.len());
+            for k in keys {
+                let (inf, hops) = &v.vtable[&k];
+                w.u32(k.0);
+                w.u64(k.1);
+                w.u8(*hops);
+                encode_entries(w, inf.entries());
+            }
+            let mut keys: Vec<(u32, u64)> = v.vtable_inline.keys().copied().collect();
+            keys.sort_unstable();
+            w.seq(keys.len());
+            for k in keys {
+                let (inf, hops) = &v.vtable_inline[&k];
+                w.u32(k.0);
+                w.u64(k.1);
+                w.u8(*hops);
+                encode_entries(w, inf.entries());
+            }
+            w.u64(v.log.raises);
+            w.seq(v.log.by_pair.len());
+            for (&(switch, link), s) in &v.log.by_pair {
+                w.u16w(switch.0);
+                w.u16w(link.0);
+                w.u64(s.count);
+                w.u64(s.first_at.as_ns());
+                w.u64(s.last_at.as_ns());
+            }
+            w.seq(v.log.reported_links.len());
+            for l in &v.log.reported_links {
+                w.u16w(l.0);
+            }
+            w.seq(v.log.reported_pairs.len());
+            for (n, l) in &v.log.reported_pairs {
+                w.u16w(n.0);
+                w.u16w(l.0);
+            }
+            w.seq(v.ratios.len());
+            for rs in &v.ratios {
+                w.u64(rs.at.as_ns());
+                w.u8(rs.hop_now);
+                encode_entries(w, &rs.entries);
+            }
+            w.u32(v.ticks_seen);
+        }
+    }
+
+    /// Inverse of [`Self::snapshot_into`], applied onto an identically
+    /// deployed system. Structural mismatches (monitor/variant counts) are
+    /// reported as [`WireError::Overflow`] at the offending offset — callers
+    /// fingerprint configuration before getting here, so a mismatch means
+    /// corrupt input.
+    pub fn restore_from(&mut self, r: &mut ByteReader) -> Result<(), WireError> {
+        self.agg_counter = r.u64()?;
+        let n_mon = r.seq()?;
+        if n_mon != self.monitors.len() {
+            return Err(WireError::Overflow {
+                at: r.offset(),
+                value: n_mon as u64,
+            });
+        }
+        for m in self.monitors.iter_mut() {
+            *m = SwitchMonitor::restore_from(r, self.wcfg)?;
+        }
+        let n_var = r.seq()?;
+        if n_var != self.variants.len() {
+            return Err(WireError::Overflow {
+                at: r.offset(),
+                value: n_var as u64,
+            });
+        }
+        for v in self.variants.iter_mut() {
+            let n = r.seq()?;
+            if n != v.locals.len() {
+                return Err(WireError::Overflow {
+                    at: r.offset(),
+                    value: n as u64,
+                });
+            }
+            for inf in v.locals.iter_mut() {
+                *inf = Inference::from_pairs(decode_entries(r)?);
+            }
+            let n = r.seq()?;
+            if n != v.locals_inline.len() {
+                return Err(WireError::Overflow {
+                    at: r.offset(),
+                    value: n as u64,
+                });
+            }
+            for inf in v.locals_inline.iter_mut() {
+                // Entries round-trip canonically, so `from_inference` is an
+                // exact rebuild (and the snapshot came from under-CAP state).
+                *inf = InlineInference::from_inference(&Inference::from_pairs(decode_entries(r)?));
+            }
+            v.vtable.clear();
+            for _ in 0..r.seq()? {
+                let flow = r.u32()?;
+                let seq = r.u64()?;
+                let hops = r.u8()?;
+                let inf = Inference::from_pairs(decode_entries(r)?);
+                v.vtable.insert((flow, seq), (inf, hops));
+            }
+            v.vtable_inline.clear();
+            for _ in 0..r.seq()? {
+                let flow = r.u32()?;
+                let seq = r.u64()?;
+                let hops = r.u8()?;
+                let inf =
+                    InlineInference::from_inference(&Inference::from_pairs(decode_entries(r)?));
+                v.vtable_inline.insert((flow, seq), (inf, hops));
+            }
+            v.log.raises = r.u64()?;
+            v.log.by_pair.clear();
+            for _ in 0..r.seq()? {
+                let switch = NodeId(r.u16w()?);
+                let link = LinkId(r.u16w()?);
+                let count = r.u64()?;
+                let first_at = SimTime::from_ns(r.u64()?);
+                let last_at = SimTime::from_ns(r.u64()?);
+                v.log.by_pair.insert(
+                    (switch, link),
+                    PairStats {
+                        count,
+                        first_at,
+                        last_at,
+                    },
+                );
+            }
+            v.log.reported_links.clear();
+            for _ in 0..r.seq()? {
+                v.log.reported_links.insert(LinkId(r.u16w()?));
+            }
+            v.log.reported_pairs.clear();
+            for _ in 0..r.seq()? {
+                let n = NodeId(r.u16w()?);
+                let l = LinkId(r.u16w()?);
+                v.log.reported_pairs.insert((n, l));
+            }
+            v.ratios.clear();
+            for _ in 0..r.seq()? {
+                let at = SimTime::from_ns(r.u64()?);
+                let hop_now = r.u8()?;
+                let entries = decode_entries(r)?;
+                v.ratios.push(RatioSample {
+                    entries,
+                    hop_now,
+                    at,
+                });
+            }
+            v.ticks_seen = r.u32()?;
+        }
+        Ok(())
+    }
+
     #[allow(clippy::too_many_arguments)] // internal hot path; a params struct would just rename the problem
                                          // db-lint: allow(hot-index, hot-alloc) — per-node vectors are sized by node count at setup; the allocating branches are recorder- or sampling-window-gated, off the steady-state path
     fn handle_distributed(
@@ -389,6 +704,7 @@ impl<C: FlowClassifier> DriftBottleSystem<C> {
         metrics: Option<&InferenceMetrics>,
         flight: Option<&FlightScope>,
         scope: Option<&ScopeHook>,
+        live: Option<(u8, &mut Vec<Warning>)>,
     ) {
         hot(HotFn::HandleDistributed);
         let node = info.node;
@@ -452,6 +768,25 @@ impl<C: FlowClassifier> DriftBottleSystem<C> {
         }
         if let Some(link) = check_warning(&agg, hops as u32, &cfg.warning) {
             variant.log.record(now, node, link, window);
+            if let Some((vi, buf)) = live {
+                let mut header = [0u8; MAX_HEADER_BYTES];
+                let n = {
+                    let bytes = codec.encode(&agg, hops);
+                    header[..bytes.len()].copy_from_slice(&bytes);
+                    bytes.len()
+                };
+                buf.push(Warning {
+                    at: now,
+                    switch: node,
+                    link,
+                    variant: vi,
+                    hop_now: hops,
+                    w0: agg.w0(),
+                    w1: agg.w1(),
+                    header,
+                    header_len: n as u8, // db-lint: allow(wire-cast) — header fits MAX_HEADER_BYTES < 256 by construction
+                });
+            }
             if let Some(sc) = scope {
                 sc.rec.warning(now.as_ns(), link.0);
             }
@@ -524,6 +859,7 @@ impl<C: FlowClassifier> DriftBottleSystem<C> {
         metrics: Option<&InferenceMetrics>,
         flight: Option<&FlightScope>,
         scope: Option<&ScopeHook>,
+        live: Option<(u8, &mut Vec<Warning>)>,
     ) {
         hot(HotFn::HandleDistributedInline);
         let node = info.node;
@@ -590,6 +926,21 @@ impl<C: FlowClassifier> DriftBottleSystem<C> {
         }
         if let Some(link) = check_warning_inline(&agg, hops as u32, &cfg.warning) {
             variant.log.record(now, node, link, window);
+            if let Some((vi, buf)) = live {
+                let mut header = [0u8; MAX_HEADER_BYTES];
+                let n = codec.encode_into(&agg, hops, &mut header);
+                buf.push(Warning {
+                    at: now,
+                    switch: node,
+                    link,
+                    variant: vi,
+                    hop_now: hops,
+                    w0: agg.w0(),
+                    w1: agg.w1(),
+                    header,
+                    header_len: n as u8, // db-lint: allow(wire-cast) — header fits MAX_HEADER_BYTES < 256 by construction
+                });
+            }
             if let Some(sc) = scope {
                 sc.rec.warning(now.as_ns(), link.0);
             }
@@ -647,21 +998,45 @@ impl<C: FlowClassifier> DriftBottleSystem<C> {
         statuses: &[(FlowStatus, &[LinkId])],
         k: usize,
         inline_ok: bool,
+        scratch: &mut VoteScratch,
     ) {
         let keep = match variant.spec.mechanism {
             Mechanism::Centralized { .. } => usize::MAX,
             _ => k,
         };
-        variant.locals[node.idx()] = local_inference(
+        variant.locals[node.idx()] = local_inference_scratched(
             statuses.iter().map(|(s, u)| (*s, *u)),
             variant.spec.scheme,
             keep,
+            scratch,
         );
         if inline_ok && keep != usize::MAX {
             variant.locals_inline[node.idx()] =
                 InlineInference::from_inference(&variant.locals[node.idx()]);
         }
     }
+}
+
+/// Encode one canonical inference entry list: length, then `(link, weight)`
+/// pairs with IEEE-bit weights.
+fn encode_entries(w: &mut ByteWriter, entries: &[(LinkId, f64)]) {
+    w.seq(entries.len());
+    for &(l, weight) in entries {
+        w.u16w(l.0);
+        w.f64(weight);
+    }
+}
+
+/// Inverse of [`encode_entries`].
+fn decode_entries(r: &mut ByteReader) -> Result<Vec<(LinkId, f64)>, WireError> {
+    let n = r.seq()?;
+    let mut out = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        let l = LinkId(r.u16w()?);
+        let weight = r.f64()?;
+        out.push((l, weight));
+    }
+    Ok(out)
 }
 
 impl<C: FlowClassifier> Observer for DriftBottleSystem<C> {
@@ -677,9 +1052,11 @@ impl<C: FlowClassifier> Observer for DriftBottleSystem<C> {
         }
         // Inference Aggregation module, per distributed variant.
         self.agg_counter += 1;
+        let mut live = self.live.as_mut();
         for (vi, variant) in self.variants.iter_mut().enumerate() {
             let flight = self.flight.as_ref().filter(|f| f.variant == vi);
             let scope = self.scope.as_ref().filter(|s| s.variant == vi);
+            let live = live.as_deref_mut().map(|buf| (vi as u8, buf)); // db-lint: allow(wire-cast) — variant count is tiny
             match variant.spec.mechanism {
                 Mechanism::Centralized { .. } => {}
                 _ if self.inline_ok => Self::handle_distributed_inline(
@@ -694,6 +1071,7 @@ impl<C: FlowClassifier> Observer for DriftBottleSystem<C> {
                     self.metrics.as_ref(),
                     flight,
                     scope,
+                    live,
                 ),
                 _ => Self::handle_distributed(
                     variant,
@@ -707,6 +1085,7 @@ impl<C: FlowClassifier> Observer for DriftBottleSystem<C> {
                     self.metrics.as_ref(),
                     flight,
                     scope,
+                    live,
                 ),
             }
         }
@@ -728,13 +1107,18 @@ impl<C: FlowClassifier> Observer for DriftBottleSystem<C> {
         // the fused per-switch loop this replaces (the golden snapshot
         // pins this).
         let span = self.scope_begin("phase.monitor");
-        let all_rows: Vec<_> = (0..self.monitors.len())
-            .map(|idx| self.monitors[idx].end_interval(now))
-            .collect();
+        // Zero-copy window close: each monitor assembles its rows into its
+        // internal staging buffer and the later phases borrow them in place
+        // (`staged_rows`), instead of collecting an owned Vec per switch per
+        // tick — same rows, same order, no per-tick feature-vector copies.
+        let mut sink = db_flowmon::DiscardSink;
+        for m in &mut self.monitors {
+            m.close_window(now, &mut sink);
+        }
         if let Some(fm) = &self.fm_metrics {
-            for rows in &all_rows {
+            for m in &self.monitors {
                 fm.intervals_closed.inc();
-                fm.feature_vectors.add(rows.len() as u64);
+                fm.feature_vectors.add(m.staged_rows().len() as u64);
             }
         }
         if let Some(sc) = &self.scope {
@@ -747,11 +1131,15 @@ impl<C: FlowClassifier> Observer for DriftBottleSystem<C> {
         }
         self.scope_end(span);
         let span = self.scope_begin("phase.classify");
-        let all_judged: Vec<Vec<(db_netsim::FlowId, FlowStatus)>> = all_rows
+        // Statuses are positional against each monitor's staged rows (the
+        // flow id lives in the row), so the judged form is a flat enum Vec.
+        let all_judged: Vec<Vec<FlowStatus>> = self
+            .monitors
             .iter()
-            .map(|rows| {
-                rows.iter()
-                    .map(|(flow, features)| (*flow, self.classifier.classify(features)))
+            .map(|m| {
+                m.staged_rows()
+                    .iter()
+                    .map(|(_, features)| self.classifier.classify(features))
                     .collect()
             })
             .collect();
@@ -759,7 +1147,7 @@ impl<C: FlowClassifier> Observer for DriftBottleSystem<C> {
             for judged in &all_judged {
                 let abn = judged
                     .iter()
-                    .filter(|(_, s)| *s == FlowStatus::Abnormal)
+                    .filter(|s| **s == FlowStatus::Abnormal)
                     .count() as u64;
                 total.add(judged.len() as u64);
                 abnormal.add(abn);
@@ -768,7 +1156,9 @@ impl<C: FlowClassifier> Observer for DriftBottleSystem<C> {
         }
         self.scope_end(span);
         let span = self.scope_begin("phase.infer");
-        for (idx, (rows, judged)) in all_rows.iter().zip(all_judged.iter()).enumerate() {
+        let mut scratch = VoteScratch::default();
+        for (idx, judged) in all_judged.iter().enumerate() {
+            let rows = self.monitors[idx].staged_rows();
             if rows.is_empty() {
                 // Still reset locals derived from an empty view: no flows
                 // means no evidence.
@@ -780,7 +1170,7 @@ impl<C: FlowClassifier> Observer for DriftBottleSystem<C> {
             }
             let monitor = &self.monitors[idx];
             let mut statuses: Vec<(FlowStatus, &[LinkId])> = Vec::with_capacity(judged.len());
-            for (flow, status) in judged {
+            for ((flow, _), status) in rows.iter().zip(judged.iter()) {
                 let meta = monitor.flow_meta(*flow).expect("row from registered flow");
                 statuses.push((*status, meta.upstream.as_slice()));
             }
@@ -791,7 +1181,7 @@ impl<C: FlowClassifier> Observer for DriftBottleSystem<C> {
             // the ring orders cause before effect.
             if let Some(f) = self.flight.as_ref() {
                 let scheme = self.variants[f.variant].spec.scheme;
-                for ((flow, features), (_, status)) in rows.iter().zip(judged.iter()) {
+                for ((flow, features), status) in rows.iter().zip(judged.iter()) {
                     f.rec.record(FlightRecord::FlowClassified {
                         at_ns: now.as_ns(),
                         switch: node.0,
@@ -820,7 +1210,7 @@ impl<C: FlowClassifier> Observer for DriftBottleSystem<C> {
             // per-window series for the traced variant's scheme.
             if let Some(sc) = self.scope.as_ref() {
                 let scheme = self.variants[sc.variant].spec.scheme;
-                for ((flow, _), (_, status)) in rows.iter().zip(judged.iter()) {
+                for ((flow, _), status) in rows.iter().zip(judged.iter()) {
                     sc.rec
                         .classified(now.as_ns(), node.0, *status == FlowStatus::Abnormal);
                     let meta = monitor.flow_meta(*flow).expect("row from registered flow");
@@ -833,14 +1223,15 @@ impl<C: FlowClassifier> Observer for DriftBottleSystem<C> {
                 }
             }
             for v in &mut self.variants {
-                Self::tick_variant(v, node, &statuses, self.cfg.k, self.inline_ok);
+                Self::tick_variant(v, node, &statuses, self.cfg.k, self.inline_ok, &mut scratch);
             }
             if let Some(m) = &self.metrics {
                 m.locals_generated.add(self.variants.len() as u64);
             }
         }
         // Centralized variants: periodic DCA reporting.
-        for v in &mut self.variants {
+        let mut live = self.live.as_mut();
+        for (vi, v) in self.variants.iter_mut().enumerate() {
             v.ticks_seen += 1;
             if let Mechanism::Centralized {
                 portion,
@@ -848,8 +1239,22 @@ impl<C: FlowClassifier> Observer for DriftBottleSystem<C> {
             } = v.spec.mechanism
             {
                 if v.ticks_seen % period_ticks.max(1) == 0 {
+                    let mut live = live.as_deref_mut();
                     for link in centralized_report(&v.locals, portion) {
                         v.log.record(now, DCA_NODE, link, self.window);
+                        if let Some(buf) = live.as_deref_mut() {
+                            buf.push(Warning {
+                                at: now,
+                                switch: DCA_NODE,
+                                link,
+                                variant: vi as u8, // db-lint: allow(wire-cast) — variant count is tiny
+                                hop_now: 0,
+                                w0: 0.0,
+                                w1: 0.0,
+                                header: [0u8; MAX_HEADER_BYTES],
+                                header_len: 0,
+                            });
+                        }
                         if let Some(m) = &self.metrics {
                             // DCA reports carry no hop/weight context; count
                             // the raise and log the accused link only.

@@ -42,7 +42,7 @@ fn center_link(prep: &Prepared) -> LinkId {
 
 fn run_one(prep: &Prepared, flight: Option<Arc<FlightRecorder>>) -> (ScenarioOutcome, LinkId) {
     let mut setup = ScenarioSetup::flagship(prep, 1.0, 42);
-    setup.flight = flight;
+    setup.instr.flight = flight;
     let link = center_link(prep);
     (run_scenario(&setup, &ScenarioKind::SingleLink(link)), link)
 }

@@ -36,7 +36,7 @@ fn fingerprint_with(scope: Option<Arc<ScopeRecorder>>) -> String {
     let mut setup = ScenarioSetup::flagship(&prep, 1.0, 42);
     setup.variants = VariantSpec::fig8_set();
     setup.sys.ratio_sampling = 8;
-    setup.scope = scope;
+    setup.instr.scope = scope;
     let link = prep
         .topo
         .link_between(NodeId(4), NodeId(5))

@@ -47,8 +47,8 @@ fn run_one(
     scope: Option<Arc<ScopeRecorder>>,
 ) -> (ScenarioOutcome, LinkId) {
     let mut setup = ScenarioSetup::flagship(prep, 1.0, 42);
-    setup.flight = flight;
-    setup.scope = scope;
+    setup.instr.flight = flight;
+    setup.instr.scope = scope;
     let link = center_link(prep);
     (run_scenario(&setup, &ScenarioKind::SingleLink(link)), link)
 }

@@ -59,6 +59,14 @@ pub struct TableClassifier {
     /// Fallback when no rule matches (cannot happen for tables compiled from
     /// a tree, but the hardware table needs a default action).
     default_label: FlowStatus,
+    /// The classify-time form of `rules`: only the *constrained* ranges of
+    /// rule `i` (at most tree-depth many of the `NUM_FEATURES` slots), flat
+    /// in `checks[spans[i].0 .. spans[i].1]` with the rule's label alongside.
+    /// Rule order — and therefore first-match semantics — is unchanged; the
+    /// TCAM analogue is don't-care bits not occupying match stages. Derived
+    /// in [`Self::compile`], never serialized.
+    spans: Vec<(u32, u32, FlowStatus)>,
+    checks: Vec<(u32, f64, f64)>,
 }
 
 impl TableClassifier {
@@ -67,9 +75,26 @@ impl TableClassifier {
         let mut rules = Vec::new();
         let mut ranges = [(f64::NEG_INFINITY, f64::INFINITY); NUM_FEATURES];
         walk(tree.root(), &mut ranges, &mut rules);
+        let mut spans = Vec::with_capacity(rules.len());
+        let mut checks = Vec::new();
+        for rule in &rules {
+            let start = checks.len();
+            for (f, &(lo, hi)) in rule.ranges.iter().enumerate() {
+                if lo.is_finite() || hi.is_finite() {
+                    checks.push((f as u32, lo, hi)); // db-lint: allow(wire-cast) — f < NUM_FEATURES
+                }
+            }
+            spans.push((
+                u32::try_from(start).expect("rule table fits u32"),
+                u32::try_from(checks.len()).expect("rule table fits u32"),
+                rule.label,
+            ));
+        }
         TableClassifier {
             rules,
             default_label: FlowStatus::Normal,
+            spans,
+            checks,
         }
     }
 
@@ -89,12 +114,23 @@ impl TableClassifier {
     }
 
     /// Classify by first matching rule.
+    ///
+    /// Runs on the constrained-only `spans`/`checks` form; an unconstrained
+    /// feature always passes its `(-inf, +inf]` range on finite input, so
+    /// skipping it cannot change which rule matches first — [`Rule::matches`]
+    /// over the full ranges stays the reference semantics (tests compare the
+    /// two exhaustively).
     pub fn classify(&self, x: &FeatureVector) -> FlowStatus {
-        self.rules
-            .iter()
-            .find(|r| r.matches(x))
-            .map(|r| r.label)
-            .unwrap_or(self.default_label)
+        for &(start, end, label) in &self.spans {
+            let span = &self.checks[start as usize..end as usize]; // db-lint: allow(wire-cast) — offsets built from usize lengths
+            if span.iter().all(|&(f, lo, hi)| {
+                let v = x[f as usize]; // db-lint: allow(wire-cast) — f < NUM_FEATURES by construction
+                lo < v && v <= hi
+            }) {
+                return label;
+            }
+        }
+        self.default_label
     }
 }
 
@@ -188,6 +224,29 @@ mod tests {
             }
             let matches = table.rules().iter().filter(|r| r.matches(&x)).count();
             assert_eq!(matches, 1, "tree rules must partition the space");
+        }
+    }
+
+    #[test]
+    fn compact_scan_equals_full_rule_scan() {
+        // `classify` runs on the constrained-only spans/checks form; the
+        // full 15-range `Rule::matches` scan is the reference semantics.
+        let data = random_dataset(2_000, 11);
+        let tree = DecisionTree::train(&data, &TrainConfig::default());
+        let table = TableClassifier::compile(&tree);
+        let mut rng = Pcg64::new(13);
+        for _ in 0..5_000 {
+            let mut x = [0.0; NUM_FEATURES];
+            for v in &mut x {
+                *v = rng.range_f64(-5.0, 15.0);
+            }
+            let reference = table
+                .rules()
+                .iter()
+                .find(|r| r.matches(&x))
+                .map(|r| r.label)
+                .unwrap_or(FlowStatus::Normal);
+            assert_eq!(table.classify(&x), reference);
         }
     }
 

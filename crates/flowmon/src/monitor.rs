@@ -6,10 +6,43 @@
 //! [`NetworkMonitor`] is the full deployment: one monitor per switch, with
 //! every flow registered at every switch on its path.
 
+use crate::measures::IntervalMeasures;
 use crate::registers::{ExactStore, MeasureStore};
 use crate::window::{FeatureVector, FlowHistory, FlowMeta, WindowConfig};
 use db_netsim::{Annotation, FlowId, FlowSpec, HopInfo, Observer, SimTime};
 use db_topology::{LinkId, NodeId, Topology};
+use db_util::wire::{ByteReader, ByteWriter, WireError};
+
+/// Receiver of one switch's assembled feature rows at a window close.
+///
+/// [`SwitchMonitor::close_window`] is the primitive: the monitor drains its
+/// registers, extends every flow's history, and hands the resulting
+/// `(flow, features)` rows to the sink — instead of returning a freshly
+/// allocated `Vec` per window, which is what the batch pipeline historically
+/// did and what a long-lived streaming engine cannot afford. Batch callers
+/// ([`SwitchMonitor::end_interval`], [`NetworkMonitor::end_interval`]) are
+/// thin collecting sinks over it, so both paths see bit-identical rows.
+pub trait WindowSink {
+    /// Called exactly once per closed window per switch, with the rows in
+    /// ascending flow-id order (possibly empty).
+    fn on_window_close(&mut self, now: SimTime, switch: NodeId, rows: &[(FlowId, FeatureVector)]);
+}
+
+/// A [`WindowSink`] that keeps nothing — for callers that read the rows back
+/// in place through [`SwitchMonitor::staged_rows`] instead of taking a copy
+/// (the zero-copy form the streaming tick pipeline uses).
+#[derive(Debug, Default)]
+pub struct DiscardSink;
+
+impl WindowSink for DiscardSink {
+    fn on_window_close(
+        &mut self,
+        _now: SimTime,
+        _switch: NodeId,
+        _rows: &[(FlowId, FeatureVector)],
+    ) {
+    }
+}
 
 /// Per-flow monitoring state: static metadata plus the interval history.
 #[derive(Debug)]
@@ -35,6 +68,10 @@ pub struct SwitchMonitor<S: MeasureStore = ExactStore> {
     /// Monitored flow ids, ascending.
     registered: Vec<FlowId>,
     interval_start: SimTime,
+    /// Reusable window-close staging buffer: rows are assembled here and
+    /// handed to the [`WindowSink`] by reference, so a long-lived monitor
+    /// stops allocating once the buffer has grown to its working size.
+    row_buf: Vec<(FlowId, FeatureVector)>,
 }
 
 impl SwitchMonitor<ExactStore> {
@@ -54,6 +91,7 @@ impl<S: MeasureStore> SwitchMonitor<S> {
             slots: Vec::new(),
             registered: Vec::new(),
             interval_start: SimTime::ZERO,
+            row_buf: Vec::new(),
         }
     }
 
@@ -136,12 +174,33 @@ impl<S: MeasureStore> SwitchMonitor<S> {
     /// forever, drowning both training and inference in uninformative and
     /// mutually contradictory samples.
     pub fn end_interval(&mut self, now: SimTime) -> Vec<(FlowId, FeatureVector)> {
+        struct Collect(Vec<(FlowId, FeatureVector)>);
+        impl WindowSink for Collect {
+            fn on_window_close(
+                &mut self,
+                _now: SimTime,
+                _switch: NodeId,
+                rows: &[(FlowId, FeatureVector)],
+            ) {
+                self.0.extend_from_slice(rows);
+            }
+        }
+        let mut sink = Collect(Vec::new());
+        self.close_window(now, &mut sink);
+        sink.0
+    }
+
+    /// Close the current sampling interval at `now`, delivering the rows to
+    /// `sink` by reference — the streaming-friendly form of
+    /// [`Self::end_interval`] (same semantics, no per-window allocation once
+    /// the internal staging buffer has warmed up).
+    pub fn close_window(&mut self, now: SimTime, sink: &mut dyn WindowSink) {
         // `drain` yields ascending flow ids and `registered` is kept sorted,
         // so a two-pointer sweep aligns measures with flows directly — no
         // intermediate map, no re-sort.
         let drained = self.store.drain();
         let cap = self.cfg.window_intervals;
-        let mut out = Vec::new();
+        self.row_buf.clear();
         let mut di = 0;
         for &flow in &self.registered {
             while di < drained.len() && drained[di].0 < flow {
@@ -169,12 +228,132 @@ impl<S: MeasureStore> SwitchMonitor<S> {
                 continue;
             }
             if let Some(f) = hist.features(meta) {
-                out.push((flow, f));
+                self.row_buf.push((flow, f));
             }
         }
         self.interval_start = now;
-        out
+        sink.on_window_close(now, self.node, &self.row_buf);
     }
+
+    /// The rows assembled by the most recent [`Self::close_window`] /
+    /// [`Self::end_interval`], valid until the next close. Lets a caller
+    /// close with a [`DiscardSink`] and borrow the rows in place.
+    pub fn staged_rows(&self) -> &[(FlowId, FeatureVector)] {
+        &self.row_buf
+    }
+}
+
+impl SwitchMonitor<ExactStore> {
+    /// Serialize the complete monitoring state — registrations, metadata,
+    /// interval histories, and the **mid-interval** register contents — so a
+    /// streaming engine can checkpoint between any two packets. Field order
+    /// is fixed; [`Self::restore_from`] is the inverse and a restored
+    /// monitor continues bit-identically (pinned by the engine equivalence
+    /// proptest in db-core).
+    pub fn snapshot_into(&self, w: &mut ByteWriter) {
+        w.u16w(self.node.0);
+        w.u64(self.interval_start.as_ns());
+        w.seq(self.registered.len());
+        for &flow in &self.registered {
+            let slot = self.slots[flow.0 as usize]
+                .as_ref()
+                .expect("registered flow has a slot");
+            w.u32(flow.0);
+            w.f64(slot.meta.rtt_ms);
+            w.usize(slot.meta.path_len);
+            w.usize(slot.meta.n_interval);
+            w.seq(slot.meta.upstream.len());
+            for l in &slot.meta.upstream {
+                w.u16w(l.0);
+            }
+            w.u64(slot.history.total_packets);
+            w.seq(slot.history.len());
+            for m in slot.history.buffered() {
+                encode_measures(w, m);
+            }
+        }
+        let (rows, touched) = self.store.parts();
+        // Register rows are encoded sparsely: only the touched ones are
+        // non-empty mid-interval, in arrival order (drain sorts at close).
+        w.seq(touched.len());
+        for &flow in touched {
+            w.u32(flow.0);
+            encode_measures(w, &rows[flow.0 as usize]);
+        }
+    }
+
+    /// Inverse of [`Self::snapshot_into`]. `cfg` is the network-wide window
+    /// configuration the snapshot was taken under (it is part of the
+    /// engine-level config fingerprint, not repeated per switch).
+    pub fn restore_from(r: &mut ByteReader, cfg: WindowConfig) -> Result<Self, WireError> {
+        let node = NodeId(r.u16w()?);
+        let mut mon = SwitchMonitor::new(node, cfg);
+        mon.interval_start = SimTime::from_ns(r.u64()?);
+        let n_flows = r.seq()?;
+        for _ in 0..n_flows {
+            let flow = FlowId(r.u32()?);
+            let rtt_ms = r.f64()?;
+            let path_len = r.usize()?;
+            let n_interval = r.usize()?;
+            let n_up = r.seq()?;
+            let mut upstream = Vec::with_capacity(n_up);
+            for _ in 0..n_up {
+                upstream.push(LinkId(r.u16w()?));
+            }
+            let total_packets = r.u64()?;
+            let n_hist = r.seq()?;
+            let mut intervals = Vec::with_capacity(n_hist);
+            for _ in 0..n_hist {
+                intervals.push(decode_measures(r)?);
+            }
+            let meta = FlowMeta {
+                rtt_ms,
+                path_len,
+                n_interval,
+                upstream,
+            };
+            mon.register_flow(flow, meta);
+            let slot = mon.slots[flow.0 as usize]
+                .as_mut()
+                .expect("just registered");
+            slot.history = FlowHistory::from_parts(intervals, total_packets);
+        }
+        let n_touched = r.seq()?;
+        let mut rows: Vec<IntervalMeasures> = Vec::new();
+        let mut touched = Vec::with_capacity(n_touched);
+        for _ in 0..n_touched {
+            let flow = FlowId(r.u32()?);
+            let m = decode_measures(r)?;
+            let idx = flow.0 as usize;
+            if idx >= rows.len() {
+                rows.resize_with(idx + 1, Default::default);
+            }
+            rows[idx] = m;
+            touched.push(flow);
+        }
+        mon.store = ExactStore::from_parts(rows, touched);
+        Ok(mon)
+    }
+}
+
+fn encode_measures(w: &mut ByteWriter, m: &IntervalMeasures) {
+    w.u32(m.n_packet);
+    w.u64(m.len_all);
+    w.u32(m.len_max);
+    w.u32(m.len_last);
+    w.u32(m.n_burst);
+    w.u32(m.pos_burst);
+}
+
+fn decode_measures(r: &mut ByteReader) -> Result<IntervalMeasures, WireError> {
+    Ok(IntervalMeasures {
+        n_packet: r.u32()?,
+        len_all: r.u64()?,
+        len_max: r.u32()?,
+        len_last: r.u32()?,
+        n_burst: r.u32()?,
+        pos_burst: r.u32()?,
+    })
 }
 
 /// One monitoring row produced at a sampling tick.

@@ -46,6 +46,20 @@ impl ExactStore {
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// The raw register rows and the touched list in arrival order — the
+    /// mid-interval state a streaming snapshot must carry.
+    pub fn parts(&self) -> (&[IntervalMeasures], &[FlowId]) {
+        (&self.rows, &self.touched)
+    }
+
+    /// Rebuild a store from its serialized parts. `touched` must list
+    /// exactly the flows whose `rows` entry is non-empty, in the original
+    /// arrival order (drain sorts, so order only affects nothing observable,
+    /// but a bit-exact restore preserves it anyway).
+    pub fn from_parts(rows: Vec<IntervalMeasures>, touched: Vec<FlowId>) -> Self {
+        ExactStore { rows, touched }
+    }
 }
 
 impl MeasureStore for ExactStore {

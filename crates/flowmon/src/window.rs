@@ -211,6 +211,20 @@ impl FlowHistory {
         self.intervals.is_empty()
     }
 
+    /// The buffered intervals, oldest first (snapshot serialization).
+    pub fn buffered(&self) -> impl ExactSizeIterator<Item = &IntervalMeasures> {
+        self.intervals.iter()
+    }
+
+    /// Rebuild a history from its serialized parts — `intervals` oldest
+    /// first, exactly as [`Self::buffered`] yields them.
+    pub fn from_parts(intervals: Vec<IntervalMeasures>, total_packets: u64) -> Self {
+        FlowHistory {
+            intervals: intervals.into(),
+            total_packets,
+        }
+    }
+
     /// Assemble the Table-2 feature vector for this flow.
     ///
     /// Returns `None` until at least `meta.n_interval` intervals are buffered

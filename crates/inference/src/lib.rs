@@ -53,6 +53,6 @@ pub use provenance::{
     explain_link, explain_switch, inference_digest, quality_report, LinkExplanation, QualityReport,
     RunInfo, SwitchExplanation,
 };
-pub use scheme::{local_inference, WeightScheme};
+pub use scheme::{local_inference, local_inference_scratched, VoteScratch, WeightScheme};
 pub use state::InferenceState;
 pub use warning::{check_warning, check_warning_inline, WarningConfig};

@@ -102,6 +102,68 @@ pub fn local_inference<'a>(
     inf
 }
 
+/// Reusable accumulation buffers for [`local_inference_scratched`]. One
+/// instance serves any number of calls; buffers grow to the largest link id
+/// voted on and stay allocated.
+#[derive(Debug, Default)]
+pub struct VoteScratch {
+    /// Per-link weight sum, indexed by `LinkId.0`.
+    weights: Vec<f64>,
+    /// Whether the link has been voted on in the current call.
+    voted: Vec<bool>,
+    /// Link ids voted on in the current call, unsorted.
+    touched: Vec<u16>,
+}
+
+/// [`local_inference`] on dense per-link accumulators instead of a
+/// `BTreeMap` — the streaming-tick form: a switch with hundreds of monitored
+/// flows does one array add per (flow, upstream link) vote rather than a
+/// tree lookup.
+///
+/// Bit-identical to [`local_inference`]: each link's weight is summed
+/// left-to-right in the same input order (IEEE addition order preserved),
+/// and the touched links are handed to `Inference::from_pairs` in the same
+/// ascending-id order a `BTreeMap` iterates in.
+pub fn local_inference_scratched<'a>(
+    flows: impl IntoIterator<Item = (FlowStatus, &'a [LinkId])>,
+    scheme: WeightScheme,
+    k: usize,
+    scratch: &mut VoteScratch,
+) -> Inference {
+    for (status, upstream) in flows {
+        let c = scheme.contribution(status, upstream.len());
+        if c == 0.0 {
+            continue;
+        }
+        for &l in upstream {
+            let idx = usize::from(l.0);
+            if idx >= scratch.weights.len() {
+                scratch.weights.resize(idx + 1, 0.0);
+                scratch.voted.resize(idx + 1, false);
+            }
+            if !scratch.voted[idx] {
+                scratch.voted[idx] = true;
+                scratch.touched.push(l.0);
+            }
+            scratch.weights[idx] += c;
+        }
+    }
+    scratch.touched.sort_unstable();
+    let mut inf = Inference::from_pairs(
+        scratch
+            .touched
+            .iter()
+            .map(|&l| (LinkId(l), scratch.weights[usize::from(l)])),
+    );
+    inf.truncate_top_k(k);
+    for &l in &scratch.touched {
+        scratch.weights[usize::from(l)] = 0.0;
+        scratch.voted[usize::from(l)] = false;
+    }
+    scratch.touched.clear();
+    inf
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -194,5 +256,48 @@ mod tests {
     fn empty_flow_set_gives_empty_inference() {
         let flows: Vec<(FlowStatus, &[LinkId])> = vec![];
         assert!(local_inference(flows, WeightScheme::DriftBottle, 4).is_empty());
+    }
+
+    #[test]
+    fn scratched_form_is_bit_identical_to_btree_form() {
+        // Pseudo-random vote sets (fractional 007 weights included, where
+        // accumulation order matters bit-wise), one shared scratch across
+        // calls to prove the buffers reset cleanly.
+        let mut scratch = VoteScratch::default();
+        let mut state = 0x2545F4914F6CDD1Du64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for round in 0..50 {
+            let n_flows = (next() % 40) as usize;
+            let ups: Vec<Vec<LinkId>> = (0..n_flows)
+                .map(|_| {
+                    (0..1 + next() % 5)
+                        .map(|_| l((next() % 23) as u16))
+                        .collect()
+                })
+                .collect();
+            let flows: Vec<(FlowStatus, &[LinkId])> = ups
+                .iter()
+                .map(|u| {
+                    let s = if next() % 3 == 0 {
+                        FlowStatus::Abnormal
+                    } else {
+                        FlowStatus::Normal
+                    };
+                    (s, u.as_slice())
+                })
+                .collect();
+            for scheme in WeightScheme::ALL {
+                let k = 1 + (next() % 6) as usize;
+                let reference = local_inference(flows.iter().cloned(), scheme, k);
+                let dense =
+                    local_inference_scratched(flows.iter().cloned(), scheme, k, &mut scratch);
+                assert_eq!(dense, reference, "round {round}, scheme {}", scheme.name());
+            }
+        }
     }
 }

@@ -40,7 +40,7 @@ pub mod traffic;
 
 pub use engine::{HopInfo, NullObserver, Observer, SimConfig, SimStats, Simulator};
 pub use failure::{FailureEvent, FailureKind, FailureScenario};
-pub use flow::{FlowId, FlowSpec};
+pub use flow::{FlowId, FlowSpec, PpbpParams};
 pub use metrics::EngineMetrics;
 pub use packet::Annotation;
 pub use time::SimTime;

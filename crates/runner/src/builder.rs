@@ -17,7 +17,7 @@ use db_core::classifier::Prepared;
 use db_core::config::{SystemConfig, VariantSpec};
 use db_core::experiment::{run_scenario, ScenarioKind, ScenarioSetup};
 use db_core::ScenarioOutcome;
-use db_telemetry::{FlightRecorder, ScopeRecorder};
+use db_telemetry::{FlightRecorder, Instrumentation, ScopeRecorder};
 use db_util::wire::fnv1a64;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -52,6 +52,9 @@ pub enum SweepError {
         /// Fingerprint found in the checkpoint header.
         found: u64,
     },
+    /// The scenario setup failed validation (see
+    /// `db_core::experiment::SetupError`).
+    Config(String),
 }
 
 impl std::fmt::Display for SweepError {
@@ -74,6 +77,7 @@ impl std::fmt::Display for SweepError {
                  delete it or fix the configuration",
                 path.display()
             ),
+            SweepError::Config(msg) => write!(f, "invalid sweep setup: {msg}"),
         }
     }
 }
@@ -418,16 +422,14 @@ impl<'a> SweepBuilder<'a> {
     /// Run the sweep with the real scenario runner
     /// ([`db_core::experiment::run_scenario`]).
     pub fn run(&self) -> Result<SweepReport, SweepError> {
-        let setup = ScenarioSetup {
-            prep: self.prep,
-            density: self.density,
-            seed: self.seed, // overridden per job below
-            sys: self.sys.clone(),
-            variants: self.variants.clone(),
-            background_loss: self.background_loss,
-            flight: None, // attached per job below
-            scope: None,  // attached per job below
-        };
+        let setup = ScenarioSetup::builder(self.prep)
+            .density(self.density)
+            .seed(self.seed) // overridden per job below
+            .sys(self.sys.clone())
+            .variants(self.variants.clone())
+            .background_loss(self.background_loss)
+            .build()
+            .map_err(|e| SweepError::Config(e.to_string()))?;
         if self.trace {
             db_telemetry::scope::profiler_enable();
         }
@@ -439,11 +441,11 @@ impl<'a> SweepBuilder<'a> {
             let unit_span = scope
                 .as_ref()
                 .map(|sc| sc.begin_span(&format!("unit {}", job.unit)));
-            let setup = ScenarioSetup {
-                seed: job.seed,
+            let mut setup = setup.clone();
+            setup.seed = job.seed;
+            setup.instr = Instrumentation {
                 flight: rec.clone(),
                 scope: scope.clone(),
-                ..setup.clone()
             };
             let outcome = run_scenario(&setup, &job.kind);
             if let Some(rec) = rec {

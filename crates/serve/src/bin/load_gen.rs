@@ -1,0 +1,455 @@
+//! Load generator / throughput bench for `drift-bottle serve`.
+//!
+//! Records a Geant2012 single-link-failure trace once, then replays it
+//! against a daemon at wire speed — multiple passes with rebased
+//! timestamps, [`BATCH`]-record frames, a bounded pipeline depth so the
+//! sampled per-batch round-trip latency measures ingest cost rather than
+//! socket backlog. Reports sustained throughput and p99 batch latency to
+//! `results/BENCH_serve.json`.
+//!
+//! With no `--addr`, a daemon thread is spawned in-process on an ephemeral
+//! loopback port (`DB_SMOKE=1` shrinks its training). With `--addr`, an
+//! already-running daemon is driven — that is what the CI smoke job does.
+//!
+//! `--smoke` (or `DB_SMOKE=1`) replays a small record budget and asserts
+//! the injected link is warned, printing a greppable verdict line.
+//! `--shutdown` sends `Shutdown` at the end (always sent when the daemon
+//! was spawned in-process).
+
+use db_core::classifier::timeline;
+use db_flowmon::WindowConfig;
+use db_netsim::{
+    FailureScenario, SimConfig, SimTime, Simulator, TraceRecorder, TrafficConfig, TrafficGen,
+};
+use db_serve::{read_frame, write_frame, Frame, Record, ServeOptions, Server, PROTO_VERSION};
+use db_topology::{zoo, LinkId, RouteTable};
+use std::collections::HashMap;
+use std::io::{BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+const TOPO: &str = "geant2012";
+const DENSITY: f64 = 1.0;
+const SEED: u64 = 42;
+const BATCH: usize = 8192;
+/// Batches allowed in flight before the sender waits for acks: deep enough
+/// to hide the round trip, shallow enough that sampled latency measures
+/// the server's ingest cost, not an unbounded socket backlog.
+const PIPELINE_DEPTH: u64 = 8;
+/// Sample one batch round-trip latency every this many batches.
+const LATENCY_SAMPLE_EVERY: u64 = 16;
+
+fn smoke() -> bool {
+    std::env::var("DB_SMOKE").map(|v| v == "1").unwrap_or(false)
+}
+
+struct Args {
+    addr: Option<String>,
+    records: Option<u64>,
+    smoke: bool,
+    shutdown: bool,
+    local: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        addr: None,
+        records: None,
+        smoke: smoke(),
+        shutdown: false,
+        local: false,
+    };
+    for a in std::env::args().skip(1) {
+        if let Some(v) = a.strip_prefix("--addr=") {
+            args.addr = Some(v.to_string());
+        } else if let Some(v) = a.strip_prefix("--records=") {
+            args.records = v.parse().ok();
+        } else if a == "--smoke" {
+            args.smoke = true;
+        } else if a == "--shutdown" {
+            args.shutdown = true;
+        } else if a == "--local" {
+            args.local = true;
+        } else {
+            eprintln!("load_gen: unknown flag `{a}` (valid: --addr=HOST:PORT, --records=N, --smoke, --shutdown, --local)");
+            std::process::exit(2);
+        }
+    }
+    args
+}
+
+/// `--local`: feed the engine in-process, no sockets or frames — isolates
+/// pipeline cost from transport cost for diagnosis.
+fn run_local(records: &[Record], target: u64, period: u64) {
+    use db_core::{prepare, DriftBottleSystem, Engine, PrepareConfig, SystemConfig, VariantSpec};
+
+    let prep_cfg = if smoke() {
+        PrepareConfig {
+            n_link_scenarios: 4,
+            n_node_scenarios: 1,
+            n_healthy: 1,
+            train_density: 1.0,
+            ..Default::default()
+        }
+    } else {
+        PrepareConfig::default()
+    };
+    let prep = prepare(zoo::geant2012(), &prep_cfg);
+    let traffic = TrafficConfig::with_density(DENSITY);
+    let flows = TrafficGen::generate_auto(&prep.topo, prep.routes.as_ref(), &traffic, SEED);
+    let system = DriftBottleSystem::deploy(
+        &prep.topo,
+        &flows,
+        prep.wcfg,
+        prep.table.clone(),
+        vec![VariantSpec::drift_bottle()],
+        SystemConfig {
+            interval: prep.wcfg.interval,
+            ..Default::default()
+        },
+        (SimTime::ZERO, SimTime::from_ns(u64::MAX)),
+    );
+    let mut engine = Engine::new(system);
+    engine.set_live_warnings();
+    engine.set_retention(8);
+    let t0 = Instant::now();
+    let mut sent = 0u64;
+    let mut warnings = 0u64;
+    let mut pass = 0u64;
+    'outer: loop {
+        let offset = pass * period;
+        for r in records {
+            let mut fr = db_serve::server::flow_record(r);
+            fr.at = SimTime::from_ns(r.at_ns + offset);
+            warnings += engine.ingest(&fr).len() as u64;
+            sent += 1;
+            if sent >= target {
+                break 'outer;
+            }
+        }
+        pass += 1;
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    println!(
+        "load_gen --local: {sent} records in {elapsed:.3}s — {:.0} records/s, {warnings} warnings",
+        sent as f64 / elapsed
+    );
+}
+
+/// Record the replay trace: Geant2012, flagship traffic, the busiest link
+/// failed at the standard timeline point.
+fn record_trace() -> (Vec<Record>, LinkId, u64, u64) {
+    let topo = zoo::geant2012();
+    let routes = RouteTable::build(&topo);
+    let traffic = TrafficConfig::with_density(DENSITY);
+    let flows = TrafficGen::generate_auto(&topo, &routes, &traffic, SEED);
+    let wcfg = WindowConfig::for_network(&routes, SimTime::from_ms(4));
+    let (t_fail, _, end) = timeline(&wcfg, traffic.start_spread);
+
+    // The busiest link (most flow paths crossing it): deterministic, and
+    // failing it disturbs the most monitors.
+    let mut load = vec![0u32; topo.link_count()];
+    for f in &flows {
+        for l in &f.path.links {
+            load[l.idx()] += 1;
+        }
+    }
+    let link = LinkId(
+        u16::try_from(
+            load.iter()
+                .enumerate()
+                .max_by_key(|&(i, &c)| (c, std::cmp::Reverse(i)))
+                .map(|(i, _)| i)
+                .unwrap_or(0),
+        )
+        .expect("link count fits u16"),
+    );
+
+    let scenario = FailureScenario::single_link(link, t_fail);
+    let cfg = SimConfig {
+        end,
+        tick_interval: wcfg.interval,
+        ..Default::default()
+    };
+    let mut sim = Simulator::new(&topo, flows, cfg, &scenario, SEED, TraceRecorder::new());
+    sim.run();
+    let (trace, _) = sim.finish();
+    let records: Vec<Record> = trace
+        .observations
+        .iter()
+        .map(|o| Record {
+            at_ns: o.at.as_ns(),
+            flow: o.info.flow.0,
+            src: o.info.src.0,
+            dst: o.info.dst.0,
+            seq: o.info.seq,
+            size: o.info.size,
+            node: o.info.node.0,
+            hop_index: o.info.hop_index,
+            is_ingress: o.info.is_ingress,
+            is_last_switch: o.info.is_last_switch,
+        })
+        .collect();
+    // Pass-to-pass timestamp rebase: the next pass starts one interval past
+    // this one's end, aligned to the tick interval so window boundaries
+    // stay regular.
+    let interval = wcfg.interval.as_ns();
+    let period = (end.as_ns() / interval + 2) * interval;
+    (records, link, period, interval)
+}
+
+enum ReaderEvent {
+    Stats { ingested: u64, warnings: u64 },
+    Bye,
+}
+
+fn main() {
+    let args = parse_args();
+    eprintln!("load_gen: recording {TOPO} failure trace…");
+    let (records, link, period, interval) = record_trace();
+    eprintln!(
+        "load_gen: trace has {} records per pass (rebase period {period} ns)",
+        records.len()
+    );
+
+    // Smoke must still cover a full pass: the failure sits ~55% into the
+    // trace, and the warned-link assertion needs the post-failure tail.
+    let one_pass = records.len() as u64;
+    let target: u64 = args
+        .records
+        .unwrap_or(if args.smoke { one_pass } else { 4_000_000 })
+        .max(if args.smoke { one_pass } else { 0 });
+
+    if args.local {
+        run_local(&records, target, period);
+        return;
+    }
+
+    // Connect — or spawn a daemon thread on an ephemeral loopback port.
+    let (addr, spawned) = match &args.addr {
+        Some(a) => (a.clone(), false),
+        None => {
+            let opts = ServeOptions {
+                addr: "127.0.0.1:0".into(),
+                snapshot: None,
+                window_cap: 8,
+            };
+            let server = Server::bind(&opts).expect("bind loopback");
+            let addr = server.local_addr().expect("local addr").to_string();
+            std::thread::spawn(move || {
+                if let Err(e) = server.run() {
+                    eprintln!("load_gen: daemon thread failed: {e}");
+                }
+            });
+            (addr, true)
+        }
+    };
+    eprintln!("load_gen: connecting to {addr} (hello trains the engine on first use)…");
+    let stream = TcpStream::connect(&addr).expect("connect");
+    stream.set_nodelay(true).ok();
+    let sock = stream.try_clone().expect("clone stream");
+    let mut out = BufWriter::new(stream.try_clone().expect("clone stream"));
+    let mut input = BufReader::new(stream);
+
+    write_frame(
+        &mut out,
+        &Frame::Hello {
+            proto: PROTO_VERSION,
+            topo: TOPO.into(),
+            density: DENSITY,
+            seed: SEED,
+            window_cap: 8,
+        },
+    )
+    .expect("send hello");
+    out.flush().expect("flush hello");
+    match read_frame(&mut input).expect("read hello ack") {
+        Some(Frame::HelloAck {
+            interval_ns,
+            nodes,
+            links,
+            ..
+        }) => {
+            assert_eq!(interval_ns, interval, "server interval matches trace");
+            eprintln!("load_gen: engine ready ({nodes} switches, {links} links)");
+        }
+        other => panic!("expected HelloAck, got {other:?}"),
+    }
+
+    // Reader thread: drains acks (driving the pipeline window), collects
+    // warned links, samples latency against the sender's pending map.
+    let acked = Arc::new(AtomicU64::new(0));
+    let warned = Arc::new(Mutex::new(Vec::<u16>::new()));
+    let pending: Arc<Mutex<HashMap<u64, Instant>>> = Arc::new(Mutex::new(HashMap::new()));
+    let latencies: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+    let last_ack_at = Arc::new(Mutex::new(Instant::now()));
+    let (tx, rx) = mpsc::channel::<ReaderEvent>();
+    let reader = {
+        let acked = acked.clone();
+        let warned = warned.clone();
+        let pending = pending.clone();
+        let latencies = latencies.clone();
+        let last_ack_at = last_ack_at.clone();
+        std::thread::spawn(move || {
+            while let Ok(Some(frame)) = read_frame(&mut input) {
+                match frame {
+                    Frame::IngestAck { warnings, .. } => {
+                        let n = acked.fetch_add(1, Ordering::SeqCst) + 1;
+                        *last_ack_at.lock().unwrap() = Instant::now();
+                        if !warnings.is_empty() {
+                            warned
+                                .lock()
+                                .unwrap()
+                                .extend(warnings.iter().map(|w| w.link));
+                        }
+                        if let Some(t0) = pending.lock().unwrap().remove(&n) {
+                            latencies
+                                .lock()
+                                .unwrap()
+                                .push(u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX));
+                        }
+                    }
+                    Frame::Stats {
+                        ingested, warnings, ..
+                    } => {
+                        let _ = tx.send(ReaderEvent::Stats { ingested, warnings });
+                    }
+                    Frame::Bye => {
+                        let _ = tx.send(ReaderEvent::Bye);
+                        break;
+                    }
+                    Frame::Error(msg) => {
+                        eprintln!("load_gen: server error: {msg}");
+                        std::process::exit(1);
+                    }
+                    _ => {}
+                }
+            }
+        })
+    };
+
+    // Send loop: passes over the trace, timestamps rebased per pass.
+    eprintln!("load_gen: streaming {target} records in {BATCH}-record frames…");
+    let t0 = Instant::now();
+    let mut sent = 0u64;
+    let mut batches = 0u64;
+    let mut pass = 0u64;
+    'outer: loop {
+        let offset = pass * period;
+        for chunk in records.chunks(BATCH) {
+            let batch: Vec<Record> = chunk
+                .iter()
+                .map(|r| Record {
+                    at_ns: r.at_ns + offset,
+                    ..*r
+                })
+                .collect();
+            batches += 1;
+            if batches.is_multiple_of(LATENCY_SAMPLE_EVERY) {
+                pending.lock().unwrap().insert(batches, Instant::now());
+            }
+            write_frame(&mut out, &Frame::Records(batch)).expect("send records");
+            out.flush().expect("flush records");
+            sent += chunk.len() as u64;
+            while batches - acked.load(Ordering::SeqCst) >= PIPELINE_DEPTH {
+                std::thread::yield_now();
+            }
+            if sent >= target {
+                break 'outer;
+            }
+        }
+        pass += 1;
+    }
+    // Close out the last window, then ask for totals.
+    let final_t = (pass + 1) * period;
+    write_frame(&mut out, &Frame::AdvanceTo { t_ns: final_t }).expect("send advance");
+    write_frame(&mut out, &Frame::StatsReq).expect("send stats req");
+    out.flush().expect("flush tail");
+
+    let stats = match rx.recv_timeout(Duration::from_secs(120)) {
+        Ok(ReaderEvent::Stats { ingested, warnings }) => (ingested, warnings),
+        Ok(ReaderEvent::Bye) => panic!("daemon said bye before stats"),
+        Err(e) => panic!("no stats from daemon: {e}"),
+    };
+    let elapsed = last_ack_at
+        .lock()
+        .unwrap()
+        .saturating_duration_since(t0)
+        .as_secs_f64();
+    // `>=` — a long-lived daemon may hold records from earlier clients.
+    assert!(stats.0 >= sent, "daemon ingested every record sent");
+
+    let mut lats = latencies.lock().unwrap().clone();
+    lats.sort_unstable();
+    let p99 = if lats.is_empty() {
+        0
+    } else {
+        lats[(lats.len() - 1) * 99 / 100]
+    };
+    let throughput = if elapsed > 0.0 {
+        sent as f64 / elapsed
+    } else {
+        0.0
+    };
+
+    eprintln!(
+        "load_gen: {sent} records in {elapsed:.3}s — {throughput:.0} records/s, \
+         p99 batch latency {p99} µs, {} warnings",
+        stats.1
+    );
+
+    let json = format!(
+        "{{\"bench\":\"serve\",\n \
+         \"config\":{{\"smoke\":{},\"topology\":\"Geant2012\",\"batch\":{BATCH},\
+         \"pipeline_depth\":{PIPELINE_DEPTH},\"density\":{DENSITY},\"seed\":{SEED}}},\n \
+         \"ingest\":{{\"records\":{sent},\"elapsed_s\":{elapsed:.3},\
+         \"records_per_sec\":{throughput:.0},\"p99_batch_latency_us\":{p99},\
+         \"warnings\":{}}}}}\n",
+        args.smoke, stats.1
+    );
+    std::fs::create_dir_all("results").ok();
+    std::fs::write("results/BENCH_serve.json", &json).expect("write results/BENCH_serve.json");
+    println!("{json}");
+
+    if args.smoke {
+        let warned = warned.lock().unwrap();
+        if warned.contains(&link.0) {
+            println!("serve-smoke: OK warned injected link {}", link.0);
+        } else {
+            eprintln!(
+                "serve-smoke: FAIL injected link {} not warned (warned: {:?})",
+                link.0, warned
+            );
+            std::process::exit(1);
+        }
+    }
+
+    if spawned || args.shutdown {
+        write_frame(&mut out, &Frame::Shutdown).expect("send shutdown");
+        out.flush().expect("flush shutdown");
+        match rx.recv_timeout(Duration::from_secs(30)) {
+            Ok(ReaderEvent::Bye) => println!("load_gen: daemon shut down cleanly"),
+            other => eprintln!("load_gen: no bye from daemon ({other:?})"),
+        }
+    }
+    drop(out);
+    // Unblock the reader if the daemon stays up (no shutdown requested).
+    let _ = sock.shutdown(std::net::Shutdown::Both);
+    let _ = reader.join();
+}
+
+impl std::fmt::Debug for ReaderEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReaderEvent::Stats { ingested, warnings } => f
+                .debug_struct("Stats")
+                .field("ingested", ingested)
+                .field("warnings", warnings)
+                .finish(),
+            ReaderEvent::Bye => f.write_str("Bye"),
+        }
+    }
+}

@@ -1,0 +1,630 @@
+//! The `drift-bottle serve` wire protocol (DESIGN.md §15).
+//!
+//! Every frame on the stream is `u32` big-endian payload length followed by
+//! the payload; the payload's first byte is the opcode, the rest is encoded
+//! with [`db_util::wire`] (big-endian, length-prefixed sequences). The
+//! format is versioned by [`PROTO_VERSION`] carried in `Hello`/`HelloAck`.
+//!
+//! Client → server: `Hello`, `FlowDef`, `Records`, `AdvanceTo`,
+//! `Subscribe`, `StatsReq`, `SnapshotReq`, `Shutdown`.
+//! Server → client: `HelloAck`, `Stats`, `IngestAck`, `Snapshot`, `Bye`,
+//! `Warning`, `Error`. Subscribers additionally receive a `Warning` frame
+//! per live warning, in raise order.
+
+use db_util::wire::{ByteReader, ByteWriter, WireError};
+use std::io::{self, Read, Write};
+
+/// Protocol version carried in `Hello`/`HelloAck`.
+pub const PROTO_VERSION: u8 = 1;
+
+/// Upper bound on one frame's payload, a corruption guard: a length prefix
+/// beyond this is treated as a framing error, not an allocation request.
+pub const MAX_FRAME_BYTES: u32 = 1 << 24;
+
+const OP_HELLO: u8 = 0x01;
+const OP_FLOW_DEF: u8 = 0x02;
+const OP_RECORDS: u8 = 0x03;
+const OP_ADVANCE_TO: u8 = 0x04;
+const OP_SUBSCRIBE: u8 = 0x05;
+const OP_STATS_REQ: u8 = 0x06;
+const OP_SNAPSHOT_REQ: u8 = 0x07;
+const OP_SHUTDOWN: u8 = 0x08;
+const OP_HELLO_ACK: u8 = 0x81;
+const OP_STATS: u8 = 0x83;
+const OP_INGEST_ACK: u8 = 0x84;
+const OP_SNAPSHOT: u8 = 0x87;
+const OP_BYE: u8 = 0x88;
+const OP_WARNING: u8 = 0x90;
+const OP_ERROR: u8 = 0xEE;
+
+/// One observed packet-at-switch event, the streaming analogue of the
+/// simulator's `HopInfo` callback. `flags` bit 0 = ingress switch, bit 1 =
+/// last switch before the destination host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Record {
+    /// Observation time, nanoseconds.
+    pub at_ns: u64,
+    /// Flow id (as registered via `Hello` traffic or `FlowDef`).
+    pub flow: u32,
+    /// Source switch of the flow.
+    pub src: u16,
+    /// Destination switch of the flow.
+    pub dst: u16,
+    /// Data sequence number within the flow.
+    pub seq: u64,
+    /// Packet size in bytes.
+    pub size: u32,
+    /// The switch the packet is at.
+    pub node: u16,
+    /// Index of `node` on the flow's path (0 = ingress).
+    pub hop_index: usize,
+    /// Whether `node` is the flow's ingress switch.
+    pub is_ingress: bool,
+    /// Whether `node` is the last switch before the destination host.
+    pub is_last_switch: bool,
+}
+
+/// One warning as shipped to clients: equation (1) crossing at a switch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WarningMsg {
+    /// Raise time, nanoseconds.
+    pub at_ns: u64,
+    /// The raising switch (`u16::MAX` for centralized variants' DCA).
+    pub switch: u16,
+    /// The localized link.
+    pub link: u16,
+    /// Index of the raising variant in the engine's variant list.
+    pub variant: u8,
+    /// Hop count of the aggregated inference at raise time.
+    pub hop_now: u8,
+    /// Top weight at raise time.
+    pub w0: f64,
+    /// Runner-up weight at raise time.
+    pub w1: f64,
+    /// The raising drifted header, verbatim (empty for centralized).
+    pub header: Vec<u8>,
+}
+
+/// A decoded protocol frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Open (or attach to) the engine for a topology. The server generates
+    /// the monitored traffic matrix from `density`/`seed` exactly as the
+    /// batch runner does, so a recorded trace with the same parameters
+    /// replays cleanly. `window_cap` > 0 bounds carrier retention to that
+    /// many monitoring windows (0 = server default).
+    Hello {
+        /// Must equal [`PROTO_VERSION`].
+        proto: u8,
+        /// Topology spec, e.g. `geant2012`, `grid:4x4`, `line:8`.
+        topo: String,
+        /// Traffic density for the generated flow set.
+        density: f64,
+        /// Traffic generation seed.
+        seed: u64,
+        /// Carrier retention bound in windows (0 = server default).
+        window_cap: u32,
+    },
+    /// Register one extra flow (id, RTT, and its routed path) with every
+    /// switch monitor on the path.
+    FlowDef {
+        /// Flow id; must not collide with a generated flow's id.
+        id: u32,
+        /// Path round-trip time in milliseconds.
+        rtt_ms: f64,
+        /// Path switches, ingress first.
+        nodes: Vec<u16>,
+        /// Path links, `links[i]` connects `nodes[i]` and `nodes[i+1]`.
+        links: Vec<u16>,
+    },
+    /// A batch of flow records to ingest, in timestamp order.
+    Records(Vec<Record>),
+    /// Drive engine time forward (fires due window ticks) with no traffic.
+    AdvanceTo {
+        /// Target time, nanoseconds.
+        t_ns: u64,
+    },
+    /// Ask for a live `Warning` frame per raise on this connection.
+    Subscribe,
+    /// Ask for a `Stats` frame.
+    StatsReq,
+    /// Ask for a `Snapshot` frame (also persists it server-side when the
+    /// daemon was started with a snapshot path).
+    SnapshotReq,
+    /// Stop the daemon: persists the snapshot (if configured), answers
+    /// `Bye`, and stops accepting connections.
+    Shutdown,
+    /// `Hello` accepted; engine facts the client needs.
+    HelloAck {
+        /// Server's [`PROTO_VERSION`].
+        proto: u8,
+        /// The engine's configuration fingerprint (snapshot compatibility).
+        fingerprint: u64,
+        /// Monitoring tick interval, nanoseconds.
+        interval_ns: u64,
+        /// Switch count of the topology.
+        nodes: u32,
+        /// Link count of the topology.
+        links: u32,
+        /// Whether state was restored from a persisted snapshot.
+        restored: bool,
+    },
+    /// Engine counters at a point in time.
+    Stats {
+        /// Engine clock, nanoseconds.
+        now_ns: u64,
+        /// Window ticks fired so far.
+        ticks: u64,
+        /// Flow records ingested so far.
+        ingested: u64,
+        /// Warnings raised so far.
+        warnings: u64,
+        /// Drifting headers currently parked at the engine.
+        carriers: u64,
+    },
+    /// A `Records`/`AdvanceTo` batch was applied; any warnings it raised.
+    IngestAck {
+        /// Records applied by the batch (0 for `AdvanceTo`).
+        count: u32,
+        /// Warnings the batch raised, in raise order.
+        warnings: Vec<WarningMsg>,
+    },
+    /// The engine's serialized state.
+    Snapshot(Vec<u8>),
+    /// Acknowledges `Shutdown`.
+    Bye,
+    /// One live warning (subscribers only).
+    Warning(WarningMsg),
+    /// The previous frame was rejected; the connection stays usable.
+    Error(String),
+}
+
+fn encode_record(w: &mut ByteWriter, r: &Record) {
+    w.u64(r.at_ns);
+    w.u32(r.flow);
+    w.u16w(r.src);
+    w.u16w(r.dst);
+    w.u64(r.seq);
+    w.u32(r.size);
+    w.u16w(r.node);
+    w.usize(r.hop_index);
+    let mut flags = 0u8;
+    if r.is_ingress {
+        flags |= 1;
+    }
+    if r.is_last_switch {
+        flags |= 2;
+    }
+    w.u8(flags);
+}
+
+fn decode_record(r: &mut ByteReader) -> Result<Record, WireError> {
+    let at_ns = r.u64()?;
+    let flow = r.u32()?;
+    let src = r.u16w()?;
+    let dst = r.u16w()?;
+    let seq = r.u64()?;
+    let size = r.u32()?;
+    let node = r.u16w()?;
+    let hop_index = r.usize()?;
+    let flags = r.u8()?;
+    Ok(Record {
+        at_ns,
+        flow,
+        src,
+        dst,
+        seq,
+        size,
+        node,
+        hop_index,
+        is_ingress: flags & 1 != 0,
+        is_last_switch: flags & 2 != 0,
+    })
+}
+
+fn encode_warning(w: &mut ByteWriter, m: &WarningMsg) {
+    w.u64(m.at_ns);
+    w.u16w(m.switch);
+    w.u16w(m.link);
+    w.u8(m.variant);
+    w.u8(m.hop_now);
+    w.f64(m.w0);
+    w.f64(m.w1);
+    w.seq(m.header.len());
+    for &b in &m.header {
+        w.u8(b);
+    }
+}
+
+fn decode_warning(r: &mut ByteReader) -> Result<WarningMsg, WireError> {
+    let at_ns = r.u64()?;
+    let switch = r.u16w()?;
+    let link = r.u16w()?;
+    let variant = r.u8()?;
+    let hop_now = r.u8()?;
+    let w0 = r.f64()?;
+    let w1 = r.f64()?;
+    let n = r.seq()?;
+    let header = r.bytes(n)?.to_vec();
+    Ok(WarningMsg {
+        at_ns,
+        switch,
+        link,
+        variant,
+        hop_now,
+        w0,
+        w1,
+        header,
+    })
+}
+
+/// Serialize a frame to its payload bytes (opcode first, no length prefix).
+pub fn encode_frame(f: &Frame) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    match f {
+        Frame::Hello {
+            proto,
+            topo,
+            density,
+            seed,
+            window_cap,
+        } => {
+            w.u8(OP_HELLO);
+            w.u8(*proto);
+            w.str(topo);
+            w.f64(*density);
+            w.u64(*seed);
+            w.u32(*window_cap);
+        }
+        Frame::FlowDef {
+            id,
+            rtt_ms,
+            nodes,
+            links,
+        } => {
+            w.u8(OP_FLOW_DEF);
+            w.u32(*id);
+            w.f64(*rtt_ms);
+            w.seq(nodes.len());
+            for &n in nodes {
+                w.u16w(n);
+            }
+            w.seq(links.len());
+            for &l in links {
+                w.u16w(l);
+            }
+        }
+        Frame::Records(records) => {
+            w.u8(OP_RECORDS);
+            w.seq(records.len());
+            for r in records {
+                encode_record(&mut w, r);
+            }
+        }
+        Frame::AdvanceTo { t_ns } => {
+            w.u8(OP_ADVANCE_TO);
+            w.u64(*t_ns);
+        }
+        Frame::Subscribe => w.u8(OP_SUBSCRIBE),
+        Frame::StatsReq => w.u8(OP_STATS_REQ),
+        Frame::SnapshotReq => w.u8(OP_SNAPSHOT_REQ),
+        Frame::Shutdown => w.u8(OP_SHUTDOWN),
+        Frame::HelloAck {
+            proto,
+            fingerprint,
+            interval_ns,
+            nodes,
+            links,
+            restored,
+        } => {
+            w.u8(OP_HELLO_ACK);
+            w.u8(*proto);
+            w.u64(*fingerprint);
+            w.u64(*interval_ns);
+            w.u32(*nodes);
+            w.u32(*links);
+            w.u8(u8::from(*restored));
+        }
+        Frame::Stats {
+            now_ns,
+            ticks,
+            ingested,
+            warnings,
+            carriers,
+        } => {
+            w.u8(OP_STATS);
+            w.u64(*now_ns);
+            w.u64(*ticks);
+            w.u64(*ingested);
+            w.u64(*warnings);
+            w.u64(*carriers);
+        }
+        Frame::IngestAck { count, warnings } => {
+            w.u8(OP_INGEST_ACK);
+            w.u32(*count);
+            w.seq(warnings.len());
+            for m in warnings {
+                encode_warning(&mut w, m);
+            }
+        }
+        Frame::Snapshot(bytes) => {
+            w.u8(OP_SNAPSHOT);
+            w.seq(bytes.len());
+            for &b in bytes {
+                w.u8(b);
+            }
+        }
+        Frame::Bye => w.u8(OP_BYE),
+        Frame::Warning(m) => {
+            w.u8(OP_WARNING);
+            encode_warning(&mut w, m);
+        }
+        Frame::Error(msg) => {
+            w.u8(OP_ERROR);
+            w.str(msg);
+        }
+    }
+    w.into_bytes()
+}
+
+/// Parse one frame from its payload bytes. Trailing bytes are an error.
+pub fn decode_frame(bytes: &[u8]) -> Result<Frame, WireError> {
+    let mut r = ByteReader::new(bytes);
+    let op = r.u8()?;
+    let frame = match op {
+        OP_HELLO => Frame::Hello {
+            proto: r.u8()?,
+            topo: r.str()?,
+            density: r.f64()?,
+            seed: r.u64()?,
+            window_cap: r.u32()?,
+        },
+        OP_FLOW_DEF => {
+            let id = r.u32()?;
+            let rtt_ms = r.f64()?;
+            let n = r.seq()?;
+            let mut nodes = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                nodes.push(r.u16w()?);
+            }
+            let n = r.seq()?;
+            let mut links = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                links.push(r.u16w()?);
+            }
+            Frame::FlowDef {
+                id,
+                rtt_ms,
+                nodes,
+                links,
+            }
+        }
+        OP_RECORDS => {
+            let n = r.seq()?;
+            let mut records = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                records.push(decode_record(&mut r)?);
+            }
+            Frame::Records(records)
+        }
+        OP_ADVANCE_TO => Frame::AdvanceTo { t_ns: r.u64()? },
+        OP_SUBSCRIBE => Frame::Subscribe,
+        OP_STATS_REQ => Frame::StatsReq,
+        OP_SNAPSHOT_REQ => Frame::SnapshotReq,
+        OP_SHUTDOWN => Frame::Shutdown,
+        OP_HELLO_ACK => Frame::HelloAck {
+            proto: r.u8()?,
+            fingerprint: r.u64()?,
+            interval_ns: r.u64()?,
+            nodes: r.u32()?,
+            links: r.u32()?,
+            restored: r.u8()? != 0,
+        },
+        OP_STATS => Frame::Stats {
+            now_ns: r.u64()?,
+            ticks: r.u64()?,
+            ingested: r.u64()?,
+            warnings: r.u64()?,
+            carriers: r.u64()?,
+        },
+        OP_INGEST_ACK => {
+            let count = r.u32()?;
+            let n = r.seq()?;
+            let mut warnings = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                warnings.push(decode_warning(&mut r)?);
+            }
+            Frame::IngestAck { count, warnings }
+        }
+        OP_SNAPSHOT => {
+            let n = r.seq()?;
+            Frame::Snapshot(r.bytes(n)?.to_vec())
+        }
+        OP_BYE => Frame::Bye,
+        OP_WARNING => Frame::Warning(decode_warning(&mut r)?),
+        OP_ERROR => Frame::Error(r.str()?),
+        // Unknown opcode, reported at its offset (0) with its value.
+        other => {
+            return Err(WireError::Overflow {
+                at: 0,
+                value: u64::from(other),
+            })
+        }
+    };
+    r.finish()?;
+    Ok(frame)
+}
+
+/// Write one length-prefixed frame. Does **not** flush: callers batching
+/// frames flush once at the end of the batch.
+pub fn write_frame(out: &mut impl Write, f: &Frame) -> io::Result<()> {
+    let payload = encode_frame(f);
+    let len = u32::try_from(payload.len())
+        .ok()
+        .filter(|&n| n <= MAX_FRAME_BYTES)
+        .ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, "frame exceeds MAX_FRAME_BYTES")
+        })?;
+    out.write_all(&len.to_be_bytes())?;
+    out.write_all(&payload)
+}
+
+/// Read one length-prefixed frame. `Ok(None)` on clean end-of-stream (EOF
+/// at a frame boundary); corrupt framing or payloads are `InvalidData`.
+pub fn read_frame(input: &mut impl Read) -> io::Result<Option<Frame>> {
+    let mut len = [0u8; 4];
+    match input.read_exact(&mut len) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_be_bytes(len);
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds MAX_FRAME_BYTES"),
+        ));
+    }
+    let len = usize::try_from(len)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame length exceeds usize"))?;
+    let mut payload = vec![0u8; len];
+    input.read_exact(&mut payload)?;
+    decode_frame(&payload)
+        .map(Some)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad frame: {e:?}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_record(i: u64) -> Record {
+        Record {
+            at_ns: 1_000_000 + i * 7,
+            flow: u32::try_from(i % 11).unwrap(),
+            src: 3,
+            dst: 9,
+            seq: i,
+            size: 1400,
+            node: u16::try_from(i % 5).unwrap(),
+            hop_index: usize::try_from(i % 4).unwrap(),
+            is_ingress: i.is_multiple_of(4),
+            is_last_switch: i % 4 == 3,
+        }
+    }
+
+    fn sample_warning() -> WarningMsg {
+        WarningMsg {
+            at_ns: 123_456_789,
+            switch: 7,
+            link: 12,
+            variant: 0,
+            hop_now: 5,
+            w0: 28.5,
+            w1: 11.25,
+            header: vec![0x12, 0x00, 0xfe, 0x07, 0x44],
+        }
+    }
+
+    #[test]
+    fn every_frame_round_trips() {
+        let frames = vec![
+            Frame::Hello {
+                proto: PROTO_VERSION,
+                topo: "geant2012".into(),
+                density: 1.0,
+                seed: 42,
+                window_cap: 8,
+            },
+            Frame::FlowDef {
+                id: 900,
+                rtt_ms: 14.5,
+                nodes: vec![0, 4, 9],
+                links: vec![2, 7],
+            },
+            Frame::Records((0..9).map(sample_record).collect()),
+            Frame::Records(Vec::new()),
+            Frame::AdvanceTo { t_ns: 5_000_000 },
+            Frame::Subscribe,
+            Frame::StatsReq,
+            Frame::SnapshotReq,
+            Frame::Shutdown,
+            Frame::HelloAck {
+                proto: PROTO_VERSION,
+                fingerprint: 0xDEAD_BEEF_CAFE_F00D,
+                interval_ns: 4_000_000,
+                nodes: 40,
+                links: 61,
+                restored: true,
+            },
+            Frame::Stats {
+                now_ns: 88,
+                ticks: 3,
+                ingested: 1_000_000,
+                warnings: 17,
+                carriers: 250,
+            },
+            Frame::IngestAck {
+                count: 4096,
+                warnings: vec![sample_warning()],
+            },
+            Frame::Snapshot(vec![1, 2, 3, 255, 0]),
+            Frame::Bye,
+            Frame::Warning(sample_warning()),
+            Frame::Error("bad density".into()),
+        ];
+        for f in frames {
+            let bytes = encode_frame(&f);
+            assert_eq!(decode_frame(&bytes).unwrap(), f, "round trip of {f:?}");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_unknown_opcode_and_trailing_bytes() {
+        assert!(decode_frame(&[0x7F]).is_err());
+        let mut bytes = encode_frame(&Frame::Bye);
+        bytes.push(0);
+        assert!(matches!(
+            decode_frame(&bytes),
+            Err(WireError::TrailingBytes(_))
+        ));
+        assert!(decode_frame(&[]).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_truncation_at_every_length() {
+        let bytes = encode_frame(&Frame::Records((0..3).map(sample_record).collect()));
+        for n in 0..bytes.len() {
+            assert!(decode_frame(&bytes[..n]).is_err(), "prefix of {n} bytes");
+        }
+    }
+
+    #[test]
+    fn stream_framing_round_trips_and_eof_is_clean() {
+        let mut buf = Vec::new();
+        let sent = vec![
+            Frame::StatsReq,
+            Frame::Records((0..5).map(sample_record).collect()),
+            Frame::Bye,
+        ];
+        for f in &sent {
+            write_frame(&mut buf, f).unwrap();
+        }
+        let mut cur = std::io::Cursor::new(buf);
+        let mut got = Vec::new();
+        while let Some(f) = read_frame(&mut cur).unwrap() {
+            got.push(f);
+        }
+        assert_eq!(got, sent);
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_invalid_data_not_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_be_bytes());
+        buf.extend_from_slice(&[0; 8]);
+        let mut cur = std::io::Cursor::new(buf);
+        let err = read_frame(&mut cur).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+}

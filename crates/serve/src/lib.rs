@@ -1,0 +1,21 @@
+//! `drift-bottle serve`: a streaming online mode for the Drift-Bottle
+//! failure localizer (DESIGN.md §15).
+//!
+//! * [`frame`] — the length-prefixed big-endian wire protocol: flow
+//!   records in, live warnings / stats / snapshots out.
+//! * [`server`] — the std-only daemon: one incremental
+//!   [`db_core::Engine`] per topology behind TCP (thread per connection)
+//!   or stdin/stdout, with snapshot persistence across restarts.
+//!
+//! The `load_gen` binary in this crate replays a recorded failure trace
+//! against a daemon at wire speed and reports sustained ingest throughput
+//! and p99 latency (`results/BENCH_serve.json`).
+
+pub mod frame;
+pub mod server;
+
+pub use frame::{
+    decode_frame, encode_frame, read_frame, write_frame, Frame, Record, WarningMsg,
+    MAX_FRAME_BYTES, PROTO_VERSION,
+};
+pub use server::{parse_topo, serve_stdio, ServeOptions, Server, DEFAULT_ADDR};

@@ -1,0 +1,721 @@
+//! The daemon: TCP (or stdio) sessions speaking the [`crate::frame`]
+//! protocol against one shared [`Engine`] per topology.
+//!
+//! A session opens with `Hello { topo, density, seed, window_cap }`; the
+//! first Hello for a topology trains the classifier (shrunk under
+//! `DB_SMOKE=1`), generates the monitored traffic matrix exactly as the
+//! batch runner would, deploys the system, and wraps it in an incremental
+//! engine with live warnings on. Subsequent Hellos for the same spec attach
+//! to the existing engine, so several clients can feed and observe one
+//! network. When a snapshot path is configured, the engine restores from it
+//! at build time (a mismatched fingerprint is logged and ignored) and
+//! persists to it on `SnapshotReq` and `Shutdown`, so localization state
+//! survives restarts.
+//!
+//! Everything here is std-only: `TcpListener` + a thread per connection,
+//! engines behind mutexes, no async runtime.
+
+use crate::frame::{
+    read_frame, write_frame, Frame, Record, WarningMsg, MAX_FRAME_BYTES, PROTO_VERSION,
+};
+use db_core::{prepare, Engine, FlowRecord, PrepareConfig, SystemConfig, VariantSpec, Warning};
+use db_core::{DriftBottleSystem, RestoreError};
+use db_dtree::TableClassifier;
+use db_netsim::{FlowId, FlowSpec, HopInfo, PpbpParams, SimTime, TrafficConfig, TrafficGen};
+use db_topology::{zoo, LinkId, NodeId, Path, Topology};
+use std::collections::HashMap;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+
+/// Default listen address when neither `--addr` nor `DB_SERVE_ADDR` is set.
+pub const DEFAULT_ADDR: &str = "127.0.0.1:7117";
+
+/// Daemon configuration, resolved from CLI flags and environment.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Listen address (`DB_SERVE_ADDR` overrides the default).
+    pub addr: String,
+    /// Snapshot file: restored at engine build, written on
+    /// `SnapshotReq`/`Shutdown`.
+    pub snapshot: Option<PathBuf>,
+    /// Default carrier-retention bound in monitoring windows for engines
+    /// whose `Hello` leaves `window_cap` at 0 (`DB_SERVE_WINDOW_CAP`;
+    /// 0 = unbounded).
+    pub window_cap: u32,
+}
+
+impl ServeOptions {
+    /// Defaults with `DB_SERVE_ADDR` / `DB_SERVE_WINDOW_CAP` applied.
+    pub fn from_env() -> Self {
+        let addr = std::env::var("DB_SERVE_ADDR").unwrap_or_else(|_| DEFAULT_ADDR.to_string());
+        let window_cap = std::env::var("DB_SERVE_WINDOW_CAP")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
+        ServeOptions {
+            addr,
+            snapshot: None,
+            window_cap,
+        }
+    }
+}
+
+fn smoke() -> bool {
+    std::env::var("DB_SMOKE").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Build the topology named by a `Hello` spec: a zoo name (`geant2012`,
+/// `chinanet`, `tinet`, `as1221`, `figure1`, `figure5`) or a parameterized
+/// family (`grid:WxH`, `line:N`, `star:N`).
+pub fn parse_topo(spec: &str) -> Option<Topology> {
+    match spec {
+        "geant2012" => return Some(zoo::geant2012()),
+        "chinanet" => return Some(zoo::chinanet()),
+        "tinet" => return Some(zoo::tinet()),
+        "as1221" => return Some(zoo::as1221()),
+        "figure1" => return Some(zoo::figure1()),
+        "figure5" => return Some(zoo::figure5()),
+        _ => {}
+    }
+    let (family, arg) = spec.split_once(':')?;
+    match family {
+        "grid" => {
+            let (w, h) = arg.split_once('x')?;
+            Some(zoo::grid(w.parse().ok()?, h.parse().ok()?))
+        }
+        "line" => Some(zoo::line(arg.parse().ok()?)),
+        "star" => Some(zoo::star(arg.parse().ok()?)),
+        _ => None,
+    }
+}
+
+/// One engine and its bookkeeping, shared by every session on its topology.
+struct EngineState {
+    engine: Engine<TableClassifier>,
+    nodes: u32,
+    links: u32,
+    interval_ns: u64,
+    restored: bool,
+    ingested: u64,
+    warned: u64,
+    /// Live-warning subscribers (TCP sessions only).
+    subscribers: Vec<TcpStream>,
+}
+
+impl EngineState {
+    fn hello_ack(&self) -> Frame {
+        Frame::HelloAck {
+            proto: PROTO_VERSION,
+            fingerprint: self.engine.fingerprint(),
+            interval_ns: self.interval_ns,
+            nodes: self.nodes,
+            links: self.links,
+            restored: self.restored,
+        }
+    }
+
+    fn stats(&self) -> Frame {
+        Frame::Stats {
+            now_ns: self.engine.now().as_ns(),
+            ticks: u64::from(self.engine.ticks_fired()),
+            ingested: self.ingested,
+            warnings: self.warned,
+            carriers: u64::try_from(self.engine.carriers_in_flight()).unwrap_or(u64::MAX),
+        }
+    }
+
+    /// Apply freshly raised warnings: count them, push a `Warning` frame to
+    /// every live subscriber (dead ones are dropped), convert for the ack.
+    fn publish(&mut self, raised: &[Warning]) -> Vec<WarningMsg> {
+        let msgs: Vec<WarningMsg> = raised.iter().map(warning_msg).collect();
+        self.warned += msgs.len() as u64;
+        if !msgs.is_empty() {
+            self.subscribers.retain_mut(|sub| {
+                for m in &msgs {
+                    if write_frame(sub, &Frame::Warning(m.clone())).is_err() {
+                        return false;
+                    }
+                }
+                sub.flush().is_ok()
+            });
+        }
+        msgs
+    }
+}
+
+fn warning_msg(w: &Warning) -> WarningMsg {
+    WarningMsg {
+        at_ns: w.at.as_ns(),
+        switch: w.switch.0,
+        link: w.link.0,
+        variant: w.variant,
+        hop_now: w.hop_now,
+        w0: w.w0,
+        w1: w.w1,
+        header: w.header[..usize::from(w.header_len)].to_vec(),
+    }
+}
+
+/// Convert a wire [`Record`] into the engine's input type.
+pub fn flow_record(r: &Record) -> FlowRecord {
+    FlowRecord {
+        at: SimTime::from_ns(r.at_ns),
+        info: HopInfo {
+            flow: FlowId(r.flow),
+            src: NodeId(r.src),
+            dst: NodeId(r.dst),
+            seq: r.seq,
+            size: r.size,
+            node: NodeId(r.node),
+            hop_index: r.hop_index,
+            is_ingress: r.is_ingress,
+            is_last_switch: r.is_last_switch,
+        },
+    }
+}
+
+/// Cross-session daemon state.
+struct Shared {
+    /// One engine per topology spec, created on first `Hello`.
+    engines: Mutex<HashMap<String, Arc<Mutex<EngineState>>>>,
+    snapshot: Option<PathBuf>,
+    default_window_cap: u32,
+    stopping: AtomicBool,
+}
+
+impl Shared {
+    fn new(opts: &ServeOptions) -> Self {
+        Shared {
+            engines: Mutex::new(HashMap::new()),
+            snapshot: opts.snapshot.clone(),
+            default_window_cap: opts.window_cap,
+            stopping: AtomicBool::new(false),
+        }
+    }
+
+    /// Get or build the engine for `topo`. Building trains the classifier,
+    /// so the first `Hello` per topology is slow by design; the engines map
+    /// stays locked meanwhile so concurrent Hellos share the one build.
+    fn engine_for(
+        &self,
+        topo: &str,
+        density: f64,
+        seed: u64,
+        window_cap: u32,
+    ) -> Result<Arc<Mutex<EngineState>>, String> {
+        let mut engines = self.engines.lock().expect("engines lock");
+        if let Some(e) = engines.get(topo) {
+            return Ok(e.clone());
+        }
+        let state = self.build(topo, density, seed, window_cap)?;
+        let entry = Arc::new(Mutex::new(state));
+        engines.insert(topo.to_string(), entry.clone());
+        Ok(entry)
+    }
+
+    fn build(
+        &self,
+        spec: &str,
+        density: f64,
+        seed: u64,
+        window_cap: u32,
+    ) -> Result<EngineState, String> {
+        if !(density.is_finite() && density > 0.0) {
+            return Err(format!("bad density {density}"));
+        }
+        let topo = parse_topo(spec).ok_or_else(|| format!("unknown topology `{spec}`"))?;
+        let prep_cfg = if smoke() {
+            PrepareConfig {
+                n_link_scenarios: 4,
+                n_node_scenarios: 1,
+                n_healthy: 1,
+                train_density: 1.0,
+                ..Default::default()
+            }
+        } else {
+            PrepareConfig::default()
+        };
+        let prep = prepare(topo, &prep_cfg);
+        let traffic = TrafficConfig::with_density(density);
+        let flows = TrafficGen::generate_auto(&prep.topo, prep.routes.as_ref(), &traffic, seed);
+        // A daemon has no failure-injection timeline: the collection window
+        // is wide open so `reported_links` accumulates for the whole run.
+        let window = (SimTime::ZERO, SimTime::from_ns(u64::MAX));
+        let system = DriftBottleSystem::deploy(
+            &prep.topo,
+            &flows,
+            prep.wcfg,
+            prep.table.clone(),
+            vec![VariantSpec::drift_bottle()],
+            SystemConfig {
+                interval: prep.wcfg.interval,
+                ..Default::default()
+            },
+            window,
+        );
+        let mut engine = Engine::new(system);
+        engine.set_live_warnings();
+        let cap = if window_cap > 0 {
+            window_cap
+        } else {
+            self.default_window_cap
+        };
+        if cap > 0 {
+            engine.set_retention(cap);
+        }
+        let mut restored = false;
+        if let Some(path) = &self.snapshot {
+            match std::fs::read(path) {
+                Ok(bytes) => match engine.restore(&bytes) {
+                    Ok(()) => restored = true,
+                    Err(RestoreError::ConfigMismatch { expected, found }) => eprintln!(
+                        "serve: snapshot {} is for another configuration \
+                         (fingerprint {found:#x}, engine {expected:#x}); starting fresh",
+                        path.display()
+                    ),
+                    Err(e) => eprintln!(
+                        "serve: snapshot {} is unreadable ({e}); starting fresh",
+                        path.display()
+                    ),
+                },
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                Err(e) => eprintln!("serve: cannot read snapshot {}: {e}", path.display()),
+            }
+        }
+        Ok(EngineState {
+            engine,
+            nodes: u32::try_from(prep.topo.node_count()).unwrap_or(u32::MAX),
+            links: u32::try_from(prep.topo.link_count()).unwrap_or(u32::MAX),
+            interval_ns: prep.wcfg.interval.as_ns(),
+            restored,
+            ingested: 0,
+            warned: 0,
+            subscribers: Vec::new(),
+        })
+    }
+
+    /// Persist `state`'s engine to the configured snapshot path.
+    fn persist(&self, state: &EngineState) -> io::Result<()> {
+        if let Some(path) = &self.snapshot {
+            std::fs::write(path, state.engine.snapshot())?;
+        }
+        Ok(())
+    }
+}
+
+/// Why a session ended.
+enum SessionEnd {
+    /// Peer closed the stream or sent `Shutdown`=false…: normal end.
+    Eof,
+    /// Peer requested daemon shutdown.
+    Shutdown,
+}
+
+/// Run one protocol session. `tcp` carries the raw stream for `Subscribe`
+/// (stdio sessions get warnings in `IngestAck` frames only).
+fn session<R: Read, W: Write>(
+    input: &mut R,
+    out: &mut W,
+    shared: &Shared,
+    tcp: Option<&TcpStream>,
+) -> io::Result<SessionEnd> {
+    let mut current: Option<Arc<Mutex<EngineState>>> = None;
+    loop {
+        let frame = match read_frame(input)? {
+            Some(f) => f,
+            None => return Ok(SessionEnd::Eof),
+        };
+        // Frames that don't need an engine.
+        match frame {
+            Frame::Hello {
+                proto,
+                topo,
+                density,
+                seed,
+                window_cap,
+            } => {
+                if proto != PROTO_VERSION {
+                    write_frame(out, &Frame::Error(format!("protocol {proto} unsupported")))?;
+                    out.flush()?;
+                    continue;
+                }
+                match shared.engine_for(&topo, density, seed, window_cap) {
+                    Ok(entry) => {
+                        let ack = entry.lock().expect("engine lock").hello_ack();
+                        current = Some(entry);
+                        write_frame(out, &ack)?;
+                    }
+                    Err(msg) => write_frame(out, &Frame::Error(msg))?,
+                }
+                out.flush()?;
+                continue;
+            }
+            Frame::Shutdown => {
+                if let Some(entry) = &current {
+                    let state = entry.lock().expect("engine lock");
+                    if let Err(e) = shared.persist(&state) {
+                        eprintln!("serve: snapshot on shutdown failed: {e}");
+                    }
+                }
+                shared.stopping.store(true, Ordering::SeqCst);
+                write_frame(out, &Frame::Bye)?;
+                out.flush()?;
+                return Ok(SessionEnd::Shutdown);
+            }
+            _ => {}
+        }
+        let Some(entry) = &current else {
+            write_frame(out, &Frame::Error("hello first".into()))?;
+            out.flush()?;
+            continue;
+        };
+        let mut state = entry.lock().expect("engine lock");
+        let reply = match frame {
+            Frame::Records(records) => ingest(&mut state, &records),
+            Frame::AdvanceTo { t_ns } => {
+                let raised = state.engine.advance_to(SimTime::from_ns(t_ns));
+                let warnings = state.publish(&raised);
+                Frame::IngestAck { count: 0, warnings }
+            }
+            Frame::FlowDef {
+                id,
+                rtt_ms,
+                nodes,
+                links,
+            } => register_flow(&mut state, id, rtt_ms, &nodes, &links),
+            Frame::Subscribe => match tcp.and_then(|s| s.try_clone().ok()) {
+                Some(clone) => {
+                    state.subscribers.push(clone);
+                    state.stats()
+                }
+                None => Frame::Error("subscribe needs a socket session".into()),
+            },
+            Frame::StatsReq => state.stats(),
+            Frame::SnapshotReq => {
+                if let Err(e) = shared.persist(&state) {
+                    eprintln!("serve: snapshot write failed: {e}");
+                }
+                Frame::Snapshot(state.engine.snapshot())
+            }
+            // Server-to-client frames arriving here are protocol misuse.
+            other => Frame::Error(format!("unexpected frame {other:?}")),
+        };
+        drop(state);
+        write_frame(out, &reply)?;
+        out.flush()?;
+    }
+}
+
+/// Ingest a record batch: bounds-check switch ids (a bad id would index
+/// outside the monitor table), feed the engine, publish warnings.
+fn ingest(state: &mut EngineState, records: &[Record]) -> Frame {
+    let nodes = state.nodes;
+    let mut raised = Vec::new();
+    for (i, r) in records.iter().enumerate() {
+        if u32::from(r.node) >= nodes || u32::from(r.src) >= nodes || u32::from(r.dst) >= nodes {
+            return Frame::Error(format!("record {i}: switch id out of range"));
+        }
+        raised.extend(state.engine.ingest(&flow_record(r)));
+        state.ingested += 1;
+    }
+    let warnings = state.publish(&raised);
+    Frame::IngestAck {
+        count: u32::try_from(records.len()).unwrap_or(u32::MAX),
+        warnings,
+    }
+}
+
+/// Register one client-defined flow with every monitor on its path.
+fn register_flow(
+    state: &mut EngineState,
+    id: u32,
+    rtt_ms: f64,
+    nodes: &[u16],
+    links: &[u16],
+) -> Frame {
+    if nodes.is_empty() || links.len() + 1 != nodes.len() {
+        return Frame::Error("flow path needs n nodes and n-1 links".into());
+    }
+    if nodes.iter().any(|&n| u32::from(n) >= state.nodes)
+        || links.iter().any(|&l| u32::from(l) >= state.links)
+    {
+        return Frame::Error("flow path id out of range".into());
+    }
+    if !(rtt_ms.is_finite() && rtt_ms > 0.0) {
+        return Frame::Error(format!("bad rtt {rtt_ms}"));
+    }
+    let path = Path {
+        nodes: nodes.iter().map(|&n| NodeId(n)).collect(),
+        links: links.iter().map(|&l| LinkId(l)).collect(),
+    };
+    let spec = FlowSpec {
+        id: FlowId(id),
+        src: path.nodes[0],
+        dst: *path.nodes.last().expect("non-empty path"),
+        path,
+        start: SimTime::ZERO,
+        total_bytes: 0,
+        ppbp: PpbpParams::default(),
+        rtt_ms,
+    };
+    state.engine.register_flow(&spec);
+    state.stats()
+}
+
+/// A bound daemon, ready to accept sessions.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Bind `opts.addr` (use port 0 for an ephemeral port).
+    pub fn bind(opts: &ServeOptions) -> io::Result<Server> {
+        let listener = TcpListener::bind(&opts.addr)?;
+        Ok(Server {
+            listener,
+            shared: Arc::new(Shared::new(opts)),
+        })
+    }
+
+    /// The bound address — the ephemeral port when bound to port 0.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Accept sessions (one thread each) until a client sends `Shutdown`.
+    pub fn run(self) -> io::Result<()> {
+        let addr = self.local_addr()?;
+        for conn in self.listener.incoming() {
+            if self.shared.stopping.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match conn {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("serve: accept failed: {e}");
+                    continue;
+                }
+            };
+            let shared = self.shared.clone();
+            thread::spawn(move || {
+                let mut input = BufReader::new(match stream.try_clone() {
+                    Ok(s) => s,
+                    Err(e) => {
+                        eprintln!("serve: clone failed: {e}");
+                        return;
+                    }
+                });
+                let mut out = BufWriter::new(match stream.try_clone() {
+                    Ok(s) => s,
+                    Err(e) => {
+                        eprintln!("serve: clone failed: {e}");
+                        return;
+                    }
+                });
+                match session(&mut input, &mut out, &shared, Some(&stream)) {
+                    Ok(SessionEnd::Shutdown) => {
+                        // Nudge the accept loop so it observes `stopping`.
+                        let _ = TcpStream::connect(addr);
+                    }
+                    Ok(SessionEnd::Eof) => {}
+                    Err(e) if e.kind() == io::ErrorKind::ConnectionReset => {}
+                    Err(e) if e.kind() == io::ErrorKind::BrokenPipe => {}
+                    Err(e) => eprintln!("serve: session error: {e}"),
+                }
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Serve one session over stdin/stdout (`drift-bottle serve --stdin`):
+/// frames in on stdin, frames out on stdout, warnings ride `IngestAck`.
+pub fn serve_stdio(opts: &ServeOptions) -> io::Result<()> {
+    let shared = Shared::new(opts);
+    let stdin = io::stdin();
+    let stdout = io::stdout();
+    let mut input = stdin.lock();
+    let mut out = BufWriter::new(stdout.lock());
+    session(&mut input, &mut out, &shared, None).map(|_| ())
+}
+
+// Frame-size sanity shared with load_gen: a full batch of records must fit
+// one frame. 4096 records × ~40 bytes ≪ 16 MiB.
+const _: () = assert!(MAX_FRAME_BYTES > 4096 * 64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_topo_handles_zoo_and_families() {
+        assert!(parse_topo("geant2012").is_some());
+        assert!(parse_topo("grid:3x3").is_some());
+        assert!(parse_topo("line:5").is_some());
+        assert!(parse_topo("star:4").is_some());
+        assert!(parse_topo("nonsense").is_none());
+        assert!(parse_topo("grid:3").is_none());
+        assert!(parse_topo("line:x").is_none());
+    }
+
+    /// End-to-end over an in-memory stdio-style session: hello on a small
+    /// grid, replay a recorded center-link-failure trace, expect the failed
+    /// link warned and snapshot/stats frames to behave.
+    #[test]
+    fn stdio_session_localizes_a_grid_failure() {
+        use db_core::classifier::timeline;
+        use db_flowmon::WindowConfig;
+        use db_netsim::{FailureScenario, SimConfig, Simulator, TraceRecorder};
+        use db_topology::RouteTable;
+
+        std::env::set_var("DB_SMOKE", "1"); // keep engine-build training small
+        let density = 1.0;
+        let seed = 42u64;
+        let topo = zoo::grid(3, 3);
+        let routes = RouteTable::build(&topo);
+        let traffic = TrafficConfig::with_density(density);
+        let flows = TrafficGen::generate_auto(&topo, &routes, &traffic, seed);
+        let wcfg = WindowConfig::for_network(&routes, SimTime::from_ms(4));
+        let (t_fail, _, end) = timeline(&wcfg, traffic.start_spread);
+        let link = topo
+            .link_between(NodeId(4), NodeId(5))
+            .expect("center link");
+        let scenario = FailureScenario::single_link(link, t_fail);
+        let cfg = SimConfig {
+            end,
+            tick_interval: wcfg.interval,
+            ..Default::default()
+        };
+        let mut sim = Simulator::new(&topo, flows, cfg, &scenario, seed, TraceRecorder::new());
+        sim.run();
+        let (trace, _) = sim.finish();
+
+        let mut request = Vec::new();
+        write_frame(
+            &mut request,
+            &Frame::Hello {
+                proto: PROTO_VERSION,
+                topo: "grid:3x3".into(),
+                density,
+                seed,
+                window_cap: 0,
+            },
+        )
+        .unwrap();
+        for chunk in trace.observations.chunks(512) {
+            let records: Vec<Record> = chunk
+                .iter()
+                .map(|o| Record {
+                    at_ns: o.at.as_ns(),
+                    flow: o.info.flow.0,
+                    src: o.info.src.0,
+                    dst: o.info.dst.0,
+                    seq: o.info.seq,
+                    size: o.info.size,
+                    node: o.info.node.0,
+                    hop_index: o.info.hop_index,
+                    is_ingress: o.info.is_ingress,
+                    is_last_switch: o.info.is_last_switch,
+                })
+                .collect();
+            write_frame(&mut request, &Frame::Records(records)).unwrap();
+        }
+        write_frame(&mut request, &Frame::AdvanceTo { t_ns: end.as_ns() }).unwrap();
+        write_frame(&mut request, &Frame::StatsReq).unwrap();
+        write_frame(&mut request, &Frame::SnapshotReq).unwrap();
+
+        let opts = ServeOptions {
+            addr: DEFAULT_ADDR.into(),
+            snapshot: None,
+            window_cap: 0,
+        };
+        let shared = Shared::new(&opts);
+        let mut input = io::Cursor::new(request);
+        let mut out = Vec::new();
+        session(&mut input, &mut out, &shared, None).unwrap();
+
+        let mut cur = io::Cursor::new(out);
+        let mut warned = Vec::new();
+        let mut stats_ingested = 0;
+        let mut snapshot_len = 0;
+        let mut acks = 0u32;
+        while let Some(f) = read_frame(&mut cur).unwrap() {
+            match f {
+                Frame::HelloAck { proto, nodes, .. } => {
+                    assert_eq!(proto, PROTO_VERSION);
+                    assert_eq!(nodes, 9);
+                }
+                Frame::IngestAck { warnings, .. } => {
+                    acks += 1;
+                    warned.extend(warnings.iter().map(|w| w.link));
+                }
+                Frame::Stats { ingested, .. } => stats_ingested = ingested,
+                Frame::Snapshot(bytes) => snapshot_len = bytes.len(),
+                other => panic!("unexpected frame {other:?}"),
+            }
+        }
+        assert!(acks >= 2, "one ack per records batch plus advance");
+        assert_eq!(stats_ingested, trace.observations.len() as u64);
+        assert!(snapshot_len > 0, "snapshot is non-trivial");
+        assert!(
+            warned.contains(&link.0),
+            "injected link {link:?} warned (got {warned:?})"
+        );
+    }
+
+    #[test]
+    fn session_rejects_records_before_hello_and_bad_switch_ids() {
+        std::env::set_var("DB_SMOKE", "1"); // keep engine-build training small
+        let opts = ServeOptions {
+            addr: DEFAULT_ADDR.into(),
+            snapshot: None,
+            window_cap: 0,
+        };
+        let shared = Shared::new(&opts);
+        let mut request = Vec::new();
+        write_frame(&mut request, &Frame::StatsReq).unwrap();
+        write_frame(
+            &mut request,
+            &Frame::Hello {
+                proto: PROTO_VERSION,
+                topo: "line:3".into(),
+                density: 1.0,
+                seed: 1,
+                window_cap: 0,
+            },
+        )
+        .unwrap();
+        write_frame(
+            &mut request,
+            &Frame::Records(vec![Record {
+                at_ns: 1,
+                flow: 0,
+                src: 0,
+                dst: 2,
+                seq: 0,
+                size: 100,
+                node: 99,
+                hop_index: 0,
+                is_ingress: true,
+                is_last_switch: false,
+            }]),
+        )
+        .unwrap();
+        let mut input = io::Cursor::new(request);
+        let mut out = Vec::new();
+        session(&mut input, &mut out, &shared, None).unwrap();
+        let mut cur = io::Cursor::new(out);
+        let mut errors = 0;
+        while let Some(f) = read_frame(&mut cur).unwrap() {
+            if matches!(f, Frame::Error(_)) {
+                errors += 1;
+            }
+        }
+        assert_eq!(errors, 2, "stats-before-hello and out-of-range switch");
+    }
+}

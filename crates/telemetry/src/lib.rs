@@ -63,7 +63,38 @@ pub use scope::{hot, HotFn, ScopeMeta, ScopeRecorder, SeriesKind, TraceData};
 pub use span::Span;
 
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
+
+/// Every observability attachment a run can carry, in one handle.
+///
+/// The flight recorder (provenance cause chains, `drift-bottle explain`) and
+/// the scope recorder (per-window health series + span tracing,
+/// `drift-bottle timeline`) used to be threaded as two separate
+/// `Option<Arc<_>>` parameters through every setup struct and call site;
+/// anything new wanting "all observability" had to grow two more fields.
+/// `Instrumentation` folds them into a single off-by-default struct: the
+/// default instance records nothing and is pinned bit-identical to running
+/// without instrumentation at all (see `crates/core/tests/{flight,scope}.rs`
+/// and the golden snapshot).
+#[derive(Debug, Clone, Default)]
+pub struct Instrumentation {
+    /// Provenance flight recorder; `None` records nothing.
+    pub flight: Option<Arc<FlightRecorder>>,
+    /// db-scope recorder; `None` records nothing.
+    pub scope: Option<Arc<ScopeRecorder>>,
+}
+
+impl Instrumentation {
+    /// No instrumentation — identical to `Default`, named for call sites.
+    pub fn off() -> Self {
+        Self::default()
+    }
+
+    /// Whether any recorder is attached.
+    pub fn is_on(&self) -> bool {
+        self.flight.is_some() || self.scope.is_some()
+    }
+}
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
 static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();

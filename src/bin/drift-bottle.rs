@@ -19,6 +19,7 @@
 //! drift-bottle report <name|file> [density]      # one scenario + full telemetry report
 //! drift-bottle explain <file.flight> [l<ID>|s<ID>] # reconstruct a run from a flight recording
 //! drift-bottle timeline <file.trace.json> [l<ID>|s<ID>] # per-window health series from a trace
+//! drift-bottle serve [--addr=H:P] [--stdin] [--snapshot=path] # streaming daemon (DESIGN.md §15)
 //! ```
 //!
 //! Every command accepts `--metrics[=table|json|prom]`: it enables the
@@ -35,7 +36,11 @@
 //! hot-path profiler shares — for `timeline` or Perfetto).
 //!
 //! Argument parsing is deliberately bare std — the library has no CLI
-//! dependencies.
+//! dependencies. One [`Cli`] parser owns the whole grammar: every
+//! subcommand declares its positional shape and admitted flags in
+//! [`COMMANDS`], and anything outside that table — an unknown command, a
+//! misplaced flag, a typo — fails with an error naming the valid
+//! alternatives instead of being silently reinterpreted.
 
 use drift_bottle::core::experiment::{average_by_variant, covered_links, sample_covered_links};
 use drift_bottle::inference::provenance;
@@ -51,9 +56,312 @@ use std::sync::Arc;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  drift-bottle topo    <name|file>\n  drift-bottle fail    <name|file> <link-id> [density]\n  drift-bottle node    <name|file> <node-id> [density]\n  drift-bottle sweep   <name|file> [links] [density]\n  drift-bottle health  <name|file> [density]\n  drift-bottle report  <name|file> [density]\n  drift-bottle explain <file.flight> [l<ID>|s<ID>]\n  drift-bottle timeline <file.trace.json> [l<ID>|s<ID>]\n\noptions:\n  --metrics[=table|json|prom]  collect telemetry and print a metrics report\n  --scheme=NAME        weight scheme to run (default Drift-Bottle; see below)\n  --flight[=path]      record provenance for `explain` (default results/<cmd>-<topo>.flight)\n  --trace[=path]       record a db-scope trace for `timeline` / Perfetto\n                       (default results/<cmd>-<topo>.trace.json)\n\nsweep options:\n  --workers=N          worker threads (default: all cores)\n  --checkpoint[=path]  checkpoint units to path (default results/sweep-<topo>.ckpt.jsonl)\n  --resume             resume from the checkpoint if it exists (implies --checkpoint)\n  (--flight / --trace write one recording per unit next to the checkpoint)\n\nexplain options:\n  --window=N           restrict votes/warnings to sampling window N\n  --format=table|json  output format (default table)\n\ntimeline options:\n  --format=table|json|sparkline  output format (default table)\n\nenvironment:\n  DB_FLIGHT_CAPACITY=N   --flight ring capacity in records (default 65536)\n  DB_THREADS=N           cap library parallelism; 1 forces sequential execution\n  DB_SWEEP_STOP_AFTER=N  stop a sweep after N units (leaves a resumable checkpoint)\n  DB_SMOKE=1             shrink classifier training for fast smoke runs\n\nweight schemes: Drift-Bottle, Non-Negative, 007-Drifted, 007-Modified\nbuilt-in topologies: geant2012, chinanet, tinet, as1221\ntopology specs:\n  <name>               a built-in evaluation topology (above)\n  as:<n>[:<seed>]      generated AS-graph-style topology, 4..=50000 nodes\n  path:<file>          plain-text edge list: 'nodes <N>' header, then\n                       '<a> <b> <latency_ms> [bandwidth_mbps]' per line\n  <file>               a file in the interchange format (topology/node/link)"
+        "usage:\n  drift-bottle topo    <name|file>\n  drift-bottle fail    <name|file> <link-id> [density]\n  drift-bottle node    <name|file> <node-id> [density]\n  drift-bottle sweep   <name|file> [links] [density]\n  drift-bottle health  <name|file> [density]\n  drift-bottle report  <name|file> [density]\n  drift-bottle explain <file.flight> [l<ID>|s<ID>]\n  drift-bottle timeline <file.trace.json> [l<ID>|s<ID>]\n  drift-bottle serve\n\noptions (every command):\n  --metrics[=table|json|prom]  collect telemetry and print a metrics report\n\nscenario options (fail/node/sweep/health/report):\n  --scheme=NAME        weight scheme to run (default Drift-Bottle; see below)\n  --flight[=path]      record provenance for `explain` (default results/<cmd>-<topo>.flight)\n  --trace[=path]       record a db-scope trace for `timeline` / Perfetto\n                       (default results/<cmd>-<topo>.trace.json)\n\nsweep options:\n  --workers=N          worker threads (default: all cores)\n  --checkpoint[=path]  checkpoint units to path (default results/sweep-<topo>.ckpt.jsonl)\n  --resume             resume from the checkpoint if it exists (implies --checkpoint)\n  (--flight / --trace write one recording per unit next to the checkpoint)\n\nexplain options:\n  --window=N           restrict votes/warnings to sampling window N\n  --format=table|json  output format (default table)\n\ntimeline options:\n  --format=table|json|sparkline  output format (default table)\n\nserve options:\n  --addr=HOST:PORT     listen address (default DB_SERVE_ADDR, else 127.0.0.1:7117)\n  --stdin              serve one session over stdin/stdout instead of TCP\n  --snapshot=PATH      restore engine state at startup, persist it on\n                       SnapshotReq and Shutdown frames\n\nenvironment:\n  DB_FLIGHT_CAPACITY=N   --flight ring capacity in records (default 65536)\n  DB_THREADS=N           cap library parallelism; 1 forces sequential execution\n  DB_SWEEP_STOP_AFTER=N  stop a sweep after N units (leaves a resumable checkpoint)\n  DB_SMOKE=1             shrink classifier training for fast smoke runs\n  DB_SERVE_ADDR=H:P      default listen address for `serve`\n  DB_SERVE_WINDOW_CAP=N  default carrier-retention bound for `serve` engines\n\nweight schemes: Drift-Bottle, Non-Negative, 007-Drifted, 007-Modified\nbuilt-in topologies: geant2012, chinanet, tinet, as1221\ntopology specs:\n  <name>               a built-in evaluation topology (above)\n  as:<n>[:<seed>]      generated AS-graph-style topology, 4..=50000 nodes\n  path:<file>          plain-text edge list: 'nodes <N>' header, then\n                       '<a> <b> <latency_ms> [bandwidth_mbps]' per line\n  <file>               a file in the interchange format (topology/node/link)"
     );
     ExitCode::FAILURE
+}
+
+/// One `--name[=value]` token from the command line.
+#[derive(Debug)]
+struct Flag {
+    /// The name part, including the leading dashes (`--scheme`).
+    name: String,
+    /// The part after `=`, when present.
+    value: Option<String>,
+}
+
+impl Flag {
+    fn split(tok: &str) -> Flag {
+        match tok.split_once('=') {
+            Some((n, v)) => Flag {
+                name: n.to_string(),
+                value: Some(v.to_string()),
+            },
+            None => Flag {
+                name: tok.to_string(),
+                value: None,
+            },
+        }
+    }
+
+    /// The flag's required value, or an error naming the expected shape.
+    fn require(&self, shape: &str) -> Result<&str, String> {
+        match self.value.as_deref() {
+            Some(v) if !v.is_empty() => Ok(v),
+            _ => Err(format!(
+                "flag {} needs a value (use {}={shape})",
+                self.name, self.name
+            )),
+        }
+    }
+
+    /// Reject a value on a boolean flag (`--resume=yes` is a typo, not a
+    /// request).
+    fn no_value(&self) -> Result<(), String> {
+        match &self.value {
+            None => Ok(()),
+            Some(v) => Err(format!("flag {} takes no value (got '{v}')", self.name)),
+        }
+    }
+
+    /// `--flight[=path]`-style: `None` for the bare flag, the path otherwise.
+    fn opt_path(&self) -> Result<Option<String>, String> {
+        match self.value.as_deref() {
+            None => Ok(None),
+            Some(p) if !p.is_empty() => Ok(Some(p.to_string())),
+            Some(_) => Err(format!(
+                "flag {}= has an empty path (use {} or {}=path)",
+                self.name, self.name, self.name
+            )),
+        }
+    }
+}
+
+/// The flags every scenario command shares.
+const SCENARIO_FLAGS: &[&str] = &["--metrics", "--scheme", "--flight", "--trace"];
+
+/// Per-command grammar: name, positional usage, admitted flags. The parser
+/// rejects any flag outside the row's list — naming the list — so a typo'd
+/// or misplaced flag fails loudly instead of leaking into another command's
+/// semantics or being read as a positional.
+const COMMANDS: &[(&str, &str, &[&str])] = &[
+    ("topo", "<name|file>", &["--metrics"]),
+    ("fail", "<name|file> <link-id> [density]", SCENARIO_FLAGS),
+    ("node", "<name|file> <node-id> [density]", SCENARIO_FLAGS),
+    (
+        "sweep",
+        "<name|file> [links] [density]",
+        &[
+            "--metrics",
+            "--scheme",
+            "--flight",
+            "--trace",
+            "--workers",
+            "--checkpoint",
+            "--resume",
+        ],
+    ),
+    ("health", "<name|file> [density]", SCENARIO_FLAGS),
+    ("report", "<name|file> [density]", SCENARIO_FLAGS),
+    (
+        "explain",
+        "<file.flight> [l<ID>|s<ID>]",
+        &["--metrics", "--window", "--format"],
+    ),
+    (
+        "timeline",
+        "<file.trace.json> [l<ID>|s<ID>]",
+        &["--metrics", "--format"],
+    ),
+    (
+        "serve",
+        "",
+        &["--metrics", "--addr", "--stdin", "--snapshot"],
+    ),
+];
+
+/// `serve` subcommand arguments.
+#[derive(Debug, Default)]
+struct ServeArgs {
+    /// `--addr=HOST:PORT` (default `DB_SERVE_ADDR`, else `127.0.0.1:7117`).
+    addr: Option<String>,
+    /// `--stdin`: one session over stdin/stdout instead of a TCP listener.
+    stdin: bool,
+    /// `--snapshot=PATH`: restore at startup, persist on
+    /// `SnapshotReq`/`Shutdown`.
+    snapshot: Option<String>,
+}
+
+/// The parsed subcommand, arguments resolved and typed.
+#[derive(Debug)]
+enum Command {
+    Topo {
+        spec: String,
+    },
+    Fail {
+        spec: String,
+        link: String,
+        density: f64,
+        opts: RunOpts,
+    },
+    Node {
+        spec: String,
+        node: String,
+        density: f64,
+        opts: RunOpts,
+    },
+    Sweep {
+        spec: String,
+        links: usize,
+        density: f64,
+        flags: SweepFlags,
+        opts: RunOpts,
+    },
+    Health {
+        spec: String,
+        density: f64,
+        opts: RunOpts,
+    },
+    Report {
+        spec: String,
+        density: f64,
+        opts: RunOpts,
+    },
+    Explain {
+        path: String,
+        target: Option<String>,
+        flags: ExplainFlags,
+    },
+    Timeline {
+        path: String,
+        target: Option<String>,
+        fmt: TimelineFormat,
+    },
+    Serve(ServeArgs),
+}
+
+/// The whole command line: one subcommand plus the cross-cutting
+/// `--metrics` report format.
+#[derive(Debug)]
+struct Cli {
+    metrics: Option<MetricsFormat>,
+    cmd: Command,
+}
+
+/// Why parsing stopped: show the whole usage page, or one line of error.
+enum CliError {
+    Usage,
+    Msg(String),
+}
+
+impl Cli {
+    /// Parse `argv` (program name already skipped). Tokens starting with
+    /// `--` are flags wherever they appear; everything else is positional.
+    fn parse(argv: &[String]) -> Result<Cli, CliError> {
+        let mut pos: Vec<&str> = Vec::new();
+        let mut flags: Vec<Flag> = Vec::new();
+        for tok in argv {
+            if tok.starts_with("--") {
+                flags.push(Flag::split(tok));
+            } else {
+                pos.push(tok);
+            }
+        }
+        let Some(&cmd_name) = pos.first() else {
+            return Err(CliError::Usage);
+        };
+        let Some(&(name, pos_usage, allowed)) = COMMANDS.iter().find(|&&(n, _, _)| n == cmd_name)
+        else {
+            let names: Vec<&str> = COMMANDS.iter().map(|&(n, _, _)| n).collect();
+            return Err(CliError::Msg(format!(
+                "unknown command '{cmd_name}' (valid: {})",
+                names.join(", ")
+            )));
+        };
+        for f in &flags {
+            if !allowed.contains(&f.name.as_str()) {
+                return Err(CliError::Msg(format!(
+                    "unknown flag '{}' for `{name}` (valid: {})",
+                    f.name,
+                    allowed.join(", ")
+                )));
+            }
+        }
+        let metrics = metrics_format(&flags).map_err(CliError::Msg)?;
+        let cmd = Self::build(name, pos_usage, &pos[1..], &flags).map_err(CliError::Msg)?;
+        Ok(Cli { metrics, cmd })
+    }
+
+    /// Assemble the typed [`Command`] from the admitted flags and the
+    /// positional tail (`args` excludes the command name itself).
+    fn build(
+        name: &str,
+        pos_usage: &str,
+        args: &[&str],
+        flags: &[Flag],
+    ) -> Result<Command, String> {
+        let usage_line = || {
+            format!("usage: drift-bottle {name} {pos_usage}")
+                .trim_end()
+                .to_string()
+        };
+        Ok(match name {
+            "topo" => match args {
+                [spec] => Command::Topo {
+                    spec: spec.to_string(),
+                },
+                _ => return Err(usage_line()),
+            },
+            "fail" => match args {
+                [spec, link] | [spec, link, _] => Command::Fail {
+                    spec: spec.to_string(),
+                    link: link.to_string(),
+                    density: parse_density(args.get(2).copied())?,
+                    opts: run_opts(flags)?,
+                },
+                _ => return Err(usage_line()),
+            },
+            "node" => match args {
+                [spec, node] | [spec, node, _] => Command::Node {
+                    spec: spec.to_string(),
+                    node: node.to_string(),
+                    density: parse_density(args.get(2).copied())?,
+                    opts: run_opts(flags)?,
+                },
+                _ => return Err(usage_line()),
+            },
+            "sweep" => match args {
+                [spec] | [spec, _] | [spec, _, _] => Command::Sweep {
+                    spec: spec.to_string(),
+                    links: match args.get(1) {
+                        Some(s) => s.parse().map_err(|_| format!("bad link count '{s}'"))?,
+                        None => 8,
+                    },
+                    density: parse_density(args.get(2).copied())?,
+                    flags: sweep_flags(flags)?,
+                    opts: run_opts(flags)?,
+                },
+                _ => return Err(usage_line()),
+            },
+            "health" => match args {
+                [spec] | [spec, _] => Command::Health {
+                    spec: spec.to_string(),
+                    density: parse_density(args.get(1).copied())?,
+                    opts: run_opts(flags)?,
+                },
+                _ => return Err(usage_line()),
+            },
+            "report" => match args {
+                [spec] | [spec, _] => Command::Report {
+                    spec: spec.to_string(),
+                    density: parse_density(args.get(1).copied())?,
+                    opts: run_opts(flags)?,
+                },
+                _ => return Err(usage_line()),
+            },
+            "explain" => match args {
+                [path] | [path, _] => Command::Explain {
+                    path: path.to_string(),
+                    target: args.get(1).map(|s| s.to_string()),
+                    flags: explain_flags(flags)?,
+                },
+                _ => return Err(usage_line()),
+            },
+            "timeline" => match args {
+                [path] | [path, _] => Command::Timeline {
+                    path: path.to_string(),
+                    target: args.get(1).map(|s| s.to_string()),
+                    fmt: timeline_format(flags)?,
+                },
+                _ => return Err(usage_line()),
+            },
+            "serve" => match args {
+                [] => Command::Serve(serve_args(flags)?),
+                _ => return Err(usage_line()),
+            },
+            other => return Err(format!("unknown command '{other}'")),
+        })
+    }
 }
 
 /// Output format of the `--metrics` report.
@@ -64,32 +372,22 @@ enum MetricsFormat {
     Prom,
 }
 
-/// Strip every `--metrics[=fmt]` flag out of `args`, returning the chosen
-/// format (the last one wins) or an error for an unknown format.
-fn take_metrics_flag(args: &mut Vec<String>) -> Result<Option<MetricsFormat>, String> {
+/// The chosen `--metrics[=fmt]` format, the last occurrence winning.
+fn metrics_format(flags: &[Flag]) -> Result<Option<MetricsFormat>, String> {
     let mut fmt = None;
-    let mut err = None;
-    args.retain(|a| {
-        let Some(rest) = a.strip_prefix("--metrics") else {
-            return true;
-        };
-        match rest {
-            "" | "=table" => fmt = Some(MetricsFormat::Table),
-            "=json" => fmt = Some(MetricsFormat::Json),
-            "=prom" => fmt = Some(MetricsFormat::Prom),
-            other => {
-                err = Some(format!(
-                    "unknown metrics format '{}' (expected table, json or prom)",
-                    other.trim_start_matches('=')
+    for f in flags.iter().filter(|f| f.name == "--metrics") {
+        fmt = Some(match f.value.as_deref() {
+            None | Some("table") => MetricsFormat::Table,
+            Some("json") => MetricsFormat::Json,
+            Some("prom") => MetricsFormat::Prom,
+            Some(other) => {
+                return Err(format!(
+                    "unknown metrics format '{other}' (expected table, json or prom)"
                 ))
             }
-        }
-        false
-    });
-    match err {
-        Some(e) => Err(e),
-        None => Ok(fmt),
+        });
     }
+    Ok(fmt)
 }
 
 /// Print the global registry's snapshot in the requested format.
@@ -119,82 +417,50 @@ struct RunOpts {
     trace: Option<Option<String>>,
 }
 
-/// Strip `--scheme=NAME` out of `args`. A typo'd name is rejected with the
+/// Resolve a `--scheme=NAME` value. A typo'd name is rejected with the
 /// full list of schemes, instead of surfacing later as a missing-variant
 /// panic.
-fn take_scheme_flag(args: &mut Vec<String>) -> Result<Option<WeightScheme>, String> {
-    let mut scheme = None;
-    let mut err = None;
-    args.retain(|a| {
-        let Some(rest) = a.strip_prefix("--scheme") else {
-            return true;
-        };
-        match rest.strip_prefix('=') {
-            Some(name) if !name.is_empty() => {
-                match WeightScheme::ALL
-                    .iter()
-                    .find(|s| s.name().eq_ignore_ascii_case(name))
-                {
-                    Some(s) => scheme = Some(*s),
-                    None => {
-                        let names: Vec<&str> = WeightScheme::ALL.iter().map(|s| s.name()).collect();
-                        err = Some(format!(
-                            "unknown scheme '{name}' (available: {})",
-                            names.join(", ")
-                        ));
-                    }
-                }
+fn parse_scheme(name: &str) -> Result<WeightScheme, String> {
+    WeightScheme::ALL
+        .iter()
+        .copied()
+        .find(|s| s.name().eq_ignore_ascii_case(name))
+        .ok_or_else(|| {
+            let names: Vec<&str> = WeightScheme::ALL.iter().map(|s| s.name()).collect();
+            format!("unknown scheme '{name}' (available: {})", names.join(", "))
+        })
+}
+
+/// Collect the shared scenario flags (`--scheme`, `--flight`, `--trace`)
+/// from the admitted flag list.
+fn run_opts(flags: &[Flag]) -> Result<RunOpts, String> {
+    let mut o = RunOpts::default();
+    for f in flags {
+        match f.name.as_str() {
+            "--scheme" => o.scheme = Some(parse_scheme(f.require("NAME")?)?),
+            "--flight" => o.flight = Some(f.opt_path()?),
+            "--trace" => o.trace = Some(f.opt_path()?),
+            _ => {}
+        }
+    }
+    Ok(o)
+}
+
+/// Collect the `serve` flags (`--addr`, `--stdin`, `--snapshot`).
+fn serve_args(flags: &[Flag]) -> Result<ServeArgs, String> {
+    let mut sa = ServeArgs::default();
+    for f in flags {
+        match f.name.as_str() {
+            "--addr" => sa.addr = Some(f.require("HOST:PORT")?.to_string()),
+            "--stdin" => {
+                f.no_value()?;
+                sa.stdin = true;
             }
-            _ => err = Some(format!("bad scheme flag '{a}' (use --scheme=NAME)")),
+            "--snapshot" => sa.snapshot = Some(f.require("PATH")?.to_string()),
+            _ => {}
         }
-        false
-    });
-    match err {
-        Some(e) => Err(e),
-        None => Ok(scheme),
     }
-}
-
-/// Strip `--flight[=path]` out of `args`.
-fn take_flight_flag(args: &mut Vec<String>) -> Result<Option<Option<String>>, String> {
-    let mut flight = None;
-    let mut err = None;
-    args.retain(|a| {
-        let Some(rest) = a.strip_prefix("--flight") else {
-            return true;
-        };
-        match rest.strip_prefix('=') {
-            None if rest.is_empty() => flight = Some(None),
-            Some(p) if !p.is_empty() => flight = Some(Some(p.to_string())),
-            _ => err = Some(format!("bad flight flag '{a}' (use --flight[=path])")),
-        }
-        false
-    });
-    match err {
-        Some(e) => Err(e),
-        None => Ok(flight),
-    }
-}
-
-/// Strip `--trace[=path]` out of `args`.
-fn take_trace_flag(args: &mut Vec<String>) -> Result<Option<Option<String>>, String> {
-    let mut trace = None;
-    let mut err = None;
-    args.retain(|a| {
-        let Some(rest) = a.strip_prefix("--trace") else {
-            return true;
-        };
-        match rest.strip_prefix('=') {
-            None if rest.is_empty() => trace = Some(None),
-            Some(p) if !p.is_empty() => trace = Some(Some(p.to_string())),
-            _ => err = Some(format!("bad trace flag '{a}' (use --trace[=path])")),
-        }
-        false
-    });
-    match err {
-        Some(e) => Err(e),
-        None => Ok(trace),
-    }
+    Ok(sa)
 }
 
 /// Ring capacity for `--flight`, overridable via `DB_FLIGHT_CAPACITY`.
@@ -265,12 +531,12 @@ fn single_setup<'a>(
         Some(_) => Some(Arc::new(FlightRecorder::new(flight_capacity()?))),
         None => None,
     };
-    setup.flight = rec.clone();
+    setup.instr.flight = rec.clone();
     let scope = opts.trace.as_ref().map(|_| {
         drift_bottle::telemetry::scope::profiler_enable();
         Arc::new(ScopeRecorder::default())
     });
-    setup.scope = scope.clone();
+    setup.instr.scope = scope.clone();
     Ok((setup, vname, rec, scope))
 }
 
@@ -308,7 +574,7 @@ fn load_topology(spec: &str) -> Result<Topology, String> {
     load::load(spec).map_err(|e| e.to_string())
 }
 
-fn parse_density(arg: Option<&String>) -> Result<f64, String> {
+fn parse_density(arg: Option<&str>) -> Result<f64, String> {
     match arg {
         None => Ok(1.0),
         Some(s) => {
@@ -505,35 +771,28 @@ struct SweepFlags {
     resume: bool,
 }
 
-/// Strip `--workers=N`, `--checkpoint[=path]` and `--resume` out of `args`.
-fn take_sweep_flags(args: &mut Vec<String>) -> Result<SweepFlags, String> {
-    let mut flags = SweepFlags::default();
-    let mut err = None;
-    args.retain(|a| {
-        if let Some(rest) = a.strip_prefix("--workers") {
-            match rest.strip_prefix('=').and_then(|s| s.parse::<usize>().ok()) {
-                Some(n) if n >= 1 => flags.workers = n,
-                _ => err = Some(format!("bad worker count '{a}' (use --workers=N)")),
+/// Collect the sweep-only flags (`--workers`, `--checkpoint`, `--resume`).
+fn sweep_flags(flags: &[Flag]) -> Result<SweepFlags, String> {
+    let mut sf = SweepFlags::default();
+    for f in flags {
+        match f.name.as_str() {
+            "--workers" => {
+                let v = f.require("N")?;
+                sf.workers = v
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("bad worker count '{v}' (use --workers=N)"))?;
             }
-            false
-        } else if let Some(rest) = a.strip_prefix("--checkpoint") {
-            match rest.strip_prefix('=') {
-                None if rest.is_empty() => flags.checkpoint = Some(None),
-                Some(p) if !p.is_empty() => flags.checkpoint = Some(Some(p.to_string())),
-                _ => err = Some(format!("bad checkpoint path '{a}'")),
+            "--checkpoint" => sf.checkpoint = Some(f.opt_path()?),
+            "--resume" => {
+                f.no_value()?;
+                sf.resume = true;
             }
-            false
-        } else if a == "--resume" {
-            flags.resume = true;
-            false
-        } else {
-            true
+            _ => {}
         }
-    });
-    match err {
-        Some(e) => Err(e),
-        None => Ok(flags),
     }
+    Ok(sf)
 }
 
 fn cmd_sweep(
@@ -717,6 +976,29 @@ fn cmd_report(spec: &str, density: f64, opts: &RunOpts) -> Result<(), String> {
     Ok(())
 }
 
+/// Run the streaming daemon (DESIGN.md §15): one incremental engine per
+/// topology behind TCP — or a single stdin/stdout session — speaking the
+/// length-prefixed frame protocol of `db_serve::frame`.
+fn cmd_serve(args: &ServeArgs) -> Result<(), String> {
+    let mut opts = drift_bottle::serve::ServeOptions::from_env();
+    if let Some(a) = &args.addr {
+        opts.addr = a.clone();
+    }
+    if let Some(p) = &args.snapshot {
+        opts.snapshot = Some(std::path::PathBuf::from(p));
+    }
+    if args.stdin {
+        return drift_bottle::serve::serve_stdio(&opts).map_err(|e| format!("serve (stdio): {e}"));
+    }
+    let server = drift_bottle::serve::Server::bind(&opts)
+        .map_err(|e| format!("binding {}: {e}", opts.addr))?;
+    match server.local_addr() {
+        Ok(a) => eprintln!("[serve: listening on {a}; a Shutdown frame stops the daemon]"),
+        Err(_) => eprintln!("[serve: listening on {}]", opts.addr),
+    }
+    server.run().map_err(|e| format!("serve: {e}"))
+}
+
 /// Output format of `explain`.
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum ExplainFormat {
@@ -733,35 +1015,32 @@ struct ExplainFlags {
     format: ExplainFormat,
 }
 
-/// Strip `--window=N` and `--format=table|json` out of `args`.
-fn take_explain_flags(args: &mut Vec<String>) -> Result<ExplainFlags, String> {
-    let mut flags = ExplainFlags {
+/// Collect the explain-only flags (`--window`, `--format`).
+fn explain_flags(flags: &[Flag]) -> Result<ExplainFlags, String> {
+    let mut ef = ExplainFlags {
         window: None,
         format: ExplainFormat::Table,
     };
-    let mut err = None;
-    args.retain(|a| {
-        if let Some(rest) = a.strip_prefix("--window") {
-            match rest.strip_prefix('=').and_then(|s| s.parse::<u32>().ok()) {
-                Some(n) => flags.window = Some(n),
-                None => err = Some(format!("bad window '{a}' (use --window=N)")),
+    for f in flags {
+        match f.name.as_str() {
+            "--window" => {
+                let v = f.require("N")?;
+                ef.window = Some(
+                    v.parse::<u32>()
+                        .map_err(|_| format!("bad window '{v}' (use --window=N)"))?,
+                );
             }
-            false
-        } else if let Some(rest) = a.strip_prefix("--format") {
-            match rest.strip_prefix('=') {
-                Some("table") => flags.format = ExplainFormat::Table,
-                Some("json") => flags.format = ExplainFormat::Json,
-                _ => err = Some(format!("bad format '{a}' (use --format=table|json)")),
+            "--format" => {
+                ef.format = match f.require("table|json")? {
+                    "table" => ExplainFormat::Table,
+                    "json" => ExplainFormat::Json,
+                    other => return Err(format!("bad format '{other}' (use --format=table|json)")),
+                }
             }
-            false
-        } else {
-            true
+            _ => {}
         }
-    });
-    match err {
-        Some(e) => Err(e),
-        None => Ok(flags),
     }
+    Ok(ef)
 }
 
 fn fmt_ms(ns: u64) -> String {
@@ -1152,30 +1431,22 @@ enum TimelineFormat {
     Spark,
 }
 
-/// Strip `--format=table|json|sparkline` out of `args`.
-fn take_timeline_flags(args: &mut Vec<String>) -> Result<TimelineFormat, String> {
+/// The timeline `--format=table|json|sparkline` choice.
+fn timeline_format(flags: &[Flag]) -> Result<TimelineFormat, String> {
     let mut fmt = TimelineFormat::Table;
-    let mut err = None;
-    args.retain(|a| {
-        let Some(rest) = a.strip_prefix("--format") else {
-            return true;
-        };
-        match rest.strip_prefix('=') {
-            Some("table") => fmt = TimelineFormat::Table,
-            Some("json") => fmt = TimelineFormat::Json,
-            Some("sparkline") => fmt = TimelineFormat::Spark,
-            _ => {
-                err = Some(format!(
-                    "bad format '{a}' (use --format=table|json|sparkline)"
+    for f in flags.iter().filter(|f| f.name == "--format") {
+        fmt = match f.require("table|json|sparkline")? {
+            "table" => TimelineFormat::Table,
+            "json" => TimelineFormat::Json,
+            "sparkline" => TimelineFormat::Spark,
+            other => {
+                return Err(format!(
+                    "bad format '{other}' (use --format=table|json|sparkline)"
                 ))
             }
-        }
-        false
-    });
-    match err {
-        Some(e) => Err(e),
-        None => Ok(fmt),
+        };
     }
+    Ok(fmt)
 }
 
 /// The per-window rows of a set of series columns: the sorted union of
@@ -1496,116 +1767,61 @@ fn cmd_timeline(path: &str, target: Option<&String>, fmt: TimelineFormat) -> Res
 }
 
 fn main() -> ExitCode {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let mut fmt = match take_metrics_flag(&mut args) {
-        Ok(f) => f,
-        Err(e) => {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match Cli::parse(&argv) {
+        Ok(c) => c,
+        Err(CliError::Usage) => return usage(),
+        Err(CliError::Msg(e)) => {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
     };
-    if args.first().map(String::as_str) == Some("report") {
+    let mut fmt = cli.metrics;
+    if matches!(cli.cmd, Command::Report { .. }) {
         // The observability command always reports; default to the table.
         fmt = fmt.or(Some(MetricsFormat::Table));
     }
     if fmt.is_some() {
         drift_bottle::telemetry::enable();
     }
-    let sweep_flags = if args.first().map(String::as_str) == Some("sweep") {
-        match take_sweep_flags(&mut args) {
-            Ok(f) => f,
-            Err(e) => {
-                eprintln!("error: {e}");
-                return ExitCode::FAILURE;
-            }
-        }
-    } else {
-        SweepFlags::default()
-    };
-    let explain_flags = if args.first().map(String::as_str) == Some("explain") {
-        match take_explain_flags(&mut args) {
-            Ok(f) => f,
-            Err(e) => {
-                eprintln!("error: {e}");
-                return ExitCode::FAILURE;
-            }
-        }
-    } else {
-        ExplainFlags {
-            window: None,
-            format: ExplainFormat::Table,
-        }
-    };
-    let timeline_fmt = if args.first().map(String::as_str) == Some("timeline") {
-        match take_timeline_flags(&mut args) {
-            Ok(f) => f,
-            Err(e) => {
-                eprintln!("error: {e}");
-                return ExitCode::FAILURE;
-            }
-        }
-    } else {
-        TimelineFormat::Table
-    };
-    let opts = match (
-        take_scheme_flag(&mut args),
-        take_flight_flag(&mut args),
-        take_trace_flag(&mut args),
-    ) {
-        (Ok(scheme), Ok(flight), Ok(trace)) => RunOpts {
-            scheme,
-            flight,
-            trace,
-        },
-        (Err(e), _, _) | (_, Err(e), _) | (_, _, Err(e)) => {
-            eprintln!("error: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    if matches!(
-        args.first().map(String::as_str),
-        Some("topo") | Some("explain") | Some("timeline")
-    ) && (opts.scheme.is_some() || opts.flight.is_some() || opts.trace.is_some())
-    {
-        eprintln!("error: --scheme/--flight/--trace only apply to scenario commands");
-        return ExitCode::FAILURE;
-    }
-    let result = match args.first().map(String::as_str) {
-        Some("topo") if args.len() == 2 => cmd_topo(&args[1]),
-        Some("fail") if args.len() >= 3 => match parse_density(args.get(3)) {
-            Ok(d) => cmd_fail(&args[1], &args[2], d, &opts),
-            Err(e) => Err(e),
-        },
-        Some("node") if args.len() >= 3 => match parse_density(args.get(3)) {
-            Ok(d) => cmd_node(&args[1], &args[2], d, &opts),
-            Err(e) => Err(e),
-        },
-        Some("sweep") if args.len() >= 2 => {
-            let n = args
-                .get(2)
-                .map(|s| s.parse::<usize>())
-                .transpose()
-                .map_err(|_| "bad link count".to_string());
-            match (n, parse_density(args.get(3))) {
-                (Ok(n), Ok(d)) => cmd_sweep(&args[1], n.unwrap_or(8), d, &sweep_flags, &opts),
-                (Err(e), _) | (_, Err(e)) => Err(e),
-            }
-        }
-        Some("health") if args.len() >= 2 => match parse_density(args.get(2)) {
-            Ok(d) => cmd_health(&args[1], d, &opts),
-            Err(e) => Err(e),
-        },
-        Some("report") if args.len() >= 2 => match parse_density(args.get(2)) {
-            Ok(d) => cmd_report(&args[1], d, &opts),
-            Err(e) => Err(e),
-        },
-        Some("explain") if args.len() == 2 || args.len() == 3 => {
-            cmd_explain(&args[1], args.get(2), &explain_flags)
-        }
-        Some("timeline") if args.len() == 2 || args.len() == 3 => {
-            cmd_timeline(&args[1], args.get(2), timeline_fmt)
-        }
-        _ => return usage(),
+    let result = match &cli.cmd {
+        Command::Topo { spec } => cmd_topo(spec),
+        Command::Fail {
+            spec,
+            link,
+            density,
+            opts,
+        } => cmd_fail(spec, link, *density, opts),
+        Command::Node {
+            spec,
+            node,
+            density,
+            opts,
+        } => cmd_node(spec, node, *density, opts),
+        Command::Sweep {
+            spec,
+            links,
+            density,
+            flags,
+            opts,
+        } => cmd_sweep(spec, *links, *density, flags, opts),
+        Command::Health {
+            spec,
+            density,
+            opts,
+        } => cmd_health(spec, *density, opts),
+        Command::Report {
+            spec,
+            density,
+            opts,
+        } => cmd_report(spec, *density, opts),
+        Command::Explain {
+            path,
+            target,
+            flags,
+        } => cmd_explain(path, target.as_ref(), flags),
+        Command::Timeline { path, target, fmt } => cmd_timeline(path, target.as_ref(), *fmt),
+        Command::Serve(sa) => cmd_serve(sa),
     };
     match result {
         Ok(()) => {

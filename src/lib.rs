@@ -63,6 +63,7 @@ pub use db_flowmon as flowmon;
 pub use db_inference as inference;
 pub use db_netsim as netsim;
 pub use db_runner as runner;
+pub use db_serve as serve;
 pub use db_telemetry as telemetry;
 pub use db_topology as topology;
 pub use db_util as util;

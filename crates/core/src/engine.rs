@@ -35,9 +35,13 @@
 use crate::system::{DriftBottleSystem, Warning};
 use db_dtree::FlowClassifier;
 use db_netsim::{Annotation, FlowSpec, HopInfo, Observation, Observer, SimTime};
+use db_telemetry::flight::FlightRecorder;
+use db_telemetry::scope::ScopeRecorder;
+use db_topology::LinkId;
 use db_util::wire::{ByteReader, ByteWriter, WireError};
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
+use std::sync::Arc;
 
 /// One switch-level packet observation fed to [`Engine::ingest`] — the
 /// streaming equivalent of a recorded [`Observation`].
@@ -120,6 +124,11 @@ pub struct Engine<C: FlowClassifier> {
     /// feeds).
     retention: Option<u32>,
     fingerprint: u64,
+    /// Provenance recorder handle, mirrored from the system so streaming
+    /// callers (the serve daemon) can export without draining the system.
+    flight: Option<Arc<FlightRecorder>>,
+    /// Per-window health series recorder, mirrored likewise.
+    scope: Option<Arc<ScopeRecorder>>,
 }
 
 impl<C: FlowClassifier> Engine<C> {
@@ -139,6 +148,8 @@ impl<C: FlowClassifier> Engine<C> {
             age: VecDeque::new(),
             retention: None,
             fingerprint,
+            flight: None,
+            scope: None,
         }
     }
 
@@ -163,6 +174,51 @@ impl<C: FlowClassifier> Engine<C> {
     /// streaming analogue of deploy-time registration.
     pub fn register_flow(&mut self, f: &FlowSpec) {
         self.system.register_flow(f);
+    }
+
+    /// Attach a provenance flight recorder (see
+    /// [`DriftBottleSystem::set_flight`]). Streaming ingest then produces
+    /// the same flight records batch replay would; outcomes are unchanged.
+    /// Returns `false` (and attaches nothing) when every variant is
+    /// centralized.
+    pub fn set_flight(
+        &mut self,
+        rec: Arc<FlightRecorder>,
+        ground_truth: &[LinkId],
+        total_links: usize,
+    ) -> bool {
+        if self
+            .system
+            .set_flight(rec.clone(), ground_truth, total_links)
+        {
+            self.flight = Some(rec);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Attach a db-scope recorder (see [`DriftBottleSystem::set_scope`]).
+    /// Streaming ingest then feeds the same per-window health series batch
+    /// replay would; outcomes are unchanged. Returns `false` (and attaches
+    /// nothing) when every variant is centralized.
+    pub fn set_scope(&mut self, rec: Arc<ScopeRecorder>) -> bool {
+        if self.system.set_scope(rec.clone()) {
+            self.scope = Some(rec);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The attached flight recorder, if any.
+    pub fn flight(&self) -> Option<&Arc<FlightRecorder>> {
+        self.flight.as_ref()
+    }
+
+    /// The attached scope recorder, if any.
+    pub fn scope(&self) -> Option<&Arc<ScopeRecorder>> {
+        self.scope.as_ref()
     }
 
     /// The wrapped system (results, logs, telemetry attachment).

@@ -251,6 +251,44 @@ proptest! {
     }
 }
 
+/// Recorders attached through the Engine facade (`Engine::set_flight` /
+/// `Engine::set_scope`, the daemon's wiring) see exactly what recorders
+/// attached to the system before batch replay see: identical flight bytes
+/// and an identical window-series digest. This is the streaming-vs-batch
+/// observability contract (DESIGN.md §16).
+#[test]
+fn engine_attached_recorders_match_batch_digests() {
+    let case = line_case(7);
+    let trace = record_line_trace(&case);
+    let (_, batch_flight, batch_scope) = run_line_batch(&case);
+
+    let flight = Arc::new(FlightRecorder::new(1 << 16));
+    let scope = Arc::new(ScopeRecorder::new(ScopeRecorder::DEFAULT_SERIES_CAPACITY));
+    let mut engine = Engine::new(deploy_line(&case));
+    assert!(
+        engine.set_flight(flight.clone(), &[LinkId(2)], case.topo.link_count()),
+        "a non-centralized variant accepts the flight recorder"
+    );
+    assert!(engine.set_scope(scope.clone()), "scope recorder attaches");
+    assert!(engine.flight().is_some() && engine.scope().is_some());
+    engine.set_live_warnings();
+    for o in &trace.observations {
+        engine.ingest(&FlowRecord::from(*o));
+    }
+    engine.advance_to(case.end);
+
+    assert_eq!(
+        flight.snapshot().to_bytes(),
+        batch_flight,
+        "flight bytes via the Engine facade"
+    );
+    assert_eq!(
+        scope_digest(&scope),
+        batch_scope,
+        "window-series digest via the Engine facade"
+    );
+}
+
 /// One shared prepared grid topology for the run_scenario leg (training is
 /// the slow part; do it once).
 fn grid_prep() -> &'static Prepared {

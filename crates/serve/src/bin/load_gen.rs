@@ -52,6 +52,7 @@ struct Args {
     smoke: bool,
     shutdown: bool,
     local: bool,
+    pulse: bool,
 }
 
 fn parse_args() -> Args {
@@ -61,6 +62,7 @@ fn parse_args() -> Args {
         smoke: smoke(),
         shutdown: false,
         local: false,
+        pulse: false,
     };
     for a in std::env::args().skip(1) {
         if let Some(v) = a.strip_prefix("--addr=") {
@@ -73,8 +75,10 @@ fn parse_args() -> Args {
             args.shutdown = true;
         } else if a == "--local" {
             args.local = true;
+        } else if a == "--pulse" {
+            args.pulse = true;
         } else {
-            eprintln!("load_gen: unknown flag `{a}` (valid: --addr=HOST:PORT, --records=N, --smoke, --shutdown, --local)");
+            eprintln!("load_gen: unknown flag `{a}` (valid: --addr=HOST:PORT, --records=N, --smoke, --shutdown, --local, --pulse)");
             std::process::exit(2);
         }
     }
@@ -206,49 +210,104 @@ enum ReaderEvent {
     Bye,
 }
 
-fn main() {
-    let args = parse_args();
-    eprintln!("load_gen: recording {TOPO} failure trace…");
-    let (records, link, period, interval) = record_trace();
-    eprintln!(
-        "load_gen: trace has {} records per pass (rebase period {period} ns)",
-        records.len()
-    );
+/// One measured replay pass: client-side throughput and sampled batch
+/// round-trip latency percentiles, plus the daemon's warning totals.
+struct PassOut {
+    sent: u64,
+    elapsed: f64,
+    throughput: f64,
+    p50_us: u64,
+    p99_us: u64,
+    warnings: u64,
+    warned: Vec<u16>,
+}
 
-    // Smoke must still cover a full pass: the failure sits ~55% into the
-    // trace, and the warned-link assertion needs the post-failure tail.
-    let one_pass = records.len() as u64;
-    let target: u64 = args
-        .records
-        .unwrap_or(if args.smoke { one_pass } else { 4_000_000 })
-        .max(if args.smoke { one_pass } else { 0 });
+/// What a pulse subscriber saw while a pass ran.
+struct PulseStats {
+    frames: u64,
+    points: u64,
+    last_window: u64,
+    monotone: bool,
+}
 
-    if args.local {
-        run_local(&records, target, period);
-        return;
+/// Attach a `PulseSub` connection to the daemon and drain `Pulse` frames
+/// until the socket is shut down (via the returned handle). The collected
+/// stats double as a protocol check: `next_window` cursors must never move
+/// backwards and no window index may repeat within a series.
+fn spawn_pulse_sub(addr: &str) -> (std::thread::JoinHandle<PulseStats>, TcpStream) {
+    let stream = TcpStream::connect(addr).expect("pulse connect");
+    stream.set_nodelay(true).ok();
+    let sock = stream.try_clone().expect("clone pulse stream");
+    let mut out = BufWriter::new(stream.try_clone().expect("clone pulse stream"));
+    let mut input = BufReader::new(stream);
+    write_frame(
+        &mut out,
+        &Frame::Hello {
+            proto: PROTO_VERSION,
+            topo: TOPO.into(),
+            density: DENSITY,
+            seed: SEED,
+            window_cap: 8,
+        },
+    )
+    .expect("send pulse hello");
+    out.flush().expect("flush pulse hello");
+    match read_frame(&mut input).expect("read pulse hello ack") {
+        Some(Frame::HelloAck { .. }) => {}
+        other => panic!("pulse: expected HelloAck, got {other:?}"),
     }
-
-    // Connect — or spawn a daemon thread on an ephemeral loopback port.
-    let (addr, spawned) = match &args.addr {
-        Some(a) => (a.clone(), false),
-        None => {
-            let opts = ServeOptions {
-                addr: "127.0.0.1:0".into(),
-                snapshot: None,
-                window_cap: 8,
-            };
-            let server = Server::bind(&opts).expect("bind loopback");
-            let addr = server.local_addr().expect("local addr").to_string();
-            std::thread::spawn(move || {
-                if let Err(e) = server.run() {
-                    eprintln!("load_gen: daemon thread failed: {e}");
+    write_frame(&mut out, &Frame::PulseSub { from_window: 0 }).expect("send pulse sub");
+    out.flush().expect("flush pulse sub");
+    let handle = std::thread::spawn(move || {
+        let mut stats = PulseStats {
+            frames: 0,
+            points: 0,
+            last_window: 0,
+            monotone: true,
+        };
+        let mut cursor = 0u64;
+        let mut seen: HashMap<(u8, u16), u64> = HashMap::new();
+        while let Ok(Some(frame)) = read_frame(&mut input) {
+            if let Frame::Pulse(p) = frame {
+                stats.frames += 1;
+                stats.points += p.points.len() as u64;
+                if p.next_window < cursor {
+                    stats.monotone = false;
                 }
-            });
-            (addr, true)
+                cursor = p.next_window;
+                stats.last_window = stats.last_window.max(cursor);
+                for pt in &p.points {
+                    // A repeated or reordered window within one series
+                    // means the subscriber saw a duplicate.
+                    if let Some(&prev) = seen.get(&(pt.kind, pt.id)) {
+                        if pt.window <= prev {
+                            stats.monotone = false;
+                        }
+                    }
+                    seen.insert((pt.kind, pt.id), pt.window);
+                }
+            }
         }
-    };
-    eprintln!("load_gen: connecting to {addr} (hello trains the engine on first use)…");
-    let stream = TcpStream::connect(&addr).expect("connect");
+        stats
+    });
+    (handle, sock)
+}
+
+/// Replay `target` records against the daemon at `addr` on a fresh
+/// connection, pipelined in [`BATCH`]-record frames. `pass0` continues the
+/// timestamp-rebase pass numbering across calls so engine time keeps
+/// moving forward; `shutdown` sends a final `Shutdown` frame. Returns the
+/// measurements and the next pass index.
+fn run_pass(
+    addr: &str,
+    records: &[Record],
+    target: u64,
+    period: u64,
+    interval: u64,
+    pass0: u64,
+    shutdown: bool,
+) -> (PassOut, u64) {
+    let stream = TcpStream::connect(addr).expect("connect");
     stream.set_nodelay(true).ok();
     let sock = stream.try_clone().expect("clone stream");
     let mut out = BufWriter::new(stream.try_clone().expect("clone stream"));
@@ -336,7 +395,7 @@ fn main() {
     let t0 = Instant::now();
     let mut sent = 0u64;
     let mut batches = 0u64;
-    let mut pass = 0u64;
+    let mut pass = pass0;
     'outer: loop {
         let offset = pass * period;
         for chunk in records.chunks(BATCH) {
@@ -379,55 +438,27 @@ fn main() {
         .unwrap()
         .saturating_duration_since(t0)
         .as_secs_f64();
-    // `>=` — a long-lived daemon may hold records from earlier clients.
+    // `>=` — a long-lived daemon may hold records from earlier clients and
+    // passes.
     assert!(stats.0 >= sent, "daemon ingested every record sent");
 
     let mut lats = latencies.lock().unwrap().clone();
     lats.sort_unstable();
-    let p99 = if lats.is_empty() {
-        0
-    } else {
-        lats[(lats.len() - 1) * 99 / 100]
+    let pct = |q: usize| {
+        if lats.is_empty() {
+            0
+        } else {
+            lats[(lats.len() - 1) * q / 100]
+        }
     };
+    let (p50_us, p99_us) = (pct(50), pct(99));
     let throughput = if elapsed > 0.0 {
         sent as f64 / elapsed
     } else {
         0.0
     };
 
-    eprintln!(
-        "load_gen: {sent} records in {elapsed:.3}s — {throughput:.0} records/s, \
-         p99 batch latency {p99} µs, {} warnings",
-        stats.1
-    );
-
-    let json = format!(
-        "{{\"bench\":\"serve\",\n \
-         \"config\":{{\"smoke\":{},\"topology\":\"Geant2012\",\"batch\":{BATCH},\
-         \"pipeline_depth\":{PIPELINE_DEPTH},\"density\":{DENSITY},\"seed\":{SEED}}},\n \
-         \"ingest\":{{\"records\":{sent},\"elapsed_s\":{elapsed:.3},\
-         \"records_per_sec\":{throughput:.0},\"p99_batch_latency_us\":{p99},\
-         \"warnings\":{}}}}}\n",
-        args.smoke, stats.1
-    );
-    std::fs::create_dir_all("results").ok();
-    std::fs::write("results/BENCH_serve.json", &json).expect("write results/BENCH_serve.json");
-    println!("{json}");
-
-    if args.smoke {
-        let warned = warned.lock().unwrap();
-        if warned.contains(&link.0) {
-            println!("serve-smoke: OK warned injected link {}", link.0);
-        } else {
-            eprintln!(
-                "serve-smoke: FAIL injected link {} not warned (warned: {:?})",
-                link.0, warned
-            );
-            std::process::exit(1);
-        }
-    }
-
-    if spawned || args.shutdown {
+    if shutdown {
         write_frame(&mut out, &Frame::Shutdown).expect("send shutdown");
         out.flush().expect("flush shutdown");
         match rx.recv_timeout(Duration::from_secs(30)) {
@@ -439,6 +470,205 @@ fn main() {
     // Unblock the reader if the daemon stays up (no shutdown requested).
     let _ = sock.shutdown(std::net::Shutdown::Both);
     let _ = reader.join();
+
+    let warned = warned.lock().unwrap().clone();
+    (
+        PassOut {
+            sent,
+            elapsed,
+            throughput,
+            p50_us,
+            p99_us,
+            warnings: stats.1,
+            warned,
+        },
+        pass + 1,
+    )
+}
+
+fn main() {
+    let args = parse_args();
+    eprintln!("load_gen: recording {TOPO} failure trace…");
+    let (records, link, period, interval) = record_trace();
+    eprintln!(
+        "load_gen: trace has {} records per pass (rebase period {period} ns)",
+        records.len()
+    );
+
+    // Smoke must still cover a full pass: the failure sits ~55% into the
+    // trace, and the warned-link assertion needs the post-failure tail.
+    let one_pass = records.len() as u64;
+    let target: u64 = args
+        .records
+        .unwrap_or(if args.smoke { one_pass } else { 4_000_000 })
+        .max(if args.smoke { one_pass } else { 0 });
+
+    if args.local {
+        run_local(&records, target, period);
+        return;
+    }
+
+    // Connect — or spawn a daemon thread on an ephemeral loopback port.
+    let (addr, spawned) = match &args.addr {
+        Some(a) => (a.clone(), false),
+        None => {
+            let opts = ServeOptions {
+                addr: "127.0.0.1:0".into(),
+                snapshot: None,
+                window_cap: 8,
+                prom_addr: None,
+            };
+            let server = Server::bind(&opts).expect("bind loopback");
+            let addr = server.local_addr().expect("local addr").to_string();
+            std::thread::spawn(move || {
+                if let Err(e) = server.run() {
+                    eprintln!("load_gen: daemon thread failed: {e}");
+                }
+            });
+            (addr, true)
+        }
+    };
+    eprintln!("load_gen: connecting to {addr} (hello trains the engine on first use)…");
+
+    // Baseline pass: no pulse subscriber attached. Smoke runs with
+    // `--pulse` skip straight to the subscribed pass so the single smoke
+    // pass exercises the pulse path.
+    let mut pass_ctr = 0u64;
+    let smoke_pulse = args.smoke && args.pulse;
+    let pulsed_will_run = args.pulse || !args.smoke;
+    let baseline = if smoke_pulse {
+        None
+    } else {
+        let shutdown = !pulsed_will_run && (spawned || args.shutdown);
+        let (out, next) = run_pass(
+            &addr, &records, target, period, interval, pass_ctr, shutdown,
+        );
+        pass_ctr = next;
+        eprintln!(
+            "load_gen: baseline {} records in {:.3}s — {:.0} records/s, \
+             p50/p99 batch latency {}/{} µs, {} warnings",
+            out.sent, out.elapsed, out.throughput, out.p50_us, out.p99_us, out.warnings
+        );
+        Some(out)
+    };
+
+    // Subscribed pass: one `PulseSub` connection drains `Pulse` frames
+    // while the same workload replays, measuring subscriber overhead.
+    let pulsed = if pulsed_will_run {
+        let (pulse_thread, pulse_sock) = spawn_pulse_sub(&addr);
+        let (out, next) = run_pass(
+            &addr,
+            &records,
+            target,
+            period,
+            interval,
+            pass_ctr,
+            spawned || args.shutdown,
+        );
+        pass_ctr = next;
+        let _ = pass_ctr;
+        let _ = pulse_sock.shutdown(std::net::Shutdown::Both);
+        let pstats = pulse_thread.join().expect("pulse thread");
+        eprintln!(
+            "load_gen: with pulse sub {} records in {:.3}s — {:.0} records/s, \
+             p50/p99 batch latency {}/{} µs; {} pulse frames, {} points, \
+             last window {}, monotone={}",
+            out.sent,
+            out.elapsed,
+            out.throughput,
+            out.p50_us,
+            out.p99_us,
+            pstats.frames,
+            pstats.points,
+            pstats.last_window,
+            pstats.monotone
+        );
+        assert!(
+            pstats.monotone,
+            "pulse subscriber saw a duplicated or reordered window"
+        );
+        Some((out, pstats))
+    } else {
+        None
+    };
+
+    // The headline `ingest` row is the baseline when one ran, else the
+    // subscribed pass (smoke --pulse).
+    let head = baseline
+        .as_ref()
+        .or(pulsed.as_ref().map(|(o, _)| o))
+        .expect("at least one pass ran");
+    let mut json = format!(
+        "{{\"bench\":\"serve\",\n \
+         \"config\":{{\"smoke\":{},\"topology\":\"Geant2012\",\"batch\":{BATCH},\
+         \"pipeline_depth\":{PIPELINE_DEPTH},\"density\":{DENSITY},\"seed\":{SEED}}},\n \
+         \"ingest\":{{\"records\":{},\"elapsed_s\":{:.3},\
+         \"records_per_sec\":{:.0},\"p50_batch_latency_us\":{},\
+         \"p99_batch_latency_us\":{},\"warnings\":{}}}",
+        args.smoke,
+        head.sent,
+        head.elapsed,
+        head.throughput,
+        head.p50_us,
+        head.p99_us,
+        head.warnings
+    );
+    if let Some((out, pstats)) = &pulsed {
+        let overhead = match baseline.as_ref() {
+            Some(b) if b.throughput > 0.0 => out.throughput / b.throughput,
+            _ => 1.0,
+        };
+        json.push_str(&format!(
+            ",\n \"ingest_with_pulse_sub\":{{\"records\":{},\"elapsed_s\":{:.3},\
+             \"records_per_sec\":{:.0},\"p50_batch_latency_us\":{},\
+             \"p99_batch_latency_us\":{},\"throughput_vs_baseline\":{:.3},\
+             \"pulse_frames\":{},\"pulse_points\":{},\"pulse_last_window\":{}}}",
+            out.sent,
+            out.elapsed,
+            out.throughput,
+            out.p50_us,
+            out.p99_us,
+            overhead,
+            pstats.frames,
+            pstats.points,
+            pstats.last_window
+        ));
+    }
+    json.push_str("}\n");
+    std::fs::create_dir_all("results").ok();
+    std::fs::write("results/BENCH_serve.json", &json).expect("write results/BENCH_serve.json");
+    println!("{json}");
+
+    if args.smoke {
+        let warned: Vec<u16> = baseline
+            .iter()
+            .chain(pulsed.iter().map(|(o, _)| o))
+            .flat_map(|o| o.warned.iter().copied())
+            .collect();
+        if warned.contains(&link.0) {
+            println!("serve-smoke: OK warned injected link {}", link.0);
+        } else {
+            eprintln!(
+                "serve-smoke: FAIL injected link {} not warned (warned: {:?})",
+                link.0, warned
+            );
+            std::process::exit(1);
+        }
+        if let Some((_, pstats)) = &pulsed {
+            if pstats.frames > 0 && pstats.points > 0 {
+                println!(
+                    "pulse-smoke: OK {} pulse frames, {} points, last window {}",
+                    pstats.frames, pstats.points, pstats.last_window
+                );
+            } else {
+                eprintln!(
+                    "pulse-smoke: FAIL subscriber saw {} frames / {} points",
+                    pstats.frames, pstats.points
+                );
+                std::process::exit(1);
+            }
+        }
+    }
 }
 
 impl std::fmt::Debug for ReaderEvent {

@@ -6,10 +6,12 @@
 //! format is versioned by [`PROTO_VERSION`] carried in `Hello`/`HelloAck`.
 //!
 //! Client → server: `Hello`, `FlowDef`, `Records`, `AdvanceTo`,
-//! `Subscribe`, `StatsReq`, `SnapshotReq`, `Shutdown`.
+//! `Subscribe`, `StatsReq`, `SnapshotReq`, `Shutdown`, `PulseReq`,
+//! `PulseSub`.
 //! Server → client: `HelloAck`, `Stats`, `IngestAck`, `Snapshot`, `Bye`,
-//! `Warning`, `Error`. Subscribers additionally receive a `Warning` frame
-//! per live warning, in raise order.
+//! `Warning`, `Pulse`, `Error`. Subscribers additionally receive a
+//! `Warning` frame per live warning, in raise order; pulse subscribers a
+//! `Pulse` frame per batch that completed monitoring windows.
 
 use db_util::wire::{ByteReader, ByteWriter, WireError};
 use std::io::{self, Read, Write};
@@ -29,12 +31,15 @@ const OP_SUBSCRIBE: u8 = 0x05;
 const OP_STATS_REQ: u8 = 0x06;
 const OP_SNAPSHOT_REQ: u8 = 0x07;
 const OP_SHUTDOWN: u8 = 0x08;
+const OP_PULSE_REQ: u8 = 0x09;
+const OP_PULSE_SUB: u8 = 0x0A;
 const OP_HELLO_ACK: u8 = 0x81;
 const OP_STATS: u8 = 0x83;
 const OP_INGEST_ACK: u8 = 0x84;
 const OP_SNAPSHOT: u8 = 0x87;
 const OP_BYE: u8 = 0x88;
 const OP_WARNING: u8 = 0x90;
+const OP_PULSE: u8 = 0x91;
 const OP_ERROR: u8 = 0xEE;
 
 /// One observed packet-at-switch event, the streaming analogue of the
@@ -83,6 +88,46 @@ pub struct WarningMsg {
     pub w1: f64,
     /// The raising drifted header, verbatim (empty for centralized).
     pub header: Vec<u8>,
+}
+
+/// One flushed health-series sample inside a [`PulseMsg`]. `kind` is the
+/// [`SeriesKind`](db_telemetry::scope::SeriesKind) wire code — kept as a
+/// raw byte at the wire layer so unknown future kinds pass through intact.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PulsePoint {
+    /// Series kind wire code (see `SeriesKind::code`).
+    pub kind: u8,
+    /// Link or switch ID (0 for the global queue-depth series).
+    pub id: u16,
+    /// Monitoring window index (`at_ns / interval_ns`).
+    pub window: u64,
+    /// Folded per-window value.
+    pub value: f64,
+}
+
+/// One pulse of daemon health: the scope-series windows completed since
+/// the subscriber's cursor, plus ingest latency percentiles and counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PulseMsg {
+    /// Engine clock, nanoseconds.
+    pub now_ns: u64,
+    /// Cursor for the next poll: one past the highest window in `points`
+    /// (unchanged from the request when no new window completed).
+    pub next_window: u64,
+    /// Ingest batch latency p50, microseconds (0 until samples exist).
+    pub p50_us: f64,
+    /// Ingest batch latency p90, microseconds.
+    pub p90_us: f64,
+    /// Ingest batch latency p99, microseconds.
+    pub p99_us: f64,
+    /// Flow records ingested so far.
+    pub ingested: u64,
+    /// Warnings raised so far.
+    pub warnings: u64,
+    /// Drifting headers currently parked at the engine.
+    pub carriers: u64,
+    /// Newly flushed series samples, in series order then window order.
+    pub points: Vec<PulsePoint>,
 }
 
 /// A decoded protocol frame.
@@ -134,6 +179,19 @@ pub enum Frame {
     /// Stop the daemon: persists the snapshot (if configured), answers
     /// `Bye`, and stops accepting connections.
     Shutdown,
+    /// One-shot poll: ask for a single `Pulse` frame with every flushed
+    /// window `>= from_window`.
+    PulseReq {
+        /// Inclusive window cursor (0 for everything retained).
+        from_window: u64,
+    },
+    /// Subscribe to `Pulse` frames on this connection: an immediate one
+    /// from `from_window`, then one per ingest/advance batch that
+    /// completed at least one monitoring window.
+    PulseSub {
+        /// Inclusive window cursor for the initial pulse.
+        from_window: u64,
+    },
     /// `Hello` accepted; engine facts the client needs.
     HelloAck {
         /// Server's [`PROTO_VERSION`].
@@ -149,7 +207,11 @@ pub enum Frame {
         /// Whether state was restored from a persisted snapshot.
         restored: bool,
     },
-    /// Engine counters at a point in time.
+    /// Engine counters at a point in time. The first five fields are the
+    /// v1 base encoding; the rest ride in a forward-compatible trailing
+    /// extension block (a counted list of `u64`s — decoders read the
+    /// fields they know and skip the rest, and a base-only frame from an
+    /// older server decodes with the extension fields zeroed).
     Stats {
         /// Engine clock, nanoseconds.
         now_ns: u64,
@@ -159,8 +221,16 @@ pub enum Frame {
         ingested: u64,
         /// Warnings raised so far.
         warnings: u64,
-        /// Drifting headers currently parked at the engine.
+        /// Drifting headers currently parked at the engine (exact count).
         carriers: u64,
+        /// Monitoring windows flushed to the health series so far.
+        windows: u64,
+        /// Worst pulse-subscriber lag, in windows behind the flush
+        /// watermark.
+        pulse_lag: u64,
+        /// Slow-tick watchdog: batches whose wall-clock handling exceeded
+        /// the engine's monitoring interval.
+        slow_ticks: u64,
     },
     /// A `Records`/`AdvanceTo` batch was applied; any warnings it raised.
     IngestAck {
@@ -175,6 +245,9 @@ pub enum Frame {
     Bye,
     /// One live warning (subscribers only).
     Warning(WarningMsg),
+    /// One health pulse (answers `PulseReq`; streamed to `PulseSub`
+    /// connections).
+    Pulse(PulseMsg),
     /// The previous frame was rejected; the connection stays usable.
     Error(String),
 }
@@ -258,6 +331,56 @@ fn decode_warning(r: &mut ByteReader) -> Result<WarningMsg, WireError> {
     })
 }
 
+fn encode_pulse(w: &mut ByteWriter, m: &PulseMsg) {
+    w.u64(m.now_ns);
+    w.u64(m.next_window);
+    w.f64(m.p50_us);
+    w.f64(m.p90_us);
+    w.f64(m.p99_us);
+    w.u64(m.ingested);
+    w.u64(m.warnings);
+    w.u64(m.carriers);
+    w.seq(m.points.len());
+    for p in &m.points {
+        w.u8(p.kind);
+        w.u16w(p.id);
+        w.u64(p.window);
+        w.f64(p.value);
+    }
+}
+
+fn decode_pulse(r: &mut ByteReader) -> Result<PulseMsg, WireError> {
+    let now_ns = r.u64()?;
+    let next_window = r.u64()?;
+    let p50_us = r.f64()?;
+    let p90_us = r.f64()?;
+    let p99_us = r.f64()?;
+    let ingested = r.u64()?;
+    let warnings = r.u64()?;
+    let carriers = r.u64()?;
+    let n = r.seq()?;
+    let mut points = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        points.push(PulsePoint {
+            kind: r.u8()?,
+            id: r.u16w()?,
+            window: r.u64()?,
+            value: r.f64()?,
+        });
+    }
+    Ok(PulseMsg {
+        now_ns,
+        next_window,
+        p50_us,
+        p90_us,
+        p99_us,
+        ingested,
+        warnings,
+        carriers,
+        points,
+    })
+}
+
 /// Serialize a frame to its payload bytes (opcode first, no length prefix).
 pub fn encode_frame(f: &Frame) -> Vec<u8> {
     let mut w = ByteWriter::new();
@@ -309,6 +432,14 @@ pub fn encode_frame(f: &Frame) -> Vec<u8> {
         Frame::StatsReq => w.u8(OP_STATS_REQ),
         Frame::SnapshotReq => w.u8(OP_SNAPSHOT_REQ),
         Frame::Shutdown => w.u8(OP_SHUTDOWN),
+        Frame::PulseReq { from_window } => {
+            w.u8(OP_PULSE_REQ);
+            w.u64(*from_window);
+        }
+        Frame::PulseSub { from_window } => {
+            w.u8(OP_PULSE_SUB);
+            w.u64(*from_window);
+        }
         Frame::HelloAck {
             proto,
             fingerprint,
@@ -331,6 +462,9 @@ pub fn encode_frame(f: &Frame) -> Vec<u8> {
             ingested,
             warnings,
             carriers,
+            windows,
+            pulse_lag,
+            slow_ticks,
         } => {
             w.u8(OP_STATS);
             w.u64(*now_ns);
@@ -338,6 +472,12 @@ pub fn encode_frame(f: &Frame) -> Vec<u8> {
             w.u64(*ingested);
             w.u64(*warnings);
             w.u64(*carriers);
+            // Trailing extension block: counted u64s, skippable by old
+            // decoders of future revisions (new fields append here).
+            w.seq(3);
+            w.u64(*windows);
+            w.u64(*pulse_lag);
+            w.u64(*slow_ticks);
         }
         Frame::IngestAck { count, warnings } => {
             w.u8(OP_INGEST_ACK);
@@ -358,6 +498,10 @@ pub fn encode_frame(f: &Frame) -> Vec<u8> {
         Frame::Warning(m) => {
             w.u8(OP_WARNING);
             encode_warning(&mut w, m);
+        }
+        Frame::Pulse(m) => {
+            w.u8(OP_PULSE);
+            encode_pulse(&mut w, m);
         }
         Frame::Error(msg) => {
             w.u8(OP_ERROR);
@@ -412,6 +556,12 @@ pub fn decode_frame(bytes: &[u8]) -> Result<Frame, WireError> {
         OP_STATS_REQ => Frame::StatsReq,
         OP_SNAPSHOT_REQ => Frame::SnapshotReq,
         OP_SHUTDOWN => Frame::Shutdown,
+        OP_PULSE_REQ => Frame::PulseReq {
+            from_window: r.u64()?,
+        },
+        OP_PULSE_SUB => Frame::PulseSub {
+            from_window: r.u64()?,
+        },
         OP_HELLO_ACK => Frame::HelloAck {
             proto: r.u8()?,
             fingerprint: r.u64()?,
@@ -420,13 +570,38 @@ pub fn decode_frame(bytes: &[u8]) -> Result<Frame, WireError> {
             links: r.u32()?,
             restored: r.u8()? != 0,
         },
-        OP_STATS => Frame::Stats {
-            now_ns: r.u64()?,
-            ticks: r.u64()?,
-            ingested: r.u64()?,
-            warnings: r.u64()?,
-            carriers: r.u64()?,
-        },
+        OP_STATS => {
+            let now_ns = r.u64()?;
+            let ticks = r.u64()?;
+            let ingested = r.u64()?;
+            let warnings = r.u64()?;
+            let carriers = r.u64()?;
+            // Extension block: absent in base (v1) frames, and future
+            // revisions may append fields we skip.
+            let (mut windows, mut pulse_lag, mut slow_ticks) = (0, 0, 0);
+            if r.remaining() > 0 {
+                let n = r.seq()?;
+                for i in 0..n {
+                    let v = r.u64()?;
+                    match i {
+                        0 => windows = v,
+                        1 => pulse_lag = v,
+                        2 => slow_ticks = v,
+                        _ => {}
+                    }
+                }
+            }
+            Frame::Stats {
+                now_ns,
+                ticks,
+                ingested,
+                warnings,
+                carriers,
+                windows,
+                pulse_lag,
+                slow_ticks,
+            }
+        }
         OP_INGEST_ACK => {
             let count = r.u32()?;
             let n = r.seq()?;
@@ -442,6 +617,7 @@ pub fn decode_frame(bytes: &[u8]) -> Result<Frame, WireError> {
         }
         OP_BYE => Frame::Bye,
         OP_WARNING => Frame::Warning(decode_warning(&mut r)?),
+        OP_PULSE => Frame::Pulse(decode_pulse(&mut r)?),
         OP_ERROR => Frame::Error(r.str()?),
         // Unknown opcode, reported at its offset (0) with its value.
         other => {
@@ -557,12 +733,17 @@ mod tests {
                 links: 61,
                 restored: true,
             },
+            Frame::PulseReq { from_window: 12 },
+            Frame::PulseSub { from_window: 0 },
             Frame::Stats {
                 now_ns: 88,
                 ticks: 3,
                 ingested: 1_000_000,
                 warnings: 17,
                 carriers: 250,
+                windows: 40,
+                pulse_lag: 2,
+                slow_ticks: 1,
             },
             Frame::IngestAck {
                 count: 4096,
@@ -571,11 +752,121 @@ mod tests {
             Frame::Snapshot(vec![1, 2, 3, 255, 0]),
             Frame::Bye,
             Frame::Warning(sample_warning()),
+            Frame::Pulse(PulseMsg {
+                now_ns: 96_000_000,
+                next_window: 25,
+                p50_us: 42.5,
+                p90_us: 260.0,
+                p99_us: 905.75,
+                ingested: 3_000_000,
+                warnings: 9,
+                carriers: 17,
+                points: vec![
+                    PulsePoint {
+                        kind: 0,
+                        id: 12,
+                        window: 24,
+                        value: 28.5,
+                    },
+                    PulsePoint {
+                        kind: 7,
+                        id: 0,
+                        window: 24,
+                        value: 131.0,
+                    },
+                ],
+            }),
+            Frame::Pulse(PulseMsg {
+                now_ns: 0,
+                next_window: 0,
+                p50_us: 0.0,
+                p90_us: 0.0,
+                p99_us: 0.0,
+                ingested: 0,
+                warnings: 0,
+                carriers: 0,
+                points: Vec::new(),
+            }),
             Frame::Error("bad density".into()),
         ];
         for f in frames {
             let bytes = encode_frame(&f);
             assert_eq!(decode_frame(&bytes).unwrap(), f, "round trip of {f:?}");
+        }
+    }
+
+    #[test]
+    fn stats_decodes_base_frames_and_skips_unknown_extension_fields() {
+        // A v1 base frame (five u64s, no extension block) decodes with the
+        // extension fields zeroed — old servers stay readable.
+        let mut w = db_util::wire::ByteWriter::new();
+        w.u8(0x83);
+        for v in [7u64, 3, 500, 2, 11] {
+            w.u64(v);
+        }
+        let f = decode_frame(&w.into_bytes()).unwrap();
+        assert_eq!(
+            f,
+            Frame::Stats {
+                now_ns: 7,
+                ticks: 3,
+                ingested: 500,
+                warnings: 2,
+                carriers: 11,
+                windows: 0,
+                pulse_lag: 0,
+                slow_ticks: 0,
+            }
+        );
+        // A future frame with extra extension fields decodes too, the
+        // unknown tail skipped.
+        let mut w = db_util::wire::ByteWriter::new();
+        w.u8(0x83);
+        for v in [7u64, 3, 500, 2, 11] {
+            w.u64(v);
+        }
+        w.seq(5);
+        for v in [40u64, 1, 0, 999, 1234] {
+            w.u64(v);
+        }
+        let f = decode_frame(&w.into_bytes()).unwrap();
+        assert_eq!(
+            f,
+            Frame::Stats {
+                now_ns: 7,
+                ticks: 3,
+                ingested: 500,
+                warnings: 2,
+                carriers: 11,
+                windows: 40,
+                pulse_lag: 1,
+                slow_ticks: 0,
+            }
+        );
+    }
+
+    #[test]
+    fn pulse_round_trips_and_rejects_truncation_at_every_length() {
+        let pulse = Frame::Pulse(PulseMsg {
+            now_ns: 5,
+            next_window: 3,
+            p50_us: 1.5,
+            p90_us: 2.5,
+            p99_us: 9.0,
+            ingested: 100,
+            warnings: 1,
+            carriers: 0,
+            points: vec![PulsePoint {
+                kind: 2,
+                id: 4,
+                window: 2,
+                value: 1.0,
+            }],
+        });
+        let bytes = encode_frame(&pulse);
+        assert_eq!(decode_frame(&bytes).unwrap(), pulse);
+        for n in 0..bytes.len() {
+            assert!(decode_frame(&bytes[..n]).is_err(), "prefix of {n} bytes");
         }
     }
 

@@ -15,7 +15,7 @@ pub mod frame;
 pub mod server;
 
 pub use frame::{
-    decode_frame, encode_frame, read_frame, write_frame, Frame, Record, WarningMsg,
-    MAX_FRAME_BYTES, PROTO_VERSION,
+    decode_frame, encode_frame, read_frame, write_frame, Frame, PulseMsg, PulsePoint, Record,
+    WarningMsg, MAX_FRAME_BYTES, PROTO_VERSION,
 };
 pub use server::{parse_topo, serve_stdio, ServeOptions, Server, DEFAULT_ADDR};

@@ -16,12 +16,16 @@
 //! engines behind mutexes, no async runtime.
 
 use crate::frame::{
-    read_frame, write_frame, Frame, Record, WarningMsg, MAX_FRAME_BYTES, PROTO_VERSION,
+    read_frame, write_frame, Frame, PulseMsg, PulsePoint, Record, WarningMsg, MAX_FRAME_BYTES,
+    PROTO_VERSION,
 };
 use db_core::{prepare, Engine, FlowRecord, PrepareConfig, SystemConfig, VariantSpec, Warning};
 use db_core::{DriftBottleSystem, RestoreError};
 use db_dtree::TableClassifier;
 use db_netsim::{FlowId, FlowSpec, HopInfo, PpbpParams, SimTime, TrafficConfig, TrafficGen};
+use db_telemetry::export::to_prometheus;
+use db_telemetry::scope::{ScopeMeta, ScopePoint, ScopeRecorder};
+use db_telemetry::{Counter, Histogram, MetricsRegistry};
 use db_topology::{zoo, LinkId, NodeId, Path, Topology};
 use std::collections::HashMap;
 use std::io::{self, BufReader, BufWriter, Read, Write};
@@ -30,6 +34,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread;
+use std::time::{Duration, Instant};
 
 /// Default listen address when neither `--addr` nor `DB_SERVE_ADDR` is set.
 pub const DEFAULT_ADDR: &str = "127.0.0.1:7117";
@@ -46,20 +51,29 @@ pub struct ServeOptions {
     /// whose `Hello` leaves `window_cap` at 0 (`DB_SERVE_WINDOW_CAP`;
     /// 0 = unbounded).
     pub window_cap: u32,
+    /// Bind a std-only HTTP scrape endpoint serving the daemon's metrics
+    /// in Prometheus text format (`DB_SERVE_PROM_ADDR` / `--prom-addr`;
+    /// `None` = no endpoint).
+    pub prom_addr: Option<String>,
 }
 
 impl ServeOptions {
-    /// Defaults with `DB_SERVE_ADDR` / `DB_SERVE_WINDOW_CAP` applied.
+    /// Defaults with `DB_SERVE_ADDR` / `DB_SERVE_WINDOW_CAP` /
+    /// `DB_SERVE_PROM_ADDR` applied.
     pub fn from_env() -> Self {
         let addr = std::env::var("DB_SERVE_ADDR").unwrap_or_else(|_| DEFAULT_ADDR.to_string());
         let window_cap = std::env::var("DB_SERVE_WINDOW_CAP")
             .ok()
             .and_then(|v| v.parse().ok())
             .unwrap_or(0);
+        let prom_addr = std::env::var("DB_SERVE_PROM_ADDR")
+            .ok()
+            .filter(|v| !v.is_empty());
         ServeOptions {
             addr,
             snapshot: None,
             window_cap,
+            prom_addr,
         }
     }
 }
@@ -93,6 +107,12 @@ pub fn parse_topo(spec: &str) -> Option<Topology> {
     }
 }
 
+/// One Pulse subscriber: its stream and the next window it expects.
+struct PulseSub {
+    stream: TcpStream,
+    cursor: u64,
+}
+
 /// One engine and its bookkeeping, shared by every session on its topology.
 struct EngineState {
     engine: Engine<TableClassifier>,
@@ -102,9 +122,29 @@ struct EngineState {
     restored: bool,
     ingested: u64,
     warned: u64,
+    /// Slow-tick watchdog: batches whose wall-clock handling exceeded one
+    /// monitoring interval.
+    slow_ticks: u64,
     /// Live-warning subscribers (TCP sessions only).
     subscribers: Vec<TcpStream>,
+    /// Pulse subscribers, each with its own window cursor.
+    pulse_subs: Vec<PulseSub>,
+    /// The engine's health-series recorder (always attached by `build`).
+    scope: Arc<ScopeRecorder>,
+    /// Scratch buffer for pulse extraction, reused across batches.
+    point_buf: Vec<ScopePoint>,
+    /// Daemon metrics: registry plus pre-registered hot handles.
+    reg: Arc<MetricsRegistry>,
+    ingested_ctr: Counter,
+    warned_ctr: Counter,
+    slow_ctr: Counter,
+    batch_hist: Histogram,
 }
+
+/// Ingest-batch latency bucket bounds, microseconds.
+const BATCH_LATENCY_BOUNDS_US: &[u64] = &[
+    50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000,
+];
 
 impl EngineState {
     fn hello_ack(&self) -> Frame {
@@ -118,13 +158,100 @@ impl EngineState {
         }
     }
 
+    /// Monitoring windows flushed to the health series so far (the flush
+    /// watermark is the highest *complete* window index).
+    fn windows_flushed(&self) -> u64 {
+        self.scope
+            .flushed_watermark()
+            .map_or(0, |w| w.saturating_add(1))
+    }
+
     fn stats(&self) -> Frame {
+        let windows = self.windows_flushed();
+        let pulse_lag = self
+            .pulse_subs
+            .iter()
+            .map(|s| windows.saturating_sub(s.cursor))
+            .max()
+            .unwrap_or(0);
         Frame::Stats {
             now_ns: self.engine.now().as_ns(),
             ticks: u64::from(self.engine.ticks_fired()),
             ingested: self.ingested,
             warnings: self.warned,
-            carriers: u64::try_from(self.engine.carriers_in_flight()).unwrap_or(u64::MAX),
+            // usize → u64 never truncates on supported targets; this is
+            // the exact count (the old code saturated to u64::MAX).
+            carriers: u64::try_from(self.engine.carriers_in_flight()).expect("usize fits u64"),
+            windows,
+            pulse_lag,
+            slow_ticks: self.slow_ticks,
+        }
+    }
+
+    /// Build one pulse from window `from`: newly flushed series points plus
+    /// ingest latency percentiles and the headline counters.
+    fn pulse_msg(&mut self, from: u64) -> PulseMsg {
+        self.point_buf.clear();
+        let next_window = self.scope.points_from(from, &mut self.point_buf);
+        let points = self
+            .point_buf
+            .iter()
+            .map(|p| PulsePoint {
+                kind: p.kind.code(),
+                id: p.id,
+                window: p.window,
+                value: p.value,
+            })
+            .collect();
+        let lat = self.batch_hist.snapshot();
+        PulseMsg {
+            now_ns: self.engine.now().as_ns(),
+            next_window,
+            p50_us: lat.percentile(0.50),
+            p90_us: lat.percentile(0.90),
+            p99_us: lat.percentile(0.99),
+            ingested: self.ingested,
+            warnings: self.warned,
+            carriers: u64::try_from(self.engine.carriers_in_flight()).expect("usize fits u64"),
+            points,
+        }
+    }
+
+    /// Push a pulse to every subscriber whose cursor is behind the flush
+    /// watermark; dead subscribers are dropped. Called after each batch.
+    fn pulse_publish(&mut self) {
+        if self.pulse_subs.is_empty() {
+            return;
+        }
+        let windows = self.windows_flushed();
+        let mut subs = std::mem::take(&mut self.pulse_subs);
+        subs.retain_mut(|sub| {
+            if sub.cursor >= windows {
+                return true; // nothing new for this subscriber
+            }
+            let msg = self.pulse_msg(sub.cursor);
+            let next = msg.next_window;
+            if write_frame(&mut sub.stream, &Frame::Pulse(msg)).is_err()
+                || sub.stream.flush().is_err()
+            {
+                return false;
+            }
+            sub.cursor = next;
+            true
+        });
+        self.pulse_subs = subs;
+    }
+
+    /// Record one batch's wall-clock handling time: latency histogram plus
+    /// the slow-tick watchdog (a batch slower than the monitoring interval
+    /// means the daemon cannot keep up with real time).
+    fn observe_batch(&mut self, elapsed: Duration) {
+        let us = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
+        self.batch_hist.record(us);
+        let ns = u128::from(self.interval_ns);
+        if self.interval_ns > 0 && elapsed.as_nanos() > ns {
+            self.slow_ticks += 1;
+            self.slow_ctr.inc();
         }
     }
 
@@ -134,6 +261,10 @@ impl EngineState {
         let msgs: Vec<WarningMsg> = raised.iter().map(warning_msg).collect();
         self.warned += msgs.len() as u64;
         if !msgs.is_empty() {
+            self.warned_ctr.add(msgs.len() as u64);
+            for m in &msgs {
+                self.reg.counter(&format!("serve.warned.l{}", m.link)).inc();
+            }
             self.subscribers.retain_mut(|sub| {
                 for m in &msgs {
                     if write_frame(sub, &Frame::Warning(m.clone())).is_err() {
@@ -185,6 +316,8 @@ struct Shared {
     snapshot: Option<PathBuf>,
     default_window_cap: u32,
     stopping: AtomicBool,
+    /// Daemon-wide metrics, served by the Prometheus endpoint.
+    reg: Arc<MetricsRegistry>,
 }
 
 impl Shared {
@@ -194,6 +327,7 @@ impl Shared {
             snapshot: opts.snapshot.clone(),
             default_window_cap: opts.window_cap,
             stopping: AtomicBool::new(false),
+            reg: Arc::new(MetricsRegistry::new()),
         }
     }
 
@@ -259,6 +393,34 @@ impl Shared {
         );
         let mut engine = Engine::new(system);
         engine.set_live_warnings();
+        // Always-on health plane: the same scope recorder batch replay
+        // attaches (`run_scenario`), threaded through the engine so
+        // streaming sessions produce identical per-window series. Its
+        // per-packet cost is one lock round-trip and two slot folds
+        // (`ScopeRecorder::merge`); the flight ring costs more — a record
+        // per merge — so it stays opt-in (`DB_SERVE_FLIGHT=1`) for when a
+        // post-mortem `explain` is worth the ingest cost.
+        let nodes = u32::try_from(prep.topo.node_count()).unwrap_or(u32::MAX);
+        let links = u32::try_from(prep.topo.link_count()).unwrap_or(u32::MAX);
+        let sys_cfg = SystemConfig::default();
+        let scope = Arc::new(ScopeRecorder::default());
+        scope.set_meta(ScopeMeta {
+            interval_ns: prep.wcfg.interval.as_ns(),
+            t_fail_ns: 0,
+            total_links: links,
+            total_switches: nodes,
+            alpha: sys_cfg.warning.alpha,
+            beta: sys_cfg.warning.beta,
+            hop_min: sys_cfg.warning.hop_min,
+        });
+        engine.set_scope(scope.clone());
+        if std::env::var("DB_SERVE_FLIGHT").is_ok_and(|v| v == "1") {
+            engine.set_flight(
+                Arc::new(db_telemetry::flight::FlightRecorder::with_default_capacity()),
+                &[],
+                prep.topo.link_count(),
+            );
+        }
         let cap = if window_cap > 0 {
             window_cap
         } else {
@@ -288,13 +450,24 @@ impl Shared {
         }
         Ok(EngineState {
             engine,
-            nodes: u32::try_from(prep.topo.node_count()).unwrap_or(u32::MAX),
-            links: u32::try_from(prep.topo.link_count()).unwrap_or(u32::MAX),
+            nodes,
+            links,
             interval_ns: prep.wcfg.interval.as_ns(),
             restored,
             ingested: 0,
             warned: 0,
+            slow_ticks: 0,
             subscribers: Vec::new(),
+            pulse_subs: Vec::new(),
+            scope,
+            point_buf: Vec::new(),
+            reg: self.reg.clone(),
+            ingested_ctr: self.reg.counter("serve.ingested"),
+            warned_ctr: self.reg.counter("serve.warnings"),
+            slow_ctr: self.reg.counter("serve.slow_ticks"),
+            batch_hist: self
+                .reg
+                .histogram("serve.ingest_batch_us", BATCH_LATENCY_BOUNDS_US),
         })
     }
 
@@ -375,10 +548,19 @@ fn session<R: Read, W: Write>(
         };
         let mut state = entry.lock().expect("engine lock");
         let reply = match frame {
-            Frame::Records(records) => ingest(&mut state, &records),
+            Frame::Records(records) => {
+                let t0 = Instant::now();
+                let reply = ingest(&mut state, &records);
+                state.observe_batch(t0.elapsed());
+                state.pulse_publish();
+                reply
+            }
             Frame::AdvanceTo { t_ns } => {
+                let t0 = Instant::now();
                 let raised = state.engine.advance_to(SimTime::from_ns(t_ns));
                 let warnings = state.publish(&raised);
+                state.observe_batch(t0.elapsed());
+                state.pulse_publish();
                 Frame::IngestAck { count: 0, warnings }
             }
             Frame::FlowDef {
@@ -393,6 +575,20 @@ fn session<R: Read, W: Write>(
                     state.stats()
                 }
                 None => Frame::Error("subscribe needs a socket session".into()),
+            },
+            Frame::PulseReq { from_window } => Frame::Pulse(state.pulse_msg(from_window)),
+            Frame::PulseSub { from_window } => match tcp.and_then(|s| s.try_clone().ok()) {
+                Some(clone) => {
+                    // The reply itself is the subscription's first pulse;
+                    // the stored cursor continues where it left off.
+                    let msg = state.pulse_msg(from_window);
+                    state.pulse_subs.push(PulseSub {
+                        stream: clone,
+                        cursor: msg.next_window,
+                    });
+                    Frame::Pulse(msg)
+                }
+                None => Frame::Error("pulse subscription needs a socket session".into()),
             },
             Frame::StatsReq => state.stats(),
             Frame::SnapshotReq => {
@@ -422,6 +618,9 @@ fn ingest(state: &mut EngineState, records: &[Record]) -> Frame {
         raised.extend(state.engine.ingest(&flow_record(r)));
         state.ingested += 1;
     }
+    state
+        .ingested_ctr
+        .add(u64::try_from(records.len()).unwrap_or(u64::MAX));
     let warnings = state.publish(&raised);
     Frame::IngestAck {
         count: u32::try_from(records.len()).unwrap_or(u32::MAX),
@@ -466,18 +665,69 @@ fn register_flow(
     state.stats()
 }
 
+/// Answer one Prometheus scrape: drain the request head, reply `200` with
+/// the registry in text exposition format. Std-only — no HTTP library.
+fn answer_scrape(stream: &mut TcpStream, reg: &MetricsRegistry) -> io::Result<()> {
+    let mut buf = [0u8; 1024];
+    let mut head = Vec::new();
+    loop {
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            break;
+        }
+        head.extend_from_slice(&buf[..n]);
+        let blank =
+            head.windows(4).any(|w| w == b"\r\n\r\n") || head.windows(2).any(|w| w == b"\n\n");
+        if blank || head.len() > 64 * 1024 {
+            break;
+        }
+    }
+    let body = to_prometheus(&reg.snapshot());
+    let header = format!(
+        "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(header.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Accept scrapes until the daemon stops (one short-lived thread each).
+fn prom_loop(listener: TcpListener, shared: Arc<Shared>) {
+    for conn in listener.incoming() {
+        if shared.stopping.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(mut stream) = conn else { continue };
+        let shared = shared.clone();
+        thread::spawn(move || {
+            if let Err(e) = answer_scrape(&mut stream, &shared.reg) {
+                eprintln!("serve: scrape failed: {e}");
+            }
+        });
+    }
+}
+
 /// A bound daemon, ready to accept sessions.
 pub struct Server {
     listener: TcpListener,
+    prom: Option<TcpListener>,
     shared: Arc<Shared>,
 }
 
 impl Server {
-    /// Bind `opts.addr` (use port 0 for an ephemeral port).
+    /// Bind `opts.addr` (use port 0 for an ephemeral port) and, when
+    /// configured, the Prometheus scrape endpoint.
     pub fn bind(opts: &ServeOptions) -> io::Result<Server> {
         let listener = TcpListener::bind(&opts.addr)?;
+        let prom = match &opts.prom_addr {
+            Some(addr) => Some(TcpListener::bind(addr)?),
+            None => None,
+        };
         Ok(Server {
             listener,
+            prom,
             shared: Arc::new(Shared::new(opts)),
         })
     }
@@ -487,9 +737,18 @@ impl Server {
         self.listener.local_addr()
     }
 
+    /// The Prometheus endpoint's bound address, when configured.
+    pub fn prom_addr(&self) -> Option<SocketAddr> {
+        self.prom.as_ref().and_then(|l| l.local_addr().ok())
+    }
+
     /// Accept sessions (one thread each) until a client sends `Shutdown`.
     pub fn run(self) -> io::Result<()> {
         let addr = self.local_addr()?;
+        if let Some(prom) = self.prom {
+            let shared = self.shared.clone();
+            thread::spawn(move || prom_loop(prom, shared));
+        }
         for conn in self.listener.incoming() {
             if self.shared.stopping.load(Ordering::SeqCst) {
                 break;
@@ -563,23 +822,18 @@ mod tests {
         assert!(parse_topo("line:x").is_none());
     }
 
-    /// End-to-end over an in-memory stdio-style session: hello on a small
-    /// grid, replay a recorded center-link-failure trace, expect the failed
-    /// link warned and snapshot/stats frames to behave.
-    #[test]
-    fn stdio_session_localizes_a_grid_failure() {
+    /// Record the grid:3x3 center-link-failure trace the session tests
+    /// replay: wire records, the end-of-run time, and the injected link.
+    fn record_grid_trace() -> (Vec<Record>, u64, LinkId) {
         use db_core::classifier::timeline;
         use db_flowmon::WindowConfig;
         use db_netsim::{FailureScenario, SimConfig, Simulator, TraceRecorder};
         use db_topology::RouteTable;
 
-        std::env::set_var("DB_SMOKE", "1"); // keep engine-build training small
-        let density = 1.0;
-        let seed = 42u64;
         let topo = zoo::grid(3, 3);
         let routes = RouteTable::build(&topo);
-        let traffic = TrafficConfig::with_density(density);
-        let flows = TrafficGen::generate_auto(&topo, &routes, &traffic, seed);
+        let traffic = TrafficConfig::with_density(1.0);
+        let flows = TrafficGen::generate_auto(&topo, &routes, &traffic, 42);
         let wcfg = WindowConfig::for_network(&routes, SimTime::from_ms(4));
         let (t_fail, _, end) = timeline(&wcfg, traffic.start_spread);
         let link = topo
@@ -591,48 +845,64 @@ mod tests {
             tick_interval: wcfg.interval,
             ..Default::default()
         };
-        let mut sim = Simulator::new(&topo, flows, cfg, &scenario, seed, TraceRecorder::new());
+        let mut sim = Simulator::new(&topo, flows, cfg, &scenario, 42, TraceRecorder::new());
         sim.run();
         let (trace, _) = sim.finish();
+        let records = trace
+            .observations
+            .iter()
+            .map(|o| Record {
+                at_ns: o.at.as_ns(),
+                flow: o.info.flow.0,
+                src: o.info.src.0,
+                dst: o.info.dst.0,
+                seq: o.info.seq,
+                size: o.info.size,
+                node: o.info.node.0,
+                hop_index: o.info.hop_index,
+                is_ingress: o.info.is_ingress,
+                is_last_switch: o.info.is_last_switch,
+            })
+            .collect();
+        (records, end.as_ns(), link)
+    }
+
+    /// The `Hello` every grid session test opens with.
+    fn grid_hello() -> Frame {
+        Frame::Hello {
+            proto: PROTO_VERSION,
+            topo: "grid:3x3".into(),
+            density: 1.0,
+            seed: 42,
+            window_cap: 0,
+        }
+    }
+
+    /// End-to-end over an in-memory stdio-style session: hello on a small
+    /// grid, replay a recorded center-link-failure trace, expect the failed
+    /// link warned, snapshot/stats frames to behave, and a one-shot
+    /// `PulseReq` to carry the flushed health series.
+    #[test]
+    fn stdio_session_localizes_a_grid_failure() {
+        std::env::set_var("DB_SMOKE", "1"); // keep engine-build training small
+        let (records, end_ns, link) = record_grid_trace();
+        let total = records.len();
 
         let mut request = Vec::new();
-        write_frame(
-            &mut request,
-            &Frame::Hello {
-                proto: PROTO_VERSION,
-                topo: "grid:3x3".into(),
-                density,
-                seed,
-                window_cap: 0,
-            },
-        )
-        .unwrap();
-        for chunk in trace.observations.chunks(512) {
-            let records: Vec<Record> = chunk
-                .iter()
-                .map(|o| Record {
-                    at_ns: o.at.as_ns(),
-                    flow: o.info.flow.0,
-                    src: o.info.src.0,
-                    dst: o.info.dst.0,
-                    seq: o.info.seq,
-                    size: o.info.size,
-                    node: o.info.node.0,
-                    hop_index: o.info.hop_index,
-                    is_ingress: o.info.is_ingress,
-                    is_last_switch: o.info.is_last_switch,
-                })
-                .collect();
-            write_frame(&mut request, &Frame::Records(records)).unwrap();
+        write_frame(&mut request, &grid_hello()).unwrap();
+        for chunk in records.chunks(512) {
+            write_frame(&mut request, &Frame::Records(chunk.to_vec())).unwrap();
         }
-        write_frame(&mut request, &Frame::AdvanceTo { t_ns: end.as_ns() }).unwrap();
+        write_frame(&mut request, &Frame::AdvanceTo { t_ns: end_ns }).unwrap();
         write_frame(&mut request, &Frame::StatsReq).unwrap();
+        write_frame(&mut request, &Frame::PulseReq { from_window: 0 }).unwrap();
         write_frame(&mut request, &Frame::SnapshotReq).unwrap();
 
         let opts = ServeOptions {
             addr: DEFAULT_ADDR.into(),
             snapshot: None,
             window_cap: 0,
+            prom_addr: None,
         };
         let shared = Shared::new(&opts);
         let mut input = io::Cursor::new(request);
@@ -641,7 +911,8 @@ mod tests {
 
         let mut cur = io::Cursor::new(out);
         let mut warned = Vec::new();
-        let mut stats_ingested = 0;
+        let mut stats = None;
+        let mut pulse = None;
         let mut snapshot_len = 0;
         let mut acks = 0u32;
         while let Some(f) = read_frame(&mut cur).unwrap() {
@@ -654,18 +925,182 @@ mod tests {
                     acks += 1;
                     warned.extend(warnings.iter().map(|w| w.link));
                 }
-                Frame::Stats { ingested, .. } => stats_ingested = ingested,
+                Frame::Stats {
+                    ingested, windows, ..
+                } => stats = Some((ingested, windows)),
+                Frame::Pulse(p) => pulse = Some(p),
                 Frame::Snapshot(bytes) => snapshot_len = bytes.len(),
                 other => panic!("unexpected frame {other:?}"),
             }
         }
         assert!(acks >= 2, "one ack per records batch plus advance");
-        assert_eq!(stats_ingested, trace.observations.len() as u64);
+        let (ingested, windows) = stats.expect("stats frame");
+        assert_eq!(ingested, total as u64);
+        assert!(windows > 0, "windows flushed to the health series");
         assert!(snapshot_len > 0, "snapshot is non-trivial");
         assert!(
             warned.contains(&link.0),
             "injected link {link:?} warned (got {warned:?})"
         );
+        let pulse = pulse.expect("pulse frame");
+        assert!(!pulse.points.is_empty(), "pulse carries flushed series");
+        assert_eq!(
+            pulse.next_window, windows,
+            "pulse cursor = flush watermark + 1"
+        );
+        assert_eq!(pulse.ingested, total as u64);
+        let link_warn = db_telemetry::scope::SeriesKind::LinkWarnings.code();
+        assert!(
+            pulse
+                .points
+                .iter()
+                .any(|p| p.kind == link_warn && p.id == link.0 && p.value > 0.0),
+            "pulse carries the injected link's warning series"
+        );
+    }
+
+    /// Connect over TCP, hello, subscribe to pulses from window `from`; a
+    /// background thread drains `Pulse` frames until the socket shuts down.
+    fn pulse_client(addr: &str, from: u64) -> (TcpStream, thread::JoinHandle<Vec<PulseMsg>>) {
+        let stream = TcpStream::connect(addr).unwrap();
+        let sock = stream.try_clone().unwrap();
+        let mut out = BufWriter::new(stream.try_clone().unwrap());
+        let mut input = BufReader::new(stream);
+        write_frame(&mut out, &grid_hello()).unwrap();
+        out.flush().unwrap();
+        assert!(matches!(
+            read_frame(&mut input).unwrap(),
+            Some(Frame::HelloAck { .. })
+        ));
+        write_frame(&mut out, &Frame::PulseSub { from_window: from }).unwrap();
+        out.flush().unwrap();
+        let handle = thread::spawn(move || {
+            let mut pulses = Vec::new();
+            while let Ok(Some(f)) = read_frame(&mut input) {
+                if let Frame::Pulse(p) = f {
+                    pulses.push(p);
+                }
+            }
+            pulses
+        });
+        (sock, handle)
+    }
+
+    /// Drive one feeder session over TCP: records in 512-record chunks (one
+    /// ack each), an optional `AdvanceTo`, then `Shutdown` — which persists
+    /// the snapshot and stops the daemon.
+    fn feed_and_shutdown(addr: &str, records: &[Record], advance_to: Option<u64>) {
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut out = BufWriter::new(stream.try_clone().unwrap());
+        let mut input = BufReader::new(stream);
+        write_frame(&mut out, &grid_hello()).unwrap();
+        out.flush().unwrap();
+        assert!(matches!(
+            read_frame(&mut input).unwrap(),
+            Some(Frame::HelloAck { .. })
+        ));
+        for chunk in records.chunks(512) {
+            write_frame(&mut out, &Frame::Records(chunk.to_vec())).unwrap();
+            out.flush().unwrap();
+            match read_frame(&mut input).unwrap() {
+                Some(Frame::IngestAck { .. }) => {}
+                other => panic!("expected IngestAck, got {other:?}"),
+            }
+        }
+        if let Some(t_ns) = advance_to {
+            write_frame(&mut out, &Frame::AdvanceTo { t_ns }).unwrap();
+            out.flush().unwrap();
+            assert!(matches!(
+                read_frame(&mut input).unwrap(),
+                Some(Frame::IngestAck { .. })
+            ));
+        }
+        write_frame(&mut out, &Frame::Shutdown).unwrap();
+        out.flush().unwrap();
+        assert!(matches!(read_frame(&mut input).unwrap(), Some(Frame::Bye)));
+    }
+
+    /// Snapshot/restore across a daemon restart with a pulse subscriber
+    /// attached: the subscriber carries its window cursor to the new
+    /// daemon, per-series window indices keep increasing strictly across
+    /// the restart (no duplicated or re-delivered window), and nothing the
+    /// restored daemon flushes predates the carried-over cursor.
+    #[test]
+    fn pulse_subscriber_survives_daemon_restart_without_duplicate_windows() {
+        std::env::set_var("DB_SMOKE", "1"); // keep engine-build training small
+        let (records, end_ns, _link) = record_grid_trace();
+        let split = records.len() / 2;
+        let snap_path = std::env::temp_dir().join(format!(
+            "db-serve-pulse-restore-{}.snap",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&snap_path);
+        let opts = ServeOptions {
+            addr: "127.0.0.1:0".into(),
+            snapshot: Some(snap_path.clone()),
+            window_cap: 0,
+            prom_addr: None,
+        };
+
+        // First daemon: subscriber from window 0, first half of the trace,
+        // shutdown persists the snapshot.
+        let server = Server::bind(&opts).unwrap();
+        let addr = server.local_addr().unwrap().to_string();
+        thread::spawn(move || server.run().unwrap());
+        let (sub1, pulses1) = pulse_client(&addr, 0);
+        feed_and_shutdown(&addr, &records[..split], None);
+        let _ = sub1.shutdown(std::net::Shutdown::Both);
+        let pulses1 = pulses1.join().unwrap();
+        assert!(!pulses1.is_empty(), "first daemon pulsed");
+        let cursor = pulses1.last().map_or(0, |p| p.next_window);
+        assert!(cursor > 0, "first half flushed windows");
+
+        // Second daemon: restores the engine, subscriber resumes from the
+        // carried-over cursor, second half replays.
+        let server = Server::bind(&opts).unwrap();
+        let addr = server.local_addr().unwrap().to_string();
+        thread::spawn(move || server.run().unwrap());
+        let (sub2, pulses2) = pulse_client(&addr, cursor);
+        feed_and_shutdown(&addr, &records[split..], Some(end_ns));
+        let _ = sub2.shutdown(std::net::Shutdown::Both);
+        let pulses2 = pulses2.join().unwrap();
+        let _ = std::fs::remove_file(&snap_path);
+        assert!(
+            pulses2.iter().any(|p| !p.points.is_empty()),
+            "series continue after restore"
+        );
+
+        // Cursors never move backwards, within either daemon's stream or
+        // across the restart.
+        let mut prev = 0u64;
+        for p in pulses1.iter().chain(pulses2.iter()) {
+            assert!(p.next_window >= prev, "cursor monotone across restart");
+            prev = p.next_window;
+        }
+        // Per-series window indices strictly increase across the restart:
+        // no window is delivered twice, none arrives out of order.
+        let mut seen: HashMap<(u8, u16), u64> = HashMap::new();
+        for p in pulses1.iter().chain(pulses2.iter()) {
+            for pt in &p.points {
+                if let Some(&w) = seen.get(&(pt.kind, pt.id)) {
+                    assert!(
+                        pt.window > w,
+                        "series ({}, {}): window {} delivered after {}",
+                        pt.kind,
+                        pt.id,
+                        pt.window,
+                        w
+                    );
+                }
+                seen.insert((pt.kind, pt.id), pt.window);
+            }
+        }
+        // The restored daemon's series start at or after the cursor.
+        for p in &pulses2 {
+            for pt in &p.points {
+                assert!(pt.window >= cursor, "no re-delivery below the cursor");
+            }
+        }
     }
 
     #[test]
@@ -675,6 +1110,7 @@ mod tests {
             addr: DEFAULT_ADDR.into(),
             snapshot: None,
             window_cap: 0,
+            prom_addr: None,
         };
         let shared = Shared::new(&opts);
         let mut request = Vec::new();

@@ -59,7 +59,7 @@ pub use registry::{
     BoundsMismatch, Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, Snapshot,
     Timing, TimingSnapshot,
 };
-pub use scope::{hot, HotFn, ScopeMeta, ScopeRecorder, SeriesKind, TraceData};
+pub use scope::{hot, HotFn, ScopeMeta, ScopePoint, ScopeRecorder, SeriesKind, TraceData};
 pub use span::Span;
 
 use std::sync::atomic::{AtomicBool, Ordering};

@@ -102,7 +102,9 @@ impl Histogram {
         self.0.sum.load(Ordering::Relaxed)
     }
 
-    fn snapshot(&self) -> HistogramSnapshot {
+    /// Point-in-time copy of the bucket state (for quantile estimation
+    /// without snapshotting the whole registry).
+    pub fn snapshot(&self) -> HistogramSnapshot {
         HistogramSnapshot {
             bounds: self.0.bounds.clone(),
             buckets: self
@@ -341,6 +343,41 @@ impl HistogramSnapshot {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// Estimate the `q`-quantile (`0.0 ..= 1.0`) by linear interpolation
+    /// within the bucket holding the target rank — the same estimator
+    /// Prometheus' `histogram_quantile` uses. Samples landing in the
+    /// implicit +inf bucket clamp to the largest finite bound (there is no
+    /// upper edge to interpolate toward), and an empty histogram reports 0.
+    pub fn percentile(&self, q: f64) -> f64 {
+        if self.count == 0 || self.bounds.is_empty() {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = q * self.count as f64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let upto = seen + n;
+            if (upto as f64) >= rank {
+                let Some(&hi) = self.bounds.get(i) else {
+                    // +inf bucket: clamp to the largest finite bound.
+                    return self.bounds[self.bounds.len() - 1] as f64;
+                };
+                let lo = if i == 0 {
+                    0.0
+                } else {
+                    self.bounds[i - 1] as f64
+                };
+                let frac = (rank - seen as f64) / n as f64;
+                return lo + (hi as f64 - lo) * frac.clamp(0.0, 1.0);
+            }
+            seen = upto;
+        }
+        self.bounds[self.bounds.len() - 1] as f64
+    }
 }
 
 /// Point-in-time copy of a [`Timing`].
@@ -430,6 +467,43 @@ mod tests {
         assert_eq!(snap.count, 5);
         assert_eq!(snap.sum, 5_121);
         assert!((snap.mean() - 1_024.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentile_interpolates_within_buckets() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("x.lat", &[10, 100, 1000]);
+        // 10 samples ≤10, 10 samples in (10, 100].
+        for _ in 0..10 {
+            h.record(5);
+            h.record(50);
+        }
+        let snap = &reg.snapshot().histograms[0].1;
+        // Rank 10 lands exactly on the first bucket's edge.
+        assert_eq!(snap.percentile(0.5), 10.0);
+        // Rank 15 is halfway through the (10, 100] bucket.
+        assert_eq!(snap.percentile(0.75), 55.0);
+        // p100 is the last populated bucket's upper bound.
+        assert_eq!(snap.percentile(1.0), 100.0);
+        // p0 clamps to the bottom of the first populated bucket.
+        assert_eq!(snap.percentile(0.0), 0.0);
+    }
+
+    #[test]
+    fn percentile_clamps_overflow_and_handles_empty() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("x.lat", &[10, 100]);
+        assert_eq!(h.snapshot().percentile(0.5), 0.0, "empty histogram");
+        // All mass in the +inf bucket: no upper edge, clamp to 100.
+        h.record(5_000);
+        h.record(9_000);
+        let snap = h.snapshot();
+        assert_eq!(snap.percentile(0.5), 100.0);
+        assert_eq!(snap.percentile(0.99), 100.0);
+        // Out-of-range q is clamped, not a panic; with every sample in
+        // overflow even q=0 clamps to the last finite bound.
+        assert_eq!(snap.percentile(7.0), 100.0);
+        assert_eq!(snap.percentile(-1.0), 100.0);
     }
 
     #[test]

@@ -228,7 +228,9 @@ impl SeriesKind {
         )
     }
 
-    fn index(self) -> usize {
+    /// Stable single-byte code (= storage order), used by the serve wire
+    /// protocol's Pulse frames. Pinned: new kinds append, never renumber.
+    pub fn code(self) -> u8 {
         match self {
             SeriesKind::LinkSuspicion => 0,
             SeriesKind::LinkVotes => 1,
@@ -239,6 +241,15 @@ impl SeriesKind {
             SeriesKind::SwitchActive => 6,
             SeriesKind::QueueDepth => 7,
         }
+    }
+
+    /// Inverse of [`SeriesKind::code`]; `None` for unknown codes.
+    pub fn from_code(code: u8) -> Option<SeriesKind> {
+        SeriesKind::ALL.get(usize::from(code)).copied()
+    }
+
+    fn index(self) -> usize {
+        usize::from(self.code())
     }
 
     /// Whether same-window feeds fold by max (true) or by sum (false).
@@ -281,6 +292,16 @@ impl Series {
         }
         self.points.push_back((window, value));
     }
+}
+
+/// One flushed `(kind, id, window, value)` sample, the unit streamed to
+/// Pulse subscribers by [`ScopeRecorder::points_since`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScopePoint {
+    pub kind: SeriesKind,
+    pub id: u16,
+    pub window: u64,
+    pub value: f64,
 }
 
 // ---- recorder --------------------------------------------------------------
@@ -391,10 +412,24 @@ impl ScopeRecorder {
 
     fn feed(&self, kind: SeriesKind, id: u16, at_ns: u64, value: f64) {
         let mut g = self.lock();
+        Self::feed_locked(&mut g, self.cap, kind, id, at_ns, value);
+    }
+
+    /// The feed body, for callers already holding the lock — hot feeds
+    /// fold several updates into one lock round-trip via this.
+    #[inline]
+    fn feed_locked(
+        g: &mut ScopeInner,
+        cap: usize,
+        kind: SeriesKind,
+        id: u16,
+        at_ns: u64,
+        value: f64,
+    ) {
         let Some(meta) = g.meta else { return };
         let w = at_ns / meta.interval_ns.max(1);
         if w > g.cur_window {
-            Self::flush_acc(&mut g, self.cap);
+            Self::flush_acc(g, cap);
             g.cur_window = w;
         }
         let ki = kind.index();
@@ -435,10 +470,20 @@ impl ScopeRecorder {
 
     /// A drift merge completed at `switch`: fan-in ticks up, and if the
     /// merged header names a top link, its suspicion series records `w0`.
+    /// This is the one per-packet feed, so both updates share one lock
+    /// round-trip.
     pub fn merge(&self, at_ns: u64, switch: u16, w0: f64, top_link: Option<u16>) {
-        self.feed(SeriesKind::SwitchFanIn, switch, at_ns, 1.0);
+        let mut g = self.lock();
+        Self::feed_locked(
+            &mut g,
+            self.cap,
+            SeriesKind::SwitchFanIn,
+            switch,
+            at_ns,
+            1.0,
+        );
         if let Some(link) = top_link {
-            self.feed(SeriesKind::LinkSuspicion, link, at_ns, w0);
+            Self::feed_locked(&mut g, self.cap, SeriesKind::LinkSuspicion, link, at_ns, w0);
         }
     }
 
@@ -537,6 +582,47 @@ impl ScopeRecorder {
     /// Number of spans recorded so far.
     pub fn span_count(&self) -> usize {
         self.lock().spans.len()
+    }
+
+    // -- pulse deltas --------------------------------------------------------
+
+    /// Append every *flushed* point with `window >= from` to `out`, in
+    /// series order, and return the next cursor (one past the highest
+    /// window appended, or `from` unchanged when nothing was). Only
+    /// flushed windows are reported — the accumulator still filling is
+    /// skipped, so a window is never emitted twice under a monotone cursor
+    /// and its value never changes after emission. This is the serve
+    /// daemon's Pulse extraction path; it reads the ring without draining
+    /// it, so concurrent subscribers see the same deltas.
+    pub fn points_from(&self, from: u64, out: &mut Vec<ScopePoint>) -> u64 {
+        let g = self.lock();
+        let mut next = from;
+        for s in g.series.values() {
+            let skip = s.points.partition_point(|&(w, _)| w < from);
+            for &(window, value) in s.points.iter().skip(skip) {
+                out.push(ScopePoint {
+                    kind: s.kind,
+                    id: s.id,
+                    window,
+                    value,
+                });
+                if window >= next {
+                    next = window.saturating_add(1);
+                }
+            }
+        }
+        next
+    }
+
+    /// The highest window index flushed to any series so far (`None` until
+    /// a first window completes). A Pulse subscriber's lag is the distance
+    /// between this and the last window it was sent.
+    pub fn flushed_watermark(&self) -> Option<u64> {
+        let g = self.lock();
+        g.series
+            .values()
+            .filter_map(|s| s.points.back().map(|&(w, _)| w))
+            .max()
     }
 
     // -- export --------------------------------------------------------------
@@ -1196,6 +1282,57 @@ mod tests {
         assert_eq!(drops.evicted, 6);
         assert_eq!(drops.points.first(), Some(&(6, 1.0)));
         assert_eq!(drops.points.last(), Some(&(9, 1.0)));
+    }
+
+    #[test]
+    fn points_from_reports_only_flushed_windows_once() {
+        let rec = ScopeRecorder::default();
+        rec.set_meta(meta(100));
+        rec.vote(10, 3, 1.0); // window 0, still accumulating
+        let mut out = Vec::new();
+        assert_eq!(rec.points_from(0, &mut out), 0);
+        assert!(out.is_empty(), "unflushed window must not leak");
+        assert_eq!(rec.flushed_watermark(), None);
+
+        rec.vote(110, 3, 2.0); // window 1 opens; window 0 flushes
+        let cursor = rec.points_from(0, &mut out);
+        assert_eq!(cursor, 1, "cursor is one past the delivered window");
+        assert_eq!(
+            out,
+            vec![ScopePoint {
+                kind: SeriesKind::LinkVotes,
+                id: 3,
+                window: 0,
+                value: 1.0
+            }]
+        );
+
+        rec.vote(250, 3, 4.0); // window 2 opens; window 1 flushes
+        out.clear();
+        let cursor = rec.points_from(cursor, &mut out);
+        assert_eq!(cursor, 2);
+        assert_eq!(
+            out,
+            vec![ScopePoint {
+                kind: SeriesKind::LinkVotes,
+                id: 3,
+                window: 1,
+                value: 2.0
+            }]
+        );
+        // Same cursor again: no duplicates, cursor unchanged.
+        let mut again = Vec::new();
+        assert_eq!(rec.points_from(cursor, &mut again), cursor);
+        assert!(again.is_empty());
+        assert_eq!(rec.flushed_watermark(), Some(1));
+    }
+
+    #[test]
+    fn series_kind_codes_round_trip() {
+        for kind in SeriesKind::ALL {
+            assert_eq!(SeriesKind::from_code(kind.code()), Some(kind));
+        }
+        assert_eq!(SeriesKind::from_code(200), None);
     }
 
     #[test]

@@ -53,10 +53,11 @@ use drift_bottle::topology::TopologyStats;
 use std::path::Path;
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Duration;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  drift-bottle topo    <name|file>\n  drift-bottle fail    <name|file> <link-id> [density]\n  drift-bottle node    <name|file> <node-id> [density]\n  drift-bottle sweep   <name|file> [links] [density]\n  drift-bottle health  <name|file> [density]\n  drift-bottle report  <name|file> [density]\n  drift-bottle explain <file.flight> [l<ID>|s<ID>]\n  drift-bottle timeline <file.trace.json> [l<ID>|s<ID>]\n  drift-bottle serve\n\noptions (every command):\n  --metrics[=table|json|prom]  collect telemetry and print a metrics report\n\nscenario options (fail/node/sweep/health/report):\n  --scheme=NAME        weight scheme to run (default Drift-Bottle; see below)\n  --flight[=path]      record provenance for `explain` (default results/<cmd>-<topo>.flight)\n  --trace[=path]       record a db-scope trace for `timeline` / Perfetto\n                       (default results/<cmd>-<topo>.trace.json)\n\nsweep options:\n  --workers=N          worker threads (default: all cores)\n  --checkpoint[=path]  checkpoint units to path (default results/sweep-<topo>.ckpt.jsonl)\n  --resume             resume from the checkpoint if it exists (implies --checkpoint)\n  (--flight / --trace write one recording per unit next to the checkpoint)\n\nexplain options:\n  --window=N           restrict votes/warnings to sampling window N\n  --format=table|json  output format (default table)\n\ntimeline options:\n  --format=table|json|sparkline  output format (default table)\n\nserve options:\n  --addr=HOST:PORT     listen address (default DB_SERVE_ADDR, else 127.0.0.1:7117)\n  --stdin              serve one session over stdin/stdout instead of TCP\n  --snapshot=PATH      restore engine state at startup, persist it on\n                       SnapshotReq and Shutdown frames\n\nenvironment:\n  DB_FLIGHT_CAPACITY=N   --flight ring capacity in records (default 65536)\n  DB_THREADS=N           cap library parallelism; 1 forces sequential execution\n  DB_SWEEP_STOP_AFTER=N  stop a sweep after N units (leaves a resumable checkpoint)\n  DB_SMOKE=1             shrink classifier training for fast smoke runs\n  DB_SERVE_ADDR=H:P      default listen address for `serve`\n  DB_SERVE_WINDOW_CAP=N  default carrier-retention bound for `serve` engines\n\nweight schemes: Drift-Bottle, Non-Negative, 007-Drifted, 007-Modified\nbuilt-in topologies: geant2012, chinanet, tinet, as1221\ntopology specs:\n  <name>               a built-in evaluation topology (above)\n  as:<n>[:<seed>]      generated AS-graph-style topology, 4..=50000 nodes\n  path:<file>          plain-text edge list: 'nodes <N>' header, then\n                       '<a> <b> <latency_ms> [bandwidth_mbps]' per line\n  <file>               a file in the interchange format (topology/node/link)"
+        "usage:\n  drift-bottle topo    <name|file>\n  drift-bottle fail    <name|file> <link-id> [density]\n  drift-bottle node    <name|file> <node-id> [density]\n  drift-bottle sweep   <name|file> [links] [density]\n  drift-bottle health  <name|file> [density]\n  drift-bottle report  <name|file> [density]\n  drift-bottle explain <file.flight> [l<ID>|s<ID>]\n  drift-bottle timeline <file.trace.json> [l<ID>|s<ID>]\n  drift-bottle serve\n  drift-bottle top     <addr> [topo]\n\noptions (every command):\n  --metrics[=table|json|prom]  collect telemetry and print a metrics report\n\nscenario options (fail/node/sweep/health/report):\n  --scheme=NAME        weight scheme to run (default Drift-Bottle; see below)\n  --flight[=path]      record provenance for `explain` (default results/<cmd>-<topo>.flight)\n  --trace[=path]       record a db-scope trace for `timeline` / Perfetto\n                       (default results/<cmd>-<topo>.trace.json)\n\nsweep options:\n  --workers=N          worker threads (default: all cores)\n  --checkpoint[=path]  checkpoint units to path (default results/sweep-<topo>.ckpt.jsonl)\n  --resume             resume from the checkpoint if it exists (implies --checkpoint)\n  (--flight / --trace write one recording per unit next to the checkpoint)\n\nexplain options:\n  --window=N           restrict votes/warnings to sampling window N\n  --format=table|json  output format (default table)\n\ntimeline options:\n  --format=table|json|sparkline  output format (default table)\n\nserve options:\n  --addr=HOST:PORT     listen address (default DB_SERVE_ADDR, else 127.0.0.1:7117)\n  --stdin              serve one session over stdin/stdout instead of TCP\n  --snapshot=PATH      restore engine state at startup, persist it on\n                       SnapshotReq and Shutdown frames\n  --prom-addr=HOST:PORT  also serve a Prometheus text scrape endpoint\n                       (default DB_SERVE_PROM_ADDR, else off)\n\ntop options (live health view of a running daemon):\n  --once               render one frame and exit (for scripts / CI)\n  --interval=SECS      refresh interval (default 1.0)\n  --lines=N            suspicion rows to show (default 8)\n\nenvironment:\n  DB_FLIGHT_CAPACITY=N   --flight ring capacity in records (default 65536)\n  DB_THREADS=N           cap library parallelism; 1 forces sequential execution\n  DB_SWEEP_STOP_AFTER=N  stop a sweep after N units (leaves a resumable checkpoint)\n  DB_SMOKE=1             shrink classifier training for fast smoke runs\n  DB_SERVE_ADDR=H:P      default listen address for `serve`\n  DB_SERVE_WINDOW_CAP=N  default carrier-retention bound for `serve` engines\n  DB_SERVE_PROM_ADDR=H:P default Prometheus scrape address for `serve`\n  DB_SERVE_FLIGHT=1      `serve` engines also record a provenance flight ring\n\nweight schemes: Drift-Bottle, Non-Negative, 007-Drifted, 007-Modified\nbuilt-in topologies: geant2012, chinanet, tinet, as1221\ntopology specs:\n  <name>               a built-in evaluation topology (above)\n  as:<n>[:<seed>]      generated AS-graph-style topology, 4..=50000 nodes\n  path:<file>          plain-text edge list: 'nodes <N>' header, then\n                       '<a> <b> <latency_ms> [bandwidth_mbps]' per line\n  <file>               a file in the interchange format (topology/node/link)"
     );
     ExitCode::FAILURE
 }
@@ -156,7 +157,18 @@ const COMMANDS: &[(&str, &str, &[&str])] = &[
     (
         "serve",
         "",
-        &["--metrics", "--addr", "--stdin", "--snapshot"],
+        &[
+            "--metrics",
+            "--addr",
+            "--stdin",
+            "--snapshot",
+            "--prom-addr",
+        ],
+    ),
+    (
+        "top",
+        "<addr> [topo]",
+        &["--metrics", "--once", "--interval", "--lines"],
     ),
 ];
 
@@ -170,6 +182,30 @@ struct ServeArgs {
     /// `--snapshot=PATH`: restore at startup, persist on
     /// `SnapshotReq`/`Shutdown`.
     snapshot: Option<String>,
+    /// `--prom-addr=HOST:PORT`: serve a Prometheus text scrape endpoint
+    /// next to the frame listener (default `DB_SERVE_PROM_ADDR`, else off).
+    prom_addr: Option<String>,
+}
+
+/// `top` subcommand arguments.
+#[derive(Debug)]
+struct TopArgs {
+    /// `--once`: render a single frame and exit (scripts / CI).
+    once: bool,
+    /// `--interval=SECS`: refresh interval.
+    interval: Duration,
+    /// `--lines=N`: suspicion rows to render.
+    lines: usize,
+}
+
+impl Default for TopArgs {
+    fn default() -> Self {
+        TopArgs {
+            once: false,
+            interval: Duration::from_secs(1),
+            lines: 8,
+        }
+    }
 }
 
 /// The parsed subcommand, arguments resolved and typed.
@@ -218,6 +254,11 @@ enum Command {
         fmt: TimelineFormat,
     },
     Serve(ServeArgs),
+    Top {
+        addr: String,
+        topo: String,
+        flags: TopArgs,
+    },
 }
 
 /// The whole command line: one subcommand plus the cross-cutting
@@ -359,6 +400,14 @@ impl Cli {
                 [] => Command::Serve(serve_args(flags)?),
                 _ => return Err(usage_line()),
             },
+            "top" => match args {
+                [addr] | [addr, _] => Command::Top {
+                    addr: addr.to_string(),
+                    topo: args.get(1).unwrap_or(&"geant2012").to_string(),
+                    flags: top_args(flags)?,
+                },
+                _ => return Err(usage_line()),
+            },
             other => return Err(format!("unknown command '{other}'")),
         })
     }
@@ -457,10 +506,43 @@ fn serve_args(flags: &[Flag]) -> Result<ServeArgs, String> {
                 sa.stdin = true;
             }
             "--snapshot" => sa.snapshot = Some(f.require("PATH")?.to_string()),
+            "--prom-addr" => sa.prom_addr = Some(f.require("HOST:PORT")?.to_string()),
             _ => {}
         }
     }
     Ok(sa)
+}
+
+/// Collect the `top` flags (`--once`, `--interval`, `--lines`).
+fn top_args(flags: &[Flag]) -> Result<TopArgs, String> {
+    let mut ta = TopArgs::default();
+    for f in flags {
+        match f.name.as_str() {
+            "--once" => {
+                f.no_value()?;
+                ta.once = true;
+            }
+            "--interval" => {
+                let v = f.require("SECS")?;
+                let secs: f64 = v
+                    .parse()
+                    .ok()
+                    .filter(|s: &f64| s.is_finite() && *s > 0.0)
+                    .ok_or_else(|| format!("bad interval '{v}' (use --interval=SECS)"))?;
+                ta.interval = Duration::from_secs_f64(secs);
+            }
+            "--lines" => {
+                let v = f.require("N")?;
+                ta.lines = v
+                    .parse()
+                    .ok()
+                    .filter(|&n: &usize| n > 0)
+                    .ok_or_else(|| format!("bad line count '{v}' (use --lines=N)"))?;
+            }
+            _ => {}
+        }
+    }
+    Ok(ta)
 }
 
 /// Ring capacity for `--flight`, overridable via `DB_FLIGHT_CAPACITY`.
@@ -987,6 +1069,9 @@ fn cmd_serve(args: &ServeArgs) -> Result<(), String> {
     if let Some(p) = &args.snapshot {
         opts.snapshot = Some(std::path::PathBuf::from(p));
     }
+    if let Some(a) = &args.prom_addr {
+        opts.prom_addr = Some(a.clone());
+    }
     if args.stdin {
         return drift_bottle::serve::serve_stdio(&opts).map_err(|e| format!("serve (stdio): {e}"));
     }
@@ -996,7 +1081,175 @@ fn cmd_serve(args: &ServeArgs) -> Result<(), String> {
         Ok(a) => eprintln!("[serve: listening on {a}; a Shutdown frame stops the daemon]"),
         Err(_) => eprintln!("[serve: listening on {}]", opts.addr),
     }
+    if let Some(a) = server.prom_addr() {
+        eprintln!("[serve: prometheus on {a}; scrape with curl http://{a}/metrics]");
+    }
     server.run().map_err(|e| format!("serve: {e}"))
+}
+
+/// Windows of per-series history `top` retains client-side (and the widest
+/// sparkline it renders).
+const TOP_HISTORY: usize = 64;
+
+/// Live terminal health view of a running daemon (DESIGN.md §16): polls
+/// `PulseReq` with a monotone window cursor, folds the flushed per-window
+/// health series into client-side history, and renders top-suspicion links
+/// as sparklines alongside the daemon's ingest counters and batch-latency
+/// percentiles. `--once` renders a single frame for scripts and CI.
+fn cmd_top(addr: &str, topo: &str, args: &TopArgs) -> Result<(), String> {
+    use drift_bottle::serve::{read_frame, write_frame, Frame, PROTO_VERSION};
+    use std::collections::HashMap;
+    use std::io::{BufReader, BufWriter, Write};
+    use std::net::TcpStream;
+    use std::time::Instant;
+
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connecting {addr}: {e}"))?;
+    stream.set_nodelay(true).ok();
+    let mut out = BufWriter::new(
+        stream
+            .try_clone()
+            .map_err(|e| format!("cloning socket: {e}"))?,
+    );
+    let mut input = BufReader::new(stream);
+
+    // Attach to the daemon's engine for `topo`; density/seed only matter
+    // when this Hello is the one that builds it (they match load_gen and
+    // the batch flagship defaults).
+    write_frame(
+        &mut out,
+        &Frame::Hello {
+            proto: PROTO_VERSION,
+            topo: topo.into(),
+            density: 1.0,
+            seed: 42,
+            window_cap: 0,
+        },
+    )
+    .map_err(|e| format!("sending hello: {e}"))?;
+    out.flush().map_err(|e| format!("sending hello: {e}"))?;
+    let (interval_ns, nodes, links) = match read_frame(&mut input) {
+        Ok(Some(Frame::HelloAck {
+            interval_ns,
+            nodes,
+            links,
+            ..
+        })) => (interval_ns, nodes, links),
+        Ok(Some(Frame::Error(msg))) => return Err(format!("daemon rejected hello: {msg}")),
+        Ok(other) => return Err(format!("expected HelloAck, got {other:?}")),
+        Err(e) => return Err(format!("reading hello ack: {e}")),
+    };
+
+    let suspicion = SeriesKind::LinkSuspicion.code();
+    let link_warn = SeriesKind::LinkWarnings.code();
+    let mut cursor = 0u64;
+    let mut hist: HashMap<(u8, u16), Vec<(u64, f64)>> = HashMap::new();
+    let mut warn_tail: Vec<String> = Vec::new();
+    let mut prev: Option<(Instant, u64)> = None;
+    loop {
+        write_frame(
+            &mut out,
+            &Frame::PulseReq {
+                from_window: cursor,
+            },
+        )
+        .map_err(|e| format!("sending pulse poll: {e}"))?;
+        out.flush()
+            .map_err(|e| format!("sending pulse poll: {e}"))?;
+        let pulse = loop {
+            match read_frame(&mut input).map_err(|e| format!("reading pulse: {e}"))? {
+                Some(Frame::Pulse(p)) => break p,
+                Some(Frame::Error(msg)) => return Err(format!("daemon error: {msg}")),
+                Some(_) => continue,
+                None => return Err("daemon closed the connection".into()),
+            }
+        };
+        cursor = pulse.next_window;
+        for p in &pulse.points {
+            let series = hist.entry((p.kind, p.id)).or_default();
+            series.push((p.window, p.value));
+            if series.len() > TOP_HISTORY {
+                let cut = series.len() - TOP_HISTORY;
+                series.drain(..cut);
+            }
+            if p.kind == link_warn && p.value > 0.0 {
+                warn_tail.push(format!(
+                    "window {:>6}  l{:<5} x{}",
+                    p.window, p.id, p.value as u64
+                ));
+            }
+        }
+        if warn_tail.len() > 6 {
+            let cut = warn_tail.len() - 6;
+            warn_tail.drain(..cut);
+        }
+        let now = Instant::now();
+        let rate = prev.and_then(|(t, n)| {
+            let dt = now.duration_since(t).as_secs_f64();
+            (dt > 0.0).then(|| pulse.ingested.saturating_sub(n) as f64 / dt)
+        });
+        prev = Some((now, pulse.ingested));
+
+        // One frame of output, built off-screen then emitted in one write.
+        let mut s = String::new();
+        if !args.once {
+            s.push_str("\x1b[2J\x1b[H");
+        }
+        let window = pulse.now_ns / interval_ns.max(1);
+        s.push_str(&format!(
+            "drift-bottle top — {addr} · {topo} ({nodes} switches, {links} links) · \
+             t={:.3}s · window {window}\n",
+            pulse.now_ns as f64 / 1e9
+        ));
+        s.push_str(&format!(
+            "ingested {:>12}{}   warnings {:>6}   carriers {:>8}   \
+             batch p50/p90/p99 {:.0}/{:.0}/{:.0} µs\n\n",
+            pulse.ingested,
+            rate.map(|r| format!(" ({r:.0}/s)")).unwrap_or_default(),
+            pulse.warnings,
+            pulse.carriers,
+            pulse.p50_us,
+            pulse.p90_us,
+            pulse.p99_us
+        ));
+        s.push_str(&format!(
+            "top links by suspicion (last {TOP_HISTORY} windows)\n"
+        ));
+        let mut links_by_peak: Vec<(u16, f64, f64, Vec<f64>)> = hist
+            .iter()
+            .filter(|((kind, _), _)| *kind == suspicion)
+            .map(|(&(_, id), series)| {
+                let vals: Vec<f64> = series.iter().map(|&(_, v)| v).collect();
+                let peak = vals.iter().copied().fold(0.0f64, f64::max);
+                let last = vals.last().copied().unwrap_or(0.0);
+                (id, peak, last, vals)
+            })
+            .collect();
+        links_by_peak.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        if links_by_peak.is_empty() {
+            s.push_str("  (no suspicion series yet — waiting for completed windows)\n");
+        }
+        for (id, peak, last, vals) in links_by_peak.iter().take(args.lines) {
+            s.push_str(&format!(
+                "  l{id:<5} {:<32}  peak {peak:9.2}  last {last:9.2}\n",
+                sparkline(vals)
+            ));
+        }
+        s.push_str("\nrecent warnings\n");
+        if warn_tail.is_empty() {
+            s.push_str("  (none)\n");
+        }
+        for line in &warn_tail {
+            s.push_str(&format!("  {line}\n"));
+        }
+        print!("{s}");
+        std::io::stdout().flush().ok();
+
+        if args.once {
+            break;
+        }
+        std::thread::sleep(args.interval);
+    }
+    Ok(())
 }
 
 /// Output format of `explain`.
@@ -1822,6 +2075,7 @@ fn main() -> ExitCode {
         } => cmd_explain(path, target.as_ref(), flags),
         Command::Timeline { path, target, fmt } => cmd_timeline(path, target.as_ref(), *fmt),
         Command::Serve(sa) => cmd_serve(sa),
+        Command::Top { addr, topo, flags } => cmd_top(addr, topo, flags),
     };
     match result {
         Ok(()) => {

@@ -1,0 +1,471 @@
+//! Concurrency-tier rules (DESIGN.md §17): lexical lock discipline.
+//!
+//! With no type information available, guard tracking is a line walk over
+//! the scrubbed text. A lock acquisition is any `.lock(` / `.lock_recover(`
+//! method call or a `lock_recover(&m)` free-function call (the
+//! `db_util::sync` poison-recovery helper). Standard-stream locks —
+//! `stdin()`/`stdout()`/`stderr()` receivers — are exempt; those guards
+//! serialize a process-wide stream, not shared state. Each acquisition is
+//! classified by how long its guard lives:
+//!
+//! * **let-bound**: `let g = m.lock()…;` where the chain after the call
+//!   consumes only `unwrap`/`expect`/`unwrap_or_else` — the guard persists
+//!   until the enclosing block closes (brace depth drops below the
+//!   statement's) or an explicit `drop(g)`.
+//! * **scrutinee**: the acquisition sits in an `if let`/`while let`/`match`
+//!   head — per Rust temporary-scope rules the guard lives through the
+//!   whole block the head opens.
+//! * **statement temporary**: anything else (`m.lock().unwrap().push(x)`)
+//!   — the guard dies at the end of the line.
+//!
+//! The model is deliberately intra-function and flow-insensitive: a guard
+//! passed into a method that performs I/O is invisible here (the repo's
+//! `lint.toml` closes the known case by listing `persist(` in
+//! `[concurrency] io_calls`). Both early returns and panics are ignored —
+//! the rules over-approximate guard liveness, never under-approximate it.
+
+use crate::config::LintConfig;
+use crate::findings::Finding;
+use crate::source::ScannedFile;
+
+/// A persistent guard still live at the current line.
+struct Guard {
+    /// Binding name (`<pat>` for destructuring/scrutinee bindings).
+    name: String,
+    /// The guard dies once brace depth drops below this.
+    dies_below: usize,
+    /// 1-based acquisition line, for messages.
+    line: usize,
+}
+
+/// One lock acquisition found on a line.
+struct Acq {
+    /// Byte offset of the `.lock`/`.lock_recover` token.
+    pos: usize,
+    /// Receiver identifier directly before the call (`pending` in
+    /// `pending.lock()`), for messages.
+    recv: String,
+    /// Whether the call was `.lock(` (vs `.lock_recover(`).
+    is_raw_lock: bool,
+}
+
+pub fn conc_rules(sf: &ScannedFile, cfg: &LintConfig, out: &mut Vec<Finding>) {
+    let io_tokens = cfg.io_call_tokens();
+    let mut depth = 0usize;
+    let mut guards: Vec<Guard> = Vec::new();
+
+    for (idx, line) in sf.scrubbed.iter().enumerate() {
+        let lineno = idx + 1;
+        let in_test = sf.is_test_line(lineno);
+
+        // Explicit drops first: `drop(state); io(...)` on one line is a
+        // correct narrowing, not a violation.
+        if !in_test {
+            guards.retain(|g| !is_dropped(line, &g.name));
+        }
+
+        let acqs = if in_test {
+            Vec::new()
+        } else {
+            acquisitions(line)
+        };
+        let has_io = !in_test && io_tokens.iter().any(|t| line.contains(t));
+
+        // Emit findings against the guard set as it stood entering the
+        // line; brace-driven deaths apply afterwards. A `}` closing the
+        // guard's block and new code on one line is vanishingly rare.
+        for (i, a) in acqs.iter().enumerate() {
+            if i > 0 || !guards.is_empty() {
+                let held = if let Some(g) = guards.last() {
+                    format!("`{}` guard from line {}", g.name, g.line)
+                } else {
+                    format!("`{}` guard on this line", acqs[i - 1].recv)
+                };
+                push(
+                    out,
+                    sf,
+                    lineno,
+                    "conc-nested-lock",
+                    format!("`{}` locked while {held} is live", a.recv),
+                    "hold one guard at a time: merge the state into one mutex or drop the first guard before the second lock",
+                );
+            }
+            if a.is_raw_lock {
+                if let Some(what) = raw_unwrap_chain(sf, idx, line, a.pos) {
+                    push(
+                        out,
+                        sf,
+                        lineno,
+                        "conc-lock-unwrap",
+                        what,
+                        "lock through db_util::sync::lock_recover so a poisoned mutex recovers instead of cascading panics",
+                    );
+                }
+            }
+        }
+        if has_io {
+            if let Some(g) = guards.last() {
+                push(
+                    out,
+                    sf,
+                    lineno,
+                    "conc-guard-io",
+                    format!(
+                        "I/O with `{}` guard from line {} still live",
+                        g.name, g.line
+                    ),
+                    "drop the guard (or copy the needed data out) before blocking on I/O",
+                );
+            } else if let Some(a) = acqs.first() {
+                push(
+                    out,
+                    sf,
+                    lineno,
+                    "conc-guard-io",
+                    format!("I/O on the same statement as the `{}` lock", a.recv),
+                    "drop the guard (or copy the needed data out) before blocking on I/O",
+                );
+            }
+        }
+        if !in_test {
+            relaxed_publish(sf, cfg, lineno, line, out);
+        }
+
+        // Register persistent guards born on this line, anchored to the
+        // brace depth at the acquisition's byte position.
+        if let Some(a) = acqs.first() {
+            let at_pos = depth_at(line, a.pos, depth);
+            match classify(line, a.pos) {
+                Lifetime::LetBound(name) => guards.push(Guard {
+                    name,
+                    dies_below: at_pos,
+                    line: lineno,
+                }),
+                Lifetime::Scrutinee => guards.push(Guard {
+                    name: a.recv.clone(),
+                    dies_below: at_pos + 1,
+                    line: lineno,
+                }),
+                Lifetime::Temp => {}
+            }
+        }
+
+        // Brace-driven deaths: only a `}` can kill a guard, so track the
+        // minimum depth reached *after* each closing brace. A line that
+        // only opens a block (`if let … = m.lock()… {`) kills nothing.
+        let mut min_after_close = usize::MAX;
+        for c in line.chars() {
+            match c {
+                '{' => depth += 1,
+                '}' => {
+                    depth = depth.saturating_sub(1);
+                    min_after_close = min_after_close.min(depth);
+                }
+                _ => {}
+            }
+        }
+        guards.retain(|g| g.dies_below <= min_after_close);
+    }
+}
+
+fn push(
+    out: &mut Vec<Finding>,
+    sf: &ScannedFile,
+    line: usize,
+    rule: &'static str,
+    what: String,
+    hint: &'static str,
+) {
+    if !sf.is_allowed(rule, line) {
+        out.push(Finding {
+            file: sf.rel_path.clone(),
+            line,
+            rule,
+            what,
+            hint,
+        });
+    }
+}
+
+/// Brace depth at byte `pos` of `line`, given the depth entering the line.
+fn depth_at(line: &str, pos: usize, entering: usize) -> usize {
+    let mut d = entering;
+    for c in line[..pos].chars() {
+        match c {
+            '{' => d += 1,
+            '}' => d = d.saturating_sub(1),
+            _ => {}
+        }
+    }
+    d
+}
+
+/// `drop(name)` (or `mem::drop(name)`) appears on the line.
+fn is_dropped(line: &str, name: &str) -> bool {
+    let pat = format!("drop({name})");
+    let mut from = 0;
+    while let Some(p) = line[from..].find(&pat) {
+        let at = from + p;
+        from = at + pat.len();
+        let before = line[..at].chars().next_back();
+        if !matches!(before, Some(c) if c.is_ascii_alphanumeric() || c == '_') {
+            return true;
+        }
+    }
+    false
+}
+
+/// Every lock acquisition on the line, in order, standard streams exempt.
+fn acquisitions(line: &str) -> Vec<Acq> {
+    let mut out = Vec::new();
+    for (tok, is_raw_lock) in [(".lock_recover(", false), (".lock(", true)] {
+        let mut from = 0;
+        while let Some(p) = line[from..].find(tok) {
+            let at = from + p;
+            from = at + tok.len();
+            // `.lock(` also matches inside `.lock_recover(` — the longer
+            // token was handled in the first iteration.
+            if is_raw_lock && line[at..].starts_with(".lock_recover(") {
+                continue;
+            }
+            let before = &line[..at];
+            if [
+                "stdin()", "stdout()", "stderr()", "stdin", "stdout", "stderr",
+            ]
+            .iter()
+            .any(|s| before.ends_with(s))
+            {
+                continue;
+            }
+            out.push(Acq {
+                pos: at,
+                recv: receiver_of(before),
+                is_raw_lock,
+            });
+        }
+    }
+    // Free-function form: `lock_recover(&m)` — same guard semantics as
+    // the method form, and by construction never a lock-unwrap candidate.
+    let tok = "lock_recover(";
+    let mut from = 0;
+    while let Some(p) = line[from..].find(tok) {
+        let at = from + p;
+        from = at + tok.len();
+        let before = line[..at].chars().next_back();
+        // `.lock_recover(` (method form, handled above) or a longer
+        // identifier like `fn lock_recover` / `my_lock_recover`.
+        if matches!(before, Some(c) if c == '.' || c.is_ascii_alphanumeric() || c == '_') {
+            continue;
+        }
+        // A definition (`fn lock_recover(...)`), not a call.
+        if line[..at].trim_end().ends_with("fn") {
+            continue;
+        }
+        let args = &line[at + tok.len()..];
+        let arg = close_paren(args).map_or(args, |e| &args[..e]);
+        out.push(Acq {
+            pos: at,
+            recv: last_ident(arg),
+            is_raw_lock: false,
+        });
+    }
+    out.sort_by_key(|a| a.pos);
+    out
+}
+
+/// The last identifier in `s` (`file` for `&self.file`), for messages.
+fn last_ident(s: &str) -> String {
+    let recv: String = s
+        .chars()
+        .rev()
+        .skip_while(|c| !(c.is_ascii_alphanumeric() || *c == '_'))
+        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+        .collect::<Vec<_>>()
+        .into_iter()
+        .rev()
+        .collect();
+    if recv.is_empty() {
+        "<expr>".to_string()
+    } else {
+        recv
+    }
+}
+
+/// The identifier directly before the `.lock` call (last path segment).
+fn receiver_of(before: &str) -> String {
+    let recv: String = before
+        .chars()
+        .rev()
+        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+        .collect::<Vec<_>>()
+        .into_iter()
+        .rev()
+        .collect();
+    if recv.is_empty() {
+        "<expr>".to_string()
+    } else {
+        recv
+    }
+}
+
+enum Lifetime {
+    LetBound(String),
+    Scrutinee,
+    Temp,
+}
+
+/// How long the guard acquired at byte `pos` of `line` lives.
+fn classify(line: &str, pos: usize) -> Lifetime {
+    let head = &line[..pos];
+    for kw in ["if let ", "while let ", "match "] {
+        if head.contains(kw) {
+            return Lifetime::Scrutinee;
+        }
+    }
+    let trimmed = head.trim_start();
+    if let Some(rest) = trimmed.strip_prefix("let ") {
+        // `let v = *m.lock()…;` copies the pointee out — the binding holds
+        // the value, not the guard, which dies with the statement.
+        if head
+            .rfind('=')
+            .is_some_and(|eq| head[eq + 1..].trim_start().starts_with('*'))
+        {
+            return Lifetime::Temp;
+        }
+        // The chain after the call must end the statement after at most
+        // unwrap/expect/unwrap_or_else — otherwise the guard is a
+        // temporary consumed by the chain (`…lock().unwrap().clone()`).
+        if chain_ends_statement(line, pos) {
+            let pat = rest.trim_start().trim_start_matches("mut ");
+            let name: String = pat
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                .collect();
+            let name = if name.is_empty()
+                || !pat.starts_with(|c: char| c.is_ascii_alphabetic() || c == '_')
+            {
+                "<pat>".to_string()
+            } else {
+                name
+            };
+            return Lifetime::LetBound(name);
+        }
+    }
+    Lifetime::Temp
+}
+
+/// Whether the method chain following the lock call at `pos` consumes only
+/// poison adapters (`unwrap`/`expect`/`unwrap_or_else`) before `;` or end
+/// of line — i.e. the binding really holds the guard.
+fn chain_ends_statement(line: &str, pos: usize) -> bool {
+    let Some(mut rest) = after_call(line, pos) else {
+        return false;
+    };
+    loop {
+        rest = rest.trim_start();
+        if rest.is_empty() || rest.starts_with(';') {
+            return true;
+        }
+        let mut advanced = false;
+        for adapter in [".unwrap(", ".expect(", ".unwrap_or_else("] {
+            if let Some(tail) = rest.strip_prefix(adapter) {
+                // Skip to the adapter's matching close paren.
+                match close_paren(tail) {
+                    Some(end) => {
+                        rest = &tail[end + 1..];
+                        advanced = true;
+                    }
+                    None => return true, // chain continues next line; over-approximate
+                }
+                break;
+            }
+        }
+        if !advanced {
+            return false;
+        }
+    }
+}
+
+/// The text after the matching close paren of the call opening at `pos`
+/// (`pos` points at the `.lock`/`.lock_recover` token).
+fn after_call(line: &str, pos: usize) -> Option<&str> {
+    let open = line[pos..].find('(')? + pos;
+    let end = close_paren(&line[open + 1..])?;
+    Some(&line[open + 1 + end + 1..])
+}
+
+/// Byte offset of the close paren matching an already-open paren, within
+/// `s` (which starts just inside the paren).
+fn close_paren(s: &str) -> Option<usize> {
+    let mut depth = 1usize;
+    for (i, c) in s.char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// `conc-lock-unwrap`: the description when the raw `.lock(` at `pos` is
+/// followed by `.unwrap()`/`.expect(` — on this line or at the start of the
+/// next (a rustfmt-wrapped chain). `.unwrap_or_else(…)` is the sanctioned
+/// recovery shape and never matches.
+fn raw_unwrap_chain(sf: &ScannedFile, idx: usize, line: &str, pos: usize) -> Option<String> {
+    let rest = after_call(line, pos).unwrap_or("").trim_start();
+    let continuation;
+    let chain = if rest.is_empty() {
+        continuation = sf
+            .scrubbed
+            .get(idx + 1)
+            .map(|l| l.trim_start())
+            .unwrap_or("");
+        continuation
+    } else {
+        rest
+    };
+    if chain.starts_with(".unwrap()") {
+        Some(".lock().unwrap()".to_string())
+    } else if chain.starts_with(".expect(") {
+        Some(".lock().expect(…)".to_string())
+    } else {
+        None
+    }
+}
+
+/// `conc-relaxed-publish`: `Ordering::Relaxed` outside a counter-allowlist
+/// method needs a reasoned allow — Relaxed gives no ordering for any data
+/// the atomic's value gates.
+fn relaxed_publish(
+    sf: &ScannedFile,
+    cfg: &LintConfig,
+    lineno: usize,
+    line: &str,
+    out: &mut Vec<Finding>,
+) {
+    if !line.contains("Ordering::Relaxed") && !line.contains("Relaxed)") {
+        return;
+    }
+    if line.trim_start().starts_with("use ") {
+        return;
+    }
+    if let Some(name) = sf.enclosing_fn(lineno) {
+        if cfg.is_counter_method(name) {
+            return;
+        }
+    }
+    push(
+        out,
+        sf,
+        lineno,
+        "conc-relaxed-publish",
+        "Ordering::Relaxed outside the counter allowlist".to_string(),
+        "use Acquire/Release if the value gates other data, add the method to [concurrency] counter_methods if it is a pure counter, or annotate with a reasoned allow",
+    );
+}

@@ -8,7 +8,7 @@
 
 use std::collections::BTreeMap;
 
-/// The three rule tiers of DESIGN.md §12.
+/// The rule tiers of DESIGN.md §12 and §17.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct LintConfig {
     /// Crate directory names (under `crates/`) whose code must be
@@ -19,7 +19,36 @@ pub struct LintConfig {
     pub hotpath: BTreeMap<String, Vec<String>>,
     /// Workspace-relative paths of wire-format modules.
     pub wire_files: Vec<String>,
+    /// Crate directory names subject to the lock-discipline rules (§17).
+    pub concurrency_crates: Vec<String>,
+    /// Method names whose `Ordering::Relaxed` uses are pure counters —
+    /// exempt from `conc-relaxed-publish`.
+    pub counter_methods: Vec<String>,
+    /// Extra call tokens `conc-guard-io` treats as I/O, on top of the
+    /// built-in socket/file set (see `io_call_tokens`).
+    pub io_calls: Vec<String>,
+    /// README path the knob/doc sync pass checks against (pass runs only
+    /// when a `[docsync]` section is present).
+    pub docsync_readme: Option<String>,
+    /// CLI source path whose `--help` text and command table the knob/doc
+    /// sync pass checks against.
+    pub docsync_cli: Option<String>,
 }
+
+/// I/O call tokens `conc-guard-io` always recognizes: blocking socket and
+/// filesystem operations a lock must never be held across.
+pub const BUILTIN_IO_CALLS: &[&str] = &[
+    ".write_all(",
+    ".flush(",
+    ".read_exact(",
+    ".read_to_end(",
+    ".read_to_string(",
+    "write_frame(",
+    "read_frame(",
+    "fs::read",
+    "fs::write",
+    ".accept(",
+];
 
 impl LintConfig {
     /// Parse the contents of a `lint.toml`.
@@ -54,6 +83,25 @@ impl LintConfig {
                         }
                     }
                 }
+                "concurrency" => {
+                    for (k, v) in entries {
+                        match (k.as_str(), v) {
+                            ("crates", Value::Array(a)) => cfg.concurrency_crates = a.clone(),
+                            ("counter_methods", Value::Array(a)) => cfg.counter_methods = a.clone(),
+                            ("io_calls", Value::Array(a)) => cfg.io_calls = a.clone(),
+                            _ => return Err(format!("[concurrency]: unknown key `{k}`")),
+                        }
+                    }
+                }
+                "docsync" => {
+                    for (k, v) in entries {
+                        match (k.as_str(), v) {
+                            ("readme", Value::Str(s)) => cfg.docsync_readme = Some(s.clone()),
+                            ("cli", Value::Str(s)) => cfg.docsync_cli = Some(s.clone()),
+                            _ => return Err(format!("[docsync]: unknown key `{k}`")),
+                        }
+                    }
+                }
                 other => return Err(format!("unknown section [{other}]")),
             }
         }
@@ -81,6 +129,25 @@ impl LintConfig {
     /// Whether `rel_path` is a wire-tier module.
     pub fn is_wire(&self, rel_path: &str) -> bool {
         self.wire_files.iter().any(|f| f == rel_path)
+    }
+
+    /// Whether `rel_path` belongs to a concurrency-tier crate.
+    pub fn is_concurrency(&self, rel_path: &str) -> bool {
+        let krate = crate_of(rel_path);
+        self.concurrency_crates.iter().any(|c| c == krate)
+    }
+
+    /// Whether `name` is on the pure-counter method allowlist.
+    pub fn is_counter_method(&self, name: &str) -> bool {
+        self.counter_methods.iter().any(|m| m == name)
+    }
+
+    /// The full I/O-call token set for `conc-guard-io`: built-ins plus the
+    /// `[concurrency] io_calls` additions.
+    pub fn io_call_tokens(&self) -> Vec<&str> {
+        let mut toks: Vec<&str> = BUILTIN_IO_CALLS.to_vec();
+        toks.extend(self.io_calls.iter().map(String::as_str));
+        toks
     }
 }
 

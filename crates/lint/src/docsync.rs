@@ -1,0 +1,226 @@
+//! Knob/doc sync (DESIGN.md §17): code, README, and `--help` agree.
+//!
+//! Cross-file by nature, so this pass runs over the whole scanned
+//! workspace after the per-file rules. Three sources of truth are
+//! reconciled:
+//!
+//! * every `DB_*` environment variable *read* in non-test code (an
+//!   `env::var`/`env::var_os` call on the scrubbed line; the name comes
+//!   from the raw line, since scrubbing blanks string literals) must
+//!   appear in the README (`doc-knob-readme`) and in the CLI's help text
+//!   (`doc-knob-help`);
+//! * every `DB_*` knob listed in the README's "Environment knobs" section
+//!   must actually be read somewhere (`doc-knob-stale`) — a row kept on
+//!   purpose carries `<!-- db-lint: allow(doc-knob-stale) — reason -->`,
+//!   the markdown spelling of the usual annotation;
+//! * every `--flag` string in the CLI's command/flag tables (`const`
+//!   blocks whose name contains `FLAGS` or `COMMANDS`) must appear in the
+//!   README (`doc-flag-readme`).
+//!
+//! The pass only runs when `lint.toml` has a `[docsync]` section; a
+//! configured README or CLI path that doesn't exist is a hard error, so
+//! moving the file can't silently disable the gate.
+
+use crate::config::LintConfig;
+use crate::findings::Finding;
+use crate::source::ScannedFile;
+use std::path::Path;
+
+pub fn check(
+    root: &Path,
+    cfg: &LintConfig,
+    files: &[(ScannedFile, String)],
+) -> Result<Vec<Finding>, String> {
+    let Some(readme_rel) = &cfg.docsync_readme else {
+        return Ok(Vec::new());
+    };
+    let readme_path = root.join(readme_rel);
+    let readme = std::fs::read_to_string(&readme_path)
+        .map_err(|e| format!("[docsync] readme {}: {e}", readme_path.display()))?;
+    let cli_raw: Option<String> = match &cfg.docsync_cli {
+        Some(rel) => {
+            let p = root.join(rel);
+            Some(
+                std::fs::read_to_string(&p)
+                    .map_err(|e| format!("[docsync] cli {}: {e}", p.display()))?,
+            )
+        }
+        None => None,
+    };
+
+    let mut out = Vec::new();
+    let mut read_vars: Vec<String> = Vec::new();
+    for (sf, raw) in files {
+        let raw_lines: Vec<&str> = raw.lines().collect();
+        for (idx, line) in sf.scrubbed.iter().enumerate() {
+            let lineno = idx + 1;
+            if sf.is_test_line(lineno) || !line.contains("env::var") {
+                continue;
+            }
+            let Some(raw_line) = raw_lines.get(idx) else {
+                continue;
+            };
+            for var in db_tokens(raw_line) {
+                if !token_in(&readme, &var) && !sf.is_allowed("doc-knob-readme", lineno) {
+                    out.push(Finding {
+                        file: sf.rel_path.clone(),
+                        line: lineno,
+                        rule: "doc-knob-readme",
+                        what: format!("`{var}` read here but missing from {readme_rel}"),
+                        hint: "add a row to the README environment-knobs table",
+                    });
+                }
+                if let Some(cli) = &cli_raw {
+                    if !token_in(cli, &var) && !sf.is_allowed("doc-knob-help", lineno) {
+                        out.push(Finding {
+                            file: sf.rel_path.clone(),
+                            line: lineno,
+                            rule: "doc-knob-help",
+                            what: format!("`{var}` read here but missing from the CLI help text"),
+                            hint: "document the knob in the CLI usage()/--help output",
+                        });
+                    }
+                }
+                read_vars.push(var);
+            }
+        }
+    }
+
+    // Stale README knobs: rows in the env-knobs section nothing reads.
+    for (lineno, var) in readme_knob_rows(&readme) {
+        if !read_vars.iter().any(|v| v == &var) {
+            out.push(Finding {
+                file: readme_rel.clone(),
+                line: lineno,
+                rule: "doc-knob-stale",
+                what: format!("`{var}` documented but never read in code"),
+                hint: "drop the stale row, or wire the knob back up",
+            });
+        }
+    }
+
+    // CLI table flags must be documented in the README.
+    if let (Some(cli), Some(cli_rel)) = (&cli_raw, &cfg.docsync_cli) {
+        let cli_sf = files
+            .iter()
+            .map(|(sf, _)| sf)
+            .find(|sf| &sf.rel_path == cli_rel);
+        for (lineno, flag) in cli_table_flags(cli) {
+            let allowed = cli_sf.is_some_and(|sf| sf.is_allowed("doc-flag-readme", lineno));
+            if !flag_in(&readme, &flag) && !allowed {
+                out.push(Finding {
+                    file: cli_rel.clone(),
+                    line: lineno,
+                    rule: "doc-flag-readme",
+                    what: format!("`{flag}` in the command table but missing from {readme_rel}"),
+                    hint: "document the flag in the README command reference",
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Every `DB_<NAME>` token on a raw line, word-bounded on both sides.
+fn db_tokens(raw_line: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(p) = raw_line[from..].find("DB_") {
+        let at = from + p;
+        let before = raw_line[..at].chars().next_back();
+        let name: String = raw_line[at..]
+            .chars()
+            .take_while(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || *c == '_')
+            .collect();
+        from = at + name.len().max(3);
+        let bounded = !matches!(before, Some(c) if c.is_ascii_alphanumeric() || c == '_');
+        if bounded && name.len() > 3 {
+            out.push(name);
+        }
+    }
+    out
+}
+
+/// Word-bounded presence of an upper-case token in a document.
+fn token_in(text: &str, tok: &str) -> bool {
+    let mut from = 0;
+    while let Some(p) = text[from..].find(tok) {
+        let at = from + p;
+        from = at + tok.len();
+        let before = text[..at].chars().next_back();
+        let after = text[at + tok.len()..].chars().next();
+        let lb = !matches!(before, Some(c) if c.is_ascii_alphanumeric() || c == '_');
+        let rb = !matches!(after, Some(c) if c.is_ascii_alphanumeric() || c == '_');
+        if lb && rb {
+            return true;
+        }
+    }
+    false
+}
+
+/// `--flag` presence: bounded so `--window` doesn't satisfy `--win`.
+fn flag_in(text: &str, flag: &str) -> bool {
+    let mut from = 0;
+    while let Some(p) = text[from..].find(flag) {
+        let at = from + p;
+        from = at + flag.len();
+        let after = text[at + flag.len()..].chars().next();
+        let rb = !matches!(after, Some(c) if c.is_ascii_lowercase() || c == '-');
+        if rb {
+            return true;
+        }
+    }
+    false
+}
+
+/// `(line, DB_*)` rows inside the README's "Environment knobs" section
+/// (from the heading to the next heading). Rows annotated with the
+/// markdown allow comment are skipped.
+fn readme_knob_rows(readme: &str) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    let mut in_section = false;
+    for (idx, line) in readme.lines().enumerate() {
+        if line.starts_with('#') {
+            in_section = line.contains("Environment knobs");
+            continue;
+        }
+        if in_section && !line.contains("db-lint: allow(doc-knob-stale)") {
+            for var in db_tokens(line) {
+                out.push((idx + 1, var));
+            }
+        }
+    }
+    out
+}
+
+/// `(line, --flag)` for every flag string literal inside a
+/// `const *FLAGS*`/`const *COMMANDS*` table in the CLI source.
+fn cli_table_flags(cli: &str) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    let mut in_table = false;
+    for (idx, line) in cli.lines().enumerate() {
+        let t = line.trim_start();
+        if t.starts_with("const ") || t.starts_with("pub const ") {
+            let name: String = t
+                .trim_start_matches("pub ")
+                .trim_start_matches("const ")
+                .chars()
+                .take_while(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || *c == '_')
+                .collect();
+            in_table = name.contains("FLAGS") || name.contains("COMMANDS");
+        }
+        if in_table {
+            let mut from = 0;
+            while let Some(p) = line[from..].find("\"--") {
+                let at = from + p;
+                let flag: String = line[at + 1..].chars().take_while(|c| *c != '"').collect();
+                from = at + 1 + flag.len();
+                out.push((idx + 1, flag));
+            }
+            if line.contains("];") {
+                in_table = false;
+            }
+        }
+    }
+    out
+}

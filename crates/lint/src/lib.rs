@@ -8,9 +8,12 @@
 //! committed `lint.baseline.json` that only ratchets downward.
 
 pub mod baseline;
+pub mod conc;
 pub mod config;
+pub mod docsync;
 pub mod findings;
 pub mod rules;
+pub mod schema;
 pub mod source;
 
 use baseline::{Baseline, Ratchet};
@@ -32,19 +35,23 @@ pub struct Report {
     pub files_scanned: usize,
 }
 
-/// Scan every tracked `.rs` file under `root` and run the tier rules.
+/// Scan every tracked `.rs` file under `root` and run the tier rules,
+/// then the cross-file knob/doc sync pass.
 pub fn run_check(root: &Path, cfg: &LintConfig) -> Result<Vec<Finding>, String> {
     let mut files = Vec::new();
     collect_rs(root, root, &mut files)?;
     files.sort();
     let mut findings = Vec::new();
+    let mut scanned: Vec<(ScannedFile, String)> = Vec::new();
     for rel in &files {
         let abs = root.join(rel);
         let content =
             std::fs::read_to_string(&abs).map_err(|e| format!("reading {}: {e}", abs.display()))?;
         let sf = ScannedFile::scan(rel, &content);
         findings.extend(rules::check_file(&sf, cfg));
+        scanned.push((sf, content));
     }
+    findings.extend(docsync::check(root, cfg, &scanned)?);
     findings.sort();
     Ok(findings)
 }
@@ -112,7 +119,7 @@ mod tests {
         LintConfig {
             deterministic_crates: vec!["core".into()],
             hotpath: BTreeMap::new(),
-            wire_files: Vec::new(),
+            ..LintConfig::default()
         }
     }
 

@@ -3,6 +3,7 @@
 use db_lint::baseline::Baseline;
 use db_lint::config::LintConfig;
 use db_lint::findings::{escape, render_json, render_table};
+use db_lint::schema::Schema;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -12,6 +13,7 @@ db-lint — Drift-Bottle workspace invariant checker
 USAGE:
   db-lint check [--deny] [--format=table|json] [--baseline=PATH]
                 [--config=PATH] [--root=PATH] [--write-baseline]
+                [--schema] [--write-schema] [--schema-path=PATH]
   db-lint rules
 
 FLAGS:
@@ -21,6 +23,10 @@ FLAGS:
   --config=PATH      tier config (default: <root>/lint.toml)
   --root=PATH        workspace root (default: nearest dir with lint.toml)
   --write-baseline   regenerate the baseline from the current findings
+  --schema           diff the extracted wire schema against the committed
+                     one; any incompatible layout change exits non-zero
+  --write-schema     regenerate the committed wire schema from the code
+  --schema-path=PATH committed schema (default: <root>/wire.schema.json)
 ";
 
 fn main() -> ExitCode {
@@ -58,21 +64,30 @@ fn run() -> Result<ExitCode, String> {
 fn check(args: &[String]) -> Result<ExitCode, String> {
     let mut deny = false;
     let mut write_baseline = false;
+    let mut schema_check = false;
+    let mut write_schema = false;
     let mut format = "table".to_string();
     let mut baseline_path: Option<PathBuf> = None;
     let mut config_path: Option<PathBuf> = None;
+    let mut schema_path: Option<PathBuf> = None;
     let mut root: Option<PathBuf> = None;
     for a in args {
         if a == "--deny" {
             deny = true;
         } else if a == "--write-baseline" {
             write_baseline = true;
+        } else if a == "--schema" {
+            schema_check = true;
+        } else if a == "--write-schema" {
+            write_schema = true;
         } else if let Some(v) = a.strip_prefix("--format=") {
             format = v.to_string();
         } else if let Some(v) = a.strip_prefix("--baseline=") {
             baseline_path = Some(PathBuf::from(v));
         } else if let Some(v) = a.strip_prefix("--config=") {
             config_path = Some(PathBuf::from(v));
+        } else if let Some(v) = a.strip_prefix("--schema-path=") {
+            schema_path = Some(PathBuf::from(v));
         } else if let Some(v) = a.strip_prefix("--root=") {
             root = Some(PathBuf::from(v));
         } else {
@@ -89,8 +104,45 @@ fn check(args: &[String]) -> Result<ExitCode, String> {
     };
     let config_path = config_path.unwrap_or_else(|| root.join("lint.toml"));
     let baseline_path = baseline_path.unwrap_or_else(|| root.join("lint.baseline.json"));
+    let schema_path = schema_path.unwrap_or_else(|| root.join("wire.schema.json"));
 
     let cfg = LintConfig::load(&config_path)?;
+
+    if write_schema {
+        let extracted = Schema::extract(&root, &cfg)?;
+        std::fs::write(&schema_path, extracted.render())
+            .map_err(|e| format!("writing {}: {e}", schema_path.display()))?;
+        eprintln!(
+            "db-lint: wrote {} ({} entries)",
+            schema_path.display(),
+            extracted.entries.len()
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let mut schema_violations: Vec<String> = Vec::new();
+    if schema_check {
+        if !schema_path.exists() {
+            return Err(format!(
+                "--schema: {} does not exist; bootstrap it with --write-schema",
+                schema_path.display()
+            ));
+        }
+        let committed = Schema::load(&schema_path)?;
+        let extracted = Schema::extract(&root, &cfg)?;
+        schema_violations = committed.diff(&extracted);
+        for v in &schema_violations {
+            eprintln!("db-lint: schema drift: {v}");
+        }
+        if !schema_violations.is_empty() {
+            eprintln!(
+                "db-lint: wire schema drifted incompatibly ({} violation(s)); \
+                 append inside a counted extension block or bump the version \
+                 constant, then regenerate with --write-schema",
+                schema_violations.len()
+            );
+        }
+    }
     let baseline = if baseline_path.exists() {
         Baseline::load(&baseline_path)?
     } else {
@@ -137,7 +189,7 @@ fn check(args: &[String]) -> Result<ExitCode, String> {
             );
         }
     }
-    if regressed && deny {
+    if (regressed && deny) || !schema_violations.is_empty() {
         Ok(ExitCode::FAILURE)
     } else {
         Ok(ExitCode::SUCCESS)

@@ -51,6 +51,38 @@ pub const ALL_RULES: &[(&str, &str)] = &[
         "encode* without a decode* sibling or a round-trip test in the same module",
     ),
     (
+        "conc-nested-lock",
+        "two mutex guards live in one scope: deadlock-prone ordering; merge or sequence the locks",
+    ),
+    (
+        "conc-guard-io",
+        "mutex guard held across socket/file I/O: one slow peer stalls every other holder",
+    ),
+    (
+        "conc-lock-unwrap",
+        ".lock().unwrap()/.expect() outside tests: poison cascades; use db_util::sync::lock_recover",
+    ),
+    (
+        "conc-relaxed-publish",
+        "Ordering::Relaxed outside the counter allowlist: gates other data without ordering",
+    ),
+    (
+        "doc-knob-readme",
+        "DB_* env var read in code but missing from the README env-knobs table",
+    ),
+    (
+        "doc-knob-help",
+        "DB_* env var read in code but missing from the CLI --help text",
+    ),
+    (
+        "doc-knob-stale",
+        "README documents a DB_* knob nothing reads",
+    ),
+    (
+        "doc-flag-readme",
+        "flag in the CLI command table but missing from the README",
+    ),
+    (
         "allow-reason",
         "db-lint allow annotation without a reason (or naming an unknown rule)",
     ),
@@ -72,6 +104,9 @@ pub fn check_file(sf: &ScannedFile, cfg: &LintConfig) -> Vec<Finding> {
     }
     if cfg.is_wire(&sf.rel_path) {
         wire_rules(sf, &mut out);
+    }
+    if cfg.is_concurrency(&sf.rel_path) {
+        crate::conc::conc_rules(sf, cfg, &mut out);
     }
     out.sort();
     out

@@ -1,0 +1,430 @@
+//! Wire-schema extraction and the drift ratchet (DESIGN.md §17).
+//!
+//! The extractor reconstructs each frame's layout from the `[wire]`-tier
+//! files by reading the `ByteWriter` call sequence inside every encoder
+//! (`encode*` functions plus `to_bytes`), with no execution: the op list
+//! `u8 u64 seq` *is* the byte layout, because the writer is append-only.
+//!
+//! Grammar, in full:
+//!
+//! * a writer op is `.<m>(…)` for `m` in the `ByteWriter` method set
+//!   (`u8 u16w u32 u64 usize f64 str seq option`);
+//! * `.u8(CONST)` where `CONST` is an `OP_`/`TAG_`-prefixed upper-case
+//!   constant starts a new *frame* named after the constant (the match-arm
+//!   discriminant convention of `frame.rs` and `flight.rs`); ops before
+//!   the first marker — or in a marker-free encoder — belong to a frame
+//!   named `-` (the whole function is one frame);
+//! * a call to another `encode*`/`to_bytes` function records as
+//!   `call:<name>` — nesting is not expanded, so a change inside a shared
+//!   encoder is caught once, at its own frame;
+//! * a trailing `seq(<integer literal>)` splits the frame into a base
+//!   layout and a *counted trailing extension block* (the `Frame::Stats`
+//!   convention): old decoders skip fields they don't know by count.
+//!
+//! Known limit: encoders that write through a raw `&mut [u8]`
+//! (`header.rs`'s fixed-size in-band header) produce no ops and are
+//! skipped; their layout is guarded by the constants they declare, which
+//! the extractor records for every wire file.
+//!
+//! The diff (`db-lint --schema`) fails on any layout change that is not an
+//! append inside an extension block, unless a `*VERSION*`/`*MAGIC*`
+//! constant in the same file changed with it — the explicit
+//! incompatibility signal.
+
+use crate::config::LintConfig;
+use crate::findings::escape;
+use crate::source::ScannedFile;
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Writer methods, longest-first so `.u16w(` wins over a would-be `.u16(`.
+const WRITER_METHODS: &[&str] = &[
+    "option", "usize", "u16w", "u64", "u32", "str", "seq", "f64", "u8",
+];
+
+/// A canonical schema: flat `key → layout` map.
+///
+/// Keys: `<file>|frame|<fn>|<FRAME>` (base ops, space-joined),
+/// `<file>|frame|<fn>|<FRAME>|ext` (`<count>|<ops>`), and
+/// `<file>|const|<NAME>` (declared value text).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Schema {
+    pub entries: BTreeMap<String, String>,
+}
+
+/// One incompatible layout change, as a human-readable sentence.
+pub type Violation = String;
+
+impl Schema {
+    /// Extract the schema for every `[wire]`-tier file under `root`.
+    pub fn extract(root: &Path, cfg: &LintConfig) -> Result<Schema, String> {
+        let mut entries = BTreeMap::new();
+        for rel in &cfg.wire_files {
+            let abs = root.join(rel);
+            let content = std::fs::read_to_string(&abs)
+                .map_err(|e| format!("reading {}: {e}", abs.display()))?;
+            extract_file(rel, &content, &mut entries);
+        }
+        Ok(Schema { entries })
+    }
+
+    /// Diff `self` (committed) against `new` (extracted): the list of
+    /// incompatible changes, after version-bump waivers.
+    pub fn diff(&self, new: &Schema) -> Vec<Violation> {
+        let mut raw: Vec<(String, Violation)> = Vec::new(); // (file, message)
+        for (key, old_val) in &self.entries {
+            let file = key.split('|').next().unwrap_or(key).to_string();
+            let Some(new_val) = new.entries.get(key) else {
+                raw.push((file, format!("`{key}` removed (was \"{old_val}\")")));
+                continue;
+            };
+            if new_val == old_val {
+                continue;
+            }
+            if let Some(base_key) = key.strip_suffix("|ext") {
+                if ext_append_ok(old_val, new_val) {
+                    continue;
+                }
+                raw.push((
+                    file,
+                    format!(
+                        "`{base_key}` extension block changed incompatibly (was \"{old_val}\", now \"{new_val}\") — old fields must stay a prefix"
+                    ),
+                ));
+            } else {
+                raw.push((
+                    file,
+                    format!("`{key}` layout changed (was \"{old_val}\", now \"{new_val}\")"),
+                ));
+            }
+        }
+        // New frames, constants, and files are compatible by construction
+        // (nothing decodes them yet) — except a frame *gaining* an
+        // extension block, which inserts a count into the byte stream.
+        for key in new.entries.keys() {
+            if self.entries.contains_key(key) {
+                continue;
+            }
+            if let Some(base_key) = key.strip_suffix("|ext") {
+                if self.entries.contains_key(base_key) {
+                    let file = key.split('|').next().unwrap_or(key).to_string();
+                    raw.push((
+                        file,
+                        format!(
+                            "`{base_key}` gained an extension block — that inserts a count old decoders don't expect"
+                        ),
+                    ));
+                }
+            }
+        }
+        let bumped: Vec<String> = new
+            .entries
+            .iter()
+            .filter(|(k, v)| {
+                let is_version_const = k
+                    .split('|')
+                    .nth(2)
+                    .is_some_and(|n| n.contains("VERSION") || n.contains("MAGIC"))
+                    && k.split('|').nth(1) == Some("const");
+                is_version_const && self.entries.get(*k) != Some(*v)
+            })
+            .filter_map(|(k, _)| k.split('|').next().map(str::to_string))
+            .collect();
+        raw.into_iter()
+            .filter(|(file, _)| !bumped.contains(file))
+            .map(|(_, msg)| msg)
+            .collect()
+    }
+
+    /// Parse the committed `wire.schema.json` (flat string→string object).
+    pub fn parse(text: &str) -> Result<Schema, String> {
+        let mut entries = BTreeMap::new();
+        let body = text
+            .trim()
+            .strip_prefix('{')
+            .and_then(|b| b.strip_suffix('}'))
+            .ok_or("schema: expected a JSON object")?;
+        for part in split_top(body) {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (key, rest) = json_string(part)?;
+            let rest = rest.trim_start();
+            let rest = rest
+                .strip_prefix(':')
+                .ok_or_else(|| format!("schema: missing `:` after key `{key}`"))?;
+            let (val, tail) = json_string(rest.trim_start())?;
+            if !tail.trim().is_empty() {
+                return Err(format!("schema: trailing data after value for `{key}`"));
+            }
+            entries.insert(key, val);
+        }
+        Ok(Schema { entries })
+    }
+
+    pub fn load(path: &Path) -> Result<Schema, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        Schema::parse(&text)
+    }
+
+    pub fn render(&self) -> String {
+        let mut out = String::from("{\n");
+        let n = self.entries.len();
+        for (i, (k, v)) in self.entries.iter().enumerate() {
+            out.push_str(&format!("  \"{}\": \"{}\"", escape(k), escape(v)));
+            out.push_str(if i + 1 < n { ",\n" } else { "\n" });
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Old ext `<count>|<ops>` must be a prefix of the new one, op-wise. The
+/// count literal may move (it is the append signal); the wire stays
+/// decodable because old readers skip by the on-wire count.
+fn ext_append_ok(old: &str, new: &str) -> bool {
+    let ops = |v: &str| {
+        v.split_once('|')
+            .map(|(_, o)| o.to_string())
+            .unwrap_or_default()
+    };
+    let (old_ops, new_ops) = (ops(old), ops(new));
+    let old_list: Vec<&str> = old_ops.split_whitespace().collect();
+    let new_list: Vec<&str> = new_ops.split_whitespace().collect();
+    new_list.len() >= old_list.len() && new_list[..old_list.len()] == old_list[..]
+}
+
+// ---- extraction ------------------------------------------------------------
+
+fn extract_file(rel: &str, content: &str, entries: &mut BTreeMap<String, String>) {
+    let sf = ScannedFile::scan(rel, content);
+    let raw_lines: Vec<&str> = content.lines().collect();
+
+    // Constants: declaration detected on the scrubbed line, value taken
+    // from the raw line (string/byte values are scrubbed to blanks).
+    for (idx, line) in sf.scrubbed.iter().enumerate() {
+        if sf.is_test_line(idx + 1) {
+            continue;
+        }
+        if let Some(name) = const_decl(line) {
+            if let Some(raw) = raw_lines.get(idx) {
+                if let Some(eq) = raw.find('=') {
+                    let val = raw[eq + 1..].trim().trim_end_matches(';').trim();
+                    entries.insert(format!("{rel}|const|{name}"), val.to_string());
+                }
+            }
+        }
+    }
+
+    // Encoders: one op walk per function, split into frames at markers.
+    for span in &sf.fns {
+        if sf.is_test_line(span.first_line) {
+            continue;
+        }
+        if !(span.name.starts_with("encode") || span.name == "to_bytes") {
+            continue;
+        }
+        // Nested encode fns get their own span; skip lines owned by one.
+        let mut frames: Vec<(String, Vec<String>)> = vec![("-".to_string(), Vec::new())];
+        for lineno in span.first_line..=span.last_line {
+            let line = &sf.scrubbed[lineno - 1];
+            if sf.is_test_line(lineno) {
+                continue;
+            }
+            if lineno != span.first_line && sf.enclosing_fn(lineno) != Some(span.name.as_str()) {
+                continue;
+            }
+            for op in line_ops(line) {
+                match op {
+                    Op::Marker(name) => frames.push((name, Vec::new())),
+                    Op::Write(tok) => frames.last_mut().expect("nonempty").1.push(tok),
+                }
+            }
+        }
+        for (frame, ops) in frames {
+            if ops.is_empty() {
+                continue;
+            }
+            let key = format!("{rel}|frame|{}|{frame}", span.name);
+            match split_ext(&ops) {
+                Some((base, count, ext)) => {
+                    entries.insert(key.clone(), base.join(" "));
+                    entries.insert(format!("{key}|ext"), format!("{count}|{}", ext.join(" ")));
+                }
+                None => {
+                    entries.insert(key, ops.join(" "));
+                }
+            }
+        }
+    }
+}
+
+/// `const NAME: …` / `pub const NAME: …` on a scrubbed line, for an
+/// upper-case NAME.
+fn const_decl(line: &str) -> Option<String> {
+    let t = line.trim_start();
+    let t = t.strip_prefix("pub ").unwrap_or(t);
+    let rest = t.strip_prefix("const ")?;
+    let name: String = rest
+        .chars()
+        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+        .collect();
+    (!name.is_empty()
+        && name
+            .chars()
+            .all(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || c == '_'))
+    .then_some(name)
+}
+
+enum Op {
+    /// `u8(OP_X)`: start of the frame named by the constant.
+    Marker(String),
+    /// Any other writer op or `call:<encoder>` token.
+    Write(String),
+}
+
+/// All ops on one scrubbed line, in byte-position order.
+fn line_ops(line: &str) -> Vec<Op> {
+    let mut found: Vec<(usize, Op)> = Vec::new();
+    for m in WRITER_METHODS {
+        let pat = format!(".{m}(");
+        let mut from = 0;
+        while let Some(p) = line[from..].find(&pat) {
+            let at = from + p;
+            from = at + pat.len();
+            let arg_start = at + pat.len();
+            let arg = arg_text(&line[arg_start..]);
+            if *m == "u8" {
+                if let Some(marker) = marker_const(&arg) {
+                    found.push((at, Op::Marker(marker)));
+                    continue;
+                }
+            }
+            if *m == "seq" {
+                if let Some(n) = int_literal(&arg) {
+                    found.push((at, Op::Write(format!("seq#{n}"))));
+                    continue;
+                }
+            }
+            found.push((at, Op::Write((*m).to_string())));
+        }
+    }
+    // Calls into sibling encoders; skip definition lines.
+    if !line.contains("fn ") {
+        for callee in ["encode", "to_bytes"] {
+            let mut from = 0;
+            while let Some(p) = line[from..].find(callee) {
+                let at = from + p;
+                from = at + callee.len();
+                let before = line[..at].chars().next_back();
+                if matches!(before, Some(c) if c.is_ascii_alphanumeric() || c == '_') {
+                    continue;
+                }
+                let name: String = line[at..]
+                    .chars()
+                    .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                    .collect();
+                if line[at + name.len()..].starts_with('(') {
+                    found.push((at, Op::Write(format!("call:{name}"))));
+                    from = at + name.len();
+                }
+            }
+        }
+    }
+    found.sort_by_key(|(p, _)| *p);
+    found.into_iter().map(|(_, op)| op).collect()
+}
+
+/// The argument text up to the call's matching close paren (best-effort:
+/// the whole rest of the line if the call spans lines).
+fn arg_text(after_open: &str) -> String {
+    let mut depth = 1usize;
+    for (i, c) in after_open.char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return after_open[..i].trim().to_string();
+                }
+            }
+            _ => {}
+        }
+    }
+    after_open.trim().to_string()
+}
+
+/// `OP_X` / `TAG_X`: the frame-marker constants.
+fn marker_const(arg: &str) -> Option<String> {
+    let ok = (arg.starts_with("OP_") || arg.starts_with("TAG_"))
+        && arg
+            .chars()
+            .all(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || c == '_');
+    ok.then(|| arg.to_string())
+}
+
+fn int_literal(arg: &str) -> Option<u64> {
+    let t = arg.replace('_', "");
+    (!t.is_empty() && t.chars().all(|c| c.is_ascii_digit()))
+        .then(|| t.parse().ok())
+        .flatten()
+}
+
+/// Split at the last literal-count `seq#N`: `(base, N, extension ops)`.
+fn split_ext(ops: &[String]) -> Option<(Vec<String>, u64, Vec<String>)> {
+    let at = ops.iter().rposition(|o| o.starts_with("seq#"))?;
+    let count: u64 = ops[at][4..].parse().ok()?;
+    Some((ops[..at].to_vec(), count, ops[at + 1..].to_vec()))
+}
+
+// ---- JSON helpers ----------------------------------------------------------
+
+/// Split a JSON object body on commas outside quoted strings.
+fn split_top(body: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut start = 0;
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in body.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_str => escaped = true,
+            '"' => in_str = !in_str,
+            ',' if !in_str => {
+                parts.push(&body[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(&body[start..]);
+    parts
+}
+
+/// Parse one leading JSON string; returns (unescaped value, rest).
+fn json_string(s: &str) -> Result<(String, &str), String> {
+    let rest = s
+        .strip_prefix('"')
+        .ok_or_else(|| format!("schema: expected a string at `{s}`"))?;
+    let mut out = String::new();
+    let mut chars = rest.char_indices();
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '\\' => match chars.next() {
+                Some((_, 'n')) => out.push('\n'),
+                Some((_, 't')) => out.push('\t'),
+                Some((_, 'r')) => out.push('\r'),
+                Some((_, other)) => out.push(other),
+                None => return Err("schema: dangling escape".into()),
+            },
+            '"' => return Ok((out, &rest[i + 1..])),
+            _ => out.push(c),
+        }
+    }
+    Err("schema: unterminated string".into())
+}

@@ -389,6 +389,9 @@ fn classify(scrubbed: &[String], file_is_test: bool) -> (Vec<bool>, Vec<FnSpan>)
     let mut pending_test_attr = false;
     // A `fn name` seen, waiting for its body `{` (or `;` for a trait decl).
     let mut pending_fn: Option<(String, usize)> = None;
+    // Square-bracket depth: a `;` inside `[u64; N]` (array types/repeats)
+    // is not a statement end and must not clear the pending states.
+    let mut brackets = 0usize;
 
     for (idx, line) in scrubbed.iter().enumerate() {
         let lineno = idx + 1;
@@ -444,7 +447,9 @@ fn classify(scrubbed: &[String], file_is_test: bool) -> (Vec<bool>, Vec<FnSpan>)
                         }
                     }
                 }
-                ';' => {
+                '[' => brackets += 1,
+                ']' => brackets = brackets.saturating_sub(1),
+                ';' if brackets == 0 => {
                     // Trait method declarations (`fn f();`) and annotated
                     // non-block items (`#[cfg(test)] mod x;`).
                     pending_fn = None;

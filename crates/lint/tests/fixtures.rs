@@ -1,7 +1,9 @@
 //! Rule-by-rule fixture tests: every rule has a positive fixture that must
-//! trip exactly that rule and a negative twin that must scan clean. Each
-//! fixture is staged into a throwaway root at the path that puts it in the
-//! right tier, then checked both through the library and — for positives —
+//! trip exactly that rule and a negative twin that must scan clean; the
+//! concurrency and docsync rules additionally have an `_allow` variant
+//! carrying a reasoned annotation that must also scan clean. Each fixture
+//! is staged into a throwaway root at the path that puts it in the right
+//! tier, then checked both through the library and — for positives —
 //! through the real binary with `--deny` (which must exit non-zero).
 
 use db_lint::config::LintConfig;
@@ -11,8 +13,9 @@ use std::path::{Path, PathBuf};
 use std::process::Command;
 
 /// The tier layout every fixture root gets: `util` and `core` are
-/// deterministic, `crates/core/src/hot.rs` has one hot fn, and
-/// `crates/core/src/wire.rs` is wire tier.
+/// deterministic, `crates/core/src/hot.rs` has one hot fn,
+/// `crates/core/src/wire.rs` is wire tier, and `crates/conc` is the
+/// concurrency tier (with `add` as the only allowlisted counter method).
 const FIXTURE_LINT_TOML: &str = r#"
 [deterministic]
 crates = ["util", "core"]
@@ -22,6 +25,18 @@ crates = ["util", "core"]
 
 [wire]
 files = ["crates/core/src/wire.rs"]
+
+[concurrency]
+crates = ["conc"]
+counter_methods = ["add"]
+"#;
+
+/// Appended to the staged `lint.toml` for doc-* fixtures, whose roots
+/// also carry a README and a CLI source (see `doc_companions`).
+const DOCSYNC_TOML: &str = r#"
+[docsync]
+readme = "README.md"
+cli = "src/bin/cli.rs"
 "#;
 
 /// Where a fixture lands inside the staged root, by rule family.
@@ -30,9 +45,61 @@ fn placement(rule: &str) -> &'static str {
         "crates/core/src/hot.rs"
     } else if rule.starts_with("wire-") {
         "crates/core/src/wire.rs"
+    } else if rule.starts_with("conc-") {
+        "crates/conc/src/fixture.rs"
+    } else if rule.starts_with("doc-") {
+        // Untiered crate: only the docsync pass applies.
+        "crates/app/src/fixture.rs"
     } else {
         // det-* and allow-reason: any deterministic-tier file.
         "crates/util/src/fixture.rs"
+    }
+}
+
+/// The README and CLI source staged alongside a doc-* fixture. What each
+/// one documents is the variable under test: the positive cases drop the
+/// knob or flag from exactly one document, the negatives document
+/// everything, and the allow cases annotate the drift instead.
+fn doc_companions(rule: &str, suffix: &str) -> (String, String) {
+    let head = "# fixture\n\nA tiny CLI. `--alpha` selects the fixture plan.\n";
+    let beta_doc = "`--beta` dumps the plan and exits.\n";
+    let knob_section = "\n## Environment knobs\n\n| variable | effect |\n|---|---|\n\
+         | `DB_FIXTURE_KNOB=N` | fixture capacity |\n";
+    let stale_section = "\n## Environment knobs\n\n| variable | effect |\n|---|---|\n\
+         | `DB_UNUSED_KNOB=N` | retired; row kept by mistake |\n";
+    let allowed_stale_section = "\n## Environment knobs\n\n| variable | effect |\n|---|---|\n\
+         | `DB_UNUSED_KNOB=N` | shipping next release \
+         <!-- db-lint: allow(doc-knob-stale) — documented ahead of the 0.9 cut --> |\n";
+
+    let cli = |flags: &str, env_line: &str| {
+        format!(
+            "//! Fixture CLI staged next to doc-* fixtures.\n\n\
+             const FLAGS: &[&str] = &[{flags}];\n\n\
+             fn usage() -> &'static str {{\n    \"usage: fixture [flags]\\n{env_line}\"\n}}\n\n\
+             fn main() {{\n    let _ = FLAGS;\n    println!(\"{{}}\", usage());\n}}\n"
+        )
+    };
+    let cli_with_knob = cli("\"--alpha\"", "  DB_FIXTURE_KNOB=N  fixture capacity\\n");
+    let cli_plain = cli("\"--alpha\"", "");
+    let cli_beta = cli("\"--alpha\", \"--beta\"", "");
+    let cli_beta_allowed = "//! Fixture CLI staged next to doc-* fixtures.\n\n\
+         const FLAGS: &[&str] = &[\"--alpha\", \"--beta\"]; \
+         // db-lint: allow(doc-flag-readme) — hidden debug flag, deliberately undocumented\n\n\
+         fn main() {\n    let _ = FLAGS;\n}\n"
+        .to_string();
+
+    match (rule, suffix) {
+        ("doc-knob-readme", "pos" | "allow") => (head.to_string(), cli_with_knob),
+        ("doc-knob-help", "pos" | "allow") => (format!("{head}{knob_section}"), cli_plain),
+        ("doc-knob-readme" | "doc-knob-help" | "doc-knob-stale", "neg") => {
+            (format!("{head}{knob_section}"), cli_with_knob)
+        }
+        ("doc-knob-stale", "pos") => (format!("{head}{stale_section}"), cli_plain),
+        ("doc-knob-stale", "allow") => (format!("{head}{allowed_stale_section}"), cli_plain),
+        ("doc-flag-readme", "pos") => (head.to_string(), cli_beta),
+        ("doc-flag-readme", "neg") => (format!("{head}{beta_doc}"), cli_beta),
+        ("doc-flag-readme", "allow") => (head.to_string(), cli_beta_allowed),
+        _ => unreachable!("no doc companions defined for {rule} {suffix}"),
     }
 }
 
@@ -52,7 +119,22 @@ fn stage(rule: &str, fixture: &str) -> PathBuf {
     let dest = root.join(placement(rule));
     fs::create_dir_all(dest.parent().expect("placement has a parent")).expect("mkdir");
     fs::copy(fixtures_dir().join(fixture), &dest).expect("copy fixture");
-    fs::write(root.join("lint.toml"), FIXTURE_LINT_TOML).expect("write lint.toml");
+    if rule.starts_with("doc-") {
+        let suffix = fixture
+            .trim_end_matches(".rs")
+            .rsplit('_')
+            .next()
+            .expect("fixture has a suffix");
+        let (readme, cli) = doc_companions(rule, suffix);
+        fs::write(root.join("README.md"), readme).expect("write README");
+        let cli_dest = root.join("src/bin/cli.rs");
+        fs::create_dir_all(cli_dest.parent().expect("cli parent")).expect("mkdir cli");
+        fs::write(cli_dest, cli).expect("write cli");
+        let toml = format!("{FIXTURE_LINT_TOML}{DOCSYNC_TOML}");
+        fs::write(root.join("lint.toml"), toml).expect("write lint.toml");
+    } else {
+        fs::write(root.join("lint.toml"), FIXTURE_LINT_TOML).expect("write lint.toml");
+    }
     root
 }
 
@@ -74,6 +156,27 @@ const CASES: &[&str] = &[
     "wire-endian",
     "wire-symmetry",
     "allow-reason",
+    "conc-nested-lock",
+    "conc-guard-io",
+    "conc-lock-unwrap",
+    "conc-relaxed-publish",
+    "doc-knob-readme",
+    "doc-knob-help",
+    "doc-knob-stale",
+    "doc-flag-readme",
+];
+
+/// Rules whose fixtures also include an `_allow` variant: the positive
+/// shape plus a reasoned annotation, which must scan clean.
+const ALLOW_CASES: &[&str] = &[
+    "conc-nested-lock",
+    "conc-guard-io",
+    "conc-lock-unwrap",
+    "conc-relaxed-publish",
+    "doc-knob-readme",
+    "doc-knob-help",
+    "doc-knob-stale",
+    "doc-flag-readme",
 ];
 
 fn fixture_name(rule: &str, suffix: &str) -> String {
@@ -107,6 +210,22 @@ fn every_negative_fixture_scans_clean() {
         assert!(
             findings.is_empty(),
             "{rule}: negative fixture tripped {:?}",
+            findings
+                .iter()
+                .map(|f| format!("{} at {}:{}", f.rule, f.file, f.line))
+                .collect::<Vec<_>>()
+        );
+    }
+}
+
+#[test]
+fn every_allow_fixture_scans_clean() {
+    for rule in ALLOW_CASES {
+        let root = stage(rule, &fixture_name(rule, "allow"));
+        let findings = check(&root);
+        assert!(
+            findings.is_empty(),
+            "{rule}: allow fixture tripped {:?}",
             findings
                 .iter()
                 .map(|f| format!("{} at {}:{}", f.rule, f.file, f.line))

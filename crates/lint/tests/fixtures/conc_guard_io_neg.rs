@@ -1,0 +1,10 @@
+//! The data is cloned out of the lock before any I/O happens.
+
+use std::io::Write;
+use std::sync::Mutex;
+
+pub fn flush_log(buf: &Mutex<Vec<u8>>, out: &mut std::fs::File) -> std::io::Result<()> {
+    let data = buf.lock().unwrap_or_else(|e| e.into_inner()).clone();
+    out.write_all(&data)?;
+    out.flush()
+}

@@ -1,0 +1,10 @@
+//! Blocking I/O while a mutex guard is live.
+
+use std::io::Write;
+use std::sync::Mutex;
+
+pub fn flush_log(buf: &Mutex<Vec<u8>>, out: &mut std::fs::File) -> std::io::Result<()> {
+    let data = buf.lock().unwrap_or_else(|e| e.into_inner());
+    out.write_all(&data)?;
+    out.flush()
+}

@@ -1,0 +1,8 @@
+//! Same shape as the positive fixture, with a reasoned allow.
+
+use std::sync::Mutex;
+
+pub fn read_total(m: &Mutex<u64>) -> u64 {
+    // db-lint: allow(conc-lock-unwrap) — init-time read; poisoning here is a programming error
+    *m.lock().unwrap()
+}

@@ -1,0 +1,7 @@
+//! Poison recovery instead of unwrap: the inner value is still valid.
+
+use std::sync::Mutex;
+
+pub fn read_total(m: &Mutex<u64>) -> u64 {
+    *m.lock().unwrap_or_else(|e| e.into_inner())
+}

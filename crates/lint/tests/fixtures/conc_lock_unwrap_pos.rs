@@ -1,0 +1,8 @@
+//! Raw `.lock().unwrap()` outside tests: poisoning becomes a panic
+//! cascade instead of going through the shared recovery helper.
+
+use std::sync::Mutex;
+
+pub fn read_total(m: &Mutex<u64>) -> u64 {
+    *m.lock().unwrap()
+}

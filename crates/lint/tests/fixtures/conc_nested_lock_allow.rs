@@ -1,0 +1,13 @@
+//! Same shape as the positive fixture, with a reasoned allow on the
+//! second acquisition.
+
+use std::sync::Mutex;
+
+pub fn drain(pending: &Mutex<Vec<u64>>, done: &Mutex<u64>) -> u64 {
+    let mut queue = pending.lock().unwrap_or_else(|e| e.into_inner());
+    // db-lint: allow(conc-nested-lock) — fixed order: pending before done, everywhere
+    let mut total = done.lock().unwrap_or_else(|e| e.into_inner());
+    *total += queue.len() as u64;
+    queue.clear();
+    *total
+}

@@ -1,0 +1,15 @@
+//! One guard at a time: the first lock is scoped out before the second.
+
+use std::sync::Mutex;
+
+pub fn drain(pending: &Mutex<Vec<u64>>, done: &Mutex<u64>) -> u64 {
+    let drained = {
+        let mut queue = pending.lock().unwrap_or_else(|e| e.into_inner());
+        let n = queue.len() as u64;
+        queue.clear();
+        n
+    };
+    let mut total = done.lock().unwrap_or_else(|e| e.into_inner());
+    *total += drained;
+    *total
+}

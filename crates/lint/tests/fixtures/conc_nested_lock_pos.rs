@@ -1,0 +1,11 @@
+//! Two guards live in one scope: the second acquisition must be flagged.
+
+use std::sync::Mutex;
+
+pub fn drain(pending: &Mutex<Vec<u64>>, done: &Mutex<u64>) -> u64 {
+    let mut queue = pending.lock().unwrap_or_else(|e| e.into_inner());
+    let mut total = done.lock().unwrap_or_else(|e| e.into_inner());
+    *total += queue.len() as u64;
+    queue.clear();
+    *total
+}

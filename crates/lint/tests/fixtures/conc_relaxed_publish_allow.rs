@@ -1,0 +1,10 @@
+//! Same shape as the positive fixture, with a reasoned allow.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+pub static READY: AtomicBool = AtomicBool::new(false);
+
+pub fn mark_ready() {
+    // db-lint: allow(conc-relaxed-publish) — readiness flag; readers re-check under the lock
+    READY.store(true, Ordering::Relaxed);
+}

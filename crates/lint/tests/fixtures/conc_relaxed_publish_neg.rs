@@ -1,0 +1,10 @@
+//! Relaxed inside an allowlisted counter method (`add`) is fine: a pure
+//! counter never gates other data.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub static HITS: AtomicU64 = AtomicU64::new(0);
+
+pub fn add(n: u64) {
+    HITS.fetch_add(n, Ordering::Relaxed);
+}

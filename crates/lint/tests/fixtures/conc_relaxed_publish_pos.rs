@@ -1,0 +1,10 @@
+//! A Relaxed store outside the counter-method allowlist: publication
+//! ordering is unstated, so the site needs a reasoned allow.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+pub static READY: AtomicBool = AtomicBool::new(false);
+
+pub fn mark_ready() {
+    READY.store(true, Ordering::Relaxed);
+}

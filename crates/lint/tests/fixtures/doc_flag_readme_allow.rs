@@ -1,0 +1,6 @@
+//! Inert code: the staged CLI's undocumented `--beta` row carries a
+//! trailing reasoned allow.
+
+pub fn capacity() -> usize {
+    16
+}

@@ -1,0 +1,6 @@
+//! Inert code: every flag in the staged CLI's FLAGS table appears in
+//! the README.
+
+pub fn capacity() -> usize {
+    16
+}

@@ -1,0 +1,6 @@
+//! Inert code: the drift lives between the staged CLI's FLAGS table
+//! (which lists `--beta`) and the README (which doesn't).
+
+pub fn capacity() -> usize {
+    16
+}

@@ -1,0 +1,10 @@
+//! Same setup as the positive fixture, with a reasoned allow on the
+//! reading line.
+
+pub fn capacity() -> usize {
+    // db-lint: allow(doc-knob-help) — knob predates the CLI; usage() rework tracked separately
+    std::env::var("DB_FIXTURE_KNOB")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(16)
+}

@@ -1,0 +1,8 @@
+//! Reads a knob both the staged README and the CLI help text document.
+
+pub fn capacity() -> usize {
+    std::env::var("DB_FIXTURE_KNOB")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(16)
+}

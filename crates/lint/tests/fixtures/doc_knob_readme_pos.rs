@@ -1,0 +1,8 @@
+//! Reads a knob the staged README does not document.
+
+pub fn capacity() -> usize {
+    std::env::var("DB_FIXTURE_KNOB")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(16)
+}

@@ -1,0 +1,8 @@
+//! The knob the staged README documents really is read.
+
+pub fn capacity() -> usize {
+    std::env::var("DB_FIXTURE_KNOB")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(16)
+}

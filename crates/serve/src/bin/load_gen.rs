@@ -23,6 +23,7 @@ use db_netsim::{
 };
 use db_serve::{read_frame, write_frame, Frame, Record, ServeOptions, Server, PROTO_VERSION};
 use db_topology::{zoo, LinkId, RouteTable};
+use db_util::sync::lock_recover;
 use std::collections::HashMap;
 use std::io::{BufReader, BufWriter, Write};
 use std::net::TcpStream;
@@ -210,6 +211,16 @@ enum ReaderEvent {
     Bye,
 }
 
+/// Latency-sampling state shared by the send loop (stamps a probe batch
+/// into `pending`) and the reader thread (resolves it into `samples` on
+/// ack). Both halves live under one mutex so either side takes exactly
+/// one lock — there is no pending→samples acquisition chain to order.
+#[derive(Default)]
+struct LatencyTracker {
+    pending: HashMap<u64, Instant>,
+    samples: Vec<u64>,
+}
+
 /// One measured replay pass: client-side throughput and sampled batch
 /// round-trip latency percentiles, plus the daemon's warning totals.
 struct PassOut {
@@ -340,35 +351,32 @@ fn run_pass(
 
     // Reader thread: drains acks (driving the pipeline window), collects
     // warned links, samples latency against the sender's pending map.
+    // The pending map and resolved samples live in ONE mutex so there is a
+    // single lock to take — no pending→samples acquisition chain to order
+    // against the send loop.
     let acked = Arc::new(AtomicU64::new(0));
     let warned = Arc::new(Mutex::new(Vec::<u16>::new()));
-    let pending: Arc<Mutex<HashMap<u64, Instant>>> = Arc::new(Mutex::new(HashMap::new()));
-    let latencies: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+    let latency: Arc<Mutex<LatencyTracker>> = Arc::default();
     let last_ack_at = Arc::new(Mutex::new(Instant::now()));
     let (tx, rx) = mpsc::channel::<ReaderEvent>();
     let reader = {
         let acked = acked.clone();
         let warned = warned.clone();
-        let pending = pending.clone();
-        let latencies = latencies.clone();
+        let latency = latency.clone();
         let last_ack_at = last_ack_at.clone();
         std::thread::spawn(move || {
             while let Ok(Some(frame)) = read_frame(&mut input) {
                 match frame {
                     Frame::IngestAck { warnings, .. } => {
                         let n = acked.fetch_add(1, Ordering::SeqCst) + 1;
-                        *last_ack_at.lock().unwrap() = Instant::now();
+                        *lock_recover(&last_ack_at) = Instant::now();
                         if !warnings.is_empty() {
-                            warned
-                                .lock()
-                                .unwrap()
-                                .extend(warnings.iter().map(|w| w.link));
+                            lock_recover(&warned).extend(warnings.iter().map(|w| w.link));
                         }
-                        if let Some(t0) = pending.lock().unwrap().remove(&n) {
-                            latencies
-                                .lock()
-                                .unwrap()
-                                .push(u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX));
+                        let mut lat = lock_recover(&latency);
+                        if let Some(t0) = lat.pending.remove(&n) {
+                            let us = u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX);
+                            lat.samples.push(us);
                         }
                     }
                     Frame::Stats {
@@ -408,7 +416,9 @@ fn run_pass(
                 .collect();
             batches += 1;
             if batches.is_multiple_of(LATENCY_SAMPLE_EVERY) {
-                pending.lock().unwrap().insert(batches, Instant::now());
+                lock_recover(&latency)
+                    .pending
+                    .insert(batches, Instant::now());
             }
             write_frame(&mut out, &Frame::Records(batch)).expect("send records");
             out.flush().expect("flush records");
@@ -433,16 +443,13 @@ fn run_pass(
         Ok(ReaderEvent::Bye) => panic!("daemon said bye before stats"),
         Err(e) => panic!("no stats from daemon: {e}"),
     };
-    let elapsed = last_ack_at
-        .lock()
-        .unwrap()
-        .saturating_duration_since(t0)
-        .as_secs_f64();
+    let last_ack = *lock_recover(&last_ack_at);
+    let elapsed = last_ack.saturating_duration_since(t0).as_secs_f64();
     // `>=` — a long-lived daemon may hold records from earlier clients and
     // passes.
     assert!(stats.0 >= sent, "daemon ingested every record sent");
 
-    let mut lats = latencies.lock().unwrap().clone();
+    let mut lats = lock_recover(&latency).samples.clone();
     lats.sort_unstable();
     let pct = |q: usize| {
         if lats.is_empty() {
@@ -471,7 +478,7 @@ fn run_pass(
     let _ = sock.shutdown(std::net::Shutdown::Both);
     let _ = reader.join();
 
-    let warned = warned.lock().unwrap().clone();
+    let warned = lock_recover(&warned).clone();
     (
         PassOut {
             sent,

@@ -27,12 +27,13 @@ use db_telemetry::export::to_prometheus;
 use db_telemetry::scope::{ScopeMeta, ScopePoint, ScopeRecorder};
 use db_telemetry::{Counter, Histogram, MetricsRegistry};
 use db_topology::{zoo, LinkId, NodeId, Path, Topology};
+use db_util::sync::lock_recover;
 use std::collections::HashMap;
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -107,9 +108,36 @@ pub fn parse_topo(spec: &str) -> Option<Topology> {
     }
 }
 
-/// One Pulse subscriber: its stream and the next window it expects.
+/// Frames a subscriber's writer thread may buffer before the publisher
+/// starts shedding: deep enough to ride out scheduling hiccups, shallow
+/// enough that a stalled reader cannot pin unbounded memory.
+const SUB_QUEUE_DEPTH: usize = 64;
+
+/// Hand `stream` to a dedicated writer thread and return the bounded
+/// sending half. Publishing under the engine lock is then a `try_send` —
+/// never a socket write — so one slow reader cannot stall every session
+/// sharing the engine. The thread exits when the sender is dropped or the
+/// peer stops reading (write error), which closes the channel and lets the
+/// publisher drop the subscriber on the next `try_send`.
+fn spawn_sub_writer(stream: TcpStream) -> mpsc::SyncSender<Frame> {
+    let (tx, rx) = mpsc::sync_channel::<Frame>(SUB_QUEUE_DEPTH);
+    thread::spawn(move || {
+        let mut out = BufWriter::new(stream);
+        while let Ok(frame) = rx.recv() {
+            if write_frame(&mut out, &frame).is_err() || out.flush().is_err() {
+                break;
+            }
+        }
+    });
+    tx
+}
+
+/// One Pulse subscriber: its writer-thread queue and the next window it
+/// expects. The cursor only advances when a pulse is accepted by the
+/// queue, so a full queue means "retry from the same window next batch" —
+/// pulses are never skipped, only deferred.
 struct PulseSub {
-    stream: TcpStream,
+    tx: mpsc::SyncSender<Frame>,
     cursor: u64,
 }
 
@@ -125,8 +153,10 @@ struct EngineState {
     /// Slow-tick watchdog: batches whose wall-clock handling exceeded one
     /// monitoring interval.
     slow_ticks: u64,
-    /// Live-warning subscribers (TCP sessions only).
-    subscribers: Vec<TcpStream>,
+    /// Live-warning subscribers (TCP sessions only), as writer-thread
+    /// queues: warnings to a full queue are shed (counted in
+    /// `serve.sub_dropped`), not waited on.
+    subscribers: Vec<mpsc::SyncSender<Frame>>,
     /// Pulse subscribers, each with its own window cursor.
     pulse_subs: Vec<PulseSub>,
     /// The engine's health-series recorder (always attached by `build`).
@@ -138,6 +168,8 @@ struct EngineState {
     ingested_ctr: Counter,
     warned_ctr: Counter,
     slow_ctr: Counter,
+    /// Warning frames shed because a subscriber's queue was full.
+    sub_dropped_ctr: Counter,
     batch_hist: Histogram,
 }
 
@@ -217,8 +249,10 @@ impl EngineState {
         }
     }
 
-    /// Push a pulse to every subscriber whose cursor is behind the flush
-    /// watermark; dead subscribers are dropped. Called after each batch.
+    /// Queue a pulse for every subscriber whose cursor is behind the flush
+    /// watermark; subscribers whose writer thread died are dropped, and a
+    /// full queue leaves the cursor in place so the same window is retried
+    /// next batch. Called after each batch — no socket I/O happens here.
     fn pulse_publish(&mut self) {
         if self.pulse_subs.is_empty() {
             return;
@@ -231,13 +265,14 @@ impl EngineState {
             }
             let msg = self.pulse_msg(sub.cursor);
             let next = msg.next_window;
-            if write_frame(&mut sub.stream, &Frame::Pulse(msg)).is_err()
-                || sub.stream.flush().is_err()
-            {
-                return false;
+            match sub.tx.try_send(Frame::Pulse(msg)) {
+                Ok(()) => {
+                    sub.cursor = next;
+                    true
+                }
+                Err(mpsc::TrySendError::Full(_)) => true, // retry this window
+                Err(mpsc::TrySendError::Disconnected(_)) => false,
             }
-            sub.cursor = next;
-            true
         });
         self.pulse_subs = subs;
     }
@@ -255,8 +290,11 @@ impl EngineState {
         }
     }
 
-    /// Apply freshly raised warnings: count them, push a `Warning` frame to
-    /// every live subscriber (dead ones are dropped), convert for the ack.
+    /// Apply freshly raised warnings: count them, queue a `Warning` frame
+    /// for every live subscriber, convert for the ack. Subscribers whose
+    /// writer thread died are dropped; frames to a full queue are shed and
+    /// counted (`serve.sub_dropped`) rather than waited on, so a stalled
+    /// subscriber never blocks ingest.
     fn publish(&mut self, raised: &[Warning]) -> Vec<WarningMsg> {
         let msgs: Vec<WarningMsg> = raised.iter().map(warning_msg).collect();
         self.warned += msgs.len() as u64;
@@ -265,13 +303,16 @@ impl EngineState {
             for m in &msgs {
                 self.reg.counter(&format!("serve.warned.l{}", m.link)).inc();
             }
+            let dropped = &self.sub_dropped_ctr;
             self.subscribers.retain_mut(|sub| {
                 for m in &msgs {
-                    if write_frame(sub, &Frame::Warning(m.clone())).is_err() {
-                        return false;
+                    match sub.try_send(Frame::Warning(m.clone())) {
+                        Ok(()) => {}
+                        Err(mpsc::TrySendError::Full(_)) => dropped.inc(),
+                        Err(mpsc::TrySendError::Disconnected(_)) => return false,
                     }
                 }
-                sub.flush().is_ok()
+                true
             });
         }
         msgs
@@ -341,7 +382,7 @@ impl Shared {
         seed: u64,
         window_cap: u32,
     ) -> Result<Arc<Mutex<EngineState>>, String> {
-        let mut engines = self.engines.lock().expect("engines lock");
+        let mut engines = lock_recover(&self.engines);
         if let Some(e) = engines.get(topo) {
             return Ok(e.clone());
         }
@@ -465,16 +506,19 @@ impl Shared {
             ingested_ctr: self.reg.counter("serve.ingested"),
             warned_ctr: self.reg.counter("serve.warnings"),
             slow_ctr: self.reg.counter("serve.slow_ticks"),
+            sub_dropped_ctr: self.reg.counter("serve.sub_dropped"),
             batch_hist: self
                 .reg
                 .histogram("serve.ingest_batch_us", BATCH_LATENCY_BOUNDS_US),
         })
     }
 
-    /// Persist `state`'s engine to the configured snapshot path.
-    fn persist(&self, state: &EngineState) -> io::Result<()> {
+    /// Persist already-extracted snapshot bytes to the configured path.
+    /// Takes bytes, not the engine state, so callers snapshot under the
+    /// engine lock and write to disk after dropping it.
+    fn persist(&self, bytes: &[u8]) -> io::Result<()> {
         if let Some(path) = &self.snapshot {
-            std::fs::write(path, state.engine.snapshot())?;
+            std::fs::write(path, bytes)?;
         }
         Ok(())
     }
@@ -518,7 +562,7 @@ fn session<R: Read, W: Write>(
                 }
                 match shared.engine_for(&topo, density, seed, window_cap) {
                     Ok(entry) => {
-                        let ack = entry.lock().expect("engine lock").hello_ack();
+                        let ack = lock_recover(&entry).hello_ack();
                         current = Some(entry);
                         write_frame(out, &ack)?;
                     }
@@ -529,9 +573,18 @@ fn session<R: Read, W: Write>(
             }
             Frame::Shutdown => {
                 if let Some(entry) = &current {
-                    let state = entry.lock().expect("engine lock");
-                    if let Err(e) = shared.persist(&state) {
-                        eprintln!("serve: snapshot on shutdown failed: {e}");
+                    // Snapshot under the engine lock, write to disk after
+                    // dropping it: the file write must not stall other
+                    // sessions on this engine.
+                    let bytes = if shared.snapshot.is_some() {
+                        Some(lock_recover(entry).engine.snapshot())
+                    } else {
+                        None
+                    };
+                    if let Some(bytes) = bytes {
+                        if let Err(e) = shared.persist(&bytes) {
+                            eprintln!("serve: snapshot on shutdown failed: {e}");
+                        }
                     }
                 }
                 shared.stopping.store(true, Ordering::SeqCst);
@@ -546,7 +599,9 @@ fn session<R: Read, W: Write>(
             out.flush()?;
             continue;
         };
-        let mut state = entry.lock().expect("engine lock");
+        let mut state = lock_recover(entry);
+        // Snapshot bytes to persist once the engine guard is released.
+        let mut persist_after: Option<Vec<u8>> = None;
         let reply = match frame {
             Frame::Records(records) => {
                 let t0 = Instant::now();
@@ -571,7 +626,7 @@ fn session<R: Read, W: Write>(
             } => register_flow(&mut state, id, rtt_ms, &nodes, &links),
             Frame::Subscribe => match tcp.and_then(|s| s.try_clone().ok()) {
                 Some(clone) => {
-                    state.subscribers.push(clone);
+                    state.subscribers.push(spawn_sub_writer(clone));
                     state.stats()
                 }
                 None => Frame::Error("subscribe needs a socket session".into()),
@@ -583,7 +638,7 @@ fn session<R: Read, W: Write>(
                     // the stored cursor continues where it left off.
                     let msg = state.pulse_msg(from_window);
                     state.pulse_subs.push(PulseSub {
-                        stream: clone,
+                        tx: spawn_sub_writer(clone),
                         cursor: msg.next_window,
                     });
                     Frame::Pulse(msg)
@@ -592,15 +647,21 @@ fn session<R: Read, W: Write>(
             },
             Frame::StatsReq => state.stats(),
             Frame::SnapshotReq => {
-                if let Err(e) = shared.persist(&state) {
-                    eprintln!("serve: snapshot write failed: {e}");
+                let bytes = state.engine.snapshot();
+                if shared.snapshot.is_some() {
+                    persist_after = Some(bytes.clone());
                 }
-                Frame::Snapshot(state.engine.snapshot())
+                Frame::Snapshot(bytes)
             }
             // Server-to-client frames arriving here are protocol misuse.
             other => Frame::Error(format!("unexpected frame {other:?}")),
         };
         drop(state);
+        if let Some(bytes) = persist_after {
+            if let Err(e) = shared.persist(&bytes) {
+                eprintln!("serve: snapshot write failed: {e}");
+            }
+        }
         write_frame(out, &reply)?;
         out.flush()?;
     }
@@ -960,8 +1021,12 @@ mod tests {
     }
 
     /// Connect over TCP, hello, subscribe to pulses from window `from`; a
-    /// background thread drains `Pulse` frames until the socket shuts down.
-    fn pulse_client(addr: &str, from: u64) -> (TcpStream, thread::JoinHandle<Vec<PulseMsg>>) {
+    /// background thread drains `Pulse` frames into the shared vec until
+    /// the socket shuts down.
+    fn pulse_client(
+        addr: &str,
+        from: u64,
+    ) -> (TcpStream, Arc<Mutex<Vec<PulseMsg>>>, thread::JoinHandle<()>) {
         let stream = TcpStream::connect(addr).unwrap();
         let sock = stream.try_clone().unwrap();
         let mut out = BufWriter::new(stream.try_clone().unwrap());
@@ -974,16 +1039,28 @@ mod tests {
         ));
         write_frame(&mut out, &Frame::PulseSub { from_window: from }).unwrap();
         out.flush().unwrap();
+        let pulses: Arc<Mutex<Vec<PulseMsg>>> = Arc::default();
+        let sink = pulses.clone();
         let handle = thread::spawn(move || {
-            let mut pulses = Vec::new();
             while let Ok(Some(f)) = read_frame(&mut input) {
                 if let Frame::Pulse(p) = f {
-                    pulses.push(p);
+                    lock_recover(&sink).push(p);
                 }
             }
-            pulses
         });
-        (sock, handle)
+        (sock, pulses, handle)
+    }
+
+    /// Bounded wait until the subscriber observes `pred`: pulses ride a
+    /// per-subscriber writer thread, so delivery lags the feeder's acks.
+    fn wait_for_pulses(pulses: &Mutex<Vec<PulseMsg>>, pred: impl Fn(&[PulseMsg]) -> bool) {
+        for _ in 0..500 {
+            if pred(&lock_recover(pulses)) {
+                return;
+            }
+            thread::sleep(Duration::from_millis(10));
+        }
+        panic!("subscriber did not observe the expected pulses in time");
     }
 
     /// Drive one feeder session over TCP: records in 512-record chunks (one
@@ -1047,11 +1124,12 @@ mod tests {
         let server = Server::bind(&opts).unwrap();
         let addr = server.local_addr().unwrap().to_string();
         thread::spawn(move || server.run().unwrap());
-        let (sub1, pulses1) = pulse_client(&addr, 0);
+        let (sub1, pulses1, drain1) = pulse_client(&addr, 0);
         feed_and_shutdown(&addr, &records[..split], None);
+        wait_for_pulses(&pulses1, |ps| ps.last().is_some_and(|p| p.next_window > 0));
         let _ = sub1.shutdown(std::net::Shutdown::Both);
-        let pulses1 = pulses1.join().unwrap();
-        assert!(!pulses1.is_empty(), "first daemon pulsed");
+        drain1.join().unwrap();
+        let pulses1 = std::mem::take(&mut *lock_recover(&pulses1));
         let cursor = pulses1.last().map_or(0, |p| p.next_window);
         assert!(cursor > 0, "first half flushed windows");
 
@@ -1060,10 +1138,12 @@ mod tests {
         let server = Server::bind(&opts).unwrap();
         let addr = server.local_addr().unwrap().to_string();
         thread::spawn(move || server.run().unwrap());
-        let (sub2, pulses2) = pulse_client(&addr, cursor);
+        let (sub2, pulses2, drain2) = pulse_client(&addr, cursor);
         feed_and_shutdown(&addr, &records[split..], Some(end_ns));
+        wait_for_pulses(&pulses2, |ps| ps.iter().any(|p| !p.points.is_empty()));
         let _ = sub2.shutdown(std::net::Shutdown::Both);
-        let pulses2 = pulses2.join().unwrap();
+        drain2.join().unwrap();
+        let pulses2 = std::mem::take(&mut *lock_recover(&pulses2));
         let _ = std::fs::remove_file(&snap_path);
         assert!(
             pulses2.iter().any(|p| !p.points.is_empty()),
@@ -1101,6 +1181,105 @@ mod tests {
                 assert!(pt.window >= cursor, "no re-delivery below the cursor");
             }
         }
+    }
+
+    /// A pulse subscriber that never reads must not stall another
+    /// session's ingest: pulse delivery rides a per-subscriber writer
+    /// thread behind a bounded queue, so the publisher never blocks on a
+    /// client socket while holding the engine entry. The read timeout on
+    /// the feeder turns a stalled ack into a failure instead of a hang.
+    #[test]
+    fn slow_pulse_subscriber_does_not_stall_another_sessions_acks() {
+        std::env::set_var("DB_SMOKE", "1"); // keep engine-build training small
+        let (records, end_ns, _link) = record_grid_trace();
+        let opts = ServeOptions {
+            addr: "127.0.0.1:0".into(),
+            snapshot: None,
+            window_cap: 0,
+            prom_addr: None,
+        };
+        let server = Server::bind(&opts).unwrap();
+        let addr = server.local_addr().unwrap().to_string();
+        thread::spawn(move || server.run().unwrap());
+
+        // Slow client: subscribes, then never reads another byte, so its
+        // socket buffers fill and its writer thread blocks mid-frame.
+        let slow = TcpStream::connect(&addr).unwrap();
+        {
+            let mut out = BufWriter::new(slow.try_clone().unwrap());
+            let mut input = BufReader::new(slow.try_clone().unwrap());
+            write_frame(&mut out, &grid_hello()).unwrap();
+            out.flush().unwrap();
+            assert!(matches!(
+                read_frame(&mut input).unwrap(),
+                Some(Frame::HelloAck { .. })
+            ));
+            write_frame(&mut out, &Frame::PulseSub { from_window: 0 }).unwrap();
+            out.flush().unwrap();
+        }
+
+        // Feeder session on the same engine: every ack must still arrive.
+        let stream = TcpStream::connect(&addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        let mut out = BufWriter::new(stream.try_clone().unwrap());
+        let mut input = BufReader::new(stream);
+        write_frame(&mut out, &grid_hello()).unwrap();
+        out.flush().unwrap();
+        assert!(matches!(
+            read_frame(&mut input).unwrap(),
+            Some(Frame::HelloAck { .. })
+        ));
+        for chunk in records.chunks(512) {
+            write_frame(&mut out, &Frame::Records(chunk.to_vec())).unwrap();
+            out.flush().unwrap();
+            assert!(matches!(
+                read_frame(&mut input).unwrap(),
+                Some(Frame::IngestAck { .. })
+            ));
+        }
+        write_frame(&mut out, &Frame::AdvanceTo { t_ns: end_ns }).unwrap();
+        out.flush().unwrap();
+        assert!(matches!(
+            read_frame(&mut input).unwrap(),
+            Some(Frame::IngestAck { .. })
+        ));
+        write_frame(&mut out, &Frame::StatsReq).unwrap();
+        out.flush().unwrap();
+        match read_frame(&mut input).unwrap() {
+            Some(Frame::Stats { ingested, .. }) => {
+                assert_eq!(ingested, records.len() as u64);
+            }
+            other => panic!("expected Stats, got {other:?}"),
+        }
+        write_frame(&mut out, &Frame::Shutdown).unwrap();
+        out.flush().unwrap();
+        assert!(matches!(read_frame(&mut input).unwrap(), Some(Frame::Bye)));
+        drop(slow);
+    }
+
+    /// The per-subscriber writer queue reports Full to the publisher once
+    /// a stalled client's buffers and the queue both fill — it never makes
+    /// the publisher block on the client's socket.
+    #[test]
+    fn sub_writer_queue_fills_instead_of_blocking_the_publisher() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap(); // never read from
+        let (server_side, _) = listener.accept().unwrap();
+        let tx = spawn_sub_writer(server_side);
+        // 512 × 256 KiB far exceeds loopback socket buffering plus the
+        // 64-frame queue, so try_send must eventually report Full.
+        let frame = Frame::Snapshot(vec![0u8; 256 << 10]);
+        let mut rejected = 0u32;
+        for _ in 0..512 {
+            if tx.try_send(frame.clone()).is_err() {
+                rejected += 1;
+            }
+        }
+        assert!(rejected > 0, "publisher saw Full instead of blocking");
+        drop(client);
     }
 
     #[test]

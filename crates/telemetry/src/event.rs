@@ -6,6 +6,7 @@
 //! level — so benchmarks and deterministic tests are unaffected unless a
 //! caller opts in.
 
+use db_util::sync::lock_recover;
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::{Arc, RwLock};
 
@@ -80,6 +81,9 @@ static RECORDER: RwLock<Option<Arc<dyn Recorder>>> = RwLock::new(None);
 
 /// Enable events up to and including `level` (`None` turns logging off).
 pub fn set_max_level(level: Option<Level>) {
+    // A stale read records or skips a few events around the transition,
+    // never touches unsynchronized data; the recorder is behind the RwLock.
+    // db-lint: allow(conc-relaxed-publish) — level gate only, not a data gate
     MAX_LEVEL.store(level.map_or(0, |l| l as u8), Ordering::Relaxed);
 }
 
@@ -87,6 +91,7 @@ pub fn set_max_level(level: Option<Level>) {
 /// guard: one relaxed load.
 #[inline]
 pub fn level_enabled(level: Level) -> bool {
+    // db-lint: allow(conc-relaxed-publish) — see set_max_level: gates event volume, not data
     level as u8 <= MAX_LEVEL.load(Ordering::Relaxed)
 }
 
@@ -178,12 +183,12 @@ impl BufferRecorder {
 
     /// Copy of all buffered events.
     pub fn events(&self) -> Vec<Event> {
-        self.inner.lock().unwrap().events.clone()
+        lock_recover(&self.inner).events.clone()
     }
 
     /// Number of buffered events.
     pub fn len(&self) -> usize {
-        self.inner.lock().unwrap().events.len()
+        lock_recover(&self.inner).events.len()
     }
 
     /// Whether the buffer is empty.
@@ -193,20 +198,20 @@ impl BufferRecorder {
 
     /// Events rejected because the buffer was full.
     pub fn dropped(&self) -> u64 {
-        self.inner.lock().unwrap().dropped
+        lock_recover(&self.inner).dropped
     }
 
     /// Drain the buffer (the [`dropped`] count is kept).
     ///
     /// [`dropped`]: BufferRecorder::dropped
     pub fn take(&self) -> Vec<Event> {
-        std::mem::take(&mut self.inner.lock().unwrap().events)
+        std::mem::take(&mut lock_recover(&self.inner).events)
     }
 }
 
 impl Recorder for BufferRecorder {
     fn record(&self, event: Event) {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = lock_recover(&self.inner);
         if inner.events.len() >= self.capacity {
             inner.dropped += 1;
         } else {

@@ -27,6 +27,7 @@
 //! (`switch: u16`, `link: u16`, `flow: u32`), not topology types. The
 //! `db-inference::provenance` module interprets them.
 
+use db_util::sync::lock_recover;
 use db_util::wire::{ByteReader, ByteWriter, WireError};
 use std::collections::VecDeque;
 use std::path::Path;
@@ -580,7 +581,7 @@ impl FlightRecorder {
     /// that wrapped millions of times keeps its run header and stays
     /// scoreable by `drift-bottle explain`.
     pub fn record(&self, rec: FlightRecord) {
-        let mut ring = self.inner.lock().expect("flight ring poisoned");
+        let mut ring = lock_recover(&self.inner);
         if matches!(rec, FlightRecord::RunMeta { .. }) && ring.meta.is_none() {
             ring.meta = Some(rec);
             return;
@@ -595,7 +596,7 @@ impl FlightRecorder {
     /// Records currently held, including a pinned run header (ring portion
     /// is ≤ capacity).
     pub fn len(&self) -> usize {
-        let ring = self.inner.lock().expect("flight ring poisoned");
+        let ring = lock_recover(&self.inner);
         ring.buf.len() + usize::from(ring.meta.is_some())
     }
 
@@ -612,14 +613,14 @@ impl FlightRecorder {
     /// Records evicted because the ring was full. Nonzero means the oldest
     /// history is gone — `explain` reports surface this.
     pub fn dropped(&self) -> u64 {
-        self.inner.lock().expect("flight ring poisoned").dropped
+        lock_recover(&self.inner).dropped
     }
 
     /// A point-in-time copy of the ring as a [`Recording`]. A pinned run
     /// header comes first, so the on-disk layout is unchanged: `RunMeta`
     /// leads the record stream whether or not the ring wrapped.
     pub fn snapshot(&self) -> Recording {
-        let ring = self.inner.lock().expect("flight ring poisoned");
+        let ring = lock_recover(&self.inner);
         let mut records = Vec::with_capacity(ring.buf.len() + 1);
         records.extend(ring.meta.iter().cloned());
         records.extend(ring.buf.iter().cloned());

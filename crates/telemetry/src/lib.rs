@@ -119,6 +119,9 @@ pub fn disable() {
 
 /// Whether global collection is on.
 pub fn enabled() -> bool {
+    // Gates instrumentation volume only; the registry behind it is created
+    // via OnceLock, which carries its own synchronization.
+    // db-lint: allow(conc-relaxed-publish) — enable flag, not a data gate
     ENABLED.load(Ordering::Relaxed)
 }
 

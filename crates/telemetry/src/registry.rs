@@ -7,6 +7,7 @@
 //! the life of the registry — instrumented components hold handles, not the
 //! registry itself.
 
+use db_util::sync::lock_recover;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -181,13 +182,13 @@ impl MetricsRegistry {
     /// Get or create the counter `name`. Idempotent: the same name always
     /// maps to the same underlying cell.
     pub fn counter(&self, name: &str) -> Counter {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = lock_recover(&self.inner);
         inner.counters.entry(name.to_string()).or_default().clone()
     }
 
     /// Get or create the gauge `name`.
     pub fn gauge(&self, name: &str) -> Gauge {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = lock_recover(&self.inner);
         inner.gauges.entry(name.to_string()).or_default().clone()
     }
 
@@ -201,7 +202,7 @@ impl MetricsRegistry {
     ///
     /// [`try_histogram`]: MetricsRegistry::try_histogram
     pub fn histogram(&self, name: &str, bounds: &[u64]) -> Histogram {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = lock_recover(&self.inner);
         inner
             .histograms
             .entry(name.to_string())
@@ -220,7 +221,7 @@ impl MetricsRegistry {
         let mut normalized = bounds.to_vec();
         normalized.sort_unstable();
         normalized.dedup();
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = lock_recover(&self.inner);
         if let Some(existing) = inner.histograms.get(name) {
             if existing.0.bounds != normalized {
                 return Err(BoundsMismatch {
@@ -238,7 +239,7 @@ impl MetricsRegistry {
 
     /// Get or create the phase-timing accumulator `name`.
     pub fn timing(&self, name: &str) -> Timing {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = lock_recover(&self.inner);
         inner.timings.entry(name.to_string()).or_default().clone()
     }
 
@@ -249,7 +250,7 @@ impl MetricsRegistry {
 
     /// A point-in-time copy of every metric, for export.
     pub fn snapshot(&self) -> Snapshot {
-        let inner = self.inner.lock().unwrap();
+        let inner = lock_recover(&self.inner);
         Snapshot {
             counters: inner
                 .counters
@@ -286,7 +287,7 @@ impl MetricsRegistry {
 
 impl std::fmt::Debug for MetricsRegistry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let inner = self.inner.lock().unwrap();
+        let inner = lock_recover(&self.inner);
         f.debug_struct("MetricsRegistry")
             .field("counters", &inner.counters.len())
             .field("gauges", &inner.gauges.len())

@@ -140,6 +140,9 @@ pub fn profiler_disable() {
 
 /// Whether hot-path sampling is currently on.
 pub fn profiler_enabled() -> bool {
+    // The flag gates whether tallies are *sampled*, never which memory is
+    // read; a stale read loses or adds a few counts around enable/disable.
+    // db-lint: allow(conc-relaxed-publish) — sampling gate, not a data gate
     PROF_ENABLED.load(Ordering::Relaxed)
 }
 

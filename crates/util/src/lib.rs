@@ -15,10 +15,13 @@
 //!   binaries in `db-bench`.
 //! * [`wire`] — a big-endian byte codec with bit-exact `f64` round trips,
 //!   used by the sweep checkpoint format of `db-runner`.
+//! * [`sync`] — the shared poison-recovering mutex helper the
+//!   concurrency-tier crates lock through (DESIGN.md §17).
 
 pub mod dist;
 pub mod rng;
 pub mod stats;
+pub mod sync;
 pub mod table;
 pub mod wire;
 

@@ -1,0 +1,39 @@
+//! Shared synchronization helpers.
+//!
+//! Every non-test lock acquisition in the concurrency-tier crates goes
+//! through [`lock_recover`] (enforced by db-lint's `conc-lock-unwrap`
+//! rule): a poisoned mutex means some other thread panicked *while
+//! holding the guard*, not that the protected data is gone. All the
+//! state guarded this way in the workspace — telemetry counters, pulse
+//! subscriber lists, latency samples — stays structurally valid after a
+//! holder panics, so recovering the guard and continuing beats
+//! propagating the panic into every thread that later touches the same
+//! registry.
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Lock `m`, recovering the guard if a previous holder panicked.
+pub fn lock_recover<T: ?Sized>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    #[test]
+    fn recovers_a_poisoned_mutex() {
+        let m = std::sync::Arc::new(Mutex::new(7u32));
+        let m2 = m.clone();
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock().unwrap();
+            panic!("poison it");
+        })
+        .join();
+        assert!(m.is_poisoned());
+        assert_eq!(*lock_recover(&m), 7);
+        *lock_recover(&m) = 8;
+        assert_eq!(*lock_recover(&m), 8);
+    }
+}
